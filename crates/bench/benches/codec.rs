@@ -1,0 +1,109 @@
+//! Codec throughput and the quality-parameter ablation.
+//!
+//! The descriptive-quality mapping (§2.2) is a design choice: each quality
+//! factor selects a quantizer scale. This bench sweeps the ladder to show
+//! the size/speed trade and measures every codec's encode/decode rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tbm_codec::dct::{self, DctParams};
+use tbm_codec::interframe::{self, GopParams};
+use tbm_codec::quality::video_params;
+use tbm_codec::{adpcm, pcm, scalable};
+use tbm_core::VideoQuality;
+use tbm_media::gen::{AudioSignal, VideoPattern};
+
+fn bench_dct(c: &mut Criterion) {
+    let frame = VideoPattern::MovingBar.render(7, 320, 240);
+    let pixels = 320 * 240;
+    let mut g = c.benchmark_group("dct");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(pixels));
+    for q in [
+        VideoQuality::Preview,
+        VideoQuality::Vhs,
+        VideoQuality::Broadcast,
+        VideoQuality::Studio,
+    ] {
+        g.bench_with_input(BenchmarkId::new("encode", format!("{q:?}")), &q, |b, &q| {
+            b.iter(|| black_box(dct::encode_frame(&frame, video_params(q))))
+        });
+    }
+    let enc = dct::encode_frame(&frame, video_params(VideoQuality::Vhs));
+    g.bench_function("decode/Vhs", |b| {
+        b.iter(|| black_box(dct::decode_frame(&enc).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_interframe(c: &mut Criterion) {
+    let frames: Vec<_> = (0..12u64)
+        .map(|i| VideoPattern::MovingBar.render(i, 160, 120))
+        .collect();
+    let mut g = c.benchmark_group("interframe");
+    g.sample_size(10);
+    for b_frames in [0usize, 2] {
+        let params = GopParams {
+            gop_size: 12,
+            b_frames,
+            dct: DctParams::default(),
+        };
+        g.bench_with_input(
+            BenchmarkId::new("encode_12f", b_frames),
+            &params,
+            |b, &params| b.iter(|| black_box(interframe::encode_sequence(&frames, params).unwrap())),
+        );
+    }
+    let params = GopParams::default();
+    let seq = interframe::encode_sequence(&frames, params).unwrap();
+    g.bench_function("decode_12f", |b| {
+        b.iter(|| black_box(interframe::decode_sequence(&seq).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_audio_codecs(c: &mut Criterion) {
+    let tone = AudioSignal::Sine {
+        hz: 440.0,
+        amplitude: 12_000,
+    }
+    .generate(0, 44_100, 44_100, 2);
+    let mut g = c.benchmark_group("audio");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(44_100));
+    g.bench_function("pcm_encode_1s", |b| b.iter(|| black_box(pcm::encode(&tone))));
+    g.bench_function("adpcm_encode_1s", |b| {
+        b.iter(|| black_box(adpcm::encode_blocks(&tone, 1024)))
+    });
+    let blocks = adpcm::encode_blocks(&tone, 1024);
+    g.bench_function("adpcm_decode_1s", |b| {
+        b.iter(|| black_box(adpcm::decode_blocks(&blocks).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_scalable(c: &mut Criterion) {
+    let frame = VideoPattern::ShiftingGradient.render(4, 320, 240);
+    let mut g = c.benchmark_group("scalable");
+    g.sample_size(10);
+    g.bench_function("encode_layered", |b| {
+        b.iter(|| black_box(scalable::encode_layered(&frame, DctParams::default())))
+    });
+    let lf = scalable::encode_layered(&frame, DctParams::default());
+    g.bench_function("decode_base", |b| {
+        b.iter(|| black_box(scalable::decode_base(&lf).unwrap()))
+    });
+    g.bench_function("decode_full", |b| {
+        b.iter(|| black_box(scalable::decode_full(&lf).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dct,
+    bench_interframe,
+    bench_audio_codecs,
+    bench_scalable
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E4 support — composition: frame compositing and audio mixing rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tbm_compose::{Component, ComponentKind, Composer, MultimediaObject, Region};
+use tbm_derive::{AudioClip, Expander, MediaValue, Node, VideoClip};
+use tbm_media::gen::{AudioSignal, VideoPattern};
+use tbm_time::{Rational, TimeDelta, TimePoint, TimeSystem};
+
+fn setup() -> (Expander, MultimediaObject) {
+    let mut e = Expander::new();
+    e.add_source(
+        "bg",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::ShiftingGradient, 0, 50, 320, 240),
+            TimeSystem::PAL,
+        )),
+    );
+    e.add_source(
+        "pip",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, 50, 160, 120),
+            TimeSystem::PAL,
+        )),
+    );
+    for (name, hz) in [("music", 330.0), ("voice", 200.0)] {
+        e.add_source(
+            name,
+            MediaValue::Audio(AudioClip::new(
+                AudioSignal::Sine {
+                    hz,
+                    amplitude: 8000,
+                }
+                .generate(0, 2 * 44_100, 44_100, 2),
+                44_100,
+            )),
+        );
+    }
+    let mut m = MultimediaObject::new("bench");
+    let dur = TimeDelta::from_secs(2);
+    m.add_component(
+        Component::new("bg", ComponentKind::Video, Node::source("bg"), TimePoint::ZERO, dur)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("pip", ComponentKind::Video, Node::source("pip"), TimePoint::ZERO, dur)
+            .unwrap()
+            .in_region(Region::new(8, 8, 106, 80).at_layer(1)),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("music", ComponentKind::Audio, Node::source("music"), TimePoint::ZERO, dur)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("voice", ComponentKind::Audio, Node::source("voice"), TimePoint::ZERO, dur)
+            .unwrap(),
+    )
+    .unwrap();
+    (e, m)
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let (e, m) = setup();
+    let composer = Composer::new(&e, 320, 240);
+    let mut g = c.benchmark_group("composer");
+    g.sample_size(20);
+    g.bench_function("render_frame_320x240_pip", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 40;
+            let t = TimePoint::from_seconds(Rational::new(k, 25));
+            black_box(composer.render_video_frame(&m, t).unwrap())
+        })
+    });
+    g.bench_function("mix_100ms_2_tracks", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 15;
+            let t = TimePoint::from_seconds(Rational::new(k, 10));
+            black_box(
+                composer
+                    .mix_audio_window(&m, t, TimeDelta::from_millis(100))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    let (_, m) = setup();
+    let mut g = c.benchmark_group("timeline");
+    g.sample_size(30);
+    g.bench_function("diagram", |b| b.iter(|| black_box(m.timeline_diagram(64))));
+    g.bench_function("validate", |b| b.iter(|| black_box(m.validate().is_ok())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compose, bench_timeline);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! E3/E7 support — derivation: per-operator throughput and the
+//! lazy-vs-materialized ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tbm_derive::{AudioClip, EditCut, Expander, MediaValue, MusicClip, Node, Op, VideoClip};
+use tbm_media::gen::{major_scale, AudioSignal, VideoPattern};
+use tbm_time::TimeSystem;
+
+fn expander() -> Expander {
+    let mut e = Expander::new();
+    e.add_source(
+        "v1",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, 100, 160, 120),
+            TimeSystem::PAL,
+        )),
+    );
+    e.add_source(
+        "v2",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::ShiftingGradient, 0, 100, 160, 120),
+            TimeSystem::PAL,
+        )),
+    );
+    e.add_source(
+        "a1",
+        MediaValue::Audio(AudioClip::new(
+            AudioSignal::Sine {
+                hz: 440.0,
+                amplitude: 8000,
+            }
+            .generate(0, 44_100, 44_100, 2),
+            44_100,
+        )),
+    );
+    e.add_source(
+        "m1",
+        MediaValue::Music(MusicClip::new(major_scale(0, 60, 2, 480, 400), 480, 120)),
+    );
+    e
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let e = expander();
+    let ops: Vec<(&str, Node)> = vec![
+        (
+            "video_edit_50f",
+            Node::derive(
+                Op::VideoEdit {
+                    cuts: vec![EditCut { input: 0, from: 25, to: 75 }],
+                },
+                vec![Node::source("v1")],
+            ),
+        ),
+        (
+            "fade_25f",
+            Node::derive(
+                Op::Fade { frames: 25 },
+                vec![Node::source("v1"), Node::source("v2")],
+            ),
+        ),
+        (
+            "chroma_key_100f",
+            Node::derive(
+                Op::ChromaKey {
+                    key_rgb: 0x141828,
+                    tolerance: 25,
+                },
+                vec![Node::source("v1"), Node::source("v2")],
+            ),
+        ),
+        (
+            "normalize_1s",
+            Node::derive(
+                Op::AudioNormalize {
+                    target_peak: 28_000,
+                    range: None,
+                },
+                vec![Node::source("a1")],
+            ),
+        ),
+        (
+            "synthesize_scale",
+            Node::derive(
+                Op::MidiSynthesize {
+                    sample_rate: 44_100,
+                    tempo_bpm: 0,
+                    gain_num: 200,
+                },
+                vec![Node::source("m1")],
+            ),
+        ),
+    ];
+    let mut g = c.benchmark_group("expand");
+    g.sample_size(10);
+    for (name, node) in &ops {
+        g.bench_with_input(BenchmarkId::from_parameter(name), node, |b, node| {
+            b.iter(|| black_box(e.expand(node).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// The DESIGN.md ablation: presenting one frame out of a derived object via
+/// lazy pull vs full materialization first.
+fn bench_lazy_vs_materialized(c: &mut Criterion) {
+    let e = expander();
+    let node = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![
+                EditCut { input: 0, from: 0, to: 50 },
+                EditCut { input: 1, from: 50, to: 100 },
+            ],
+        },
+        vec![Node::source("v1"), Node::source("v2")],
+    );
+    let mut g = c.benchmark_group("one_frame_of_derived_edit");
+    g.sample_size(10);
+    g.bench_function("lazy_pull", |b| {
+        b.iter(|| black_box(e.pull_frame(&node, 73).unwrap()))
+    });
+    g.bench_function("materialize_then_index", |b| {
+        b.iter(|| {
+            let MediaValue::Video(v) = e.expand(&node).unwrap() else {
+                unreachable!()
+            };
+            black_box(v.frames[73].clone())
+        })
+    });
+    g.finish();
+}
+
+fn bench_spec_roundtrip(c: &mut Criterion) {
+    let node = Node::derive(
+        Op::VideoEdit {
+            cuts: (0..64)
+                .map(|i| EditCut {
+                    input: 0,
+                    from: i * 10,
+                    to: i * 10 + 10,
+                })
+                .collect(),
+        },
+        vec![Node::source("v1")],
+    );
+    let mut g = c.benchmark_group("derivation_object");
+    g.sample_size(30);
+    g.bench_function("serialize_64cut_editlist", |b| {
+        b.iter(|| black_box(node.to_bytes()))
+    });
+    let bytes = node.to_bytes();
+    g.bench_function("parse_64cut_editlist", |b| {
+        b.iter(|| black_box(Node::from_bytes(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_lazy_vs_materialized,
+    bench_spec_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E6 support — non-destructive editing vs copy-based editing.
+//!
+//! The paper (§4.2): "to delete a video subsequence one could copy and
+//! reassemble the frame data, but it would be much more efficient to simply
+//! create a derivation representing the edit."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tbm_bench::{captured_av, SPF};
+use tbm_blob::{BlobStore, MemBlobStore};
+use tbm_codec::dct::DctParams;
+use tbm_db::MediaDb;
+use tbm_derive::{EditCut, MediaValue, Node, Op, VideoClip};
+
+fn bench_edit_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delete_middle_third");
+    g.sample_size(10);
+    for n in [25usize, 50, 100] {
+        // Derivation-based edit: register an edit list.
+        g.bench_with_input(BenchmarkId::new("derivation", n), &n, |b, &n| {
+            let (store, cap) = captured_av(n, 160, 120);
+            let mut db = MediaDb::with_store(store);
+            db.register_interpretation(cap.interpretation).unwrap();
+            let mut k = 0u32;
+            b.iter(|| {
+                k += 1;
+                let node = Node::derive(
+                    Op::VideoEdit {
+                        cuts: vec![
+                            EditCut { input: 0, from: 0, to: (n / 3) as u32 },
+                            EditCut { input: 0, from: (2 * n / 3) as u32, to: n as u32 },
+                        ],
+                    },
+                    vec![Node::source("video1")],
+                );
+                black_box(db.create_derived(&format!("edit{k}"), node).unwrap())
+            })
+        });
+        // Copy-based edit: decode, reassemble, re-encode, re-store.
+        g.bench_with_input(BenchmarkId::new("copy", n), &n, |b, &n| {
+            let (store, cap) = captured_av(n, 160, 120);
+            let mut db = MediaDb::with_store(store);
+            db.register_interpretation(cap.interpretation).unwrap();
+            b.iter(|| {
+                let MediaValue::Video(src) = db.materialize("video1").unwrap() else {
+                    unreachable!()
+                };
+                let mut kept = src.frames[..n / 3].to_vec();
+                kept.extend_from_slice(&src.frames[2 * n / 3..]);
+                let clip = VideoClip::new(kept, src.system);
+                let mut out = MemBlobStore::new();
+                let blob = out.create().unwrap();
+                for f in &clip.frames {
+                    out.append(blob, &tbm_codec::dct::encode_frame(f, DctParams::default()))
+                        .unwrap();
+                }
+                black_box(out.total_bytes())
+            })
+        });
+    }
+    g.finish();
+    let _ = SPF;
+}
+
+criterion_group!(benches, bench_edit_styles);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! E2/E9 support — interpretation: index ablations and capture throughput.
+//!
+//! Ablations from DESIGN.md: time-index strategy (uniform stride vs binary
+//! search vs linear scan) and placement-index layout (full per-element
+//! table vs chunked two-level index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tbm_bench::{cd_tone, video_frames, SPF};
+use tbm_blob::{ByteSpan, MemBlobStore};
+use tbm_codec::dct::DctParams;
+use tbm_core::{MediaDescriptor, MediaKind};
+use tbm_interp::{capture, ChunkedIndex, ElementEntry, StreamInterp, TimeIndex};
+use tbm_time::TimeSystem;
+
+fn uniform_entries(n: usize) -> Vec<ElementEntry> {
+    let mut at = 0u64;
+    (0..n)
+        .map(|i| {
+            let size = 1000 + (i % 53) as u64;
+            let e = ElementEntry::simple(i as i64, 1, ByteSpan::new(at, size));
+            at += size;
+            e
+        })
+        .collect()
+}
+
+fn gappy_entries(n: usize) -> Vec<ElementEntry> {
+    let mut at = 0u64;
+    let mut t = 0i64;
+    (0..n)
+        .map(|i| {
+            let e = ElementEntry::simple(t, 2, ByteSpan::new(at, 100));
+            at += 100;
+            t += if i % 5 == 0 { 7 } else { 2 }; // occasional gaps
+            e
+        })
+        .collect()
+}
+
+fn bench_time_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("time_index");
+    g.sample_size(20);
+    let n = 100_000;
+    let uniform = uniform_entries(n);
+    let gappy = gappy_entries(n);
+    let u_idx = TimeIndex::build(&uniform);
+    let s_idx = TimeIndex::build(&gappy);
+    assert!(matches!(u_idx, TimeIndex::Uniform { .. }));
+    assert!(matches!(s_idx, TimeIndex::Search));
+    let span = gappy.last().unwrap().end();
+
+    g.bench_function("uniform_stride", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 7919) % n as i64;
+            black_box(u_idx.lookup(&uniform, t))
+        })
+    });
+    g.bench_function("binary_search", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 7919) % span;
+            black_box(s_idx.lookup(&gappy, t))
+        })
+    });
+    g.bench_function("linear_scan_baseline", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 7919) % n as i64;
+            black_box(TimeIndex::lookup_scan(&uniform, t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_placement_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement_index");
+    g.sample_size(20);
+    let entries = uniform_entries(100_000);
+    let stream = StreamInterp::new(
+        MediaDescriptor::new(MediaKind::Video),
+        TimeSystem::PAL,
+        entries.clone(),
+    )
+    .unwrap();
+    g.bench_function("full_table", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(stream.entry(i).unwrap().placement.as_single())
+        })
+    });
+    for chunk in [16usize, 64, 256] {
+        let ci = ChunkedIndex::build(&entries, chunk).unwrap();
+        g.bench_with_input(BenchmarkId::new("chunked", chunk), &ci, |b, ci| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % 100_000;
+                black_box(ci.placement(i))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capture");
+    g.sample_size(10);
+    let frames = video_frames(25, 160, 120);
+    let audio = cd_tone(25 * SPF);
+    g.bench_function("interleaved_1s_160x120", |b| {
+        b.iter(|| {
+            let mut store = MemBlobStore::new();
+            black_box(
+                capture::capture_av_interleaved(
+                    &mut store,
+                    &frames,
+                    &audio,
+                    SPF,
+                    TimeSystem::PAL,
+                    DctParams::default(),
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_element_read(c: &mut Criterion) {
+    let mut store = MemBlobStore::new();
+    let cap = capture::capture_av_interleaved(
+        &mut store,
+        &video_frames(100, 160, 120),
+        &cd_tone(100 * SPF),
+        SPF,
+        TimeSystem::PAL,
+        DctParams::default(),
+        None,
+    )
+    .unwrap();
+    let v = cap.interpretation.stream("video1").unwrap();
+    let mut g = c.benchmark_group("element_read");
+    g.sample_size(20);
+    g.bench_function("video_element", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % 100;
+            black_box(v.read_element(&store, cap.blob, i).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_time_index,
+    bench_placement_index,
+    bench_capture,
+    bench_element_read
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E10 support — playback simulation throughput and the interleaving
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tbm_bench::{captured_av, SPF};
+use tbm_player::{schedule_from_interp, schedule_uniform, sync_skew, CostModel, PlaybackSim};
+use tbm_time::TimeSystem;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("playback_sim");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let jobs = schedule_uniform(n, 20_000, TimeSystem::PAL);
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(600_000)).with_startup(3);
+        g.bench_with_input(BenchmarkId::new("elements", n), &jobs, |b, jobs| {
+            b.iter(|| black_box(sim.run(jobs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let (_, cap) = captured_av(250, 160, 120);
+    let v = schedule_from_interp(cap.interpretation.stream("video1").unwrap(), None);
+    let a = schedule_from_interp(cap.interpretation.stream("audio1").unwrap(), None);
+    let mut g = c.benchmark_group("sync_skew");
+    g.sample_size(20);
+    g.bench_function("av_250_frames", |b| {
+        let model = CostModel::bandwidth_only(400_000);
+        b.iter(|| black_box(sync_skew(model, &v, &a)))
+    });
+    g.finish();
+    let _ = SPF;
+}
+
+/// DESIGN.md's interleaving ablation: sequential access over an interleaved
+/// layout reads contiguously; a separated layout alternates between two
+/// distant regions of the BLOB. We measure the read pattern cost through
+/// the MemBlobStore (which fragments into extents, so long seeks touch more
+/// extent boundaries).
+fn bench_interleaving(c: &mut Criterion) {
+    use tbm_blob::{BlobStore, BlobWriter, ByteSpan, MemBlobStore};
+    const UNITS: usize = 2_000;
+    const VSIZE: usize = 4_096;
+    const ASIZE: usize = 1_024;
+
+    // Interleaved: V A V A …
+    let mut inter = MemBlobStore::with_extent_size(16 * 1024);
+    let iblob = inter.create().unwrap();
+    let mut ispans = Vec::new();
+    {
+        let mut w = BlobWriter::new(&mut inter, iblob).unwrap();
+        for _ in 0..UNITS {
+            let v = w.write(&vec![1u8; VSIZE]).unwrap();
+            let a = w.write(&vec![2u8; ASIZE]).unwrap();
+            ispans.push((v, a));
+        }
+    }
+    // Separated: all V, then all A.
+    let mut sep = MemBlobStore::with_extent_size(16 * 1024);
+    let sblob = sep.create().unwrap();
+    let mut vspans = Vec::new();
+    let mut aspans = Vec::new();
+    {
+        let mut w = BlobWriter::new(&mut sep, sblob).unwrap();
+        for _ in 0..UNITS {
+            vspans.push(w.write(&vec![1u8; VSIZE]).unwrap());
+        }
+        for _ in 0..UNITS {
+            aspans.push(w.write(&vec![2u8; ASIZE]).unwrap());
+        }
+    }
+
+    let mut g = c.benchmark_group("layout_sequential_av_read");
+    g.sample_size(20);
+    let mut vbuf = vec![0u8; VSIZE];
+    let mut abuf = vec![0u8; ASIZE];
+    g.bench_function("interleaved", |b| {
+        b.iter(|| {
+            for (v, a) in &ispans {
+                inter.read_into(iblob, *v, &mut vbuf).unwrap();
+                inter.read_into(iblob, *a, &mut abuf).unwrap();
+            }
+            black_box(vbuf[0] + abuf[0])
+        })
+    });
+    g.bench_function("separated", |b| {
+        b.iter(|| {
+            for (v, a) in vspans.iter().zip(&aspans) {
+                sep.read_into(sblob, *v, &mut vbuf).unwrap();
+                sep.read_into(sblob, *a, &mut abuf).unwrap();
+            }
+            black_box(vbuf[0] + abuf[0])
+        })
+    });
+    g.finish();
+    let _ = ByteSpan::new(0, 0);
+}
+
+criterion_group!(benches, bench_sim, bench_sync, bench_interleaving);
+criterion_main!(benches);

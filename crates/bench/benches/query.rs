@@ -1,0 +1,73 @@
+//! E8 support — the database query surface: catalog queries and time-based
+//! element retrieval vs raw-BLOB scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tbm_bench::{captured_av, SPF};
+use tbm_blob::{BlobStore, ByteSpan};
+use tbm_core::VideoQuality;
+use tbm_db::MediaDb;
+use tbm_time::{Rational, TimePoint};
+
+fn db_with_movie(n: usize) -> (MediaDb, u64) {
+    let (store, cap) = captured_av(n, 160, 120);
+    let blob_len = store.len(cap.blob).unwrap();
+    let mut db = MediaDb::with_store(store);
+    db.register_interpretation(cap.interpretation).unwrap();
+    (db, blob_len)
+}
+
+fn bench_catalog_queries(c: &mut Criterion) {
+    let (db, _) = db_with_movie(100);
+    let mut g = c.benchmark_group("catalog");
+    g.sample_size(30);
+    g.bench_function("tracks_by_language", |b| {
+        b.iter(|| black_box(db.audio_tracks_by_language("en")))
+    });
+    g.bench_function("videos_by_quality", |b| {
+        b.iter(|| black_box(db.videos_with_quality_at_least(VideoQuality::Vhs)))
+    });
+    g.finish();
+}
+
+fn bench_time_retrieval(c: &mut Criterion) {
+    let (db, blob_len) = db_with_movie(250);
+    let mut g = c.benchmark_group("time_retrieval");
+    g.sample_size(20);
+    g.bench_function("indexed_element_at", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 1) % 9;
+            let t = TimePoint::from_seconds(Rational::new(k, 1));
+            black_box(db.element_bytes_at("video1", t).unwrap())
+        })
+    });
+    // Baseline: find the same frame by scanning the raw BLOB for codec
+    // magic markers (all a BLOB interface can offer).
+    g.bench_function("raw_blob_scan", |b| {
+        let blob = db.interpretations()[0].blob();
+        let raw = db.store().read(blob, ByteSpan::new(0, blob_len)).unwrap();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % 9;
+            let wanted = k * 25 + 1;
+            let mut count = 0usize;
+            let mut pos = 0usize;
+            while pos + 2 <= raw.len() {
+                if &raw[pos..pos + 2] == b"DJ" {
+                    count += 1;
+                    if count == wanted {
+                        break;
+                    }
+                }
+                pos += 1;
+            }
+            black_box(pos)
+        })
+    });
+    g.finish();
+    let _ = SPF;
+}
+
+criterion_group!(benches, bench_catalog_queries, bench_time_retrieval);
+criterion_main!(benches);

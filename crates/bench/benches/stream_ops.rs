@@ -1,0 +1,79 @@
+//! E1 support — timed-stream operations: classification and time lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tbm_core::{classify, MediaType, SizedElement, TimedStream};
+use tbm_time::TimeSystem;
+
+fn uniform_stream(n: usize) -> TimedStream<SizedElement> {
+    TimedStream::constant_frequency(
+        MediaType::pcm_audio(),
+        TimeSystem::CD_AUDIO,
+        0,
+        (0..n).map(|_| SizedElement::new(4)),
+    )
+}
+
+fn variable_stream(n: usize) -> TimedStream<SizedElement> {
+    TimedStream::continuous_from(
+        MediaType::video("var"),
+        TimeSystem::PAL,
+        0,
+        (0..n).map(|i| (SizedElement::new(1000 + (i % 37) as u64 * 13), 1 + (i % 3) as i64)),
+    )
+    .unwrap()
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classify");
+    g.sample_size(20);
+    for n in [1_000usize, 44_100, 441_000] {
+        let s = uniform_stream(n);
+        g.bench_with_input(BenchmarkId::new("uniform", n), &s, |b, s| {
+            b.iter(|| black_box(classify(s)))
+        });
+    }
+    let s = variable_stream(44_100);
+    g.bench_function("variable_44100", |b| b.iter(|| black_box(classify(&s))));
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("element_at_tick");
+    g.sample_size(20);
+    let s = uniform_stream(100_000);
+    g.bench_function("uniform_100k", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 7919) % 100_000;
+            black_box(s.element_at_tick(t))
+        })
+    });
+    let v = variable_stream(100_000);
+    let span = v.tick_span().unwrap();
+    g.bench_function("variable_100k", |b| {
+        let mut t = 0i64;
+        b.iter(|| {
+            t = (t + 7919) % span.1;
+            black_box(v.element_at_tick(t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let s = uniform_stream(100_000);
+    let mut g = c.benchmark_group("window");
+    g.sample_size(20);
+    g.bench_function("window_1s_of_100k", |b| {
+        let mut at = 0i64;
+        b.iter(|| {
+            at = (at + 12345) % 50_000;
+            black_box(s.window(at, at + 44_100).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_lookup, bench_window);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! E1 — Figure 1: the timed-stream category taxonomy.
+//!
+//! Constructs a representative stream for each row of the paper's Figure 1
+//! (homogeneous, heterogeneous, continuous, non-continuous, event-based,
+//! constant frequency, constant data rate, uniform), classifies each with
+//! the model's single-pass classifier, and prints the membership matrix.
+//!
+//! ```text
+//! cargo run -p tbm-bench --bin exp_fig1
+//! ```
+
+
+#![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
+use tbm_codec::adpcm;
+use tbm_core::{classify, MediaType, SizedElement, StreamCategory, StreamElement, TimedStream, TimedTuple};
+use tbm_media::gen::{chord_progression, AudioSignal, VideoPattern};
+use tbm_media::midi::notes_to_events;
+use tbm_time::TimeSystem;
+
+fn sized<E: StreamElement>(e: &E) -> SizedElement {
+    SizedElement::with_descriptor(e.byte_size(), e.element_descriptor())
+}
+
+fn main() {
+    println!("E1 / Figure 1 — categories of timed streams\n");
+
+    let mut rows: Vec<(&str, TimedStream<SizedElement>)> = Vec::new();
+
+    // CD audio: uniform (and hence everything weaker).
+    rows.push((
+        "CD audio (PCM samples)",
+        TimedStream::constant_frequency(
+            MediaType::cd_audio(),
+            TimeSystem::CD_AUDIO,
+            0,
+            (0..44_100).map(|_| SizedElement::new(4)),
+        ),
+    ));
+
+    // ADPCM: heterogeneous (varying encoding parameters), continuous,
+    // constant frequency (equal block durations), constant data rate.
+    let tone = AudioSignal::Chirp {
+        from_hz: 100.0,
+        to_hz: 4_000.0,
+        sweep_frames: 44_100,
+        amplitude: 12_000,
+    }
+    .generate(0, 44_100, 44_100, 1);
+    let blocks = adpcm::encode_blocks(&tone, 1024);
+    rows.push((
+        "ADPCM audio (varying params)",
+        TimedStream::continuous_from(
+            MediaType::adpcm_audio(),
+            TimeSystem::CD_AUDIO,
+            0,
+            blocks[..43].iter().map(|b| (sized(b), b.frames() as i64)),
+        )
+        .unwrap(),
+    ));
+
+    // Compressed video: constant frequency, sizes vary.
+    let frames: Vec<_> = (0..25u64)
+        .map(|i| VideoPattern::MovingBar.render(i, 160, 120))
+        .map(|f| tbm_codec::dct::encode_frame(&f, tbm_codec::dct::DctParams::default()))
+        .collect();
+    rows.push((
+        "JPEG-style video (25 fps)",
+        TimedStream::constant_frequency(
+            MediaType::video("intraframe video"),
+            TimeSystem::PAL,
+            0,
+            frames.iter().map(|d| SizedElement::new(d.len() as u64)),
+        ),
+    ));
+
+    // Raw video: uniform.
+    rows.push((
+        "raw video (fixed-size frames)",
+        TimedStream::constant_frequency(
+            MediaType::video("raw video"),
+            TimeSystem::PAL,
+            0,
+            (0..25).map(|_| SizedElement::new(460_800)),
+        ),
+    ));
+
+    // Constant data rate with varying durations.
+    rows.push((
+        "constant-data-rate stream",
+        TimedStream::continuous_from(
+            MediaType::new("constant-rate demo", tbm_core::MediaKind::Audio),
+            TimeSystem::MILLIS,
+            0,
+            [(10i64, 1i64), (20, 2), (30, 3), (10, 1)]
+                .into_iter()
+                .map(|(z, d)| (SizedElement::new(z as u64 * 100), d)),
+        )
+        .unwrap(),
+    ));
+
+    // Music: non-continuous (chords overlap, rests gap).
+    let chords = chord_progression(0, 60, 960);
+    let mut tuples: Vec<_> = chords
+        .iter()
+        .map(|&(_, s, d)| TimedTuple::new(SizedElement::new(3), s, d))
+        .collect();
+    tuples.sort_by_key(|t| t.start);
+    rows.push((
+        "music (notes, chords overlap)",
+        TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).unwrap(),
+    ));
+
+    // Animation with rests: non-continuous (gaps).
+    rows.push((
+        "animation (movement + rest)",
+        TimedStream::from_tuples(
+            MediaType::animation(),
+            TimeSystem::from_hz(10),
+            vec![
+                TimedTuple::new(SizedElement::new(28), 0, 20),
+                TimedTuple::new(SizedElement::new(28), 30, 20),
+            ],
+        )
+        .unwrap(),
+    ));
+
+    // MIDI: event-based.
+    let events = notes_to_events(&chords);
+    rows.push((
+        "MIDI (Start/Stop Note events)",
+        TimedStream::from_tuples(
+            MediaType::midi(),
+            TimeSystem::MIDI_PPQ_480,
+            events
+                .iter()
+                .map(|&(e, at)| TimedTuple::new(sized(&e), at, 0))
+                .collect(),
+        )
+        .unwrap(),
+    ));
+
+    // ---- The matrix -------------------------------------------------------
+    let headers = ["homog", "heter", "cont", "n-cont", "event", "c-freq", "c-rate", "unif"];
+    print!("{:<34}", "stream");
+    for h in headers {
+        print!("{h:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(34 + 8 * headers.len()));
+    for (name, stream) in &rows {
+        let r = classify(stream);
+        print!("{name:<34}");
+        for c in StreamCategory::ALL {
+            print!("{:>8}", if r.satisfies(c) { "■" } else { "·" });
+        }
+        println!();
+    }
+    println!();
+    for (name, stream) in &rows {
+        let r = classify(stream);
+        println!("{name:<34} category = {}", r.descriptor_line());
+    }
+
+    // Verify the media types' own category constraints hold.
+    println!();
+    for (name, stream) in &rows {
+        let report = classify(stream);
+        match stream.media_type().validate_categories(&report) {
+            Ok(()) => println!("{name:<34} satisfies its media type's constraints"),
+            Err(e) => println!("{name:<34} VIOLATES constraints: {e}"),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! E4 — Figure 4: the composition instance diagram and timeline.
+//!
+//! Rebuilds the paper's §4.3 example at 1:10 scale and prints (a) the
+//! instance diagram as an edge list (the relationships of Fig. 4a:
+//! `InterpretationOf`, `By`, `Extracts`, `CutOf`, `Composite`, and the
+//! temporal-composition diamonds c1–c3), and (b) the Fig. 4(b) timeline.
+//!
+//! ```text
+//! cargo run --release -p tbm-bench --bin exp_fig4
+//! ```
+
+
+#![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
+use tbm_bench::fmt_bytes;
+use tbm_compose::{Component, ComponentKind, MultimediaObject};
+use tbm_db::{MediaDb, Origin};
+use tbm_derive::{AudioClip, EditCut, MediaValue, Node, Op, VideoClip};
+use tbm_media::gen::{AudioSignal, VideoPattern};
+use tbm_time::{AllenRelation, Rational, TimeDelta, TimePoint, TimeSystem};
+
+const W: u32 = 160;
+const H: u32 = 120;
+const FPS: u32 = 25;
+const SCENE_S: usize = 7; // ≙ paper's 70 s
+const FADE_S: usize = 1; // ≙ paper's 10 s
+
+fn main() {
+    println!("E4 / Figure 4 — composition instance (1:10 scale of the paper's example)\n");
+    let mut db = MediaDb::new();
+
+    // Raw material (the unshaded objects of Fig. 4a).
+    let scene = SCENE_S * FPS as usize;
+    let v1 = tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, scene, W, H);
+    let v2 = tbm_media::gen::render_frames(VideoPattern::ShiftingGradient, 0, scene, W, H);
+    db.register_value("video1", MediaValue::Video(VideoClip::new(v1, TimeSystem::PAL)))
+        .unwrap();
+    db.register_value("video2", MediaValue::Video(VideoClip::new(v2, TimeSystem::PAL)))
+        .unwrap();
+    let total_s = 2 * SCENE_S - FADE_S;
+    let music = AudioSignal::Chirp {
+        from_hz: 200.0,
+        to_hz: 600.0,
+        sweep_frames: (total_s * 44_100) as u64,
+        amplitude: 6000,
+    }
+    .generate(0, total_s * 44_100, 44_100, 2);
+    let narr = AudioSignal::Sine {
+        hz: 180.0,
+        amplitude: 8000,
+    }
+    .generate(0, (total_s / 2) * 44_100, 44_100, 2);
+    db.register_value("audio1", MediaValue::Audio(AudioClip::new(music, 44_100)))
+        .unwrap();
+    db.register_value("audio2", MediaValue::Audio(AudioClip::new(narr, 44_100)))
+        .unwrap();
+
+    // The four derivation objects: cut1, cut2, fade, concat.
+    let fade = (FADE_S * FPS as usize) as u32;
+    let scene_f = scene as u32;
+    db.create_derived(
+        "videoF",
+        Node::derive(
+            Op::Fade { frames: fade },
+            vec![Node::source("video1"), Node::source("video2")],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "videoC1",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 0, to: scene_f - fade }],
+            },
+            vec![Node::source("video1")],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "videoC2",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: fade, to: scene_f }],
+            },
+            vec![Node::source("video2")],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "video3",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![
+                    EditCut { input: 0, from: 0, to: scene_f - fade },
+                    EditCut { input: 1, from: 0, to: fade },
+                    EditCut { input: 2, from: 0, to: scene_f - fade },
+                ],
+            },
+            vec![
+                Node::source("videoC1"),
+                Node::source("videoF"),
+                Node::source("videoC2"),
+            ],
+        ),
+    )
+    .unwrap();
+
+    // The multimedia object m with temporal composition c1, c2, c3.
+    let full = TimeDelta::from_secs(total_s as i64);
+    let mut m = MultimediaObject::new("m");
+    m.add_component(
+        Component::new("audio1", ComponentKind::Audio, Node::source("audio1"), TimePoint::ZERO, full)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new(
+            "audio2",
+            ComponentKind::Audio,
+            Node::source("audio2"),
+            TimePoint::ZERO,
+            TimeDelta::from_secs((total_s / 2) as i64),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("video3", ComponentKind::Video, Node::source("video3"), TimePoint::ZERO, full)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "video3").unwrap();
+    m.add_constraint("audio2", AllenRelation::Starts, "video3").unwrap();
+    m.validate().unwrap();
+
+    // --------------------------------------------------------------
+    // (a) The instance diagram as an edge list.
+    // --------------------------------------------------------------
+    println!("instance diagram (cf. Fig. 4a; derived objects marked *):");
+    for rec in db.objects() {
+        match &rec.origin {
+            Origin::Interpreted { stream, .. } => {
+                println!("  {:<10} --InterpretationOf--> BLOB ({stream})", rec.name);
+            }
+            Origin::Derived { .. } => {
+                let node = db.provenance(&rec.name).unwrap().unwrap();
+                let Node::Derive { op, .. } = node else { unreachable!() };
+                println!(
+                    "  {:<10}* <--{}-- {:?}",
+                    rec.name,
+                    op.name(),
+                    node.sources()
+                );
+            }
+        }
+    }
+    for (i, c) in m.components().iter().enumerate() {
+        println!(
+            "  m          <--c{} (temporal composition)-- {} [{} .. {}]",
+            i + 1,
+            c.name,
+            tbm_time::Timecode::new(c.interval.start()).minutes_seconds(),
+            tbm_time::Timecode::new(c.end()).minutes_seconds(),
+        );
+    }
+    for sc in m.constraints() {
+        println!("  sync: {} {} {}", sc.a, sc.relation, sc.b);
+    }
+
+    // --------------------------------------------------------------
+    // (b) The timeline diagram.
+    // --------------------------------------------------------------
+    println!("\ntimeline of m (cf. Fig. 4b; paper marks 0:00, 1:00, 1:10, 2:10 at 1:10 scale):");
+    print!("{}", m.timeline_diagram(52));
+
+    // --------------------------------------------------------------
+    // Storage accounting for the whole pipeline.
+    // --------------------------------------------------------------
+    let deriv_total: u64 = ["videoF", "videoC1", "videoC2", "video3"]
+        .iter()
+        .map(|n| db.derivation_storage_bytes(n).unwrap())
+        .sum();
+    let sources_total: u64 = ["video1", "video2", "audio1", "audio2"]
+        .iter()
+        .map(|n| db.stored_bytes(n).unwrap())
+        .sum();
+    let video3 = db.materialize("video3").unwrap().approx_bytes();
+    println!("\nstorage:");
+    println!("  raw material            {:>12}", fmt_bytes(sources_total));
+    println!("  4 derivation objects    {:>12}", fmt_bytes(deriv_total));
+    println!("  video3 if materialized  {:>12}", fmt_bytes(video3));
+    println!(
+        "  savings by staying implicit: {:.0}x",
+        video3 as f64 / deriv_total as f64
+    );
+    let secs = total_s as f64;
+    println!(
+        "\nresult: video3 = {} frames ({secs:.0} s), m spans {}",
+        match db.materialize("video3").unwrap() {
+            MediaValue::Video(v) => v.len(),
+            _ => unreachable!(),
+        },
+        tbm_time::Timecode::new(TimePoint::from_seconds(Rational::from(total_s as i64)))
+            .minutes_seconds()
+    );
+}

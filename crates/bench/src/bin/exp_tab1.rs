@@ -1,0 +1,214 @@
+//! E3 / E7 — Table 1 and Figure 3: the five derivation examples, executed.
+//!
+//! For each row of the paper's Table 1 (color separation, audio
+//! normalization, video edit, video transition, MIDI synthesis) this
+//! harness builds the derivation, expands it, and prints the table columns
+//! plus what the paper only argues qualitatively: the derivation-object
+//! size vs the expanded size, and whether expansion runs in real time
+//! (E7's materialization decision).
+//!
+//! ```text
+//! cargo run --release -p tbm-bench --bin exp_tab1
+//! ```
+
+
+#![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
+use tbm_bench::fmt_bytes;
+use tbm_derive::realtime::{assess_audio, assess_video};
+use tbm_derive::{
+    AnimClip, AudioClip, EditCut, Expander, MediaValue, MusicClip, Node, Op, VideoClip,
+};
+use tbm_media::animation::{MoveSpec, Point};
+use tbm_media::color::SeparationTable;
+use tbm_media::gen::{major_scale, AudioSignal, VideoPattern};
+use tbm_time::TimeSystem;
+
+const W: u32 = 320;
+const H: u32 = 240;
+const FRAMES: usize = 75;
+
+fn sources() -> Expander {
+    let mut e = Expander::new();
+    e.add_source(
+        "image1",
+        MediaValue::Image({
+            
+            VideoPattern::ShiftingGradient.render(3, W, H)
+        }),
+    );
+    e.add_source(
+        "audio1",
+        MediaValue::Audio(AudioClip::new(
+            AudioSignal::Sine {
+                hz: 440.0,
+                amplitude: 5000,
+            }
+            .generate(0, 3 * 44_100, 44_100, 2),
+            44_100,
+        )),
+    );
+    e.add_source(
+        "video1",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, FRAMES, W, H),
+            TimeSystem::PAL,
+        )),
+    );
+    e.add_source(
+        "video2",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::ShiftingGradient, 0, FRAMES, W, H),
+            TimeSystem::PAL,
+        )),
+    );
+    e.add_source(
+        "music1",
+        MediaValue::Music(MusicClip::new(major_scale(0, 60, 2, 480, 400), 480, 120)),
+    );
+    e.add_source(
+        "anim1",
+        MediaValue::Animation(AnimClip::new(
+            vec![(
+                MoveSpec::new(1, Point::new(10, 120), Point::new(300, 120), 9, 0xFF4000),
+                0,
+                30,
+            )],
+            TimeSystem::from_hz(10),
+            W,
+            H,
+            0x103050,
+        )),
+    );
+    e
+}
+
+fn main() {
+    println!("E3 / Table 1 — examples of derivation (executed)\n");
+    let e = sources();
+
+    let rows: Vec<(Node, &str)> = vec![
+        (
+            Node::derive(
+                Op::ColorSeparate {
+                    table: SeparationTable::coated_stock(),
+                },
+                vec![Node::source("image1")],
+            ),
+            "color separation",
+        ),
+        (
+            Node::derive(
+                Op::AudioNormalize {
+                    target_peak: 28_000,
+                    range: None,
+                },
+                vec![Node::source("audio1")],
+            ),
+            "audio normalization",
+        ),
+        (
+            Node::derive(
+                Op::VideoEdit {
+                    cuts: vec![
+                        EditCut { input: 0, from: 0, to: 30 },
+                        EditCut { input: 0, from: 45, to: 75 },
+                    ],
+                },
+                vec![Node::source("video1")],
+            ),
+            "video edit",
+        ),
+        (
+            Node::derive(
+                Op::Fade { frames: 25 },
+                vec![Node::source("video1"), Node::source("video2")],
+            ),
+            "video transition",
+        ),
+        (
+            Node::derive(
+                Op::MidiSynthesize {
+                    sample_rate: 44_100,
+                    tempo_bpm: 0,
+                    gain_num: 220,
+                },
+                vec![Node::source("music1")],
+            ),
+            "MIDI synthesis",
+        ),
+        // The prose examples beyond Table 1:
+        (
+            Node::derive(
+                Op::ChromaKey {
+                    key_rgb: 0x141828,
+                    tolerance: 25,
+                },
+                vec![Node::source("video1"), Node::source("video2")],
+            ),
+            "chroma key",
+        ),
+        (
+            Node::derive(Op::RenderAnimation { fps: 25 }, vec![Node::source("anim1")]),
+            "animation rendering",
+        ),
+        (
+            Node::derive(Op::Transcode { quant_percent: 300 }, vec![Node::source("video1")]),
+            "transcoding",
+        ),
+        (
+            Node::derive(Op::AudioResample { to_rate: 22_050 }, vec![Node::source("audio1")]),
+            "audio resampling",
+        ),
+    ];
+
+    println!(
+        "{:<22}{:<20}{:<22}{:<20}{:>12}{:>14}",
+        "Derivation", "Argument Type(s)", "Result Type", "Category", "spec bytes", "expanded"
+    );
+    println!("{}", "-".repeat(110));
+    for (node, label) in &rows {
+        let Node::Derive { op, .. } = node else { unreachable!() };
+        let t0 = std::time::Instant::now();
+        let value = e.expand(node).expect(label);
+        let dt = t0.elapsed();
+        println!(
+            "{:<22}{:<20}{:<22}{:<20}{:>12}{:>14}   ({:.1} ms)",
+            label,
+            op.argument_types().join(", "),
+            op.result_type(),
+            op.category().to_string(),
+            node.spec_size(),
+            fmt_bytes(value.approx_bytes()),
+            dt.as_secs_f64() * 1000.0,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // E7 — real-time feasibility: can the derivation stay implicit?
+    // ------------------------------------------------------------------
+    println!("\nE7 — real-time expansion feasibility (per-element cost vs element period)");
+    println!(
+        "{:<22}{:>14}{:>14}{:>10}   decision",
+        "derivation", "per-element", "period", "headroom"
+    );
+    println!("{}", "-".repeat(92));
+    for (node, label) in &rows {
+        let Node::Derive { op, .. } = node else { unreachable!() };
+        let report = match op.result_type() {
+            "video" => assess_video(&e, node, TimeSystem::PAL, 12).ok(),
+            "audio" => assess_audio(&e, node, 44_100, 1764, 12).ok(),
+            _ => None,
+        };
+        match report {
+            Some(r) => println!(
+                "{:<22}{:>11.2} µs{:>11.0} µs{:>9.0}x   {}",
+                label,
+                r.per_element.as_secs_f64() * 1e6,
+                r.period.as_secs_f64() * 1e6,
+                r.headroom(),
+                r.decision()
+            ),
+            None => println!("{label:<22}{:>14}", "(not a stream)"),
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for BLOB storage.
+
+use std::fmt;
+use tbm_core::BlobId;
+
+/// Errors raised by BLOB stores.
+#[derive(Debug)]
+pub enum BlobError {
+    /// The referenced BLOB does not exist in the store.
+    NotFound(BlobId),
+    /// A read addressed bytes beyond the BLOB's current length.
+    OutOfBounds {
+        /// The BLOB addressed.
+        blob: BlobId,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// The BLOB's actual length.
+        blob_len: u64,
+    },
+    /// An underlying I/O failure (file-backed stores).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::NotFound(id) => write!(f, "{id} not found"),
+            BlobError::OutOfBounds {
+                blob,
+                offset,
+                len,
+                blob_len,
+            } => write!(
+                f,
+                "read [{offset}, {}) out of bounds for {blob} of length {blob_len}",
+                offset + len
+            ),
+            BlobError::Io(e) => write!(f, "blob I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlobError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BlobError {
+    fn from(e: std::io::Error) -> BlobError {
+        BlobError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = BlobError::NotFound(BlobId::new(3));
+        assert_eq!(e.to_string(), "blob:3 not found");
+        let e = BlobError::OutOfBounds {
+            blob: BlobId::new(1),
+            offset: 10,
+            len: 5,
+            blob_len: 12,
+        };
+        assert!(e.to_string().contains("[10, 15)"));
+        assert!(e.to_string().contains("length 12"));
+    }
+}

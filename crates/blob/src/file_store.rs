@@ -1,0 +1,184 @@
+//! File-backed BLOB store: one file per BLOB under a directory.
+
+use crate::{BlobError, BlobStore, ByteSpan};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use tbm_core::BlobId;
+
+/// A [`BlobStore`] persisting each BLOB as `<dir>/<id>.blob`.
+///
+/// Appends go through a buffered writer per active BLOB; reads reopen the
+/// file and seek. This is intentionally simple — the paper treats BLOB
+/// layout as "a performance issue and not directly relevant to data
+/// modeling" — but it is a real, durable store usable by `tbm-db` for
+/// persistence and by benchmarks for measuring I/O-bound access patterns.
+#[derive(Debug)]
+pub struct FileBlobStore {
+    dir: PathBuf,
+    lens: Vec<u64>,
+}
+
+impl FileBlobStore {
+    /// Opens (or creates) a store rooted at `dir`. Existing `*.blob` files
+    /// with numeric names are adopted in id order.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileBlobStore, BlobError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut ids: Vec<(u64, u64)> = Vec::new(); // (id, len)
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".blob") {
+                if let Ok(id) = stem.parse::<u64>() {
+                    ids.push((id, entry.metadata()?.len()));
+                }
+            }
+        }
+        ids.sort_unstable();
+        // Adopt a dense prefix; ignore holes (a hole would mean external
+        // tampering — treat subsequent files as foreign).
+        let mut lens = Vec::new();
+        for (expect, (id, len)) in ids.into_iter().enumerate() {
+            if id != expect as u64 {
+                break;
+            }
+            lens.push(len);
+        }
+        Ok(FileBlobStore { dir, lens })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, blob: BlobId) -> PathBuf {
+        self.dir.join(format!("{}.blob", blob.raw()))
+    }
+
+    fn check(&self, blob: BlobId) -> Result<(), BlobError> {
+        if (blob.raw() as usize) < self.lens.len() {
+            Ok(())
+        } else {
+            Err(BlobError::NotFound(blob))
+        }
+    }
+}
+
+impl BlobStore for FileBlobStore {
+    fn create(&mut self) -> Result<BlobId, BlobError> {
+        let id = BlobId::new(self.lens.len() as u64);
+        File::create(self.path(id))?;
+        self.lens.push(0);
+        Ok(id)
+    }
+
+    fn append(&mut self, blob: BlobId, data: &[u8]) -> Result<ByteSpan, BlobError> {
+        self.check(blob)?;
+        let mut f = OpenOptions::new().append(true).open(self.path(blob))?;
+        f.write_all(data)?;
+        let offset = self.lens[blob.raw() as usize];
+        self.lens[blob.raw() as usize] = offset + data.len() as u64;
+        Ok(ByteSpan::new(offset, data.len() as u64))
+    }
+
+    fn read_into(&self, blob: BlobId, span: ByteSpan, buf: &mut [u8]) -> Result<(), BlobError> {
+        assert_eq!(
+            buf.len() as u64,
+            span.len,
+            "buffer length must equal span length"
+        );
+        self.check(blob)?;
+        let blob_len = self.lens[blob.raw() as usize];
+        if span.end() > blob_len {
+            return Err(BlobError::OutOfBounds {
+                blob,
+                offset: span.offset,
+                len: span.len,
+                blob_len,
+            });
+        }
+        let mut f = File::open(self.path(blob))?;
+        f.seek(SeekFrom::Start(span.offset))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn len(&self, blob: BlobId) -> Result<u64, BlobError> {
+        self.check(blob)?;
+        Ok(self.lens[blob.raw() as usize])
+    }
+
+    fn contains(&self, blob: BlobId) -> bool {
+        (blob.raw() as usize) < self.lens.len()
+    }
+
+    fn blob_ids(&self) -> Vec<BlobId> {
+        (0..self.lens.len() as u64).map(BlobId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tbm-blob-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut s = FileBlobStore::open(&dir).unwrap();
+        let b = s.create().unwrap();
+        let s1 = s.append(b, b"hello ").unwrap();
+        let s2 = s.append(b, b"disk").unwrap();
+        assert_eq!(s1, ByteSpan::new(0, 6));
+        assert_eq!(s2, ByteSpan::new(6, 4));
+        assert_eq!(s.read_all(b).unwrap(), b"hello disk");
+        assert_eq!(s.read(b, ByteSpan::new(6, 4)).unwrap(), b"disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_adopts_existing_blobs() {
+        let dir = temp_dir("reopen");
+        {
+            let mut s = FileBlobStore::open(&dir).unwrap();
+            let a = s.create().unwrap();
+            let b = s.create().unwrap();
+            s.append(a, b"aaa").unwrap();
+            s.append(b, b"bbbb").unwrap();
+        }
+        let s = FileBlobStore::open(&dir).unwrap();
+        assert_eq!(s.blob_ids().len(), 2);
+        assert_eq!(s.len(BlobId::new(0)).unwrap(), 3);
+        assert_eq!(s.len(BlobId::new(1)).unwrap(), 4);
+        assert_eq!(s.read_all(BlobId::new(1)).unwrap(), b"bbbb");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let dir = temp_dir("oob");
+        let mut s = FileBlobStore::open(&dir).unwrap();
+        let b = s.create().unwrap();
+        s.append(b, b"xy").unwrap();
+        assert!(matches!(
+            s.read(b, ByteSpan::new(0, 3)),
+            Err(BlobError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.read(BlobId::new(5), ByteSpan::new(0, 1)),
+            Err(BlobError::NotFound(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! # tbm-blob — the BLOB substrate
+//!
+//! Implements the paper's Definition 4:
+//!
+//! > *"A BLOB is an attribute value that appears to applications as a
+//! > sequence of bytes. The database system provides an interface by which
+//! > applications can read and append data to BLOBs."*
+//!
+//! The interface is deliberately append-only: the paper notes that insertion
+//! and deletion of byte spans "are not essential since non-destructive
+//! editing techniques are often used" — edits happen at the derivation
+//! layer, never by rewriting BLOBs.
+//!
+//! Two stores are provided:
+//!
+//! * [`MemBlobStore`] — in-memory, with *fragmented extents*: a BLOB "may
+//!   correspond to a region of contiguous storage or it may be fragmented,
+//!   the layout of BLOBs is a performance issue and not directly relevant to
+//!   data modeling". The chunked layout exercises span reads that cross
+//!   fragment boundaries.
+//! * [`FileBlobStore`] — file-backed (one file per BLOB) with buffered
+//!   appends, for durability tests and realistic I/O in benchmarks.
+//!
+//! Interpretation (`tbm-interp`) addresses BLOB content through
+//! [`ByteSpan`]s — `(offset, length)` placements of media elements.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod file_store;
+mod mem_store;
+mod span;
+mod store;
+
+pub use error::BlobError;
+pub use file_store::FileBlobStore;
+pub use mem_store::MemBlobStore;
+pub use span::ByteSpan;
+pub use store::{BlobStore, BlobWriter};

@@ -1,0 +1,245 @@
+//! In-memory BLOB store with fragmented extents.
+
+use crate::{BlobError, BlobStore, ByteSpan};
+use tbm_core::BlobId;
+
+/// Default extent size: 64 KiB. Small enough that realistic media spans
+/// regularly cross fragment boundaries, which is the behaviour the store
+/// exists to exercise.
+const DEFAULT_EXTENT: usize = 64 * 1024;
+
+/// One BLOB as a sequence of fixed-capacity extents.
+#[derive(Debug, Default)]
+struct Fragmented {
+    extents: Vec<Vec<u8>>,
+    len: u64,
+    extent_size: usize,
+}
+
+impl Fragmented {
+    fn new(extent_size: usize) -> Fragmented {
+        Fragmented {
+            extents: Vec::new(),
+            len: 0,
+            extent_size,
+        }
+    }
+
+    fn append(&mut self, mut data: &[u8]) -> ByteSpan {
+        let span = ByteSpan::new(self.len, data.len() as u64);
+        while !data.is_empty() {
+            let need_new = self
+                .extents
+                .last()
+                .map(|e| e.len() == self.extent_size)
+                .unwrap_or(true);
+            if need_new {
+                self.extents.push(Vec::with_capacity(self.extent_size));
+            }
+            let tail = self.extents.last_mut().expect("just ensured");
+            let room = self.extent_size - tail.len();
+            let take = room.min(data.len());
+            tail.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            self.len += take as u64;
+        }
+        span
+    }
+
+    fn read_into(&self, span: ByteSpan, buf: &mut [u8]) -> bool {
+        if span.end() > self.len {
+            return false;
+        }
+        let mut remaining = span.len as usize;
+        let mut out = 0usize;
+        let mut extent = (span.offset / self.extent_size as u64) as usize;
+        let mut within = (span.offset % self.extent_size as u64) as usize;
+        while remaining > 0 {
+            let src = &self.extents[extent];
+            let take = (src.len() - within).min(remaining);
+            buf[out..out + take].copy_from_slice(&src[within..within + take]);
+            out += take;
+            remaining -= take;
+            extent += 1;
+            within = 0;
+        }
+        true
+    }
+}
+
+/// An in-memory [`BlobStore`] whose BLOBs are fragmented into fixed-size
+/// extents.
+///
+/// The fragmentation is invisible through the interface — exactly the
+/// paper's point that BLOB layout "is a performance issue and not directly
+/// relevant to data modeling".
+#[derive(Debug)]
+pub struct MemBlobStore {
+    blobs: Vec<Fragmented>,
+    extent_size: usize,
+}
+
+impl MemBlobStore {
+    /// Creates a store with the default 64 KiB extent size.
+    pub fn new() -> MemBlobStore {
+        MemBlobStore::with_extent_size(DEFAULT_EXTENT)
+    }
+
+    /// Creates a store with a custom extent size (≥ 1).
+    pub fn with_extent_size(extent_size: usize) -> MemBlobStore {
+        assert!(extent_size >= 1, "extent size must be at least 1 byte");
+        MemBlobStore {
+            blobs: Vec::new(),
+            extent_size,
+        }
+    }
+
+    /// Total bytes stored across all BLOBs.
+    pub fn total_bytes(&self) -> u64 {
+        self.blobs.iter().map(|b| b.len).sum()
+    }
+
+    /// Number of extents backing a BLOB (a fragmentation probe for tests).
+    pub fn extent_count(&self, blob: BlobId) -> Result<usize, BlobError> {
+        self.get(blob).map(|b| b.extents.len())
+    }
+
+    fn get(&self, blob: BlobId) -> Result<&Fragmented, BlobError> {
+        self.blobs
+            .get(blob.raw() as usize)
+            .ok_or(BlobError::NotFound(blob))
+    }
+
+    fn get_mut(&mut self, blob: BlobId) -> Result<&mut Fragmented, BlobError> {
+        self.blobs
+            .get_mut(blob.raw() as usize)
+            .ok_or(BlobError::NotFound(blob))
+    }
+}
+
+impl Default for MemBlobStore {
+    fn default() -> MemBlobStore {
+        MemBlobStore::new()
+    }
+}
+
+impl BlobStore for MemBlobStore {
+    fn create(&mut self) -> Result<BlobId, BlobError> {
+        let id = BlobId::new(self.blobs.len() as u64);
+        self.blobs.push(Fragmented::new(self.extent_size));
+        Ok(id)
+    }
+
+    fn append(&mut self, blob: BlobId, data: &[u8]) -> Result<ByteSpan, BlobError> {
+        Ok(self.get_mut(blob)?.append(data))
+    }
+
+    fn read_into(&self, blob: BlobId, span: ByteSpan, buf: &mut [u8]) -> Result<(), BlobError> {
+        assert_eq!(
+            buf.len() as u64,
+            span.len,
+            "buffer length must equal span length"
+        );
+        let b = self.get(blob)?;
+        if !b.read_into(span, buf) {
+            return Err(BlobError::OutOfBounds {
+                blob,
+                offset: span.offset,
+                len: span.len,
+                blob_len: b.len,
+            });
+        }
+        Ok(())
+    }
+
+    fn len(&self, blob: BlobId) -> Result<u64, BlobError> {
+        Ok(self.get(blob)?.len)
+    }
+
+    fn contains(&self, blob: BlobId) -> bool {
+        (blob.raw() as usize) < self.blobs.len()
+    }
+
+    fn blob_ids(&self) -> Vec<BlobId> {
+        (0..self.blobs.len() as u64).map(BlobId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_append_read() {
+        let mut s = MemBlobStore::new();
+        let b = s.create().unwrap();
+        assert!(s.is_empty(b).unwrap());
+        let span = s.append(b, b"time-based media").unwrap();
+        assert_eq!(span, ByteSpan::new(0, 16));
+        assert_eq!(s.len(b).unwrap(), 16);
+        assert_eq!(s.read(b, ByteSpan::new(5, 5)).unwrap(), b"based");
+        assert_eq!(s.read_all(b).unwrap(), b"time-based media");
+    }
+
+    #[test]
+    fn reads_cross_extent_boundaries() {
+        let mut s = MemBlobStore::with_extent_size(4);
+        let b = s.create().unwrap();
+        s.append(b, b"abcdefghij").unwrap();
+        assert_eq!(s.extent_count(b).unwrap(), 3);
+        // Span [2, 9) crosses two boundaries.
+        assert_eq!(s.read(b, ByteSpan::new(2, 7)).unwrap(), b"cdefghi");
+        assert_eq!(s.read_all(b).unwrap(), b"abcdefghij");
+    }
+
+    #[test]
+    fn appends_fill_partial_extents() {
+        let mut s = MemBlobStore::with_extent_size(4);
+        let b = s.create().unwrap();
+        s.append(b, b"ab").unwrap();
+        s.append(b, b"cdef").unwrap();
+        assert_eq!(s.extent_count(b).unwrap(), 2);
+        assert_eq!(s.read_all(b).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let mut s = MemBlobStore::new();
+        let b = s.create().unwrap();
+        s.append(b, b"abc").unwrap();
+        let err = s.read(b, ByteSpan::new(1, 5)).unwrap_err();
+        assert!(matches!(err, BlobError::OutOfBounds { blob_len: 3, .. }));
+    }
+
+    #[test]
+    fn unknown_blob_rejected() {
+        let s = MemBlobStore::new();
+        assert!(matches!(
+            s.len(BlobId::new(9)),
+            Err(BlobError::NotFound(_))
+        ));
+        assert!(!s.contains(BlobId::new(9)));
+    }
+
+    #[test]
+    fn multiple_blobs_independent() {
+        let mut s = MemBlobStore::new();
+        let a = s.create().unwrap();
+        let b = s.create().unwrap();
+        s.append(a, b"aaa").unwrap();
+        s.append(b, b"bb").unwrap();
+        assert_eq!(s.len(a).unwrap(), 3);
+        assert_eq!(s.len(b).unwrap(), 2);
+        assert_eq!(s.blob_ids(), vec![a, b]);
+        assert_eq!(s.total_bytes(), 5);
+    }
+
+    #[test]
+    fn empty_append_and_empty_read() {
+        let mut s = MemBlobStore::new();
+        let b = s.create().unwrap();
+        let span = s.append(b, b"").unwrap();
+        assert!(span.is_empty());
+        assert_eq!(s.read(b, ByteSpan::new(0, 0)).unwrap(), Vec::<u8>::new());
+    }
+}

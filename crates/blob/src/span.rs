@@ -1,0 +1,104 @@
+//! Byte spans: placements of media elements within a BLOB.
+
+use std::fmt;
+
+/// A contiguous byte range `[offset, offset + len)` within a BLOB.
+///
+/// Interpretation tables (paper §4.1, the `blobPlacement` column) use spans
+/// to record where each media element's encoded bytes live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ByteSpan {
+    /// Start offset within the BLOB.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl ByteSpan {
+    /// Creates a span.
+    pub const fn new(offset: u64, len: u64) -> ByteSpan {
+        ByteSpan { offset, len }
+    }
+
+    /// The exclusive end offset.
+    pub const fn end(self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// `true` when the span covers no bytes.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when the two spans share bytes.
+    pub fn overlaps(self, other: ByteSpan) -> bool {
+        self.offset < other.end() && other.offset < self.end()
+    }
+
+    /// `true` when `other` lies entirely within `self`.
+    pub fn contains(self, other: ByteSpan) -> bool {
+        self.offset <= other.offset && other.end() <= self.end()
+    }
+
+    /// A sub-span relative to this span's start; `None` if it exceeds bounds.
+    pub fn slice(self, rel_offset: u64, len: u64) -> Option<ByteSpan> {
+        if rel_offset + len <= self.len {
+            Some(ByteSpan::new(self.offset + rel_offset, len))
+        } else {
+            None
+        }
+    }
+
+    /// The span immediately following this one, of the given length.
+    pub const fn following(self, len: u64) -> ByteSpan {
+        ByteSpan::new(self.end(), len)
+    }
+}
+
+impl fmt::Display for ByteSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.offset, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = ByteSpan::new(10, 5);
+        assert_eq!(s.end(), 15);
+        assert!(!s.is_empty());
+        assert!(ByteSpan::new(3, 0).is_empty());
+        assert_eq!(s.to_string(), "[10, 15)");
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let a = ByteSpan::new(0, 10);
+        let b = ByteSpan::new(5, 10);
+        let c = ByteSpan::new(10, 5);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(a.contains(ByteSpan::new(2, 3)));
+        assert!(!a.contains(b));
+        assert!(a.contains(a));
+    }
+
+    #[test]
+    fn slicing() {
+        let s = ByteSpan::new(100, 50);
+        assert_eq!(s.slice(10, 20), Some(ByteSpan::new(110, 20)));
+        assert_eq!(s.slice(40, 10), Some(ByteSpan::new(140, 10)));
+        assert_eq!(s.slice(41, 10), None);
+    }
+
+    #[test]
+    fn following_chains() {
+        let a = ByteSpan::new(0, 8);
+        let b = a.following(4);
+        assert_eq!(b, ByteSpan::new(8, 4));
+        assert_eq!(b.following(2), ByteSpan::new(12, 2));
+    }
+}

@@ -1,0 +1,154 @@
+//! The BLOB store interface (Definition 4).
+
+use crate::{BlobError, ByteSpan};
+use tbm_core::BlobId;
+
+/// Definition 4's interface: applications can *read* and *append*; byte-span
+/// insertion and deletion are intentionally absent (non-destructive editing
+/// happens at the derivation layer).
+pub trait BlobStore {
+    /// Creates a new, empty BLOB and returns its id.
+    fn create(&mut self) -> Result<BlobId, BlobError>;
+
+    /// Appends bytes to a BLOB, returning the span the bytes now occupy.
+    ///
+    /// The returned span is what interpretation records as the element's
+    /// `blobPlacement`.
+    fn append(&mut self, blob: BlobId, data: &[u8]) -> Result<ByteSpan, BlobError>;
+
+    /// Reads the bytes of `span` into a fresh buffer.
+    fn read(&self, blob: BlobId, span: ByteSpan) -> Result<Vec<u8>, BlobError> {
+        let mut buf = vec![0u8; span.len as usize];
+        self.read_into(blob, span, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads the bytes of `span` into `buf` (which must be `span.len` long).
+    fn read_into(&self, blob: BlobId, span: ByteSpan, buf: &mut [u8]) -> Result<(), BlobError>;
+
+    /// The BLOB's current length in bytes.
+    fn len(&self, blob: BlobId) -> Result<u64, BlobError>;
+
+    /// `true` if the BLOB currently holds no bytes.
+    fn is_empty(&self, blob: BlobId) -> Result<bool, BlobError> {
+        Ok(self.len(blob)? == 0)
+    }
+
+    /// Whether the store currently holds a BLOB with this id.
+    fn contains(&self, blob: BlobId) -> bool;
+
+    /// Ids of all BLOBs in the store, in creation order.
+    fn blob_ids(&self) -> Vec<BlobId>;
+
+    /// Reads an entire BLOB.
+    fn read_all(&self, blob: BlobId) -> Result<Vec<u8>, BlobError> {
+        let len = self.len(blob)?;
+        self.read(blob, ByteSpan::new(0, len))
+    }
+}
+
+/// A convenience cursor for capture-time streaming appends to one BLOB.
+///
+/// Capture pipelines (e.g. the Fig. 2 digitization example) append encoded
+/// frame after encoded frame; the writer tracks placements so the
+/// interpretation tables can be built as the BLOB is created — the paper
+/// recommends the interpretation "is built up as the BLOB is captured or
+/// created and then permanently associated with the BLOB".
+#[derive(Debug)]
+pub struct BlobWriter<'a, S: BlobStore + ?Sized> {
+    store: &'a mut S,
+    blob: BlobId,
+    written: u64,
+}
+
+impl<'a, S: BlobStore + ?Sized> BlobWriter<'a, S> {
+    /// Starts writing at the current end of `blob`.
+    pub fn new(store: &'a mut S, blob: BlobId) -> Result<BlobWriter<'a, S>, BlobError> {
+        let written = store.len(blob)?;
+        Ok(BlobWriter {
+            store,
+            blob,
+            written,
+        })
+    }
+
+    /// The BLOB being written.
+    pub fn blob(&self) -> BlobId {
+        self.blob
+    }
+
+    /// Bytes written so far (including pre-existing content).
+    pub fn position(&self) -> u64 {
+        self.written
+    }
+
+    /// Appends `data`, returning its placement span.
+    pub fn write(&mut self, data: &[u8]) -> Result<ByteSpan, BlobError> {
+        let span = self.store.append(self.blob, data)?;
+        self.written = span.end();
+        Ok(span)
+    }
+
+    /// Appends `len` padding bytes (value 0), returning their span.
+    ///
+    /// Models the paper's CD-I-style padding: "storage units may be padded
+    /// with unused data to match storage transfer rates to media data rates".
+    pub fn pad(&mut self, len: u64) -> Result<ByteSpan, BlobError> {
+        let zeros = vec![0u8; len as usize];
+        self.write(&zeros)
+    }
+
+    /// Pads with zeros until the BLOB length is a multiple of `alignment`.
+    pub fn align_to(&mut self, alignment: u64) -> Result<ByteSpan, BlobError> {
+        let rem = self.written % alignment;
+        if rem == 0 {
+            Ok(ByteSpan::new(self.written, 0))
+        } else {
+            self.pad(alignment - rem)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBlobStore;
+
+    #[test]
+    fn writer_tracks_placements() {
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        let mut w = BlobWriter::new(&mut store, blob).unwrap();
+        let a = w.write(b"hello").unwrap();
+        let b = w.write(b"world").unwrap();
+        assert_eq!(a, ByteSpan::new(0, 5));
+        assert_eq!(b, ByteSpan::new(5, 5));
+        assert_eq!(w.position(), 10);
+        assert_eq!(store.read(blob, a).unwrap(), b"hello");
+        assert_eq!(store.read(blob, b).unwrap(), b"world");
+    }
+
+    #[test]
+    fn writer_resumes_at_end() {
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        store.append(blob, b"abc").unwrap();
+        let w = BlobWriter::new(&mut store, blob).unwrap();
+        assert_eq!(w.position(), 3);
+    }
+
+    #[test]
+    fn padding_and_alignment() {
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        let mut w = BlobWriter::new(&mut store, blob).unwrap();
+        w.write(b"xyz").unwrap();
+        let pad = w.align_to(8).unwrap();
+        assert_eq!(pad, ByteSpan::new(3, 5));
+        assert_eq!(w.position(), 8);
+        // Already aligned: zero-length pad.
+        assert_eq!(w.align_to(8).unwrap(), ByteSpan::new(8, 0));
+        let padded = store.read(blob, pad).unwrap();
+        assert!(padded.iter().all(|&b| b == 0));
+    }
+}

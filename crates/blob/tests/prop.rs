@@ -1,0 +1,89 @@
+//! Property tests: the two blob stores are observationally equivalent, and
+//! span reads always return exactly the appended bytes.
+
+use proptest::prelude::*;
+use tbm_blob::{BlobStore, ByteSpan, FileBlobStore, MemBlobStore};
+
+fn chunks() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..12)
+}
+
+proptest! {
+    /// Appending chunks then reading each back yields the original bytes,
+    /// regardless of extent size (fragmentation is invisible).
+    #[test]
+    fn mem_store_roundtrips(chunks in chunks(), extent in 1usize..128) {
+        let mut store = MemBlobStore::with_extent_size(extent);
+        let blob = store.create().unwrap();
+        let mut spans = Vec::new();
+        for c in &chunks {
+            spans.push(store.append(blob, c).unwrap());
+        }
+        for (c, s) in chunks.iter().zip(&spans) {
+            prop_assert_eq!(&store.read(blob, *s).unwrap(), c);
+        }
+        let total: Vec<u8> = chunks.concat();
+        prop_assert_eq!(store.read_all(blob).unwrap(), total);
+    }
+
+    /// Arbitrary in-bounds sub-spans read the same bytes as a full
+    /// concatenation would contain.
+    #[test]
+    fn sub_span_reads_agree_with_concat(chunks in chunks(), extent in 1usize..64,
+                                        frac_off in 0.0f64..1.0, frac_len in 0.0f64..1.0) {
+        let mut store = MemBlobStore::with_extent_size(extent);
+        let blob = store.create().unwrap();
+        for c in &chunks {
+            store.append(blob, c).unwrap();
+        }
+        let total: Vec<u8> = chunks.concat();
+        let len = total.len() as u64;
+        let off = (frac_off * len as f64) as u64;
+        let span_len = ((frac_len * (len - off) as f64) as u64).min(len - off);
+        let span = ByteSpan::new(off, span_len);
+        let got = store.read(blob, span).unwrap();
+        prop_assert_eq!(&got[..], &total[off as usize..(off + span_len) as usize]);
+    }
+
+    /// Reads past the end always fail, never return garbage.
+    #[test]
+    fn out_of_bounds_always_rejected(data in prop::collection::vec(any::<u8>(), 0..100),
+                                     extra in 1u64..50) {
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        store.append(blob, &data).unwrap();
+        let bad = ByteSpan::new(data.len() as u64, extra);
+        prop_assert!(store.read(blob, bad).is_err());
+    }
+}
+
+/// The file store and memory store agree byte-for-byte on the same append
+/// sequence. Run once with random-ish data rather than under proptest to
+/// keep filesystem churn bounded.
+#[test]
+fn file_store_agrees_with_mem_store() {
+    let dir = std::env::temp_dir().join(format!("tbm-blob-equiv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut file = FileBlobStore::open(&dir).unwrap();
+    let mut mem = MemBlobStore::with_extent_size(7);
+
+    let fb = file.create().unwrap();
+    let mb = mem.create().unwrap();
+    let chunks: Vec<Vec<u8>> = (0..20u8)
+        .map(|i| (0..(i as usize * 13 % 97)).map(|j| (i as usize * 31 + j) as u8).collect())
+        .collect();
+    for c in &chunks {
+        let s1 = file.append(fb, c).unwrap();
+        let s2 = mem.append(mb, c).unwrap();
+        assert_eq!(s1, s2);
+    }
+    assert_eq!(file.len(fb).unwrap(), mem.len(mb).unwrap());
+    assert_eq!(file.read_all(fb).unwrap(), mem.read_all(mb).unwrap());
+    // Probe a few sub-spans.
+    let len = file.len(fb).unwrap();
+    for (off, l) in [(0u64, 5u64), (len / 3, len / 4), (len - 1, 1), (0, len)] {
+        let span = ByteSpan::new(off, l);
+        assert_eq!(file.read(fb, span).unwrap(), mem.read(mb, span).unwrap());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

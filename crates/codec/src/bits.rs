@@ -1,0 +1,229 @@
+//! Bit-level I/O and exponential-Golomb entropy codes.
+//!
+//! The DCT and interframe coders serialize quantized coefficients with
+//! unsigned/signed exp-Golomb codes — a simple, real variable-length
+//! entropy code (the one H.264 uses for side data). Variable-length output
+//! is what makes encoded frame sizes content-dependent, which in turn is
+//! why interpretation needs explicit placement tables.
+
+use crate::CodecError;
+
+/// Most-significant-bit-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0–7).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Appends the low `count` bits of `value`, MSB first. `count ≤ 64`.
+    pub fn put_bits(&mut self, value: u64, count: u8) {
+        debug_assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends an unsigned exp-Golomb code for `value`.
+    pub fn put_ue(&mut self, value: u64) {
+        let x = value + 1;
+        let bits = 64 - x.leading_zeros() as u8; // position of MSB, ≥ 1
+        // (bits-1) zeros, then the `bits` bits of x.
+        for _ in 0..bits - 1 {
+            self.put_bit(false);
+        }
+        self.put_bits(x, bits);
+    }
+
+    /// Appends a signed exp-Golomb code (zig-zag mapped).
+    pub fn put_se(&mut self, value: i64) {
+        let mapped = if value <= 0 {
+            (-value as u64) * 2
+        } else {
+            (value as u64) * 2 - 1
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Number of complete bytes the writer would produce.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Finishes, zero-padding the final partial byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Most-significant-bit-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    pub fn get_bit(&mut self) -> Result<bool, CodecError> {
+        if self.pos >= self.bytes.len() * 8 {
+            return Err(CodecError::malformed("bitreader", "read past end"));
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits, MSB first. `count ≤ 64`.
+    pub fn get_bits(&mut self, count: u8) -> Result<u64, CodecError> {
+        debug_assert!(count <= 64);
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.get_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Reads an unsigned exp-Golomb code.
+    pub fn get_ue(&mut self) -> Result<u64, CodecError> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err(CodecError::malformed("bitreader", "exp-golomb run too long"));
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Ok(((1u64 << zeros) | rest) - 1)
+    }
+
+    /// Reads a signed exp-Golomb code.
+    pub fn get_se(&mut self) -> Result<i64, CodecError> {
+        let mapped = self.get_ue()?;
+        Ok(if mapped % 2 == 0 {
+            -((mapped / 2) as i64)
+        } else {
+            mapped.div_ceil(2) as i64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.put_bits(0b1011, 4);
+        w.put_bits(0x3FF, 10);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bit().unwrap());
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.get_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn ue_small_values() {
+        // Canonical exp-Golomb: 0→"1", 1→"010", 2→"011", 3→"00100"…
+        let mut w = BitWriter::new();
+        for v in 0..10u64 {
+            w.put_ue(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in 0..10u64 {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ue_zero_is_one_bit() {
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn se_roundtrip_and_ordering() {
+        let values = [0i64, 1, -1, 2, -2, 100, -100, 32767, -32768];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn large_ue_values() {
+        let values = [u32::MAX as u64, 1 << 40, (1 << 62) - 2];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn reading_past_end_is_an_error() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert!(r.get_bit().is_err());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_ue_is_an_error_not_a_panic() {
+        // A long run of zeros with no terminator.
+        let mut r = BitReader::new(&[0x00]);
+        assert!(r.get_ue().is_err());
+    }
+
+    #[test]
+    fn padding_bits_are_zero() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

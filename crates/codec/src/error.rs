@@ -1,0 +1,63 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors raised while encoding or decoding media.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The compressed bitstream ended prematurely or is malformed.
+    Malformed {
+        /// Which codec rejected the data.
+        codec: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Frame or buffer geometry is unsupported by the codec.
+    BadGeometry {
+        /// Which codec rejected the data.
+        codec: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A decode referenced a frame that is not available (interframe coding).
+    MissingReference {
+        /// Decode index of the missing reference.
+        wanted: usize,
+    },
+}
+
+impl CodecError {
+    /// Convenience constructor for malformed-bitstream errors.
+    pub fn malformed(codec: &'static str, detail: impl Into<String>) -> CodecError {
+        CodecError::Malformed {
+            codec,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for geometry errors.
+    pub fn bad_geometry(codec: &'static str, detail: impl Into<String>) -> CodecError {
+        CodecError::BadGeometry {
+            codec,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Malformed { codec, detail } => {
+                write!(f, "{codec}: malformed bitstream: {detail}")
+            }
+            CodecError::BadGeometry { codec, detail } => {
+                write!(f, "{codec}: unsupported geometry: {detail}")
+            }
+            CodecError::MissingReference { wanted } => {
+                write!(f, "interframe decode missing reference frame {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

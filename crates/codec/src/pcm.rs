@@ -1,0 +1,59 @@
+//! Uncompressed 16-bit PCM.
+//!
+//! PCM is the paper's example of a *uniform* stream: "all elements have the
+//! same form (16 bit PCM samples)". The codec is a trivial byte layout, but
+//! routing it through the same interface as ADPCM keeps the interpretation
+//! layer codec-agnostic.
+
+use crate::CodecError;
+use tbm_media::AudioBuffer;
+
+/// Encodes an audio buffer as interleaved little-endian 16-bit PCM bytes.
+pub fn encode(buffer: &AudioBuffer) -> Vec<u8> {
+    buffer.to_bytes()
+}
+
+/// Decodes interleaved little-endian 16-bit PCM bytes.
+pub fn decode(channels: u16, bytes: &[u8]) -> Result<AudioBuffer, CodecError> {
+    AudioBuffer::from_bytes(channels, bytes).ok_or_else(|| {
+        CodecError::malformed(
+            "pcm",
+            format!(
+                "{} bytes is not a whole number of {channels}-channel 16-bit frames",
+                bytes.len()
+            ),
+        )
+    })
+}
+
+/// Bytes per sample-frame for 16-bit PCM with `channels` channels.
+pub fn bytes_per_frame(channels: u16) -> u64 {
+    channels as u64 * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let buf = AudioBuffer::from_samples(2, vec![0, 1, -1, i16::MAX, i16::MIN, 42]).unwrap();
+        let bytes = encode(&buf);
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(decode(2, &bytes).unwrap(), buf);
+    }
+
+    #[test]
+    fn stereo_cd_rates() {
+        // CD audio: 2 ch × 2 B = 4 B per frame; 44100 frames/s = 176400 B/s.
+        assert_eq!(bytes_per_frame(2), 4);
+        assert_eq!(bytes_per_frame(1), 2);
+    }
+
+    #[test]
+    fn misaligned_input_rejected() {
+        assert!(decode(2, &[0, 1, 2]).is_err());
+        assert!(decode(2, &[0, 1]).is_err()); // one sample, but two channels
+        assert!(decode(1, &[0, 1]).is_ok());
+    }
+}

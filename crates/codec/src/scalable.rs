@@ -1,0 +1,313 @@
+//! Two-layer scalable ("layered") coding.
+//!
+//! The paper's §2.2 lists *scalability* among the interpretation issues:
+//!
+//! > *"Certain representations for time-based media … allow presentation at
+//! > different levels of detail. … bandwidth can be saved and processing
+//! > reduced if the video sequence is 'scaled' to a lower resolution by
+//! > ignoring parts of the storage unit."*
+//!
+//! [`encode_layered`] produces exactly that structure: a **base layer**
+//! (the frame downsampled 2× and intraframe-coded) followed by an
+//! **enhancement layer** (the residual between the source and the upsampled
+//! base, intraframe-coded). A reader that stops after the base layer gets a
+//! legitimate low-resolution picture; reading both layers restores full
+//! fidelity. Interpretation records the two layers as separate spans of the
+//! element's placement, so scaling is literally "ignoring parts of the
+//! storage unit".
+
+use crate::dct::{decode_plane_i16, encode_plane_i16, quant_matrices, DctParams};
+use crate::{BitReader, BitWriter, CodecError};
+use tbm_media::{Frame, PixelFormat};
+
+/// A frame encoded in two layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayeredFrame {
+    /// Frame width (full resolution).
+    pub width: u32,
+    /// Frame height (full resolution).
+    pub height: u32,
+    /// Quantizer percentage used for both layers.
+    pub quant_percent: u16,
+    /// Base layer: half-resolution intraframe code.
+    pub base: Vec<u8>,
+    /// Enhancement layer: full-resolution residual code.
+    pub enhancement: Vec<u8>,
+}
+
+impl LayeredFrame {
+    /// Total encoded size (both layers).
+    pub fn total_len(&self) -> usize {
+        self.base.len() + self.enhancement.len()
+    }
+
+    /// Fraction of the bytes needed for base-only decoding.
+    pub fn base_fraction(&self) -> f64 {
+        if self.total_len() == 0 {
+            return 0.0;
+        }
+        self.base.len() as f64 / self.total_len() as f64
+    }
+}
+
+struct LayerGeom {
+    w: usize,
+    h: usize,
+    cw: usize,
+    ch: usize,
+}
+
+impl LayerGeom {
+    fn full(width: u32, height: u32) -> LayerGeom {
+        let w = width as usize;
+        let h = height as usize;
+        LayerGeom {
+            w,
+            h,
+            cw: w.div_ceil(2),
+            ch: h.div_ceil(2),
+        }
+    }
+
+    fn half(width: u32, height: u32) -> LayerGeom {
+        LayerGeom::full(width.div_ceil(2).max(1), height.div_ceil(2).max(1))
+    }
+}
+
+/// Planar, centered (±128) YUV representation.
+struct Planes {
+    y: Vec<i16>,
+    u: Vec<i16>,
+    v: Vec<i16>,
+}
+
+fn split(frame: &Frame) -> Planes {
+    let f = frame.to_format(PixelFormat::Yuv420);
+    let g = LayerGeom::full(f.width(), f.height());
+    let d = f.data();
+    let n = g.w * g.h;
+    let c = g.cw * g.ch;
+    let center = |b: &[u8]| -> Vec<i16> { b.iter().map(|&x| x as i16 - 128).collect() };
+    Planes {
+        y: center(&d[..n]),
+        u: center(&d[n..n + c]),
+        v: center(&d[n + c..]),
+    }
+}
+
+fn join(p: &Planes, width: u32, height: u32) -> Frame {
+    let mut data = Vec::new();
+    for plane in [&p.y, &p.u, &p.v] {
+        data.extend(plane.iter().map(|&v| (v + 128).clamp(0, 255) as u8));
+    }
+    Frame::from_raw(width, height, PixelFormat::Yuv420, data).expect("consistent planes")
+}
+
+/// 2× box downsample of one plane.
+fn downsample(plane: &[i16], w: usize, h: usize) -> Vec<i16> {
+    let ow = w.div_ceil(2).max(1);
+    let oh = h.div_ceil(2).max(1);
+    let mut out = vec![0i16; ow * oh];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut sum = 0i32;
+            let mut count = 0i32;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let x = ox * 2 + dx;
+                    let y = oy * 2 + dy;
+                    if x < w && y < h {
+                        sum += plane[y * w + x] as i32;
+                        count += 1;
+                    }
+                }
+            }
+            out[oy * ow + ox] = (sum / count) as i16;
+        }
+    }
+    out
+}
+
+/// 2× nearest-neighbour upsample of one plane to `w × h`.
+fn upsample(plane: &[i16], sw: usize, sh: usize, w: usize, h: usize) -> Vec<i16> {
+    let mut out = vec![0i16; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let sx = (x / 2).min(sw - 1);
+            let sy = (y / 2).min(sh - 1);
+            out[y * w + x] = plane[sy * sw + sx];
+        }
+    }
+    out
+}
+
+fn down_planes(p: &Planes, g: &LayerGeom) -> Planes {
+    Planes {
+        y: downsample(&p.y, g.w, g.h),
+        u: downsample(&p.u, g.cw, g.ch),
+        v: downsample(&p.v, g.cw, g.ch),
+    }
+}
+
+fn up_planes(p: &Planes, from: &LayerGeom, to: &LayerGeom) -> Planes {
+    Planes {
+        y: upsample(&p.y, from.w, from.h, to.w, to.h),
+        u: upsample(&p.u, from.cw, from.ch, to.cw, to.ch),
+        v: upsample(&p.v, from.cw, from.ch, to.cw, to.ch),
+    }
+}
+
+fn encode_planes(p: &Planes, g: &LayerGeom, dct: DctParams) -> Vec<u8> {
+    let (lq, cq) = quant_matrices(dct);
+    let mut w = BitWriter::new();
+    encode_plane_i16(&p.y, g.w, g.h, &lq, &mut w);
+    encode_plane_i16(&p.u, g.cw, g.ch, &cq, &mut w);
+    encode_plane_i16(&p.v, g.cw, g.ch, &cq, &mut w);
+    w.into_bytes()
+}
+
+fn decode_planes(data: &[u8], g: &LayerGeom, dct: DctParams) -> Result<Planes, CodecError> {
+    let (lq, cq) = quant_matrices(dct);
+    let mut r = BitReader::new(data);
+    Ok(Planes {
+        y: decode_plane_i16(&mut r, g.w, g.h, &lq)?,
+        u: decode_plane_i16(&mut r, g.cw, g.ch, &cq)?,
+        v: decode_plane_i16(&mut r, g.cw, g.ch, &cq)?,
+    })
+}
+
+/// Encodes a frame into base + enhancement layers.
+pub fn encode_layered(frame: &Frame, dct: DctParams) -> LayeredFrame {
+    let width = frame.width();
+    let height = frame.height();
+    let full = LayerGeom::full(width, height);
+    let half = LayerGeom::half(width, height);
+    let src = split(frame);
+
+    let base_planes = down_planes(&src, &full);
+    let base = encode_planes(&base_planes, &half, dct);
+    // Enhancement predicts from the *reconstructed* base (quantization in
+    // the loop), like any closed-loop layered coder.
+    let base_recon = decode_planes(&base, &half, dct).expect("own bitstream decodes");
+    let predicted = up_planes(&base_recon, &half, &full);
+    let residual = Planes {
+        y: src.y.iter().zip(&predicted.y).map(|(&a, &b)| a - b).collect(),
+        u: src.u.iter().zip(&predicted.u).map(|(&a, &b)| a - b).collect(),
+        v: src.v.iter().zip(&predicted.v).map(|(&a, &b)| a - b).collect(),
+    };
+    let enhancement = encode_planes(&residual, &full, dct);
+    LayeredFrame {
+        width,
+        height,
+        quant_percent: dct.quant_percent,
+        base,
+        enhancement,
+    }
+}
+
+/// Decodes the base layer only: a full-geometry frame at reduced detail
+/// ("scaled to a lower resolution by ignoring parts of the storage unit").
+pub fn decode_base(lf: &LayeredFrame) -> Result<Frame, CodecError> {
+    let dct = DctParams::with_quant(lf.quant_percent);
+    let full = LayerGeom::full(lf.width, lf.height);
+    let half = LayerGeom::half(lf.width, lf.height);
+    let base = decode_planes(&lf.base, &half, dct)?;
+    let up = up_planes(&base, &half, &full);
+    Ok(join(&up, lf.width, lf.height))
+}
+
+/// Decodes both layers: full fidelity.
+pub fn decode_full(lf: &LayeredFrame) -> Result<Frame, CodecError> {
+    let dct = DctParams::with_quant(lf.quant_percent);
+    let full = LayerGeom::full(lf.width, lf.height);
+    let half = LayerGeom::half(lf.width, lf.height);
+    let base = decode_planes(&lf.base, &half, dct)?;
+    let predicted = up_planes(&base, &half, &full);
+    let residual = decode_planes(&lf.enhancement, &full, dct)?;
+    let recon = Planes {
+        y: predicted
+            .y
+            .iter()
+            .zip(&residual.y)
+            .map(|(&a, &b)| (a + b).clamp(-128, 127))
+            .collect(),
+        u: predicted
+            .u
+            .iter()
+            .zip(&residual.u)
+            .map(|(&a, &b)| (a + b).clamp(-128, 127))
+            .collect(),
+        v: predicted
+            .v
+            .iter()
+            .zip(&residual.v)
+            .map(|(&a, &b)| (a + b).clamp(-128, 127))
+            .collect(),
+    };
+    Ok(join(&recon, lf.width, lf.height))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_media::gen::VideoPattern;
+
+    fn src() -> Frame {
+        VideoPattern::ShiftingGradient.render(4, 64, 48)
+    }
+
+    #[test]
+    fn full_decode_beats_base_decode() {
+        let f = src();
+        let lf = encode_layered(&f, DctParams::default());
+        let reference = f.to_format(PixelFormat::Yuv420);
+        let base_err = reference.mean_abs_diff(&decode_base(&lf).unwrap()).unwrap();
+        let full_err = reference.mean_abs_diff(&decode_full(&lf).unwrap()).unwrap();
+        assert!(
+            full_err < base_err,
+            "full {full_err:.2} should beat base {base_err:.2}"
+        );
+        assert!(full_err < 6.0, "full fidelity too low: {full_err:.2}");
+    }
+
+    #[test]
+    fn base_layer_is_a_fraction_of_the_bytes() {
+        let lf = encode_layered(&src(), DctParams::default());
+        let frac = lf.base_fraction();
+        assert!(
+            frac > 0.02 && frac < 0.8,
+            "base fraction {frac:.2} out of expected range"
+        );
+        assert_eq!(lf.total_len(), lf.base.len() + lf.enhancement.len());
+    }
+
+    #[test]
+    fn base_decode_ignores_enhancement_bytes() {
+        // Corrupting the enhancement layer must not affect base decoding —
+        // the definition of "ignoring parts of the storage unit".
+        let mut lf = encode_layered(&src(), DctParams::default());
+        let base_frame = decode_base(&lf).unwrap();
+        for b in &mut lf.enhancement {
+            *b ^= 0xA5;
+        }
+        assert_eq!(decode_base(&lf).unwrap(), base_frame);
+    }
+
+    #[test]
+    fn geometry_preserved_including_odd() {
+        let f = VideoPattern::MovingBar.render(0, 33, 21);
+        let lf = encode_layered(&f, DctParams::default());
+        let b = decode_base(&lf).unwrap();
+        let full = decode_full(&lf).unwrap();
+        assert_eq!((b.width(), b.height()), (33, 21));
+        assert_eq!((full.width(), full.height()), (33, 21));
+    }
+
+    #[test]
+    fn truncated_layers_error() {
+        let mut lf = encode_layered(&src(), DctParams::default());
+        lf.base.truncate(2);
+        assert!(decode_base(&lf).is_err());
+        assert!(decode_full(&lf).is_err());
+    }
+}

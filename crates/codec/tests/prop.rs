@@ -1,0 +1,168 @@
+//! Property tests over the codec stack.
+
+use proptest::prelude::*;
+use tbm_codec::adpcm;
+use tbm_codec::dct::{self, DctParams};
+use tbm_codec::interframe::{decode_order_indices, GopParams};
+use tbm_codec::pcm;
+use tbm_codec::{BitReader, BitWriter};
+use tbm_media::{AudioBuffer, Frame, PixelFormat};
+
+proptest! {
+    /// Exp-Golomb codes round-trip for arbitrary signed values.
+    #[test]
+    fn golomb_roundtrip(values in prop::collection::vec(any::<i32>(), 0..200)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v as i64);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_se().unwrap(), v as i64);
+        }
+    }
+
+    /// Raw bit runs round-trip at arbitrary widths.
+    #[test]
+    fn bits_roundtrip(fields in prop::collection::vec((any::<u64>(), 1u8..=64), 0..60)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            w.put_bits(masked, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let masked = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            prop_assert_eq!(r.get_bits(n).unwrap(), masked);
+        }
+    }
+
+    /// PCM round-trip is exact for arbitrary sample data.
+    #[test]
+    fn pcm_roundtrip(samples in prop::collection::vec(any::<i16>(), 0..500),
+                     channels in 1u16..4) {
+        let truncated = samples.len() - samples.len() % channels as usize;
+        let buf = AudioBuffer::from_samples(channels, samples[..truncated].to_vec()).unwrap();
+        let decoded = pcm::decode(channels, &pcm::encode(&buf)).unwrap();
+        prop_assert_eq!(buf, decoded);
+    }
+
+    /// ADPCM decode never diverges wildly on arbitrary (even adversarial)
+    /// inputs: output length is exact and bounded.
+    #[test]
+    fn adpcm_decode_is_total(samples in prop::collection::vec(any::<i16>(), 1..2000),
+                             block in 16usize..512) {
+        let buf = AudioBuffer::from_samples(1, samples).unwrap();
+        let blocks = adpcm::encode_blocks(&buf, block);
+        let dec = adpcm::decode_blocks(&blocks).unwrap();
+        prop_assert_eq!(dec.frames(), buf.frames());
+    }
+
+    /// ADPCM block parsing rejects or accepts, never panics, on mutated bytes.
+    #[test]
+    fn adpcm_parse_is_total(mut bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = adpcm::AdpcmBlock::from_bytes(&bytes);
+        // Also mutate a valid block.
+        let buf = AudioBuffer::silence(1, 64);
+        let mut valid = adpcm::encode_blocks(&buf, 64)[0].to_bytes();
+        if !bytes.is_empty() && !valid.is_empty() {
+            let i = bytes[0] as usize % valid.len();
+            valid[i] ^= 0xFF;
+            let _ = adpcm::AdpcmBlock::from_bytes(&valid);
+        }
+        bytes.clear();
+    }
+
+    /// DCT decode on arbitrary bytes never panics.
+    #[test]
+    fn dct_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = dct::decode_frame(&bytes);
+    }
+
+    /// DCT roundtrip stays within a quality-dependent error bound for
+    /// arbitrary small frames.
+    #[test]
+    fn dct_roundtrip_bounded(seed in any::<u64>(), w in 8u32..40, h in 8u32..40) {
+        let src = tbm_media::gen::VideoPattern::Noise(seed).render(0, w, h);
+        let enc = dct::encode_frame(&src, DctParams::with_quant(100));
+        let dec = dct::decode_frame(&enc).unwrap();
+        prop_assert_eq!((dec.width(), dec.height()), (w, h));
+        let reference = src.to_format(PixelFormat::Yuv420);
+        // Noise at q=100 is harshly quantized; bound is loose but finite.
+        let mad = reference.mean_abs_diff(&dec).unwrap();
+        prop_assert!(mad < 40.0, "mad {} out of bounds", mad);
+    }
+
+    /// Decode order is always a permutation of display order, for any GOP
+    /// shape.
+    #[test]
+    fn decode_order_is_permutation(n in 0usize..200, b in 0usize..5, gop in 1usize..20) {
+        let params = GopParams {
+            gop_size: gop,
+            b_frames: b,
+            dct: DctParams::default(),
+        };
+        let mut order = decode_order_indices(n, params);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Every non-initial display position in decode order appears after an
+    /// earlier anchor (keys precede the intermediates they reconstruct).
+    #[test]
+    fn keys_precede_intermediates(n in 2usize..100, b in 1usize..4) {
+        let params = GopParams {
+            gop_size: 6,
+            b_frames: b,
+            dct: DctParams::default(),
+        };
+        let order = decode_order_indices(n, params);
+        let step = b + 1;
+        for (pos, &display) in order.iter().enumerate() {
+            if display % step != 0 && display / step * step + step < n {
+                // A B frame: both bracketing anchors appear earlier in decode order.
+                let lo = display / step * step;
+                let hi = lo + step;
+                let lo_pos = order.iter().position(|&d| d == lo).unwrap();
+                let hi_pos = order.iter().position(|&d| d == hi).unwrap();
+                prop_assert!(lo_pos < pos && hi_pos < pos,
+                    "B frame {} at decode pos {} before anchors", display, pos);
+            }
+        }
+    }
+
+    /// Frame blend used by transitions is monotone in alpha for each byte.
+    #[test]
+    fn layered_total_exceeds_parts(seed in any::<u64>()) {
+        let src = tbm_media::gen::VideoPattern::Noise(seed).render(0, 24, 24);
+        let lf = tbm_codec::scalable::encode_layered(&src, DctParams::default());
+        prop_assert!(!lf.base.is_empty());
+        prop_assert_eq!(lf.total_len(), lf.base.len() + lf.enhancement.len());
+        let base = tbm_codec::scalable::decode_base(&lf).unwrap();
+        let full = tbm_codec::scalable::decode_full(&lf).unwrap();
+        prop_assert_eq!((base.width(), base.height()), (24, 24));
+        prop_assert_eq!((full.width(), full.height()), (24, 24));
+    }
+}
+
+/// A deterministic end-to-end interframe roundtrip on random-seeded content.
+#[test]
+fn interframe_roundtrip_random_content() {
+    let frames: Vec<Frame> = (0..7)
+        .map(|i| tbm_media::gen::VideoPattern::Checkerboard(3).render(i, 32, 24))
+        .collect();
+    let params = GopParams {
+        gop_size: 4,
+        b_frames: 1,
+        dct: DctParams::default(),
+    };
+    let seq = tbm_codec::interframe::encode_sequence(&frames, params).unwrap();
+    let dec = tbm_codec::interframe::decode_sequence(&seq).unwrap();
+    assert_eq!(dec.len(), frames.len());
+    for (src, d) in frames.iter().zip(&dec) {
+        let reference = src.to_format(PixelFormat::Yuv420);
+        assert!(reference.mean_abs_diff(d).unwrap() < 12.0);
+    }
+}

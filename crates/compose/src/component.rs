@@ -1,0 +1,128 @@
+//! Components of multimedia objects.
+
+use crate::Region;
+use tbm_derive::Node;
+use tbm_time::{Interval, TimeDelta, TimePoint};
+
+/// The presentation kind of a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// A video (or rendered) visual component.
+    Video,
+    /// An audio component.
+    Audio,
+}
+
+impl ComponentKind {
+    /// Name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ComponentKind::Video => "video",
+            ComponentKind::Audio => "audio",
+        }
+    }
+}
+
+/// One spatiotemporally related media object inside a multimedia object.
+///
+/// The media itself is a derivation [`Node`] — non-derived components are
+/// `Node::Source` leaves, derived ones (Fig. 4's `video3`) are full trees.
+/// The temporal placement is the Fig. 4(a) relationship instance (c1, c2,
+/// c3); the optional [`Region`] is its spatial counterpart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// The component's name within the multimedia object.
+    pub name: String,
+    /// Presentation kind.
+    pub kind: ComponentKind,
+    /// The media expression (source or derivation object).
+    pub media: Node,
+    /// Placement on the multimedia object's timeline.
+    pub interval: Interval,
+    /// Spatial placement for visual components (`None` = full frame).
+    pub region: Option<Region>,
+}
+
+impl Component {
+    /// Creates a component placed at `[start, start + duration)`.
+    pub fn new(
+        name: &str,
+        kind: ComponentKind,
+        media: Node,
+        start: TimePoint,
+        duration: TimeDelta,
+    ) -> Option<Component> {
+        Some(Component {
+            name: name.to_owned(),
+            kind,
+            media,
+            interval: Interval::new(start, duration).ok()?,
+            region: None,
+        })
+    }
+
+    /// Sets the spatial region, builder style.
+    pub fn in_region(mut self, region: Region) -> Component {
+        self.region = Some(region);
+        self
+    }
+
+    /// The component's end time.
+    pub fn end(&self) -> TimePoint {
+        self.interval.end()
+    }
+
+    /// `true` if the component is active (being presented) at `t`.
+    pub fn active_at(&self, t: TimePoint) -> bool {
+        self.interval.contains(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_activity() {
+        let c = Component::new(
+            "video3",
+            ComponentKind::Video,
+            Node::source("video3"),
+            TimePoint::from_secs(10),
+            TimeDelta::from_secs(120),
+        )
+        .unwrap();
+        assert!(c.active_at(TimePoint::from_secs(10)));
+        assert!(c.active_at(TimePoint::from_secs(100)));
+        assert!(!c.active_at(TimePoint::from_secs(130))); // half-open
+        assert_eq!(c.end(), TimePoint::from_secs(130));
+        assert!(c.region.is_none());
+    }
+
+    #[test]
+    fn negative_duration_rejected() {
+        assert!(Component::new(
+            "x",
+            ComponentKind::Audio,
+            Node::source("x"),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(-1),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn region_builder() {
+        let c = Component::new(
+            "pip",
+            ComponentKind::Video,
+            Node::source("v"),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(1),
+        )
+        .unwrap()
+        .in_region(Region::new(10, 10, 64, 48).at_layer(2));
+        assert_eq!(c.region.unwrap().layer, 2);
+        assert_eq!(ComponentKind::Video.name(), "video");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the composition layer.
+
+use std::fmt;
+use tbm_derive::DeriveError;
+use tbm_time::AllenRelation;
+
+/// Errors raised while composing or realizing multimedia objects.
+#[derive(Debug)]
+pub enum ComposeError {
+    /// A component name was reused within one multimedia object.
+    DuplicateComponent {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A referenced component does not exist.
+    NoSuchComponent {
+        /// The requested name.
+        name: String,
+    },
+    /// A synchronization constraint is violated by the concrete placements.
+    SyncViolation {
+        /// First component.
+        a: String,
+        /// Second component.
+        b: String,
+        /// Required relation.
+        required: AllenRelation,
+        /// Relation actually holding.
+        actual: AllenRelation,
+    },
+    /// A component's media could not be expanded.
+    Derive(DeriveError),
+    /// A component's media type does not match its declared kind.
+    KindMismatch {
+        /// The component.
+        name: String,
+        /// Declared kind.
+        declared: &'static str,
+        /// Expanded media type.
+        found: &'static str,
+    },
+    /// Invalid placement or geometry parameters.
+    BadPlacement {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::DuplicateComponent { name } => {
+                write!(f, "component `{name}` already present")
+            }
+            ComposeError::NoSuchComponent { name } => write!(f, "no component named `{name}`"),
+            ComposeError::SyncViolation {
+                a,
+                b,
+                required,
+                actual,
+            } => write!(
+                f,
+                "sync constraint violated: `{a}` must be {required} `{b}`, but is {actual}"
+            ),
+            ComposeError::Derive(e) => write!(f, "component expansion failed: {e}"),
+            ComposeError::KindMismatch {
+                name,
+                declared,
+                found,
+            } => write!(f, "component `{name}` declared {declared} but expands to {found}"),
+            ComposeError::BadPlacement { detail } => write!(f, "bad placement: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ComposeError::Derive(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeriveError> for ComposeError {
+    fn from(e: DeriveError) -> ComposeError {
+        ComposeError::Derive(e)
+    }
+}

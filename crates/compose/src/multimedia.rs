@@ -1,0 +1,308 @@
+//! Multimedia objects: temporally composed components plus sync constraints.
+
+use crate::{Component, ComposeError};
+use tbm_time::{AllenRelation, Interval, TimeDelta, TimePoint, Timecode};
+
+/// A declarative synchronization requirement between two components —
+/// the "temporal correlations" of §2.2 ("audio elements must be
+/// synchronized with visual elements"), expressed in Allen's algebra and
+/// checked against concrete placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncConstraint {
+    /// First component name.
+    pub a: String,
+    /// Second component name.
+    pub b: String,
+    /// Required relation of `a` to `b`.
+    pub relation: AllenRelation,
+}
+
+/// The result of composition (Definition 7): named components with temporal
+/// (and optionally spatial) placements, plus sync constraints.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultimediaObject {
+    name: String,
+    components: Vec<Component>,
+    constraints: Vec<SyncConstraint>,
+}
+
+impl MultimediaObject {
+    /// Creates an empty multimedia object.
+    pub fn new(name: &str) -> MultimediaObject {
+        MultimediaObject {
+            name: name.to_owned(),
+            components: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The object's name (Fig. 4 calls it `m`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a component via temporal composition; names must be unique.
+    pub fn add_component(&mut self, component: Component) -> Result<(), ComposeError> {
+        if self.components.iter().any(|c| c.name == component.name) {
+            return Err(ComposeError::DuplicateComponent {
+                name: component.name.clone(),
+            });
+        }
+        self.components.push(component);
+        Ok(())
+    }
+
+    /// Adds a synchronization constraint.
+    pub fn add_constraint(
+        &mut self,
+        a: &str,
+        relation: AllenRelation,
+        b: &str,
+    ) -> Result<(), ComposeError> {
+        self.component(a)?;
+        self.component(b)?;
+        self.constraints.push(SyncConstraint {
+            a: a.to_owned(),
+            b: b.to_owned(),
+            relation,
+        });
+        Ok(())
+    }
+
+    /// Looks up a component.
+    pub fn component(&self, name: &str) -> Result<&Component, ComposeError> {
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| ComposeError::NoSuchComponent {
+                name: name.to_owned(),
+            })
+    }
+
+    /// All components, in insertion order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// All sync constraints.
+    pub fn constraints(&self) -> &[SyncConstraint] {
+        &self.constraints
+    }
+
+    /// The object's total presentation interval (span of all components).
+    pub fn interval(&self) -> Option<Interval> {
+        let mut iter = self.components.iter().map(|c| c.interval);
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, iv| acc.span(iv)))
+    }
+
+    /// The object's total duration.
+    pub fn duration(&self) -> TimeDelta {
+        self.interval()
+            .map(|iv| iv.duration())
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// Components active at time `t`, in insertion order.
+    pub fn active_at(&self, t: TimePoint) -> Vec<&Component> {
+        self.components.iter().filter(|c| c.active_at(t)).collect()
+    }
+
+    /// Verifies every sync constraint against the concrete placements.
+    pub fn validate(&self) -> Result<(), ComposeError> {
+        for sc in &self.constraints {
+            let a = self.component(&sc.a)?;
+            let b = self.component(&sc.b)?;
+            let actual = AllenRelation::classify(a.interval, b.interval);
+            if actual != sc.relation {
+                return Err(ComposeError::SyncViolation {
+                    a: sc.a.clone(),
+                    b: sc.b.clone(),
+                    required: sc.relation,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Translates every component by `delta` (the whole object moves on a
+    /// parent timeline — composition composes).
+    pub fn translate(&mut self, delta: TimeDelta) {
+        for c in &mut self.components {
+            c.interval = c.interval.translate(delta);
+        }
+    }
+
+    /// Renders a Fig. 4(b)-style timeline diagram: one row per component,
+    /// with minute:second tick labels.
+    pub fn timeline_diagram(&self, columns: usize) -> String {
+        let Some(total) = self.interval() else {
+            return format!("{} (empty)\n", self.name);
+        };
+        let columns = columns.max(10);
+        let start = total.start();
+        let dur = total.duration().seconds();
+        if dur.is_zero() {
+            return format!("{} (instantaneous)\n", self.name);
+        }
+        let col_of = |t: TimePoint| -> usize {
+            let frac = (t - start).seconds() / dur;
+            let c = (frac * tbm_time::Rational::from(columns as i64)).floor();
+            (c.max(0) as usize).min(columns)
+        };
+        let name_width = self
+            .components
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        for c in self.components.iter().rev() {
+            let c0 = col_of(c.interval.start());
+            let c1 = col_of(c.interval.end()).max(c0 + 1);
+            let mut row = vec![' '; columns];
+            for cell in row.iter_mut().take(c1.min(columns)).skip(c0) {
+                *cell = '█';
+            }
+            out.push_str(&format!(
+                "{:>width$} |{}|\n",
+                c.name,
+                row.iter().collect::<String>(),
+                width = name_width
+            ));
+        }
+        // Tick labels at the span boundaries of each component.
+        let mut marks: Vec<TimePoint> = Vec::new();
+        marks.push(total.start());
+        marks.push(total.end());
+        for c in &self.components {
+            marks.push(c.interval.start());
+            marks.push(c.interval.end());
+        }
+        marks.sort();
+        marks.dedup();
+        let mut label_row = vec![' '; columns + name_width + 16];
+        for m in marks {
+            let label = Timecode::new(m).minutes_seconds();
+            let col = name_width + 2 + col_of(m);
+            for (i, ch) in label.chars().enumerate() {
+                if col + i < label_row.len() {
+                    label_row[col + i] = ch;
+                }
+            }
+        }
+        out.push_str(label_row.iter().collect::<String>().trim_end());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentKind;
+    use tbm_derive::Node;
+
+    fn comp(name: &str, start: i64, dur: i64) -> Component {
+        Component::new(
+            name,
+            if name.starts_with("audio") {
+                ComponentKind::Audio
+            } else {
+                ComponentKind::Video
+            },
+            Node::source(name),
+            TimePoint::from_secs(start),
+            TimeDelta::from_secs(dur),
+        )
+        .unwrap()
+    }
+
+    /// Fig. 4: m has audio1 (0:00–2:10), audio2 (0:00–1:00) and video3
+    /// (0:00–2:10).
+    fn fig4_object() -> MultimediaObject {
+        let mut m = MultimediaObject::new("m");
+        m.add_component(comp("audio1", 0, 130)).unwrap();
+        m.add_component(comp("audio2", 0, 60)).unwrap();
+        m.add_component(comp("video3", 0, 130)).unwrap();
+        m
+    }
+
+    #[test]
+    fn fig4_span_and_duration() {
+        let m = fig4_object();
+        assert_eq!(m.duration(), TimeDelta::from_secs(130)); // 2:10
+        assert_eq!(m.components().len(), 3);
+        assert_eq!(m.active_at(TimePoint::from_secs(30)).len(), 3);
+        assert_eq!(m.active_at(TimePoint::from_secs(90)).len(), 2); // audio2 over
+    }
+
+    #[test]
+    fn duplicate_components_rejected() {
+        let mut m = fig4_object();
+        assert!(matches!(
+            m.add_component(comp("audio1", 0, 5)),
+            Err(ComposeError::DuplicateComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn sync_constraints_validate() {
+        let mut m = fig4_object();
+        // audio1 equals video3; audio2 starts video3.
+        m.add_constraint("audio1", AllenRelation::Equals, "video3")
+            .unwrap();
+        m.add_constraint("audio2", AllenRelation::Starts, "video3")
+            .unwrap();
+        assert!(m.validate().is_ok());
+        // A wrong constraint is caught.
+        m.add_constraint("audio2", AllenRelation::After, "video3")
+            .unwrap();
+        let err = m.validate().unwrap_err();
+        assert!(matches!(err, ComposeError::SyncViolation { .. }));
+        // Constraint on a missing component is rejected at insertion.
+        assert!(m
+            .add_constraint("ghost", AllenRelation::Before, "video3")
+            .is_err());
+    }
+
+    #[test]
+    fn translate_moves_everything() {
+        let mut m = fig4_object();
+        m.translate(TimeDelta::from_secs(10));
+        let iv = m.interval().unwrap();
+        assert_eq!(iv.start(), TimePoint::from_secs(10));
+        assert_eq!(iv.end(), TimePoint::from_secs(140));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn timeline_diagram_shows_rows_and_marks() {
+        let m = fig4_object();
+        let d = m.timeline_diagram(40);
+        assert!(d.contains("video3"), "{d}");
+        assert!(d.contains("audio1"), "{d}");
+        assert!(d.contains("audio2"), "{d}");
+        // Fig. 4(b) marks: 0:00, 1:00, 2:10 label the boundaries.
+        assert!(d.contains("0:00"), "{d}");
+        assert!(d.contains("2:10"), "{d}");
+        // audio2's bar is roughly half of audio1's.
+        let bars: Vec<usize> = d
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.matches('█').count())
+            .collect();
+        assert_eq!(bars.len(), 3);
+    }
+
+    #[test]
+    fn empty_object() {
+        let m = MultimediaObject::new("empty");
+        assert_eq!(m.duration(), TimeDelta::ZERO);
+        assert!(m.interval().is_none());
+        assert!(m.timeline_diagram(20).contains("empty"));
+        assert!(m.validate().is_ok());
+    }
+}

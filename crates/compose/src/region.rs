@@ -1,0 +1,174 @@
+//! Spatial composition: presentation-plane regions.
+//!
+//! "Spatial composition … deals with positioning objects in a 2D or 3D
+//! space. An example would be placing an image within a page of text or
+//! placing graphical objects in a scene." A [`Region`] positions a
+//! component in the output plane; layers resolve stacking.
+
+use std::fmt;
+
+/// A placement rectangle in the output plane, with a stacking layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Left edge (may be negative: partially off-screen).
+    pub x: i32,
+    /// Top edge.
+    pub y: i32,
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Stacking layer: higher layers draw over lower ones.
+    pub layer: i32,
+}
+
+impl Region {
+    /// Creates a region at layer 0.
+    pub fn new(x: i32, y: i32, width: u32, height: u32) -> Region {
+        Region {
+            x,
+            y,
+            width,
+            height,
+            layer: 0,
+        }
+    }
+
+    /// Sets the stacking layer.
+    pub fn at_layer(mut self, layer: i32) -> Region {
+        self.layer = layer;
+        self
+    }
+
+    /// Right edge (exclusive).
+    pub fn right(&self) -> i32 {
+        self.x + self.width as i32
+    }
+
+    /// Bottom edge (exclusive).
+    pub fn bottom(&self) -> i32 {
+        self.y + self.height as i32
+    }
+
+    /// `true` when the two regions share area.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// Classifies the spatial relation of `self` to `other`.
+    pub fn relation_to(&self, other: &Region) -> SpatialRelation {
+        if self.right() <= other.x {
+            SpatialRelation::LeftOf
+        } else if other.right() <= self.x {
+            SpatialRelation::RightOf
+        } else if self.bottom() <= other.y {
+            SpatialRelation::Above
+        } else if other.bottom() <= self.y {
+            SpatialRelation::Below
+        } else if self.x <= other.x
+            && self.y <= other.y
+            && other.right() <= self.right()
+            && other.bottom() <= self.bottom()
+        {
+            SpatialRelation::Contains
+        } else if other.x <= self.x
+            && other.y <= self.y
+            && self.right() <= other.right()
+            && self.bottom() <= other.bottom()
+        {
+            SpatialRelation::Inside
+        } else {
+            SpatialRelation::Overlapping
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}) {}x{} @layer {}",
+            self.x, self.y, self.width, self.height, self.layer
+        )
+    }
+}
+
+/// Qualitative 2-D relations between regions ("relative positioning during
+/// presentation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialRelation {
+    /// Entirely to the left (no horizontal overlap).
+    LeftOf,
+    /// Entirely to the right.
+    RightOf,
+    /// Entirely above.
+    Above,
+    /// Entirely below.
+    Below,
+    /// Contains the other region.
+    Contains,
+    /// Inside the other region.
+    Inside,
+    /// Partial overlap.
+    Overlapping,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_overlap() {
+        let a = Region::new(0, 0, 10, 10);
+        let b = Region::new(5, 5, 10, 10);
+        let c = Region::new(10, 0, 5, 5);
+        assert_eq!(a.right(), 10);
+        assert_eq!(a.bottom(), 10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // touching edges don't overlap
+    }
+
+    #[test]
+    fn qualitative_relations() {
+        let a = Region::new(0, 0, 10, 10);
+        assert_eq!(a.relation_to(&Region::new(20, 0, 5, 5)), SpatialRelation::LeftOf);
+        assert_eq!(
+            Region::new(20, 0, 5, 5).relation_to(&a),
+            SpatialRelation::RightOf
+        );
+        assert_eq!(a.relation_to(&Region::new(0, 20, 5, 5)), SpatialRelation::Above);
+        assert_eq!(
+            Region::new(0, 20, 5, 5).relation_to(&a),
+            SpatialRelation::Below
+        );
+        assert_eq!(
+            a.relation_to(&Region::new(2, 2, 4, 4)),
+            SpatialRelation::Contains
+        );
+        assert_eq!(
+            Region::new(2, 2, 4, 4).relation_to(&a),
+            SpatialRelation::Inside
+        );
+        assert_eq!(
+            a.relation_to(&Region::new(5, 5, 10, 10)),
+            SpatialRelation::Overlapping
+        );
+    }
+
+    #[test]
+    fn layering_and_display() {
+        let r = Region::new(1, 2, 3, 4).at_layer(7);
+        assert_eq!(r.layer, 7);
+        assert_eq!(r.to_string(), "(1, 2) 3x4 @layer 7");
+    }
+
+    #[test]
+    fn negative_positions_allowed() {
+        let r = Region::new(-5, -5, 10, 10);
+        assert_eq!(r.right(), 5);
+        assert!(r.overlaps(&Region::new(0, 0, 2, 2)));
+    }
+}

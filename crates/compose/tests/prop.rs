@@ -1,0 +1,132 @@
+//! Property tests on multimedia-object timeline invariants.
+
+use proptest::prelude::*;
+use tbm_compose::{Component, ComponentKind, MultimediaObject};
+use tbm_derive::Node;
+use tbm_time::{AllenRelation, TimeDelta, TimePoint};
+
+fn arb_object() -> impl Strategy<Value = MultimediaObject> {
+    prop::collection::vec((0i64..200, 0i64..200, any::<bool>()), 1..12).prop_map(|specs| {
+        let mut m = MultimediaObject::new("m");
+        for (i, (start, dur, audio)) in specs.into_iter().enumerate() {
+            m.add_component(
+                Component::new(
+                    &format!("c{i}"),
+                    if audio {
+                        ComponentKind::Audio
+                    } else {
+                        ComponentKind::Video
+                    },
+                    Node::source("x"),
+                    TimePoint::from_secs(start),
+                    TimeDelta::from_secs(dur),
+                )
+                .expect("non-negative duration"),
+            )
+            .expect("unique names");
+        }
+        m
+    })
+}
+
+proptest! {
+    /// The object's interval spans every component.
+    #[test]
+    fn interval_spans_components(m in arb_object()) {
+        let iv = m.interval().expect("non-empty");
+        for c in m.components() {
+            prop_assert!(iv.contains_interval(c.interval), "{} vs {}", iv, c.interval);
+        }
+        prop_assert_eq!(iv.duration(), m.duration());
+    }
+
+    /// `active_at` agrees with per-component interval membership.
+    #[test]
+    fn active_at_agrees(m in arb_object(), t in 0i64..420) {
+        let t = TimePoint::from_secs(t);
+        let active = m.active_at(t);
+        for c in m.components() {
+            let listed = active.iter().any(|a| a.name == c.name);
+            prop_assert_eq!(listed, c.interval.contains(t), "{}", c.name);
+        }
+    }
+
+    /// Translation moves the span rigidly and preserves every pairwise
+    /// Allen relation — so sync constraints survive translation.
+    #[test]
+    fn translation_preserves_relations(m in arb_object(), by in -100i64..100) {
+        let before: Vec<_> = m
+            .components()
+            .iter()
+            .flat_map(|a| {
+                m.components()
+                    .iter()
+                    .map(move |b| AllenRelation::classify(a.interval, b.interval))
+            })
+            .collect();
+        let mut moved = m.clone();
+        moved.translate(TimeDelta::from_secs(by));
+        let after: Vec<_> = moved
+            .components()
+            .iter()
+            .flat_map(|a| {
+                moved
+                    .components()
+                    .iter()
+                    .map(move |b| AllenRelation::classify(a.interval, b.interval))
+            })
+            .collect();
+        prop_assert_eq!(before, after);
+        let d0 = m.duration();
+        prop_assert_eq!(moved.duration(), d0);
+    }
+
+    /// Constraints recorded from the *actual* relations always validate,
+    /// before and after translation.
+    #[test]
+    fn recorded_relations_validate(m in arb_object(), by in -50i64..50) {
+        let mut m = m;
+        let pairs: Vec<(String, String, AllenRelation)> = m
+            .components()
+            .iter()
+            .zip(m.components().iter().skip(1))
+            .map(|(a, b)| {
+                (
+                    a.name.clone(),
+                    b.name.clone(),
+                    AllenRelation::classify(a.interval, b.interval),
+                )
+            })
+            .collect();
+        for (a, b, r) in pairs {
+            m.add_constraint(&a, r, &b).unwrap();
+        }
+        prop_assert!(m.validate().is_ok());
+        m.translate(TimeDelta::from_secs(by));
+        prop_assert!(m.validate().is_ok());
+    }
+
+    /// The timeline diagram renders one bar row per component and never
+    /// exceeds the requested width (plus the name gutter).
+    #[test]
+    fn timeline_diagram_shape(m in arb_object(), cols in 10usize..80) {
+        if m.duration().is_zero() {
+            // Degenerate objects render a placeholder, not bars.
+            prop_assert!(m.timeline_diagram(cols).contains("instantaneous"));
+            return Ok(());
+        }
+        let d = m.timeline_diagram(cols);
+        let bar_rows = d.lines().filter(|l| l.contains('|')).count();
+        prop_assert_eq!(bar_rows, m.components().len());
+        for line in d.lines().filter(|l| l.contains('|')) {
+            // Count characters (not bytes: '█' is multi-byte) between pipes.
+            let between = line
+                .chars()
+                .skip_while(|&c| c != '|')
+                .skip(1)
+                .take_while(|&c| c != '|')
+                .count();
+            prop_assert!(between <= cols, "bar width {} > {}", between, cols);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Typed attribute values for media and element descriptors.
+
+use std::fmt;
+use tbm_time::Rational;
+
+/// A value held by a descriptor attribute.
+///
+/// The paper's example descriptors mix integers (`frame width = 640`),
+/// rationals (`frame rate = 25`, but 30000/1001 for NTSC), text
+/// (`color model = RGB`), and qualities (`quality factor = "VHS quality"`).
+/// Quality factors are stored as text here; the typed view lives in
+/// [`crate::QualityFactor`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrValue {
+    /// A signed integer attribute (widths, sample sizes, channel counts…).
+    Int(i64),
+    /// An exact rational attribute (rates, ratios).
+    Rational(Rational),
+    /// A textual attribute (encodings, color models, quality names).
+    Text(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The integer value, if this is an [`AttrValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The rational value; integers coerce losslessly.
+    pub fn as_rational(&self) -> Option<Rational> {
+        match self {
+            AttrValue::Rational(v) => Some(*v),
+            AttrValue::Int(v) => Some(Rational::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// The text value, if this is an [`AttrValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is an [`AttrValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The name of this value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Rational(_) => "rational",
+            AttrValue::Text(_) => "text",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Rational(v) => write!(f, "{v}"),
+            AttrValue::Text(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(v: i32) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> AttrValue {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<Rational> for AttrValue {
+    fn from(v: Rational) -> AttrValue {
+        AttrValue::Rational(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Text(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Text(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(AttrValue::from(640).as_int(), Some(640));
+        assert_eq!(AttrValue::from(640).as_rational(), Some(Rational::from(640)));
+        assert_eq!(AttrValue::from("RGB").as_text(), Some("RGB"));
+        assert_eq!(AttrValue::from(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::from("RGB").as_int(), None);
+        assert_eq!(AttrValue::from(1).as_text(), None);
+    }
+
+    #[test]
+    fn rational_attr() {
+        let ntsc = Rational::new(30000, 1001);
+        assert_eq!(AttrValue::from(ntsc).as_rational(), Some(ntsc));
+        assert_eq!(AttrValue::from(ntsc).as_int(), None);
+    }
+
+    #[test]
+    fn display_and_type_names() {
+        assert_eq!(AttrValue::from(25).to_string(), "25");
+        assert_eq!(AttrValue::from("YUV").to_string(), "YUV");
+        assert_eq!(AttrValue::from(25).type_name(), "int");
+        assert_eq!(AttrValue::from("x").type_name(), "text");
+        assert_eq!(AttrValue::from(false).type_name(), "bool");
+        assert_eq!(AttrValue::from(Rational::new(1, 2)).type_name(), "rational");
+    }
+}

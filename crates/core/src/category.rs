@@ -1,0 +1,327 @@
+//! The stream-category taxonomy of the paper's Figure 1.
+//!
+//! §3.3 derives eight categories of timed streams from constraints on the
+//! tuples `⟨eᵢ, sᵢ, dᵢ⟩`. [`classify`] computes, in one pass, which
+//! categories a concrete stream inhabits; [`CategoryReport`] answers
+//! membership queries and renders the taxonomy line the paper prints in
+//! media descriptors (`category = homogeneous, constant frequency`).
+
+use crate::{StreamElement, StreamStats, TimedStream};
+use std::fmt;
+
+/// One of the eight stream categories of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamCategory {
+    /// Element descriptors are constant (e.g. CD audio).
+    Homogeneous,
+    /// Element descriptors vary (e.g. ADPCM with varying parameters).
+    Heterogeneous,
+    /// `sᵢ₊₁ = sᵢ + dᵢ` — a unique element for every time value in the span
+    /// (digital audio and video).
+    Continuous,
+    /// Gaps and/or overlaps among elements (music, animation).
+    NonContinuous,
+    /// All elements are duration-less events (`dᵢ = 0`), e.g. MIDI.
+    EventBased,
+    /// Continuous with constant element duration (fixed-frame-rate video).
+    ConstantFrequency,
+    /// Continuous with constant size/duration ratio.
+    ConstantDataRate,
+    /// Continuous with constant size *and* duration (raw audio/video).
+    Uniform,
+}
+
+impl StreamCategory {
+    /// All categories in the order Figure 1 lists them.
+    pub const ALL: [StreamCategory; 8] = [
+        StreamCategory::Homogeneous,
+        StreamCategory::Heterogeneous,
+        StreamCategory::Continuous,
+        StreamCategory::NonContinuous,
+        StreamCategory::EventBased,
+        StreamCategory::ConstantFrequency,
+        StreamCategory::ConstantDataRate,
+        StreamCategory::Uniform,
+    ];
+
+    /// The category's name as printed in Figure 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamCategory::Homogeneous => "homogeneous",
+            StreamCategory::Heterogeneous => "heterogeneous",
+            StreamCategory::Continuous => "continuous",
+            StreamCategory::NonContinuous => "non-continuous",
+            StreamCategory::EventBased => "event-based",
+            StreamCategory::ConstantFrequency => "constant frequency",
+            StreamCategory::ConstantDataRate => "constant data rate",
+            StreamCategory::Uniform => "uniform",
+        }
+    }
+}
+
+impl fmt::Display for StreamCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The categories a stream satisfies, plus the stats they were derived from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryReport {
+    stats: StreamStats,
+}
+
+impl CategoryReport {
+    /// Builds a report from precomputed stats.
+    pub fn from_stats(stats: StreamStats) -> CategoryReport {
+        CategoryReport { stats }
+    }
+
+    /// The underlying single-pass statistics.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Whether the stream satisfies `category`.
+    ///
+    /// Vacuous truths are resolved in favour of the *stronger* category:
+    /// empty and single-element streams are homogeneous, continuous,
+    /// constant-frequency etc., matching the universally-quantified
+    /// definitions in §3.3.
+    pub fn satisfies(&self, category: StreamCategory) -> bool {
+        let s = &self.stats;
+        match category {
+            StreamCategory::Homogeneous => s.homogeneous,
+            StreamCategory::Heterogeneous => !s.homogeneous,
+            StreamCategory::Continuous => s.continuous,
+            StreamCategory::NonContinuous => !s.continuous,
+            StreamCategory::EventBased => s.event_based && s.count > 0,
+            StreamCategory::ConstantFrequency => {
+                s.continuous && s.constant_duration && !s.event_based
+            }
+            StreamCategory::ConstantDataRate => s.continuous && s.constant_rate && !s.event_based,
+            StreamCategory::Uniform => {
+                s.continuous && s.constant_duration && s.constant_size && !s.event_based
+            }
+        }
+    }
+
+    /// All satisfied categories, in Figure 1 order.
+    pub fn categories(&self) -> Vec<StreamCategory> {
+        StreamCategory::ALL
+            .into_iter()
+            .filter(|c| self.satisfies(*c))
+            .collect()
+    }
+
+    /// The descriptor line: the *most informative* categories, in the style
+    /// of the paper's `category = homogeneous, constant frequency` /
+    /// `category = homogeneous, uniform`.
+    pub fn descriptor_line(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        parts.push(if self.stats.homogeneous {
+            "homogeneous"
+        } else {
+            "heterogeneous"
+        });
+        if self.satisfies(StreamCategory::EventBased) {
+            parts.push("event-based");
+        } else if self.satisfies(StreamCategory::Uniform) {
+            parts.push("uniform");
+        } else if self.satisfies(StreamCategory::ConstantDataRate)
+            && self.satisfies(StreamCategory::ConstantFrequency)
+        {
+            parts.push("constant frequency");
+            parts.push("constant data rate");
+        } else if self.satisfies(StreamCategory::ConstantFrequency) {
+            parts.push("constant frequency");
+        } else if self.satisfies(StreamCategory::ConstantDataRate) {
+            parts.push("constant data rate");
+        } else if self.satisfies(StreamCategory::Continuous) {
+            parts.push("continuous");
+        } else {
+            parts.push("non-continuous");
+        }
+        parts.join(", ")
+    }
+}
+
+impl fmt::Display for CategoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.descriptor_line())
+    }
+}
+
+/// Classifies a stream into the Figure 1 categories.
+pub fn classify<E: StreamElement>(stream: &TimedStream<E>) -> CategoryReport {
+    CategoryReport::from_stats(stream.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElementDescriptor, MediaType, SizedElement, TimedTuple};
+    use tbm_time::TimeSystem;
+
+    fn stream(tuples: Vec<TimedTuple<SizedElement>>) -> TimedStream<SizedElement> {
+        TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).unwrap()
+    }
+
+    /// Figure 1, row "uniform": CD audio — constant size and duration.
+    #[test]
+    fn cd_audio_is_uniform() {
+        let s = TimedStream::constant_frequency(
+            MediaType::cd_audio(),
+            TimeSystem::CD_AUDIO,
+            0,
+            (0..1000).map(|_| SizedElement::new(4)),
+        );
+        let r = classify(&s);
+        assert!(r.satisfies(StreamCategory::Homogeneous));
+        assert!(r.satisfies(StreamCategory::Continuous));
+        assert!(r.satisfies(StreamCategory::ConstantFrequency));
+        assert!(r.satisfies(StreamCategory::ConstantDataRate));
+        assert!(r.satisfies(StreamCategory::Uniform));
+        assert!(!r.satisfies(StreamCategory::EventBased));
+        assert!(!r.satisfies(StreamCategory::NonContinuous));
+        assert_eq!(r.descriptor_line(), "homogeneous, uniform");
+    }
+
+    /// Figure 1, row "constant frequency": compressed video — fixed duration,
+    /// varying sizes.
+    #[test]
+    fn compressed_video_is_constant_frequency_not_uniform() {
+        let sizes = [900u64, 1100, 950, 1050];
+        let s = TimedStream::constant_frequency(
+            MediaType::video("JPEG video"),
+            TimeSystem::PAL,
+            0,
+            sizes.iter().map(|&z| SizedElement::new(z)),
+        );
+        let r = classify(&s);
+        assert!(r.satisfies(StreamCategory::ConstantFrequency));
+        assert!(!r.satisfies(StreamCategory::Uniform));
+        assert!(!r.satisfies(StreamCategory::ConstantDataRate));
+        assert_eq!(r.descriptor_line(), "homogeneous, constant frequency");
+    }
+
+    /// Figure 1, row "constant data rate": sizes proportional to durations.
+    #[test]
+    fn proportional_sizes_are_constant_data_rate() {
+        let s = TimedStream::continuous_from(
+            MediaType::pcm_audio(),
+            TimeSystem::CD_AUDIO,
+            0,
+            [
+                (SizedElement::new(100), 1),
+                (SizedElement::new(200), 2),
+                (SizedElement::new(300), 3),
+            ],
+        )
+        .unwrap();
+        let r = classify(&s);
+        assert!(r.satisfies(StreamCategory::ConstantDataRate));
+        assert!(!r.satisfies(StreamCategory::ConstantFrequency));
+        assert!(!r.satisfies(StreamCategory::Uniform));
+        assert_eq!(r.descriptor_line(), "homogeneous, constant data rate");
+    }
+
+    /// Figure 1, row "heterogeneous": element descriptors vary (ADPCM).
+    #[test]
+    fn varying_descriptors_are_heterogeneous() {
+        let d1 = ElementDescriptor::from_pairs([("step", 1i64)]);
+        let d2 = ElementDescriptor::from_pairs([("step", 2i64)]);
+        let s = stream(vec![
+            TimedTuple::new(SizedElement::with_descriptor(8, d1), 0, 1),
+            TimedTuple::new(SizedElement::with_descriptor(8, d2), 1, 1),
+        ]);
+        let r = classify(&s);
+        assert!(r.satisfies(StreamCategory::Heterogeneous));
+        assert!(!r.satisfies(StreamCategory::Homogeneous));
+        assert!(r.descriptor_line().starts_with("heterogeneous"));
+    }
+
+    /// Figure 1, row "non-continuous": music with rests (gaps) and chords
+    /// (overlaps).
+    #[test]
+    fn gaps_and_overlaps_are_non_continuous() {
+        let with_gap = stream(vec![
+            TimedTuple::new(SizedElement::new(3), 0, 10),
+            TimedTuple::new(SizedElement::new(3), 20, 10),
+        ]);
+        assert!(classify(&with_gap).satisfies(StreamCategory::NonContinuous));
+
+        let with_chord = stream(vec![
+            TimedTuple::new(SizedElement::new(3), 0, 10),
+            TimedTuple::new(SizedElement::new(3), 0, 10),
+        ]);
+        assert!(classify(&with_chord).satisfies(StreamCategory::NonContinuous));
+        assert_eq!(
+            classify(&with_chord).descriptor_line(),
+            "homogeneous, non-continuous"
+        );
+    }
+
+    /// Figure 1, row "event-based": MIDI events with `dᵢ = 0`.
+    #[test]
+    fn midi_events_are_event_based() {
+        let s = stream(vec![
+            TimedTuple::new(SizedElement::new(3), 0, 0),
+            TimedTuple::new(SizedElement::new(3), 240, 0),
+            TimedTuple::new(SizedElement::new(3), 480, 0),
+        ]);
+        let r = classify(&s);
+        assert!(r.satisfies(StreamCategory::EventBased));
+        // Event-based is a special case of non-continuous here (gaps).
+        assert!(r.satisfies(StreamCategory::NonContinuous));
+        assert!(!r.satisfies(StreamCategory::ConstantFrequency));
+        assert!(!r.satisfies(StreamCategory::Uniform));
+        assert_eq!(r.descriptor_line(), "homogeneous, event-based");
+    }
+
+    #[test]
+    fn empty_stream_vacuously_strong() {
+        let s = TimedStream::<SizedElement>::empty(MediaType::music(), TimeSystem::MIDI_PPQ_480);
+        let r = classify(&s);
+        assert!(r.satisfies(StreamCategory::Homogeneous));
+        assert!(r.satisfies(StreamCategory::Continuous));
+        assert!(!r.satisfies(StreamCategory::EventBased)); // requires elements
+    }
+
+    #[test]
+    fn uniform_implies_the_weaker_categories() {
+        let s = TimedStream::constant_frequency(
+            MediaType::cd_audio(),
+            TimeSystem::CD_AUDIO,
+            0,
+            (0..10).map(|_| SizedElement::new(4)),
+        );
+        let r = classify(&s);
+        for c in [
+            StreamCategory::Continuous,
+            StreamCategory::ConstantFrequency,
+            StreamCategory::ConstantDataRate,
+            StreamCategory::Uniform,
+        ] {
+            assert!(r.satisfies(c), "uniform stream should satisfy {c}");
+        }
+    }
+
+    #[test]
+    fn category_names_match_figure_1() {
+        let names: Vec<_> = StreamCategory::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "homogeneous",
+                "heterogeneous",
+                "continuous",
+                "non-continuous",
+                "event-based",
+                "constant frequency",
+                "constant data rate",
+                "uniform",
+            ]
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Media and element descriptors (paper Definition 1 and the Fig. 2 example).
+//!
+//! > *"The minimum a database system should know about media objects includes
+//! > their type (e.g., image, audio) and encoding attributes that vary from
+//! > type to type. We call such information a media descriptor."*
+//!
+//! A [`MediaDescriptor`] carries the media kind plus an ordered attribute
+//! map; [`keys`] lists the well-known attribute names used throughout the
+//! reproduction, matching the paper's Fig. 2 descriptors (`frame rate`,
+//! `frame width`, `sample size`, `encoding`, …). An [`ElementDescriptor`]
+//! describes a single media element in a heterogeneous stream — the paper's
+//! example is ADPCM audio whose encoding parameters vary over the sequence.
+
+use crate::{AttrValue, MediaKind, ModelError, QualityFactor};
+use std::collections::BTreeMap;
+use std::fmt;
+use tbm_time::{Rational, TimeDelta};
+
+/// Well-known descriptor attribute keys.
+///
+/// These mirror the attribute names printed in the paper's Fig. 2 media
+/// descriptors.
+pub mod keys {
+    /// Stream category summary (e.g. `"homogeneous, constant frequency"`).
+    pub const CATEGORY: &str = "category";
+    /// Descriptive quality factor (see [`crate::QualityFactor`]).
+    pub const QUALITY_FACTOR: &str = "quality factor";
+    /// Total duration in seconds (rational).
+    pub const DURATION: &str = "duration";
+    /// Video frame rate in frames/second (rational).
+    pub const FRAME_RATE: &str = "frame rate";
+    /// Video frame width in pixels.
+    pub const FRAME_WIDTH: &str = "frame width";
+    /// Video frame height in pixels.
+    pub const FRAME_HEIGHT: &str = "frame height";
+    /// Bits per pixel of the *source* frames.
+    pub const FRAME_DEPTH: &str = "frame depth";
+    /// Source color model (`"RGB"`, `"YUV"`, `"CMYK"`, `"grayscale"`).
+    pub const COLOR_MODEL: &str = "color model";
+    /// Encoding chain description (e.g. `"YUV 8:2:2, JPEG"`).
+    pub const ENCODING: &str = "encoding";
+    /// Audio sample rate in samples/second.
+    pub const SAMPLE_RATE: &str = "sample rate";
+    /// Audio sample size in bits.
+    pub const SAMPLE_SIZE: &str = "sample size";
+    /// Number of audio channels.
+    pub const CHANNELS: &str = "number of channels";
+    /// Average data rate in bytes/second (rational) — the paper notes
+    /// descriptors "should also contain information that helps allocate
+    /// resources for playback".
+    pub const AVG_DATA_RATE: &str = "average data rate";
+    /// Peak-to-average data rate ratio (rational), a measure of rate variation.
+    pub const RATE_VARIATION: &str = "data rate variation";
+    /// MIDI pulses-per-quarter-note resolution.
+    pub const PPQ: &str = "pulses per quarter";
+    /// Beats per minute for music media.
+    pub const TEMPO: &str = "tempo";
+    /// Language tag for audio tracks (enables the paper's §1.2 query
+    /// "select a specific sound track" by language).
+    pub const LANGUAGE: &str = "language";
+}
+
+/// A media descriptor: the media kind plus encoding attributes (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaDescriptor {
+    kind: MediaKind,
+    attrs: BTreeMap<String, AttrValue>,
+}
+
+impl MediaDescriptor {
+    /// Creates an empty descriptor for a media kind.
+    pub fn new(kind: MediaKind) -> MediaDescriptor {
+        MediaDescriptor {
+            kind,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// The media kind (image, audio, video, …).
+    pub fn kind(&self) -> MediaKind {
+        self.kind
+    }
+
+    /// Sets an attribute, builder style.
+    pub fn with(mut self, key: &str, value: impl Into<AttrValue>) -> MediaDescriptor {
+        self.attrs.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Sets an attribute in place.
+    pub fn set(&mut self, key: &str, value: impl Into<AttrValue>) {
+        self.attrs.insert(key.to_owned(), value.into());
+    }
+
+    /// Looks up an attribute.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.get(key)
+    }
+
+    /// Integer attribute accessor.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(AttrValue::as_int)
+    }
+
+    /// Rational attribute accessor (integers coerce).
+    pub fn get_rational(&self, key: &str) -> Option<Rational> {
+        self.get(key).and_then(AttrValue::as_rational)
+    }
+
+    /// Text attribute accessor.
+    pub fn get_text(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(AttrValue::as_text)
+    }
+
+    /// The descriptor's quality factor, if present and recognized.
+    pub fn quality(&self) -> Option<QualityFactor> {
+        self.get_text(keys::QUALITY_FACTOR).and_then(QualityFactor::parse)
+    }
+
+    /// Sets the quality factor from the typed representation.
+    pub fn set_quality(&mut self, q: QualityFactor) {
+        self.set(keys::QUALITY_FACTOR, q.name());
+    }
+
+    /// The declared total duration, if present.
+    pub fn duration(&self) -> Option<TimeDelta> {
+        self.get_rational(keys::DURATION).map(TimeDelta::from_seconds)
+    }
+
+    /// Iterates attributes in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes present.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` when no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Requires an attribute to be present, with a typed error.
+    pub fn require(&self, key: &str) -> Result<&AttrValue, ModelError> {
+        self.get(key).ok_or_else(|| ModelError::MissingAttribute {
+            key: key.to_owned(),
+        })
+    }
+}
+
+impl fmt::Display for MediaDescriptor {
+    /// Prints in the paper's Fig. 2 style:
+    ///
+    /// ```text
+    /// video descriptor = {
+    ///   quality factor = VHS quality
+    ///   frame rate = 25
+    ///   ...
+    /// }
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} descriptor = {{", self.kind)?;
+        for (k, v) in self.iter() {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An element descriptor: per-element attributes within a stream.
+///
+/// Homogeneous streams have a constant element descriptor ("element
+/// descriptor attributes are subsumed by the media descriptors" — Fig. 2
+/// discussion); heterogeneous streams vary. Equality of element descriptors
+/// is what the homogeneity classification compares, so this type is cheap to
+/// compare and hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ElementDescriptor {
+    attrs: Vec<(String, AttrValue)>, // sorted by key
+}
+
+impl ElementDescriptor {
+    /// The empty element descriptor (used by fully homogeneous media).
+    pub fn empty() -> ElementDescriptor {
+        ElementDescriptor::default()
+    }
+
+    /// Builds a descriptor from key/value pairs (order-insensitive).
+    pub fn from_pairs<I, K, V>(pairs: I) -> ElementDescriptor
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<AttrValue>,
+    {
+        let mut attrs: Vec<(String, AttrValue)> = pairs
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect();
+        attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        attrs.dedup_by(|a, b| a.0 == b.0);
+        ElementDescriptor { attrs }
+    }
+
+    /// Looks up an attribute by key.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+
+    /// Iterates attributes in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `true` when the descriptor carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// A stable 64-bit fingerprint; equal descriptors have equal tokens.
+    ///
+    /// Classification over long streams (a second of CD audio is 44 100
+    /// elements) compares tokens instead of full descriptors.
+    pub fn token(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.attrs.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl fmt::Display for ElementDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AudioQuality, VideoQuality};
+
+    /// Rebuilds the paper's Fig. 2 `video1` descriptor.
+    fn fig2_video_descriptor() -> MediaDescriptor {
+        let mut d = MediaDescriptor::new(MediaKind::Video)
+            .with(keys::CATEGORY, "homogeneous, constant frequency")
+            .with(keys::DURATION, Rational::from(600))
+            .with(keys::FRAME_RATE, 25)
+            .with(keys::FRAME_WIDTH, 640)
+            .with(keys::FRAME_HEIGHT, 480)
+            .with(keys::FRAME_DEPTH, 24)
+            .with(keys::COLOR_MODEL, "RGB")
+            .with(keys::ENCODING, "YUV 8:2:2, JPEG");
+        d.set_quality(QualityFactor::Video(VideoQuality::Vhs));
+        d
+    }
+
+    #[test]
+    fn fig2_video_descriptor_attributes() {
+        let d = fig2_video_descriptor();
+        assert_eq!(d.kind(), MediaKind::Video);
+        assert_eq!(d.get_int(keys::FRAME_WIDTH), Some(640));
+        assert_eq!(d.get_int(keys::FRAME_HEIGHT), Some(480));
+        assert_eq!(d.get_rational(keys::FRAME_RATE), Some(Rational::from(25)));
+        assert_eq!(d.get_text(keys::COLOR_MODEL), Some("RGB"));
+        assert_eq!(d.quality(), Some(QualityFactor::Video(VideoQuality::Vhs)));
+        assert_eq!(d.duration(), Some(TimeDelta::from_secs(600)));
+    }
+
+    #[test]
+    fn fig2_audio_descriptor_attributes() {
+        let mut d = MediaDescriptor::new(MediaKind::Audio)
+            .with(keys::CATEGORY, "homogeneous, uniform")
+            .with(keys::DURATION, Rational::from(600))
+            .with(keys::SAMPLE_RATE, 44100)
+            .with(keys::SAMPLE_SIZE, 16)
+            .with(keys::CHANNELS, 2)
+            .with(keys::ENCODING, "PCM");
+        d.set_quality(QualityFactor::Audio(AudioQuality::Cd));
+        assert_eq!(d.get_int(keys::SAMPLE_RATE), Some(44100));
+        assert_eq!(d.get_int(keys::CHANNELS), Some(2));
+        assert_eq!(d.quality(), Some(QualityFactor::Audio(AudioQuality::Cd)));
+    }
+
+    #[test]
+    fn display_matches_paper_layout() {
+        let d = MediaDescriptor::new(MediaKind::Audio)
+            .with(keys::SAMPLE_RATE, 44100)
+            .with(keys::ENCODING, "PCM");
+        let s = d.to_string();
+        assert!(s.starts_with("audio descriptor = {"));
+        assert!(s.contains("  sample rate = 44100"));
+        assert!(s.contains("  encoding = PCM"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let d = MediaDescriptor::new(MediaKind::Video);
+        assert!(matches!(
+            d.require(keys::FRAME_RATE),
+            Err(ModelError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn element_descriptor_order_insensitive_equality() {
+        let a = ElementDescriptor::from_pairs([("step", AttrValue::from(4)), ("pred", 7.into())]);
+        let b = ElementDescriptor::from_pairs([("pred", AttrValue::from(7)), ("step", 4.into())]);
+        assert_eq!(a, b);
+        assert_eq!(a.token(), b.token());
+        assert_eq!(a.get("step"), Some(&AttrValue::Int(4)));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn element_descriptor_tokens_differ() {
+        let a = ElementDescriptor::from_pairs([("step", 4i64)]);
+        let b = ElementDescriptor::from_pairs([("step", 5i64)]);
+        assert_ne!(a, b);
+        assert_ne!(a.token(), b.token());
+        assert!(ElementDescriptor::empty().is_empty());
+    }
+
+    #[test]
+    fn element_descriptor_display() {
+        let a = ElementDescriptor::from_pairs([("b", 2i64), ("a", 1i64)]);
+        assert_eq!(a.to_string(), "{a=1, b=2}");
+    }
+
+    #[test]
+    fn duplicate_keys_deduplicate() {
+        let a = ElementDescriptor::from_pairs([("k", 1i64), ("k", 2i64)]);
+        assert_eq!(a.iter().count(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! The element interface required by timed streams.
+//!
+//! Definition 3's tuples carry media elements `eᵢ` whose concrete form is
+//! media-specific (video frames, audio samples, musical notes…). The stream
+//! layer needs only two things from an element: its *size* (for data-rate
+//! classification and interpretation placement) and its *element descriptor*
+//! (for homogeneity classification). [`StreamElement`] captures exactly
+//! that; concrete media in `tbm-media` implement it.
+
+use crate::ElementDescriptor;
+
+/// Behaviour required of media elements stored in a [`crate::TimedStream`].
+pub trait StreamElement {
+    /// The element's encoded size in bytes.
+    ///
+    /// Figure 1 visualizes this as the *area* of each element rectangle; the
+    /// constant-data-rate and uniform categories constrain it.
+    fn byte_size(&self) -> u64;
+
+    /// A cheap equality token for the element's descriptor.
+    ///
+    /// Elements with equal tokens must have equal element descriptors.
+    /// Homogeneity classification compares tokens, so a second of CD audio
+    /// (44 100 elements) classifies without allocating 44 100 descriptors.
+    /// The default token (0) declares "no element descriptor", which is
+    /// correct for fully homogeneous media.
+    fn descriptor_token(&self) -> u64 {
+        0
+    }
+
+    /// The element's full descriptor, materialized on demand.
+    fn element_descriptor(&self) -> ElementDescriptor {
+        ElementDescriptor::empty()
+    }
+}
+
+/// A minimal element carrying only a size and an optional descriptor.
+///
+/// Used by tests, benchmarks and layers that manipulate stream *structure*
+/// without materializing media content (e.g. interpretation planning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizedElement {
+    size: u64,
+    descriptor: ElementDescriptor,
+}
+
+impl SizedElement {
+    /// An element of `size` bytes with an empty descriptor.
+    pub fn new(size: u64) -> SizedElement {
+        SizedElement {
+            size,
+            descriptor: ElementDescriptor::empty(),
+        }
+    }
+
+    /// An element of `size` bytes with the given descriptor.
+    pub fn with_descriptor(size: u64, descriptor: ElementDescriptor) -> SizedElement {
+        SizedElement { size, descriptor }
+    }
+
+    /// The descriptor attached to the element.
+    pub fn descriptor(&self) -> &ElementDescriptor {
+        &self.descriptor
+    }
+}
+
+impl StreamElement for SizedElement {
+    fn byte_size(&self) -> u64 {
+        self.size
+    }
+
+    fn descriptor_token(&self) -> u64 {
+        if self.descriptor.is_empty() {
+            0
+        } else {
+            self.descriptor.token()
+        }
+    }
+
+    fn element_descriptor(&self) -> ElementDescriptor {
+        self.descriptor.clone()
+    }
+}
+
+/// References to elements delegate to the referent.
+impl<T: StreamElement + ?Sized> StreamElement for &T {
+    fn byte_size(&self) -> u64 {
+        (**self).byte_size()
+    }
+
+    fn descriptor_token(&self) -> u64 {
+        (**self).descriptor_token()
+    }
+
+    fn element_descriptor(&self) -> ElementDescriptor {
+        (**self).element_descriptor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_element_reports_size() {
+        let e = SizedElement::new(1024);
+        assert_eq!(e.byte_size(), 1024);
+        assert_eq!(e.descriptor_token(), 0);
+        assert!(e.element_descriptor().is_empty());
+    }
+
+    #[test]
+    fn descriptor_token_tracks_descriptor() {
+        let d1 = ElementDescriptor::from_pairs([("kind", "I")]);
+        let d2 = ElementDescriptor::from_pairs([("kind", "P")]);
+        let a = SizedElement::with_descriptor(10, d1.clone());
+        let b = SizedElement::with_descriptor(10, d1);
+        let c = SizedElement::with_descriptor(10, d2);
+        assert_eq!(a.descriptor_token(), b.descriptor_token());
+        assert_ne!(a.descriptor_token(), c.descriptor_token());
+        assert_ne!(a.descriptor_token(), 0);
+    }
+
+    #[test]
+    fn reference_delegation() {
+        let e = SizedElement::new(5);
+        let r: &SizedElement = &e;
+        assert_eq!(StreamElement::byte_size(&r), 5);
+    }
+}

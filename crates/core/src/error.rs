@@ -1,0 +1,97 @@
+//! Error type for the data-model layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A timed tuple violated Definition 3's ordering constraint
+    /// (`sᵢ₊₁ ≥ sᵢ`).
+    UnorderedStart {
+        /// Index of the offending tuple.
+        index: usize,
+        /// Previous tuple's start.
+        prev_start: i64,
+        /// Offending start.
+        start: i64,
+    },
+    /// A timed tuple had a negative duration (Definition 3 requires `dᵢ ≥ 0`).
+    NegativeDuration {
+        /// Index of the offending tuple.
+        index: usize,
+        /// The negative duration supplied.
+        duration: i64,
+    },
+    /// A descriptor is missing an attribute its media type requires.
+    MissingAttribute {
+        /// The required attribute key.
+        key: String,
+    },
+    /// A descriptor attribute has the wrong type.
+    WrongAttributeType {
+        /// The attribute key.
+        key: String,
+        /// The expected type name.
+        expected: &'static str,
+    },
+    /// A descriptor attribute holds a value outside its specified range.
+    AttributeOutOfRange {
+        /// The attribute key.
+        key: String,
+        /// Human-readable description of the violated constraint.
+        constraint: String,
+    },
+    /// The stream's media type requires a category constraint the stream
+    /// does not satisfy (e.g. CD audio must be uniform).
+    CategoryViolation {
+        /// The required category's name.
+        required: &'static str,
+    },
+    /// The media kind of a descriptor does not match the media type.
+    KindMismatch {
+        /// Kind declared by the media type.
+        expected: String,
+        /// Kind found in the descriptor.
+        found: String,
+    },
+    /// An operation received an empty stream where elements are required.
+    EmptyStream,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnorderedStart {
+                index,
+                prev_start,
+                start,
+            } => write!(
+                f,
+                "tuple {index} starts at {start}, before previous start {prev_start} \
+                 (Definition 3 requires s(i+1) >= s(i))"
+            ),
+            ModelError::NegativeDuration { index, duration } => write!(
+                f,
+                "tuple {index} has negative duration {duration} (Definition 3 requires d >= 0)"
+            ),
+            ModelError::MissingAttribute { key } => {
+                write!(f, "descriptor is missing required attribute `{key}`")
+            }
+            ModelError::WrongAttributeType { key, expected } => {
+                write!(f, "descriptor attribute `{key}` must be of type {expected}")
+            }
+            ModelError::AttributeOutOfRange { key, constraint } => {
+                write!(f, "descriptor attribute `{key}` violates constraint: {constraint}")
+            }
+            ModelError::CategoryViolation { required } => {
+                write!(f, "stream violates required category `{required}`")
+            }
+            ModelError::KindMismatch { expected, found } => {
+                write!(f, "descriptor kind `{found}` does not match media type kind `{expected}`")
+            }
+            ModelError::EmptyStream => write!(f, "operation requires a non-empty stream"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

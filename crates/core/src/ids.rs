@@ -1,0 +1,89 @@
+//! Identifier newtypes shared across the model layers.
+//!
+//! The paper's instance diagram (Fig. 4a) relates BLOBs, media objects,
+//! derivation objects and multimedia objects. These relationships are stored
+//! by id; each layer gets its own newtype so a BLOB id can never be passed
+//! where a media-object id is expected.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw id value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw id value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a BLOB (Definition 4) in a blob store.
+    BlobId,
+    "blob:"
+);
+id_type!(
+    /// Identifies an interpretation (Definition 5) of a BLOB.
+    InterpretationId,
+    "interp:"
+);
+id_type!(
+    /// Identifies a media object — derived or non-derived.
+    MediaObjectId,
+    "media:"
+);
+id_type!(
+    /// Identifies a derivation object (Definition 6).
+    DerivationId,
+    "deriv:"
+);
+id_type!(
+    /// Identifies a multimedia object (Definition 7).
+    MultimediaObjectId,
+    "mm:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        let b = BlobId::new(7);
+        assert_eq!(b.raw(), 7);
+        assert_eq!(b.to_string(), "blob:7");
+        assert_eq!(BlobId::from(7), b);
+        assert_ne!(BlobId::new(1), BlobId::new(2));
+        assert_eq!(MediaObjectId::new(3).to_string(), "media:3");
+        assert_eq!(DerivationId::new(4).to_string(), "deriv:4");
+        assert_eq!(MultimediaObjectId::new(5).to_string(), "mm:5");
+        assert_eq!(InterpretationId::new(6).to_string(), "interp:6");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(BlobId::new(1) < BlobId::new(2));
+    }
+}

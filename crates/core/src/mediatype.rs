@@ -1,0 +1,518 @@
+//! Media types (paper Definition 1).
+//!
+//! > *"A media type is a specification of the attributes found in media
+//! > descriptors and their possible values. For time-based media, a media
+//! > type also specifies the form of element descriptors."*
+//!
+//! A [`MediaType`] declares, for each attribute, its name, value type,
+//! whether it is required, and optionally a fixed value or integer range
+//! (the CD-audio type *fixes* `sample rate = 44100`). It also declares
+//! category constraints checked against streams — e.g. CD audio must be a
+//! uniform stream, which yields the paper's `sᵢ₊₁ = sᵢ + dᵢ ∧ dᵢ = 1`
+//! requirement.
+
+use crate::{
+    keys, AttrValue, CategoryReport, ElementDescriptor, MediaDescriptor, ModelError,
+    StreamCategory,
+};
+use std::fmt;
+use tbm_time::Rational;
+
+/// The broad media kinds discussed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MediaKind {
+    /// Still images.
+    Image,
+    /// Sampled sound.
+    Audio,
+    /// Frame sequences.
+    Video,
+    /// Symbolic music (MIDI-like events) — audio is *derived* from it.
+    Music,
+    /// Symbolic animation (scene events) — video is *derived* from it.
+    Animation,
+    /// Structured text (included for completeness of derivation examples).
+    Text,
+}
+
+impl MediaKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [MediaKind; 6] = [
+        MediaKind::Image,
+        MediaKind::Audio,
+        MediaKind::Video,
+        MediaKind::Music,
+        MediaKind::Animation,
+        MediaKind::Text,
+    ];
+
+    /// `true` for kinds whose representations are inherently time-based.
+    pub fn is_time_based(self) -> bool {
+        !matches!(self, MediaKind::Image | MediaKind::Text)
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MediaKind::Image => "image",
+            MediaKind::Audio => "audio",
+            MediaKind::Video => "video",
+            MediaKind::Music => "music",
+            MediaKind::Animation => "animation",
+            MediaKind::Text => "text",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The value type an attribute specification accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// Signed integer.
+    Int,
+    /// Exact rational.
+    Rational,
+    /// Text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl AttrType {
+    /// Whether `value` inhabits this type (integers inhabit `Rational`).
+    pub fn admits(self, value: &AttrValue) -> bool {
+        matches!(
+            (self, value),
+            (AttrType::Int, AttrValue::Int(_))
+                | (AttrType::Rational, AttrValue::Rational(_))
+                | (AttrType::Rational, AttrValue::Int(_))
+                | (AttrType::Text, AttrValue::Text(_))
+                | (AttrType::Bool, AttrValue::Bool(_))
+        )
+    }
+
+    /// Type name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Rational => "rational",
+            AttrType::Text => "text",
+            AttrType::Bool => "bool",
+        }
+    }
+}
+
+/// Specification of one descriptor attribute within a media type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrSpec {
+    /// Attribute key (see [`crate::keys`]).
+    pub key: String,
+    /// Accepted value type.
+    pub ty: AttrType,
+    /// Whether a descriptor must supply the attribute.
+    pub required: bool,
+    /// If set, the attribute must equal this exact value (the CD-audio type
+    /// pins `sample rate = 44100`).
+    pub fixed: Option<AttrValue>,
+    /// If set, an inclusive numeric range for int/rational attributes.
+    pub range: Option<(Rational, Rational)>,
+}
+
+impl AttrSpec {
+    /// A required attribute of the given type.
+    pub fn required(key: &str, ty: AttrType) -> AttrSpec {
+        AttrSpec {
+            key: key.to_owned(),
+            ty,
+            required: true,
+            fixed: None,
+            range: None,
+        }
+    }
+
+    /// An optional attribute of the given type.
+    pub fn optional(key: &str, ty: AttrType) -> AttrSpec {
+        AttrSpec {
+            required: false,
+            ..AttrSpec::required(key, ty)
+        }
+    }
+
+    /// Pins the attribute to an exact value.
+    pub fn fixed_value(mut self, v: impl Into<AttrValue>) -> AttrSpec {
+        self.fixed = Some(v.into());
+        self
+    }
+
+    /// Restricts numeric attributes to an inclusive range.
+    pub fn in_range(mut self, lo: Rational, hi: Rational) -> AttrSpec {
+        self.range = Some((lo, hi));
+        self
+    }
+
+    fn check(&self, desc: &MediaDescriptor) -> Result<(), ModelError> {
+        let value = match desc.get(&self.key) {
+            Some(v) => v,
+            None if self.required => {
+                return Err(ModelError::MissingAttribute {
+                    key: self.key.clone(),
+                })
+            }
+            None => return Ok(()),
+        };
+        if !self.ty.admits(value) {
+            return Err(ModelError::WrongAttributeType {
+                key: self.key.clone(),
+                expected: self.ty.name(),
+            });
+        }
+        if let Some(fixed) = &self.fixed {
+            let matches = match (fixed.as_rational(), value.as_rational()) {
+                (Some(a), Some(b)) => a == b,
+                _ => fixed == value,
+            };
+            if !matches {
+                return Err(ModelError::AttributeOutOfRange {
+                    key: self.key.clone(),
+                    constraint: format!("must equal {fixed}"),
+                });
+            }
+        }
+        if let Some((lo, hi)) = self.range {
+            if let Some(v) = value.as_rational() {
+                if v < lo || v > hi {
+                    return Err(ModelError::AttributeOutOfRange {
+                        key: self.key.clone(),
+                        constraint: format!("must lie in [{lo}, {hi}]"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A media type: attribute specifications plus stream-category constraints
+/// (Definition 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaType {
+    name: String,
+    kind: MediaKind,
+    attr_specs: Vec<AttrSpec>,
+    /// Categories every stream of this type must satisfy.
+    required_categories: Vec<StreamCategory>,
+    /// Whether streams of this type carry per-element descriptors.
+    has_element_descriptors: bool,
+}
+
+impl MediaType {
+    /// Creates a media type with no attribute specs or constraints.
+    pub fn new(name: &str, kind: MediaKind) -> MediaType {
+        MediaType {
+            name: name.to_owned(),
+            kind,
+            attr_specs: Vec::new(),
+            required_categories: Vec::new(),
+            has_element_descriptors: false,
+        }
+    }
+
+    /// The type's name (e.g. `"CD audio"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The type's media kind.
+    pub fn kind(&self) -> MediaKind {
+        self.kind
+    }
+
+    /// Adds an attribute specification, builder style.
+    pub fn with_attr(mut self, spec: AttrSpec) -> MediaType {
+        self.attr_specs.push(spec);
+        self
+    }
+
+    /// Requires streams of this type to satisfy `category`.
+    pub fn require_category(mut self, category: StreamCategory) -> MediaType {
+        self.required_categories.push(category);
+        self
+    }
+
+    /// Declares that elements of this type carry their own descriptors
+    /// (the paper's ADPCM example).
+    pub fn with_element_descriptors(mut self) -> MediaType {
+        self.has_element_descriptors = true;
+        self
+    }
+
+    /// Whether streams of this type carry per-element descriptors.
+    pub fn has_element_descriptors(&self) -> bool {
+        self.has_element_descriptors
+    }
+
+    /// The categories required of every stream of this type.
+    pub fn required_categories(&self) -> &[StreamCategory] {
+        &self.required_categories
+    }
+
+    /// The attribute specifications.
+    pub fn attr_specs(&self) -> &[AttrSpec] {
+        &self.attr_specs
+    }
+
+    /// Validates a media descriptor against this type.
+    pub fn validate_descriptor(&self, desc: &MediaDescriptor) -> Result<(), ModelError> {
+        if desc.kind() != self.kind {
+            return Err(ModelError::KindMismatch {
+                expected: self.kind.to_string(),
+                found: desc.kind().to_string(),
+            });
+        }
+        for spec in &self.attr_specs {
+            spec.check(desc)?;
+        }
+        Ok(())
+    }
+
+    /// Validates a stream's category report against this type's constraints.
+    pub fn validate_categories(&self, report: &CategoryReport) -> Result<(), ModelError> {
+        for &cat in &self.required_categories {
+            if !report.satisfies(cat) {
+                return Err(ModelError::CategoryViolation {
+                    required: cat.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates an element descriptor's presence against the type: types
+    /// without element descriptors expect empty ones.
+    pub fn validate_element_descriptor(
+        &self,
+        ed: &ElementDescriptor,
+    ) -> Result<(), ModelError> {
+        if !self.has_element_descriptors && !ed.is_empty() {
+            return Err(ModelError::AttributeOutOfRange {
+                key: "<element descriptor>".to_owned(),
+                constraint: format!(
+                    "media type `{}` does not define element descriptors",
+                    self.name
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    // ---- Built-in types used throughout the reproduction -----------------
+
+    /// The paper's example: CD audio — 44.1 kHz, 16-bit, stereo, uniform.
+    ///
+    /// "Element descriptors are not necessary since all elements have the
+    /// same form (16 bit PCM samples)."
+    pub fn cd_audio() -> MediaType {
+        MediaType::new("CD audio", MediaKind::Audio)
+            .with_attr(AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int).fixed_value(44100))
+            .with_attr(AttrSpec::required(keys::SAMPLE_SIZE, AttrType::Int).fixed_value(16))
+            .with_attr(AttrSpec::required(keys::CHANNELS, AttrType::Int).fixed_value(2))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::QUALITY_FACTOR, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::ENCODING, AttrType::Text))
+            .require_category(StreamCategory::Uniform)
+    }
+
+    /// The paper's ADPCM example: encoding parameters vary over the
+    /// sequence, so elements carry descriptors.
+    pub fn adpcm_audio() -> MediaType {
+        MediaType::new("ADPCM audio", MediaKind::Audio)
+            .with_attr(AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int).in_range(
+                Rational::from(8000),
+                Rational::from(48000),
+            ))
+            .with_attr(AttrSpec::required(keys::CHANNELS, AttrType::Int).in_range(
+                Rational::from(1),
+                Rational::from(8),
+            ))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::QUALITY_FACTOR, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::ENCODING, AttrType::Text))
+            .require_category(StreamCategory::Continuous)
+            .with_element_descriptors()
+    }
+
+    /// Generic PCM audio at a declared rate.
+    pub fn pcm_audio() -> MediaType {
+        MediaType::new("PCM audio", MediaKind::Audio)
+            .with_attr(AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int).in_range(
+                Rational::from(1),
+                Rational::from(384_000),
+            ))
+            .with_attr(AttrSpec::required(keys::SAMPLE_SIZE, AttrType::Int))
+            .with_attr(AttrSpec::required(keys::CHANNELS, AttrType::Int))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::QUALITY_FACTOR, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::ENCODING, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::LANGUAGE, AttrType::Text))
+            .require_category(StreamCategory::Uniform)
+    }
+
+    /// Fixed-frame-rate digital video (constant frequency, sizes may vary
+    /// under compression).
+    pub fn video(name: &str) -> MediaType {
+        MediaType::new(name, MediaKind::Video)
+            .with_attr(AttrSpec::required(keys::FRAME_RATE, AttrType::Rational))
+            .with_attr(AttrSpec::required(keys::FRAME_WIDTH, AttrType::Int))
+            .with_attr(AttrSpec::required(keys::FRAME_HEIGHT, AttrType::Int))
+            .with_attr(AttrSpec::optional(keys::FRAME_DEPTH, AttrType::Int))
+            .with_attr(AttrSpec::optional(keys::COLOR_MODEL, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::ENCODING, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::QUALITY_FACTOR, AttrType::Text))
+            .require_category(StreamCategory::ConstantFrequency)
+    }
+
+    /// Interframe-compressed video: still constant frequency, but elements
+    /// carry descriptors (frame kind, references).
+    pub fn interframe_video(name: &str) -> MediaType {
+        MediaType::video(name).with_element_descriptors()
+    }
+
+    /// Symbolic music: non-continuous (chords overlap, rests leave gaps).
+    pub fn music() -> MediaType {
+        MediaType::new("music", MediaKind::Music)
+            .with_attr(AttrSpec::required(keys::PPQ, AttrType::Int))
+            .with_attr(AttrSpec::optional(keys::TEMPO, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .with_element_descriptors()
+    }
+
+    /// MIDI event streams: event-based (`dᵢ = 0`).
+    pub fn midi() -> MediaType {
+        MediaType::new("MIDI", MediaKind::Music)
+            .with_attr(AttrSpec::required(keys::PPQ, AttrType::Int))
+            .with_attr(AttrSpec::optional(keys::TEMPO, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .require_category(StreamCategory::EventBased)
+            .with_element_descriptors()
+    }
+
+    /// Symbolic animation: non-continuous movement specifications.
+    pub fn animation() -> MediaType {
+        MediaType::new("animation", MediaKind::Animation)
+            .with_attr(AttrSpec::optional(keys::FRAME_RATE, AttrType::Rational))
+            .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
+            .with_element_descriptors()
+    }
+
+    /// Still images (not time-based; usable in derivations such as color
+    /// separation).
+    pub fn image() -> MediaType {
+        MediaType::new("image", MediaKind::Image)
+            .with_attr(AttrSpec::required(keys::FRAME_WIDTH, AttrType::Int))
+            .with_attr(AttrSpec::required(keys::FRAME_HEIGHT, AttrType::Int))
+            .with_attr(AttrSpec::optional(keys::COLOR_MODEL, AttrType::Text))
+            .with_attr(AttrSpec::optional(keys::ENCODING, AttrType::Text))
+    }
+}
+
+impl fmt::Display for MediaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MediaDescriptor;
+
+    fn cd_descriptor() -> MediaDescriptor {
+        MediaDescriptor::new(MediaKind::Audio)
+            .with(keys::SAMPLE_RATE, 44100)
+            .with(keys::SAMPLE_SIZE, 16)
+            .with(keys::CHANNELS, 2)
+    }
+
+    #[test]
+    fn cd_audio_accepts_spec_descriptor() {
+        assert!(MediaType::cd_audio().validate_descriptor(&cd_descriptor()).is_ok());
+    }
+
+    #[test]
+    fn cd_audio_pins_sample_rate() {
+        let d = cd_descriptor().with(keys::SAMPLE_RATE, 48000);
+        let err = MediaType::cd_audio().validate_descriptor(&d).unwrap_err();
+        assert!(matches!(err, ModelError::AttributeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn missing_required_attribute_reported() {
+        let d = MediaDescriptor::new(MediaKind::Audio).with(keys::SAMPLE_RATE, 44100);
+        let err = MediaType::cd_audio().validate_descriptor(&d).unwrap_err();
+        assert!(matches!(err, ModelError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn wrong_type_reported() {
+        let d = cd_descriptor().with(keys::SAMPLE_SIZE, "sixteen");
+        let err = MediaType::cd_audio().validate_descriptor(&d).unwrap_err();
+        assert!(matches!(err, ModelError::WrongAttributeType { .. }));
+    }
+
+    #[test]
+    fn kind_mismatch_reported() {
+        let d = MediaDescriptor::new(MediaKind::Video);
+        let err = MediaType::cd_audio().validate_descriptor(&d).unwrap_err();
+        assert!(matches!(err, ModelError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn range_constraints() {
+        let t = MediaType::adpcm_audio();
+        let ok = MediaDescriptor::new(MediaKind::Audio)
+            .with(keys::SAMPLE_RATE, 22050)
+            .with(keys::CHANNELS, 2);
+        assert!(t.validate_descriptor(&ok).is_ok());
+        let bad = MediaDescriptor::new(MediaKind::Audio)
+            .with(keys::SAMPLE_RATE, 96000)
+            .with(keys::CHANNELS, 2);
+        assert!(matches!(
+            t.validate_descriptor(&bad),
+            Err(ModelError::AttributeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn element_descriptor_policy() {
+        let cd = MediaType::cd_audio();
+        assert!(!cd.has_element_descriptors());
+        assert!(cd.validate_element_descriptor(&ElementDescriptor::empty()).is_ok());
+        let ed = ElementDescriptor::from_pairs([("step", 3i64)]);
+        assert!(cd.validate_element_descriptor(&ed).is_err());
+        assert!(MediaType::adpcm_audio().validate_element_descriptor(&ed).is_ok());
+    }
+
+    #[test]
+    fn time_based_kinds() {
+        assert!(MediaKind::Audio.is_time_based());
+        assert!(MediaKind::Video.is_time_based());
+        assert!(MediaKind::Music.is_time_based());
+        assert!(MediaKind::Animation.is_time_based());
+        assert!(!MediaKind::Image.is_time_based());
+        assert!(!MediaKind::Text.is_time_based());
+    }
+
+    #[test]
+    fn optional_attrs_may_be_absent() {
+        // duration/quality omitted — still valid.
+        assert!(MediaType::cd_audio().validate_descriptor(&cd_descriptor()).is_ok());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MediaType::cd_audio().to_string(), "CD audio (audio)");
+        assert_eq!(MediaKind::Music.to_string(), "music");
+    }
+}

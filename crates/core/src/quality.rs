@@ -1,0 +1,175 @@
+//! Descriptive quality factors (paper §2.2, "Quality Factors").
+//!
+//! > *"These parameters should not be visible at the data modeling level …
+//! > video quality (and the same applies for audio quality) should be
+//! > specified via descriptive quality factors. For example a particular
+//! > video-valued attribute might be of 'broadcast quality' or 'VHS
+//! > quality'."*
+//!
+//! [`QualityFactor`] is the data-model-level notion; the codec layer
+//! (`tbm-codec`) maps each factor to concrete low-level encoding parameters
+//! (quantizer scales, target bits-per-pixel, sample rates) so those
+//! parameters stay invisible to the schema, exactly as the paper demands.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Descriptive video quality levels, ordered from worst to best.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VideoQuality {
+    /// Thumbnail / scrub preview quality.
+    Preview,
+    /// VHS quality — the paper's running example (≈0.5 bits/pixel after
+    /// compression in the Fig. 2 walk-through).
+    Vhs,
+    /// Near-broadcast quality (the paper's description of MPEG II).
+    Broadcast,
+    /// Studio / production quality (effectively lossless).
+    Studio,
+}
+
+/// Descriptive audio quality levels, ordered from worst to best.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AudioQuality {
+    /// Telephone quality (8 kHz, single channel).
+    Phone,
+    /// AM-radio quality (22.05 kHz).
+    AmRadio,
+    /// CD quality — 44.1 kHz, 16-bit, stereo (the paper's CD audio media type).
+    Cd,
+    /// Studio quality (48 kHz or better).
+    Studio,
+}
+
+/// A quality factor for a media-valued attribute: either a video or an audio
+/// quality level.
+///
+/// Quality factors order within their own medium; comparing a video factor
+/// with an audio factor yields no ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityFactor {
+    /// A video quality level.
+    Video(VideoQuality),
+    /// An audio quality level.
+    Audio(AudioQuality),
+}
+
+impl QualityFactor {
+    /// The paper's canonical descriptive name, e.g. `"VHS quality"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            QualityFactor::Video(VideoQuality::Preview) => "preview quality",
+            QualityFactor::Video(VideoQuality::Vhs) => "VHS quality",
+            QualityFactor::Video(VideoQuality::Broadcast) => "broadcast quality",
+            QualityFactor::Video(VideoQuality::Studio) => "studio quality",
+            QualityFactor::Audio(AudioQuality::Phone) => "phone quality",
+            QualityFactor::Audio(AudioQuality::AmRadio) => "AM quality",
+            QualityFactor::Audio(AudioQuality::Cd) => "CD quality",
+            QualityFactor::Audio(AudioQuality::Studio) => "studio audio quality",
+        }
+    }
+
+    /// Parses a canonical descriptive name back into a factor.
+    pub fn parse(name: &str) -> Option<QualityFactor> {
+        let all = [
+            QualityFactor::Video(VideoQuality::Preview),
+            QualityFactor::Video(VideoQuality::Vhs),
+            QualityFactor::Video(VideoQuality::Broadcast),
+            QualityFactor::Video(VideoQuality::Studio),
+            QualityFactor::Audio(AudioQuality::Phone),
+            QualityFactor::Audio(AudioQuality::AmRadio),
+            QualityFactor::Audio(AudioQuality::Cd),
+            QualityFactor::Audio(AudioQuality::Studio),
+        ];
+        all.into_iter().find(|q| q.name() == name)
+    }
+
+    /// `true` for video quality factors.
+    pub fn is_video(self) -> bool {
+        matches!(self, QualityFactor::Video(_))
+    }
+
+    /// `true` for audio quality factors.
+    pub fn is_audio(self) -> bool {
+        matches!(self, QualityFactor::Audio(_))
+    }
+}
+
+impl PartialOrd for QualityFactor {
+    /// Orders within a medium; cross-media comparisons return `None`.
+    fn partial_cmp(&self, other: &QualityFactor) -> Option<Ordering> {
+        match (self, other) {
+            (QualityFactor::Video(a), QualityFactor::Video(b)) => a.partial_cmp(b),
+            (QualityFactor::Audio(a), QualityFactor::Audio(b)) => a.partial_cmp(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QualityFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<VideoQuality> for QualityFactor {
+    fn from(q: VideoQuality) -> QualityFactor {
+        QualityFactor::Video(q)
+    }
+}
+
+impl From<AudioQuality> for QualityFactor {
+    fn from(q: AudioQuality) -> QualityFactor {
+        QualityFactor::Audio(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(QualityFactor::Video(VideoQuality::Vhs).name(), "VHS quality");
+        assert_eq!(QualityFactor::Audio(AudioQuality::Cd).name(), "CD quality");
+        assert_eq!(
+            QualityFactor::Video(VideoQuality::Broadcast).name(),
+            "broadcast quality"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for q in [
+            QualityFactor::Video(VideoQuality::Preview),
+            QualityFactor::Video(VideoQuality::Vhs),
+            QualityFactor::Video(VideoQuality::Broadcast),
+            QualityFactor::Video(VideoQuality::Studio),
+            QualityFactor::Audio(AudioQuality::Phone),
+            QualityFactor::Audio(AudioQuality::AmRadio),
+            QualityFactor::Audio(AudioQuality::Cd),
+            QualityFactor::Audio(AudioQuality::Studio),
+        ] {
+            assert_eq!(QualityFactor::parse(q.name()), Some(q));
+        }
+        assert_eq!(QualityFactor::parse("4K quality"), None);
+    }
+
+    #[test]
+    fn ordering_within_medium() {
+        assert!(VideoQuality::Vhs < VideoQuality::Broadcast);
+        assert!(AudioQuality::Phone < AudioQuality::Cd);
+        let v: QualityFactor = VideoQuality::Vhs.into();
+        let b: QualityFactor = VideoQuality::Broadcast.into();
+        assert_eq!(v.partial_cmp(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn cross_media_not_ordered() {
+        let v: QualityFactor = VideoQuality::Studio.into();
+        let a: QualityFactor = AudioQuality::Phone.into();
+        assert_eq!(v.partial_cmp(&a), None);
+        assert!(v.is_video() && !v.is_audio());
+        assert!(a.is_audio());
+    }
+}

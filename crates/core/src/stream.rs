@@ -1,0 +1,693 @@
+//! Timed streams (paper Definition 3).
+//!
+//! > *"A timed stream is a finite sequence of tuples of the form
+//! > `⟨eᵢ, sᵢ, dᵢ⟩`, i = 1 … n. Each timed stream is based on a media type T
+//! > and a discrete time system D. … Start times and durations satisfy
+//! > `sᵢ₊₁ ≥ sᵢ` and `dᵢ ≥ 0`."*
+//!
+//! [`TimedStream`] enforces those constraints at construction and offers the
+//! structural queries the higher layers need: span, gaps/overlaps,
+//! element-at-time lookup (binary search over the ordered starts), time-window
+//! slicing, and aggregate statistics for resource allocation
+//! ([`StreamStats`] — the paper asks descriptors to carry "the average data
+//! rate for each stream \[and\] a measure of data rate variation").
+
+use crate::{MediaType, ModelError, StreamElement};
+use std::fmt;
+use tbm_time::{Interval, Rational, TimeDelta, TimeSystem};
+
+/// One `⟨element, start, duration⟩` tuple of a timed stream.
+///
+/// `start` and `duration` are *discrete* time values, measured in the
+/// stream's [`TimeSystem`]. The paper is explicit that these are scheduling
+/// times — "the start time of a video frame is not the time when the frame
+/// was captured … but when it should be displayed relative to other frames".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedTuple<E> {
+    /// The media element `eᵢ`.
+    pub element: E,
+    /// Discrete start time `sᵢ`.
+    pub start: i64,
+    /// Discrete duration `dᵢ ≥ 0`.
+    pub duration: i64,
+}
+
+impl<E> TimedTuple<E> {
+    /// Creates a tuple.
+    pub fn new(element: E, start: i64, duration: i64) -> TimedTuple<E> {
+        TimedTuple {
+            element,
+            start,
+            duration,
+        }
+    }
+
+    /// Discrete end time `sᵢ + dᵢ`.
+    pub fn end(&self) -> i64 {
+        self.start + self.duration
+    }
+
+    /// `true` for zero-duration (event) tuples.
+    pub fn is_event(&self) -> bool {
+        self.duration == 0
+    }
+
+    /// The tuple's continuous-time interval under `system`.
+    pub fn interval(&self, system: TimeSystem) -> Interval {
+        Interval::new(
+            system.tick_to_seconds(self.start),
+            system.ticks_to_delta(self.duration),
+        )
+        .expect("duration >= 0")
+    }
+}
+
+/// A timed stream: ordered tuples over a media type and time system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedStream<E> {
+    media_type: MediaType,
+    system: TimeSystem,
+    tuples: Vec<TimedTuple<E>>,
+}
+
+impl<E: StreamElement> TimedStream<E> {
+    /// Creates an empty stream.
+    pub fn empty(media_type: MediaType, system: TimeSystem) -> TimedStream<E> {
+        TimedStream {
+            media_type,
+            system,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a stream from tuples, validating Definition 3's constraints.
+    pub fn from_tuples(
+        media_type: MediaType,
+        system: TimeSystem,
+        tuples: Vec<TimedTuple<E>>,
+    ) -> Result<TimedStream<E>, ModelError> {
+        for (i, t) in tuples.iter().enumerate() {
+            if t.duration < 0 {
+                return Err(ModelError::NegativeDuration {
+                    index: i,
+                    duration: t.duration,
+                });
+            }
+            if i > 0 && t.start < tuples[i - 1].start {
+                return Err(ModelError::UnorderedStart {
+                    index: i,
+                    prev_start: tuples[i - 1].start,
+                    start: t.start,
+                });
+            }
+        }
+        Ok(TimedStream {
+            media_type,
+            system,
+            tuples,
+        })
+    }
+
+    /// Builds a *continuous* stream (`sᵢ₊₁ = sᵢ + dᵢ`) from elements and
+    /// their durations, starting at `start`.
+    pub fn continuous_from(
+        media_type: MediaType,
+        system: TimeSystem,
+        start: i64,
+        elements: impl IntoIterator<Item = (E, i64)>,
+    ) -> Result<TimedStream<E>, ModelError> {
+        let mut tuples = Vec::new();
+        let mut at = start;
+        for (i, (element, duration)) in elements.into_iter().enumerate() {
+            if duration < 0 {
+                return Err(ModelError::NegativeDuration { index: i, duration });
+            }
+            tuples.push(TimedTuple::new(element, at, duration));
+            at += duration;
+        }
+        Ok(TimedStream {
+            media_type,
+            system,
+            tuples,
+        })
+    }
+
+    /// Builds a *constant-frequency* stream: every element lasts one tick.
+    pub fn constant_frequency(
+        media_type: MediaType,
+        system: TimeSystem,
+        start: i64,
+        elements: impl IntoIterator<Item = E>,
+    ) -> TimedStream<E> {
+        let tuples = elements
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| TimedTuple::new(e, start + i as i64, 1))
+            .collect();
+        TimedStream {
+            media_type,
+            system,
+            tuples,
+        }
+    }
+
+    /// Appends a tuple, validating ordering against the current tail.
+    pub fn push(&mut self, tuple: TimedTuple<E>) -> Result<(), ModelError> {
+        if tuple.duration < 0 {
+            return Err(ModelError::NegativeDuration {
+                index: self.tuples.len(),
+                duration: tuple.duration,
+            });
+        }
+        if let Some(last) = self.tuples.last() {
+            if tuple.start < last.start {
+                return Err(ModelError::UnorderedStart {
+                    index: self.tuples.len(),
+                    prev_start: last.start,
+                    start: tuple.start,
+                });
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// The stream's media type.
+    pub fn media_type(&self) -> &MediaType {
+        &self.media_type
+    }
+
+    /// The stream's discrete time system.
+    pub fn system(&self) -> TimeSystem {
+        self.system
+    }
+
+    /// The tuples, in start order.
+    pub fn tuples(&self) -> &[TimedTuple<E>] {
+        &self.tuples
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the stream holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimedTuple<E>> {
+        self.tuples.iter()
+    }
+
+    /// The discrete span `[s₁, sₙ + dₙ)` of the stream, if non-empty.
+    ///
+    /// The end accounts for overlapping tails: it is the max over all
+    /// tuple ends, not just the last tuple's.
+    pub fn tick_span(&self) -> Option<(i64, i64)> {
+        let first = self.tuples.first()?;
+        let end = self.tuples.iter().map(TimedTuple::end).max()?;
+        Some((first.start, end))
+    }
+
+    /// The continuous-time interval covered by the stream.
+    pub fn interval(&self) -> Option<Interval> {
+        let (s, e) = self.tick_span()?;
+        Interval::from_bounds(self.system.tick_to_seconds(s), self.system.tick_to_seconds(e)).ok()
+    }
+
+    /// Total continuous duration of the span.
+    pub fn duration(&self) -> TimeDelta {
+        self.interval()
+            .map(|iv| iv.duration())
+            .unwrap_or(TimeDelta::ZERO)
+    }
+
+    /// Index of the last element whose start is ≤ `tick`, if any — the basic
+    /// "which element is playing at time t" lookup.
+    pub fn index_at_tick(&self, tick: i64) -> Option<usize> {
+        if self.tuples.is_empty() || tick < self.tuples[0].start {
+            return None;
+        }
+        // partition_point: number of tuples with start <= tick.
+        let n = self.tuples.partition_point(|t| t.start <= tick);
+        Some(n - 1)
+    }
+
+    /// The element *active* at `tick`: its start is ≤ `tick` and its span
+    /// covers `tick` (events match only exactly).
+    pub fn element_at_tick(&self, tick: i64) -> Option<&TimedTuple<E>> {
+        let idx = self.index_at_tick(tick)?;
+        // Walk back over simultaneous starts / overlapping elements to find
+        // one that covers `tick`.
+        self.tuples[..=idx].iter().rev().find(|t| {
+            if t.is_event() {
+                t.start == tick
+            } else {
+                t.start <= tick && tick < t.end()
+            }
+        })
+    }
+
+    /// The contiguous run of tuples whose *start* lies in `[from, to)`.
+    ///
+    /// Starts are ordered, so this is a slice. Use [`TimedStream::covering`]
+    /// to additionally include an element already active at `from`.
+    pub fn window(&self, from: i64, to: i64) -> &[TimedTuple<E>] {
+        if from >= to {
+            return &[];
+        }
+        let lo = self.tuples.partition_point(|t| t.start < from);
+        let hi = self.tuples.partition_point(|t| t.start < to);
+        &self.tuples[lo..hi]
+    }
+
+    /// Like [`TimedStream::window`], but extended left to include elements
+    /// that start before `from` yet are still active at `from` (straddling
+    /// elements). Needed when cutting continuous media mid-element.
+    pub fn covering(&self, from: i64, to: i64) -> &[TimedTuple<E>] {
+        if from >= to {
+            return &[];
+        }
+        let mut lo = self.tuples.partition_point(|t| t.start < from);
+        let hi = self.tuples.partition_point(|t| t.start < to);
+        // Walk left over elements whose span still covers `from`.
+        while lo > 0 && self.tuples[lo - 1].end() > from {
+            lo -= 1;
+        }
+        &self.tuples[lo..hi]
+    }
+
+    /// Aggregate statistics for classification and resource allocation.
+    pub fn stats(&self) -> StreamStats {
+        let mut stats = StreamStats {
+            count: self.tuples.len(),
+            ..StreamStats::default()
+        };
+        if self.tuples.is_empty() {
+            return stats;
+        }
+        let mut token0 = None;
+        let mut homogeneous = true;
+        let mut continuous = true;
+        let mut event_based = true;
+        let mut const_duration = true;
+        let mut const_size = true;
+        let mut const_rate = true;
+        let first = &self.tuples[0];
+        let d0 = first.duration;
+        let z0 = first.element.byte_size();
+        // rate r_i = size_i / duration_i compared exactly via cross-multiplication
+        let mut prev_end = first.start;
+        for (i, t) in self.tuples.iter().enumerate() {
+            let size = t.element.byte_size();
+            stats.total_bytes += size;
+            stats.min_size = stats.min_size.min(size);
+            stats.max_size = stats.max_size.max(size);
+            let tok = t.element.descriptor_token();
+            match token0 {
+                None => token0 = Some(tok),
+                Some(t0) if t0 != tok => homogeneous = false,
+                _ => {}
+            }
+            if i > 0 && t.start != prev_end {
+                continuous = false;
+            }
+            prev_end = t.end();
+            if t.duration != 0 {
+                event_based = false;
+            }
+            if t.duration != d0 {
+                const_duration = false;
+            }
+            if size != z0 {
+                const_size = false;
+            }
+            // size_i / dur_i == size_0 / dur_0  ⇔  size_i * dur_0 == size_0 * dur_i
+            if t.duration == 0 || d0 == 0 {
+                if t.duration != d0 || size != z0 {
+                    const_rate = false;
+                }
+            } else if (size as u128) * (d0 as u128) != (z0 as u128) * (t.duration as u128) {
+                const_rate = false;
+            }
+        }
+        stats.homogeneous = homogeneous;
+        stats.continuous = continuous;
+        stats.event_based = event_based;
+        stats.constant_duration = const_duration;
+        stats.constant_size = const_size;
+        stats.constant_rate = const_rate;
+        stats
+    }
+
+    /// Average data rate in bytes/second over the stream span (the paper's
+    /// "average data rate" descriptor attribute). `None` for empty or
+    /// zero-length streams.
+    pub fn average_data_rate(&self) -> Option<Rational> {
+        let (s, e) = self.tick_span()?;
+        if e == s {
+            return None;
+        }
+        let seconds = self.system.ticks_to_delta(e - s).seconds();
+        let total: u64 = self.tuples.iter().map(|t| t.element.byte_size()).sum();
+        Some(Rational::from(total as i64) / seconds)
+    }
+
+    /// Peak-to-average rate ratio, a measure of data-rate variation for
+    /// non-uniform streams. `None` when undefined.
+    pub fn rate_variation(&self) -> Option<Rational> {
+        let avg = self.average_data_rate()?;
+        if avg.is_zero() {
+            return None;
+        }
+        let peak = self
+            .tuples
+            .iter()
+            .filter(|t| t.duration > 0)
+            .map(|t| Rational::from(t.element.byte_size() as i64) / self.system.ticks_to_delta(t.duration).seconds())
+            .max()?;
+        Some(peak / avg)
+    }
+
+    /// The gaps (`sᵢ₊₁ > sᵢ + dᵢ`) between consecutive tuples, as discrete
+    /// `(from, to)` ranges. Non-continuous streams have at least one gap or
+    /// overlap.
+    pub fn gaps(&self) -> Vec<(i64, i64)> {
+        self.tuples
+            .windows(2)
+            .filter_map(|w| {
+                let end = w[0].end();
+                if w[1].start > end {
+                    Some((end, w[1].start))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The overlaps (`sᵢ₊₁ < sᵢ + dᵢ`) between consecutive tuples — chords
+    /// in the paper's music example.
+    pub fn overlaps(&self) -> Vec<(i64, i64)> {
+        self.tuples
+            .windows(2)
+            .filter_map(|w| {
+                let end = w[0].end();
+                if w[1].start < end {
+                    Some((w[1].start, end.min(w[1].end().max(w[1].start))))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Maps the elements through `f`, preserving timing — the shape of every
+    /// content-changing derivation.
+    pub fn map_elements<F, E2>(&self, mut f: F) -> TimedStream<E2>
+    where
+        F: FnMut(&TimedTuple<E>) -> E2,
+        E2: StreamElement,
+        E: Clone,
+    {
+        TimedStream {
+            media_type: self.media_type.clone(),
+            system: self.system,
+            tuples: self
+                .tuples
+                .iter()
+                .map(|t| TimedTuple::new(f(t), t.start, t.duration))
+                .collect(),
+        }
+    }
+
+    /// Consumes the stream, returning its parts.
+    pub fn into_parts(self) -> (MediaType, TimeSystem, Vec<TimedTuple<E>>) {
+        (self.media_type, self.system, self.tuples)
+    }
+}
+
+impl<E: StreamElement> fmt::Display for TimedStream<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timed stream [{} × {}] over {}, span {:?}",
+            self.len(),
+            self.media_type,
+            self.system,
+            self.tick_span()
+        )
+    }
+}
+
+/// Aggregate stream statistics computed in one pass; the raw material for
+/// category classification and descriptor population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of elements.
+    pub count: usize,
+    /// Sum of element sizes in bytes.
+    pub total_bytes: u64,
+    /// Smallest element size.
+    pub min_size: u64,
+    /// Largest element size.
+    pub max_size: u64,
+    /// All element descriptors equal.
+    pub homogeneous: bool,
+    /// `sᵢ₊₁ = sᵢ + dᵢ` throughout.
+    pub continuous: bool,
+    /// All durations zero.
+    pub event_based: bool,
+    /// All durations equal.
+    pub constant_duration: bool,
+    /// All sizes equal.
+    pub constant_size: bool,
+    /// Size/duration ratio constant.
+    pub constant_rate: bool,
+}
+
+impl Default for StreamStats {
+    fn default() -> StreamStats {
+        StreamStats {
+            count: 0,
+            total_bytes: 0,
+            min_size: u64::MAX,
+            max_size: 0,
+            homogeneous: true,
+            continuous: true,
+            event_based: true,
+            constant_duration: true,
+            constant_size: true,
+            constant_rate: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElementDescriptor, SizedElement};
+
+    fn uniform_stream(n: usize, size: u64) -> TimedStream<SizedElement> {
+        TimedStream::constant_frequency(
+            MediaType::pcm_audio(),
+            TimeSystem::CD_AUDIO,
+            0,
+            (0..n).map(|_| SizedElement::new(size)),
+        )
+    }
+
+    #[test]
+    fn definition3_ordering_enforced() {
+        let bad = vec![
+            TimedTuple::new(SizedElement::new(1), 5, 1),
+            TimedTuple::new(SizedElement::new(1), 3, 1),
+        ];
+        let err = TimedStream::from_tuples(MediaType::pcm_audio(), TimeSystem::CD_AUDIO, bad)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnorderedStart { index: 1, .. }));
+    }
+
+    #[test]
+    fn definition3_nonnegative_duration_enforced() {
+        let bad = vec![TimedTuple::new(SizedElement::new(1), 0, -1)];
+        let err = TimedStream::from_tuples(MediaType::pcm_audio(), TimeSystem::CD_AUDIO, bad)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NegativeDuration { .. }));
+        let mut s = uniform_stream(1, 4);
+        assert!(s.push(TimedTuple::new(SizedElement::new(4), 0, -2)).is_err());
+    }
+
+    #[test]
+    fn equal_starts_are_allowed() {
+        // A chord: two notes starting together (s_{i+1} >= s_i permits equality).
+        let tuples = vec![
+            TimedTuple::new(SizedElement::new(3), 0, 4),
+            TimedTuple::new(SizedElement::new(3), 0, 2),
+        ];
+        assert!(
+            TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).is_ok()
+        );
+    }
+
+    #[test]
+    fn continuous_builder_chains_starts() {
+        let s = TimedStream::continuous_from(
+            MediaType::pcm_audio(),
+            TimeSystem::CD_AUDIO,
+            10,
+            [(SizedElement::new(2), 3), (SizedElement::new(2), 5)],
+        )
+        .unwrap();
+        assert_eq!(s.tuples()[0].start, 10);
+        assert_eq!(s.tuples()[1].start, 13);
+        assert_eq!(s.tick_span(), Some((10, 18)));
+        assert!(s.stats().continuous);
+    }
+
+    #[test]
+    fn span_and_duration() {
+        let s = uniform_stream(44100, 4);
+        assert_eq!(s.tick_span(), Some((0, 44100)));
+        assert_eq!(s.duration(), TimeDelta::from_secs(1));
+        assert!(uniform_stream(0, 4).tick_span().is_none());
+    }
+
+    #[test]
+    fn span_accounts_for_overlapping_tails() {
+        // Second element starts later but ends before the first.
+        let tuples = vec![
+            TimedTuple::new(SizedElement::new(1), 0, 100),
+            TimedTuple::new(SizedElement::new(1), 10, 5),
+        ];
+        let s =
+            TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).unwrap();
+        assert_eq!(s.tick_span(), Some((0, 100)));
+    }
+
+    #[test]
+    fn element_at_tick_continuous() {
+        let s = uniform_stream(100, 4);
+        assert_eq!(s.element_at_tick(0).unwrap().start, 0);
+        assert_eq!(s.element_at_tick(57).unwrap().start, 57);
+        assert_eq!(s.element_at_tick(99).unwrap().start, 99);
+        assert!(s.element_at_tick(100).is_none());
+        assert!(s.element_at_tick(-1).is_none());
+    }
+
+    #[test]
+    fn element_at_tick_with_gap() {
+        let tuples = vec![
+            TimedTuple::new(SizedElement::new(1), 0, 10),
+            TimedTuple::new(SizedElement::new(1), 20, 10),
+        ];
+        let s =
+            TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).unwrap();
+        assert!(s.element_at_tick(5).is_some());
+        assert!(s.element_at_tick(15).is_none()); // inside the gap
+        assert!(s.element_at_tick(25).is_some());
+        assert_eq!(s.gaps(), vec![(10, 20)]);
+    }
+
+    #[test]
+    fn event_lookup_exact_only() {
+        let tuples = vec![
+            TimedTuple::new(SizedElement::new(3), 0, 0),
+            TimedTuple::new(SizedElement::new(3), 10, 0),
+        ];
+        let s =
+            TimedStream::from_tuples(MediaType::midi(), TimeSystem::MIDI_PPQ_480, tuples).unwrap();
+        assert!(s.element_at_tick(0).is_some());
+        assert!(s.element_at_tick(5).is_none());
+        assert!(s.element_at_tick(10).is_some());
+    }
+
+    #[test]
+    fn window_selects_intersecting() {
+        let s = uniform_stream(100, 4);
+        let w = s.window(10, 20);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w[0].start, 10);
+        assert_eq!(w[9].start, 19);
+        assert!(s.window(20, 10).is_empty());
+        // An element straddling the boundary is excluded by `window` but
+        // included by `covering`.
+        let tuples = vec![TimedTuple::new(SizedElement::new(1), 0, 50)];
+        let long = TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples)
+            .unwrap();
+        assert!(long.window(10, 20).is_empty());
+        assert_eq!(long.covering(10, 20).len(), 1);
+    }
+
+    #[test]
+    fn average_data_rate_cd_audio() {
+        // 44100 samples × 4 bytes over 1 s = 176400 B/s — the paper's
+        // 172 kB/s stereo CD figure (k = 1024).
+        let s = uniform_stream(44100, 4);
+        assert_eq!(s.average_data_rate(), Some(Rational::from(176_400)));
+        assert_eq!(
+            s.average_data_rate().unwrap() / Rational::from(1024),
+            Rational::new(176_400, 1024)
+        );
+        assert_eq!(s.rate_variation(), Some(Rational::ONE));
+    }
+
+    #[test]
+    fn rate_variation_detects_peaks() {
+        let s = TimedStream::continuous_from(
+            MediaType::video("test"),
+            TimeSystem::PAL,
+            0,
+            [(SizedElement::new(100), 1), (SizedElement::new(300), 1)],
+        )
+        .unwrap();
+        // avg = 400 bytes / (2/25 s) = 5000 B/s; peak = 300/(1/25) = 7500.
+        assert_eq!(s.rate_variation(), Some(Rational::new(3, 2)));
+    }
+
+    #[test]
+    fn overlaps_detected() {
+        let tuples = vec![
+            TimedTuple::new(SizedElement::new(1), 0, 10),
+            TimedTuple::new(SizedElement::new(1), 5, 10),
+        ];
+        let s =
+            TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).unwrap();
+        assert_eq!(s.overlaps(), vec![(5, 10)]);
+        assert!(s.gaps().is_empty());
+        assert!(!s.stats().continuous);
+    }
+
+    #[test]
+    fn map_elements_preserves_timing() {
+        let s = uniform_stream(10, 4);
+        let mapped = s.map_elements(|t| SizedElement::new(t.element.byte_size() * 2));
+        assert_eq!(mapped.len(), 10);
+        assert_eq!(mapped.tuples()[3].start, 3);
+        assert_eq!(mapped.tuples()[3].element.byte_size(), 8);
+    }
+
+    #[test]
+    fn stats_single_pass() {
+        let d = ElementDescriptor::from_pairs([("k", 1i64)]);
+        let tuples = vec![
+            TimedTuple::new(SizedElement::with_descriptor(10, d.clone()), 0, 1),
+            TimedTuple::new(SizedElement::new(20), 1, 2),
+        ];
+        let s = TimedStream::from_tuples(MediaType::adpcm_audio(), TimeSystem::CD_AUDIO, tuples)
+            .unwrap();
+        let st = s.stats();
+        assert_eq!(st.count, 2);
+        assert_eq!(st.total_bytes, 30);
+        assert_eq!((st.min_size, st.max_size), (10, 20));
+        assert!(!st.homogeneous);
+        assert!(st.continuous);
+        assert!(!st.event_based);
+        assert!(!st.constant_duration);
+        assert!(!st.constant_size);
+        assert!(st.constant_rate); // 10/1 == 20/2
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests on timed-stream invariants and the category taxonomy.
+
+use proptest::prelude::*;
+use tbm_core::{
+    classify, ElementDescriptor, MediaType, SizedElement, StreamCategory, TimedStream, TimedTuple,
+};
+use tbm_time::TimeSystem;
+
+/// Random valid tuple lists: start-ordered, non-negative durations.
+fn tuples() -> impl Strategy<Value = Vec<TimedTuple<SizedElement>>> {
+    prop::collection::vec((0i64..50, 0i64..8, 1u64..100, 0u8..3), 0..60).prop_map(|raw| {
+        let mut at = 0i64;
+        raw.into_iter()
+            .map(|(gap, dur, size, tok)| {
+                at += gap;
+                let desc = if tok == 0 {
+                    ElementDescriptor::empty()
+                } else {
+                    ElementDescriptor::from_pairs([("v", tok as i64)])
+                };
+                TimedTuple::new(SizedElement::with_descriptor(size, desc), at, dur)
+            })
+            .collect()
+    })
+}
+
+fn stream(tuples: Vec<TimedTuple<SizedElement>>) -> TimedStream<SizedElement> {
+    TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples)
+        .expect("generated tuples are valid")
+}
+
+proptest! {
+    /// Category implications of Figure 1: uniform ⟹ constant frequency ∧
+    /// constant data rate ⟹ continuous; event-based ⟹ not uniform (unless
+    /// degenerate); homogeneous xor heterogeneous.
+    #[test]
+    fn category_implications(ts in tuples()) {
+        let s = stream(ts);
+        let r = classify(&s);
+        let sat = |c| r.satisfies(c);
+        // Exactly one of homogeneous/heterogeneous.
+        prop_assert!(sat(StreamCategory::Homogeneous) ^ sat(StreamCategory::Heterogeneous));
+        // Exactly one of continuous/non-continuous.
+        prop_assert!(sat(StreamCategory::Continuous) ^ sat(StreamCategory::NonContinuous));
+        if sat(StreamCategory::Uniform) {
+            prop_assert!(sat(StreamCategory::ConstantFrequency));
+            prop_assert!(sat(StreamCategory::ConstantDataRate));
+        }
+        if sat(StreamCategory::ConstantFrequency) || sat(StreamCategory::ConstantDataRate) {
+            prop_assert!(sat(StreamCategory::Continuous));
+        }
+        if sat(StreamCategory::EventBased) {
+            prop_assert!(!sat(StreamCategory::ConstantFrequency));
+            prop_assert!(!sat(StreamCategory::Uniform));
+        }
+    }
+
+    /// The descriptor line always names the homogeneity side and one
+    /// temporal category.
+    #[test]
+    fn descriptor_line_is_well_formed(ts in tuples()) {
+        let s = stream(ts);
+        let line = classify(&s).descriptor_line();
+        prop_assert!(line.starts_with("homogeneous") || line.starts_with("heterogeneous"));
+        prop_assert!(line.contains(", "));
+    }
+
+    /// `element_at_tick` agrees with a brute-force scan everywhere in and
+    /// around the span.
+    #[test]
+    fn lookup_agrees_with_scan(ts in tuples(), probe in -5i64..600) {
+        let s = stream(ts);
+        let by_index = s.element_at_tick(probe).map(|t| (t.start, t.duration));
+        let by_scan = s
+            .iter()
+            .rev()
+            .find(|t| {
+                if t.is_event() {
+                    t.start == probe
+                } else {
+                    t.start <= probe && probe < t.end()
+                }
+            })
+            .map(|t| (t.start, t.duration));
+        prop_assert_eq!(by_index, by_scan);
+    }
+
+    /// `window` returns exactly the tuples whose start lies in range, and
+    /// `covering` is a superset that additionally covers the left edge.
+    #[test]
+    fn window_and_covering(ts in tuples(), a in 0i64..300, len in 0i64..100) {
+        let s = stream(ts);
+        let b = a + len;
+        let w = s.window(a, b);
+        prop_assert!(w.iter().all(|t| a <= t.start && t.start < b));
+        let expected = s.iter().filter(|t| a <= t.start && t.start < b).count();
+        prop_assert_eq!(w.len(), expected);
+        let c = s.covering(a, b);
+        prop_assert!(c.len() >= w.len());
+        // Everything in covering either starts in-window or spans `a`.
+        prop_assert!(c.iter().all(|t| (a <= t.start && t.start < b) || (t.start < a && t.end() > a)));
+    }
+
+    /// A stream is continuous iff it has no gaps and no overlaps.
+    #[test]
+    fn continuity_iff_no_gaps_or_overlaps(ts in tuples()) {
+        let s = stream(ts);
+        if s.len() < 2 {
+            return Ok(());
+        }
+        let continuous = classify(&s).satisfies(StreamCategory::Continuous);
+        prop_assert_eq!(continuous, s.gaps().is_empty() && s.overlaps().is_empty());
+    }
+
+    /// Span bounds every tuple; duration is non-negative and matches span.
+    #[test]
+    fn span_bounds_all(ts in tuples()) {
+        let s = stream(ts);
+        if let Some((lo, hi)) = s.tick_span() {
+            prop_assert!(s.iter().all(|t| t.start >= lo && t.end() <= hi));
+            prop_assert!(lo <= hi);
+        } else {
+            prop_assert!(s.is_empty());
+        }
+    }
+
+    /// map_elements preserves count and timing.
+    #[test]
+    fn map_preserves_timing(ts in tuples()) {
+        let s = stream(ts);
+        let mapped = s.map_elements(|t| SizedElement::new(t.element.byte_size() + 1));
+        prop_assert_eq!(mapped.len(), s.len());
+        for (a, b) in s.iter().zip(mapped.iter()) {
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.duration, b.duration);
+            prop_assert_eq!(a.element.byte_size() + 1, b.element.byte_size());
+        }
+    }
+
+    /// Total bytes in stats equals the sum of element sizes.
+    #[test]
+    fn stats_totals(ts in tuples()) {
+        let s = stream(ts);
+        let total: u64 = s.iter().map(|t| t.element.byte_size()).sum();
+        prop_assert_eq!(s.stats().total_bytes, total);
+        prop_assert_eq!(s.stats().count, s.len());
+    }
+}
+
+use tbm_core::StreamElement;

@@ -1,0 +1,461 @@
+//! The catalog: registration, lookup, queries, provenance.
+
+use crate::record::{DerivationRecord, MediaObjectRecord, MultimediaRecord, Origin};
+use crate::DbError;
+use std::collections::HashMap;
+use tbm_blob::{BlobStore, MemBlobStore};
+use tbm_compose::MultimediaObject;
+use tbm_core::{
+    keys, AudioQuality, DerivationId, InterpretationId, MediaDescriptor, MediaObjectId,
+    MultimediaObjectId, QualityFactor, VideoQuality,
+};
+use tbm_derive::{MediaValue, Node};
+use tbm_interp::{Interpretation, StreamInterp};
+use tbm_time::{TimeDelta, TimePoint};
+
+/// The multimedia database: a BLOB store plus the catalogs of
+/// interpretations, media objects, derivation objects and multimedia
+/// objects.
+#[derive(Debug)]
+pub struct MediaDb<S: BlobStore = MemBlobStore> {
+    store: S,
+    interpretations: Vec<Interpretation>,
+    objects: Vec<MediaObjectRecord>,
+    derivations: Vec<DerivationRecord>,
+    multimedia: Vec<MultimediaRecord>,
+    /// Symbolic non-derived values registered directly (music, animation).
+    pub(crate) immediates: HashMap<String, MediaValue>,
+}
+
+impl MediaDb<MemBlobStore> {
+    /// An in-memory database.
+    pub fn new() -> MediaDb<MemBlobStore> {
+        MediaDb::with_store(MemBlobStore::new())
+    }
+}
+
+impl Default for MediaDb<MemBlobStore> {
+    fn default() -> Self {
+        MediaDb::new()
+    }
+}
+
+impl<S: BlobStore> MediaDb<S> {
+    /// A database over a caller-provided BLOB store (e.g. a
+    /// [`tbm_blob::FileBlobStore`] for durability).
+    pub fn with_store(store: S) -> MediaDb<S> {
+        MediaDb {
+            store,
+            interpretations: Vec::new(),
+            objects: Vec::new(),
+            derivations: Vec::new(),
+            multimedia: Vec::new(),
+            immediates: HashMap::new(),
+        }
+    }
+
+    /// The underlying BLOB store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Crate-internal: raw catalog parts for persistence.
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &[Interpretation],
+        &[MediaObjectRecord],
+        &[DerivationRecord],
+        &[MultimediaRecord],
+    ) {
+        (
+            &self.interpretations,
+            &self.objects,
+            &self.derivations,
+            &self.multimedia,
+        )
+    }
+
+    /// Crate-internal: rebuilds a database from persisted parts.
+    pub(crate) fn from_parts(
+        store: S,
+        interpretations: Vec<Interpretation>,
+        objects: Vec<MediaObjectRecord>,
+        derivations: Vec<DerivationRecord>,
+        multimedia: Vec<MultimediaRecord>,
+        immediates: HashMap<String, MediaValue>,
+    ) -> MediaDb<S> {
+        MediaDb {
+            store,
+            interpretations,
+            objects,
+            derivations,
+            multimedia,
+            immediates,
+        }
+    }
+
+    /// Mutable access to the BLOB store (for capture pipelines).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    fn check_free(&self, name: &str) -> Result<(), DbError> {
+        if self.objects.iter().any(|o| o.name == name) || self.immediates.contains_key(name) {
+            return Err(DbError::DuplicateObject {
+                name: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers a BLOB's interpretation; every stream becomes a non-derived
+    /// media object under its stream name.
+    pub fn register_interpretation(
+        &mut self,
+        interp: Interpretation,
+    ) -> Result<InterpretationId, DbError> {
+        for (name, _) in interp.streams() {
+            self.check_free(name)?;
+        }
+        let id = InterpretationId::new(self.interpretations.len() as u64);
+        for (name, _) in interp.streams() {
+            self.objects.push(MediaObjectRecord {
+                id: MediaObjectId::new(self.objects.len() as u64),
+                name: name.to_owned(),
+                origin: Origin::Interpreted {
+                    interpretation: id,
+                    stream: name.to_owned(),
+                },
+            });
+        }
+        self.interpretations.push(interp);
+        Ok(id)
+    }
+
+    /// Registers a symbolic non-derived value (music, animation) directly.
+    pub fn register_value(&mut self, name: &str, value: MediaValue) -> Result<(), DbError> {
+        self.check_free(name)?;
+        self.immediates.insert(name.to_owned(), value);
+        Ok(())
+    }
+
+    /// Registers a derived media object: stores the derivation object and
+    /// creates the object record. All referenced sources must already be
+    /// registered — this is the non-destructive edit entry point.
+    pub fn create_derived(&mut self, name: &str, node: Node) -> Result<MediaObjectId, DbError> {
+        self.check_free(name)?;
+        for src in node.sources() {
+            if !self.objects.iter().any(|o| o.name == src)
+                && !self.immediates.contains_key(src)
+            {
+                return Err(DbError::UnknownDerivationInput {
+                    name: src.to_owned(),
+                });
+            }
+        }
+        let derivation = DerivationId::new(self.derivations.len() as u64);
+        let bytes = node.to_bytes();
+        self.derivations.push(DerivationRecord {
+            id: derivation,
+            node,
+            bytes,
+        });
+        let id = MediaObjectId::new(self.objects.len() as u64);
+        self.objects.push(MediaObjectRecord {
+            id,
+            name: name.to_owned(),
+            origin: Origin::Derived { derivation },
+        });
+        Ok(id)
+    }
+
+    /// Registers a multimedia object (the result of composition).
+    pub fn add_multimedia(&mut self, object: MultimediaObject) -> Result<MultimediaObjectId, DbError> {
+        object.validate()?;
+        let id = MultimediaObjectId::new(self.multimedia.len() as u64);
+        self.multimedia.push(MultimediaRecord { id, object });
+        Ok(id)
+    }
+
+    /// Removes a *derived* media object.
+    ///
+    /// Refuses when other derived objects reference it (provenance
+    /// protection) and always refuses for non-derived objects — the paper's
+    /// discipline: originals are preserved; only derivations come and go.
+    /// The derivation object itself is retained as history ("by storing
+    /// derivation objects it is possible to keep track of … manipulations").
+    pub fn remove_derived(&mut self, name: &str) -> Result<(), DbError> {
+        let rec = self.object(name)?;
+        if !rec.origin.is_derived() {
+            return Err(DbError::NotDerived {
+                name: name.to_owned(),
+            });
+        }
+        let dependents: Vec<String> = self
+            .derived_from(name)
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        if !dependents.is_empty() {
+            return Err(DbError::HasDependents {
+                name: name.to_owned(),
+                dependents,
+            });
+        }
+        self.objects.retain(|o| o.name != name);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// All media object records.
+    pub fn objects(&self) -> &[MediaObjectRecord] {
+        &self.objects
+    }
+
+    /// Looks up a media object record by name.
+    pub fn object(&self, name: &str) -> Result<&MediaObjectRecord, DbError> {
+        self.objects
+            .iter()
+            .find(|o| o.name == name)
+            .ok_or_else(|| DbError::NoSuchObject {
+                name: name.to_owned(),
+            })
+    }
+
+    /// An interpretation by id.
+    pub fn interpretation(&self, id: InterpretationId) -> Option<&Interpretation> {
+        self.interpretations.get(id.raw() as usize)
+    }
+
+    /// All interpretations.
+    pub fn interpretations(&self) -> &[Interpretation] {
+        &self.interpretations
+    }
+
+    /// The stream interpretation behind a non-derived object.
+    pub fn stream_of(&self, name: &str) -> Result<(&Interpretation, &StreamInterp), DbError> {
+        let rec = self.object(name)?;
+        match &rec.origin {
+            Origin::Interpreted {
+                interpretation,
+                stream,
+            } => {
+                let interp = self
+                    .interpretation(*interpretation)
+                    .expect("registered interpretation exists");
+                Ok((interp, interp.stream(stream)?))
+            }
+            Origin::Derived { .. } => Err(DbError::NoSuchObject {
+                name: format!("{name} (derived: no stream interpretation)"),
+            }),
+        }
+    }
+
+    /// The media descriptor of an object, when it has one (non-derived
+    /// objects always do).
+    pub fn descriptor(&self, name: &str) -> Option<&MediaDescriptor> {
+        let rec = self.objects.iter().find(|o| o.name == name)?;
+        match &rec.origin {
+            Origin::Interpreted {
+                interpretation,
+                stream,
+            } => self
+                .interpretation(*interpretation)
+                .and_then(|i| i.stream(stream).ok())
+                .map(|s| s.descriptor()),
+            Origin::Derived { .. } => None,
+        }
+    }
+
+    /// A stored derivation record.
+    pub fn derivation(&self, id: DerivationId) -> Option<&DerivationRecord> {
+        self.derivations.get(id.raw() as usize)
+    }
+
+    /// A multimedia object by name.
+    pub fn multimedia(&self, name: &str) -> Option<&MultimediaRecord> {
+        self.multimedia.iter().find(|m| m.object.name() == name)
+    }
+
+    /// All multimedia objects.
+    pub fn multimedia_objects(&self) -> &[MultimediaRecord] {
+        &self.multimedia
+    }
+
+    // ------------------------------------------------------------------
+    // The §1.2 query surface
+    // ------------------------------------------------------------------
+
+    /// "Select a specific sound track": audio objects whose `language`
+    /// descriptor attribute equals `lang`.
+    pub fn audio_tracks_by_language(&self, lang: &str) -> Vec<&str> {
+        self.objects
+            .iter()
+            .filter(|o| {
+                self.descriptor(&o.name)
+                    .and_then(|d| d.get_text(keys::LANGUAGE))
+                    .map(|l| l == lang)
+                    .unwrap_or(false)
+            })
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// "Select a specific duration": objects whose declared duration is at
+    /// least `min`.
+    pub fn objects_with_duration_at_least(&self, min: TimeDelta) -> Vec<&str> {
+        self.objects
+            .iter()
+            .filter(|o| {
+                self.descriptor(&o.name)
+                    .and_then(|d| d.duration())
+                    .map(|dur| dur >= min)
+                    .unwrap_or(false)
+            })
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// Video objects whose quality factor is at least `min`.
+    pub fn videos_with_quality_at_least(&self, min: VideoQuality) -> Vec<&str> {
+        self.objects_with_quality(|q| matches!(q, QualityFactor::Video(v) if v >= min))
+    }
+
+    /// Audio objects whose quality factor is at least `min`.
+    pub fn audio_with_quality_at_least(&self, min: AudioQuality) -> Vec<&str> {
+        self.objects_with_quality(|q| matches!(q, QualityFactor::Audio(a) if a >= min))
+    }
+
+    fn objects_with_quality(&self, pred: impl Fn(QualityFactor) -> bool) -> Vec<&str> {
+        self.objects
+            .iter()
+            .filter(|o| {
+                self.descriptor(&o.name)
+                    .and_then(|d| d.quality())
+                    .map(&pred)
+                    .unwrap_or(false)
+            })
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// Objects of a given media kind (judged by their descriptors; derived
+    /// objects without descriptors are excluded).
+    pub fn objects_of_kind(&self, kind: tbm_core::MediaKind) -> Vec<&str> {
+        self.objects
+            .iter()
+            .filter(|o| {
+                self.descriptor(&o.name)
+                    .map(|d| d.kind() == kind)
+                    .unwrap_or(false)
+            })
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// Objects whose descriptor `category` line mentions `category_name`
+    /// (e.g. `"uniform"`, `"event-based"`) — querying the Figure 1 taxonomy.
+    pub fn objects_in_category(&self, category_name: &str) -> Vec<&str> {
+        self.objects
+            .iter()
+            .filter(|o| {
+                self.descriptor(&o.name)
+                    .and_then(|d| d.get_text(keys::CATEGORY))
+                    .map(|c| c.split(", ").any(|part| part == category_name))
+                    .unwrap_or(false)
+            })
+            .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    /// Time-based retrieval: the encoded bytes of the element of `name`
+    /// active at `t` (relative to the stream's own origin).
+    pub fn element_bytes_at(&self, name: &str, t: TimePoint) -> Result<Vec<u8>, DbError> {
+        self.element_bytes_at_fidelity(name, t, None)
+    }
+
+    /// "Retrieve frames at a specific visual fidelity": like
+    /// [`MediaDb::element_bytes_at`] but reading only the first `layers`
+    /// placement layers of scalable elements.
+    pub fn element_bytes_at_fidelity(
+        &self,
+        name: &str,
+        t: TimePoint,
+        layers: Option<usize>,
+    ) -> Result<Vec<u8>, DbError> {
+        let (interp, stream) = self.stream_of(name)?;
+        let tick = stream.system().seconds_to_tick_floor(t);
+        let idx = stream
+            .element_at(tick)
+            .map_err(|_| DbError::NothingAtTime {
+                name: name.to_owned(),
+            })?;
+        let bytes = match layers {
+            None => stream.read_element(&self.store, interp.blob(), idx)?,
+            Some(n) => stream.read_element_layers(&self.store, interp.blob(), idx, n)?,
+        };
+        Ok(bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Provenance
+    // ------------------------------------------------------------------
+
+    /// The derivation expression behind a derived object.
+    pub fn provenance(&self, name: &str) -> Result<Option<&Node>, DbError> {
+        let rec = self.object(name)?;
+        Ok(match &rec.origin {
+            Origin::Derived { derivation } => {
+                Some(&self.derivation(*derivation).expect("registered").node)
+            }
+            Origin::Interpreted { .. } => None,
+        })
+    }
+
+    /// All derived objects that reference `source` (directly or through
+    /// intermediate derived objects) — "keep track of, and query,
+    /// manipulations to media objects."
+    pub fn derived_from(&self, source: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for o in &self.objects {
+            if o.name == source {
+                continue;
+            }
+            if self.mentions(&o.name, source) {
+                out.push(o.name.as_str());
+            }
+        }
+        out
+    }
+
+    fn mentions(&self, object: &str, source: &str) -> bool {
+        let Ok(Some(node)) = self.provenance(object) else {
+            return false;
+        };
+        node.sources()
+            .iter()
+            .any(|s| *s == source || self.mentions(s, source))
+    }
+
+    /// Total bytes the database stores for a derived object (its derivation
+    /// object only — the E6 storage comparison).
+    pub fn derivation_storage_bytes(&self, name: &str) -> Result<u64, DbError> {
+        let rec = self.object(name)?;
+        match &rec.origin {
+            Origin::Derived { derivation } => Ok(self
+                .derivation(*derivation)
+                .expect("registered")
+                .bytes
+                .len() as u64),
+            Origin::Interpreted { .. } => Ok(0),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type for the database layer.
+
+use std::fmt;
+use tbm_blob::BlobError;
+use tbm_compose::ComposeError;
+use tbm_derive::DeriveError;
+use tbm_interp::InterpError;
+
+/// Errors raised by the multimedia database.
+#[derive(Debug)]
+pub enum DbError {
+    /// No media object with this name.
+    NoSuchObject {
+        /// The requested name.
+        name: String,
+    },
+    /// An object with this name already exists.
+    DuplicateObject {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A derivation referenced an unregistered media object.
+    UnknownDerivationInput {
+        /// The missing input name.
+        name: String,
+    },
+    /// The object's encoding is not one the database can materialize.
+    UnsupportedEncoding {
+        /// The object.
+        name: String,
+        /// The encoding attribute found.
+        encoding: String,
+    },
+    /// A time-based retrieval addressed a moment with no element.
+    NothingAtTime {
+        /// The object queried.
+        name: String,
+    },
+    /// Removal refused: other derived objects reference this one.
+    HasDependents {
+        /// The object whose removal was requested.
+        name: String,
+        /// The derived objects that reference it.
+        dependents: Vec<String>,
+    },
+    /// Removal refused: the object is non-derived. Interpretations are
+    /// "permanently associated" with their BLOBs (paper §4.1); originals
+    /// are preserved, edits are derivations.
+    NotDerived {
+        /// The object whose removal was requested.
+        name: String,
+    },
+    /// Underlying interpretation failure.
+    Interp(InterpError),
+    /// Underlying BLOB failure.
+    Blob(BlobError),
+    /// Underlying derivation failure.
+    Derive(DeriveError),
+    /// Underlying composition failure.
+    Compose(ComposeError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchObject { name } => write!(f, "no media object named `{name}`"),
+            DbError::DuplicateObject { name } => {
+                write!(f, "media object `{name}` already exists")
+            }
+            DbError::UnknownDerivationInput { name } => {
+                write!(f, "derivation references unregistered object `{name}`")
+            }
+            DbError::UnsupportedEncoding { name, encoding } => {
+                write!(f, "object `{name}` has unmaterializable encoding `{encoding}`")
+            }
+            DbError::NothingAtTime { name } => {
+                write!(f, "no element of `{name}` at the requested time")
+            }
+            DbError::HasDependents { name, dependents } => {
+                write!(f, "cannot remove `{name}`: derived objects {dependents:?} reference it")
+            }
+            DbError::NotDerived { name } => {
+                write!(
+                    f,
+                    "cannot remove non-derived object `{name}`: interpretations are \
+                     permanently associated with their BLOBs"
+                )
+            }
+            DbError::Interp(e) => write!(f, "interpretation: {e}"),
+            DbError::Blob(e) => write!(f, "blob: {e}"),
+            DbError::Derive(e) => write!(f, "derivation: {e}"),
+            DbError::Compose(e) => write!(f, "composition: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Interp(e) => Some(e),
+            DbError::Blob(e) => Some(e),
+            DbError::Derive(e) => Some(e),
+            DbError::Compose(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InterpError> for DbError {
+    fn from(e: InterpError) -> DbError {
+        DbError::Interp(e)
+    }
+}
+
+impl From<BlobError> for DbError {
+    fn from(e: BlobError) -> DbError {
+        DbError::Blob(e)
+    }
+}
+
+impl From<DeriveError> for DbError {
+    fn from(e: DeriveError) -> DbError {
+        DbError::Derive(e)
+    }
+}
+
+impl From<ComposeError> for DbError {
+    fn from(e: ComposeError) -> DbError {
+        DbError::Compose(e)
+    }
+}

@@ -1,0 +1,37 @@
+//! # tbm-db — the multimedia database facade
+//!
+//! Ties the four layers of the paper's Fig. 5 into one catalog:
+//!
+//! ```text
+//! multimedia object   ←  temporal composition   (tbm-compose)
+//! media objects (derived)  ←  derivation        (tbm-derive)
+//! media objects (non-derived)  ←  interpretation (tbm-interp)
+//! BLOB                                          (tbm-blob)
+//! ```
+//!
+//! [`MediaDb`] registers BLOBs with their interpretations, derived objects
+//! with their derivation objects, and multimedia objects with their
+//! components — and answers the §1.2 queries that motivated the model:
+//!
+//! > *"If the movie is represented structurally … it is possible to issue
+//! > queries which select a specific sound track, or select a specific
+//! > duration, or perhaps retrieve frames at a specific visual fidelity."*
+//!
+//! Editing is non-destructive throughout: an edit registers a derivation
+//! object (an edit list); BLOBs are never rewritten. Provenance queries
+//! ("by storing derivation objects it is possible to keep track of, and
+//! query, manipulations to media objects") walk the derivation references.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod error;
+mod materialize;
+mod persist;
+mod record;
+
+pub use catalog::MediaDb;
+pub use error::DbError;
+pub use persist::CATALOG_FILE;
+pub use record::{DerivationRecord, MediaObjectRecord, MultimediaRecord, Origin};

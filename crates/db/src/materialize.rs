@@ -1,0 +1,171 @@
+//! Materialization: turning catalog objects into runtime media values.
+//!
+//! Non-derived objects decode out of their BLOBs according to the
+//! `encoding` descriptor attribute; derived objects expand their derivation
+//! trees after recursively materializing the sources. This realizes the
+//! paper's Fig. 5 bottom-up path on demand.
+
+use crate::record::Origin;
+use crate::{DbError, MediaDb};
+use tbm_blob::BlobStore;
+use tbm_codec::interframe::GopParams;
+use tbm_codec::{adpcm, dct};
+use tbm_core::keys;
+use tbm_derive::{AudioClip, Expander, MediaValue, Node, VideoClip};
+use tbm_interp::{capture, Interpretation, StreamInterp};
+use tbm_media::AudioBuffer;
+use tbm_time::Rational;
+
+impl<S: BlobStore> MediaDb<S> {
+    /// Materializes a media object to a runtime [`MediaValue`], decoding or
+    /// expanding as its origin requires.
+    pub fn materialize(&self, name: &str) -> Result<MediaValue, DbError> {
+        if let Some(v) = self.immediates.get(name) {
+            return Ok(v.clone());
+        }
+        let rec = self.object(name)?;
+        match &rec.origin {
+            Origin::Interpreted { .. } => {
+                let (interp, stream) = self.stream_of(name)?;
+                self.decode_stream(name, interp, stream)
+            }
+            Origin::Derived { derivation } => {
+                let node = self
+                    .derivation(*derivation)
+                    .expect("registered")
+                    .node
+                    .clone();
+                let expander = self.expander_for(&node)?;
+                Ok(expander.expand(&node)?)
+            }
+        }
+    }
+
+    /// Builds an expander whose sources are the materialized transitive
+    /// inputs of `node` ("expansion" per Definition 6).
+    pub fn expander_for(&self, node: &Node) -> Result<Expander, DbError> {
+        let mut expander = Expander::new();
+        for src in node.sources() {
+            // A source may itself be derived; materialize recursively.
+            expander.add_source(src, self.materialize(src)?);
+        }
+        Ok(expander)
+    }
+
+    /// Decodes a non-derived stream according to its `encoding` attribute.
+    fn decode_stream(
+        &self,
+        name: &str,
+        interp: &Interpretation,
+        stream: &StreamInterp,
+    ) -> Result<MediaValue, DbError> {
+        let desc = stream.descriptor();
+        let encoding = desc.get_text(keys::ENCODING).unwrap_or("").to_owned();
+        let blob = interp.blob();
+        match encoding.as_str() {
+            "PCM" => {
+                let channels = desc.get_int(keys::CHANNELS).unwrap_or(1).max(1) as u16;
+                let rate = desc.get_int(keys::SAMPLE_RATE).unwrap_or(44_100) as u32;
+                let mut all = Vec::new();
+                for i in 0..stream.len() {
+                    all.extend(stream.read_element(self.store(), blob, i)?);
+                }
+                let buffer =
+                    AudioBuffer::from_bytes(channels, &all).ok_or(DbError::UnsupportedEncoding {
+                        name: name.to_owned(),
+                        encoding: encoding.clone(),
+                    })?;
+                Ok(MediaValue::Audio(AudioClip::new(buffer, rate)))
+            }
+            "ADPCM" => {
+                let rate = desc.get_int(keys::SAMPLE_RATE).unwrap_or(44_100) as u32;
+                let mut blocks = Vec::with_capacity(stream.len());
+                for i in 0..stream.len() {
+                    let bytes = stream.read_element(self.store(), blob, i)?;
+                    blocks.push(adpcm::AdpcmBlock::from_bytes(&bytes).map_err(|e| {
+                        DbError::Interp(tbm_interp::InterpError::Codec(e))
+                    })?);
+                }
+                let buffer = adpcm::decode_blocks(&blocks)
+                    .map_err(|e| DbError::Interp(tbm_interp::InterpError::Codec(e)))?;
+                Ok(MediaValue::Audio(AudioClip::new(buffer, rate)))
+            }
+            "YUV 8:2:2, JPEG" | "YUV 8:2:2, layered DCT" => {
+                // Intraframe: each element decodes independently. For
+                // layered elements the full read is `[base][enhancement]`,
+                // which the layered decoder understands via the placement.
+                let mut frames = Vec::with_capacity(stream.len());
+                for i in 0..stream.len() {
+                    let entry = stream.entry(i)?;
+                    if entry.placement.layer_count() == 1 {
+                        let bytes = stream.read_element(self.store(), blob, i)?;
+                        frames.push(dct::decode_frame(&bytes).map_err(|e| {
+                            DbError::Interp(tbm_interp::InterpError::Codec(e))
+                        })?);
+                    } else {
+                        let w = desc.get_int(keys::FRAME_WIDTH).unwrap_or(0) as u32;
+                        let h = desc.get_int(keys::FRAME_HEIGHT).unwrap_or(0) as u32;
+                        let quant =
+                            desc.get_int(capture::QUANT_KEY).unwrap_or(100) as u16;
+                        let base =
+                            stream.read_element_layers(self.store(), blob, i, 1)?;
+                        let full = stream.read_element(self.store(), blob, i)?;
+                        let lf = tbm_codec::scalable::LayeredFrame {
+                            width: w,
+                            height: h,
+                            quant_percent: quant,
+                            base: base.clone(),
+                            enhancement: full[base.len()..].to_vec(),
+                        };
+                        frames.push(tbm_codec::scalable::decode_full(&lf).map_err(|e| {
+                            DbError::Interp(tbm_interp::InterpError::Codec(e))
+                        })?);
+                    }
+                }
+                Ok(MediaValue::Video(VideoClip::new(frames, stream.system())))
+            }
+            "YUV 8:2:2, interframe GOP" => {
+                let w = desc.get_int(keys::FRAME_WIDTH).unwrap_or(0) as u32;
+                let h = desc.get_int(keys::FRAME_HEIGHT).unwrap_or(0) as u32;
+                let quant = desc.get_int(capture::QUANT_KEY).unwrap_or(100) as u16;
+                let params = GopParams {
+                    dct: tbm_codec::dct::DctParams::with_quant(quant),
+                    ..GopParams::default()
+                };
+                let seq = capture::reassemble_interframe(self.store(), blob, stream, params, w, h)?;
+                let frames = tbm_codec::interframe::decode_sequence(&seq)
+                    .map_err(|e| DbError::Interp(tbm_interp::InterpError::Codec(e)))?;
+                Ok(MediaValue::Video(VideoClip::new(frames, stream.system())))
+            }
+            other => Err(DbError::UnsupportedEncoding {
+                name: name.to_owned(),
+                encoding: other.to_owned(),
+            }),
+        }
+    }
+
+    /// The storage footprint, in bytes, of a media object as the database
+    /// holds it: mapped BLOB bytes for non-derived objects, the derivation
+    /// object's size for derived ones. This is the quantity the E6
+    /// experiment compares.
+    pub fn stored_bytes(&self, name: &str) -> Result<u64, DbError> {
+        if self.immediates.contains_key(name) {
+            // Approximate symbolic values by their materialized size.
+            return Ok(self.materialize(name)?.approx_bytes());
+        }
+        let rec = self.object(name)?;
+        match &rec.origin {
+            Origin::Interpreted { .. } => {
+                let (_, stream) = self.stream_of(name)?;
+                Ok(stream.total_bytes())
+            }
+            Origin::Derived { .. } => self.derivation_storage_bytes(name),
+        }
+    }
+
+    /// The average data rate declared for (or derivable from) an object's
+    /// descriptor, in bytes/second.
+    pub fn average_data_rate(&self, name: &str) -> Option<Rational> {
+        self.descriptor(name)?.get_rational(keys::AVG_DATA_RATE)
+    }
+}

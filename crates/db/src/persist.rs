@@ -1,0 +1,645 @@
+//! Catalog persistence.
+//!
+//! The paper stresses that structural information "is crucial and the task
+//! should not be left to applications" — losing an interpretation leaves
+//! "meaningless data". Persistence therefore stores the *whole* catalog:
+//! interpretations (descriptors, element tables), object records,
+//! derivation objects and multimedia objects, in one compact binary file
+//! next to the BLOBs of a [`tbm_blob::FileBlobStore`].
+//!
+//! Symbolic immediates (music, animation) persist too; bulk video/audio
+//! immediates are rejected — continuous media belong in BLOBs with
+//! interpretations, per the model.
+
+use crate::record::{DerivationRecord, MediaObjectRecord, MultimediaRecord, Origin};
+use crate::{DbError, MediaDb};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+use tbm_blob::{BlobStore, ByteSpan, FileBlobStore};
+use tbm_compose::{Component, ComponentKind, MultimediaObject, Region};
+use tbm_core::{
+    AttrValue, BlobId, DerivationId, ElementDescriptor, InterpretationId, MediaDescriptor,
+    MediaKind, MediaObjectId, MultimediaObjectId,
+};
+use tbm_derive::{AnimClip, MediaValue, MusicClip, Node};
+use tbm_interp::{ElementEntry, Interpretation, Placement, StreamInterp};
+use tbm_media::animation::{MoveSpec, Point};
+use tbm_media::midi::Note;
+use tbm_time::{AllenRelation, Rational, TimeDelta, TimePoint, TimeSystem};
+
+const MAGIC: &[u8; 4] = b"TBMC";
+const VERSION: u8 = 1;
+
+/// The catalog file name inside a database directory.
+pub const CATALOG_FILE: &str = "catalog.tbm";
+
+fn corrupt(detail: &str) -> DbError {
+    DbError::Blob(tbm_blob::BlobError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt catalog: {detail}"),
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Encoder / decoder primitives
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    out: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc {
+            out: Vec::with_capacity(4096),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.out.extend_from_slice(b);
+    }
+
+    fn rational(&mut self, r: Rational) {
+        self.i64(r.numer());
+        self.i64(r.denom());
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(corrupt("unexpected end"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DbError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DbError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DbError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    fn i64(&mut self) -> Result<i64, DbError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    fn str(&mut self) -> Result<String, DbError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, DbError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn rational(&mut self) -> Result<Rational, DbError> {
+        let num = self.i64()?;
+        let den = self.i64()?;
+        Rational::checked_new(num, den).map_err(|_| corrupt("invalid rational"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Piecewise encodings
+// ---------------------------------------------------------------------------
+
+fn enc_attr(e: &mut Enc, v: &AttrValue) {
+    match v {
+        AttrValue::Int(i) => {
+            e.u8(0);
+            e.i64(*i);
+        }
+        AttrValue::Rational(r) => {
+            e.u8(1);
+            e.rational(*r);
+        }
+        AttrValue::Text(s) => {
+            e.u8(2);
+            e.str(s);
+        }
+        AttrValue::Bool(b) => {
+            e.u8(3);
+            e.u8(*b as u8);
+        }
+    }
+}
+
+fn dec_attr(d: &mut Dec) -> Result<AttrValue, DbError> {
+    Ok(match d.u8()? {
+        0 => AttrValue::Int(d.i64()?),
+        1 => AttrValue::Rational(d.rational()?),
+        2 => AttrValue::Text(d.str()?),
+        3 => AttrValue::Bool(d.u8()? != 0),
+        t => return Err(corrupt(&format!("attr tag {t}"))),
+    })
+}
+
+fn kind_tag(k: MediaKind) -> u8 {
+    match k {
+        MediaKind::Image => 0,
+        MediaKind::Audio => 1,
+        MediaKind::Video => 2,
+        MediaKind::Music => 3,
+        MediaKind::Animation => 4,
+        MediaKind::Text => 5,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<MediaKind, DbError> {
+    Ok(match tag {
+        0 => MediaKind::Image,
+        1 => MediaKind::Audio,
+        2 => MediaKind::Video,
+        3 => MediaKind::Music,
+        4 => MediaKind::Animation,
+        5 => MediaKind::Text,
+        t => return Err(corrupt(&format!("media kind {t}"))),
+    })
+}
+
+fn enc_descriptor(e: &mut Enc, desc: &MediaDescriptor) {
+    e.u8(kind_tag(desc.kind()));
+    e.u32(desc.len() as u32);
+    for (k, v) in desc.iter() {
+        e.str(k);
+        enc_attr(e, v);
+    }
+}
+
+fn dec_descriptor(d: &mut Dec) -> Result<MediaDescriptor, DbError> {
+    let kind = kind_from(d.u8()?)?;
+    let n = d.u32()? as usize;
+    let mut desc = MediaDescriptor::new(kind);
+    for _ in 0..n {
+        let k = d.str()?;
+        let v = dec_attr(d)?;
+        desc.set(&k, v);
+    }
+    Ok(desc)
+}
+
+fn enc_entry(e: &mut Enc, entry: &ElementEntry) {
+    e.i64(entry.start);
+    e.i64(entry.duration);
+    let layers = entry.placement.layers();
+    e.u8(layers.len() as u8);
+    for s in layers {
+        e.u64(s.offset);
+        e.u64(s.len);
+    }
+    match &entry.descriptor {
+        None => e.u8(0),
+        Some(ed) => {
+            e.u8(1);
+            e.u32(ed.iter().count() as u32);
+            for (k, v) in ed.iter() {
+                e.str(k);
+                enc_attr(e, v);
+            }
+        }
+    }
+    e.u8(entry.is_key as u8);
+}
+
+fn dec_entry(d: &mut Dec) -> Result<ElementEntry, DbError> {
+    let start = d.i64()?;
+    let duration = d.i64()?;
+    let n_layers = d.u8()? as usize;
+    if n_layers == 0 {
+        return Err(corrupt("entry with zero layers"));
+    }
+    let mut spans = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let offset = d.u64()?;
+        let len = d.u64()?;
+        spans.push(ByteSpan::new(offset, len));
+    }
+    let descriptor = match d.u8()? {
+        0 => None,
+        1 => {
+            let n = d.u32()? as usize;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = d.str()?;
+                let v = dec_attr(d)?;
+                pairs.push((k, v));
+            }
+            Some(ElementDescriptor::from_pairs(pairs))
+        }
+        t => return Err(corrupt(&format!("descriptor tag {t}"))),
+    };
+    let is_key = d.u8()? != 0;
+    let placement = Placement::layered(spans).expect("n_layers >= 1");
+    let mut entry = ElementEntry {
+        start,
+        duration,
+        size: placement.total_len(),
+        placement,
+        descriptor,
+        is_key,
+    };
+    // `simple` constructor invariants are preserved by construction.
+    entry.size = entry.placement.total_len();
+    Ok(entry)
+}
+
+fn enc_interpretation(e: &mut Enc, interp: &Interpretation) {
+    e.u64(interp.blob().raw());
+    e.u32(interp.len() as u32);
+    for (name, stream) in interp.streams() {
+        e.str(name);
+        enc_descriptor(e, stream.descriptor());
+        e.rational(stream.system().frequency());
+        e.u32(stream.len() as u32);
+        for entry in stream.entries() {
+            enc_entry(e, entry);
+        }
+    }
+}
+
+fn dec_interpretation(d: &mut Dec) -> Result<Interpretation, DbError> {
+    let blob = BlobId::new(d.u64()?);
+    let mut interp = Interpretation::new(blob);
+    let n = d.u32()? as usize;
+    for _ in 0..n {
+        let name = d.str()?;
+        let desc = dec_descriptor(d)?;
+        let freq = d.rational()?;
+        let system = TimeSystem::new(freq).map_err(|_| corrupt("bad frequency"))?;
+        let n_entries = d.u32()? as usize;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            entries.push(dec_entry(d)?);
+        }
+        let stream = StreamInterp::new(desc, system, entries)?;
+        interp.add_stream(&name, stream)?;
+    }
+    Ok(interp)
+}
+
+fn enc_multimedia(e: &mut Enc, m: &MultimediaObject) {
+    e.str(m.name());
+    e.u32(m.components().len() as u32);
+    for c in m.components() {
+        e.str(&c.name);
+        e.u8(match c.kind {
+            ComponentKind::Video => 0,
+            ComponentKind::Audio => 1,
+        });
+        e.bytes(&c.media.to_bytes());
+        e.rational(c.interval.start().seconds());
+        e.rational(c.interval.duration().seconds());
+        match c.region {
+            None => e.u8(0),
+            Some(r) => {
+                e.u8(1);
+                e.i64(r.x as i64);
+                e.i64(r.y as i64);
+                e.u32(r.width);
+                e.u32(r.height);
+                e.i64(r.layer as i64);
+            }
+        }
+    }
+    e.u32(m.constraints().len() as u32);
+    for sc in m.constraints() {
+        e.str(&sc.a);
+        e.str(&sc.b);
+        let idx = AllenRelation::ALL
+            .iter()
+            .position(|r| *r == sc.relation)
+            .expect("relation in ALL");
+        e.u8(idx as u8);
+    }
+}
+
+fn dec_multimedia(d: &mut Dec) -> Result<MultimediaObject, DbError> {
+    let name = d.str()?;
+    let mut m = MultimediaObject::new(&name);
+    let n = d.u32()? as usize;
+    for _ in 0..n {
+        let cname = d.str()?;
+        let kind = match d.u8()? {
+            0 => ComponentKind::Video,
+            1 => ComponentKind::Audio,
+            t => return Err(corrupt(&format!("component kind {t}"))),
+        };
+        let media = Node::from_bytes(&d.blob()?)?;
+        let start = TimePoint::from_seconds(d.rational()?);
+        let dur = TimeDelta::from_seconds(d.rational()?);
+        let mut component =
+            Component::new(&cname, kind, media, start, dur).ok_or_else(|| corrupt("interval"))?;
+        if d.u8()? == 1 {
+            let x = d.i64()? as i32;
+            let y = d.i64()? as i32;
+            let w = d.u32()?;
+            let h = d.u32()?;
+            let layer = d.i64()? as i32;
+            component = component.in_region(Region::new(x, y, w, h).at_layer(layer));
+        }
+        m.add_component(component)?;
+    }
+    let nc = d.u32()? as usize;
+    for _ in 0..nc {
+        let a = d.str()?;
+        let b = d.str()?;
+        let idx = d.u8()? as usize;
+        let relation = *AllenRelation::ALL
+            .get(idx)
+            .ok_or_else(|| corrupt("relation index"))?;
+        m.add_constraint(&a, relation, &b)?;
+    }
+    Ok(m)
+}
+
+fn enc_immediate(e: &mut Enc, v: &MediaValue) -> Result<(), DbError> {
+    match v {
+        MediaValue::Music(m) => {
+            e.u8(0);
+            e.u32(m.ppq);
+            e.u32(m.tempo_bpm);
+            e.u32(m.notes.len() as u32);
+            for &(note, start, dur) in &m.notes {
+                e.u8(note.channel);
+                e.u8(note.key);
+                e.u8(note.velocity);
+                e.i64(start);
+                e.i64(dur);
+            }
+            Ok(())
+        }
+        MediaValue::Animation(a) => {
+            e.u8(1);
+            e.rational(a.system.frequency());
+            e.u32(a.width);
+            e.u32(a.height);
+            e.u32(a.background);
+            e.u32(a.moves.len() as u32);
+            for &(mv, start, dur) in &a.moves {
+                e.u32(mv.object_id);
+                e.i64(mv.from.x as i64);
+                e.i64(mv.from.y as i64);
+                e.i64(mv.to.x as i64);
+                e.i64(mv.to.y as i64);
+                e.u32(mv.size);
+                e.u32(mv.color);
+                e.i64(start);
+                e.i64(dur);
+            }
+            Ok(())
+        }
+        other => Err(DbError::UnsupportedEncoding {
+            name: "<immediate>".to_owned(),
+            encoding: format!(
+                "{} immediates are not persistable — capture continuous media into BLOBs",
+                other.type_name()
+            ),
+        }),
+    }
+}
+
+fn dec_immediate(d: &mut Dec) -> Result<MediaValue, DbError> {
+    Ok(match d.u8()? {
+        0 => {
+            let ppq = d.u32()?;
+            let tempo = d.u32()?;
+            let n = d.u32()? as usize;
+            let mut notes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let channel = d.u8()?;
+                let key = d.u8()?;
+                let velocity = d.u8()?;
+                let start = d.i64()?;
+                let dur = d.i64()?;
+                notes.push((Note::new(channel, key, velocity), start, dur));
+            }
+            MediaValue::Music(MusicClip::new(notes, ppq, tempo))
+        }
+        1 => {
+            let freq = d.rational()?;
+            let system = TimeSystem::new(freq).map_err(|_| corrupt("bad frequency"))?;
+            let width = d.u32()?;
+            let height = d.u32()?;
+            let background = d.u32()?;
+            let n = d.u32()? as usize;
+            let mut moves = Vec::with_capacity(n);
+            for _ in 0..n {
+                let object_id = d.u32()?;
+                let fx = d.i64()? as i32;
+                let fy = d.i64()? as i32;
+                let tx = d.i64()? as i32;
+                let ty = d.i64()? as i32;
+                let size = d.u32()?;
+                let color = d.u32()?;
+                let start = d.i64()?;
+                let dur = d.i64()?;
+                moves.push((
+                    MoveSpec::new(object_id, Point::new(fx, fy), Point::new(tx, ty), size, color),
+                    start,
+                    dur,
+                ));
+            }
+            MediaValue::Animation(AnimClip::new(moves, system, width, height, background))
+        }
+        t => return Err(corrupt(&format!("immediate tag {t}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+impl<S: BlobStore> MediaDb<S> {
+    /// Serializes the catalog (everything except BLOB contents) to bytes.
+    pub fn catalog_to_bytes(&self) -> Result<Vec<u8>, DbError> {
+        let (interps, objects, derivations, multimedia) = self.parts();
+        let mut e = Enc::new();
+        e.out.extend_from_slice(MAGIC);
+        e.u8(VERSION);
+
+        e.u32(interps.len() as u32);
+        for i in interps {
+            enc_interpretation(&mut e, i);
+        }
+
+        e.u32(objects.len() as u32);
+        for o in objects {
+            e.str(&o.name);
+            match &o.origin {
+                Origin::Interpreted {
+                    interpretation,
+                    stream,
+                } => {
+                    e.u8(0);
+                    e.u64(interpretation.raw());
+                    e.str(stream);
+                }
+                Origin::Derived { derivation } => {
+                    e.u8(1);
+                    e.u64(derivation.raw());
+                }
+            }
+        }
+
+        e.u32(derivations.len() as u32);
+        for rec in derivations {
+            e.bytes(&rec.bytes);
+        }
+
+        e.u32(multimedia.len() as u32);
+        for m in multimedia {
+            enc_multimedia(&mut e, &m.object);
+        }
+
+        e.u32(self.immediates.len() as u32);
+        let mut names: Vec<&String> = self.immediates.keys().collect();
+        names.sort();
+        for name in names {
+            e.str(name);
+            enc_immediate(&mut e, &self.immediates[name])?;
+        }
+        Ok(e.out)
+    }
+
+    /// Rebuilds a database from serialized catalog bytes and a BLOB store.
+    pub fn catalog_from_bytes(store: S, bytes: &[u8]) -> Result<MediaDb<S>, DbError> {
+        let mut d = Dec { bytes, pos: 0 };
+        if d.take(4)? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if d.u8()? != VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+
+        let n = d.u32()? as usize;
+        let mut interpretations = Vec::with_capacity(n);
+        for _ in 0..n {
+            interpretations.push(dec_interpretation(&mut d)?);
+        }
+
+        let n = d.u32()? as usize;
+        let mut objects = Vec::with_capacity(n);
+        for i in 0..n {
+            let name = d.str()?;
+            let origin = match d.u8()? {
+                0 => Origin::Interpreted {
+                    interpretation: InterpretationId::new(d.u64()?),
+                    stream: d.str()?,
+                },
+                1 => Origin::Derived {
+                    derivation: DerivationId::new(d.u64()?),
+                },
+                t => return Err(corrupt(&format!("origin tag {t}"))),
+            };
+            objects.push(MediaObjectRecord {
+                id: MediaObjectId::new(i as u64),
+                name,
+                origin,
+            });
+        }
+
+        let n = d.u32()? as usize;
+        let mut derivations = Vec::with_capacity(n);
+        for i in 0..n {
+            let bytes = d.blob()?;
+            let node = Node::from_bytes(&bytes)?;
+            derivations.push(DerivationRecord {
+                id: DerivationId::new(i as u64),
+                node,
+                bytes,
+            });
+        }
+
+        let n = d.u32()? as usize;
+        let mut multimedia = Vec::with_capacity(n);
+        for i in 0..n {
+            multimedia.push(MultimediaRecord {
+                id: MultimediaObjectId::new(i as u64),
+                object: dec_multimedia(&mut d)?,
+            });
+        }
+
+        let n = d.u32()? as usize;
+        let mut immediates = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = d.str()?;
+            immediates.insert(name, dec_immediate(&mut d)?);
+        }
+
+        if d.pos != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(MediaDb::from_parts(
+            store,
+            interpretations,
+            objects,
+            derivations,
+            multimedia,
+            immediates,
+        ))
+    }
+}
+
+impl MediaDb<FileBlobStore> {
+    /// Persists the catalog next to the BLOB files.
+    pub fn save(&self) -> Result<(), DbError> {
+        let path = self.store().dir().join(CATALOG_FILE);
+        let bytes = self.catalog_to_bytes()?;
+        let mut f = std::fs::File::create(path).map_err(tbm_blob::BlobError::Io)?;
+        f.write_all(&bytes).map_err(tbm_blob::BlobError::Io)?;
+        Ok(())
+    }
+
+    /// Opens a database directory: BLOBs plus the saved catalog (an empty
+    /// catalog if none was saved yet).
+    pub fn open(dir: impl AsRef<Path>) -> Result<MediaDb<FileBlobStore>, DbError> {
+        let store = FileBlobStore::open(&dir)?;
+        let path = store.dir().join(CATALOG_FILE);
+        if !path.exists() {
+            return Ok(MediaDb::with_store(store));
+        }
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .map_err(tbm_blob::BlobError::Io)?
+            .read_to_end(&mut bytes)
+            .map_err(tbm_blob::BlobError::Io)?;
+        MediaDb::catalog_from_bytes(store, &bytes)
+    }
+}

@@ -1,0 +1,79 @@
+//! Catalog records.
+
+use tbm_compose::MultimediaObject;
+use tbm_core::{DerivationId, InterpretationId, MediaObjectId, MultimediaObjectId};
+use tbm_derive::Node;
+
+/// Where a media object's elements come from (the Fig. 4(a) edges).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Origin {
+    /// Non-derived: interpreted from a BLOB (`InterpretationOf` + `By`).
+    Interpreted {
+        /// The interpretation mapping the BLOB.
+        interpretation: InterpretationId,
+        /// The stream name within the interpretation.
+        stream: String,
+    },
+    /// Derived: computed by a derivation object (`Extract`/`Composite` …).
+    Derived {
+        /// The stored derivation object.
+        derivation: DerivationId,
+    },
+}
+
+impl Origin {
+    /// `true` for derived objects (shaded in the paper's instance diagram).
+    pub fn is_derived(&self) -> bool {
+        matches!(self, Origin::Derived { .. })
+    }
+}
+
+/// One media object in the catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaObjectRecord {
+    /// The object's id.
+    pub id: MediaObjectId,
+    /// Its unique name (`video1`, `videoF`, …).
+    pub name: String,
+    /// Where its elements come from.
+    pub origin: Origin,
+}
+
+/// One stored derivation object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivationRecord {
+    /// The derivation object's id.
+    pub id: DerivationId,
+    /// The expression (operator, parameters, input references).
+    pub node: Node,
+    /// Serialized form (what the database persists); its length is the
+    /// derivation object's storage footprint.
+    pub bytes: Vec<u8>,
+}
+
+/// One stored multimedia object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultimediaRecord {
+    /// The multimedia object's id.
+    pub id: MultimediaObjectId,
+    /// The composed object.
+    pub object: MultimediaObject,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_classification() {
+        let a = Origin::Interpreted {
+            interpretation: InterpretationId::new(0),
+            stream: "video1".into(),
+        };
+        let b = Origin::Derived {
+            derivation: DerivationId::new(3),
+        };
+        assert!(!a.is_derived());
+        assert!(b.is_derived());
+    }
+}

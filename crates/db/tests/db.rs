@@ -1,0 +1,443 @@
+//! End-to-end database tests: registration, the §1.2 queries,
+//! non-destructive editing, provenance and materialization.
+
+use tbm_codec::dct::DctParams;
+use tbm_core::{keys, AudioQuality, QualityFactor, VideoQuality};
+use tbm_db::{DbError, MediaDb};
+use tbm_derive::{EditCut, MediaValue, MusicClip, Node, Op};
+use tbm_interp::capture;
+use tbm_media::gen::{major_scale, AudioSignal, VideoPattern};
+use tbm_media::{AudioBuffer, Frame};
+use tbm_time::{Rational, TimeDelta, TimePoint, TimeSystem};
+
+const W: u32 = 48;
+const H: u32 = 32;
+const SPF: usize = 1764; // CD samples per PAL frame
+
+fn frames(seed: u64, n: usize) -> Vec<Frame> {
+    (0..n as u64)
+        .map(|i| VideoPattern::MovingBar.render(seed * 1000 + i, W, H))
+        .collect()
+}
+
+fn tone(frames: usize) -> AudioBuffer {
+    AudioSignal::Sine {
+        hz: 440.0,
+        amplitude: 9000,
+    }
+    .generate(0, frames, 44100, 2)
+}
+
+/// Captures a small AV movie into the db, with descriptors enriched for the
+/// query tests, under stream names `video1`/`audio1` (renamed per call).
+fn capture_movie(db: &mut MediaDb, n: usize, quality: VideoQuality, lang: &str) -> (String, String) {
+    static mut COUNTER: u32 = 0;
+    // Unique names via interpretation count.
+    let idx = db.interpretations().len();
+    let _ = unsafe { COUNTER }; // not used; names derive from idx
+    let cap = capture::capture_av_interleaved(
+        db.store_mut(),
+        &frames(idx as u64, n),
+        &tone(n * SPF),
+        SPF,
+        TimeSystem::PAL,
+        tbm_codec::quality::video_params(quality),
+        Some(QualityFactor::Video(quality)),
+    )
+    .unwrap();
+    // Rebuild interpretation with unique names and a language tag.
+    let mut interp = tbm_interp::Interpretation::new(cap.blob);
+    for (name, stream) in cap.interpretation.streams() {
+        let mut s = stream.clone();
+        if name == "audio1" {
+            let mut d = s.descriptor().clone();
+            d.set(keys::LANGUAGE, lang);
+            s = tbm_interp::StreamInterp::new(d, s.system(), s.entries().to_vec()).unwrap();
+        }
+        let unique = format!("{name}_{idx}");
+        interp.add_stream(&unique, s).unwrap();
+    }
+    db.register_interpretation(interp).unwrap();
+    (format!("video1_{idx}"), format!("audio1_{idx}"))
+}
+
+#[test]
+fn registration_and_lookup() {
+    let mut db = MediaDb::new();
+    let (v, a) = capture_movie(&mut db, 4, VideoQuality::Vhs, "en");
+    assert_eq!(db.objects().len(), 2);
+    assert!(db.object(&v).is_ok());
+    assert!(db.object(&a).is_ok());
+    assert!(matches!(
+        db.object("ghost"),
+        Err(DbError::NoSuchObject { .. })
+    ));
+    // Duplicate names rejected.
+    let mut interp = tbm_interp::Interpretation::new(db.interpretations()[0].blob());
+    interp
+        .add_stream(&v, db.interpretations()[0].stream(&v).unwrap().clone())
+        .unwrap();
+    assert!(matches!(
+        db.register_interpretation(interp),
+        Err(DbError::DuplicateObject { .. })
+    ));
+}
+
+#[test]
+fn query_sound_track_by_language() {
+    // The paper's motivating example: "a digital movie with audio tracks in
+    // different languages … select a specific sound track."
+    let mut db = MediaDb::new();
+    let (_, a_en) = capture_movie(&mut db, 3, VideoQuality::Vhs, "en");
+    let (_, a_de) = capture_movie(&mut db, 3, VideoQuality::Vhs, "de");
+    let (_, a_fr) = capture_movie(&mut db, 3, VideoQuality::Vhs, "fr");
+    assert_eq!(db.audio_tracks_by_language("de"), vec![a_de.as_str()]);
+    assert_eq!(db.audio_tracks_by_language("en"), vec![a_en.as_str()]);
+    assert_eq!(db.audio_tracks_by_language("fr"), vec![a_fr.as_str()]);
+    assert!(db.audio_tracks_by_language("jp").is_empty());
+}
+
+#[test]
+fn query_by_quality_and_duration() {
+    let mut db = MediaDb::new();
+    let (v_vhs, _) = capture_movie(&mut db, 3, VideoQuality::Vhs, "en");
+    let (v_bc, _) = capture_movie(&mut db, 6, VideoQuality::Broadcast, "en");
+    // Quality ladder query.
+    let at_least_vhs = db.videos_with_quality_at_least(VideoQuality::Vhs);
+    assert!(at_least_vhs.contains(&v_vhs.as_str()));
+    assert!(at_least_vhs.contains(&v_bc.as_str()));
+    let at_least_bc = db.videos_with_quality_at_least(VideoQuality::Broadcast);
+    assert_eq!(at_least_bc, vec![v_bc.as_str()]);
+    // Audio quality: captures are CD quality.
+    assert_eq!(db.audio_with_quality_at_least(AudioQuality::Cd).len(), 2);
+    assert!(db.audio_with_quality_at_least(AudioQuality::Studio).is_empty());
+    // Duration: 6 PAL frames = 0.24 s; 3 frames = 0.12 s.
+    let long = db.objects_with_duration_at_least(TimeDelta::from_seconds(Rational::new(20, 100)));
+    assert!(long.contains(&v_bc.as_str()));
+    assert!(!long.contains(&v_vhs.as_str()));
+}
+
+#[test]
+fn query_by_kind_and_category() {
+    let mut db = MediaDb::new();
+    let (v, a) = capture_movie(&mut db, 3, VideoQuality::Vhs, "en");
+    assert_eq!(db.objects_of_kind(tbm_core::MediaKind::Video), vec![v.as_str()]);
+    assert_eq!(db.objects_of_kind(tbm_core::MediaKind::Audio), vec![a.as_str()]);
+    assert!(db.objects_of_kind(tbm_core::MediaKind::Music).is_empty());
+    // Category queries hit the Figure 1 taxonomy via descriptors.
+    assert_eq!(db.objects_in_category("uniform"), vec![a.as_str()]);
+    assert_eq!(db.objects_in_category("constant frequency"), vec![v.as_str()]);
+    assert!(db.objects_in_category("event-based").is_empty());
+    // Substring of a category name must not match ("continuous" is not
+    // "non-continuous").
+    assert!(db.objects_in_category("frequency").is_empty());
+}
+
+#[test]
+fn time_based_retrieval_decodes() {
+    let mut db = MediaDb::new();
+    let (v, a) = capture_movie(&mut db, 5, VideoQuality::Broadcast, "en");
+    // Frame at t = 0.1 s (frame 2 at 25 fps).
+    let bytes = db
+        .element_bytes_at(&v, TimePoint::from_seconds(Rational::new(1, 10)))
+        .unwrap();
+    let f = tbm_codec::dct::decode_frame(&bytes).unwrap();
+    assert_eq!((f.width(), f.height()), (W, H));
+    // Audio chunk at the same time decodes as PCM.
+    let abytes = db
+        .element_bytes_at(&a, TimePoint::from_seconds(Rational::new(1, 10)))
+        .unwrap();
+    assert_eq!(abytes.len(), SPF * 4);
+    // Out of range.
+    assert!(matches!(
+        db.element_bytes_at(&v, TimePoint::from_secs(99)),
+        Err(DbError::NothingAtTime { .. })
+    ));
+}
+
+#[test]
+fn fidelity_retrieval_reads_base_layer() {
+    let mut db = MediaDb::new();
+    let (blob, interp) = capture::capture_video_scalable(
+        db.store_mut(),
+        &frames(9, 3),
+        TimeSystem::PAL,
+        DctParams::default(),
+    )
+    .unwrap();
+    let _ = blob;
+    db.register_interpretation(interp).unwrap();
+    let full = db
+        .element_bytes_at("video1", TimePoint::ZERO)
+        .unwrap();
+    let base = db
+        .element_bytes_at_fidelity("video1", TimePoint::ZERO, Some(1))
+        .unwrap();
+    assert!(base.len() < full.len());
+    // Scalable streams also materialize (full fidelity).
+    let v = db.materialize("video1").unwrap();
+    assert_eq!(v.type_name(), "video");
+}
+
+#[test]
+fn non_destructive_edit_and_provenance() {
+    let mut db = MediaDb::new();
+    let (v, _) = capture_movie(&mut db, 10, VideoQuality::Vhs, "en");
+    let blob_len_before = db.store().total_bytes();
+    // Edit: keep frames [2, 6) — stored as a derivation object only.
+    let edit = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![EditCut { input: 0, from: 2, to: 6 }],
+        },
+        vec![Node::source(&v)],
+    );
+    db.create_derived("teaser", edit).unwrap();
+    // No BLOB bytes were written: non-destructive.
+    assert_eq!(db.store().total_bytes(), blob_len_before);
+    // Provenance is queryable.
+    let prov = db.provenance("teaser").unwrap().unwrap();
+    assert_eq!(prov.sources(), vec![v.as_str()]);
+    assert!(db.provenance(&v).unwrap().is_none());
+    assert_eq!(db.derived_from(&v), vec!["teaser"]);
+    // Derivation storage is tiny compared to the source stream.
+    let deriv_bytes = db.derivation_storage_bytes("teaser").unwrap();
+    let source_bytes = db.stored_bytes(&v).unwrap();
+    assert!(source_bytes > deriv_bytes * 20, "{source_bytes} vs {deriv_bytes}");
+    // The edit materializes to 4 frames.
+    match db.materialize("teaser").unwrap() {
+        MediaValue::Video(clip) => assert_eq!(clip.len(), 4),
+        other => panic!("expected video, got {}", other.type_name()),
+    }
+}
+
+#[test]
+fn chained_derivations_and_transitive_provenance() {
+    let mut db = MediaDb::new();
+    let (v, _) = capture_movie(&mut db, 10, VideoQuality::Vhs, "en");
+    db.create_derived(
+        "cut",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 0, to: 8 }],
+            },
+            vec![Node::source(&v)],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "reversed",
+        Node::derive(Op::VideoReverse, vec![Node::source("cut")]),
+    )
+    .unwrap();
+    // Transitive provenance: reversed derives (indirectly) from v.
+    let derived = db.derived_from(&v);
+    assert!(derived.contains(&"cut"));
+    assert!(derived.contains(&"reversed"));
+    match db.materialize("reversed").unwrap() {
+        MediaValue::Video(clip) => assert_eq!(clip.len(), 8),
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn removal_respects_provenance() {
+    let mut db = MediaDb::new();
+    let (v, _) = capture_movie(&mut db, 6, VideoQuality::Vhs, "en");
+    db.create_derived(
+        "cut",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 0, to: 4 }],
+            },
+            vec![Node::source(&v)],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "rev",
+        Node::derive(Op::VideoReverse, vec![Node::source("cut")]),
+    )
+    .unwrap();
+    // Non-derived objects are permanent.
+    assert!(matches!(
+        db.remove_derived(&v),
+        Err(DbError::NotDerived { .. })
+    ));
+    // `cut` has a dependent.
+    assert!(matches!(
+        db.remove_derived("cut"),
+        Err(DbError::HasDependents { .. })
+    ));
+    // Leaf first, then the intermediate.
+    db.remove_derived("rev").unwrap();
+    db.remove_derived("cut").unwrap();
+    assert!(db.object("cut").is_err());
+    assert!(db.object(&v).is_ok());
+    assert!(matches!(
+        db.remove_derived("ghost"),
+        Err(DbError::NoSuchObject { .. })
+    ));
+}
+
+#[test]
+fn derivation_requires_registered_inputs() {
+    let mut db = MediaDb::new();
+    let err = db
+        .create_derived(
+            "orphan",
+            Node::derive(Op::VideoReverse, vec![Node::source("nope")]),
+        )
+        .unwrap_err();
+    assert!(matches!(err, DbError::UnknownDerivationInput { .. }));
+}
+
+#[test]
+fn symbolic_values_and_type_changing_derivation() {
+    let mut db = MediaDb::new();
+    db.register_value(
+        "score",
+        MediaValue::Music(MusicClip::new(major_scale(0, 60, 1, 480, 400), 480, 120)),
+    )
+    .unwrap();
+    db.create_derived(
+        "score_audio",
+        Node::derive(
+            Op::MidiSynthesize {
+                sample_rate: 22050,
+                tempo_bpm: 0,
+                gain_num: 256,
+            },
+            vec![Node::source("score")],
+        ),
+    )
+    .unwrap();
+    match db.materialize("score_audio").unwrap() {
+        MediaValue::Audio(a) => {
+            assert_eq!(a.sample_rate, 22050);
+            assert!(a.buffer.peak() > 1000);
+        }
+        _ => panic!(),
+    }
+    // The symbolic object is small; its synthesized expansion is large.
+    let sym = db.stored_bytes("score").unwrap();
+    let deriv = db.derivation_storage_bytes("score_audio").unwrap();
+    let expanded = db.materialize("score_audio").unwrap().approx_bytes();
+    assert!(expanded > (sym + deriv) * 100);
+}
+
+#[test]
+fn adpcm_and_interframe_materialize() {
+    let mut db = MediaDb::new();
+    let (_, interp) =
+        capture::capture_audio_adpcm(db.store_mut(), &tone(8192), 44100, 1024).unwrap();
+    db.register_interpretation(interp).unwrap();
+    match db.materialize("audio1").unwrap() {
+        MediaValue::Audio(a) => assert_eq!(a.buffer.frames(), 8192),
+        _ => panic!(),
+    }
+
+    let (_, interp2) = capture::capture_video_interframe(
+        db.store_mut(),
+        &frames(3, 8),
+        TimeSystem::PAL,
+        tbm_codec::interframe::GopParams::default(),
+        None,
+    )
+    .unwrap();
+    // Rename to avoid collision with audio1's sibling naming.
+    let mut renamed = tbm_interp::Interpretation::new(interp2.blob());
+    renamed
+        .add_stream("gopvid", interp2.stream("video1").unwrap().clone())
+        .unwrap();
+    db.register_interpretation(renamed).unwrap();
+    match db.materialize("gopvid").unwrap() {
+        MediaValue::Video(v) => {
+            assert_eq!(v.len(), 8);
+            assert_eq!(v.geometry(), Some((W, H)));
+        }
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn multimedia_objects_register_and_validate() {
+    use tbm_compose::{Component, ComponentKind, MultimediaObject};
+    let mut db = MediaDb::new();
+    let (v, a) = capture_movie(&mut db, 5, VideoQuality::Vhs, "en");
+    let mut m = MultimediaObject::new("m");
+    m.add_component(
+        Component::new(
+            "v",
+            ComponentKind::Video,
+            Node::source(&v),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(1),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new(
+            "a",
+            ComponentKind::Audio,
+            Node::source(&a),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(1),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_constraint("a", tbm_time::AllenRelation::Equals, "v")
+        .unwrap();
+    let id = db.add_multimedia(m).unwrap();
+    assert_eq!(id.raw(), 0);
+    assert!(db.multimedia("m").is_some());
+    assert!(db.multimedia("ghost").is_none());
+    // A violated constraint is rejected at registration.
+    let mut bad = MultimediaObject::new("bad");
+    bad.add_component(
+        Component::new(
+            "x",
+            ComponentKind::Video,
+            Node::source(&v),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(1),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    bad.add_component(
+        Component::new(
+            "y",
+            ComponentKind::Video,
+            Node::source(&v),
+            TimePoint::from_secs(5),
+            TimeDelta::from_secs(1),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    bad.add_constraint("x", tbm_time::AllenRelation::Equals, "y")
+        .unwrap();
+    assert!(matches!(db.add_multimedia(bad), Err(DbError::Compose(_))));
+}
+
+#[test]
+fn descriptors_follow_fig2_shape() {
+    let mut db = MediaDb::new();
+    let (v, a) = capture_movie(&mut db, 4, VideoQuality::Vhs, "en");
+    let vd = db.descriptor(&v).unwrap();
+    assert_eq!(vd.get_text(keys::QUALITY_FACTOR), Some("VHS quality"));
+    assert_eq!(vd.get_int(keys::FRAME_WIDTH), Some(W as i64));
+    assert!(db.average_data_rate(&v).is_some());
+    let ad = db.descriptor(&a).unwrap();
+    assert_eq!(ad.get_int(keys::SAMPLE_RATE), Some(44100));
+    assert_eq!(ad.get_text(keys::LANGUAGE), Some("en"));
+    // Derived objects have no stored descriptor.
+    db.create_derived(
+        "rev",
+        Node::derive(Op::VideoReverse, vec![Node::source(&v)]),
+    )
+    .unwrap();
+    assert!(db.descriptor("rev").is_none());
+}

@@ -1,0 +1,260 @@
+//! Persistence round-trip: a fully populated database survives
+//! save → close → open with every layer intact.
+
+use tbm_codec::dct::DctParams;
+use tbm_compose::{Component, ComponentKind, MultimediaObject, Region};
+use tbm_core::{keys, QualityFactor, VideoQuality};
+use tbm_db::{DbError, MediaDb, CATALOG_FILE};
+use tbm_derive::{EditCut, MediaValue, MusicClip, Node, Op};
+use tbm_interp::capture;
+use tbm_media::gen::{major_scale, AudioSignal, VideoPattern};
+use tbm_time::{AllenRelation, Rational, TimeDelta, TimePoint, TimeSystem};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tbm-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn populate(db: &mut MediaDb<tbm_blob::FileBlobStore>) {
+    // A captured AV clip (interleaved BLOB + interpretation).
+    let frames = tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, 10, 64, 48);
+    let audio = AudioSignal::Sine {
+        hz: 440.0,
+        amplitude: 9000,
+    }
+    .generate(0, 10 * 1764, 44_100, 2);
+    let cap = capture::capture_av_interleaved(
+        db.store_mut(),
+        &frames,
+        &audio,
+        1764,
+        TimeSystem::PAL,
+        DctParams::default(),
+        Some(QualityFactor::Video(VideoQuality::Vhs)),
+    )
+    .unwrap();
+    db.register_interpretation(cap.interpretation).unwrap();
+
+    // An ADPCM capture (heterogeneous element descriptors must survive).
+    let (_, adpcm_interp) = capture::capture_audio_adpcm(
+        db.store_mut(),
+        &AudioSignal::Chirp {
+            from_hz: 100.0,
+            to_hz: 2000.0,
+            sweep_frames: 4096,
+            amplitude: 10_000,
+        }
+        .generate(0, 4096, 44_100, 1),
+        44_100,
+        1024,
+    )
+    .unwrap();
+    let mut renamed = tbm_interp::Interpretation::new(adpcm_interp.blob());
+    renamed
+        .add_stream("adpcm1", adpcm_interp.stream("audio1").unwrap().clone())
+        .unwrap();
+    db.register_interpretation(renamed).unwrap();
+
+    // A scalable capture (layered placements must survive).
+    let (_, sc) = capture::capture_video_scalable(
+        db.store_mut(),
+        &tbm_media::gen::render_frames(VideoPattern::ShiftingGradient, 0, 4, 64, 48),
+        TimeSystem::PAL,
+        DctParams::default(),
+    )
+    .unwrap();
+    let mut renamed = tbm_interp::Interpretation::new(sc.blob());
+    renamed
+        .add_stream("layered1", sc.stream("video1").unwrap().clone())
+        .unwrap();
+    db.register_interpretation(renamed).unwrap();
+
+    // A symbolic immediate and derivations over everything.
+    db.register_value(
+        "score",
+        MediaValue::Music(MusicClip::new(major_scale(0, 60, 1, 480, 400), 480, 120)),
+    )
+    .unwrap();
+    db.create_derived(
+        "teaser",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 2, to: 8 }],
+            },
+            vec![Node::source("video1")],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "score_audio",
+        Node::derive(
+            Op::MidiSynthesize {
+                sample_rate: 22_050,
+                tempo_bpm: 0,
+                gain_num: 256,
+            },
+            vec![Node::source("score")],
+        ),
+    )
+    .unwrap();
+
+    // A multimedia object with constraints and a spatial region.
+    let mut m = MultimediaObject::new("m");
+    m.add_component(
+        Component::new(
+            "teaser",
+            ComponentKind::Video,
+            Node::source("teaser"),
+            TimePoint::ZERO,
+            TimeDelta::from_seconds(Rational::new(6, 25)),
+        )
+        .unwrap()
+        .in_region(Region::new(4, 4, 32, 24).at_layer(2)),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new(
+            "audio1",
+            ComponentKind::Audio,
+            Node::source("audio1"),
+            TimePoint::ZERO,
+            TimeDelta::from_seconds(Rational::new(6, 25)),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "teaser").unwrap();
+    db.add_multimedia(m).unwrap();
+}
+
+#[test]
+fn full_round_trip() {
+    let dir = temp_dir("roundtrip");
+    {
+        let mut db = MediaDb::open(&dir).unwrap();
+        populate(&mut db);
+        db.save().unwrap();
+    }
+    let db = MediaDb::open(&dir).unwrap();
+
+    // Objects, interpretations, derivations, multimedia all restored.
+    assert_eq!(db.objects().len(), 6); // video1 audio1 adpcm1 layered1 teaser score_audio
+    assert_eq!(db.interpretations().len(), 3);
+    assert!(db.multimedia("m").is_some());
+
+    // Descriptors intact, including quality factors and rationals.
+    let vd = db.descriptor("video1").unwrap();
+    assert_eq!(vd.get_text(keys::QUALITY_FACTOR), Some("VHS quality"));
+    assert_eq!(vd.get_rational(keys::FRAME_RATE), Some(Rational::from(25)));
+    assert!(vd.get_rational(keys::AVG_DATA_RATE).is_some());
+
+    // Element tables work: time-based retrieval decodes.
+    let bytes = db
+        .element_bytes_at("video1", TimePoint::from_seconds(Rational::new(1, 5)))
+        .unwrap();
+    assert!(tbm_codec::dct::decode_frame(&bytes).is_ok());
+
+    // Heterogeneous element descriptors survive.
+    let (_, adpcm) = db.stream_of("adpcm1").unwrap();
+    assert!(adpcm.entries()[0].descriptor.is_some());
+    assert_ne!(
+        adpcm.entries()[0].descriptor,
+        adpcm.entries()[3].descriptor
+    );
+
+    // Layered placements survive: fidelity read still smaller.
+    let base = db
+        .element_bytes_at_fidelity("layered1", TimePoint::ZERO, Some(1))
+        .unwrap();
+    let full = db.element_bytes_at("layered1", TimePoint::ZERO).unwrap();
+    assert!(base.len() < full.len());
+
+    // Derivations still expand (including over the persisted immediate).
+    match db.materialize("teaser").unwrap() {
+        MediaValue::Video(v) => assert_eq!(v.len(), 6),
+        _ => panic!(),
+    }
+    match db.materialize("score_audio").unwrap() {
+        MediaValue::Audio(a) => assert!(a.buffer.peak() > 1000),
+        _ => panic!(),
+    }
+    assert_eq!(db.derived_from("video1"), vec!["teaser"]);
+
+    // The multimedia object's placements, region and constraint survive.
+    let m = &db.multimedia("m").unwrap().object;
+    assert_eq!(m.components().len(), 2);
+    let teaser = m.component("teaser").unwrap();
+    assert_eq!(teaser.region.unwrap().layer, 2);
+    assert_eq!(m.constraints().len(), 1);
+    m.validate().unwrap();
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bytes_round_trip_in_memory() {
+    // Serialization is store-agnostic: bytes round-trip over a MemBlobStore
+    // database too (the store is supplied separately).
+    let dir = temp_dir("membytes");
+    let mut db = MediaDb::open(&dir).unwrap();
+    populate(&mut db);
+    let bytes = db.catalog_to_bytes().unwrap();
+    let store2 = tbm_blob::FileBlobStore::open(&dir).unwrap();
+    let db2 = MediaDb::catalog_from_bytes(store2, &bytes).unwrap();
+    assert_eq!(db2.objects().len(), db.objects().len());
+    assert_eq!(db2.catalog_to_bytes().unwrap(), bytes); // stable re-encode
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_catalogs_rejected_not_panicked() {
+    let dir = temp_dir("corrupt");
+    {
+        let mut db = MediaDb::open(&dir).unwrap();
+        populate(&mut db);
+        db.save().unwrap();
+    }
+    let path = dir.join(CATALOG_FILE);
+    let good = std::fs::read(&path).unwrap();
+    // Truncations at every prefix length must error, never panic.
+    for cut in (0..good.len()).step_by(97) {
+        let store = tbm_blob::FileBlobStore::open(&dir).unwrap();
+        let r = MediaDb::catalog_from_bytes(store, &good[..cut]);
+        assert!(r.is_err(), "prefix {cut} unexpectedly parsed");
+    }
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] = b'X';
+    let store = tbm_blob::FileBlobStore::open(&dir).unwrap();
+    assert!(MediaDb::catalog_from_bytes(store, &bad).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn continuous_immediates_refuse_to_persist() {
+    let dir = temp_dir("refuse");
+    let mut db = MediaDb::open(&dir).unwrap();
+    db.register_value(
+        "bulk",
+        MediaValue::Audio(tbm_derive::AudioClip::new(
+            tbm_media::AudioBuffer::silence(2, 100),
+            44_100,
+        )),
+    )
+    .unwrap();
+    assert!(matches!(
+        db.catalog_to_bytes(),
+        Err(DbError::UnsupportedEncoding { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_empty_directory_gives_empty_db() {
+    let dir = temp_dir("empty");
+    let db = MediaDb::open(&dir).unwrap();
+    assert!(db.objects().is_empty());
+    assert!(db.interpretations().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

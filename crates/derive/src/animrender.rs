@@ -1,0 +1,230 @@
+//! Animation → video rendering.
+//!
+//! The paper: "video sequences are derived (via rendering) from
+//! representations of animation," and animation is its canonical
+//! non-continuous medium: "at times when the animated object is at rest
+//! there are no associated media elements." The renderer honours that
+//! semantics — between movement elements an object *holds* its last
+//! position; it does not disappear.
+
+use crate::value::{AnimClip, VideoClip};
+use tbm_media::animation::{MoveSpec, Point};
+use tbm_media::color::Rgb;
+use tbm_media::{Frame, PixelFormat};
+use tbm_time::TimeSystem;
+
+fn unpack(rgb: u32) -> Rgb {
+    Rgb::new((rgb >> 16) as u8, (rgb >> 8) as u8, rgb as u8)
+}
+
+/// The position and appearance of one object at a given animation tick.
+fn object_state_at(moves: &[(MoveSpec, i64, i64)], object: u32, tick: i64) -> Option<MoveSpec> {
+    let mut current: Option<(MoveSpec, i64, i64)> = None;
+    for &(m, start, dur) in moves {
+        if start > tick {
+            break; // moves are start-ordered
+        }
+        if m.object_id == object {
+            current = Some((m, start, dur));
+        }
+    }
+    let (m, start, dur) = current?;
+    if dur > 0 && tick < start + dur {
+        // Mid-movement: interpolate.
+        let p = m.position_at(tick - start, dur);
+        Some(MoveSpec { from: p, to: p, ..m })
+    } else {
+        // At rest after the movement: hold the end position.
+        Some(MoveSpec {
+            from: m.to,
+            to: m.to,
+            ..m
+        })
+    }
+}
+
+/// Renders one output frame at animation tick `tick`.
+pub fn render_frame_at(clip: &AnimClip, tick: i64) -> Frame {
+    let mut frame = Frame::filled(
+        clip.width,
+        clip.height,
+        PixelFormat::Rgb24,
+        unpack(clip.background),
+    );
+    // Objects in id order, lowest drawn first.
+    let mut objects: Vec<u32> = clip.moves.iter().map(|(m, _, _)| m.object_id).collect();
+    objects.sort_unstable();
+    objects.dedup();
+    for obj in objects {
+        if let Some(state) = object_state_at(&clip.moves, obj, tick) {
+            // Only draw once the object's first element has begun.
+            draw_sprite(&mut frame, state.from, state.size, unpack(state.color));
+        }
+    }
+    frame
+}
+
+fn draw_sprite(frame: &mut Frame, at: Point, size: u32, color: Rgb) {
+    let half = size as i32 / 2;
+    for dy in -half..=half {
+        for dx in -half..=half {
+            let x = at.x + dx;
+            let y = at.y + dy;
+            if x >= 0 && y >= 0 && (x as u32) < frame.width() && (y as u32) < frame.height() {
+                frame.set_rgb(x as u32, y as u32, color);
+            }
+        }
+    }
+}
+
+/// Number of video frames a render of `clip` at `fps` produces, without
+/// rendering anything (used by lazy length queries).
+pub fn frame_count(clip: &AnimClip, fps: u32) -> usize {
+    let fps = fps.max(1);
+    let Some((first, last)) = clip.tick_span() else {
+        return 0;
+    };
+    let span_secs = clip.system.ticks_to_delta(last - first).seconds();
+    (span_secs * tbm_time::Rational::from(fps as i64))
+        .ceil()
+        .max(1) as usize
+}
+
+/// Renders a whole clip to video at `fps` frames per second, covering the
+/// clip's tick span (type-changing derivation: animation → video).
+pub fn render(clip: &AnimClip, fps: u32) -> VideoClip {
+    let fps = fps.max(1);
+    let system = TimeSystem::from_hz(fps as i64);
+    let Some((first, _)) = clip.tick_span() else {
+        return VideoClip::new(Vec::new(), system);
+    };
+    let frame_count = frame_count(clip, fps);
+    let mut frames = Vec::with_capacity(frame_count);
+    for i in 0..frame_count {
+        // Output frame i shows the scene at animation tick:
+        let t_secs = system.ticks_to_delta(i as i64).seconds();
+        let tick = first + clip.system.seconds_to_tick_floor(tbm_time::TimePoint::from_seconds(t_secs));
+        frames.push(render_frame_at(clip, tick));
+    }
+    VideoClip::new(frames, system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_clip() -> AnimClip {
+        // Object 1 moves from (4,8) to (24,8) over ticks [0, 10), then rests
+        // until a second movement at tick 20.
+        AnimClip::new(
+            vec![
+                (
+                    MoveSpec::new(1, Point::new(4, 8), Point::new(24, 8), 3, 0xFF0000),
+                    0,
+                    10,
+                ),
+                (
+                    MoveSpec::new(1, Point::new(24, 8), Point::new(24, 20), 3, 0xFF0000),
+                    20,
+                    10,
+                ),
+            ],
+            TimeSystem::from_hz(10),
+            32,
+            32,
+            0x101010,
+        )
+    }
+
+    fn red_at(frame: &Frame, x: u32, y: u32) -> bool {
+        let p = frame.get_rgb(x, y);
+        p.r > 200 && p.g < 60 && p.b < 60
+    }
+
+    #[test]
+    fn interpolates_during_movement() {
+        let clip = simple_clip();
+        let f = render_frame_at(&clip, 5); // halfway: x = 14
+        assert!(red_at(&f, 14, 8), "sprite should be at (14, 8)");
+        assert!(!red_at(&f, 4, 8));
+        assert!(!red_at(&f, 24, 8));
+    }
+
+    #[test]
+    fn holds_position_at_rest() {
+        // "At times when the animated object is at rest there are no
+        // associated media elements" — between ticks 10 and 20 the object
+        // holds at (24, 8).
+        let clip = simple_clip();
+        for tick in [10, 15, 19] {
+            let f = render_frame_at(&clip, tick);
+            assert!(red_at(&f, 24, 8), "tick {tick}");
+        }
+        // Second movement underway at tick 25: halfway down to y=14.
+        let f = render_frame_at(&clip, 25);
+        assert!(red_at(&f, 24, 14));
+    }
+
+    #[test]
+    fn background_fills_empty_scene() {
+        let clip = AnimClip::new(vec![], TimeSystem::from_hz(10), 8, 8, 0x336699);
+        let f = render_frame_at(&clip, 0);
+        assert_eq!(f.get_rgb(3, 3), Rgb::new(0x33, 0x66, 0x99));
+        assert!(render(&clip, 25).is_empty());
+    }
+
+    #[test]
+    fn render_produces_expected_frame_count() {
+        // Span: 30 ticks at 10 Hz = 3 s; at 5 fps = 15 frames.
+        let clip = simple_clip();
+        let video = render(&clip, 5);
+        assert_eq!(video.len(), 15);
+        assert_eq!(video.geometry(), Some((32, 32)));
+        assert_eq!(video.system, TimeSystem::from_hz(5));
+    }
+
+    #[test]
+    fn sprites_clip_at_edges() {
+        let clip = AnimClip::new(
+            vec![(
+                MoveSpec::new(1, Point::new(0, 0), Point::new(0, 0), 5, 0x00FF00),
+                0,
+                1,
+            )],
+            TimeSystem::from_hz(10),
+            8,
+            8,
+            0,
+        );
+        // Must not panic drawing at the corner.
+        let f = render_frame_at(&clip, 0);
+        let p = f.get_rgb(0, 0);
+        assert!(p.g > 200);
+    }
+
+    #[test]
+    fn multiple_objects_render() {
+        let clip = AnimClip::new(
+            vec![
+                (
+                    MoveSpec::new(1, Point::new(5, 5), Point::new(5, 5), 3, 0xFF0000),
+                    0,
+                    10,
+                ),
+                (
+                    MoveSpec::new(2, Point::new(20, 20), Point::new(20, 20), 3, 0x0000FF),
+                    0,
+                    10,
+                ),
+            ],
+            TimeSystem::from_hz(10),
+            32,
+            32,
+            0,
+        );
+        let f = render_frame_at(&clip, 3);
+        assert!(red_at(&f, 5, 5));
+        let p = f.get_rgb(20, 20);
+        assert!(p.b > 200 && p.r < 60);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the derivation layer.
+
+use std::fmt;
+use tbm_codec::CodecError;
+
+/// Errors raised while building or expanding derivations.
+#[derive(Debug)]
+pub enum DeriveError {
+    /// A derivation referenced a source name the expander does not know.
+    UnknownSource {
+        /// The missing source name.
+        name: String,
+    },
+    /// An operator received the wrong number of inputs.
+    Arity {
+        /// The operator's name.
+        op: &'static str,
+        /// Inputs expected.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// An operator received an input of the wrong media type — the paper:
+    /// "an audio sequence cannot be concatenated to a video sequence."
+    TypeMismatch {
+        /// The operator's name.
+        op: &'static str,
+        /// What the operator needed.
+        expected: &'static str,
+        /// What it received.
+        got: &'static str,
+    },
+    /// Operator parameters are invalid (empty range, zero rate, …).
+    BadParams {
+        /// The operator's name.
+        op: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Inputs are structurally incompatible (geometry, rate, channels).
+    Incompatible {
+        /// The operator's name.
+        op: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A requested element lies outside the derived object's range.
+    OutOfRange {
+        /// The requested element index.
+        index: usize,
+        /// The derived object's element count.
+        len: usize,
+    },
+    /// A serialized derivation object could not be parsed.
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Codec failure during expansion (transcoding).
+    Codec(CodecError),
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::UnknownSource { name } => write!(f, "unknown source object `{name}`"),
+            DeriveError::Arity { op, expected, got } => {
+                write!(f, "{op}: expected {expected} input(s), got {got}")
+            }
+            DeriveError::TypeMismatch { op, expected, got } => {
+                write!(f, "{op}: expected {expected} input, got {got}")
+            }
+            DeriveError::BadParams { op, detail } => write!(f, "{op}: bad parameters: {detail}"),
+            DeriveError::Incompatible { op, detail } => {
+                write!(f, "{op}: incompatible inputs: {detail}")
+            }
+            DeriveError::OutOfRange { index, len } => {
+                write!(f, "element {index} out of range (derived object has {len})")
+            }
+            DeriveError::Malformed { detail } => {
+                write!(f, "malformed derivation object: {detail}")
+            }
+            DeriveError::Codec(e) => write!(f, "codec error during expansion: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeriveError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for DeriveError {
+    fn from(e: CodecError) -> DeriveError {
+        DeriveError::Codec(e)
+    }
+}

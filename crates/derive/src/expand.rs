@@ -1,0 +1,928 @@
+//! Expansion of derivation objects.
+//!
+//! The paper distinguishes storing a derivation object from storing its
+//! *expansion*: "It should be possible to a) store derived media objects in
+//! an implicit form, and b) to 'expand' derived objects to produce actual
+//! (i.e., non-derived) objects." [`Expander::expand`] is (b);
+//! [`Expander::pull_frame`] and [`Expander::pull_audio`] compute single
+//! elements on demand — "the representation of media objects whose
+//! underlying media elements are calculated when needed."
+//!
+//! Laziness note: element-local operators (edits, transitions, keys, gains)
+//! pull only the input elements they need. Operators with *global*
+//! parameters or element misalignment (normalization's peak scan, MIDI
+//! synthesis) necessarily materialize their input; they fall back to
+//! [`Expander::expand`] internally.
+
+use crate::animrender;
+use crate::synthesis::{self, SynthParams};
+use crate::value::{AnimClip, AudioClip, ColorPlates, MediaValue, MusicClip, VideoClip};
+use crate::{DeriveError, EditCut, Node, Op, WipeDirection};
+use std::collections::HashMap;
+use tbm_codec::dct::{self, DctParams};
+use tbm_media::color::{separate, Rgb};
+use tbm_media::{AudioBuffer, Frame, PixelFormat};
+use tbm_time::Rational;
+
+/// Resolves source names and evaluates derivation trees.
+#[derive(Debug, Default)]
+pub struct Expander {
+    sources: HashMap<String, MediaValue>,
+}
+
+impl Expander {
+    /// An expander with no sources.
+    pub fn new() -> Expander {
+        Expander::default()
+    }
+
+    /// Registers a non-derived media object under `name`.
+    pub fn add_source(&mut self, name: &str, value: MediaValue) {
+        self.sources.insert(name.to_owned(), value);
+    }
+
+    /// Looks up a source.
+    pub fn source(&self, name: &str) -> Result<&MediaValue, DeriveError> {
+        self.sources.get(name).ok_or_else(|| DeriveError::UnknownSource {
+            name: name.to_owned(),
+        })
+    }
+
+    // ---------------------------------------------------------------------
+    // Full expansion
+    // ---------------------------------------------------------------------
+
+    /// Fully materializes the value of `node`.
+    pub fn expand(&self, node: &Node) -> Result<MediaValue, DeriveError> {
+        match node {
+            Node::Source(name) => Ok(self.source(name)?.clone()),
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                let inputs: Vec<MediaValue> = inputs
+                    .iter()
+                    .map(|n| self.expand(n))
+                    .collect::<Result<_, _>>()?;
+                apply(op, inputs)
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Lazy video pull
+    // ---------------------------------------------------------------------
+
+    /// Number of frames the video-valued `node` would expand to, computed
+    /// without materializing frames.
+    pub fn video_len(&self, node: &Node) -> Result<usize, DeriveError> {
+        match node {
+            Node::Source(name) => match self.source(name)? {
+                MediaValue::Video(v) => Ok(v.len()),
+                other => Err(type_mismatch("video source", "video", other.type_name())),
+            },
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                match op {
+                    Op::VideoEdit { cuts } => {
+                        let mut total = 0usize;
+                        for c in cuts {
+                            let len = self.video_len(&inputs[c.input as usize])?;
+                            validate_cut(c, len)?;
+                            total += (c.to - c.from) as usize;
+                        }
+                        Ok(total)
+                    }
+                    Op::VideoReverse | Op::Transcode { .. } => self.video_len(&inputs[0]),
+                    Op::Fade { frames } | Op::Wipe { frames, .. } => {
+                        let a = self.video_len(&inputs[0])?;
+                        let b = self.video_len(&inputs[1])?;
+                        let n = *frames as usize;
+                        if n == 0 || a < n || b < n {
+                            return Err(DeriveError::BadParams {
+                                op: op.name(),
+                                detail: format!(
+                                    "transition of {n} frames needs inputs ≥ {n} (got {a}, {b})"
+                                ),
+                            });
+                        }
+                        Ok(n)
+                    }
+                    Op::ChromaKey { .. } => Ok(self
+                        .video_len(&inputs[0])?
+                        .min(self.video_len(&inputs[1])?)),
+                    Op::RenderAnimation { fps } => {
+                        // Frame count requires only the (cheap) symbolic clip.
+                        match self.expand(&inputs[0])? {
+                            MediaValue::Animation(clip) => {
+                                Ok(animrender::frame_count(&clip, *fps))
+                            }
+                            other => Err(type_mismatch(
+                                "animation rendering",
+                                "animation",
+                                other.type_name(),
+                            )),
+                        }
+                    }
+                    other => Err(type_mismatch(other.name(), "video", other.result_type())),
+                }
+            }
+        }
+    }
+
+    /// Computes frame `idx` of the video-valued `node`, pulling only the
+    /// input elements that frame depends on.
+    pub fn pull_frame(&self, node: &Node, idx: usize) -> Result<Frame, DeriveError> {
+        match node {
+            Node::Source(name) => match self.source(name)? {
+                MediaValue::Video(v) => v
+                    .frames
+                    .get(idx)
+                    .cloned()
+                    .ok_or(DeriveError::OutOfRange {
+                        index: idx,
+                        len: v.len(),
+                    }),
+                other => Err(type_mismatch("video source", "video", other.type_name())),
+            },
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                match op {
+                    Op::VideoEdit { cuts } => {
+                        let mut remaining = idx;
+                        for c in cuts {
+                            let len = (c.to - c.from) as usize;
+                            if remaining < len {
+                                return self
+                                    .pull_frame(&inputs[c.input as usize], c.from as usize + remaining);
+                            }
+                            remaining -= len;
+                        }
+                        Err(DeriveError::OutOfRange {
+                            index: idx,
+                            len: self.video_len(node)?,
+                        })
+                    }
+                    Op::VideoReverse => {
+                        let len = self.video_len(&inputs[0])?;
+                        if idx >= len {
+                            return Err(DeriveError::OutOfRange { index: idx, len });
+                        }
+                        self.pull_frame(&inputs[0], len - 1 - idx)
+                    }
+                    Op::Fade { frames } => {
+                        let n = self.video_len(node)?; // validates
+                        if idx >= n {
+                            return Err(DeriveError::OutOfRange { index: idx, len: n });
+                        }
+                        let a_len = self.video_len(&inputs[0])?;
+                        let a = self.pull_frame(&inputs[0], a_len - *frames as usize + idx)?;
+                        let b = self.pull_frame(&inputs[1], idx)?;
+                        blend_frames(&a, &b, fade_alpha(idx, n))
+                    }
+                    Op::Wipe { frames, direction } => {
+                        let n = self.video_len(node)?;
+                        if idx >= n {
+                            return Err(DeriveError::OutOfRange { index: idx, len: n });
+                        }
+                        let a_len = self.video_len(&inputs[0])?;
+                        let a = self.pull_frame(&inputs[0], a_len - *frames as usize + idx)?;
+                        let b = self.pull_frame(&inputs[1], idx)?;
+                        wipe_frames(&a, &b, idx + 1, n, *direction)
+                    }
+                    Op::ChromaKey { key_rgb, tolerance } => {
+                        let n = self.video_len(node)?;
+                        if idx >= n {
+                            return Err(DeriveError::OutOfRange { index: idx, len: n });
+                        }
+                        let fg = self.pull_frame(&inputs[0], idx)?;
+                        let bg = self.pull_frame(&inputs[1], idx)?;
+                        chroma_key(&fg, &bg, *key_rgb, *tolerance)
+                    }
+                    Op::Transcode { quant_percent } => {
+                        let f = self.pull_frame(&inputs[0], idx)?;
+                        let enc = dct::encode_frame(&f, DctParams::with_quant(*quant_percent));
+                        Ok(dct::decode_frame(&enc)?)
+                    }
+                    Op::RenderAnimation { .. } => {
+                        // Symbolic input: materialize the clip (cheap) and
+                        // render only this frame.
+                        match self.expand(&inputs[0])? {
+                            MediaValue::Animation(clip) => {
+                                render_one(&clip, op, idx, self.video_len(node)?)
+                            }
+                            other => Err(type_mismatch(
+                                "animation rendering",
+                                "animation",
+                                other.type_name(),
+                            )),
+                        }
+                    }
+                    other => Err(type_mismatch(other.name(), "video", other.result_type())),
+                }
+            }
+        }
+    }
+
+    /// The frame clock of the video-valued `node`, computed without
+    /// materializing frames (needed by players and compositors).
+    pub fn video_system(&self, node: &Node) -> Result<tbm_time::TimeSystem, DeriveError> {
+        match node {
+            Node::Source(name) => match self.source(name)? {
+                MediaValue::Video(v) => Ok(v.system),
+                other => Err(type_mismatch("video source", "video", other.type_name())),
+            },
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                match op {
+                    Op::VideoEdit { .. }
+                    | Op::VideoReverse
+                    | Op::Fade { .. }
+                    | Op::Wipe { .. }
+                    | Op::ChromaKey { .. }
+                    | Op::Transcode { .. } => self.video_system(&inputs[0]),
+                    Op::RenderAnimation { fps } => {
+                        Ok(tbm_time::TimeSystem::from_hz((*fps).max(1) as i64))
+                    }
+                    other => Err(type_mismatch(other.name(), "video", other.result_type())),
+                }
+            }
+        }
+    }
+
+    /// The sample rate of the audio-valued `node`, without materializing.
+    pub fn audio_rate(&self, node: &Node) -> Result<u32, DeriveError> {
+        match node {
+            Node::Source(name) => match self.source(name)? {
+                MediaValue::Audio(a) => Ok(a.sample_rate),
+                other => Err(type_mismatch("audio source", "audio", other.type_name())),
+            },
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                match op {
+                    Op::AudioCut { .. }
+                    | Op::AudioConcat
+                    | Op::AudioGain { .. }
+                    | Op::AudioNormalize { .. }
+                    | Op::AudioMix => self.audio_rate(&inputs[0]),
+                    Op::MidiSynthesize { sample_rate, .. } => Ok(*sample_rate),
+                    Op::AudioResample { to_rate } => Ok((*to_rate).max(1)),
+                    other => Err(type_mismatch(other.name(), "audio", other.result_type())),
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Lazy audio pull
+    // ---------------------------------------------------------------------
+
+    /// Number of sample-frames of the audio-valued `node`.
+    pub fn audio_len(&self, node: &Node) -> Result<usize, DeriveError> {
+        match node {
+            Node::Source(name) => match self.source(name)? {
+                MediaValue::Audio(a) => Ok(a.buffer.frames()),
+                other => Err(type_mismatch("audio source", "audio", other.type_name())),
+            },
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                match op {
+                    Op::AudioCut { from, to } => {
+                        let len = self.audio_len(&inputs[0])?;
+                        if from > to || *to as usize > len {
+                            return Err(DeriveError::BadParams {
+                                op: op.name(),
+                                detail: format!("cut [{from}, {to}) of {len}-frame input"),
+                            });
+                        }
+                        Ok((to - from) as usize)
+                    }
+                    Op::AudioConcat => {
+                        Ok(self.audio_len(&inputs[0])? + self.audio_len(&inputs[1])?)
+                    }
+                    Op::AudioGain { .. } | Op::AudioNormalize { .. } => {
+                        self.audio_len(&inputs[0])
+                    }
+                    Op::AudioMix => Ok(self
+                        .audio_len(&inputs[0])?
+                        .max(self.audio_len(&inputs[1])?)),
+                    Op::MidiSynthesize { .. } => match self.expand(node)? {
+                        MediaValue::Audio(a) => Ok(a.buffer.frames()),
+                        _ => unreachable!("synthesis produces audio"),
+                    },
+                    Op::AudioResample { to_rate } => {
+                        let in_len = self.audio_len(&inputs[0])?;
+                        let from = self.audio_rate(&inputs[0])?.max(1);
+                        Ok(resampled_len(in_len, from, (*to_rate).max(1)))
+                    }
+                    other => Err(type_mismatch(other.name(), "audio", other.result_type())),
+                }
+            }
+        }
+    }
+
+    /// Computes sample-frames `[from, from + len)` of the audio-valued
+    /// `node`.
+    pub fn pull_audio(
+        &self,
+        node: &Node,
+        from: usize,
+        len: usize,
+    ) -> Result<AudioBuffer, DeriveError> {
+        match node {
+            Node::Source(name) => match self.source(name)? {
+                MediaValue::Audio(a) => {
+                    let total = a.buffer.frames();
+                    if from + len > total {
+                        return Err(DeriveError::OutOfRange {
+                            index: from + len,
+                            len: total,
+                        });
+                    }
+                    Ok(a.buffer.slice_frames(from, from + len))
+                }
+                other => Err(type_mismatch("audio source", "audio", other.type_name())),
+            },
+            Node::Derive { op, inputs } => {
+                check_arity(op, inputs.len())?;
+                match op {
+                    Op::AudioCut {
+                        from: cut_from, ..
+                    } => {
+                        let my_len = self.audio_len(node)?;
+                        if from + len > my_len {
+                            return Err(DeriveError::OutOfRange {
+                                index: from + len,
+                                len: my_len,
+                            });
+                        }
+                        self.pull_audio(&inputs[0], *cut_from as usize + from, len)
+                    }
+                    Op::AudioConcat => {
+                        let a_len = self.audio_len(&inputs[0])?;
+                        let total = a_len + self.audio_len(&inputs[1])?;
+                        if from + len > total {
+                            return Err(DeriveError::OutOfRange {
+                                index: from + len,
+                                len: total,
+                            });
+                        }
+                        if from + len <= a_len {
+                            self.pull_audio(&inputs[0], from, len)
+                        } else if from >= a_len {
+                            self.pull_audio(&inputs[1], from - a_len, len)
+                        } else {
+                            let mut head = self.pull_audio(&inputs[0], from, a_len - from)?;
+                            let tail =
+                                self.pull_audio(&inputs[1], 0, from + len - a_len)?;
+                            if !head.append(&tail) {
+                                return Err(DeriveError::Incompatible {
+                                    op: op.name(),
+                                    detail: "channel counts differ".to_owned(),
+                                });
+                            }
+                            Ok(head)
+                        }
+                    }
+                    Op::AudioGain { num, den } => {
+                        if *den <= 0 {
+                            return Err(DeriveError::BadParams {
+                                op: op.name(),
+                                detail: "denominator must be positive".to_owned(),
+                            });
+                        }
+                        let mut buf = self.pull_audio(&inputs[0], from, len)?;
+                        buf.apply_gain(*num, *den);
+                        Ok(buf)
+                    }
+                    Op::AudioMix => {
+                        let a_len = self.audio_len(&inputs[0])?;
+                        let b_len = self.audio_len(&inputs[1])?;
+                        let total = a_len.max(b_len);
+                        if from + len > total {
+                            return Err(DeriveError::OutOfRange {
+                                index: from + len,
+                                len: total,
+                            });
+                        }
+                        let pull_padded = |input: &Node, input_len: usize| {
+                            let avail = input_len.saturating_sub(from).min(len);
+                            let mut buf = if avail > 0 {
+                                self.pull_audio(input, from, avail)?
+                            } else {
+                                AudioBuffer::silence(1, 0)
+                            };
+                            if buf.frames() < len && buf.frames() > 0 {
+                                let pad = AudioBuffer::silence(buf.channels(), len - buf.frames());
+                                buf.append(&pad);
+                            }
+                            Ok::<_, DeriveError>(buf)
+                        };
+                        let mut a = pull_padded(&inputs[0], a_len)?;
+                        let b = pull_padded(&inputs[1], b_len)?;
+                        if a.frames() == 0 {
+                            return Ok(b);
+                        }
+                        if b.frames() > 0 && !a.mix_in(&b) {
+                            return Err(DeriveError::Incompatible {
+                                op: op.name(),
+                                detail: "channel counts differ".to_owned(),
+                            });
+                        }
+                        Ok(a)
+                    }
+                    // Global ops: materialize then slice.
+                    Op::AudioNormalize { .. }
+                    | Op::MidiSynthesize { .. }
+                    | Op::AudioResample { .. } => {
+                        match self.expand(node)? {
+                            MediaValue::Audio(a) => {
+                                let total = a.buffer.frames();
+                                if from + len > total {
+                                    return Err(DeriveError::OutOfRange {
+                                        index: from + len,
+                                        len: total,
+                                    });
+                                }
+                                Ok(a.buffer.slice_frames(from, from + len))
+                            }
+                            other => Err(type_mismatch(op.name(), "audio", other.type_name())),
+                        }
+                    }
+                    other => Err(type_mismatch(other.name(), "audio", other.result_type())),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator application (full materialization)
+// ---------------------------------------------------------------------------
+
+/// Output length of a linear resample: `round(len · to / from)`.
+fn resampled_len(len: usize, from: u32, to: u32) -> usize {
+    ((len as u128 * to as u128 + from as u128 / 2) / from as u128) as usize
+}
+
+/// Linear-interpolation resampler, per channel.
+fn resample(clip: &AudioClip, to_rate: u32) -> AudioClip {
+    let from = clip.sample_rate.max(1);
+    if from == to_rate {
+        return AudioClip::new(clip.buffer.clone(), to_rate);
+    }
+    let in_frames = clip.buffer.frames();
+    let out_frames = resampled_len(in_frames, from, to_rate);
+    let channels = clip.buffer.channels();
+    let mut out = tbm_media::AudioBuffer::silence(channels, out_frames);
+    if in_frames == 0 {
+        return AudioClip::new(out, to_rate);
+    }
+    for i in 0..out_frames {
+        // Source position in 32.32 fixed point: i * from / to.
+        let pos = (i as u128) * (from as u128) * (1u128 << 32) / (to_rate as u128);
+        let idx = (pos >> 32) as usize;
+        let frac = (pos & 0xFFFF_FFFF) as i64;
+        let idx0 = idx.min(in_frames - 1);
+        let idx1 = (idx + 1).min(in_frames - 1);
+        for c in 0..channels {
+            let a = clip.buffer.sample(idx0, c) as i64;
+            let b = clip.buffer.sample(idx1, c) as i64;
+            let v = a + (((b - a) * frac) >> 32);
+            out.set_sample(i, c, v as i16);
+        }
+    }
+    AudioClip::new(out, to_rate)
+}
+
+fn check_arity(op: &Op, got: usize) -> Result<(), DeriveError> {
+    let expected = op.arity();
+    if got != expected {
+        return Err(DeriveError::Arity {
+            op: op.name(),
+            expected,
+            got,
+        });
+    }
+    Ok(())
+}
+
+fn type_mismatch(op: &'static str, expected: &'static str, got: &'static str) -> DeriveError {
+    DeriveError::TypeMismatch { op, expected, got }
+}
+
+fn validate_cut(c: &EditCut, input_len: usize) -> Result<(), DeriveError> {
+    if c.from > c.to || c.to as usize > input_len {
+        return Err(DeriveError::BadParams {
+            op: "video edit",
+            detail: format!(
+                "cut [{}, {}) out of range for {input_len}-frame input {}",
+                c.from, c.to, c.input
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn as_video(op: &Op, v: MediaValue) -> Result<VideoClip, DeriveError> {
+    match v {
+        MediaValue::Video(c) => Ok(c),
+        other => Err(type_mismatch(op.name(), "video", other.type_name())),
+    }
+}
+
+fn as_audio(op: &Op, v: MediaValue) -> Result<AudioClip, DeriveError> {
+    match v {
+        MediaValue::Audio(c) => Ok(c),
+        other => Err(type_mismatch(op.name(), "audio", other.type_name())),
+    }
+}
+
+fn fade_alpha(idx: usize, n: usize) -> (u32, u32) {
+    if n <= 1 {
+        (1, 2)
+    } else {
+        (idx as u32, (n - 1) as u32)
+    }
+}
+
+fn blend_frames(a: &Frame, b: &Frame, (num, den): (u32, u32)) -> Result<Frame, DeriveError> {
+    // Blend in a common format: convert b if needed.
+    let b_conv;
+    let b_ref = if a.format() == b.format() {
+        b
+    } else {
+        b_conv = b.to_format(a.format());
+        &b_conv
+    };
+    a.blend(b_ref, num, den).ok_or(DeriveError::Incompatible {
+        op: "video transition (fade)",
+        detail: format!(
+            "geometry mismatch: {}x{} vs {}x{}",
+            a.width(),
+            a.height(),
+            b.width(),
+            b.height()
+        ),
+    })
+}
+
+fn wipe_frames(
+    a: &Frame,
+    b: &Frame,
+    step: usize,
+    steps: usize,
+    direction: WipeDirection,
+) -> Result<Frame, DeriveError> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(DeriveError::Incompatible {
+            op: "video transition (wipe)",
+            detail: "geometry mismatch".to_owned(),
+        });
+    }
+    let mut out = a.to_format(PixelFormat::Rgb24);
+    let b_rgb = b.to_format(PixelFormat::Rgb24);
+    match direction {
+        WipeDirection::LeftToRight => {
+            let reveal = (a.width() as usize * step / steps.max(1)) as u32;
+            for y in 0..a.height() {
+                for x in 0..reveal.min(a.width()) {
+                    out.set_rgb(x, y, b_rgb.get_rgb(x, y));
+                }
+            }
+        }
+        WipeDirection::TopToBottom => {
+            let reveal = (a.height() as usize * step / steps.max(1)) as u32;
+            for y in 0..reveal.min(a.height()) {
+                for x in 0..a.width() {
+                    out.set_rgb(x, y, b_rgb.get_rgb(x, y));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn chroma_key(fg: &Frame, bg: &Frame, key_rgb: u32, tol: u8) -> Result<Frame, DeriveError> {
+    if fg.width() != bg.width() || fg.height() != bg.height() {
+        return Err(DeriveError::Incompatible {
+            op: "chroma key",
+            detail: "geometry mismatch".to_owned(),
+        });
+    }
+    let key = Rgb::new((key_rgb >> 16) as u8, (key_rgb >> 8) as u8, key_rgb as u8);
+    let mut out = fg.to_format(PixelFormat::Rgb24);
+    let bg_rgb = bg.to_format(PixelFormat::Rgb24);
+    let tol = tol as i32;
+    for y in 0..out.height() {
+        for x in 0..out.width() {
+            let p = out.get_rgb(x, y);
+            let close = (p.r as i32 - key.r as i32).abs() <= tol
+                && (p.g as i32 - key.g as i32).abs() <= tol
+                && (p.b as i32 - key.b as i32).abs() <= tol;
+            if close {
+                out.set_rgb(x, y, bg_rgb.get_rgb(x, y));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn render_one(clip: &AnimClip, op: &Op, idx: usize, len: usize) -> Result<Frame, DeriveError> {
+    let Op::RenderAnimation { fps } = op else {
+        unreachable!("caller matched RenderAnimation");
+    };
+    if idx >= len {
+        return Err(DeriveError::OutOfRange { index: idx, len });
+    }
+    let system = tbm_time::TimeSystem::from_hz(*fps as i64);
+    let (first, _) = clip.tick_span().expect("non-empty: len > 0");
+    let t = system.ticks_to_delta(idx as i64).seconds();
+    let tick = first
+        + clip
+            .system
+            .seconds_to_tick_floor(tbm_time::TimePoint::from_seconds(t));
+    Ok(animrender::render_frame_at(clip, tick))
+}
+
+fn apply(op: &Op, mut inputs: Vec<MediaValue>) -> Result<MediaValue, DeriveError> {
+    match op {
+        Op::VideoEdit { cuts } => {
+            let clips: Vec<VideoClip> = inputs
+                .into_iter()
+                .map(|v| as_video(op, v))
+                .collect::<Result<_, _>>()?;
+            let system = clips
+                .first()
+                .map(|c| c.system)
+                .ok_or(DeriveError::Arity {
+                    op: op.name(),
+                    expected: 1,
+                    got: 0,
+                })?;
+            if clips.iter().any(|c| c.system != system) {
+                return Err(DeriveError::Incompatible {
+                    op: op.name(),
+                    detail: "inputs use different time systems".to_owned(),
+                });
+            }
+            let mut frames = Vec::new();
+            for c in cuts {
+                let clip = clips.get(c.input as usize).ok_or(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: format!("cut references input {} of {}", c.input, clips.len()),
+                })?;
+                validate_cut(c, clip.len())?;
+                frames.extend_from_slice(&clip.frames[c.from as usize..c.to as usize]);
+            }
+            Ok(MediaValue::Video(VideoClip::new(frames, system)))
+        }
+        Op::VideoReverse => {
+            let mut clip = as_video(op, inputs.remove(0))?;
+            clip.frames.reverse();
+            Ok(MediaValue::Video(clip))
+        }
+        Op::TimeTranslate { ticks } => match inputs.remove(0) {
+            MediaValue::Music(mut m) => {
+                for n in &mut m.notes {
+                    n.1 += ticks;
+                }
+                Ok(MediaValue::Music(m))
+            }
+            MediaValue::Animation(mut a) => {
+                for mv in &mut a.moves {
+                    mv.1 += ticks;
+                }
+                Ok(MediaValue::Animation(a))
+            }
+            other => Err(type_mismatch(op.name(), "music | animation", other.type_name())),
+        },
+        Op::TimeScale { factor } => {
+            if factor.signum() <= 0 {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: "scale factor must be positive".to_owned(),
+                });
+            }
+            let scale = |t: i64| -> i64 { (Rational::from(t) * *factor).round() };
+            match inputs.remove(0) {
+                MediaValue::Music(mut m) => {
+                    for n in &mut m.notes {
+                        let end = scale(n.1 + n.2);
+                        n.1 = scale(n.1);
+                        n.2 = (end - n.1).max(0);
+                    }
+                    Ok(MediaValue::Music(m))
+                }
+                MediaValue::Animation(mut a) => {
+                    for mv in &mut a.moves {
+                        let end = scale(mv.1 + mv.2);
+                        mv.1 = scale(mv.1);
+                        mv.2 = (end - mv.1).max(0);
+                    }
+                    Ok(MediaValue::Animation(a))
+                }
+                other => Err(type_mismatch(op.name(), "music | animation", other.type_name())),
+            }
+        }
+        Op::AudioCut { from, to } => {
+            let clip = as_audio(op, inputs.remove(0))?;
+            if from > to || *to as usize > clip.buffer.frames() {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: format!(
+                        "cut [{from}, {to}) of {}-frame input",
+                        clip.buffer.frames()
+                    ),
+                });
+            }
+            Ok(MediaValue::Audio(AudioClip::new(
+                clip.buffer.slice_frames(*from as usize, *to as usize),
+                clip.sample_rate,
+            )))
+        }
+        Op::AudioConcat => {
+            let b = as_audio(op, inputs.pop().expect("arity checked"))?;
+            let mut a = as_audio(op, inputs.pop().expect("arity checked"))?;
+            if a.sample_rate != b.sample_rate {
+                return Err(DeriveError::Incompatible {
+                    op: op.name(),
+                    detail: "sample rates differ".to_owned(),
+                });
+            }
+            if !a.buffer.append(&b.buffer) {
+                return Err(DeriveError::Incompatible {
+                    op: op.name(),
+                    detail: "channel counts differ".to_owned(),
+                });
+            }
+            Ok(MediaValue::Audio(a))
+        }
+        Op::Fade { frames } | Op::Wipe { frames, .. } => {
+            let b = as_video(op, inputs.pop().expect("arity checked"))?;
+            let a = as_video(op, inputs.pop().expect("arity checked"))?;
+            let n = *frames as usize;
+            if n == 0 || a.len() < n || b.len() < n {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: format!(
+                        "transition of {n} frames needs inputs ≥ {n} (got {}, {})",
+                        a.len(),
+                        b.len()
+                    ),
+                });
+            }
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let fa = &a.frames[a.len() - n + i];
+                let fb = &b.frames[i];
+                let f = match op {
+                    Op::Fade { .. } => blend_frames(fa, fb, fade_alpha(i, n))?,
+                    Op::Wipe { direction, .. } => wipe_frames(fa, fb, i + 1, n, *direction)?,
+                    _ => unreachable!(),
+                };
+                out.push(f);
+            }
+            Ok(MediaValue::Video(VideoClip::new(out, a.system)))
+        }
+        Op::ChromaKey { key_rgb, tolerance } => {
+            let bg = as_video(op, inputs.pop().expect("arity checked"))?;
+            let fg = as_video(op, inputs.pop().expect("arity checked"))?;
+            let n = fg.len().min(bg.len());
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(chroma_key(&fg.frames[i], &bg.frames[i], *key_rgb, *tolerance)?);
+            }
+            Ok(MediaValue::Video(VideoClip::new(out, fg.system)))
+        }
+        Op::AudioNormalize { target_peak, range } => {
+            let mut clip = as_audio(op, inputs.remove(0))?;
+            if *target_peak <= 0 {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: "target peak must be positive".to_owned(),
+                });
+            }
+            let total = clip.buffer.frames();
+            let (from, to) = match range {
+                Some((a, b)) => (*a as usize, *b as usize),
+                None => (0, total),
+            };
+            if from > to || to > total {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: format!("range [{from}, {to}) of {total}-frame input"),
+                });
+            }
+            let region = clip.buffer.slice_frames(from, to);
+            let peak = region.peak();
+            if peak > 0 {
+                let channels = clip.buffer.channels() as usize;
+                let samples = clip.buffer.samples_mut();
+                for frame in from..to {
+                    for c in 0..channels {
+                        let i = frame * channels + c;
+                        let v = samples[i] as i64 * *target_peak as i64 / peak as i64;
+                        samples[i] = v.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+                    }
+                }
+            }
+            Ok(MediaValue::Audio(clip))
+        }
+        Op::AudioGain { num, den } => {
+            if *den <= 0 {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: "denominator must be positive".to_owned(),
+                });
+            }
+            let mut clip = as_audio(op, inputs.remove(0))?;
+            clip.buffer.apply_gain(*num, *den);
+            Ok(MediaValue::Audio(clip))
+        }
+        Op::AudioMix => {
+            let b = as_audio(op, inputs.pop().expect("arity checked"))?;
+            let mut a = as_audio(op, inputs.pop().expect("arity checked"))?;
+            if a.sample_rate != b.sample_rate {
+                return Err(DeriveError::Incompatible {
+                    op: op.name(),
+                    detail: "sample rates differ".to_owned(),
+                });
+            }
+            if !a.buffer.mix_in(&b.buffer) {
+                return Err(DeriveError::Incompatible {
+                    op: op.name(),
+                    detail: "channel counts differ".to_owned(),
+                });
+            }
+            Ok(MediaValue::Audio(a))
+        }
+        Op::AudioResample { to_rate } => {
+            if *to_rate == 0 {
+                return Err(DeriveError::BadParams {
+                    op: op.name(),
+                    detail: "target rate must be positive".to_owned(),
+                });
+            }
+            let clip = as_audio(op, inputs.remove(0))?;
+            Ok(MediaValue::Audio(resample(&clip, *to_rate)))
+        }
+        Op::ColorSeparate { table } => {
+            let img = match inputs.remove(0) {
+                MediaValue::Image(f) => f,
+                other => return Err(type_mismatch(op.name(), "image", other.type_name())),
+            };
+            let (w, h) = (img.width(), img.height());
+            let mut plates = [
+                Frame::black(w, h, PixelFormat::Gray8),
+                Frame::black(w, h, PixelFormat::Gray8),
+                Frame::black(w, h, PixelFormat::Gray8),
+                Frame::black(w, h, PixelFormat::Gray8),
+            ];
+            for y in 0..h {
+                for x in 0..w {
+                    let ink = separate(img.get_rgb(x, y), table);
+                    let i = (y as usize) * w as usize + x as usize;
+                    plates[0].data_mut()[i] = ink.c;
+                    plates[1].data_mut()[i] = ink.m;
+                    plates[2].data_mut()[i] = ink.y;
+                    plates[3].data_mut()[i] = ink.k;
+                }
+            }
+            let [c, m, ye, k] = plates;
+            Ok(MediaValue::Plates(ColorPlates { c, m, y: ye, k }))
+        }
+        Op::MidiSynthesize {
+            sample_rate,
+            tempo_bpm,
+            gain_num,
+        } => {
+            let music: MusicClip = match inputs.remove(0) {
+                MediaValue::Music(m) => m,
+                other => return Err(type_mismatch(op.name(), "music", other.type_name())),
+            };
+            let params = SynthParams {
+                sample_rate: *sample_rate,
+                tempo_bpm: *tempo_bpm,
+                gain_num: *gain_num,
+                programs: [0; 16],
+            };
+            Ok(MediaValue::Audio(synthesis::synthesize(&music, &params)))
+        }
+        Op::RenderAnimation { fps } => {
+            let anim = match inputs.remove(0) {
+                MediaValue::Animation(a) => a,
+                other => return Err(type_mismatch(op.name(), "animation", other.type_name())),
+            };
+            Ok(MediaValue::Video(animrender::render(&anim, *fps)))
+        }
+        Op::Transcode { quant_percent } => {
+            let clip = as_video(op, inputs.remove(0))?;
+            let params = DctParams::with_quant(*quant_percent);
+            let mut frames = Vec::with_capacity(clip.len());
+            for f in &clip.frames {
+                let enc = dct::encode_frame(f, params);
+                frames.push(dct::decode_frame(&enc)?);
+            }
+            Ok(MediaValue::Video(VideoClip::new(frames, clip.system)))
+        }
+    }
+}

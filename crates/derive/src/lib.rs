@@ -1,0 +1,48 @@
+//! # tbm-derive — derivation of media objects
+//!
+//! Implements the paper's Definition 6:
+//!
+//! > *"The derivation (D) of a media object o₁ from a set of media objects O
+//! > is a mapping of the form D(O, P_D) → o₁, where P_D is the set of
+//! > parameters specific to D. … The information needed to compute a derived
+//! > object — references to the media objects and parameter values used — is
+//! > called a derivation object."*
+//!
+//! A [`Node`] is a derivation object (an [`Op`] plus input nodes); leaves
+//! are named non-derived media objects. Derivations are grouped into the
+//! paper's categories ([`DeriveCategory`]): content-changing,
+//! timing-changing and type-changing, and every example from Table 1 is
+//! implemented: color separation, audio normalization, video edit (edit
+//! lists), video transitions (fade/wipe), and MIDI synthesis — plus chroma
+//! keying, temporal translation/scaling, animation rendering and transcoding
+//! from the surrounding prose.
+//!
+//! Two evaluation strategies mirror the paper's storage-vs-expansion
+//! trade-off:
+//!
+//! * [`Expander::expand`] — full materialization ("expand derived objects to
+//!   produce actual objects").
+//! * [`Expander::pull_frame`] / [`Expander::pull_audio`] — lazy, per-element
+//!   expansion ("media elements need only be stored if the calculation
+//!   cannot be performed in real time").
+//!
+//! [`realtime`] measures per-element expansion cost against the element
+//! period, automating the paper's materialization decision.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod animrender;
+mod error;
+mod expand;
+mod node;
+mod op;
+pub mod realtime;
+pub mod synthesis;
+mod value;
+
+pub use error::DeriveError;
+pub use expand::Expander;
+pub use node::Node;
+pub use op::{DeriveCategory, EditCut, Op, WipeDirection};
+pub use value::{AnimClip, AudioClip, ColorPlates, MediaValue, MusicClip, VideoClip};

@@ -1,0 +1,514 @@
+//! Derivation objects as expression trees, with compact serialization.
+//!
+//! A [`Node`] is either a reference to a non-derived media object (by name)
+//! or a derivation object: an [`Op`] applied to input nodes. Serialization
+//! ([`Node::to_bytes`]/[`Node::from_bytes`]) is what the database layer
+//! stores; its size is what the paper compares against materialized media:
+//! "derived media objects and their associated derivation objects are
+//! relatively small (for example, a video edit list is likely many orders
+//! of magnitude smaller than a video object)."
+
+use crate::{DeriveError, EditCut, Op, WipeDirection};
+use tbm_media::color::SeparationTable;
+use tbm_time::Rational;
+
+/// A derivation expression: a source leaf or a derivation object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A named non-derived media object (resolved by the expander).
+    Source(String),
+    /// A derivation object: operator + parameters + input references.
+    Derive {
+        /// The operator and its parameters `P_D`.
+        op: Op,
+        /// Input expressions, in operator argument order.
+        inputs: Vec<Node>,
+    },
+}
+
+impl Node {
+    /// A source leaf.
+    pub fn source(name: &str) -> Node {
+        Node::Source(name.to_owned())
+    }
+
+    /// A derivation node.
+    pub fn derive(op: Op, inputs: Vec<Node>) -> Node {
+        Node::Derive { op, inputs }
+    }
+
+    /// Number of derivation objects (non-leaf nodes) in the tree.
+    pub fn derivation_count(&self) -> usize {
+        match self {
+            Node::Source(_) => 0,
+            Node::Derive { inputs, .. } => {
+                1 + inputs.iter().map(Node::derivation_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// All source names referenced, in first-appearance order.
+    pub fn sources(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_sources(&mut out);
+        out
+    }
+
+    fn collect_sources<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Node::Source(name) => {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+            Node::Derive { inputs, .. } => {
+                for i in inputs {
+                    i.collect_sources(out);
+                }
+            }
+        }
+    }
+
+    /// Serialized size in bytes — the "derivation object size" of the
+    /// storage-savings experiment (E6).
+    pub fn spec_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serializes the tree to a compact binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            Node::Source(name) => {
+                out.push(0x00);
+                write_str(out, name);
+            }
+            Node::Derive { op, inputs } => {
+                out.push(0x01);
+                write_op(out, op);
+                out.push(inputs.len() as u8);
+                for i in inputs {
+                    i.write(out);
+                }
+            }
+        }
+    }
+
+    /// Parses a tree serialized by [`Node::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Node, DeriveError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        let node = read_node(&mut cursor)?;
+        if cursor.pos != bytes.len() {
+            return Err(DeriveError::Malformed {
+                detail: "trailing bytes".to_owned(),
+            });
+        }
+        Ok(node)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DeriveError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| DeriveError::Malformed {
+            detail: "unexpected end".to_owned(),
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DeriveError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DeriveError::Malformed {
+                detail: "unexpected end".to_owned(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, DeriveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DeriveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    fn i64(&mut self) -> Result<i64, DeriveError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn read_str(c: &mut Cursor<'_>) -> Result<String, DeriveError> {
+    let len = c.u16()? as usize;
+    let bytes = c.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| DeriveError::Malformed {
+        detail: "invalid utf-8 in source name".to_owned(),
+    })
+}
+
+fn write_rational(out: &mut Vec<u8>, r: Rational) {
+    out.extend_from_slice(&r.numer().to_le_bytes());
+    out.extend_from_slice(&r.denom().to_le_bytes());
+}
+
+fn read_rational(c: &mut Cursor<'_>) -> Result<Rational, DeriveError> {
+    let num = c.i64()?;
+    let den = c.i64()?;
+    Rational::checked_new(num, den).map_err(|e| DeriveError::Malformed {
+        detail: format!("bad rational: {e}"),
+    })
+}
+
+fn write_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::VideoEdit { cuts } => {
+            out.push(1);
+            out.extend_from_slice(&(cuts.len() as u16).to_le_bytes());
+            for c in cuts {
+                out.push(c.input);
+                out.extend_from_slice(&c.from.to_le_bytes());
+                out.extend_from_slice(&c.to.to_le_bytes());
+            }
+        }
+        Op::VideoReverse => out.push(2),
+        Op::TimeTranslate { ticks } => {
+            out.push(3);
+            out.extend_from_slice(&ticks.to_le_bytes());
+        }
+        Op::TimeScale { factor } => {
+            out.push(4);
+            write_rational(out, *factor);
+        }
+        Op::AudioCut { from, to } => {
+            out.push(5);
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&to.to_le_bytes());
+        }
+        Op::AudioConcat => out.push(6),
+        Op::Fade { frames } => {
+            out.push(7);
+            out.extend_from_slice(&frames.to_le_bytes());
+        }
+        Op::Wipe { frames, direction } => {
+            out.push(8);
+            out.extend_from_slice(&frames.to_le_bytes());
+            out.push(match direction {
+                WipeDirection::LeftToRight => 0,
+                WipeDirection::TopToBottom => 1,
+            });
+        }
+        Op::ChromaKey { key_rgb, tolerance } => {
+            out.push(9);
+            out.extend_from_slice(&key_rgb.to_le_bytes());
+            out.push(*tolerance);
+        }
+        Op::AudioNormalize { target_peak, range } => {
+            out.push(10);
+            out.extend_from_slice(&target_peak.to_le_bytes());
+            match range {
+                None => out.push(0),
+                Some((a, b)) => {
+                    out.push(1);
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+        }
+        Op::AudioGain { num, den } => {
+            out.push(11);
+            out.extend_from_slice(&num.to_le_bytes());
+            out.extend_from_slice(&den.to_le_bytes());
+        }
+        Op::AudioMix => out.push(12),
+        Op::ColorSeparate { table } => {
+            out.push(13);
+            out.extend_from_slice(&table.black_generation.to_le_bytes());
+            out.extend_from_slice(&table.undercolor_removal.to_le_bytes());
+            out.extend_from_slice(&table.ink_limit.to_le_bytes());
+        }
+        Op::MidiSynthesize {
+            sample_rate,
+            tempo_bpm,
+            gain_num,
+        } => {
+            out.push(14);
+            out.extend_from_slice(&sample_rate.to_le_bytes());
+            out.extend_from_slice(&tempo_bpm.to_le_bytes());
+            out.extend_from_slice(&gain_num.to_le_bytes());
+        }
+        Op::RenderAnimation { fps } => {
+            out.push(15);
+            out.extend_from_slice(&fps.to_le_bytes());
+        }
+        Op::Transcode { quant_percent } => {
+            out.push(16);
+            out.extend_from_slice(&quant_percent.to_le_bytes());
+        }
+        Op::AudioResample { to_rate } => {
+            out.push(17);
+            out.extend_from_slice(&to_rate.to_le_bytes());
+        }
+    }
+}
+
+fn read_op(c: &mut Cursor<'_>) -> Result<Op, DeriveError> {
+    Ok(match c.u8()? {
+        1 => {
+            let n = c.u16()? as usize;
+            let mut cuts = Vec::with_capacity(n);
+            for _ in 0..n {
+                cuts.push(EditCut {
+                    input: c.u8()?,
+                    from: c.u32()?,
+                    to: c.u32()?,
+                });
+            }
+            Op::VideoEdit { cuts }
+        }
+        2 => Op::VideoReverse,
+        3 => Op::TimeTranslate { ticks: c.i64()? },
+        4 => Op::TimeScale {
+            factor: read_rational(c)?,
+        },
+        5 => Op::AudioCut {
+            from: c.u32()?,
+            to: c.u32()?,
+        },
+        6 => Op::AudioConcat,
+        7 => Op::Fade { frames: c.u32()? },
+        8 => Op::Wipe {
+            frames: c.u32()?,
+            direction: match c.u8()? {
+                0 => WipeDirection::LeftToRight,
+                1 => WipeDirection::TopToBottom,
+                d => {
+                    return Err(DeriveError::Malformed {
+                        detail: format!("bad wipe direction {d}"),
+                    })
+                }
+            },
+        },
+        9 => Op::ChromaKey {
+            key_rgb: c.u32()?,
+            tolerance: c.u8()?,
+        },
+        10 => Op::AudioNormalize {
+            target_peak: c.u16()? as i16,
+            range: match c.u8()? {
+                0 => None,
+                1 => Some((c.u32()?, c.u32()?)),
+                t => {
+                    return Err(DeriveError::Malformed {
+                        detail: format!("bad range tag {t}"),
+                    })
+                }
+            },
+        },
+        11 => Op::AudioGain {
+            num: c.u32()? as i32,
+            den: c.u32()? as i32,
+        },
+        12 => Op::AudioMix,
+        13 => Op::ColorSeparate {
+            table: SeparationTable {
+                black_generation: c.u16()?,
+                undercolor_removal: c.u16()?,
+                ink_limit: c.u16()?,
+            },
+        },
+        14 => Op::MidiSynthesize {
+            sample_rate: c.u32()?,
+            tempo_bpm: c.u32()?,
+            gain_num: c.u16()?,
+        },
+        15 => Op::RenderAnimation { fps: c.u32()? },
+        16 => Op::Transcode {
+            quant_percent: c.u16()?,
+        },
+        17 => Op::AudioResample { to_rate: c.u32()? },
+        t => {
+            return Err(DeriveError::Malformed {
+                detail: format!("unknown op tag {t}"),
+            })
+        }
+    })
+}
+
+fn read_node(c: &mut Cursor<'_>) -> Result<Node, DeriveError> {
+    match c.u8()? {
+        0x00 => Ok(Node::Source(read_str(c)?)),
+        0x01 => {
+            let op = read_op(c)?;
+            let n = c.u8()? as usize;
+            let mut inputs = Vec::with_capacity(n);
+            for _ in 0..n {
+                inputs.push(read_node(c)?);
+            }
+            Ok(Node::Derive { op, inputs })
+        }
+        t => Err(DeriveError::Malformed {
+            detail: format!("unknown node tag {t}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> Node {
+        // The Fig. 4 pipeline: concat(cut1(video1), fade(video1, video2), cut2(video2)).
+        let fade = Node::derive(
+            Op::Fade { frames: 250 },
+            vec![Node::source("video1"), Node::source("video2")],
+        );
+        let cut1 = Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 1500,
+                }],
+            },
+            vec![Node::source("video1")],
+        );
+        let cut2 = Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 250,
+                    to: 1750,
+                }],
+            },
+            vec![Node::source("video2")],
+        );
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![
+                    EditCut {
+                        input: 0,
+                        from: 0,
+                        to: 1500,
+                    },
+                    EditCut {
+                        input: 1,
+                        from: 0,
+                        to: 250,
+                    },
+                    EditCut {
+                        input: 2,
+                        from: 0,
+                        to: 1500,
+                    },
+                ],
+            },
+            vec![cut1, fade, cut2],
+        )
+    }
+
+    #[test]
+    fn roundtrip_all_ops() {
+        let ops = vec![
+            Op::VideoEdit {
+                cuts: vec![EditCut {
+                    input: 1,
+                    from: 3,
+                    to: 9,
+                }],
+            },
+            Op::VideoReverse,
+            Op::TimeTranslate { ticks: -42 },
+            Op::TimeScale {
+                factor: Rational::new(3, 2),
+            },
+            Op::AudioCut { from: 10, to: 99 },
+            Op::AudioConcat,
+            Op::Fade { frames: 250 },
+            Op::Wipe {
+                frames: 100,
+                direction: WipeDirection::TopToBottom,
+            },
+            Op::ChromaKey {
+                key_rgb: 0x00FF00,
+                tolerance: 30,
+            },
+            Op::AudioNormalize {
+                target_peak: 30000,
+                range: Some((5, 500)),
+            },
+            Op::AudioNormalize {
+                target_peak: 20000,
+                range: None,
+            },
+            Op::AudioGain { num: -3, den: 2 },
+            Op::AudioMix,
+            Op::ColorSeparate {
+                table: SeparationTable::newsprint(),
+            },
+            Op::MidiSynthesize {
+                sample_rate: 44100,
+                tempo_bpm: 90,
+                gain_num: 200,
+            },
+            Op::RenderAnimation { fps: 25 },
+            Op::Transcode { quant_percent: 250 },
+            Op::AudioResample { to_rate: 22_050 },
+        ];
+        for op in ops {
+            let inputs = vec![Node::source("a"); op.arity()];
+            let node = Node::derive(op, inputs);
+            let bytes = node.to_bytes();
+            assert_eq!(Node::from_bytes(&bytes).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn nested_tree_roundtrip() {
+        let tree = sample_tree();
+        let bytes = tree.to_bytes();
+        assert_eq!(Node::from_bytes(&bytes).unwrap(), tree);
+        assert_eq!(tree.derivation_count(), 4); // concat + cut1 + fade + cut2
+        assert_eq!(tree.sources(), vec!["video1", "video2"]);
+    }
+
+    #[test]
+    fn derivation_objects_are_small() {
+        // The E6 claim at the object level: the whole Fig. 4 video pipeline
+        // spec is well under a kilobyte.
+        let size = sample_tree().spec_size();
+        assert!(size < 256, "spec size {size} unexpectedly large");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Node::from_bytes(&[]).is_err());
+        assert!(Node::from_bytes(&[0x07]).is_err());
+        assert!(Node::from_bytes(&[0x01, 99]).is_err()); // unknown op tag
+        let mut ok = Node::source("x").to_bytes();
+        ok.push(0); // trailing garbage
+        assert!(Node::from_bytes(&ok).is_err());
+        // Truncations never panic.
+        let bytes = sample_tree().to_bytes();
+        for cut in 0..bytes.len() {
+            let _ = Node::from_bytes(&bytes[..cut]);
+        }
+    }
+}

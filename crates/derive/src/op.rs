@@ -1,0 +1,390 @@
+//! Derivation operators and their classification.
+//!
+//! Table 1 of the paper classifies derivations by argument/result types and
+//! category. [`Op`] carries each operator's parameters (`P_D` of
+//! Definition 6); [`Op::category`], [`Op::argument_types`] and
+//! [`Op::result_type`] reproduce the table's columns.
+
+use tbm_media::color::SeparationTable;
+use tbm_time::Rational;
+
+/// The paper's derivation categories (§4.2). A derivation "can appear in
+/// more than one group"; [`Op::category`] reports the primary one used in
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeriveCategory {
+    /// Changes element content (filters, transitions, separations).
+    ChangeOfContent,
+    /// Changes element timing (edits, translation, scaling).
+    ChangeOfTiming,
+    /// Changes the media type (synthesis, rendering, transcoding).
+    ChangeOfType,
+}
+
+impl DeriveCategory {
+    /// The name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeriveCategory::ChangeOfContent => "change of content",
+            DeriveCategory::ChangeOfTiming => "change of timing",
+            DeriveCategory::ChangeOfType => "change of type",
+        }
+    }
+}
+
+impl std::fmt::Display for DeriveCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One selection of a multi-input video edit list: frames `[from, to)` of
+/// input `input`.
+///
+/// "The list of start and stop times of these selections is called an edit
+/// list. Edit lists are derivation objects."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditCut {
+    /// Which input the selection comes from.
+    pub input: u8,
+    /// First frame (inclusive).
+    pub from: u32,
+    /// End frame (exclusive).
+    pub to: u32,
+}
+
+/// Direction of a wipe transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WipeDirection {
+    /// The new scene enters from the left.
+    LeftToRight,
+    /// The new scene enters from the top.
+    TopToBottom,
+}
+
+/// A derivation operator plus its parameters `P_D`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    // ---- change of timing --------------------------------------------------
+    /// Video edit: selections from the inputs, concatenated (Table 1 "video
+    /// edit"). Inputs: one or more videos.
+    VideoEdit {
+        /// The edit list.
+        cuts: Vec<EditCut>,
+    },
+    /// Reverse a video's frame order (possible because intraframe elements
+    /// decode independently — paper §2.1 on JPEG video).
+    VideoReverse,
+    /// Uniformly shift the start times of a music/animation object
+    /// ("temporally translating a sequence … can be performed on … any
+    /// time-based value").
+    TimeTranslate {
+        /// Tick shift (may be negative).
+        ticks: i64,
+    },
+    /// Uniformly scale starts and durations of a music/animation object.
+    TimeScale {
+        /// Positive scale factor.
+        factor: Rational,
+    },
+    /// Audio cut: sample-frames `[from, to)` of one audio input.
+    AudioCut {
+        /// First sample-frame (inclusive).
+        from: u32,
+        /// End sample-frame (exclusive).
+        to: u32,
+    },
+    /// Concatenate two audio inputs.
+    AudioConcat,
+
+    // ---- change of content -------------------------------------------------
+    /// Cross-fade transition between two videos (Table 1 "video
+    /// transition"): the first input's tail dissolves into the second's
+    /// head over `frames` frames.
+    Fade {
+        /// Transition length in frames.
+        frames: u32,
+    },
+    /// Wipe transition: the second input is revealed progressively.
+    Wipe {
+        /// Transition length in frames.
+        frames: u32,
+        /// Reveal direction.
+        direction: WipeDirection,
+    },
+    /// Chroma key: pixels of the first video near `key_rgb` are replaced by
+    /// the second video ("the content of the first video sequence is
+    /// partially replaced with that of the second").
+    ChromaKey {
+        /// Key color, packed 0xRRGGBB.
+        key_rgb: u32,
+        /// Per-channel tolerance.
+        tolerance: u8,
+    },
+    /// Audio normalization (Table 1): scale so the peak reaches
+    /// `target_peak` (0 < target_peak ≤ 32767), over the optional
+    /// sample-frame range — "if no parameters are specified, normalization
+    /// is performed for the whole audio object."
+    AudioNormalize {
+        /// Desired peak amplitude.
+        target_peak: i16,
+        /// Optional `[from, to)` range; `None` = whole object.
+        range: Option<(u32, u32)>,
+    },
+    /// Constant gain `num/den` on an audio input.
+    AudioGain {
+        /// Gain numerator.
+        num: i32,
+        /// Gain denominator (> 0).
+        den: i32,
+    },
+    /// Mix two audio inputs sample-by-sample (music + narration).
+    AudioMix,
+    /// Resample audio to a new rate (linear interpolation) — the "less
+    /// radical change of type" family: the media type's rate attribute
+    /// changes while the kind stays audio.
+    AudioResample {
+        /// Target sample rate in hertz (> 0).
+        to_rate: u32,
+    },
+    /// RGB → CMYK color separation of an image (Table 1), parameterized by
+    /// a separation table.
+    ColorSeparate {
+        /// Ink/paper parameters.
+        table: SeparationTable,
+    },
+
+    // ---- change of type ----------------------------------------------------
+    /// MIDI/music → audio synthesis (Table 1): "parameters are tempo, MIDI
+    /// channel mappings and instrument parameters."
+    MidiSynthesize {
+        /// Output sample rate.
+        sample_rate: u32,
+        /// Overrides the clip tempo when nonzero.
+        tempo_bpm: u32,
+        /// Master gain numerator over 256.
+        gain_num: u16,
+    },
+    /// Animation → video rendering ("video sequences are derived (via
+    /// rendering) from representations of animation").
+    RenderAnimation {
+        /// Output frames per second.
+        fps: u32,
+    },
+    /// Video → video re-encode at a different quality (a "less radical
+    /// change of type … changing compression parameters").
+    Transcode {
+        /// Target quantizer percentage.
+        quant_percent: u16,
+    },
+}
+
+impl Op {
+    /// The operator's name (Table 1 row label where applicable).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::VideoEdit { .. } => "video edit",
+            Op::VideoReverse => "video reverse",
+            Op::TimeTranslate { .. } => "temporal translation",
+            Op::TimeScale { .. } => "temporal scaling",
+            Op::AudioCut { .. } => "audio cut",
+            Op::AudioConcat => "audio concatenation",
+            Op::Fade { .. } => "video transition (fade)",
+            Op::Wipe { .. } => "video transition (wipe)",
+            Op::ChromaKey { .. } => "chroma key",
+            Op::AudioNormalize { .. } => "audio normalization",
+            Op::AudioGain { .. } => "audio gain",
+            Op::AudioMix => "audio mix",
+            Op::AudioResample { .. } => "audio resampling",
+            Op::ColorSeparate { .. } => "color separation",
+            Op::MidiSynthesize { .. } => "MIDI synthesis",
+            Op::RenderAnimation { .. } => "animation rendering",
+            Op::Transcode { .. } => "transcoding",
+        }
+    }
+
+    /// The primary category (Table 1's "Category" column).
+    pub fn category(&self) -> DeriveCategory {
+        match self {
+            Op::VideoEdit { .. }
+            | Op::VideoReverse
+            | Op::TimeTranslate { .. }
+            | Op::TimeScale { .. }
+            | Op::AudioCut { .. }
+            | Op::AudioConcat => DeriveCategory::ChangeOfTiming,
+            Op::Fade { .. }
+            | Op::Wipe { .. }
+            | Op::ChromaKey { .. }
+            | Op::AudioNormalize { .. }
+            | Op::AudioGain { .. }
+            | Op::AudioMix
+            | Op::ColorSeparate { .. } => DeriveCategory::ChangeOfContent,
+            Op::MidiSynthesize { .. }
+            | Op::RenderAnimation { .. }
+            | Op::Transcode { .. }
+            | Op::AudioResample { .. } => DeriveCategory::ChangeOfType,
+        }
+    }
+
+    /// Argument media-type names (Table 1's "Argument Type(s)" column).
+    pub fn argument_types(&self) -> Vec<&'static str> {
+        match self {
+            Op::VideoEdit { cuts } => {
+                let inputs = cuts.iter().map(|c| c.input).max().map_or(1, |m| m + 1);
+                vec!["video"; inputs as usize]
+            }
+            Op::VideoReverse | Op::Transcode { .. } => vec!["video"],
+            Op::TimeTranslate { .. } | Op::TimeScale { .. } => vec!["music | animation"],
+            Op::AudioCut { .. }
+            | Op::AudioNormalize { .. }
+            | Op::AudioGain { .. }
+            | Op::AudioResample { .. } => vec!["audio"],
+            Op::AudioConcat | Op::AudioMix => vec!["audio", "audio"],
+            Op::Fade { .. } | Op::Wipe { .. } | Op::ChromaKey { .. } => vec!["video", "video"],
+            Op::ColorSeparate { .. } => vec!["image"],
+            Op::MidiSynthesize { .. } => vec!["music (MIDI)"],
+            Op::RenderAnimation { .. } => vec!["animation"],
+        }
+    }
+
+    /// Result media-type name (Table 1's "Result Type" column).
+    pub fn result_type(&self) -> &'static str {
+        match self {
+            Op::VideoEdit { .. }
+            | Op::VideoReverse
+            | Op::Fade { .. }
+            | Op::Wipe { .. }
+            | Op::ChromaKey { .. }
+            | Op::Transcode { .. }
+            | Op::RenderAnimation { .. } => "video",
+            Op::TimeTranslate { .. } | Op::TimeScale { .. } => "music | animation",
+            Op::AudioCut { .. }
+            | Op::AudioConcat
+            | Op::AudioNormalize { .. }
+            | Op::AudioGain { .. }
+            | Op::AudioMix
+            | Op::AudioResample { .. }
+            | Op::MidiSynthesize { .. } => "audio",
+            Op::ColorSeparate { .. } => "image (CMYK plates)",
+        }
+    }
+
+    /// Number of media-object inputs the operator consumes.
+    pub fn arity(&self) -> usize {
+        self.argument_types().len()
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The five rows of Table 1, exactly as printed.
+    #[test]
+    fn table_1_rows() {
+        let rows: Vec<(Op, &str, &str, &str)> = vec![
+            (
+                Op::ColorSeparate {
+                    table: SeparationTable::coated_stock(),
+                },
+                "image",
+                "image (CMYK plates)",
+                "change of content",
+            ),
+            (
+                Op::AudioNormalize {
+                    target_peak: 30000,
+                    range: None,
+                },
+                "audio",
+                "audio",
+                "change of content",
+            ),
+            (
+                Op::VideoEdit {
+                    cuts: vec![EditCut {
+                        input: 0,
+                        from: 0,
+                        to: 10,
+                    }],
+                },
+                "video",
+                "video",
+                "change of timing",
+            ),
+            (
+                Op::Fade { frames: 10 },
+                "video",
+                "video",
+                "change of content",
+            ),
+            (
+                Op::MidiSynthesize {
+                    sample_rate: 44100,
+                    tempo_bpm: 0,
+                    gain_num: 256,
+                },
+                "music (MIDI)",
+                "audio",
+                "change of type",
+            ),
+        ];
+        for (op, arg0, result, category) in rows {
+            assert_eq!(op.argument_types()[0], arg0, "{op}");
+            assert_eq!(op.result_type(), result, "{op}");
+            assert_eq!(op.category().name(), category, "{op}");
+        }
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(Op::AudioMix.arity(), 2);
+        assert_eq!(Op::Fade { frames: 5 }.arity(), 2);
+        assert_eq!(Op::VideoReverse.arity(), 1);
+        // A two-input edit list.
+        let edit = Op::VideoEdit {
+            cuts: vec![
+                EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 5,
+                },
+                EditCut {
+                    input: 1,
+                    from: 2,
+                    to: 9,
+                },
+            ],
+        };
+        assert_eq!(edit.arity(), 2);
+    }
+
+    #[test]
+    fn timing_ops_are_generic() {
+        // "Derivations involving changes in timing are generic … apply to
+        // all time-based media."
+        assert_eq!(
+            Op::TimeTranslate { ticks: 5 }.category(),
+            DeriveCategory::ChangeOfTiming
+        );
+        assert_eq!(
+            Op::TimeScale {
+                factor: Rational::new(1, 2)
+            }
+            .category(),
+            DeriveCategory::ChangeOfTiming
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Op::AudioMix.to_string(), "audio mix");
+        assert_eq!(DeriveCategory::ChangeOfType.to_string(), "change of type");
+    }
+}

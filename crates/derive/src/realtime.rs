@@ -1,0 +1,211 @@
+//! Real-time feasibility of derivation expansion.
+//!
+//! The paper ties the storage decision to expansion speed:
+//!
+//! > *"The decision of whether to store a derived object or to expand and
+//! > instead store a non-derived object often hinges upon resource
+//! > availability: if expansion can be done in real time then the derived
+//! > object is all that needs be stored."* and: media elements "need only be
+//! > stored if the calculation cannot be performed in real time (as when the
+//! > time to calculate elements in a constant frequency stream is greater
+//! > than their period)."
+//!
+//! [`assess_video`]/[`assess_audio`] measure per-element lazy expansion cost
+//! against the element period and report the materialization decision.
+
+use crate::{DeriveError, Expander, Node};
+use std::time::{Duration, Instant};
+use tbm_time::TimeSystem;
+
+/// The outcome of a feasibility measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealTimeReport {
+    /// Mean wall-clock cost of producing one element.
+    pub per_element: Duration,
+    /// The element period demanded by the time system.
+    pub period: Duration,
+    /// Elements measured.
+    pub sampled: usize,
+    /// `per_element <= period`: the derived object can stay implicit.
+    pub feasible: bool,
+}
+
+impl RealTimeReport {
+    /// The paper's storage decision: keep the derivation object, or expand
+    /// and store the non-derived object.
+    pub fn decision(&self) -> &'static str {
+        if self.feasible {
+            "store derivation object (expand on demand)"
+        } else {
+            "materialize: store expanded media object"
+        }
+    }
+
+    /// Headroom factor: period / per_element (> 1 means feasible with slack).
+    pub fn headroom(&self) -> f64 {
+        let p = self.per_element.as_secs_f64();
+        if p == 0.0 {
+            return f64::INFINITY;
+        }
+        self.period.as_secs_f64() / p
+    }
+}
+
+fn duration_of_period(system: TimeSystem) -> Duration {
+    Duration::from_secs_f64(system.period().seconds().to_f64())
+}
+
+/// Measures lazy per-frame expansion of a video-valued node against the
+/// frame period of `system`, sampling up to `max_samples` evenly spaced
+/// frames.
+pub fn assess_video(
+    expander: &Expander,
+    node: &Node,
+    system: TimeSystem,
+    max_samples: usize,
+) -> Result<RealTimeReport, DeriveError> {
+    let len = expander.video_len(node)?;
+    let samples = len.min(max_samples.max(1));
+    if samples == 0 {
+        return Ok(RealTimeReport {
+            per_element: Duration::ZERO,
+            period: duration_of_period(system),
+            sampled: 0,
+            feasible: true,
+        });
+    }
+    let step = (len / samples).max(1);
+    let start = Instant::now();
+    let mut produced = 0usize;
+    let mut idx = 0usize;
+    while idx < len && produced < samples {
+        let _ = expander.pull_frame(node, idx)?;
+        produced += 1;
+        idx += step;
+    }
+    let per_element = start.elapsed() / produced.max(1) as u32;
+    let period = duration_of_period(system);
+    Ok(RealTimeReport {
+        per_element,
+        period,
+        sampled: produced,
+        feasible: per_element <= period,
+    })
+}
+
+/// Measures lazy expansion of an audio-valued node in blocks of
+/// `block_frames` sample-frames against the block period at `sample_rate`.
+pub fn assess_audio(
+    expander: &Expander,
+    node: &Node,
+    sample_rate: u32,
+    block_frames: usize,
+    max_blocks: usize,
+) -> Result<RealTimeReport, DeriveError> {
+    let len = expander.audio_len(node)?;
+    let block = block_frames.max(1);
+    let blocks = (len / block).min(max_blocks.max(1));
+    let period = Duration::from_secs_f64(block as f64 / sample_rate.max(1) as f64);
+    if blocks == 0 {
+        return Ok(RealTimeReport {
+            per_element: Duration::ZERO,
+            period,
+            sampled: 0,
+            feasible: true,
+        });
+    }
+    let start = Instant::now();
+    for i in 0..blocks {
+        let _ = expander.pull_audio(node, i * block, block)?;
+    }
+    let per_element = start.elapsed() / blocks as u32;
+    Ok(RealTimeReport {
+        per_element,
+        period,
+        sampled: blocks,
+        feasible: per_element <= period,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{AudioClip, MediaValue, VideoClip};
+    use crate::{EditCut, Op};
+    use tbm_media::gen::{AudioSignal, VideoPattern};
+
+    fn expander() -> Expander {
+        let mut e = Expander::new();
+        let frames = (0..20u64)
+            .map(|i| VideoPattern::MovingBar.render(i, 32, 24))
+            .collect();
+        e.add_source(
+            "v",
+            MediaValue::Video(VideoClip::new(frames, TimeSystem::PAL)),
+        );
+        let audio = AudioSignal::Sine {
+            hz: 440.0,
+            amplitude: 9000,
+        }
+        .generate(0, 44100, 44100, 1);
+        e.add_source("a", MediaValue::Audio(AudioClip::new(audio, 44100)));
+        e
+    }
+
+    #[test]
+    fn cheap_video_edit_is_feasible() {
+        let e = expander();
+        let node = Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 2,
+                    to: 18,
+                }],
+            },
+            vec![Node::source("v")],
+        );
+        let report = assess_video(&e, &node, TimeSystem::PAL, 8).unwrap();
+        assert!(report.sampled > 0);
+        // Cloning a tiny frame takes far less than 40 ms.
+        assert!(report.feasible, "{report:?}");
+        assert!(report.headroom() > 1.0);
+        assert_eq!(report.decision(), "store derivation object (expand on demand)");
+    }
+
+    #[test]
+    fn infeasible_when_period_is_tiny() {
+        let e = expander();
+        let node = Node::derive(
+            Op::Transcode { quant_percent: 100 },
+            vec![Node::source("v")],
+        );
+        // Demand 10 MHz frame rate: transcoding cannot keep up.
+        let absurd = TimeSystem::from_hz(10_000_000);
+        let report = assess_video(&e, &node, absurd, 4).unwrap();
+        assert!(!report.feasible, "{report:?}");
+        assert_eq!(report.decision(), "materialize: store expanded media object");
+    }
+
+    #[test]
+    fn audio_assessment_runs() {
+        let e = expander();
+        let node = Node::derive(Op::AudioGain { num: 1, den: 2 }, vec![Node::source("a")]);
+        let report = assess_audio(&e, &node, 44100, 1024, 8).unwrap();
+        assert_eq!(report.sampled, 8);
+        assert!(report.feasible, "{report:?}");
+    }
+
+    #[test]
+    fn empty_input_is_trivially_feasible() {
+        let mut e = Expander::new();
+        e.add_source(
+            "empty",
+            MediaValue::Video(VideoClip::new(vec![], TimeSystem::PAL)),
+        );
+        let report =
+            assess_video(&e, &Node::source("empty"), TimeSystem::PAL, 8).unwrap();
+        assert_eq!(report.sampled, 0);
+        assert!(report.feasible);
+    }
+}

@@ -1,0 +1,263 @@
+//! MIDI/music → audio synthesis.
+//!
+//! The paper's type-changing derivation: "the synthesis of an audio object
+//! from a MIDI object … Parameters are tempo, MIDI channel mappings and
+//! instrument parameters. (These essentially identify, for example, whether
+//! a given note is played on a piano, a violin or some other instrument.)"
+//!
+//! The synthesizer is a small but real additive design: each note renders a
+//! band-limited-ish waveform chosen by its channel's program (sine, square,
+//! sawtooth or triangle), shaped by an ADSR envelope, scaled by velocity,
+//! and mixed with saturation.
+
+use crate::value::{AudioClip, MusicClip};
+use tbm_media::AudioBuffer;
+
+/// The waveform families selectable by program number (program mod 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waveform {
+    /// Pure sine.
+    Sine,
+    /// Square wave (odd harmonics).
+    Square,
+    /// Sawtooth.
+    Saw,
+    /// Triangle.
+    Triangle,
+}
+
+impl Waveform {
+    /// Maps a MIDI program number to a waveform family.
+    pub fn from_program(program: u8) -> Waveform {
+        match program % 4 {
+            0 => Waveform::Sine,
+            1 => Waveform::Square,
+            2 => Waveform::Saw,
+            _ => Waveform::Triangle,
+        }
+    }
+
+    /// Sample at phase ∈ [0, 1), amplitude ±1.
+    fn sample(self, phase: f64) -> f64 {
+        match self {
+            Waveform::Sine => (2.0 * std::f64::consts::PI * phase).sin(),
+            Waveform::Square => {
+                if phase < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Waveform::Saw => 2.0 * phase - 1.0,
+            Waveform::Triangle => {
+                if phase < 0.5 {
+                    4.0 * phase - 1.0
+                } else {
+                    3.0 - 4.0 * phase
+                }
+            }
+        }
+    }
+}
+
+/// Synthesis parameters (the derivation's `P_D`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthParams {
+    /// Output sample rate in hertz.
+    pub sample_rate: u32,
+    /// Tempo override in bpm; 0 keeps the clip's tempo.
+    pub tempo_bpm: u32,
+    /// Master gain, numerator over 256.
+    pub gain_num: u16,
+    /// Channel → program mapping ("MIDI channel mappings"): program for
+    /// each of the 16 channels.
+    pub programs: [u8; 16],
+}
+
+impl Default for SynthParams {
+    fn default() -> SynthParams {
+        SynthParams {
+            sample_rate: 44_100,
+            tempo_bpm: 0,
+            gain_num: 256,
+            programs: [0; 16],
+        }
+    }
+}
+
+/// ADSR envelope value at `t` seconds into a note lasting `dur` seconds.
+fn adsr(t: f64, dur: f64) -> f64 {
+    const ATTACK: f64 = 0.01;
+    const DECAY: f64 = 0.05;
+    const SUSTAIN: f64 = 0.75;
+    const RELEASE: f64 = 0.05;
+    if t < 0.0 || t >= dur + RELEASE {
+        return 0.0;
+    }
+    if t < ATTACK {
+        return t / ATTACK;
+    }
+    if t < ATTACK + DECAY {
+        let k = (t - ATTACK) / DECAY;
+        return 1.0 - k * (1.0 - SUSTAIN);
+    }
+    if t < dur {
+        return SUSTAIN;
+    }
+    // Release tail.
+    SUSTAIN * (1.0 - (t - dur) / RELEASE)
+}
+
+/// Renders a music clip to PCM audio.
+pub fn synthesize(clip: &MusicClip, params: &SynthParams) -> AudioClip {
+    let rate = params.sample_rate.max(1);
+    let tempo = if params.tempo_bpm > 0 {
+        params.tempo_bpm
+    } else {
+        clip.tempo_bpm.max(1)
+    };
+    let spt = 60.0 / (tempo as f64 * clip.ppq.max(1) as f64); // seconds per tick
+    let (first, last) = match clip.tick_span() {
+        Some(s) => s,
+        None => return AudioClip::new(AudioBuffer::silence(1, 0), rate),
+    };
+    const RELEASE: f64 = 0.05;
+    let total_secs = (last - first) as f64 * spt + RELEASE;
+    let total_frames = (total_secs * rate as f64).ceil() as usize;
+    let mut acc = vec![0f64; total_frames];
+    let gain = params.gain_num as f64 / 256.0;
+
+    for &(note, start, dur) in &clip.notes {
+        let wave = Waveform::from_program(params.programs[(note.channel & 0x0f) as usize]);
+        let f = note.frequency_hz();
+        let amp = gain * (note.velocity.min(127) as f64 / 127.0) * 8000.0;
+        let note_start = (start - first) as f64 * spt;
+        let note_dur = dur as f64 * spt;
+        let s0 = (note_start * rate as f64) as usize;
+        let s1 = (((note_start + note_dur + RELEASE) * rate as f64) as usize).min(total_frames);
+        for (i, a) in acc.iter_mut().enumerate().take(s1).skip(s0) {
+            let t = i as f64 / rate as f64 - note_start;
+            let env = adsr(t, note_dur);
+            if env > 0.0 {
+                let phase = (f * (i as f64 / rate as f64)).fract();
+                *a += amp * env * wave.sample(phase);
+            }
+        }
+    }
+    let samples: Vec<i16> = acc
+        .into_iter()
+        .map(|v| v.clamp(i16::MIN as f64, i16::MAX as f64) as i16)
+        .collect();
+    AudioClip::new(
+        AudioBuffer::from_samples(1, samples).expect("mono always aligns"),
+        rate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_media::gen::{chord_progression, major_scale};
+    use tbm_media::midi::Note;
+
+    fn one_note(key: u8) -> MusicClip {
+        MusicClip::new(vec![(Note::new(0, key, 100), 0, 480)], 480, 120)
+    }
+
+    #[test]
+    fn produces_audio_of_expected_length() {
+        // 480 ticks at 480 ppq, 120 bpm = one quarter at 0.5 s.
+        let clip = one_note(69);
+        let audio = synthesize(&clip, &SynthParams::default());
+        let secs = audio.seconds();
+        assert!((secs - 0.55).abs() < 0.01, "got {secs}"); // + release tail
+        assert!(audio.buffer.peak() > 1000, "should be audible");
+    }
+
+    #[test]
+    fn a440_has_correct_frequency() {
+        let clip = one_note(69); // A4
+        let audio = synthesize(&clip, &SynthParams::default());
+        // Count zero crossings over the sustained midsection.
+        let s = audio.buffer.samples();
+        let mid = &s[4410..17640]; // 0.1 s .. 0.4 s
+        let crossings = mid.windows(2).filter(|w| (w[0] < 0) != (w[1] < 0)).count();
+        let est_hz = crossings as f64 / 2.0 / (mid.len() as f64 / 44100.0);
+        assert!((est_hz - 440.0).abs() < 5.0, "estimated {est_hz:.1} Hz");
+    }
+
+    #[test]
+    fn tempo_scales_duration() {
+        let clip = one_note(60);
+        let slow = synthesize(
+            &clip,
+            &SynthParams {
+                tempo_bpm: 60,
+                ..SynthParams::default()
+            },
+        );
+        let fast = synthesize(
+            &clip,
+            &SynthParams {
+                tempo_bpm: 240,
+                ..SynthParams::default()
+            },
+        );
+        assert!(slow.seconds() > fast.seconds() * 2.0);
+    }
+
+    #[test]
+    fn programs_change_timbre() {
+        let clip = one_note(60);
+        let mut square = SynthParams::default();
+        square.programs[0] = 1;
+        let a = synthesize(&clip, &SynthParams::default());
+        let b = synthesize(&clip, &square);
+        assert_ne!(a.buffer, b.buffer);
+        // Square has higher RMS than sine at the same amplitude.
+        assert!(b.buffer.rms() > a.buffer.rms());
+    }
+
+    #[test]
+    fn chords_mix_without_clipping_artifacts() {
+        let clip = MusicClip::new(chord_progression(0, 60, 960), 480, 120);
+        let audio = synthesize(
+            &clip,
+            &SynthParams {
+                gain_num: 128,
+                ..SynthParams::default()
+            },
+        );
+        assert!(audio.buffer.peak() < i16::MAX);
+        assert!(audio.buffer.peak() > 2000);
+    }
+
+    #[test]
+    fn scale_renders_every_note() {
+        let clip = MusicClip::new(major_scale(0, 60, 1, 480, 400), 480, 120);
+        let audio = synthesize(&clip, &SynthParams::default());
+        // Eight notes × 0.5 s steps: at least ~3.5s of audio.
+        assert!(audio.seconds() > 3.4);
+        // Sound present near the last note.
+        let s = audio.buffer.samples();
+        let tail = &s[s.len() - 11025..];
+        assert!(tail.iter().any(|&v| v.unsigned_abs() > 500));
+    }
+
+    #[test]
+    fn empty_music_is_empty_audio() {
+        let clip = MusicClip::new(vec![], 480, 120);
+        let audio = synthesize(&clip, &SynthParams::default());
+        assert_eq!(audio.buffer.frames(), 0);
+    }
+
+    #[test]
+    fn waveform_shapes() {
+        assert_eq!(Waveform::from_program(0), Waveform::Sine);
+        assert_eq!(Waveform::from_program(5), Waveform::Square);
+        assert!((Waveform::Square.sample(0.25) - 1.0).abs() < 1e-12);
+        assert!((Waveform::Square.sample(0.75) + 1.0).abs() < 1e-12);
+        assert!((Waveform::Saw.sample(0.5)).abs() < 1e-12);
+        assert!((Waveform::Triangle.sample(0.5) - 1.0).abs() < 1e-12);
+    }
+}

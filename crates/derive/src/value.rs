@@ -1,0 +1,255 @@
+//! Runtime media values flowing through derivations.
+
+use tbm_media::animation::MoveSpec;
+use tbm_media::midi::Note;
+use tbm_media::{AudioBuffer, Frame};
+use tbm_time::TimeSystem;
+
+/// A materialized video object: frames in display order over a frame clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoClip {
+    /// Frames in display order (constant-frequency: one per tick).
+    pub frames: Vec<Frame>,
+    /// The frame clock (e.g. `D_25`).
+    pub system: TimeSystem,
+}
+
+impl VideoClip {
+    /// Creates a clip.
+    pub fn new(frames: Vec<Frame>, system: TimeSystem) -> VideoClip {
+        VideoClip { frames, system }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the clip has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame geometry `(width, height)`, if non-empty.
+    pub fn geometry(&self) -> Option<(u32, u32)> {
+        self.frames.first().map(|f| (f.width(), f.height()))
+    }
+}
+
+/// A materialized audio object: one buffer at a sample rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AudioClip {
+    /// The interleaved PCM content.
+    pub buffer: AudioBuffer,
+    /// Sample rate in hertz.
+    pub sample_rate: u32,
+}
+
+impl AudioClip {
+    /// Creates a clip.
+    pub fn new(buffer: AudioBuffer, sample_rate: u32) -> AudioClip {
+        AudioClip {
+            buffer,
+            sample_rate,
+        }
+    }
+
+    /// Duration in seconds (lossy, for reporting).
+    pub fn seconds(&self) -> f64 {
+        self.buffer.frames() as f64 / self.sample_rate as f64
+    }
+}
+
+/// CMYK separation plates: four grayscale frames, one per ink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorPlates {
+    /// Cyan plate (Gray8).
+    pub c: Frame,
+    /// Magenta plate (Gray8).
+    pub m: Frame,
+    /// Yellow plate (Gray8).
+    pub y: Frame,
+    /// Black plate (Gray8).
+    pub k: Frame,
+}
+
+/// A symbolic music object: timed notes over a tick clock.
+///
+/// Notes are `(note, start, duration)` with starts ordered; chords overlap,
+/// rests leave gaps (the paper's non-continuous example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MusicClip {
+    /// The notes, ordered by start tick.
+    pub notes: Vec<(Note, i64, i64)>,
+    /// Ticks per quarter note.
+    pub ppq: u32,
+    /// Tempo in beats (quarters) per minute.
+    pub tempo_bpm: u32,
+}
+
+impl MusicClip {
+    /// Creates a clip, sorting notes by start.
+    pub fn new(mut notes: Vec<(Note, i64, i64)>, ppq: u32, tempo_bpm: u32) -> MusicClip {
+        notes.sort_by_key(|&(_, s, _)| s);
+        MusicClip {
+            notes,
+            ppq,
+            tempo_bpm,
+        }
+    }
+
+    /// The tick span `[first_start, max_end)`, if non-empty.
+    pub fn tick_span(&self) -> Option<(i64, i64)> {
+        let first = self.notes.first()?.1;
+        let end = self.notes.iter().map(|&(_, s, d)| s + d).max()?;
+        Some((first, end))
+    }
+
+    /// Seconds per tick at the clip's tempo.
+    pub fn seconds_per_tick(&self) -> f64 {
+        60.0 / (self.tempo_bpm.max(1) as f64 * self.ppq.max(1) as f64)
+    }
+}
+
+/// A symbolic animation object: movement specs over a tick clock, plus the
+/// scene geometry used when rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnimClip {
+    /// Movement elements `(spec, start, duration)`, ordered by start.
+    pub moves: Vec<(MoveSpec, i64, i64)>,
+    /// The tick clock of the starts/durations.
+    pub system: TimeSystem,
+    /// Scene width in pixels.
+    pub width: u32,
+    /// Scene height in pixels.
+    pub height: u32,
+    /// Background color, packed 0xRRGGBB.
+    pub background: u32,
+}
+
+impl AnimClip {
+    /// Creates a clip, sorting moves by start.
+    pub fn new(
+        mut moves: Vec<(MoveSpec, i64, i64)>,
+        system: TimeSystem,
+        width: u32,
+        height: u32,
+        background: u32,
+    ) -> AnimClip {
+        moves.sort_by_key(|&(_, s, _)| s);
+        AnimClip {
+            moves,
+            system,
+            width,
+            height,
+            background,
+        }
+    }
+
+    /// The tick span `[first_start, max_end)`, if non-empty.
+    pub fn tick_span(&self) -> Option<(i64, i64)> {
+        let first = self.moves.first()?.1;
+        let end = self.moves.iter().map(|&(_, s, d)| s + d).max()?;
+        Some((first, end))
+    }
+}
+
+/// Any media value a derivation can consume or produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MediaValue {
+    /// Video frames.
+    Video(VideoClip),
+    /// PCM audio.
+    Audio(AudioClip),
+    /// A still image.
+    Image(Frame),
+    /// CMYK separation plates (the result of color separation).
+    Plates(ColorPlates),
+    /// Symbolic music.
+    Music(MusicClip),
+    /// Symbolic animation.
+    Animation(AnimClip),
+}
+
+impl MediaValue {
+    /// The value's media-type name, for diagnostics and type checks.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MediaValue::Video(_) => "video",
+            MediaValue::Audio(_) => "audio",
+            MediaValue::Image(_) => "image",
+            MediaValue::Plates(_) => "CMYK plates",
+            MediaValue::Music(_) => "music",
+            MediaValue::Animation(_) => "animation",
+        }
+    }
+
+    /// Approximate in-memory size in bytes — the "derived objects …
+    /// relatively small" comparison of §4.2 uses this against the
+    /// derivation-object size.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            MediaValue::Video(v) => v.frames.iter().map(|f| f.data().len() as u64).sum(),
+            MediaValue::Audio(a) => (a.buffer.samples().len() * 2) as u64,
+            MediaValue::Image(f) => f.data().len() as u64,
+            MediaValue::Plates(p) => {
+                [&p.c, &p.m, &p.y, &p.k]
+                    .iter()
+                    .map(|f| f.data().len() as u64)
+                    .sum()
+            }
+            MediaValue::Music(m) => (m.notes.len() * 19) as u64,
+            MediaValue::Animation(a) => (a.moves.len() * 44) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_media::PixelFormat;
+
+    #[test]
+    fn clip_geometry_and_len() {
+        let c = VideoClip::new(
+            vec![Frame::black(8, 6, PixelFormat::Rgb24); 3],
+            TimeSystem::PAL,
+        );
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.geometry(), Some((8, 6)));
+        assert!(!c.is_empty());
+        assert!(VideoClip::new(vec![], TimeSystem::PAL).geometry().is_none());
+    }
+
+    #[test]
+    fn audio_seconds() {
+        let a = AudioClip::new(AudioBuffer::silence(2, 44100), 44100);
+        assert!((a.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn music_span_and_tempo() {
+        let m = MusicClip::new(
+            vec![
+                (Note::new(0, 64, 96), 480, 480),
+                (Note::new(0, 60, 96), 0, 480),
+            ],
+            480,
+            120,
+        );
+        // Sorted on construction.
+        assert_eq!(m.notes[0].1, 0);
+        assert_eq!(m.tick_span(), Some((0, 960)));
+        // 120 bpm at 480 ppq: 1/960 s per tick.
+        assert!((m.seconds_per_tick() - 1.0 / 960.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type_names_and_sizes() {
+        let img = MediaValue::Image(Frame::black(4, 4, PixelFormat::Gray8));
+        assert_eq!(img.type_name(), "image");
+        assert_eq!(img.approx_bytes(), 16);
+        let audio = MediaValue::Audio(AudioClip::new(AudioBuffer::silence(1, 8), 8000));
+        assert_eq!(audio.approx_bytes(), 16);
+    }
+}

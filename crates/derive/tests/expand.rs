@@ -1,0 +1,619 @@
+//! Behavioural tests of derivation expansion: every Table 1 derivation plus
+//! the surrounding prose examples, and lazy/full agreement.
+
+use tbm_derive::{
+    AnimClip, AudioClip, EditCut, Expander, MediaValue, MusicClip, Node, Op, VideoClip,
+    WipeDirection,
+};
+use tbm_media::animation::{MoveSpec, Point};
+use tbm_media::color::{Rgb, SeparationTable};
+use tbm_media::gen::{major_scale, AudioSignal, VideoPattern};
+use tbm_media::{Frame, PixelFormat};
+use tbm_time::{Rational, TimeSystem};
+
+fn video(name_seed: u64, n: usize) -> MediaValue {
+    let frames = (0..n as u64)
+        .map(|i| VideoPattern::MovingBar.render(name_seed * 100 + i, 32, 24))
+        .collect();
+    MediaValue::Video(VideoClip::new(frames, TimeSystem::PAL))
+}
+
+fn solid_video(color: (u8, u8, u8), n: usize) -> MediaValue {
+    let frames = (0..n)
+        .map(|_| Frame::filled(32, 24, PixelFormat::Rgb24, Rgb::new(color.0, color.1, color.2)))
+        .collect();
+    MediaValue::Video(VideoClip::new(frames, TimeSystem::PAL))
+}
+
+fn quiet_audio(frames: usize) -> MediaValue {
+    let buf = AudioSignal::Sine {
+        hz: 440.0,
+        amplitude: 4000,
+    }
+    .generate(0, frames, 44100, 1);
+    MediaValue::Audio(AudioClip::new(buf, 44100))
+}
+
+fn expander() -> Expander {
+    let mut e = Expander::new();
+    e.add_source("video1", video(1, 30));
+    e.add_source("video2", video(2, 30));
+    e.add_source("red", solid_video((200, 0, 0), 10));
+    e.add_source("blue", solid_video((0, 0, 200), 10));
+    e.add_source("audio1", quiet_audio(4410));
+    e.add_source(
+        "music1",
+        MediaValue::Music(MusicClip::new(major_scale(0, 60, 1, 480, 400), 480, 120)),
+    );
+    e.add_source(
+        "anim1",
+        MediaValue::Animation(AnimClip::new(
+            vec![(
+                MoveSpec::new(1, Point::new(2, 12), Point::new(28, 12), 3, 0x00FF00),
+                0,
+                20,
+            )],
+            TimeSystem::from_hz(10),
+            32,
+            24,
+            0x000000,
+        )),
+    );
+    e.add_source(
+        "image1",
+        MediaValue::Image(Frame::filled(16, 16, PixelFormat::Rgb24, Rgb::new(40, 90, 160))),
+    );
+    e
+}
+
+fn expand_video(e: &Expander, node: &Node) -> VideoClip {
+    match e.expand(node).unwrap() {
+        MediaValue::Video(v) => v,
+        other => panic!("expected video, got {}", other.type_name()),
+    }
+}
+
+fn expand_audio(e: &Expander, node: &Node) -> AudioClip {
+    match e.expand(node).unwrap() {
+        MediaValue::Audio(a) => a,
+        other => panic!("expected audio, got {}", other.type_name()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 row: video edit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn video_edit_selects_and_orders() {
+    let e = expander();
+    // Selections can reorder and repeat — "selection and ordering of
+    // sequences".
+    let node = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![
+                EditCut { input: 0, from: 20, to: 25 },
+                EditCut { input: 0, from: 0, to: 5 },
+                EditCut { input: 0, from: 20, to: 25 },
+            ],
+        },
+        vec![Node::source("video1")],
+    );
+    let out = expand_video(&e, &node);
+    assert_eq!(out.len(), 15);
+    // The first output frame equals source frame 20.
+    let src = expand_video(&e, &Node::source("video1"));
+    assert_eq!(out.frames[0], src.frames[20]);
+    assert_eq!(out.frames[5], src.frames[0]);
+    assert_eq!(out.frames[10], src.frames[20]);
+}
+
+#[test]
+fn video_edit_multi_input() {
+    let e = expander();
+    let node = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![
+                EditCut { input: 0, from: 0, to: 3 },
+                EditCut { input: 1, from: 5, to: 9 },
+            ],
+        },
+        vec![Node::source("video1"), Node::source("video2")],
+    );
+    let out = expand_video(&e, &node);
+    assert_eq!(out.len(), 7);
+    let v2 = expand_video(&e, &Node::source("video2"));
+    assert_eq!(out.frames[3], v2.frames[5]);
+}
+
+#[test]
+fn video_edit_validates_ranges() {
+    let e = expander();
+    let node = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![EditCut { input: 0, from: 0, to: 99 }],
+        },
+        vec![Node::source("video1")],
+    );
+    assert!(e.expand(&node).is_err());
+    let backwards = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![EditCut { input: 0, from: 9, to: 3 }],
+        },
+        vec![Node::source("video1")],
+    );
+    assert!(e.expand(&backwards).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 row: video transition (fade, plus wipe)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fade_dissolves_between_scenes() {
+    let e = expander();
+    let node = Node::derive(
+        Op::Fade { frames: 10 },
+        vec![Node::source("red"), Node::source("blue")],
+    );
+    let out = expand_video(&e, &node);
+    assert_eq!(out.len(), 10);
+    // First frame ≈ red, last ≈ blue, middle mixed.
+    let first = out.frames[0].get_rgb(5, 5);
+    let last = out.frames[9].get_rgb(5, 5);
+    let mid = out.frames[5].get_rgb(5, 5);
+    assert!(first.r > 180 && first.b < 30, "{first:?}");
+    assert!(last.b > 180 && last.r < 30, "{last:?}");
+    assert!(mid.r > 60 && mid.b > 60, "{mid:?}");
+}
+
+#[test]
+fn wipe_reveals_directionally() {
+    let e = expander();
+    let node = Node::derive(
+        Op::Wipe {
+            frames: 10,
+            direction: WipeDirection::LeftToRight,
+        },
+        vec![Node::source("red"), Node::source("blue")],
+    );
+    let out = expand_video(&e, &node);
+    // Mid-wipe: left half blue, right half red.
+    let f = &out.frames[4]; // reveal = 32*5/10 = 16
+    let left = f.get_rgb(3, 5);
+    let right = f.get_rgb(28, 5);
+    assert!(left.b > 180, "{left:?}");
+    assert!(right.r > 180, "{right:?}");
+}
+
+#[test]
+fn transition_needs_long_enough_inputs() {
+    let e = expander();
+    let node = Node::derive(
+        Op::Fade { frames: 50 },
+        vec![Node::source("red"), Node::source("blue")],
+    );
+    assert!(e.expand(&node).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 row: audio normalization
+// ---------------------------------------------------------------------------
+
+#[test]
+fn normalization_reaches_target_peak() {
+    let e = expander();
+    let node = Node::derive(
+        Op::AudioNormalize {
+            target_peak: 16000,
+            range: None,
+        },
+        vec![Node::source("audio1")],
+    );
+    let out = expand_audio(&e, &node);
+    let peak = out.buffer.peak();
+    assert!((15800..=16000).contains(&peak), "peak {peak}");
+}
+
+#[test]
+fn normalization_range_leaves_rest_untouched() {
+    let e = expander();
+    let node = Node::derive(
+        Op::AudioNormalize {
+            target_peak: 16000,
+            range: Some((0, 1000)),
+        },
+        vec![Node::source("audio1")],
+    );
+    let out = expand_audio(&e, &node);
+    let original = expand_audio(&e, &Node::source("audio1"));
+    // Outside the range: identical samples.
+    assert_eq!(
+        &out.buffer.samples()[2000..],
+        &original.buffer.samples()[2000..]
+    );
+    // Inside the range: amplified.
+    assert!(out.buffer.slice_frames(0, 1000).peak() > original.buffer.slice_frames(0, 1000).peak());
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 row: color separation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn color_separation_produces_plates() {
+    let e = expander();
+    let node = Node::derive(
+        Op::ColorSeparate {
+            table: SeparationTable::coated_stock(),
+        },
+        vec![Node::source("image1")],
+    );
+    let plates = match e.expand(&node).unwrap() {
+        MediaValue::Plates(p) => p,
+        other => panic!("expected plates, got {}", other.type_name()),
+    };
+    assert_eq!(plates.c.format(), PixelFormat::Gray8);
+    assert_eq!((plates.k.width(), plates.k.height()), (16, 16));
+    // (40, 90, 160): cyan-heavy color → C plate > Y plate.
+    assert!(plates.c.data()[0] > plates.y.data()[0]);
+    // Different tables give different plates (the paper's non-uniqueness).
+    let other = Node::derive(
+        Op::ColorSeparate {
+            table: SeparationTable::newsprint(),
+        },
+        vec![Node::source("image1")],
+    );
+    let p2 = match e.expand(&other).unwrap() {
+        MediaValue::Plates(p) => p,
+        _ => unreachable!(),
+    };
+    assert_ne!(plates.k.data(), p2.k.data());
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 row: MIDI synthesis (type change)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn midi_synthesis_changes_type() {
+    let e = expander();
+    let node = Node::derive(
+        Op::MidiSynthesize {
+            sample_rate: 22050,
+            tempo_bpm: 0,
+            gain_num: 256,
+        },
+        vec![Node::source("music1")],
+    );
+    let out = e.expand(&node).unwrap();
+    assert_eq!(out.type_name(), "audio");
+    if let MediaValue::Audio(a) = out {
+        assert_eq!(a.sample_rate, 22050);
+        assert!(a.buffer.peak() > 1000);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prose examples: chroma key, temporal ops, reverse, transcode, rendering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chroma_key_replaces_key_color() {
+    let mut e = expander();
+    // Foreground: green screen with a red square.
+    let mut fg_frame = Frame::filled(32, 24, PixelFormat::Rgb24, Rgb::new(0, 255, 0));
+    for y in 8..16 {
+        for x in 8..16 {
+            fg_frame.set_rgb(x, y, Rgb::new(220, 10, 10));
+        }
+    }
+    e.add_source(
+        "fg",
+        MediaValue::Video(VideoClip::new(vec![fg_frame; 3], TimeSystem::PAL)),
+    );
+    let node = Node::derive(
+        Op::ChromaKey {
+            key_rgb: 0x00FF00,
+            tolerance: 40,
+        },
+        vec![Node::source("fg"), Node::source("blue")],
+    );
+    let out = expand_video(&e, &node);
+    assert_eq!(out.len(), 3);
+    let f = &out.frames[0];
+    // Green screen replaced by background…
+    let bg_px = f.get_rgb(2, 2);
+    assert!(bg_px.b > 150 && bg_px.g < 60, "{bg_px:?}");
+    // …red square kept.
+    let fg_px = f.get_rgb(10, 10);
+    assert!(fg_px.r > 180, "{fg_px:?}");
+}
+
+#[test]
+fn temporal_translate_shifts_music() {
+    let e = expander();
+    let node = Node::derive(Op::TimeTranslate { ticks: 960 }, vec![Node::source("music1")]);
+    let out = e.expand(&node).unwrap();
+    let MediaValue::Music(m) = out else { panic!() };
+    assert_eq!(m.notes[0].1, 960);
+    let original = match e.expand(&Node::source("music1")).unwrap() {
+        MediaValue::Music(m) => m,
+        _ => unreachable!(),
+    };
+    assert_eq!(m.notes.len(), original.notes.len());
+    // Durations unchanged.
+    assert_eq!(m.notes[0].2, original.notes[0].2);
+}
+
+#[test]
+fn temporal_scale_halves_durations() {
+    let e = expander();
+    let node = Node::derive(
+        Op::TimeScale {
+            factor: Rational::new(1, 2),
+        },
+        vec![Node::source("music1")],
+    );
+    let MediaValue::Music(m) = e.expand(&node).unwrap() else {
+        panic!()
+    };
+    assert_eq!(m.notes[0].2, 200); // 400 / 2
+    assert_eq!(m.notes[1].1, 240); // 480 / 2
+    // Invalid factors rejected.
+    let bad = Node::derive(
+        Op::TimeScale {
+            factor: Rational::ZERO,
+        },
+        vec![Node::source("music1")],
+    );
+    assert!(e.expand(&bad).is_err());
+}
+
+#[test]
+fn reverse_reverses() {
+    let e = expander();
+    let node = Node::derive(Op::VideoReverse, vec![Node::source("video1")]);
+    let out = expand_video(&e, &node);
+    let src = expand_video(&e, &Node::source("video1"));
+    assert_eq!(out.frames[0], src.frames[29]);
+    assert_eq!(out.frames[29], src.frames[0]);
+}
+
+#[test]
+fn transcode_is_lossy_but_close() {
+    let e = expander();
+    let node = Node::derive(
+        Op::Transcode { quant_percent: 200 },
+        vec![Node::source("video1")],
+    );
+    let out = expand_video(&e, &node);
+    let src = expand_video(&e, &Node::source("video1"));
+    assert_eq!(out.len(), src.len());
+    let reference = src.frames[0].to_format(PixelFormat::Yuv420);
+    let mad = reference.mean_abs_diff(&out.frames[0]).unwrap();
+    assert!(mad > 0.0 && mad < 12.0, "mad {mad}");
+}
+
+#[test]
+fn animation_renders_to_video() {
+    let e = expander();
+    let node = Node::derive(Op::RenderAnimation { fps: 10 }, vec![Node::source("anim1")]);
+    let out = expand_video(&e, &node);
+    // 20 ticks at 10 Hz = 2 s at 10 fps = 20 frames.
+    assert_eq!(out.len(), 20);
+    // The sprite moves: early frame green near x=2, late frame green near x=28.
+    let early = out.frames[0].get_rgb(2, 12);
+    let late = out.frames[19].get_rgb(27, 12);
+    assert!(early.g > 150, "{early:?}");
+    assert!(late.g > 150, "{late:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Audio ops
+// ---------------------------------------------------------------------------
+
+#[test]
+fn audio_cut_concat_mix_gain() {
+    let e = expander();
+    let cut = Node::derive(
+        Op::AudioCut { from: 0, to: 1000 },
+        vec![Node::source("audio1")],
+    );
+    let concat = Node::derive(Op::AudioConcat, vec![cut.clone(), cut.clone()]);
+    let out = expand_audio(&e, &concat);
+    assert_eq!(out.buffer.frames(), 2000);
+
+    let gained = Node::derive(Op::AudioGain { num: 1, den: 4 }, vec![cut.clone()]);
+    let g = expand_audio(&e, &gained);
+    let orig = expand_audio(&e, &cut);
+    assert!(g.buffer.peak() < orig.buffer.peak() / 3);
+
+    let mixed = Node::derive(Op::AudioMix, vec![cut.clone(), gained]);
+    let m = expand_audio(&e, &mixed);
+    assert_eq!(m.buffer.frames(), 1000);
+    assert!(m.buffer.peak() >= orig.buffer.peak());
+}
+
+#[test]
+fn resample_halves_and_doubles() {
+    let e = expander();
+    let down = Node::derive(Op::AudioResample { to_rate: 22_050 }, vec![Node::source("audio1")]);
+    let out = expand_audio(&e, &down);
+    assert_eq!(out.sample_rate, 22_050);
+    assert_eq!(out.buffer.frames(), 2205); // 4410 / 2
+    // The tone frequency is preserved: zero-crossing rate doubles per
+    // sample, i.e. stays constant per second.
+    let original = expand_audio(&e, &Node::source("audio1"));
+    let zc = |b: &tbm_media::AudioBuffer| {
+        b.samples()
+            .windows(2)
+            .filter(|w| (w[0] < 0) != (w[1] < 0))
+            .count() as f64
+    };
+    let hz_orig = zc(&original.buffer) / 2.0 / (original.buffer.frames() as f64 / 44_100.0);
+    let hz_down = zc(&out.buffer) / 2.0 / (out.buffer.frames() as f64 / 22_050.0);
+    assert!((hz_orig - hz_down).abs() < 15.0, "{hz_orig} vs {hz_down}");
+
+    let up = Node::derive(Op::AudioResample { to_rate: 88_200 }, vec![Node::source("audio1")]);
+    let out = expand_audio(&e, &up);
+    assert_eq!(out.buffer.frames(), 8820);
+    // Identity resample is exact.
+    let same = Node::derive(Op::AudioResample { to_rate: 44_100 }, vec![Node::source("audio1")]);
+    assert_eq!(expand_audio(&e, &same).buffer, original.buffer);
+    // Zero rate rejected.
+    let zero = Node::derive(Op::AudioResample { to_rate: 0 }, vec![Node::source("audio1")]);
+    assert!(e.expand(&zero).is_err());
+}
+
+#[test]
+fn resample_lazy_metadata_agrees() {
+    let e = expander();
+    let node = Node::derive(Op::AudioResample { to_rate: 8_000 }, vec![Node::source("audio1")]);
+    assert_eq!(e.audio_rate(&node).unwrap(), 8_000);
+    let full = expand_audio(&e, &node);
+    assert_eq!(e.audio_len(&node).unwrap(), full.buffer.frames());
+    let window = e.pull_audio(&node, 100, 200).unwrap();
+    assert_eq!(window.samples(), full.buffer.slice_frames(100, 300).samples());
+    // Category: the rate attribute changes — a (mild) change of type.
+    let Node::Derive { op, .. } = &node else { panic!() };
+    assert_eq!(op.category(), tbm_derive::DeriveCategory::ChangeOfType);
+    assert_eq!(op.result_type(), "audio");
+}
+
+// ---------------------------------------------------------------------------
+// Type errors — "an audio sequence cannot be concatenated to a video
+// sequence."
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cross_type_derivations_rejected() {
+    let e = expander();
+    let node = Node::derive(
+        Op::AudioConcat,
+        vec![Node::source("audio1"), Node::source("video1")],
+    );
+    assert!(e.expand(&node).is_err());
+    let node2 = Node::derive(Op::VideoReverse, vec![Node::source("audio1")]);
+    assert!(e.expand(&node2).is_err());
+    let node3 = Node::derive(
+        Op::MidiSynthesize {
+            sample_rate: 44100,
+            tempo_bpm: 0,
+            gain_num: 256,
+        },
+        vec![Node::source("video1")],
+    );
+    assert!(e.expand(&node3).is_err());
+    // Unknown source.
+    assert!(e.expand(&Node::source("ghost")).is_err());
+    // Wrong arity.
+    let node4 = Node::derive(Op::AudioMix, vec![Node::source("audio1")]);
+    assert!(e.expand(&node4).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Lazy pull agrees with full expansion
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lazy_video_pull_matches_expansion() {
+    let e = expander();
+    let fade = Node::derive(
+        Op::Fade { frames: 8 },
+        vec![Node::source("video1"), Node::source("video2")],
+    );
+    let edit = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![
+                EditCut { input: 0, from: 0, to: 10 },
+                EditCut { input: 1, from: 0, to: 8 },
+            ],
+        },
+        vec![Node::source("video1"), fade.clone()],
+    );
+    for node in [fade, edit, Node::derive(Op::VideoReverse, vec![Node::source("video1")])] {
+        let full = expand_video(&e, &node);
+        assert_eq!(e.video_len(&node).unwrap(), full.len());
+        for i in [0, 1, full.len() / 2, full.len() - 1] {
+            assert_eq!(
+                e.pull_frame(&node, i).unwrap(),
+                full.frames[i],
+                "frame {i} of {node:?}"
+            );
+        }
+        assert!(e.pull_frame(&node, full.len()).is_err());
+    }
+}
+
+#[test]
+fn lazy_audio_pull_matches_expansion() {
+    let e = expander();
+    let cut = Node::derive(
+        Op::AudioCut { from: 100, to: 2100 },
+        vec![Node::source("audio1")],
+    );
+    let concat = Node::derive(Op::AudioConcat, vec![cut.clone(), cut.clone()]);
+    let gain = Node::derive(Op::AudioGain { num: 1, den: 2 }, vec![concat.clone()]);
+    let norm = Node::derive(
+        Op::AudioNormalize {
+            target_peak: 12000,
+            range: None,
+        },
+        vec![cut.clone()],
+    );
+    for node in [cut, concat, gain, norm] {
+        let full = expand_audio(&e, &node);
+        let len = e.audio_len(&node).unwrap();
+        assert_eq!(len, full.buffer.frames());
+        // Pull a window straddling interesting boundaries.
+        let from = len / 3;
+        let take = (len / 2).min(len - from);
+        let window = e.pull_audio(&node, from, take).unwrap();
+        assert_eq!(
+            window.samples(),
+            full.buffer.slice_frames(from, from + take).samples(),
+            "window of {node:?}"
+        );
+        assert!(e.pull_audio(&node, len, 1).is_err());
+    }
+}
+
+#[test]
+fn lazy_mix_pads_shorter_input() {
+    let e = expander();
+    let short = Node::derive(
+        Op::AudioCut { from: 0, to: 500 },
+        vec![Node::source("audio1")],
+    );
+    let mixed = Node::derive(Op::AudioMix, vec![Node::source("audio1"), short]);
+    let full = expand_audio(&e, &mixed);
+    let len = e.audio_len(&mixed).unwrap();
+    assert_eq!(len, 4410);
+    let window = e.pull_audio(&mixed, 400, 300).unwrap();
+    assert_eq!(
+        window.samples(),
+        full.buffer.slice_frames(400, 700).samples()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Derived objects are small (Definition 6's storage argument, object level)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn derivation_object_dwarfed_by_expansion() {
+    let e = expander();
+    let node = Node::derive(
+        Op::VideoEdit {
+            cuts: vec![EditCut { input: 0, from: 0, to: 30 }],
+        },
+        vec![Node::source("video1")],
+    );
+    let spec = node.spec_size() as u64;
+    let expanded = e.expand(&node).unwrap().approx_bytes();
+    assert!(
+        expanded > spec * 100,
+        "expanded {expanded} should dwarf spec {spec}"
+    );
+}

@@ -1,0 +1,184 @@
+//! Property tests: derivation-object serialization is total and lossless;
+//! lazy expansion agrees with full expansion on random edit programs.
+
+use proptest::prelude::*;
+use tbm_derive::{
+    AudioClip, EditCut, Expander, MediaValue, Node, Op, VideoClip, WipeDirection,
+};
+use tbm_media::gen::{AudioSignal, VideoPattern};
+use tbm_time::{Rational, TimeSystem};
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec((0u8..3, 0u32..100, 0u32..100), 1..8).prop_map(|cuts| {
+            Op::VideoEdit {
+                cuts: cuts
+                    .into_iter()
+                    .map(|(input, a, b)| EditCut {
+                        input,
+                        from: a.min(b),
+                        to: a.max(b),
+                    })
+                    .collect(),
+            }
+        }),
+        Just(Op::VideoReverse),
+        any::<i32>().prop_map(|t| Op::TimeTranslate { ticks: t as i64 }),
+        (1i64..1000, 1i64..1000).prop_map(|(n, d)| Op::TimeScale {
+            factor: Rational::new(n, d),
+        }),
+        (0u32..100, 0u32..100).prop_map(|(a, b)| Op::AudioCut {
+            from: a.min(b),
+            to: a.max(b),
+        }),
+        Just(Op::AudioConcat),
+        (1u32..500).prop_map(|frames| Op::Fade { frames }),
+        (1u32..500, any::<bool>()).prop_map(|(frames, d)| Op::Wipe {
+            frames,
+            direction: if d {
+                WipeDirection::LeftToRight
+            } else {
+                WipeDirection::TopToBottom
+            },
+        }),
+        (any::<u32>(), any::<u8>()).prop_map(|(key_rgb, tolerance)| Op::ChromaKey {
+            key_rgb: key_rgb & 0xFF_FFFF,
+            tolerance,
+        }),
+        (1i16..32767, prop::option::of((0u32..100, 0u32..100))).prop_map(|(p, r)| {
+            Op::AudioNormalize {
+                target_peak: p,
+                range: r.map(|(a, b)| (a.min(b), a.max(b))),
+            }
+        }),
+        (any::<i32>(), 1i32..10_000).prop_map(|(num, den)| Op::AudioGain { num, den }),
+        Just(Op::AudioMix),
+        (1u32..200_000).prop_map(|to_rate| Op::AudioResample { to_rate }),
+        (1u32..50_000, 0u32..500, 0u16..1024).prop_map(|(sr, bpm, g)| Op::MidiSynthesize {
+            sample_rate: sr,
+            tempo_bpm: bpm,
+            gain_num: g,
+        }),
+        (1u32..120).prop_map(|fps| Op::RenderAnimation { fps }),
+        (1u16..3000).prop_map(|q| Op::Transcode { quant_percent: q }),
+    ]
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    let leaf = "[a-z]{1,12}".prop_map(|s| Node::source(&s));
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (arb_op(), prop::collection::vec(inner, 0..3))
+            .prop_map(|(op, inputs)| Node::derive(op, inputs))
+    })
+}
+
+proptest! {
+    /// Serialization round-trips every representable tree.
+    #[test]
+    fn node_roundtrip(node in arb_node()) {
+        let bytes = node.to_bytes();
+        prop_assert_eq!(Node::from_bytes(&bytes).unwrap(), node);
+    }
+
+    /// Parsing never panics on arbitrary bytes or mutated valid trees.
+    #[test]
+    fn parse_is_total(bytes in prop::collection::vec(any::<u8>(), 0..300),
+                      node in arb_node(), flip in any::<(u16, u8)>()) {
+        let _ = Node::from_bytes(&bytes);
+        let mut enc = node.to_bytes();
+        if !enc.is_empty() {
+            let i = flip.0 as usize % enc.len();
+            enc[i] ^= flip.1 | 1;
+            let _ = Node::from_bytes(&enc);
+        }
+    }
+
+    /// spec_size is exact.
+    #[test]
+    fn spec_size_matches(node in arb_node()) {
+        prop_assert_eq!(node.spec_size(), node.to_bytes().len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy / full agreement on random edit programs
+// ---------------------------------------------------------------------------
+
+fn fixture() -> Expander {
+    let mut e = Expander::new();
+    e.add_source(
+        "v",
+        MediaValue::Video(VideoClip::new(
+            tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, 24, 16, 12),
+            TimeSystem::PAL,
+        )),
+    );
+    e.add_source(
+        "a",
+        MediaValue::Audio(AudioClip::new(
+            AudioSignal::Sine {
+                hz: 440.0,
+                amplitude: 7000,
+            }
+            .generate(0, 2000, 44_100, 1),
+            44_100,
+        )),
+    );
+    e
+}
+
+/// Random single-input edit programs over the 24-frame fixture.
+fn arb_video_program() -> impl Strategy<Value = Node> {
+    prop::collection::vec((0u32..24, 0u32..24), 1..6).prop_map(|ranges| {
+        let cuts = ranges
+            .into_iter()
+            .map(|(a, b)| EditCut {
+                input: 0,
+                from: a.min(b),
+                to: a.max(b),
+            })
+            .collect();
+        Node::derive(Op::VideoEdit { cuts }, vec![Node::source("v")])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every frame pulled lazily equals the frame from full expansion.
+    #[test]
+    fn lazy_equals_full_for_edits(program in arb_video_program()) {
+        let e = fixture();
+        let len = e.video_len(&program).unwrap();
+        let MediaValue::Video(full) = e.expand(&program).unwrap() else {
+            unreachable!()
+        };
+        prop_assert_eq!(len, full.len());
+        for i in 0..len {
+            prop_assert_eq!(&e.pull_frame(&program, i).unwrap(), &full.frames[i]);
+        }
+        prop_assert!(e.pull_frame(&program, len).is_err());
+    }
+
+    /// Random audio windows from chained cut/gain/concat match expansion.
+    #[test]
+    fn lazy_audio_windows(from in 0u32..1500, len in 1u32..400, num in 1i32..4, den in 1i32..4) {
+        let e = fixture();
+        let cut = Node::derive(Op::AudioCut { from: 100, to: 1900 }, vec![Node::source("a")]);
+        let gain = Node::derive(Op::AudioGain { num, den }, vec![cut.clone()]);
+        let node = Node::derive(Op::AudioConcat, vec![cut, gain]);
+        let total = e.audio_len(&node).unwrap();
+        let from = from as usize % total;
+        let take = (len as usize).min(total - from);
+        let MediaValue::Audio(full) = e.expand(&node).unwrap() else {
+            unreachable!()
+        };
+        let window = e.pull_audio(&node, from, take).unwrap();
+        let reference = full.buffer.slice_frames(from, from + take);
+        prop_assert_eq!(window.samples(), reference.samples());
+    }
+}

@@ -1,0 +1,694 @@
+//! Capture pipelines: write a BLOB and build its interpretation together.
+//!
+//! The paper recommends that a BLOB have "a single, complete, interpretation
+//! which is built up as the BLOB is captured or created and then permanently
+//! associated with the BLOB." Each function here is one capture pipeline,
+//! reproducing one of the §2.2 layout issues:
+//!
+//! * [`capture_av_interleaved`] — the Fig. 2 walk-through: intraframe-coded
+//!   video with PCM audio *interleaved* after each frame.
+//! * [`capture_av_padded`] — the same, with CD-I-style sector *padding*.
+//! * [`capture_audio_adpcm`] — *heterogeneous* elements with varying
+//!   encoding parameters in their element descriptors.
+//! * [`capture_video_interframe`] — *out-of-order* key/intermediate element
+//!   placement (the `1,4,2,3` example).
+//! * [`capture_video_scalable`] — *scalable* two-layer placement.
+//!
+//! Each returns the BLOB id plus the completed [`Interpretation`].
+
+use crate::{ElementEntry, Interpretation, InterpError, StreamInterp};
+use tbm_blob::{BlobStore, BlobWriter};
+use tbm_codec::adpcm;
+use tbm_codec::dct::{self, DctParams};
+use tbm_codec::interframe::{self, EncodedSequence, EncodedVideoFrame, FrameKind, GopParams};
+use tbm_codec::scalable;
+use tbm_core::{keys, MediaDescriptor, MediaKind, QualityFactor, StreamElement};
+use tbm_blob::ByteSpan;
+use tbm_core::BlobId;
+use tbm_media::{AudioBuffer, Frame};
+use tbm_time::{Rational, TimeSystem};
+
+/// Descriptor key recording the quantizer percentage a capture used, so
+/// materialization can rebuild decode parameters. (Low-level, so not part of
+/// [`tbm_core::keys`] — the paper wants such parameters kept out of the
+/// schema surface; it lives in the descriptor only as decoder provisioning.)
+pub const QUANT_KEY: &str = "quantizer percent";
+
+/// Builds the Fig. 2-style video media descriptor.
+pub fn video_descriptor(
+    width: u32,
+    height: u32,
+    frame_rate: Rational,
+    quality: Option<QualityFactor>,
+    duration_secs: Rational,
+    encoding: &str,
+    category: &str,
+) -> MediaDescriptor {
+    let mut d = MediaDescriptor::new(MediaKind::Video)
+        .with(keys::CATEGORY, category)
+        .with(keys::DURATION, duration_secs)
+        .with(keys::FRAME_RATE, frame_rate)
+        .with(keys::FRAME_WIDTH, width as i64)
+        .with(keys::FRAME_HEIGHT, height as i64)
+        .with(keys::FRAME_DEPTH, 24)
+        .with(keys::COLOR_MODEL, "RGB")
+        .with(keys::ENCODING, encoding);
+    if let Some(q) = quality {
+        d.set_quality(q);
+    }
+    d
+}
+
+/// Builds the Fig. 2-style PCM audio media descriptor.
+pub fn audio_pcm_descriptor(
+    sample_rate: i64,
+    sample_size: i64,
+    channels: i64,
+    quality: Option<QualityFactor>,
+    duration_secs: Rational,
+) -> MediaDescriptor {
+    let mut d = MediaDescriptor::new(MediaKind::Audio)
+        .with(keys::CATEGORY, "homogeneous, uniform")
+        .with(keys::DURATION, duration_secs)
+        .with(keys::SAMPLE_RATE, sample_rate)
+        .with(keys::SAMPLE_SIZE, sample_size)
+        .with(keys::CHANNELS, channels)
+        .with(keys::ENCODING, "PCM");
+    if let Some(q) = quality {
+        d.set_quality(q);
+    }
+    d
+}
+
+/// Adds the resource-allocation attributes the paper asks descriptors to
+/// carry ("the average data rate for each stream, a measure of data rate
+/// variation") from the finished element table.
+fn annotate_rates(d: &mut MediaDescriptor, entries: &[ElementEntry], system: TimeSystem) {
+    let (Some(first), Some(end)) = (
+        entries.first().map(|e| e.start),
+        entries.iter().map(ElementEntry::end).max(),
+    ) else {
+        return;
+    };
+    if end == first {
+        return;
+    }
+    let secs = system.ticks_to_delta(end - first).seconds();
+    let total: u64 = entries.iter().map(|e| e.size).sum();
+    let avg = Rational::from(total as i64) / secs;
+    d.set(keys::AVG_DATA_RATE, avg);
+    let peak = entries
+        .iter()
+        .filter(|e| e.duration > 0)
+        .map(|e| Rational::from(e.size as i64) / system.ticks_to_delta(e.duration).seconds())
+        .max();
+    if let Some(p) = peak {
+        if !avg.is_zero() {
+            d.set(keys::RATE_VARIATION, p / avg);
+        }
+    }
+}
+
+/// Result of an audio/video capture: the BLOB and its interpretation, plus
+/// layout accounting for the experiments.
+#[derive(Debug)]
+pub struct AvCapture {
+    /// The written BLOB.
+    pub blob: BlobId,
+    /// Its complete interpretation (`video1`, `audio1`).
+    pub interpretation: Interpretation,
+    /// Total BLOB bytes written.
+    pub blob_len: u64,
+    /// Bytes of padding inserted (zero for unpadded layouts).
+    pub padding_bytes: u64,
+}
+
+/// The Fig. 2 pipeline: for each video frame, append the intraframe-coded
+/// frame then the accompanying `samples_per_frame` PCM sample-frames
+/// ("audio samples following the associated video frame").
+///
+/// `audio` must contain at least `frames.len() × samples_per_frame`
+/// sample-frames.
+pub fn capture_av_interleaved<S: BlobStore + ?Sized>(
+    store: &mut S,
+    frames: &[Frame],
+    audio: &AudioBuffer,
+    samples_per_frame: usize,
+    video_system: TimeSystem,
+    params: DctParams,
+    quality: Option<QualityFactor>,
+) -> Result<AvCapture, InterpError> {
+    capture_av_inner(
+        store,
+        frames,
+        audio,
+        samples_per_frame,
+        video_system,
+        params,
+        quality,
+        None,
+    )
+}
+
+/// The padded variant: each frame+audio unit is zero-padded to a multiple of
+/// `sector` bytes — the paper's "storage units may be padded with unused
+/// data to match storage transfer rates to media data rates. This is
+/// commonly used in CD-I."
+#[allow(clippy::too_many_arguments)] // capture parameters mirror the paper's example
+pub fn capture_av_padded<S: BlobStore + ?Sized>(
+    store: &mut S,
+    frames: &[Frame],
+    audio: &AudioBuffer,
+    samples_per_frame: usize,
+    video_system: TimeSystem,
+    params: DctParams,
+    quality: Option<QualityFactor>,
+    sector: u64,
+) -> Result<AvCapture, InterpError> {
+    capture_av_inner(
+        store,
+        frames,
+        audio,
+        samples_per_frame,
+        video_system,
+        params,
+        quality,
+        Some(sector.max(1)),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn capture_av_inner<S: BlobStore + ?Sized>(
+    store: &mut S,
+    frames: &[Frame],
+    audio: &AudioBuffer,
+    samples_per_frame: usize,
+    video_system: TimeSystem,
+    params: DctParams,
+    quality: Option<QualityFactor>,
+    sector: Option<u64>,
+) -> Result<AvCapture, InterpError> {
+    if frames.is_empty() {
+        return Err(InterpError::InvalidEntries {
+            detail: "capture requires at least one frame".to_owned(),
+        });
+    }
+    let need = frames.len() * samples_per_frame;
+    if audio.frames() < need {
+        return Err(InterpError::InvalidEntries {
+            detail: format!(
+                "audio has {} sample-frames, capture needs {need}",
+                audio.frames()
+            ),
+        });
+    }
+    let blob = store.create()?;
+    let mut writer = BlobWriter::new(store, blob)?;
+    let mut video_entries = Vec::with_capacity(frames.len());
+    let mut audio_entries = Vec::with_capacity(frames.len());
+    let mut padding = 0u64;
+    for (i, frame) in frames.iter().enumerate() {
+        let encoded = dct::encode_frame(frame, params);
+        let vspan = writer.write(&encoded)?;
+        video_entries.push(ElementEntry::simple(i as i64, 1, vspan));
+        let chunk = audio.slice_frames(i * samples_per_frame, (i + 1) * samples_per_frame);
+        let aspan = writer.write(&chunk.to_bytes())?;
+        audio_entries.push(ElementEntry::simple(
+            (i * samples_per_frame) as i64,
+            samples_per_frame as i64,
+            aspan,
+        ));
+        if let Some(sector) = sector {
+            padding += writer.align_to(sector)?.len;
+        }
+    }
+    let blob_len = writer.position();
+
+    let w = frames[0].width();
+    let h = frames[0].height();
+    let duration = video_system.ticks_to_delta(frames.len() as i64).seconds();
+    let mut vdesc = video_descriptor(
+        w,
+        h,
+        video_system.frequency(),
+        quality,
+        duration,
+        "YUV 8:2:2, JPEG",
+        "homogeneous, constant frequency",
+    );
+    annotate_rates(&mut vdesc, &video_entries, video_system);
+    let audio_system = TimeSystem::from_hz(
+        (video_system.frequency() * Rational::from(samples_per_frame as i64))
+            .round(),
+    );
+    let mut adesc = audio_pcm_descriptor(
+        audio_system.frequency().round(),
+        16,
+        audio.channels() as i64,
+        Some(QualityFactor::parse("CD quality").expect("known name")),
+        duration,
+    );
+    annotate_rates(&mut adesc, &audio_entries, audio_system);
+
+    let mut interpretation = Interpretation::new(blob);
+    interpretation.add_stream(
+        "video1",
+        StreamInterp::new(vdesc, video_system, video_entries)?,
+    )?;
+    interpretation.add_stream(
+        "audio1",
+        StreamInterp::new(adesc, audio_system, audio_entries)?,
+    )?;
+    Ok(AvCapture {
+        blob,
+        interpretation,
+        blob_len,
+        padding_bytes: padding,
+    })
+}
+
+/// Captures ADPCM audio: one block per element, each carrying its varying
+/// encoding parameters as an element descriptor (the paper's heterogeneous
+/// example).
+pub fn capture_audio_adpcm<S: BlobStore + ?Sized>(
+    store: &mut S,
+    audio: &AudioBuffer,
+    sample_rate: u32,
+    block_frames: usize,
+) -> Result<(BlobId, Interpretation), InterpError> {
+    let blob = store.create()?;
+    let blocks = adpcm::encode_blocks(audio, block_frames);
+    let mut writer = BlobWriter::new(store, blob)?;
+    let mut entries = Vec::with_capacity(blocks.len());
+    let mut at = 0i64;
+    for b in &blocks {
+        let span = writer.write(&b.to_bytes())?;
+        entries.push(
+            ElementEntry::simple(at, b.frames() as i64, span)
+                .with_descriptor(b.element_descriptor()),
+        );
+        at += b.frames() as i64;
+    }
+    let system = TimeSystem::from_hz(sample_rate as i64);
+    let duration = system.ticks_to_delta(at).seconds();
+    let mut desc = MediaDescriptor::new(MediaKind::Audio)
+        .with(keys::CATEGORY, "heterogeneous, continuous")
+        .with(keys::DURATION, duration)
+        .with(keys::SAMPLE_RATE, sample_rate as i64)
+        .with(keys::CHANNELS, audio.channels() as i64)
+        .with(keys::ENCODING, "ADPCM");
+    annotate_rates(&mut desc, &entries, system);
+    let mut interpretation = Interpretation::new(blob);
+    interpretation.add_stream("audio1", StreamInterp::new(desc, system, entries)?)?;
+    Ok((blob, interpretation))
+}
+
+/// Captures interframe-coded video with **out-of-order placement**: bytes
+/// land in decode order ("key elements … placed in storage units prior to
+/// the intermediate elements") while the element table stays in display
+/// order, as Definition 3 requires of start times.
+pub fn capture_video_interframe<S: BlobStore + ?Sized>(
+    store: &mut S,
+    frames: &[Frame],
+    video_system: TimeSystem,
+    params: GopParams,
+    quality: Option<QualityFactor>,
+) -> Result<(BlobId, Interpretation), InterpError> {
+    let blob = store.create()?;
+    let seq = interframe::encode_sequence(frames, params)?;
+    let mut writer = BlobWriter::new(store, blob)?;
+    // Write in decode order, remembering each display index's placement.
+    let mut placements: Vec<Option<(ByteSpan, FrameKind)>> = vec![None; frames.len()];
+    for ef in &seq.frames {
+        let span = writer.write(&ef.data)?;
+        placements[ef.display_index] = Some((span, ef.kind));
+    }
+    // Element table in display (start-time) order.
+    let mut entries = Vec::with_capacity(frames.len());
+    for (display, p) in placements.into_iter().enumerate() {
+        let (span, kind) = p.ok_or_else(|| InterpError::InvalidEntries {
+            detail: format!("encoder produced no frame for display index {display}"),
+        })?;
+        let mut e = ElementEntry::simple(display as i64, 1, span)
+            .with_descriptor(EncodedVideoFrame {
+                kind,
+                display_index: display,
+                data: Vec::new(),
+            }
+            .element_descriptor());
+        e.is_key = kind == FrameKind::I;
+        entries.push(e);
+    }
+    let (w, h) = frames
+        .first()
+        .map(|f| (f.width(), f.height()))
+        .unwrap_or((0, 0));
+    let duration = video_system.ticks_to_delta(frames.len() as i64).seconds();
+    let mut desc = video_descriptor(
+        w,
+        h,
+        video_system.frequency(),
+        quality,
+        duration,
+        "YUV 8:2:2, interframe GOP",
+        "heterogeneous, constant frequency",
+    );
+    desc.set(QUANT_KEY, params.dct.quant_percent as i64);
+    annotate_rates(&mut desc, &entries, video_system);
+    let mut interpretation = Interpretation::new(blob);
+    interpretation.add_stream("video1", StreamInterp::new(desc, video_system, entries)?)?;
+    Ok((blob, interpretation))
+}
+
+/// Reassembles the decode-order [`EncodedSequence`] from an interframe
+/// stream's interpretation, reading element bytes back from the BLOB.
+/// Storage order *is* decode order in this layout, so elements are sorted by
+/// placement offset.
+pub fn reassemble_interframe<S: BlobStore + ?Sized>(
+    store: &S,
+    blob: BlobId,
+    stream: &StreamInterp,
+    params: GopParams,
+    width: u32,
+    height: u32,
+) -> Result<EncodedSequence, InterpError> {
+    let mut order: Vec<usize> = (0..stream.len()).collect();
+    order.sort_by_key(|&i| {
+        stream.entries()[i]
+            .placement
+            .layers()
+            .first()
+            .map(|s| s.offset)
+            .unwrap_or(u64::MAX)
+    });
+    let mut frames = Vec::with_capacity(order.len());
+    for display in order {
+        let e = stream.entry(display)?;
+        let kind = match e
+            .descriptor
+            .as_ref()
+            .and_then(|d| d.get("frame kind"))
+            .and_then(|v| v.as_text())
+        {
+            Some("I") => FrameKind::I,
+            Some("P") => FrameKind::P,
+            Some("B") => FrameKind::B,
+            other => {
+                return Err(InterpError::InvalidEntries {
+                    detail: format!("element {display} has no frame kind ({other:?})"),
+                })
+            }
+        };
+        let data = stream.read_element(store, blob, display)?;
+        frames.push(EncodedVideoFrame {
+            kind,
+            display_index: display,
+            data,
+        });
+    }
+    Ok(EncodedSequence {
+        width,
+        height,
+        params,
+        frames,
+    })
+}
+
+/// Captures video with two-layer scalable placement: each element's bytes
+/// are `[base][enhancement]` recorded as two spans, so base-only readers
+/// skip the enhancement bytes entirely.
+pub fn capture_video_scalable<S: BlobStore + ?Sized>(
+    store: &mut S,
+    frames: &[Frame],
+    video_system: TimeSystem,
+    params: DctParams,
+) -> Result<(BlobId, Interpretation), InterpError> {
+    let blob = store.create()?;
+    let mut writer = BlobWriter::new(store, blob)?;
+    let mut entries = Vec::with_capacity(frames.len());
+    for (i, frame) in frames.iter().enumerate() {
+        let lf = scalable::encode_layered(frame, params);
+        let base = writer.write(&lf.base)?;
+        let enh = writer.write(&lf.enhancement)?;
+        let e = ElementEntry::simple(i as i64, 1, ByteSpan::new(base.offset, 0))
+            .with_layers(vec![base, enh])
+            .expect("two layers");
+        entries.push(e);
+    }
+    let (w, h) = frames
+        .first()
+        .map(|f| (f.width(), f.height()))
+        .unwrap_or((0, 0));
+    let duration = video_system.ticks_to_delta(frames.len() as i64).seconds();
+    let mut desc = video_descriptor(
+        w,
+        h,
+        video_system.frequency(),
+        None,
+        duration,
+        "YUV 8:2:2, layered DCT",
+        "homogeneous, constant frequency",
+    );
+    desc.set(QUANT_KEY, params.quant_percent as i64);
+    annotate_rates(&mut desc, &entries, video_system);
+    let mut interpretation = Interpretation::new(blob);
+    interpretation.add_stream("video1", StreamInterp::new(desc, video_system, entries)?)?;
+    Ok((blob, interpretation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_blob::MemBlobStore;
+    use tbm_codec::scalable::LayeredFrame;
+    use tbm_media::gen::{AudioSignal, VideoPattern};
+    use tbm_media::PixelFormat;
+
+    fn frames(n: usize) -> Vec<Frame> {
+        (0..n as u64)
+            .map(|i| VideoPattern::MovingBar.render(i, 48, 32))
+            .collect()
+    }
+
+    fn tone(frames: usize) -> AudioBuffer {
+        AudioSignal::Sine {
+            hz: 440.0,
+            amplitude: 9000,
+        }
+        .generate(0, frames, 44100, 2)
+    }
+
+    #[test]
+    fn interleaved_layout_alternates_video_audio() {
+        let mut store = MemBlobStore::new();
+        let cap = capture_av_interleaved(
+            &mut store,
+            &frames(5),
+            &tone(5 * 1764),
+            1764,
+            TimeSystem::PAL,
+            DctParams::default(),
+            None,
+        )
+        .unwrap();
+        let v = cap.interpretation.stream("video1").unwrap();
+        let a = cap.interpretation.stream("audio1").unwrap();
+        assert_eq!(v.len(), 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(cap.padding_bytes, 0);
+        // Each audio chunk sits immediately after its video frame.
+        for i in 0..5 {
+            let vs = v.entry(i).unwrap().placement.as_single().unwrap();
+            let as_ = a.entry(i).unwrap().placement.as_single().unwrap();
+            assert_eq!(as_.offset, vs.end(), "frame {i}");
+            assert_eq!(as_.len, 1764 * 4);
+        }
+        // Audio timing: 1764-tick elements at 44100 Hz.
+        assert_eq!(a.entry(1).unwrap().start, 1764);
+        assert_eq!(a.system().frequency(), Rational::from(44100));
+        // Every element decodes.
+        for i in 0..5 {
+            let bytes = v.read_element(&store, cap.blob, i).unwrap();
+            let f = dct::decode_frame(&bytes).unwrap();
+            assert_eq!((f.width(), f.height()), (48, 32));
+        }
+    }
+
+    #[test]
+    fn interleaved_descriptors_follow_fig2() {
+        let mut store = MemBlobStore::new();
+        let cap = capture_av_interleaved(
+            &mut store,
+            &frames(3),
+            &tone(3 * 1764),
+            1764,
+            TimeSystem::PAL,
+            DctParams::default(),
+            QualityFactor::parse("VHS quality"),
+        )
+        .unwrap();
+        let v = cap.interpretation.stream("video1").unwrap().descriptor();
+        assert_eq!(v.get_int(keys::FRAME_WIDTH), Some(48));
+        assert_eq!(v.get_rational(keys::FRAME_RATE), Some(Rational::from(25)));
+        assert_eq!(v.get_text(keys::QUALITY_FACTOR), Some("VHS quality"));
+        assert_eq!(v.get_text(keys::ENCODING), Some("YUV 8:2:2, JPEG"));
+        assert!(v.get_rational(keys::AVG_DATA_RATE).is_some());
+        let a = cap.interpretation.stream("audio1").unwrap().descriptor();
+        assert_eq!(a.get_int(keys::SAMPLE_RATE), Some(44100));
+        assert_eq!(a.get_int(keys::CHANNELS), Some(2));
+        assert_eq!(a.get_text(keys::ENCODING), Some("PCM"));
+    }
+
+    #[test]
+    fn capture_validates_inputs() {
+        let mut store = MemBlobStore::new();
+        assert!(capture_av_interleaved(
+            &mut store,
+            &[],
+            &tone(10),
+            5,
+            TimeSystem::PAL,
+            DctParams::default(),
+            None
+        )
+        .is_err());
+        assert!(capture_av_interleaved(
+            &mut store,
+            &frames(3),
+            &tone(100),
+            1764,
+            TimeSystem::PAL,
+            DctParams::default(),
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn padded_layout_aligns_units() {
+        let mut store = MemBlobStore::new();
+        let sector = 2048u64;
+        let cap = capture_av_padded(
+            &mut store,
+            &frames(4),
+            &tone(4 * 1764),
+            1764,
+            TimeSystem::PAL,
+            DctParams::default(),
+            None,
+            sector,
+        )
+        .unwrap();
+        assert!(cap.padding_bytes > 0);
+        assert_eq!(cap.blob_len % sector, 0);
+        // Each video element starts on a sector boundary.
+        let v = cap.interpretation.stream("video1").unwrap();
+        for e in v.entries() {
+            assert_eq!(e.placement.as_single().unwrap().offset % sector, 0);
+        }
+        // Accounting: mapped + padding = blob length.
+        assert_eq!(
+            cap.interpretation.mapped_bytes() + cap.padding_bytes,
+            cap.blob_len
+        );
+    }
+
+    #[test]
+    fn adpcm_capture_is_heterogeneous() {
+        let mut store = MemBlobStore::new();
+        let (blob, interp) =
+            capture_audio_adpcm(&mut store, &tone(8192), 44100, 1024).unwrap();
+        let s = interp.stream("audio1").unwrap();
+        assert_eq!(s.len(), 8);
+        // Element descriptors present and varying.
+        let d0 = s.entry(0).unwrap().descriptor.clone().unwrap();
+        let d4 = s.entry(4).unwrap().descriptor.clone().unwrap();
+        assert_ne!(d0, d4);
+        // Blocks decode through the interpretation.
+        let bytes = s.read_element(&store, blob, 3).unwrap();
+        let block = adpcm::AdpcmBlock::from_bytes(&bytes).unwrap();
+        assert_eq!(block.frames(), 1024);
+        assert_eq!(
+            s.descriptor().get_text(keys::CATEGORY),
+            Some("heterogeneous, continuous")
+        );
+    }
+
+    #[test]
+    fn interframe_capture_places_out_of_order() {
+        let mut store = MemBlobStore::new();
+        let params = GopParams {
+            gop_size: 6,
+            b_frames: 2,
+            dct: DctParams::default(),
+        };
+        let fr = frames(4);
+        let (_, interp) =
+            capture_video_interframe(&mut store, &fr, TimeSystem::PAL, params, None).unwrap();
+        let s = interp.stream("video1").unwrap();
+        // Table is in display order (starts 0..4)…
+        let starts: Vec<i64> = s.entries().iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![0, 1, 2, 3]);
+        // …but placement offsets realize the paper's 1,4,2,3 order.
+        let mut by_offset: Vec<usize> = (0..4).collect();
+        by_offset.sort_by_key(|&i| s.entries()[i].placement.as_single().unwrap().offset);
+        assert_eq!(by_offset, vec![0, 3, 1, 2]);
+        // Keys: only element 0 is an I frame here.
+        assert_eq!(s.key_elements(), &[0]);
+        assert_eq!(s.key_before(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn interframe_reassembles_and_decodes() {
+        let mut store = MemBlobStore::new();
+        let params = GopParams {
+            gop_size: 6,
+            b_frames: 2,
+            dct: DctParams::default(),
+        };
+        let fr = frames(8);
+        let (blob, interp) =
+            capture_video_interframe(&mut store, &fr, TimeSystem::PAL, params, None).unwrap();
+        let s = interp.stream("video1").unwrap();
+        let seq = reassemble_interframe(&store, blob, s, params, 48, 32).unwrap();
+        let decoded = interframe::decode_sequence(&seq).unwrap();
+        assert_eq!(decoded.len(), 8);
+        for (src, dec) in fr.iter().zip(&decoded) {
+            let reference = src.to_format(PixelFormat::Yuv420);
+            assert!(reference.mean_abs_diff(dec).unwrap() < 8.0);
+        }
+    }
+
+    #[test]
+    fn scalable_capture_reads_layers_independently() {
+        let mut store = MemBlobStore::new();
+        let fr = frames(3);
+        let (blob, interp) =
+            capture_video_scalable(&mut store, &fr, TimeSystem::PAL, DctParams::default())
+                .unwrap();
+        let s = interp.stream("video1").unwrap();
+        let e = s.entry(1).unwrap();
+        assert_eq!(e.placement.layer_count(), 2);
+        // Base-only read is smaller than the full element.
+        let base = s.read_element_layers(&store, blob, 1, 1).unwrap();
+        let full = s.read_element(&store, blob, 1).unwrap();
+        assert!(base.len() < full.len());
+        // Both reads decode through the layered codec.
+        let base_len = e.placement.layers()[0].len as usize;
+        let lf = LayeredFrame {
+            width: 48,
+            height: 32,
+            quant_percent: 100,
+            base: full[..base_len].to_vec(),
+            enhancement: full[base_len..].to_vec(),
+        };
+        let reference = fr[1].to_format(PixelFormat::Yuv420);
+        let base_err = reference
+            .mean_abs_diff(&scalable::decode_base(&lf).unwrap())
+            .unwrap();
+        let full_err = reference
+            .mean_abs_diff(&scalable::decode_full(&lf).unwrap())
+            .unwrap();
+        assert!(full_err < base_err);
+    }
+}

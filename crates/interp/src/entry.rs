@@ -1,0 +1,162 @@
+//! Element-table rows.
+//!
+//! The paper's §4.1 shows interpretation as logical tables with one entry
+//! per element: `video1(elementNumber, elementSize, blobPlacement)` for the
+//! homogeneous variable-size case, extended with `startTime, duration,
+//! elementDescriptor` for heterogeneous/non-continuous streams. An
+//! [`ElementEntry`] is one such row; the element number is its position in
+//! the stream's entry vector.
+
+use tbm_blob::ByteSpan;
+use tbm_core::ElementDescriptor;
+
+/// Where an element's encoded bytes live in the BLOB.
+///
+/// Most layouts use a single span. Scalable layouts (paper §2.2) place an
+/// element as several layers — reading fewer layers is "ignoring parts of
+/// the storage unit" — so placement is a small span list, layer 0 first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    spans: Vec<ByteSpan>,
+}
+
+impl Placement {
+    /// A single-span placement.
+    pub fn single(span: ByteSpan) -> Placement {
+        Placement { spans: vec![span] }
+    }
+
+    /// A layered placement; layer 0 (base) first. Must be non-empty.
+    pub fn layered(spans: Vec<ByteSpan>) -> Option<Placement> {
+        if spans.is_empty() {
+            None
+        } else {
+            Some(Placement { spans })
+        }
+    }
+
+    /// All layers, base first.
+    pub fn layers(&self) -> &[ByteSpan] {
+        &self.spans
+    }
+
+    /// Number of layers (≥ 1).
+    pub fn layer_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total bytes across all layers.
+    pub fn total_len(&self) -> u64 {
+        self.spans.iter().map(|s| s.len).sum()
+    }
+
+    /// Bytes in the first `layers` layers.
+    pub fn prefix_len(&self, layers: usize) -> u64 {
+        self.spans.iter().take(layers).map(|s| s.len).sum()
+    }
+
+    /// The single span, when the placement is unlayered.
+    pub fn as_single(&self) -> Option<ByteSpan> {
+        if self.spans.len() == 1 {
+            Some(self.spans[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// One row of an interpretation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementEntry {
+    /// The element's start time `sᵢ` (discrete, in the stream's system).
+    pub start: i64,
+    /// The element's duration `dᵢ ≥ 0`.
+    pub duration: i64,
+    /// Size of the encoded element in bytes (sum of placement layers).
+    pub size: u64,
+    /// Placement of the element's bytes in the BLOB.
+    pub placement: Placement,
+    /// Per-element descriptor; `None` for homogeneous streams whose element
+    /// attributes are "subsumed by the media descriptors" (paper §4.1).
+    pub descriptor: Option<ElementDescriptor>,
+    /// Whether this element is a *key* ("sync sample"): decodable without
+    /// reference to other elements. Drives the key-element index.
+    pub is_key: bool,
+}
+
+impl ElementEntry {
+    /// A key element with a single placement span.
+    pub fn simple(start: i64, duration: i64, span: ByteSpan) -> ElementEntry {
+        ElementEntry {
+            start,
+            duration,
+            size: span.len,
+            placement: Placement::single(span),
+            descriptor: None,
+            is_key: true,
+        }
+    }
+
+    /// Marks the entry as a non-key (delta) element.
+    pub fn non_key(mut self) -> ElementEntry {
+        self.is_key = false;
+        self
+    }
+
+    /// Attaches an element descriptor.
+    pub fn with_descriptor(mut self, d: ElementDescriptor) -> ElementEntry {
+        self.descriptor = Some(d);
+        self
+    }
+
+    /// Replaces the placement with a layered one, updating the size.
+    pub fn with_layers(mut self, spans: Vec<ByteSpan>) -> Option<ElementEntry> {
+        let placement = Placement::layered(spans)?;
+        self.size = placement.total_len();
+        self.placement = placement;
+        Some(self)
+    }
+
+    /// Discrete end time.
+    pub fn end(&self) -> i64 {
+        self.start + self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_placement() {
+        let e = ElementEntry::simple(10, 1, ByteSpan::new(100, 50));
+        assert_eq!(e.size, 50);
+        assert_eq!(e.end(), 11);
+        assert!(e.is_key);
+        assert_eq!(e.placement.as_single(), Some(ByteSpan::new(100, 50)));
+        assert_eq!(e.placement.layer_count(), 1);
+    }
+
+    #[test]
+    fn layered_placement() {
+        let e = ElementEntry::simple(0, 1, ByteSpan::new(0, 10))
+            .with_layers(vec![ByteSpan::new(0, 10), ByteSpan::new(10, 30)])
+            .unwrap();
+        assert_eq!(e.size, 40);
+        assert_eq!(e.placement.layer_count(), 2);
+        assert_eq!(e.placement.prefix_len(1), 10);
+        assert_eq!(e.placement.total_len(), 40);
+        assert_eq!(e.placement.as_single(), None);
+        assert!(Placement::layered(vec![]).is_none());
+    }
+
+    #[test]
+    fn modifiers() {
+        let d = ElementDescriptor::from_pairs([("frame kind", "P")]);
+        let e = ElementEntry::simple(0, 1, ByteSpan::new(0, 10))
+            .non_key()
+            .with_descriptor(d.clone());
+        assert!(!e.is_key);
+        assert_eq!(e.descriptor, Some(d));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the interpretation layer.
+
+use std::fmt;
+use tbm_blob::BlobError;
+use tbm_codec::CodecError;
+
+/// Errors raised while building or using interpretations.
+#[derive(Debug)]
+pub enum InterpError {
+    /// Element index out of range for the stream.
+    NoSuchElement {
+        /// The requested element number.
+        index: usize,
+        /// Number of elements in the stream.
+        len: usize,
+    },
+    /// No element is active at the requested time.
+    NoElementAtTime {
+        /// The requested discrete time.
+        tick: i64,
+    },
+    /// The named stream does not exist in the interpretation.
+    NoSuchStream {
+        /// The requested stream name.
+        name: String,
+    },
+    /// A stream with this name already exists.
+    DuplicateStream {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Entries violate ordering/validity constraints.
+    InvalidEntries {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A layered read requested a layer the element does not have.
+    NoSuchLayer {
+        /// The requested layer.
+        layer: usize,
+        /// Layers present.
+        available: usize,
+    },
+    /// Underlying BLOB store failure.
+    Blob(BlobError),
+    /// Underlying codec failure while materializing elements.
+    Codec(CodecError),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NoSuchElement { index, len } => {
+                write!(f, "element {index} out of range (stream has {len})")
+            }
+            InterpError::NoElementAtTime { tick } => {
+                write!(f, "no element active at discrete time {tick}")
+            }
+            InterpError::NoSuchStream { name } => write!(f, "no stream named `{name}`"),
+            InterpError::DuplicateStream { name } => {
+                write!(f, "stream `{name}` already present")
+            }
+            InterpError::InvalidEntries { detail } => {
+                write!(f, "invalid interpretation entries: {detail}")
+            }
+            InterpError::NoSuchLayer { layer, available } => {
+                write!(f, "layer {layer} requested but element has {available}")
+            }
+            InterpError::Blob(e) => write!(f, "blob error: {e}"),
+            InterpError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InterpError::Blob(e) => Some(e),
+            InterpError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlobError> for InterpError {
+    fn from(e: BlobError) -> InterpError {
+        InterpError::Blob(e)
+    }
+}
+
+impl From<CodecError> for InterpError {
+    fn from(e: CodecError) -> InterpError {
+        InterpError::Codec(e)
+    }
+}

@@ -1,0 +1,39 @@
+//! # tbm-interp — interpretation of BLOBs
+//!
+//! Implements the paper's Definition 5:
+//!
+//! > *"An interpretation, I, of a BLOB B, is a mapping from B to a set of
+//! > media objects. For each object, I specifies the object's descriptor and
+//! > its placement in B. If the object is a media sequence then for each
+//! > media element I specifies the element's order within the sequence, its
+//! > start time, duration and element descriptor."*
+//!
+//! The concrete form follows the paper's §4.1 tables —
+//! `video1(elementNumber, elementSize, blobPlacement)` and friends — as
+//! [`ElementEntry`] rows inside a [`StreamInterp`], grouped per BLOB into an
+//! [`Interpretation`]. Lookup goes through index structures
+//! ([`TimeIndex`], the key-element index) that are *not* visible to
+//! applications: "the indexes used to implement interpretation should not be
+//! visible to applications, what needs be visible are the results of
+//! interpretation — the media elements and their descriptors."
+//!
+//! The [`capture`] module builds interpretations while writing BLOBs (the
+//! paper's recommended practice: a single complete interpretation "built up
+//! as the BLOB is captured") for every layout §2.2 calls out: interleaving,
+//! padding, out-of-order key elements and scalable layers.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capture;
+mod entry;
+mod error;
+mod index;
+mod interpretation;
+mod stream;
+
+pub use entry::{ElementEntry, Placement};
+pub use error::InterpError;
+pub use index::{ChunkedIndex, TimeIndex};
+pub use interpretation::Interpretation;
+pub use stream::StreamInterp;

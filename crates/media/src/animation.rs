@@ -1,0 +1,126 @@
+//! Symbolic animation: movement specifications.
+//!
+//! The paper (§3.3) describes animation as a *non-continuous* medium:
+//! "consider animation represented by sequences of elements specifying
+//! movement. At times when the animated object is at rest there are no
+//! associated media elements." A [`MoveSpec`] is such an element — it names
+//! an object and where it travels during the element's duration. Rendering
+//! animation to video is a *type-changing derivation* (§4.2, "the synthesis
+//! of a video object via rendering an animation sequence") implemented in
+//! `tbm-derive`.
+
+use tbm_core::{ElementDescriptor, StreamElement};
+
+/// A 2-D point in abstract scene coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: i32,
+    /// Vertical coordinate.
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+
+    /// Linear interpolation between `self` and `to` at `num/den`.
+    pub fn lerp(self, to: Point, num: i64, den: i64) -> Point {
+        debug_assert!(den > 0);
+        let f = |a: i32, b: i32| -> i32 {
+            (a as i64 + (b as i64 - a as i64) * num / den) as i32
+        };
+        Point::new(f(self.x, to.x), f(self.y, to.y))
+    }
+}
+
+/// A movement element: object `object_id` travels `from → to` over the
+/// element's duration, drawn as a `size`-pixel square of the given color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MoveSpec {
+    /// The scene object being moved.
+    pub object_id: u32,
+    /// Start position.
+    pub from: Point,
+    /// End position.
+    pub to: Point,
+    /// Square sprite edge length in pixels.
+    pub size: u32,
+    /// Sprite color as packed RGB (0xRRGGBB).
+    pub color: u32,
+}
+
+impl MoveSpec {
+    /// Creates a movement spec.
+    pub fn new(object_id: u32, from: Point, to: Point, size: u32, color: u32) -> MoveSpec {
+        MoveSpec {
+            object_id,
+            from,
+            to,
+            size,
+            color,
+        }
+    }
+
+    /// Position at progress `num/den` through the movement.
+    pub fn position_at(self, num: i64, den: i64) -> Point {
+        self.from.lerp(self.to, num, den)
+    }
+
+    /// `true` if the element specifies no actual motion.
+    pub fn is_stationary(self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl StreamElement for MoveSpec {
+    fn byte_size(&self) -> u64 {
+        // object(4) + from(8) + to(8) + size(4) + color(4)
+        28
+    }
+
+    fn descriptor_token(&self) -> u64 {
+        self.object_id as u64 + 1
+    }
+
+    fn element_descriptor(&self) -> ElementDescriptor {
+        ElementDescriptor::from_pairs([("object", self.object_id as i64)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0, 0);
+        let b = Point::new(100, -50);
+        assert_eq!(a.lerp(b, 0, 10), a);
+        assert_eq!(a.lerp(b, 10, 10), b);
+        assert_eq!(a.lerp(b, 5, 10), Point::new(50, -25));
+    }
+
+    #[test]
+    fn movement_position() {
+        let m = MoveSpec::new(1, Point::new(10, 10), Point::new(30, 10), 4, 0xFF0000);
+        assert_eq!(m.position_at(0, 4), Point::new(10, 10));
+        assert_eq!(m.position_at(1, 4), Point::new(15, 10));
+        assert_eq!(m.position_at(4, 4), Point::new(30, 10));
+        assert!(!m.is_stationary());
+        assert!(MoveSpec::new(1, a(), a(), 4, 0).is_stationary());
+        fn a() -> Point {
+            Point::new(5, 5)
+        }
+    }
+
+    #[test]
+    fn element_descriptor_tracks_object() {
+        let m1 = MoveSpec::new(1, Point::default(), Point::default(), 2, 0);
+        let m2 = MoveSpec::new(2, Point::default(), Point::default(), 2, 0);
+        assert_ne!(m1.descriptor_token(), m2.descriptor_token());
+        assert_eq!(m1.byte_size(), 28);
+    }
+}

@@ -1,0 +1,253 @@
+//! PCM audio buffers.
+//!
+//! An [`AudioBuffer`] holds interleaved 16-bit samples — the element content
+//! of PCM audio streams. In the strict model every *sample* is a stream
+//! element; in practice (and in the paper's Fig. 2 interleaving example)
+//! audio travels in blocks, e.g. "1764 sample pairs" per PAL video frame.
+//! An `AudioBuffer` is such a block: it implements
+//! [`tbm_core::StreamElement`] so it can be a timed-stream element whose
+//! duration is its sample-frame count.
+
+use tbm_core::StreamElement;
+
+/// Interleaved 16-bit PCM: `channels` samples per sample-frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AudioBuffer {
+    channels: u16,
+    samples: Vec<i16>, // length divisible by channels
+}
+
+impl AudioBuffer {
+    /// Creates a silent buffer of `frames` sample-frames.
+    pub fn silence(channels: u16, frames: usize) -> AudioBuffer {
+        assert!(channels >= 1, "at least one channel");
+        AudioBuffer {
+            channels,
+            samples: vec![0i16; frames * channels as usize],
+        }
+    }
+
+    /// Wraps interleaved samples; the length must divide evenly by
+    /// `channels`.
+    pub fn from_samples(channels: u16, samples: Vec<i16>) -> Option<AudioBuffer> {
+        if channels >= 1 && samples.len().is_multiple_of(channels as usize) {
+            Some(AudioBuffer { channels, samples })
+        } else {
+            None
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u16 {
+        self.channels
+    }
+
+    /// Number of sample-frames (samples per channel).
+    pub fn frames(&self) -> usize {
+        self.samples.len() / self.channels as usize
+    }
+
+    /// The interleaved samples.
+    pub fn samples(&self) -> &[i16] {
+        &self.samples
+    }
+
+    /// Mutable access to the interleaved samples.
+    pub fn samples_mut(&mut self) -> &mut [i16] {
+        &mut self.samples
+    }
+
+    /// One sample: frame index × channel index.
+    pub fn sample(&self, frame: usize, channel: u16) -> i16 {
+        self.samples[frame * self.channels as usize + channel as usize]
+    }
+
+    /// Sets one sample.
+    pub fn set_sample(&mut self, frame: usize, channel: u16, value: i16) {
+        self.samples[frame * self.channels as usize + channel as usize] = value;
+    }
+
+    /// The peak absolute amplitude (0 for an empty buffer).
+    pub fn peak(&self) -> i16 {
+        self.samples
+            .iter()
+            .map(|s| s.unsigned_abs())
+            .max()
+            .map(|p| p.min(i16::MAX as u16) as i16)
+            .unwrap_or(0)
+    }
+
+    /// Root-mean-square amplitude.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&s| (s as f64) * (s as f64))
+            .sum();
+        (sum / self.samples.len() as f64).sqrt()
+    }
+
+    /// Applies a rational gain `num/den` with saturation.
+    pub fn apply_gain(&mut self, num: i32, den: i32) {
+        assert!(den > 0, "gain denominator must be positive");
+        for s in &mut self.samples {
+            let v = (*s as i64 * num as i64) / den as i64;
+            *s = v.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+        }
+    }
+
+    /// Mixes `other` into `self` sample-by-sample with saturation; the
+    /// shorter buffer is treated as silence-padded. Channel counts must
+    /// match.
+    pub fn mix_in(&mut self, other: &AudioBuffer) -> bool {
+        if self.channels != other.channels {
+            return false;
+        }
+        if other.samples.len() > self.samples.len() {
+            self.samples.resize(other.samples.len(), 0);
+        }
+        for (dst, &src) in self.samples.iter_mut().zip(&other.samples) {
+            *dst = (*dst as i32 + src as i32).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        }
+        true
+    }
+
+    /// Concatenates another buffer (channel counts must match).
+    pub fn append(&mut self, other: &AudioBuffer) -> bool {
+        if self.channels != other.channels {
+            return false;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        true
+    }
+
+    /// A sub-range of sample-frames `[from, to)`, clamped to bounds.
+    pub fn slice_frames(&self, from: usize, to: usize) -> AudioBuffer {
+        let n = self.frames();
+        let from = from.min(n);
+        let to = to.clamp(from, n);
+        let c = self.channels as usize;
+        AudioBuffer {
+            channels: self.channels,
+            samples: self.samples[from * c..to * c].to_vec(),
+        }
+    }
+
+    /// Serializes to little-endian bytes (the PCM wire/BLOB format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.samples.len() * 2);
+        for &s in &self.samples {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from little-endian bytes.
+    pub fn from_bytes(channels: u16, bytes: &[u8]) -> Option<AudioBuffer> {
+        if !bytes.len().is_multiple_of(2) {
+            return None;
+        }
+        let samples: Vec<i16> = bytes
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        AudioBuffer::from_samples(channels, samples)
+    }
+}
+
+impl StreamElement for AudioBuffer {
+    fn byte_size(&self) -> u64 {
+        (self.samples.len() * 2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let b = AudioBuffer::silence(2, 1764);
+        assert_eq!(b.channels(), 2);
+        assert_eq!(b.frames(), 1764);
+        // The Fig. 2 audio block: 1764 stereo sample pairs = 7056 bytes.
+        assert_eq!(b.byte_size(), 7056);
+    }
+
+    #[test]
+    fn from_samples_validates_interleaving() {
+        assert!(AudioBuffer::from_samples(2, vec![1, 2, 3]).is_none());
+        assert!(AudioBuffer::from_samples(2, vec![1, 2, 3, 4]).is_some());
+        assert!(AudioBuffer::from_samples(0, vec![]).is_none());
+    }
+
+    #[test]
+    fn sample_addressing() {
+        let mut b = AudioBuffer::silence(2, 4);
+        b.set_sample(1, 0, 100);
+        b.set_sample(1, 1, -100);
+        assert_eq!(b.sample(1, 0), 100);
+        assert_eq!(b.sample(1, 1), -100);
+        assert_eq!(b.samples()[2], 100);
+        assert_eq!(b.samples()[3], -100);
+    }
+
+    #[test]
+    fn peak_and_rms() {
+        let b = AudioBuffer::from_samples(1, vec![0, 3, -4, 0]).unwrap();
+        assert_eq!(b.peak(), 4);
+        assert!((b.rms() - (25.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(AudioBuffer::silence(1, 0).peak(), 0);
+        assert_eq!(AudioBuffer::silence(1, 0).rms(), 0.0);
+    }
+
+    #[test]
+    fn peak_handles_i16_min() {
+        let b = AudioBuffer::from_samples(1, vec![i16::MIN]).unwrap();
+        assert_eq!(b.peak(), i16::MAX); // clamped magnitude
+    }
+
+    #[test]
+    fn gain_scales_and_saturates() {
+        let mut b = AudioBuffer::from_samples(1, vec![100, -100, 30000]).unwrap();
+        b.apply_gain(2, 1);
+        assert_eq!(b.samples(), &[200, -200, i16::MAX]);
+        b.apply_gain(1, 2);
+        assert_eq!(b.samples()[0], 100);
+    }
+
+    #[test]
+    fn mix_saturates_and_pads() {
+        let mut a = AudioBuffer::from_samples(1, vec![30000, 10]).unwrap();
+        let b = AudioBuffer::from_samples(1, vec![30000, 10, 7]).unwrap();
+        assert!(a.mix_in(&b));
+        assert_eq!(a.samples(), &[i16::MAX, 20, 7]);
+        let c = AudioBuffer::silence(2, 1);
+        assert!(!a.mix_in(&c));
+    }
+
+    #[test]
+    fn append_and_slice() {
+        let mut a = AudioBuffer::from_samples(2, vec![1, 2, 3, 4]).unwrap();
+        let b = AudioBuffer::from_samples(2, vec![5, 6]).unwrap();
+        assert!(a.append(&b));
+        assert_eq!(a.frames(), 3);
+        let s = a.slice_frames(1, 3);
+        assert_eq!(s.samples(), &[3, 4, 5, 6]);
+        // Clamped out-of-range slice.
+        assert_eq!(a.slice_frames(5, 9).frames(), 0);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let a = AudioBuffer::from_samples(2, vec![0, -1, i16::MAX, i16::MIN]).unwrap();
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), 8);
+        let back = AudioBuffer::from_bytes(2, &bytes).unwrap();
+        assert_eq!(a, back);
+        assert!(AudioBuffer::from_bytes(2, &bytes[..3]).is_none());
+    }
+}

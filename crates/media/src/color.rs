@@ -1,0 +1,302 @@
+//! Color models and conversions.
+//!
+//! Three conversions matter to the paper's examples:
+//!
+//! * **RGB → YUV** (Fig. 2): "The RGB values are then converted to YUV" before
+//!   chroma subsampling and compression. We use BT.601 integer arithmetic.
+//! * **YUV → RGB**: the inverse, needed when decoding for presentation.
+//! * **RGB → CMYK** (Table 1, *color separation*): "Since the mapping from
+//!   RGB into the CMYK color model is not unique, additional information must
+//!   be provided as parameters … defined in separation tables which account
+//!   for physical characteristics of inks and papers." [`SeparationTable`]
+//!   carries those parameters (black generation and undercolor removal).
+
+/// An 8-bit-per-channel RGB pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red intensity.
+    pub r: u8,
+    /// Green intensity.
+    pub g: u8,
+    /// Blue intensity.
+    pub b: u8,
+}
+
+/// An 8-bit YUV pixel (luminance Y plus chrominance U, V; U/V biased by 128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Yuv {
+    /// Luminance.
+    pub y: u8,
+    /// Blue-difference chrominance (biased: 128 = neutral).
+    pub u: u8,
+    /// Red-difference chrominance (biased: 128 = neutral).
+    pub v: u8,
+}
+
+/// An 8-bit-per-channel CMYK pixel (ink coverages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Cmyk {
+    /// Cyan.
+    pub c: u8,
+    /// Magenta.
+    pub m: u8,
+    /// Yellow.
+    pub y: u8,
+    /// Black (key).
+    pub k: u8,
+}
+
+impl Rgb {
+    /// Constructs a pixel.
+    pub const fn new(r: u8, g: u8, b: u8) -> Rgb {
+        Rgb { r, g, b }
+    }
+
+    /// BT.601 luma, rounded.
+    pub fn luma(self) -> u8 {
+        // y = 0.299 r + 0.587 g + 0.114 b, in 16.16 fixed point.
+        let y = 19595 * self.r as u32 + 38470 * self.g as u32 + 7471 * self.b as u32;
+        ((y + 32768) >> 16) as u8
+    }
+}
+
+impl Yuv {
+    /// Constructs a pixel.
+    pub const fn new(y: u8, u: u8, v: u8) -> Yuv {
+        Yuv { y, u, v }
+    }
+}
+
+/// RGB → YUV, BT.601 full-range integer approximation.
+pub fn rgb_to_yuv(p: Rgb) -> Yuv {
+    let r = p.r as i32;
+    let g = p.g as i32;
+    let b = p.b as i32;
+    // 8.8 fixed-point coefficients.
+    let y = (77 * r + 150 * g + 29 * b + 128) >> 8;
+    let u = ((-43 * r - 85 * g + 128 * b + 128) >> 8) + 128;
+    let v = ((128 * r - 107 * g - 21 * b + 128) >> 8) + 128;
+    Yuv {
+        y: y.clamp(0, 255) as u8,
+        u: u.clamp(0, 255) as u8,
+        v: v.clamp(0, 255) as u8,
+    }
+}
+
+/// YUV → RGB, inverse BT.601 full-range integer approximation.
+pub fn yuv_to_rgb(p: Yuv) -> Rgb {
+    let y = p.y as i32;
+    let u = p.u as i32 - 128;
+    let v = p.v as i32 - 128;
+    let r = y + ((359 * v + 128) >> 8);
+    let g = y - ((88 * u + 183 * v + 128) >> 8);
+    let b = y + ((454 * u + 128) >> 8);
+    Rgb {
+        r: r.clamp(0, 255) as u8,
+        g: g.clamp(0, 255) as u8,
+        b: b.clamp(0, 255) as u8,
+    }
+}
+
+/// Parameters for RGB → CMYK separation — the paper's "separation tables
+/// which account for physical characteristics of inks and papers".
+///
+/// * `black_generation` ∈ [0, 256]: how much of the gray component moves into
+///   the black (K) channel (256 = full black replacement).
+/// * `undercolor_removal` ∈ [0, 256]: how much of the generated black is
+///   removed back out of C/M/Y.
+/// * `ink_limit` ∈ [0, 1020]: maximum total ink coverage (sum of C+M+Y+K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeparationTable {
+    /// Black-generation amount in 0..=256.
+    pub black_generation: u16,
+    /// Undercolor-removal amount in 0..=256.
+    pub undercolor_removal: u16,
+    /// Total ink limit in 0..=1020.
+    pub ink_limit: u16,
+}
+
+impl SeparationTable {
+    /// A neutral default: full black generation and removal, generous ink
+    /// limit (typical for coated stock).
+    pub fn coated_stock() -> SeparationTable {
+        SeparationTable {
+            black_generation: 256,
+            undercolor_removal: 256,
+            ink_limit: 820,
+        }
+    }
+
+    /// Newsprint: restrained black generation and tight ink limit.
+    pub fn newsprint() -> SeparationTable {
+        SeparationTable {
+            black_generation: 200,
+            undercolor_removal: 180,
+            ink_limit: 620,
+        }
+    }
+}
+
+/// RGB → CMYK using a separation table (Table 1's *color separation*
+/// derivation, per pixel).
+pub fn separate(p: Rgb, table: &SeparationTable) -> Cmyk {
+    // Naive complements.
+    let c0 = 255 - p.r as u32;
+    let m0 = 255 - p.g as u32;
+    let y0 = 255 - p.b as u32;
+    // Gray component.
+    let gray = c0.min(m0).min(y0);
+    // Black generation.
+    let k = (gray * table.black_generation as u32) >> 8;
+    // Undercolor removal.
+    let ucr = (k * table.undercolor_removal as u32) >> 8;
+    let mut c = c0.saturating_sub(ucr);
+    let mut m = m0.saturating_sub(ucr);
+    let mut y = y0.saturating_sub(ucr);
+    let mut k = k;
+    // Ink limiting: scale down proportionally if the total exceeds the limit.
+    let total = c + m + y + k;
+    if total > table.ink_limit as u32 && total > 0 {
+        let scale = (table.ink_limit as u32 * 256) / total; // 8.8 fixed point
+        c = (c * scale) >> 8;
+        m = (m * scale) >> 8;
+        y = (y * scale) >> 8;
+        k = (k * scale) >> 8;
+    }
+    Cmyk {
+        c: c.min(255) as u8,
+        m: m.min(255) as u8,
+        y: y.min(255) as u8,
+        k: k.min(255) as u8,
+    }
+}
+
+/// Approximate CMYK → RGB (for previewing separations).
+pub fn unseparate(p: Cmyk) -> Rgb {
+    let k = p.k as u32;
+    let f = |ink: u8| -> u8 {
+        let covered = ink as u32 + k;
+        255u32.saturating_sub(covered).min(255) as u8
+    };
+    Rgb {
+        r: f(p.c),
+        g: f(p.m),
+        b: f(p.y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_map_to_expected_yuv_regions() {
+        let white = rgb_to_yuv(Rgb::new(255, 255, 255));
+        assert!(white.y >= 254);
+        assert!((white.u as i32 - 128).abs() <= 2);
+        assert!((white.v as i32 - 128).abs() <= 2);
+
+        let black = rgb_to_yuv(Rgb::new(0, 0, 0));
+        assert!(black.y <= 1);
+
+        let red = rgb_to_yuv(Rgb::new(255, 0, 0));
+        assert!(red.v > 200, "red has strong V: {red:?}");
+        let blue = rgb_to_yuv(Rgb::new(0, 0, 255));
+        assert!(blue.u > 200, "blue has strong U: {blue:?}");
+    }
+
+    #[test]
+    fn rgb_yuv_roundtrip_within_tolerance() {
+        // Integer BT.601 round trip is not exact; it must stay within a few
+        // codes for all corners and a sweep of grays.
+        let mut worst = 0i32;
+        let samples = [
+            Rgb::new(0, 0, 0),
+            Rgb::new(255, 255, 255),
+            Rgb::new(255, 0, 0),
+            Rgb::new(0, 255, 0),
+            Rgb::new(0, 0, 255),
+            Rgb::new(12, 200, 99),
+            Rgb::new(130, 130, 130),
+        ];
+        for p in samples {
+            let q = yuv_to_rgb(rgb_to_yuv(p));
+            worst = worst
+                .max((p.r as i32 - q.r as i32).abs())
+                .max((p.g as i32 - q.g as i32).abs())
+                .max((p.b as i32 - q.b as i32).abs());
+        }
+        assert!(worst <= 3, "round-trip error {worst} too large");
+    }
+
+    #[test]
+    fn grays_roundtrip_closely() {
+        for g in (0..=255u16).step_by(5) {
+            let p = Rgb::new(g as u8, g as u8, g as u8);
+            let q = yuv_to_rgb(rgb_to_yuv(p));
+            assert!((p.r as i32 - q.r as i32).abs() <= 2, "gray {g}");
+        }
+    }
+
+    #[test]
+    fn luma_matches_conversion() {
+        for p in [Rgb::new(10, 20, 30), Rgb::new(200, 100, 50)] {
+            let y1 = p.luma() as i32;
+            let y2 = rgb_to_yuv(p).y as i32;
+            assert!((y1 - y2).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn separation_moves_gray_into_black() {
+        let table = SeparationTable::coated_stock();
+        let gray = separate(Rgb::new(100, 100, 100), &table);
+        // Full UCR: the gray component lands entirely in K.
+        assert_eq!(gray.k, 155);
+        assert_eq!((gray.c, gray.m, gray.y), (0, 0, 0));
+    }
+
+    #[test]
+    fn separation_depends_on_table() {
+        // The paper: the RGB→CMYK mapping "is not unique" — different
+        // separation tables give different inks for the same pixel.
+        let p = Rgb::new(40, 90, 160);
+        let a = separate(p, &SeparationTable::coated_stock());
+        let b = separate(p, &SeparationTable::newsprint());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ink_limit_enforced() {
+        let table = SeparationTable {
+            black_generation: 0, // leave gray in CMY to maximize ink
+            undercolor_removal: 0,
+            ink_limit: 300,
+        };
+        let dark = separate(Rgb::new(0, 0, 0), &table);
+        let total = dark.c as u32 + dark.m as u32 + dark.y as u32 + dark.k as u32;
+        assert!(total <= 300, "total ink {total} exceeds limit");
+    }
+
+    #[test]
+    fn pure_colors_have_expected_inks() {
+        let table = SeparationTable::coated_stock();
+        let red = separate(Rgb::new(255, 0, 0), &table);
+        assert_eq!(red.c, 0);
+        assert!(red.m > 200 && red.y > 200);
+        let white = separate(Rgb::new(255, 255, 255), &table);
+        assert_eq!((white.c, white.m, white.y, white.k), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn unseparate_previews_reasonably() {
+        let table = SeparationTable::coated_stock();
+        for p in [Rgb::new(255, 0, 0), Rgb::new(128, 128, 128), Rgb::new(0, 80, 160)] {
+            let q = unseparate(separate(p, &table));
+            // Coarse: preview within 40 codes per channel.
+            assert!((p.r as i32 - q.r as i32).abs() <= 40, "{p:?} -> {q:?}");
+            assert!((p.g as i32 - q.g as i32).abs() <= 40, "{p:?} -> {q:?}");
+            assert!((p.b as i32 - q.b as i32).abs() <= 40, "{p:?} -> {q:?}");
+        }
+    }
+}

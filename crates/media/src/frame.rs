@@ -1,0 +1,524 @@
+//! Raster frames and pixel formats.
+//!
+//! A [`Frame`] is the media element of video streams and the payload of
+//! still images. The formats follow the paper's Fig. 2 walk-through: frames
+//! are captured as 24-bit RGB, converted to YUV, and chroma-subsampled to
+//! what the paper calls "YUV 8:2:2" — Y kept at 8 bits per pixel, U and V
+//! "subsampled (averaged over neighboring pixels)" to 2 bits per pixel each,
+//! i.e. one 8-bit U and V sample per 2×2 block, 12 bits per pixel total
+//! (conventionally written 4:2:0 today; we keep the conventional name in
+//! code and the paper's name in the descriptor strings).
+
+use crate::color::{rgb_to_yuv, yuv_to_rgb, Rgb, Yuv};
+use tbm_core::StreamElement;
+
+/// Supported in-memory pixel layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelFormat {
+    /// Interleaved 8-bit RGB (24 bpp).
+    Rgb24,
+    /// Planar YUV, no subsampling (24 bpp).
+    Yuv444,
+    /// Planar YUV, chroma averaged over 2×2 blocks (12 bpp) — the paper's
+    /// "YUV 8:2:2".
+    Yuv420,
+    /// Single 8-bit luminance plane (8 bpp).
+    Gray8,
+}
+
+impl PixelFormat {
+    /// Average bits per pixel of the format.
+    pub fn bits_per_pixel(self) -> u32 {
+        match self {
+            PixelFormat::Rgb24 | PixelFormat::Yuv444 => 24,
+            PixelFormat::Yuv420 => 12,
+            PixelFormat::Gray8 => 8,
+        }
+    }
+
+    /// The descriptor string for the format, using the paper's nomenclature
+    /// where it has one.
+    pub fn descriptor_name(self) -> &'static str {
+        match self {
+            PixelFormat::Rgb24 => "RGB",
+            PixelFormat::Yuv444 => "YUV 8:8:8",
+            PixelFormat::Yuv420 => "YUV 8:2:2",
+            PixelFormat::Gray8 => "grayscale",
+        }
+    }
+
+    /// Buffer size in bytes for a `width × height` frame.
+    pub fn byte_len(self, width: u32, height: u32) -> usize {
+        let n = width as usize * height as usize;
+        match self {
+            PixelFormat::Rgb24 | PixelFormat::Yuv444 => n * 3,
+            PixelFormat::Yuv420 => {
+                let cw = width.div_ceil(2) as usize;
+                let ch = height.div_ceil(2) as usize;
+                n + 2 * cw * ch
+            }
+            PixelFormat::Gray8 => n,
+        }
+    }
+}
+
+/// A raster frame: dimensions, pixel format and the backing bytes.
+///
+/// Layouts:
+/// * `Rgb24` — interleaved `RGBRGB…`, row-major.
+/// * `Yuv444` — Y plane, then U plane, then V plane, each `w×h`.
+/// * `Yuv420` — Y plane `w×h`, then U and V planes `⌈w/2⌉×⌈h/2⌉`.
+/// * `Gray8` — single `w×h` plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: u32,
+    height: u32,
+    format: PixelFormat,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// A black frame of the given geometry.
+    pub fn black(width: u32, height: u32, format: PixelFormat) -> Frame {
+        let mut data = vec![0u8; format.byte_len(width, height)];
+        // Neutral chroma for YUV formats.
+        match format {
+            PixelFormat::Yuv444 | PixelFormat::Yuv420 => {
+                let y_len = width as usize * height as usize;
+                for b in &mut data[y_len..] {
+                    *b = 128;
+                }
+            }
+            _ => {}
+        }
+        Frame {
+            width,
+            height,
+            format,
+            data,
+        }
+    }
+
+    /// A frame filled with one RGB color.
+    pub fn filled(width: u32, height: u32, format: PixelFormat, color: Rgb) -> Frame {
+        let mut f = Frame::black(width, height, format);
+        for y in 0..height {
+            for x in 0..width {
+                f.set_rgb(x, y, color);
+            }
+        }
+        f
+    }
+
+    /// Wraps raw bytes; the length must match the format's requirement.
+    pub fn from_raw(width: u32, height: u32, format: PixelFormat, data: Vec<u8>) -> Option<Frame> {
+        if data.len() == format.byte_len(width, height) {
+            Some(Frame {
+                width,
+                height,
+                format,
+                data,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel format.
+    pub fn format(&self) -> PixelFormat {
+        self.format
+    }
+
+    /// Raw backing bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw backing bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the frame, returning the raw bytes.
+    pub fn into_data(self) -> Vec<u8> {
+        self.data
+    }
+
+    #[inline]
+    fn pixel_index(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        (y as usize) * (self.width as usize) + x as usize
+    }
+
+    fn chroma_geometry(&self) -> (usize, usize) {
+        (
+            self.width.div_ceil(2) as usize,
+            self.height.div_ceil(2) as usize,
+        )
+    }
+
+    /// Reads the pixel at `(x, y)` as RGB, converting as needed.
+    pub fn get_rgb(&self, x: u32, y: u32) -> Rgb {
+        let i = self.pixel_index(x, y);
+        let n = self.width as usize * self.height as usize;
+        match self.format {
+            PixelFormat::Rgb24 => Rgb::new(self.data[3 * i], self.data[3 * i + 1], self.data[3 * i + 2]),
+            PixelFormat::Yuv444 => yuv_to_rgb(Yuv::new(
+                self.data[i],
+                self.data[n + i],
+                self.data[2 * n + i],
+            )),
+            PixelFormat::Yuv420 => {
+                let (cw, _) = self.chroma_geometry();
+                let ci = (y as usize / 2) * cw + (x as usize / 2);
+                let c_len = cw * self.height.div_ceil(2) as usize;
+                yuv_to_rgb(Yuv::new(
+                    self.data[i],
+                    self.data[n + ci],
+                    self.data[n + c_len + ci],
+                ))
+            }
+            PixelFormat::Gray8 => {
+                let g = self.data[i];
+                Rgb::new(g, g, g)
+            }
+        }
+    }
+
+    /// Writes the pixel at `(x, y)` from RGB, converting as needed.
+    ///
+    /// For `Yuv420`, the chroma of the 2×2 block containing the pixel is
+    /// overwritten (last write wins) — adequate for synthetic patterns and
+    /// compositing; capture conversion uses [`Frame::to_format`], which
+    /// averages chroma properly.
+    pub fn set_rgb(&mut self, x: u32, y: u32, color: Rgb) {
+        let i = self.pixel_index(x, y);
+        let n = self.width as usize * self.height as usize;
+        match self.format {
+            PixelFormat::Rgb24 => {
+                self.data[3 * i] = color.r;
+                self.data[3 * i + 1] = color.g;
+                self.data[3 * i + 2] = color.b;
+            }
+            PixelFormat::Yuv444 => {
+                let p = rgb_to_yuv(color);
+                self.data[i] = p.y;
+                self.data[n + i] = p.u;
+                self.data[2 * n + i] = p.v;
+            }
+            PixelFormat::Yuv420 => {
+                let p = rgb_to_yuv(color);
+                self.data[i] = p.y;
+                let (cw, _) = self.chroma_geometry();
+                let ci = (y as usize / 2) * cw + (x as usize / 2);
+                let c_len = cw * self.height.div_ceil(2) as usize;
+                self.data[n + ci] = p.u;
+                self.data[n + c_len + ci] = p.v;
+            }
+            PixelFormat::Gray8 => {
+                self.data[i] = color.luma();
+            }
+        }
+    }
+
+    /// Converts the frame to `target`, averaging chroma when subsampling
+    /// (the paper's "averaged over neighboring pixels").
+    pub fn to_format(&self, target: PixelFormat) -> Frame {
+        if target == self.format {
+            return self.clone();
+        }
+        match target {
+            PixelFormat::Yuv420 => self.to_yuv420(),
+            _ => {
+                let mut out = Frame::black(self.width, self.height, target);
+                for y in 0..self.height {
+                    for x in 0..self.width {
+                        out.set_rgb(x, y, self.get_rgb(x, y));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// RGB/444/Gray → 4:2:0 with proper 2×2 chroma averaging.
+    fn to_yuv420(&self) -> Frame {
+        let w = self.width;
+        let h = self.height;
+        let n = w as usize * h as usize;
+        let (cw, ch) = (w.div_ceil(2) as usize, h.div_ceil(2) as usize);
+        let mut data = vec![0u8; PixelFormat::Yuv420.byte_len(w, h)];
+        // Luma pass.
+        for y in 0..h {
+            for x in 0..w {
+                let p = rgb_to_yuv(self.get_rgb(x, y));
+                data[(y as usize) * w as usize + x as usize] = p.y;
+            }
+        }
+        // Chroma pass: average each 2×2 block.
+        for by in 0..ch {
+            for bx in 0..cw {
+                let mut su = 0u32;
+                let mut sv = 0u32;
+                let mut count = 0u32;
+                for dy in 0..2u32 {
+                    for dx in 0..2u32 {
+                        let x = bx as u32 * 2 + dx;
+                        let y = by as u32 * 2 + dy;
+                        if x < w && y < h {
+                            let p = rgb_to_yuv(self.get_rgb(x, y));
+                            su += p.u as u32;
+                            sv += p.v as u32;
+                            count += 1;
+                        }
+                    }
+                }
+                let ci = by * cw + bx;
+                data[n + ci] = ((su + count / 2) / count) as u8;
+                data[n + cw * ch + ci] = ((sv + count / 2) / count) as u8;
+            }
+        }
+        Frame {
+            width: w,
+            height: h,
+            format: PixelFormat::Yuv420,
+            data,
+        }
+    }
+
+    /// Blends `self` and `other` (same geometry/format): result =
+    /// `self·(1−α) + other·α` with `α = alpha_num/alpha_den`. This is the
+    /// kernel of the fade transition derivation.
+    pub fn blend(&self, other: &Frame, alpha_num: u32, alpha_den: u32) -> Option<Frame> {
+        if self.width != other.width
+            || self.height != other.height
+            || self.format != other.format
+            || alpha_den == 0
+            || alpha_num > alpha_den
+        {
+            return None;
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        let a = alpha_num as u64;
+        let d = alpha_den as u64;
+        for (&p, &q) in self.data.iter().zip(&other.data) {
+            let v = (p as u64 * (d - a) + q as u64 * a + d / 2) / d;
+            data.push(v.min(255) as u8);
+        }
+        Some(Frame {
+            width: self.width,
+            height: self.height,
+            format: self.format,
+            data,
+        })
+    }
+
+    /// Peak signal-to-noise ratio in decibels against a reference frame of
+    /// identical shape — the conventional fidelity measure behind the
+    /// paper's descriptive quality factors. `None` on shape mismatch;
+    /// `f64::INFINITY` for identical frames.
+    pub fn psnr(&self, other: &Frame) -> Option<f64> {
+        if self.width != other.width
+            || self.height != other.height
+            || self.format != other.format
+            || self.data.is_empty()
+        {
+            return None;
+        }
+        let sq_sum: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = a as i64 - b as i64;
+                (d * d) as u64
+            })
+            .sum();
+        if sq_sum == 0 {
+            return Some(f64::INFINITY);
+        }
+        let mse = sq_sum as f64 / self.data.len() as f64;
+        Some(10.0 * (255.0f64 * 255.0 / mse).log10())
+    }
+
+    /// Mean absolute per-byte difference against another frame of identical
+    /// shape — the distortion measure used by codec and derivation tests.
+    pub fn mean_abs_diff(&self, other: &Frame) -> Option<f64> {
+        if self.width != other.width
+            || self.height != other.height
+            || self.format != other.format
+            || self.data.is_empty()
+        {
+            return None;
+        }
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .sum();
+        Some(sum as f64 / self.data.len() as f64)
+    }
+}
+
+impl StreamElement for Frame {
+    fn byte_size(&self) -> u64 {
+        self.data.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_geometry_byte_costs() {
+        // 640×480 RGB24 = 921600 bytes (22 Mbyte/s at 25 fps — the paper's
+        // "about 22 Mbyte/sec" source rate).
+        assert_eq!(PixelFormat::Rgb24.byte_len(640, 480), 921_600);
+        // After "YUV 8:2:2": 12 bpp = 460800 bytes.
+        assert_eq!(PixelFormat::Yuv420.byte_len(640, 480), 460_800);
+        assert_eq!(PixelFormat::Yuv420.bits_per_pixel(), 12);
+        assert_eq!(PixelFormat::Yuv420.descriptor_name(), "YUV 8:2:2");
+    }
+
+    #[test]
+    fn odd_dimensions_round_up_chroma() {
+        assert_eq!(PixelFormat::Yuv420.byte_len(3, 3), 9 + 2 * 4);
+    }
+
+    #[test]
+    fn rgb_set_get_roundtrip_exact() {
+        let mut f = Frame::black(8, 8, PixelFormat::Rgb24);
+        f.set_rgb(3, 4, Rgb::new(10, 200, 30));
+        assert_eq!(f.get_rgb(3, 4), Rgb::new(10, 200, 30));
+        assert_eq!(f.get_rgb(0, 0), Rgb::new(0, 0, 0));
+    }
+
+    #[test]
+    fn yuv444_set_get_roundtrip_close() {
+        let mut f = Frame::black(8, 8, PixelFormat::Yuv444);
+        let c = Rgb::new(120, 33, 210);
+        f.set_rgb(2, 2, c);
+        let got = f.get_rgb(2, 2);
+        assert!((got.r as i32 - c.r as i32).abs() <= 3);
+        assert!((got.g as i32 - c.g as i32).abs() <= 3);
+        assert!((got.b as i32 - c.b as i32).abs() <= 3);
+    }
+
+    #[test]
+    fn black_yuv_frames_decode_to_black() {
+        let f = Frame::black(4, 4, PixelFormat::Yuv420);
+        let p = f.get_rgb(1, 1);
+        assert!(p.r <= 2 && p.g <= 2 && p.b <= 2, "{p:?}");
+    }
+
+    #[test]
+    fn conversion_to_yuv420_averages_chroma() {
+        // Left half red, right half blue; the 2×2 blocks straddling the
+        // boundary get averaged chroma.
+        let mut f = Frame::black(4, 2, PixelFormat::Rgb24);
+        for y in 0..2 {
+            for x in 0..2 {
+                f.set_rgb(x, y, Rgb::new(255, 0, 0));
+            }
+            for x in 2..4 {
+                f.set_rgb(x, y, Rgb::new(0, 0, 255));
+            }
+        }
+        let g = f.to_format(PixelFormat::Yuv420);
+        assert_eq!(g.format(), PixelFormat::Yuv420);
+        assert_eq!(g.data().len(), PixelFormat::Yuv420.byte_len(4, 2));
+        // Luma is untouched by subsampling.
+        let left = g.get_rgb(0, 0);
+        assert!(left.r > 150 && left.b < 100, "left should stay reddish: {left:?}");
+    }
+
+    #[test]
+    fn uniform_color_survives_420_roundtrip() {
+        let c = Rgb::new(90, 160, 40);
+        let f = Frame::filled(16, 16, PixelFormat::Rgb24, c);
+        let g = f.to_format(PixelFormat::Yuv420).to_format(PixelFormat::Rgb24);
+        let got = g.get_rgb(8, 8);
+        assert!((got.r as i32 - c.r as i32).abs() <= 4, "{got:?}");
+        assert!((got.g as i32 - c.g as i32).abs() <= 4, "{got:?}");
+        assert!((got.b as i32 - c.b as i32).abs() <= 4, "{got:?}");
+    }
+
+    #[test]
+    fn grayscale_conversion_uses_luma() {
+        let f = Frame::filled(2, 2, PixelFormat::Rgb24, Rgb::new(255, 0, 0));
+        let g = f.to_format(PixelFormat::Gray8);
+        let expect = Rgb::new(255, 0, 0).luma();
+        assert_eq!(g.data()[0], expect);
+        assert_eq!(g.byte_size(), 4);
+    }
+
+    #[test]
+    fn blend_endpoints_and_midpoint() {
+        let a = Frame::filled(4, 4, PixelFormat::Rgb24, Rgb::new(0, 0, 0));
+        let b = Frame::filled(4, 4, PixelFormat::Rgb24, Rgb::new(200, 100, 50));
+        assert_eq!(a.blend(&b, 0, 10).unwrap(), a);
+        assert_eq!(a.blend(&b, 10, 10).unwrap(), b);
+        let mid = a.blend(&b, 5, 10).unwrap();
+        let p = mid.get_rgb(0, 0);
+        assert_eq!(p, Rgb::new(100, 50, 25));
+    }
+
+    #[test]
+    fn blend_rejects_mismatches() {
+        let a = Frame::black(4, 4, PixelFormat::Rgb24);
+        let b = Frame::black(4, 5, PixelFormat::Rgb24);
+        let c = Frame::black(4, 4, PixelFormat::Gray8);
+        assert!(a.blend(&b, 1, 2).is_none());
+        assert!(a.blend(&c, 1, 2).is_none());
+        assert!(a.blend(&a, 3, 2).is_none()); // alpha > 1
+        assert!(a.blend(&a, 1, 0).is_none()); // zero denominator
+    }
+
+    #[test]
+    fn psnr_behaves() {
+        let a = Frame::filled(8, 8, PixelFormat::Rgb24, Rgb::new(100, 100, 100));
+        assert_eq!(a.psnr(&a), Some(f64::INFINITY));
+        let b = Frame::filled(8, 8, PixelFormat::Rgb24, Rgb::new(101, 100, 100));
+        // MSE = 1/3 (one channel off by one) → PSNR ≈ 53 dB.
+        let p = a.psnr(&b).unwrap();
+        assert!((52.0..54.5).contains(&p), "{p}");
+        let c = Frame::filled(8, 8, PixelFormat::Rgb24, Rgb::new(150, 100, 100));
+        assert!(a.psnr(&c).unwrap() < p, "bigger error, lower PSNR");
+        // Shape mismatch.
+        let d = Frame::black(4, 4, PixelFormat::Rgb24);
+        assert_eq!(a.psnr(&d), None);
+    }
+
+    #[test]
+    fn mean_abs_diff_zero_for_identical() {
+        let a = Frame::filled(8, 8, PixelFormat::Rgb24, Rgb::new(5, 6, 7));
+        assert_eq!(a.mean_abs_diff(&a), Some(0.0));
+        let b = Frame::filled(8, 8, PixelFormat::Rgb24, Rgb::new(6, 6, 7));
+        let d = a.mean_abs_diff(&b).unwrap();
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(Frame::from_raw(2, 2, PixelFormat::Gray8, vec![0; 4]).is_some());
+        assert!(Frame::from_raw(2, 2, PixelFormat::Gray8, vec![0; 5]).is_none());
+    }
+
+    #[test]
+    fn stream_element_size_is_buffer_len() {
+        let f = Frame::black(640, 480, PixelFormat::Yuv420);
+        assert_eq!(f.byte_size(), 460_800);
+    }
+}

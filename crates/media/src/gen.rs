@@ -1,0 +1,434 @@
+//! Deterministic synthetic capture.
+//!
+//! The paper's examples start from digitization hardware: a PAL camera, a
+//! CD-audio sampler, a MIDI keyboard. This module is the reproduction's
+//! stand-in (see DESIGN.md's substitution record): deterministic generators
+//! that produce video frames, PCM audio and note material with the same
+//! structural properties — frame geometry, sample rates, temporal texture —
+//! so the interpretation/derivation/composition layers above exercise the
+//! identical code paths. Determinism (a seeded [`Lcg`], no ambient entropy)
+//! keeps every experiment reproducible bit-for-bit.
+
+use crate::color::Rgb;
+use crate::midi::Note;
+use crate::{AudioBuffer, Frame, PixelFormat};
+
+/// A small deterministic linear congruential generator (Numerical Recipes
+/// constants). Used instead of a `rand` dependency so library output is
+/// reproducible from a seed alone.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg {
+            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407),
+        }
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction.
+        ((self.next_u32() as u64 * bound as u64) >> 32) as u32
+    }
+
+    /// Uniform `i16` sample in `[-amplitude, amplitude]`.
+    pub fn sample(&mut self, amplitude: i16) -> i16 {
+        let span = amplitude as i32 * 2 + 1;
+        (self.below(span as u32) as i32 - amplitude as i32) as i16
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Video patterns
+// ---------------------------------------------------------------------------
+
+/// Built-in synthetic video scenes.
+///
+/// Each variant renders frame `index` of a scene deterministically. The
+/// scenes differ enough that transitions between them (fades, wipes) are
+/// visually and numerically detectable in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoPattern {
+    /// A bright vertical bar sweeping left→right over a dark background,
+    /// one pixel per frame, wrapping.
+    MovingBar,
+    /// A horizontal gradient whose hue shifts with the frame index.
+    ShiftingGradient,
+    /// A checkerboard whose phase flips every `u32` frames.
+    Checkerboard(u32),
+    /// Seeded per-pixel noise (models high-entropy content that defeats
+    /// compression).
+    Noise(u64),
+    /// A single flat color.
+    Solid(u8, u8, u8),
+}
+
+impl VideoPattern {
+    /// Renders frame `index` at the given geometry, in RGB24.
+    pub fn render(self, index: u64, width: u32, height: u32) -> Frame {
+        let mut f = Frame::black(width, height, PixelFormat::Rgb24);
+        match self {
+            VideoPattern::MovingBar => {
+                let bar = (index % width.max(1) as u64) as u32;
+                let bar_w = (width / 16).max(1);
+                for y in 0..height {
+                    for x in 0..width {
+                        let on = (x + width).wrapping_sub(bar) % width < bar_w;
+                        let c = if on {
+                            Rgb::new(230, 230, 60)
+                        } else {
+                            Rgb::new(20, 24, (40 + (y % 64)) as u8)
+                        };
+                        f.set_rgb(x, y, c);
+                    }
+                }
+            }
+            VideoPattern::ShiftingGradient => {
+                let phase = (index * 3 % 256) as u32;
+                for y in 0..height {
+                    for x in 0..width {
+                        let g = (x * 255 / width.max(1) + phase) % 256;
+                        f.set_rgb(
+                            x,
+                            y,
+                            Rgb::new(g as u8, (255 - g) as u8, (y * 255 / height.max(1)) as u8),
+                        );
+                    }
+                }
+            }
+            VideoPattern::Checkerboard(period) => {
+                let flip = (index / period.max(1) as u64) % 2 == 1;
+                let cell = (width / 8).max(1);
+                for y in 0..height {
+                    for x in 0..width {
+                        let mut on = ((x / cell) + (y / cell)).is_multiple_of(2);
+                        if flip {
+                            on = !on;
+                        }
+                        let c = if on {
+                            Rgb::new(235, 235, 235)
+                        } else {
+                            Rgb::new(25, 25, 25)
+                        };
+                        f.set_rgb(x, y, c);
+                    }
+                }
+            }
+            VideoPattern::Noise(seed) => {
+                let mut rng = Lcg::new(seed ^ index.wrapping_mul(0x9E3779B97F4A7C15));
+                for y in 0..height {
+                    for x in 0..width {
+                        let v = rng.next_u32();
+                        f.set_rgb(
+                            x,
+                            y,
+                            Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8),
+                        );
+                    }
+                }
+            }
+            VideoPattern::Solid(r, g, b) => {
+                for y in 0..height {
+                    for x in 0..width {
+                        f.set_rgb(x, y, Rgb::new(r, g, b));
+                    }
+                }
+            }
+        }
+        f
+    }
+}
+
+/// Renders `count` RGB24 frames of a pattern starting at `first_index`.
+pub fn render_frames(
+    pattern: VideoPattern,
+    first_index: u64,
+    count: usize,
+    width: u32,
+    height: u32,
+) -> Vec<Frame> {
+    (0..count as u64)
+        .map(|i| pattern.render(first_index + i, width, height))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Audio signals
+// ---------------------------------------------------------------------------
+
+/// Built-in synthetic audio signals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AudioSignal {
+    /// A pure sine at `hz` with peak `amplitude`.
+    Sine {
+        /// Frequency in hertz.
+        hz: f64,
+        /// Peak amplitude (≤ `i16::MAX`).
+        amplitude: i16,
+    },
+    /// Seeded uniform white noise with peak `amplitude`.
+    Noise {
+        /// PRNG seed.
+        seed: u64,
+        /// Peak amplitude.
+        amplitude: i16,
+    },
+    /// A linear chirp from `from_hz` to `to_hz` over `sweep_frames` frames.
+    Chirp {
+        /// Start frequency in hertz.
+        from_hz: f64,
+        /// End frequency in hertz.
+        to_hz: f64,
+        /// Frames over which the sweep completes.
+        sweep_frames: u64,
+        /// Peak amplitude.
+        amplitude: i16,
+    },
+    /// Digital silence.
+    Silence,
+}
+
+impl AudioSignal {
+    /// Generates `frames` sample-frames at `sample_rate`, starting at frame
+    /// `first_frame`, across `channels` identical channels.
+    pub fn generate(
+        self,
+        first_frame: u64,
+        frames: usize,
+        sample_rate: u32,
+        channels: u16,
+    ) -> AudioBuffer {
+        let mut buf = AudioBuffer::silence(channels, frames);
+        match self {
+            AudioSignal::Silence => {}
+            AudioSignal::Sine { hz, amplitude } => {
+                for i in 0..frames {
+                    let t = (first_frame + i as u64) as f64 / sample_rate as f64;
+                    let v = (amplitude as f64 * (2.0 * std::f64::consts::PI * hz * t).sin()) as i16;
+                    for c in 0..channels {
+                        buf.set_sample(i, c, v);
+                    }
+                }
+            }
+            AudioSignal::Noise { seed, amplitude } => {
+                let mut rng = Lcg::new(seed ^ first_frame);
+                for i in 0..frames {
+                    for c in 0..channels {
+                        buf.set_sample(i, c, rng.sample(amplitude));
+                    }
+                }
+            }
+            AudioSignal::Chirp {
+                from_hz,
+                to_hz,
+                sweep_frames,
+                amplitude,
+            } => {
+                let n = sweep_frames.max(1) as f64;
+                for i in 0..frames {
+                    let k = (first_frame + i as u64) as f64;
+                    let frac = (k / n).min(1.0);
+                    let hz = from_hz + (to_hz - from_hz) * frac;
+                    // Phase integral of a linear sweep: f0·t + (f1−f0)·t²/(2T)
+                    let t = k / sample_rate as f64;
+                    let phase = 2.0
+                        * std::f64::consts::PI
+                        * (from_hz * t + (hz - from_hz) * t / 2.0);
+                    let v = (amplitude as f64 * phase.sin()) as i16;
+                    for c in 0..channels {
+                        buf.set_sample(i, c, v);
+                    }
+                }
+            }
+        }
+        buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Note material
+// ---------------------------------------------------------------------------
+
+/// An ascending major scale starting at `root`, one note per `step_ticks`,
+/// each lasting `dur_ticks`: `(note, start, duration)` triples ready for
+/// `notes_to_events` or a music stream.
+pub fn major_scale(
+    channel: u8,
+    root: u8,
+    octaves: u8,
+    step_ticks: i64,
+    dur_ticks: i64,
+) -> Vec<(Note, i64, i64)> {
+    const STEPS: [u8; 7] = [0, 2, 4, 5, 7, 9, 11];
+    let mut out = Vec::new();
+    let mut at = 0i64;
+    for oct in 0..octaves {
+        for s in STEPS {
+            let key = root.saturating_add(oct * 12).saturating_add(s);
+            out.push((Note::new(channel, key.min(127), 96), at, dur_ticks));
+            at += step_ticks;
+        }
+    }
+    // Final tonic.
+    let key = root.saturating_add(octaves * 12).min(127);
+    out.push((Note::new(channel, key, 96), at, dur_ticks));
+    out
+}
+
+/// A I–IV–V–I chord progression in the major key of `root`; each chord is
+/// three overlapping notes (the paper's "a chord would then require
+/// overlapping elements").
+pub fn chord_progression(channel: u8, root: u8, chord_ticks: i64) -> Vec<(Note, i64, i64)> {
+    let triad = |base: u8| [base, base + 4, base + 7];
+    let degrees = [0u8, 5, 7, 0]; // I, IV, V, I
+    let mut out = Vec::new();
+    for (i, d) in degrees.into_iter().enumerate() {
+        let at = i as i64 * chord_ticks;
+        for key in triad(root + d) {
+            out.push((Note::new(channel, key.min(127), 80), at, chord_ticks));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_bounded() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = Lcg::new(7);
+        for _ in 0..1000 {
+            assert!(c.below(10) < 10);
+            let s = c.sample(100);
+            assert!((-100..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn patterns_are_deterministic() {
+        for p in [
+            VideoPattern::MovingBar,
+            VideoPattern::ShiftingGradient,
+            VideoPattern::Checkerboard(5),
+            VideoPattern::Noise(9),
+            VideoPattern::Solid(1, 2, 3),
+        ] {
+            assert_eq!(p.render(17, 32, 24), p.render(17, 32, 24));
+        }
+    }
+
+    #[test]
+    fn moving_bar_moves() {
+        let f0 = VideoPattern::MovingBar.render(0, 64, 16);
+        let f1 = VideoPattern::MovingBar.render(10, 64, 16);
+        assert!(f0.mean_abs_diff(&f1).unwrap() > 0.5);
+        // Consecutive frames differ only slightly (good for interframe coding).
+        let f0b = VideoPattern::MovingBar.render(1, 64, 16);
+        assert!(f0.mean_abs_diff(&f0b).unwrap() < f0.mean_abs_diff(&f1).unwrap());
+    }
+
+    #[test]
+    fn render_frames_sequences_indices() {
+        let v = render_frames(VideoPattern::ShiftingGradient, 5, 3, 16, 8);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], VideoPattern::ShiftingGradient.render(5, 16, 8));
+        assert_eq!(v[2], VideoPattern::ShiftingGradient.render(7, 16, 8));
+    }
+
+    #[test]
+    fn sine_has_expected_rms() {
+        // RMS of a sine is amplitude/√2.
+        let buf = AudioSignal::Sine {
+            hz: 440.0,
+            amplitude: 10000,
+        }
+        .generate(0, 44100, 44100, 1);
+        let rms = buf.rms();
+        assert!((rms - 10000.0 / 2f64.sqrt()).abs() < 60.0, "rms = {rms}");
+    }
+
+    #[test]
+    fn sine_is_phase_continuous_across_blocks() {
+        let s = AudioSignal::Sine {
+            hz: 1000.0,
+            amplitude: 8000,
+        };
+        let whole = s.generate(0, 2000, 44100, 1);
+        let mut first = s.generate(0, 1000, 44100, 1);
+        let second = s.generate(1000, 1000, 44100, 1);
+        assert!(first.append(&second));
+        assert_eq!(whole, first);
+    }
+
+    #[test]
+    fn silence_is_silent_and_noise_is_not() {
+        let s = AudioSignal::Silence.generate(0, 100, 44100, 2);
+        assert_eq!(s.peak(), 0);
+        let n = AudioSignal::Noise {
+            seed: 3,
+            amplitude: 500,
+        }
+        .generate(0, 1000, 44100, 2);
+        assert!(n.peak() > 0 && n.peak() <= 500);
+    }
+
+    #[test]
+    fn chirp_frequency_rises() {
+        let c = AudioSignal::Chirp {
+            from_hz: 100.0,
+            to_hz: 2000.0,
+            sweep_frames: 44100,
+            amplitude: 9000,
+        };
+        let early = c.generate(0, 4410, 44100, 1);
+        let late = c.generate(39690, 4410, 44100, 1);
+        // Count zero crossings as a frequency proxy.
+        let zc = |b: &AudioBuffer| {
+            b.samples()
+                .windows(2)
+                .filter(|w| (w[0] < 0) != (w[1] < 0))
+                .count()
+        };
+        assert!(zc(&late) > zc(&early) * 3, "{} vs {}", zc(&late), zc(&early));
+    }
+
+    #[test]
+    fn major_scale_shape() {
+        let scale = major_scale(0, 60, 1, 480, 400);
+        assert_eq!(scale.len(), 8);
+        assert_eq!(scale[0].0.key, 60);
+        assert_eq!(scale[7].0.key, 72);
+        // Strictly ascending pitches, strictly increasing starts.
+        assert!(scale.windows(2).all(|w| w[0].0.key < w[1].0.key));
+        assert!(scale.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn chords_overlap() {
+        let prog = chord_progression(0, 60, 960);
+        assert_eq!(prog.len(), 12);
+        // Three notes share each start time.
+        let first_chord: Vec<_> = prog.iter().filter(|(_, at, _)| *at == 0).collect();
+        assert_eq!(first_chord.len(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! # tbm-media — concrete media elements
+//!
+//! The data model of `tbm-core` is media-independent; this crate supplies the
+//! concrete media the paper discusses, together with synthetic *capture* —
+//! the substitute for the digitization hardware the paper's examples assume
+//! (see DESIGN.md's substitution record):
+//!
+//! * [`color`] — RGB, YUV and CMYK color models with exact integer
+//!   conversions, including the CMYK separation used by the paper's
+//!   color-separation derivation (Table 1).
+//! * [`Frame`] — raster video frames/images in several pixel formats,
+//!   including the chroma-subsampled "YUV 8:2:2" layout of the Fig. 2
+//!   walk-through (Y at 8 bpp, U and V averaged over 2×2 blocks → 12 bpp).
+//! * [`AudioBuffer`] — interleaved 16-bit PCM with gain/mix/normalization
+//!   primitives.
+//! * [`midi`] — MIDI-like musical events ("Start Note X" / "Stop Note Y",
+//!   §3.3) and note lists, the paper's event-based medium.
+//! * [`animation`] — symbolic movement specifications, the paper's
+//!   non-continuous medium ("at times when the animated object is at rest
+//!   there are no associated media elements").
+//! * [`gen`] — deterministic signal and test-pattern generators standing in
+//!   for capture hardware.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod animation;
+mod audio;
+pub mod color;
+mod frame;
+pub mod gen;
+pub mod midi;
+
+pub use audio::AudioBuffer;
+pub use frame::{Frame, PixelFormat};

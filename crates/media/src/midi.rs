@@ -1,0 +1,254 @@
+//! MIDI-like musical events and note lists.
+//!
+//! The paper's §3.3 gives MIDI as *the* example of event-based streams:
+//! "elements are musical events of the form 'Start Note X' and 'Stop Note
+//! Y'" with `dᵢ = 0`. [`MidiEvent`] is that element; [`Note`] is the
+//! overlapping-element representation of the *music* medium ("a chord would
+//! then require overlapping elements"); and [`notes_to_events`] converts
+//! between the two, which is also how the MIDI-synthesis derivation walks
+//! its input.
+
+use tbm_core::{ElementDescriptor, StreamElement};
+
+/// A MIDI-like channel event. Serialized size is a constant 3 bytes,
+/// matching MIDI channel-message wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MidiEvent {
+    /// Start sounding `key` on `channel` at `velocity`.
+    NoteOn {
+        /// Channel 0–15.
+        channel: u8,
+        /// MIDI key number (60 = middle C).
+        key: u8,
+        /// Strike velocity 1–127 (0 is reserved: it means NoteOff).
+        velocity: u8,
+    },
+    /// Stop sounding `key` on `channel`.
+    NoteOff {
+        /// Channel 0–15.
+        channel: u8,
+        /// MIDI key number.
+        key: u8,
+    },
+    /// Select an instrument (program) on `channel` — the "MIDI channel
+    /// mappings and instrument parameters" of the synthesis derivation.
+    ProgramChange {
+        /// Channel 0–15.
+        channel: u8,
+        /// Program number 0–127.
+        program: u8,
+    },
+}
+
+impl MidiEvent {
+    /// The event's channel.
+    pub fn channel(self) -> u8 {
+        match self {
+            MidiEvent::NoteOn { channel, .. }
+            | MidiEvent::NoteOff { channel, .. }
+            | MidiEvent::ProgramChange { channel, .. } => channel,
+        }
+    }
+
+    /// Serializes to the 3-byte wire form.
+    pub fn to_bytes(self) -> [u8; 3] {
+        match self {
+            MidiEvent::NoteOn {
+                channel,
+                key,
+                velocity,
+            } => [0x90 | (channel & 0x0f), key & 0x7f, velocity & 0x7f],
+            MidiEvent::NoteOff { channel, key } => [0x80 | (channel & 0x0f), key & 0x7f, 0],
+            MidiEvent::ProgramChange { channel, program } => {
+                [0xC0 | (channel & 0x0f), program & 0x7f, 0]
+            }
+        }
+    }
+
+    /// Parses the 3-byte wire form.
+    pub fn from_bytes(bytes: [u8; 3]) -> Option<MidiEvent> {
+        let channel = bytes[0] & 0x0f;
+        match bytes[0] & 0xf0 {
+            0x90 if bytes[2] > 0 => Some(MidiEvent::NoteOn {
+                channel,
+                key: bytes[1],
+                velocity: bytes[2],
+            }),
+            // Velocity-0 NoteOn is NoteOff, per MIDI convention.
+            0x90 | 0x80 => Some(MidiEvent::NoteOff {
+                channel,
+                key: bytes[1],
+            }),
+            0xC0 => Some(MidiEvent::ProgramChange {
+                channel,
+                program: bytes[1],
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl StreamElement for MidiEvent {
+    fn byte_size(&self) -> u64 {
+        3
+    }
+
+    fn descriptor_token(&self) -> u64 {
+        // Event kind is the element descriptor (the "form" of the element).
+        match self {
+            MidiEvent::NoteOn { .. } => 1,
+            MidiEvent::NoteOff { .. } => 2,
+            MidiEvent::ProgramChange { .. } => 3,
+        }
+    }
+
+    fn element_descriptor(&self) -> ElementDescriptor {
+        let kind = match self {
+            MidiEvent::NoteOn { .. } => "note-on",
+            MidiEvent::NoteOff { .. } => "note-off",
+            MidiEvent::ProgramChange { .. } => "program-change",
+        };
+        ElementDescriptor::from_pairs([("event", kind)])
+    }
+}
+
+/// A sounded note: the element of the *music* medium, with a positive
+/// duration (chords are overlapping notes; rests are gaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Note {
+    /// Channel 0–15.
+    pub channel: u8,
+    /// MIDI key number (60 = middle C; A440 is key 69).
+    pub key: u8,
+    /// Strike velocity 1–127.
+    pub velocity: u8,
+}
+
+impl Note {
+    /// Creates a note.
+    pub fn new(channel: u8, key: u8, velocity: u8) -> Note {
+        Note {
+            channel,
+            key,
+            velocity,
+        }
+    }
+
+    /// Equal-tempered frequency of the key, in hertz (A4 = key 69 = 440 Hz).
+    pub fn frequency_hz(self) -> f64 {
+        440.0 * 2f64.powf((self.key as f64 - 69.0) / 12.0)
+    }
+}
+
+impl StreamElement for Note {
+    fn byte_size(&self) -> u64 {
+        3
+    }
+}
+
+/// Converts timed notes `(note, start, duration)` into the event-based
+/// representation: a NoteOn at `start`, a NoteOff at `start + duration`,
+/// all sorted by time (ties: NoteOff first, so re-struck notes retrigger).
+pub fn notes_to_events(notes: &[(Note, i64, i64)]) -> Vec<(MidiEvent, i64)> {
+    let mut events: Vec<(MidiEvent, i64, u8)> = Vec::with_capacity(notes.len() * 2);
+    for &(note, start, duration) in notes {
+        events.push((
+            MidiEvent::NoteOn {
+                channel: note.channel,
+                key: note.key,
+                velocity: note.velocity,
+            },
+            start,
+            1,
+        ));
+        events.push((
+            MidiEvent::NoteOff {
+                channel: note.channel,
+                key: note.key,
+            },
+            start + duration,
+            0,
+        ));
+    }
+    events.sort_by_key(|&(_, at, order)| (at, order));
+    events.into_iter().map(|(e, at, _)| (e, at)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let events = [
+            MidiEvent::NoteOn {
+                channel: 3,
+                key: 60,
+                velocity: 100,
+            },
+            MidiEvent::NoteOff { channel: 3, key: 60 },
+            MidiEvent::ProgramChange {
+                channel: 9,
+                program: 40,
+            },
+        ];
+        for e in events {
+            assert_eq!(MidiEvent::from_bytes(e.to_bytes()), Some(e));
+            assert_eq!(e.byte_size(), 3);
+        }
+    }
+
+    #[test]
+    fn velocity_zero_noteon_is_noteoff() {
+        let parsed = MidiEvent::from_bytes([0x90, 64, 0]);
+        assert_eq!(parsed, Some(MidiEvent::NoteOff { channel: 0, key: 64 }));
+    }
+
+    #[test]
+    fn unknown_status_rejected() {
+        assert_eq!(MidiEvent::from_bytes([0x00, 0, 0]), None);
+        assert_eq!(MidiEvent::from_bytes([0xF0, 0, 0]), None);
+    }
+
+    #[test]
+    fn descriptor_tokens_distinguish_event_kinds() {
+        let on = MidiEvent::NoteOn {
+            channel: 0,
+            key: 60,
+            velocity: 64,
+        };
+        let off = MidiEvent::NoteOff { channel: 0, key: 60 };
+        assert_ne!(on.descriptor_token(), off.descriptor_token());
+        assert_eq!(
+            on.element_descriptor(),
+            ElementDescriptor::from_pairs([("event", "note-on")])
+        );
+    }
+
+    #[test]
+    fn note_frequencies() {
+        assert!((Note::new(0, 69, 100).frequency_hz() - 440.0).abs() < 1e-9);
+        assert!((Note::new(0, 57, 100).frequency_hz() - 220.0).abs() < 1e-9);
+        // Middle C ≈ 261.63 Hz.
+        let c4 = Note::new(0, 60, 100).frequency_hz();
+        assert!((c4 - 261.6256).abs() < 0.001);
+    }
+
+    #[test]
+    fn notes_to_events_sorted_with_offs_first() {
+        let notes = [
+            (Note::new(0, 60, 100), 0, 480),
+            (Note::new(0, 60, 100), 480, 480), // re-struck immediately
+            (Note::new(0, 64, 90), 0, 960),    // chord partner
+        ];
+        let events = notes_to_events(&notes);
+        assert_eq!(events.len(), 6);
+        // At tick 480: the NoteOff of the first strike precedes the NoteOn
+        // of the second.
+        let at_480: Vec<_> = events.iter().filter(|(_, t)| *t == 480).collect();
+        assert!(matches!(at_480[0].0, MidiEvent::NoteOff { key: 60, .. }));
+        assert!(matches!(at_480[1].0, MidiEvent::NoteOn { key: 60, .. }));
+        // Events are globally sorted by time.
+        assert!(events.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

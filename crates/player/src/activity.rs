@@ -1,0 +1,265 @@
+//! Activities: database operations as flow-processing stages.
+//!
+//! The paper's conclusion sketches the architecture the model leads to:
+//!
+//! > *"The notion of timed streams introduced in this paper leads to a
+//! > perspective where database operations are viewed as extended
+//! > activities that produce, consume and transform flows of data. A
+//! > database architecture based on activities and their possible
+//! > interconnection is explored in \[5\]."*
+//!
+//! This module implements that perspective analytically: an [`Activity`] is
+//! a stage with a processing capacity (measured on its *input* flow) and an
+//! expansion ratio (output bytes per input byte — a decoder expands, an
+//! encoder contracts, a filter is 1:1). A [`Pipeline`] chains activities
+//! from a producer (storage) to the presentation boundary and answers the
+//! provisioning questions the paper raises under "resource allocation":
+//! what presentation rate can this chain sustain, and which stage is the
+//! bottleneck?
+
+use std::fmt;
+use tbm_time::Rational;
+
+/// One flow-processing stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    /// The stage's name (for reports).
+    pub name: String,
+    /// Maximum bytes/second the stage can accept on its input.
+    pub capacity: Rational,
+    /// Output bytes per input byte (> 0). Decoders expand (e.g. a 44:1
+    /// video decoder has ratio 44); encoders contract; copies are 1.
+    pub ratio: Rational,
+}
+
+impl Activity {
+    /// A stage with the given input capacity (bytes/second) and ratio.
+    pub fn new(name: &str, capacity: Rational, ratio: Rational) -> Option<Activity> {
+        if capacity.signum() <= 0 || ratio.signum() <= 0 {
+            return None;
+        }
+        Some(Activity {
+            name: name.to_owned(),
+            capacity,
+            ratio,
+        })
+    }
+
+    /// A producer (storage read, network receive): capacity, 1:1.
+    pub fn producer(name: &str, bytes_per_sec: u64) -> Activity {
+        Activity::new(name, Rational::from(bytes_per_sec as i64), Rational::ONE)
+            .expect("positive capacity")
+    }
+
+    /// A transformer with input-side throughput and an expansion ratio
+    /// `out_bytes : in_bytes`.
+    pub fn transformer(name: &str, input_bytes_per_sec: u64, out: u64, inp: u64) -> Activity {
+        Activity::new(
+            name,
+            Rational::from(input_bytes_per_sec as i64),
+            Rational::new(out.max(1) as i64, inp.max(1) as i64),
+        )
+        .expect("positive parameters")
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (≤{} B/s in, ×{})",
+            self.name, self.capacity, self.ratio
+        )
+    }
+}
+
+/// A linear chain of activities from producer to presentation boundary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pipeline {
+    stages: Vec<Activity>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Appends a stage, builder style. Flow runs in insertion order.
+    pub fn then(mut self, stage: Activity) -> Pipeline {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The stages, in flow order.
+    pub fn stages(&self) -> &[Activity] {
+        &self.stages
+    }
+
+    /// The end-to-end expansion ratio (presentation bytes per stored byte).
+    pub fn total_ratio(&self) -> Rational {
+        self.stages
+            .iter()
+            .fold(Rational::ONE, |acc, s| acc * s.ratio)
+    }
+
+    /// Each stage's capacity expressed at the *presentation* boundary: its
+    /// input capacity times all downstream ratios (including its own).
+    pub fn presentation_capacities(&self) -> Vec<Rational> {
+        let n = self.stages.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let downstream: Rational = self.stages[i..]
+                .iter()
+                .fold(Rational::ONE, |acc, s| acc * s.ratio);
+            out.push(self.stages[i].capacity * downstream);
+        }
+        out
+    }
+
+    /// The maximum presentation-side rate the chain sustains in steady
+    /// state (`None` for an empty pipeline).
+    pub fn steady_state_rate(&self) -> Option<Rational> {
+        self.presentation_capacities().into_iter().min()
+    }
+
+    /// The limiting stage: `(index, name, presentation-side capacity)`.
+    pub fn bottleneck(&self) -> Option<(usize, &str, Rational)> {
+        let caps = self.presentation_capacities();
+        let (i, cap) = caps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cmp(b.1))
+            .map(|(i, c)| (i, *c))?;
+        Some((i, self.stages[i].name.as_str(), cap))
+    }
+
+    /// Whether the chain can feed a presentation demanding `rate`
+    /// presentation-bytes/second.
+    pub fn sustains(&self, rate: Rational) -> bool {
+        self.steady_state_rate()
+            .map(|cap| cap >= rate)
+            .unwrap_or(false)
+    }
+
+    /// Utilization of each stage at presentation demand `rate` (fractions
+    /// of capacity; > 1 means overload).
+    pub fn utilization(&self, rate: Rational) -> Vec<(String, f64)> {
+        self.presentation_capacities()
+            .into_iter()
+            .zip(&self.stages)
+            .map(|(cap, s)| (s.name.clone(), (rate / cap).to_f64()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{}", s.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 2 playback chain: storage at 1 MB/s feeding a VHS-quality
+    /// video decoder that expands ≈0.35 MB/s of bitstream to ≈22 MB/s of
+    /// frames, then a presentation sink.
+    fn fig2_chain(storage_bps: u64) -> Pipeline {
+        Pipeline::new()
+            .then(Activity::producer("storage", storage_bps))
+            // decoder: accepts up to 2 MB/s of bitstream, 63:1 expansion
+            .then(Activity::transformer("video decoder", 2_000_000, 63, 1))
+            // presentation: raw frames at up to 30 MB/s, 1:1
+            .then(Activity::producer("presentation", 30_000_000))
+    }
+
+    #[test]
+    fn steady_state_is_min_over_presentation_capacities() {
+        let p = fig2_chain(1_000_000);
+        // storage: 1 MB/s × 63 = 63 MB/s at presentation; decoder:
+        // 2 MB/s × 63 = 126 MB/s; presentation: 30 MB/s. Min = 30 MB/s.
+        assert_eq!(
+            p.steady_state_rate(),
+            Some(Rational::from(30_000_000))
+        );
+        let (i, name, _) = p.bottleneck().unwrap();
+        assert_eq!((i, name), (2, "presentation"));
+    }
+
+    #[test]
+    fn starved_storage_becomes_the_bottleneck() {
+        let p = fig2_chain(100_000); // 100 kB/s storage
+        // 100 kB/s × 63 = 6.3 MB/s at presentation.
+        assert_eq!(p.steady_state_rate(), Some(Rational::from(6_300_000)));
+        assert_eq!(p.bottleneck().unwrap().1, "storage");
+        // Raw PAL 640×480 demands 640*480*3*25 = 23.04 MB/s: not sustained.
+        let demand = Rational::from(23_040_000);
+        assert!(!p.sustains(demand));
+        assert!(fig2_chain(1_000_000).sustains(demand));
+    }
+
+    #[test]
+    fn total_ratio_composes() {
+        let p = Pipeline::new()
+            .then(Activity::producer("disk", 10))
+            .then(Activity::transformer("adpcm decode", 100, 4, 1))
+            .then(Activity::transformer("downmix", 1000, 1, 2));
+        assert_eq!(p.total_ratio(), Rational::from(2)); // 4 × 1/2
+    }
+
+    #[test]
+    fn utilization_reports_overload() {
+        let p = fig2_chain(100_000);
+        let u = p.utilization(Rational::from(23_040_000));
+        // storage over 100 %; presentation under.
+        assert!(u[0].1 > 1.0, "{u:?}");
+        assert!(u[2].1 < 1.0, "{u:?}");
+        // All stage names present.
+        let names: Vec<&str> = u.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["storage", "video decoder", "presentation"]);
+    }
+
+    #[test]
+    fn empty_and_invalid() {
+        let p = Pipeline::new();
+        assert_eq!(p.steady_state_rate(), None);
+        assert!(p.bottleneck().is_none());
+        assert!(!p.sustains(Rational::ONE));
+        assert!(Activity::new("x", Rational::ZERO, Rational::ONE).is_none());
+        assert!(Activity::new("x", Rational::ONE, Rational::ZERO).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = fig2_chain(1);
+        assert_eq!(p.to_string(), "storage → video decoder → presentation");
+        let a = Activity::transformer("dec", 100, 4, 1);
+        assert!(a.to_string().contains("dec"));
+    }
+
+    #[test]
+    fn contraction_chain_models_recording() {
+        // Recording: capture produces raw frames; encoder contracts 63:1;
+        // storage writes the bitstream. Presentation boundary here is the
+        // stored flow.
+        let p = Pipeline::new()
+            .then(Activity::producer("capture", 23_040_000))
+            .then(Activity::transformer("encoder", 25_000_000, 1, 63))
+            .then(Activity::producer("storage write", 500_000));
+        // capture side: 23.04 MB/s / 63 ≈ 365 kB/s of bitstream;
+        // encoder: 25/63 ≈ 397 kB/s; storage: 500 kB/s → bottleneck is capture.
+        let (_, name, cap) = p.bottleneck().unwrap();
+        assert_eq!(name, "capture");
+        assert_eq!(cap, Rational::new(23_040_000, 63));
+        assert!(p.sustains(Rational::from(300_000)));
+        assert!(!p.sustains(Rational::from(400_000)));
+    }
+}

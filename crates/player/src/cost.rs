@@ -1,0 +1,81 @@
+//! Cost model for fetching and decoding media elements.
+
+use tbm_time::{Rational, TimeDelta};
+
+/// A simple two-stage cost model: transfer from storage at a fixed
+/// bandwidth, then decode at a fixed throughput, plus a fixed per-element
+/// overhead (seek/dispatch). All costs are exact rationals so simulations
+/// are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Storage/transfer bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// Decode throughput in bytes per second (0 = free decoding).
+    pub decode_rate: u64,
+    /// Fixed overhead per element, in microseconds.
+    pub overhead_us: u64,
+}
+
+impl CostModel {
+    /// A model with only transfer bandwidth.
+    pub fn bandwidth_only(bytes_per_sec: u64) -> CostModel {
+        CostModel {
+            bandwidth: bytes_per_sec.max(1),
+            decode_rate: 0,
+            overhead_us: 0,
+        }
+    }
+
+    /// Builder: sets decode throughput.
+    pub fn with_decode_rate(mut self, bytes_per_sec: u64) -> CostModel {
+        self.decode_rate = bytes_per_sec;
+        self
+    }
+
+    /// Builder: sets fixed per-element overhead in microseconds.
+    pub fn with_overhead_us(mut self, us: u64) -> CostModel {
+        self.overhead_us = us;
+        self
+    }
+
+    /// Time to make one element of `bytes` bytes ready for presentation.
+    pub fn element_cost(&self, bytes: u64) -> TimeDelta {
+        let mut secs = Rational::new(bytes as i64, self.bandwidth.max(1) as i64);
+        if self.decode_rate > 0 {
+            secs += Rational::new(bytes as i64, self.decode_rate as i64);
+        }
+        secs += Rational::new(self.overhead_us as i64, 1_000_000);
+        TimeDelta::from_seconds(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_scales_linearly() {
+        let m = CostModel::bandwidth_only(1_000_000);
+        assert_eq!(
+            m.element_cost(500_000),
+            TimeDelta::from_seconds(Rational::new(1, 2))
+        );
+        assert_eq!(m.element_cost(0), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn decode_and_overhead_add() {
+        let m = CostModel::bandwidth_only(1_000_000)
+            .with_decode_rate(2_000_000)
+            .with_overhead_us(100);
+        // 1 MB: 1 s transfer + 0.5 s decode + 0.0001 s overhead.
+        let c = m.element_cost(1_000_000).seconds();
+        assert_eq!(c, Rational::new(15_001, 10_000));
+    }
+
+    #[test]
+    fn zero_bandwidth_clamped() {
+        let m = CostModel::bandwidth_only(0);
+        assert!(m.element_cost(10).seconds() > Rational::ZERO);
+    }
+}

@@ -1,0 +1,290 @@
+//! Element schedules: presentation deadlines derived from interpretations.
+
+use tbm_interp::StreamInterp;
+use tbm_time::{Rational, TimeDelta, TimePoint, TimeSystem};
+
+/// One element to present: its deadline (relative to stream start) and the
+/// bytes that must be fetched and decoded by then.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementJob {
+    /// Presentation deadline relative to playback start.
+    pub deadline: TimePoint,
+    /// Bytes to fetch+decode.
+    pub bytes: u64,
+    /// Element number within its stream (for reporting).
+    pub index: usize,
+}
+
+/// Builds the playback schedule of a stream interpretation.
+///
+/// `layers` limits each element to its first `n` placement layers — this is
+/// scalable playback: "bandwidth can be saved … by ignoring parts of the
+/// storage unit". `None` plays all layers.
+pub fn schedule_from_interp(stream: &StreamInterp, layers: Option<usize>) -> Vec<ElementJob> {
+    let origin = stream
+        .entries()
+        .first()
+        .map(|e| e.start)
+        .unwrap_or_default();
+    let system = stream.system();
+    stream
+        .entries()
+        .iter()
+        .enumerate()
+        .map(|(index, e)| {
+            let bytes = match layers {
+                Some(n) => e.placement.prefix_len(n.clamp(1, e.placement.layer_count())),
+                None => e.size,
+            };
+            ElementJob {
+                deadline: TimePoint::ZERO + system.ticks_to_delta(e.start - origin),
+                bytes,
+                index,
+            }
+        })
+        .collect()
+}
+
+/// Builds the schedule for playback at a non-unit rate (`num/den` × normal
+/// speed): deadlines compress or stretch, element sizes are unchanged — so
+/// 2× playback doubles the demanded data rate, which is why the paper notes
+/// that *independently decodable* frames (JPEG-style) make "playback in
+/// reverse or at variable rates" easy while interframe coding does not.
+///
+/// Returns `None` for non-positive rates.
+pub fn schedule_at_rate(
+    stream: &StreamInterp,
+    layers: Option<usize>,
+    rate_num: u32,
+    rate_den: u32,
+) -> Option<Vec<ElementJob>> {
+    if rate_num == 0 || rate_den == 0 {
+        return None;
+    }
+    let scale = Rational::new(rate_den as i64, rate_num as i64); // deadline multiplier
+    Some(
+        schedule_from_interp(stream, layers)
+            .into_iter()
+            .map(|j| ElementJob {
+                deadline: TimePoint::from_seconds(j.deadline.seconds() * scale),
+                ..j
+            })
+            .collect(),
+    )
+}
+
+/// Builds the reverse-playback schedule: the last element presents first.
+///
+/// For streams whose elements are all keys (intraframe video, PCM audio)
+/// the element set is unchanged. For interframe streams, presenting element
+/// `i` requires decoding from its preceding key, so each job's `bytes`
+/// grows to cover the whole key-to-element span — quantifying the paper's
+/// §2.1 observation that independently compressed frames make reverse
+/// playback easier.
+pub fn schedule_reverse(stream: &StreamInterp, layers: Option<usize>) -> Vec<ElementJob> {
+    let forward = schedule_from_interp(stream, layers);
+    let n = forward.len();
+    let mut out = Vec::with_capacity(n);
+    for (pos, orig) in forward.iter().rev().enumerate() {
+        // Decode cost: all bytes from the element's key through the element.
+        let key = stream.key_before(orig.index).unwrap_or(orig.index);
+        let bytes: u64 = (key..=orig.index)
+            .map(|i| {
+                let e = &stream.entries()[i];
+                match layers {
+                    Some(l) => e.placement.prefix_len(l.clamp(1, e.placement.layer_count())),
+                    None => e.size,
+                }
+            })
+            .sum();
+        out.push(ElementJob {
+            deadline: forward[pos].deadline, // same cadence, reversed content
+            bytes,
+            index: orig.index,
+        });
+    }
+    out
+}
+
+/// Builds a uniform synthetic schedule: `count` elements of `bytes` bytes at
+/// frequency `system` (workload generator for benchmarks).
+pub fn schedule_uniform(count: usize, bytes: u64, system: TimeSystem) -> Vec<ElementJob> {
+    (0..count)
+        .map(|i| ElementJob {
+            deadline: system.tick_to_seconds(i as i64),
+            bytes,
+            index: i,
+        })
+        .collect()
+}
+
+/// Total bytes of a schedule.
+pub fn total_bytes(jobs: &[ElementJob]) -> u64 {
+    jobs.iter().map(|j| j.bytes).sum()
+}
+
+/// The average data rate a schedule demands, in bytes/second.
+pub fn demanded_rate(jobs: &[ElementJob], system: TimeSystem) -> Option<Rational> {
+    let last = jobs.last()?;
+    let span = (last.deadline + TimeDelta::from_seconds(system.period().seconds()))
+        .since_origin()
+        .seconds();
+    if span.is_zero() {
+        return None;
+    }
+    Some(Rational::from(total_bytes(jobs) as i64) / span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_blob::ByteSpan;
+    use tbm_core::{MediaDescriptor, MediaKind};
+    use tbm_interp::ElementEntry;
+
+    fn stream(sizes: &[u64]) -> StreamInterp {
+        let mut at = 0u64;
+        let entries = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &z)| {
+                let e = ElementEntry::simple(10 + i as i64, 1, ByteSpan::new(at, z));
+                at += z;
+                e
+            })
+            .collect();
+        StreamInterp::new(
+            MediaDescriptor::new(MediaKind::Video),
+            TimeSystem::PAL,
+            entries,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deadlines_are_relative_to_first_element() {
+        let s = stream(&[100, 200, 300]);
+        let jobs = schedule_from_interp(&s, None);
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].deadline, TimePoint::ZERO);
+        assert_eq!(
+            jobs[1].deadline,
+            TimePoint::from_seconds(Rational::new(1, 25))
+        );
+        assert_eq!(jobs[2].bytes, 300);
+        assert_eq!(total_bytes(&jobs), 600);
+    }
+
+    #[test]
+    fn layered_schedule_takes_prefix() {
+        let e = ElementEntry::simple(0, 1, ByteSpan::new(0, 10))
+            .with_layers(vec![ByteSpan::new(0, 10), ByteSpan::new(10, 30)])
+            .unwrap();
+        let s = StreamInterp::new(
+            MediaDescriptor::new(MediaKind::Video),
+            TimeSystem::PAL,
+            vec![e],
+        )
+        .unwrap();
+        let full = schedule_from_interp(&s, None);
+        let base = schedule_from_interp(&s, Some(1));
+        assert_eq!(full[0].bytes, 40);
+        assert_eq!(base[0].bytes, 10);
+        // Clamp: asking for more layers than exist is the full read.
+        let over = schedule_from_interp(&s, Some(9));
+        assert_eq!(over[0].bytes, 40);
+    }
+
+    #[test]
+    fn rate_scaling_compresses_deadlines() {
+        let s = stream(&[100, 100, 100, 100]);
+        let normal = schedule_from_interp(&s, None);
+        let double = schedule_at_rate(&s, None, 2, 1).unwrap();
+        let half = schedule_at_rate(&s, None, 1, 2).unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                double[i].deadline.seconds() * Rational::from(2),
+                normal[i].deadline.seconds()
+            );
+            assert_eq!(
+                half[i].deadline.seconds(),
+                normal[i].deadline.seconds() * Rational::from(2)
+            );
+            // Bytes unchanged: 2x playback = 2x data rate.
+            assert_eq!(double[i].bytes, normal[i].bytes);
+        }
+        assert!(schedule_at_rate(&s, None, 0, 1).is_none());
+        assert!(schedule_at_rate(&s, None, 1, 0).is_none());
+    }
+
+    #[test]
+    fn reverse_schedule_all_keys_is_symmetric() {
+        // Intraframe streams (every element a key): reverse playback costs
+        // the same bytes as forward.
+        let s = stream(&[100, 200, 300]);
+        let rev = schedule_reverse(&s, None);
+        assert_eq!(rev.len(), 3);
+        assert_eq!(rev[0].index, 2);
+        assert_eq!(rev[0].bytes, 300);
+        assert_eq!(rev[2].index, 0);
+        assert_eq!(rev[2].bytes, 100);
+        // Deadlines keep the forward cadence.
+        assert_eq!(rev[0].deadline, TimePoint::ZERO);
+    }
+
+    #[test]
+    fn reverse_schedule_interframe_pays_key_seek() {
+        // Keys at 0 and 2 only: presenting element 1 in reverse requires
+        // decoding from element 0.
+        let mut entries = Vec::new();
+        let mut at = 0u64;
+        for (i, (size, key)) in [(500u64, true), (100, false), (400, true), (100, false)]
+            .iter()
+            .enumerate()
+        {
+            let mut e = ElementEntry::simple(10 + i as i64, 1, ByteSpan::new(at, *size));
+            e.is_key = *key;
+            at += size;
+            entries.push(e);
+        }
+        let s = StreamInterp::new(
+            MediaDescriptor::new(MediaKind::Video),
+            TimeSystem::PAL,
+            entries,
+        )
+        .unwrap();
+        let rev = schedule_reverse(&s, None);
+        // Element 3 (non-key): bytes = key 2 + element 3.
+        assert_eq!(rev[0].index, 3);
+        assert_eq!(rev[0].bytes, 400 + 100);
+        // Element 1 (non-key): bytes = key 0 + element 1.
+        assert_eq!(rev[2].index, 1);
+        assert_eq!(rev[2].bytes, 500 + 100);
+        // Keys cost only themselves.
+        assert_eq!(rev[1].bytes, 400);
+        assert_eq!(rev[3].bytes, 500);
+        // Total reverse cost strictly exceeds forward cost — the paper's
+        // point about interframe coding.
+        let fwd: u64 = schedule_from_interp(&s, None).iter().map(|j| j.bytes).sum();
+        let rv: u64 = rev.iter().map(|j| j.bytes).sum();
+        assert!(rv > fwd);
+    }
+
+    #[test]
+    fn uniform_schedule() {
+        let jobs = schedule_uniform(25, 4000, TimeSystem::PAL);
+        assert_eq!(jobs.len(), 25);
+        assert_eq!(jobs[24].deadline, TimePoint::from_seconds(Rational::new(24, 25)));
+        // Demanded rate: 25 × 4000 bytes over exactly 1 s.
+        assert_eq!(
+            demanded_rate(&jobs, TimeSystem::PAL),
+            Some(Rational::from(100_000))
+        );
+    }
+
+    #[test]
+    fn empty_schedule() {
+        assert!(schedule_uniform(0, 10, TimeSystem::PAL).is_empty());
+        assert_eq!(demanded_rate(&[], TimeSystem::PAL), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! The playback pipeline simulation.
+
+use crate::{CostModel, ElementJob};
+use tbm_time::{Rational, TimeDelta, TimePoint};
+
+/// A deterministic single-pipeline playback simulator.
+///
+/// Elements are fetched and decoded sequentially through the [`CostModel`];
+/// element `i` becomes *ready* at `ready(i-1) + cost(i)`. Playback begins
+/// once `startup_elements` are buffered (the classic startup-latency /
+/// underrun trade-off); from then on the clock demands element `i` at
+/// `t_play + deadline(i)`. An element that is not ready at its demand time
+/// is a *deadline miss*, presented late by its *lateness*.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaybackSim {
+    /// The fetch/decode cost model.
+    pub cost: CostModel,
+    /// Elements buffered before the presentation clock starts.
+    pub startup_elements: usize,
+}
+
+impl PlaybackSim {
+    /// A simulator with the given cost model and a one-element startup
+    /// buffer.
+    pub fn new(cost: CostModel) -> PlaybackSim {
+        PlaybackSim {
+            cost,
+            startup_elements: 1,
+        }
+    }
+
+    /// Builder: sets the startup buffer depth.
+    pub fn with_startup(mut self, elements: usize) -> PlaybackSim {
+        self.startup_elements = elements.max(1);
+        self
+    }
+
+    /// Runs the simulation over a deadline-ordered schedule.
+    pub fn run(&self, jobs: &[ElementJob]) -> PlaybackStats {
+        let mut stats = PlaybackStats::default();
+        if jobs.is_empty() {
+            return stats;
+        }
+        // Fetch pipeline: ready times.
+        let mut ready = Vec::with_capacity(jobs.len());
+        let mut t = TimePoint::ZERO;
+        for j in jobs {
+            t += self.cost.element_cost(j.bytes);
+            ready.push(t);
+        }
+        // Presentation clock starts when the startup buffer is full.
+        let k = self.startup_elements.min(jobs.len()) - 1;
+        let t_play = ready[k] - jobs[0].deadline.since_origin();
+        stats.startup_latency = ready[k].since_origin();
+        stats.elements = jobs.len();
+
+        let mut sum_late = Rational::ZERO;
+        let mut sum_late_sq = 0f64;
+        for (j, &r) in jobs.iter().zip(&ready) {
+            let scheduled = t_play + j.deadline.since_origin();
+            let actual = scheduled.max(r);
+            let lateness = actual - scheduled;
+            if lateness > TimeDelta::ZERO {
+                stats.misses += 1;
+                stats.max_lateness = stats.max_lateness.max(lateness);
+                sum_late += lateness.seconds();
+            }
+            let late_f = lateness.seconds().to_f64();
+            sum_late_sq += late_f * late_f;
+        }
+        stats.mean_lateness = TimeDelta::from_seconds(
+            sum_late / Rational::from(jobs.len() as i64),
+        );
+        stats.jitter_rms_secs = (sum_late_sq / jobs.len() as f64).sqrt();
+        stats
+    }
+}
+
+/// The outcome of a playback simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlaybackStats {
+    /// Elements presented.
+    pub elements: usize,
+    /// Elements presented after their deadline.
+    pub misses: usize,
+    /// Worst lateness observed.
+    pub max_lateness: TimeDelta,
+    /// Mean lateness across all elements (on-time elements contribute 0).
+    pub mean_lateness: TimeDelta,
+    /// RMS of lateness in seconds — the "jitter" the paper says the
+    /// application smooths just before presentation.
+    pub jitter_rms_secs: f64,
+    /// Time from pressing play to the first presented element.
+    pub startup_latency: TimeDelta,
+}
+
+impl PlaybackStats {
+    /// Fraction of elements missing their deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.elements as f64
+        }
+    }
+
+    /// `true` when playback was glitch-free.
+    pub fn clean(&self) -> bool {
+        self.misses == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule_uniform;
+    use tbm_time::TimeSystem;
+
+    /// PAL video at 100 kB/frame demands 2.5 MB/s.
+    fn jobs() -> Vec<ElementJob> {
+        schedule_uniform(100, 100_000, TimeSystem::PAL)
+    }
+
+    #[test]
+    fn ample_bandwidth_is_clean() {
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(10_000_000));
+        let stats = sim.run(&jobs());
+        assert_eq!(stats.elements, 100);
+        assert!(stats.clean(), "{stats:?}");
+        assert_eq!(stats.max_lateness, TimeDelta::ZERO);
+        assert_eq!(stats.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn exact_bandwidth_is_clean() {
+        // 2.5 MB/s demand at exactly 2.5 MB/s: each fetch takes exactly one
+        // period; with one element buffered the pipeline just keeps up.
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(2_500_000));
+        let stats = sim.run(&jobs());
+        assert!(stats.clean(), "{stats:?}");
+    }
+
+    #[test]
+    fn insufficient_bandwidth_misses_increasingly() {
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(2_000_000)); // 80 %
+        let stats = sim.run(&jobs());
+        assert!(stats.misses > 50, "{stats:?}");
+        assert!(stats.max_lateness > TimeDelta::ZERO);
+        assert!(stats.jitter_rms_secs > 0.0);
+        // Lateness grows over the run: the pipeline falls 20 % behind per
+        // element; by element 99 lateness ≈ 99 × (0.05 − 0.04) s ≈ 0.99 s.
+        let max = stats.max_lateness.seconds().to_f64();
+        assert!((0.8..1.2).contains(&max), "max lateness {max}");
+    }
+
+    #[test]
+    fn deeper_startup_buffer_absorbs_jitter() {
+        // Slightly undersized bandwidth: a deep buffer trades startup
+        // latency for fewer misses.
+        let tight = CostModel::bandwidth_only(2_400_000);
+        let shallow = PlaybackSim::new(tight).run(&jobs());
+        let deep = PlaybackSim::new(tight).with_startup(20).run(&jobs());
+        assert!(deep.misses < shallow.misses, "{shallow:?} vs {deep:?}");
+        assert!(deep.startup_latency > shallow.startup_latency);
+    }
+
+    #[test]
+    fn overhead_alone_can_break_playback() {
+        // 41 ms per-element overhead exceeds the 40 ms PAL period.
+        let sim = PlaybackSim::new(
+            CostModel::bandwidth_only(1_000_000_000).with_overhead_us(41_000),
+        );
+        let stats = sim.run(&jobs());
+        assert!(!stats.clean());
+    }
+
+    #[test]
+    fn empty_schedule_is_trivially_clean() {
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(1));
+        let stats = sim.run(&[]);
+        assert_eq!(stats.elements, 0);
+        assert!(stats.clean());
+    }
+
+    #[test]
+    fn determinism() {
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(2_300_000)).with_startup(5);
+        assert_eq!(sim.run(&jobs()), sim.run(&jobs()));
+    }
+}

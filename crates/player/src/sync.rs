@@ -1,0 +1,161 @@
+//! Inter-stream synchronization measurement.
+//!
+//! "It is often the case … that audio elements must be synchronized with
+//! visual elements" (§2.2). When two streams share one fetch pipeline,
+//! contention shifts their actual presentation times; [`sync_skew`] merges
+//! the two schedules deadline-first (the player's service order), simulates
+//! the shared pipeline, and reports how far simultaneous elements drift
+//! apart.
+
+use crate::{CostModel, ElementJob};
+use tbm_time::{TimeDelta, TimePoint};
+
+/// The result of a two-stream sync simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncReport {
+    /// Sync points compared (pairs of near-simultaneous elements).
+    pub points: usize,
+    /// Worst absolute skew between the streams at a sync point.
+    pub max_skew: TimeDelta,
+    /// Mean absolute skew.
+    pub mean_skew_secs: f64,
+    /// Whether every element of both streams met its deadline.
+    pub clean: bool,
+}
+
+/// Simulates playing streams `a` and `b` through one shared pipeline and
+/// measures presentation skew at sync points: for each element of `a`, the
+/// latest element of `b` with deadline ≤ its own.
+///
+/// Interleaving both streams in one BLOB (Fig. 2) exists precisely "to
+/// simplify synchronization of streams during playback"; this measurement
+/// is how the E10 experiment quantifies that.
+pub fn sync_skew(cost: CostModel, a: &[ElementJob], b: &[ElementJob]) -> SyncReport {
+    // Merge by deadline: the service order of a sequential player.
+    #[derive(Clone, Copy)]
+    struct Tagged {
+        job: ElementJob,
+        stream_a: bool,
+    }
+    let mut merged: Vec<Tagged> = a
+        .iter()
+        .map(|&job| Tagged { job, stream_a: true })
+        .chain(b.iter().map(|&job| Tagged {
+            job,
+            stream_a: false,
+        }))
+        .collect();
+    merged.sort_by_key(|x| x.job.deadline);
+
+    // Shared sequential pipeline.
+    let mut t = TimePoint::ZERO;
+    let mut ready_a: Vec<(TimePoint, TimePoint)> = Vec::new(); // (deadline, ready)
+    let mut ready_b: Vec<(TimePoint, TimePoint)> = Vec::new();
+    for m in &merged {
+        t += cost.element_cost(m.job.bytes);
+        if m.stream_a {
+            ready_a.push((m.job.deadline, t));
+        } else {
+            ready_b.push((m.job.deadline, t));
+        }
+    }
+    if ready_a.is_empty() || ready_b.is_empty() {
+        return SyncReport {
+            points: 0,
+            max_skew: TimeDelta::ZERO,
+            mean_skew_secs: 0.0,
+            clean: true,
+        };
+    }
+    // Presentation clock: start when the first element of each is ready.
+    let t_play = {
+        let first = ready_a[0].1.max(ready_b[0].1);
+        first - ready_a[0].0.since_origin().min(ready_b[0].0.since_origin())
+    };
+    let actual = |deadline: TimePoint, ready: TimePoint| -> TimePoint {
+        (t_play + deadline.since_origin()).max(ready)
+    };
+    let mut clean = true;
+    for &(d, r) in ready_a.iter().chain(&ready_b) {
+        if actual(d, r) > t_play + d.since_origin() {
+            clean = false;
+        }
+    }
+    // Sync points: each a-element against the most recent b-element.
+    let mut points = 0usize;
+    let mut max_skew = TimeDelta::ZERO;
+    let mut sum = 0f64;
+    let mut bi = 0usize;
+    for &(da, ra) in &ready_a {
+        while bi + 1 < ready_b.len() && ready_b[bi + 1].0 <= da {
+            bi += 1;
+        }
+        let (db, rb) = ready_b[bi];
+        if db > da {
+            continue; // no b element yet
+        }
+        let ta = actual(da, ra);
+        let tb = actual(db, rb);
+        // Nominal offset between the two deadlines; skew is the divergence
+        // beyond it.
+        let nominal = da - db;
+        let skew = ((ta - tb) - nominal).abs();
+        points += 1;
+        max_skew = max_skew.max(skew);
+        sum += skew.seconds().to_f64();
+    }
+    SyncReport {
+        points,
+        max_skew,
+        mean_skew_secs: if points == 0 { 0.0 } else { sum / points as f64 },
+        clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule_uniform;
+    use tbm_time::TimeSystem;
+
+    fn av_schedules(frame_bytes: u64) -> (Vec<ElementJob>, Vec<ElementJob>) {
+        // 25 fps video + per-frame audio chunks (Fig. 2 shape).
+        let video = schedule_uniform(50, frame_bytes, TimeSystem::PAL);
+        let audio = schedule_uniform(50, 7056, TimeSystem::PAL);
+        (video, audio)
+    }
+
+    #[test]
+    fn ample_bandwidth_keeps_streams_locked() {
+        let (v, a) = av_schedules(20_000);
+        let report = sync_skew(CostModel::bandwidth_only(50_000_000), &v, &a);
+        assert!(report.clean);
+        assert_eq!(report.points, 50);
+        assert_eq!(report.max_skew, TimeDelta::ZERO);
+        assert_eq!(report.mean_skew_secs, 0.0);
+    }
+
+    #[test]
+    fn starved_pipeline_skews() {
+        // Demand: 25 × (20000 + 7056) ≈ 676 kB/s; give 60 %.
+        let (v, a) = av_schedules(20_000);
+        let report = sync_skew(CostModel::bandwidth_only(400_000), &v, &a);
+        assert!(!report.clean);
+        assert!(report.max_skew > TimeDelta::ZERO, "{report:?}");
+        assert!(report.mean_skew_secs > 0.0);
+    }
+
+    #[test]
+    fn empty_streams_are_trivially_synced() {
+        let report = sync_skew(CostModel::bandwidth_only(1), &[], &[]);
+        assert_eq!(report.points, 0);
+        assert!(report.clean);
+    }
+
+    #[test]
+    fn determinism() {
+        let (v, a) = av_schedules(30_000);
+        let m = CostModel::bandwidth_only(500_000);
+        assert_eq!(sync_skew(m, &v, &a), sync_skew(m, &v, &a));
+    }
+}

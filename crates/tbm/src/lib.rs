@@ -1,0 +1,76 @@
+//! # tbm — *Data Modeling of Time-Based Media*, reproduced in Rust
+//!
+//! This umbrella crate re-exports the full stack of the reproduction of
+//! Gibbs, Breiteneder & Tsichritzis, *Data Modeling of Time-Based Media*
+//! (SIGMOD 1994), layered exactly as the paper's Figure 5:
+//!
+//! | layer | crate | paper concept |
+//! |---|---|---|
+//! | [`time`] | `tbm-time` | discrete time systems `D_f` (Def. 2) |
+//! | [`core`] | `tbm-core` | media types, descriptors, timed streams (Defs. 1, 3; Fig. 1) |
+//! | [`blob`] | `tbm-blob` | BLOBs (Def. 4) |
+//! | [`media`] | `tbm-media` | concrete media elements + synthetic capture |
+//! | [`codec`] | `tbm-codec` | the compression that creates the modeling issues of §2.2 |
+//! | [`interp`] | `tbm-interp` | interpretation (Def. 5; Fig. 2) |
+//! | [`derive`] | `tbm-derive` | derivation (Def. 6; Table 1, Fig. 3) |
+//! | [`compose`] | `tbm-compose` | composition (Def. 7; Fig. 4) |
+//! | [`player`] | `tbm-player` | playback timing/jitter simulation (§2.2, §5) |
+//! | [`db`] | `tbm-db` | the multimedia database facade (§1.2 queries) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tbm::prelude::*;
+//!
+//! // Capture ten PAL frames + CD audio into a BLOB, Fig. 2 style.
+//! let mut db = MediaDb::new();
+//! let frames = tbm::media::gen::render_frames(
+//!     tbm::media::gen::VideoPattern::MovingBar, 0, 10, 64, 48);
+//! let audio = tbm::media::gen::AudioSignal::Sine { hz: 440.0, amplitude: 9000 }
+//!     .generate(0, 10 * 1764, 44100, 2);
+//! let cap = tbm::interp::capture::capture_av_interleaved(
+//!     db.store_mut(), &frames, &audio, 1764, TimeSystem::PAL,
+//!     tbm::codec::dct::DctParams::default(), None).unwrap();
+//! db.register_interpretation(cap.interpretation).unwrap();
+//!
+//! // Non-destructive edit: a derivation object, not a copy.
+//! let edit = Node::derive(
+//!     Op::VideoEdit { cuts: vec![EditCut { input: 0, from: 2, to: 8 }] },
+//!     vec![Node::source("video1")]);
+//! db.create_derived("teaser", edit).unwrap();
+//! match db.materialize("teaser").unwrap() {
+//!     MediaValue::Video(v) => assert_eq!(v.len(), 6),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tbm_blob as blob;
+pub use tbm_codec as codec;
+pub use tbm_compose as compose;
+pub use tbm_core as core;
+pub use tbm_db as db;
+pub use tbm_derive as derive;
+pub use tbm_interp as interp;
+pub use tbm_media as media;
+pub use tbm_player as player;
+pub use tbm_time as time;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use tbm_blob::{BlobStore, ByteSpan, FileBlobStore, MemBlobStore};
+    pub use tbm_compose::{Component, ComponentKind, Composer, MultimediaObject, Region};
+    pub use tbm_core::{
+        classify, keys, AudioQuality, MediaDescriptor, MediaKind, MediaType, QualityFactor,
+        StreamCategory, TimedStream, TimedTuple, VideoQuality,
+    };
+    pub use tbm_db::MediaDb;
+    pub use tbm_derive::{EditCut, Expander, MediaValue, Node, Op, WipeDirection};
+    pub use tbm_interp::{Interpretation, StreamInterp};
+    pub use tbm_player::{CostModel, PlaybackSim};
+    pub use tbm_time::{
+        AllenRelation, Interval, Rational, TimeDelta, TimePoint, TimeSystem, Timecode,
+    };
+}

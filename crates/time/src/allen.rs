@@ -1,0 +1,217 @@
+//! Allen's interval algebra.
+//!
+//! Temporal composition (paper §4.3, citing Little & Ghafoor's
+//! spatio-temporal composition) expresses "relative timing during
+//! presentation" between components. The thirteen mutually exclusive,
+//! jointly exhaustive relations of Allen's interval algebra are the standard
+//! vocabulary for such relationships; [`AllenRelation::classify`] computes
+//! the relation that holds between two concrete intervals, and the relation
+//! can also serve as a *constraint* checked against concrete placements.
+
+use crate::Interval;
+use std::fmt;
+
+/// One of the thirteen Allen interval relations, read as
+/// `a <relation> b` (e.g. `Before` means *a* ends strictly before *b* starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `a` ends strictly before `b` starts.
+    Before,
+    /// `a` ends exactly where `b` starts.
+    Meets,
+    /// `a` starts first, they overlap, `b` ends last.
+    Overlaps,
+    /// Same start; `a` ends first.
+    Starts,
+    /// `a` lies strictly inside `b`.
+    During,
+    /// Same end; `a` starts later.
+    Finishes,
+    /// Identical intervals.
+    Equals,
+    /// Inverse of `Finishes`: same end, `a` starts earlier.
+    FinishedBy,
+    /// Inverse of `During`: `b` lies strictly inside `a`.
+    Contains,
+    /// Inverse of `Starts`: same start, `a` ends later.
+    StartedBy,
+    /// Inverse of `Overlaps`.
+    OverlappedBy,
+    /// Inverse of `Meets`.
+    MetBy,
+    /// Inverse of `Before`.
+    After,
+}
+
+impl AllenRelation {
+    /// All thirteen relations, in canonical order.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Before,
+        AllenRelation::Meets,
+        AllenRelation::Overlaps,
+        AllenRelation::Starts,
+        AllenRelation::During,
+        AllenRelation::Finishes,
+        AllenRelation::Equals,
+        AllenRelation::FinishedBy,
+        AllenRelation::Contains,
+        AllenRelation::StartedBy,
+        AllenRelation::OverlappedBy,
+        AllenRelation::MetBy,
+        AllenRelation::After,
+    ];
+
+    /// Determines which relation holds between `a` and `b`.
+    ///
+    /// Exactly one relation holds for any pair of intervals, so this is a
+    /// total classification.
+    pub fn classify(a: Interval, b: Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        let ss = a.start().cmp(&b.start());
+        let ee = a.end().cmp(&b.end());
+        match (ss, ee) {
+            (Equal, Equal) => AllenRelation::Equals,
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Less) => {
+                if a.end() < b.start() {
+                    AllenRelation::Before
+                } else if a.end() == b.start() {
+                    AllenRelation::Meets
+                } else {
+                    AllenRelation::Overlaps
+                }
+            }
+            (Greater, Greater) => {
+                if b.end() < a.start() {
+                    AllenRelation::After
+                } else if b.end() == a.start() {
+                    AllenRelation::MetBy
+                } else {
+                    AllenRelation::OverlappedBy
+                }
+            }
+            (Less, Greater) => AllenRelation::Contains,
+            (Greater, Less) => AllenRelation::During,
+        }
+    }
+
+    /// The inverse relation: if `a R b` then `b R.inverse() a`.
+    pub fn inverse(self) -> AllenRelation {
+        match self {
+            AllenRelation::Before => AllenRelation::After,
+            AllenRelation::Meets => AllenRelation::MetBy,
+            AllenRelation::Overlaps => AllenRelation::OverlappedBy,
+            AllenRelation::Starts => AllenRelation::StartedBy,
+            AllenRelation::During => AllenRelation::Contains,
+            AllenRelation::Finishes => AllenRelation::FinishedBy,
+            AllenRelation::Equals => AllenRelation::Equals,
+            AllenRelation::FinishedBy => AllenRelation::Finishes,
+            AllenRelation::Contains => AllenRelation::During,
+            AllenRelation::StartedBy => AllenRelation::Starts,
+            AllenRelation::OverlappedBy => AllenRelation::Overlaps,
+            AllenRelation::MetBy => AllenRelation::Meets,
+            AllenRelation::After => AllenRelation::Before,
+        }
+    }
+
+    /// `true` for relations in which the two intervals share a positive span
+    /// (or one contains the other).
+    pub fn shares_span(self) -> bool {
+        !matches!(
+            self,
+            AllenRelation::Before
+                | AllenRelation::Meets
+                | AllenRelation::MetBy
+                | AllenRelation::After
+        )
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AllenRelation::Before => "before",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Starts => "starts",
+            AllenRelation::During => "during",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::Equals => "equals",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::After => "after",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TimeDelta, TimePoint};
+
+    fn iv(start: i64, dur: i64) -> Interval {
+        Interval::new(TimePoint::from_secs(start), TimeDelta::from_secs(dur)).unwrap()
+    }
+
+    #[test]
+    fn all_thirteen_classified() {
+        assert_eq!(AllenRelation::classify(iv(0, 2), iv(5, 2)), AllenRelation::Before);
+        assert_eq!(AllenRelation::classify(iv(0, 5), iv(5, 2)), AllenRelation::Meets);
+        assert_eq!(AllenRelation::classify(iv(0, 5), iv(3, 5)), AllenRelation::Overlaps);
+        assert_eq!(AllenRelation::classify(iv(0, 3), iv(0, 5)), AllenRelation::Starts);
+        assert_eq!(AllenRelation::classify(iv(2, 2), iv(0, 10)), AllenRelation::During);
+        assert_eq!(AllenRelation::classify(iv(3, 2), iv(0, 5)), AllenRelation::Finishes);
+        assert_eq!(AllenRelation::classify(iv(1, 4), iv(1, 4)), AllenRelation::Equals);
+        assert_eq!(AllenRelation::classify(iv(0, 5), iv(3, 2)), AllenRelation::FinishedBy);
+        assert_eq!(AllenRelation::classify(iv(0, 10), iv(2, 2)), AllenRelation::Contains);
+        assert_eq!(AllenRelation::classify(iv(0, 5), iv(0, 3)), AllenRelation::StartedBy);
+        assert_eq!(AllenRelation::classify(iv(3, 5), iv(0, 5)), AllenRelation::OverlappedBy);
+        assert_eq!(AllenRelation::classify(iv(5, 2), iv(0, 5)), AllenRelation::MetBy);
+        assert_eq!(AllenRelation::classify(iv(5, 2), iv(0, 2)), AllenRelation::After);
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_consistent() {
+        for r in AllenRelation::ALL {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+        let a = iv(0, 5);
+        let b = iv(3, 5);
+        assert_eq!(
+            AllenRelation::classify(a, b).inverse(),
+            AllenRelation::classify(b, a)
+        );
+    }
+
+    #[test]
+    fn shares_span_matches_overlap() {
+        let cases = [
+            (iv(0, 2), iv(5, 2)),
+            (iv(0, 5), iv(5, 2)),
+            (iv(0, 5), iv(3, 5)),
+            (iv(0, 3), iv(0, 5)),
+            (iv(2, 2), iv(0, 10)),
+            (iv(1, 4), iv(1, 4)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                AllenRelation::classify(a, b).shares_span(),
+                a.overlaps(b),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AllenRelation::Before.to_string(), "before");
+        assert_eq!(AllenRelation::OverlappedBy.to_string(), "overlapped-by");
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for temporal arithmetic.
+
+use std::fmt;
+
+/// Errors produced by exact time arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeError {
+    /// A rational was constructed with a zero denominator.
+    ZeroDenominator,
+    /// An arithmetic operation overflowed the `i64` range even after reduction.
+    Overflow {
+        /// The operation that overflowed (e.g. `"add"`, `"mul"`).
+        op: &'static str,
+    },
+    /// Division by a zero rational.
+    DivisionByZero,
+    /// A time system was constructed with a non-positive frequency.
+    NonPositiveFrequency,
+    /// A negative length was supplied where a non-negative one is required.
+    NegativeDuration,
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::ZeroDenominator => write!(f, "rational denominator is zero"),
+            TimeError::Overflow { op } => write!(f, "rational arithmetic overflow in `{op}`"),
+            TimeError::DivisionByZero => write!(f, "division by zero rational"),
+            TimeError::NonPositiveFrequency => {
+                write!(f, "discrete time system frequency must be positive")
+            }
+            TimeError::NegativeDuration => write!(f, "durations must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}

@@ -1,0 +1,249 @@
+//! Temporal intervals.
+//!
+//! A timed-stream tuple `⟨e, s, d⟩` (paper Definition 3) occupies the
+//! half-open interval `[s, s+d)`; temporal composition (Definition 7)
+//! positions whole media objects as intervals on a shared timeline.
+//! [`Interval`] is the shared representation: a start point plus a
+//! non-negative duration, with the operations the structuring mechanisms
+//! need — overlap, gap detection, translation and scaling.
+
+use crate::{AllenRelation, Rational, TimeDelta, TimeError, TimePoint};
+use std::fmt;
+
+/// A half-open temporal interval `[start, start + duration)`.
+///
+/// Durations are non-negative (enforced at construction). A zero-duration
+/// interval models the paper's *event-based* media elements (`dᵢ = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    start: TimePoint,
+    duration: TimeDelta,
+}
+
+impl Interval {
+    /// Creates an interval; rejects negative durations.
+    pub fn new(start: TimePoint, duration: TimeDelta) -> Result<Interval, TimeError> {
+        if duration.is_negative() {
+            return Err(TimeError::NegativeDuration);
+        }
+        Ok(Interval { start, duration })
+    }
+
+    /// Creates an interval from start/end points; rejects `end < start`.
+    pub fn from_bounds(start: TimePoint, end: TimePoint) -> Result<Interval, TimeError> {
+        Interval::new(start, end - start)
+    }
+
+    /// An instantaneous event at `at`.
+    pub fn instant(at: TimePoint) -> Interval {
+        Interval {
+            start: at,
+            duration: TimeDelta::ZERO,
+        }
+    }
+
+    /// The interval's start point.
+    #[inline]
+    pub fn start(self) -> TimePoint {
+        self.start
+    }
+
+    /// The interval's duration (non-negative).
+    #[inline]
+    pub fn duration(self) -> TimeDelta {
+        self.duration
+    }
+
+    /// The exclusive end point `start + duration`.
+    #[inline]
+    pub fn end(self) -> TimePoint {
+        self.start + self.duration
+    }
+
+    /// `true` for zero-duration (event) intervals.
+    #[inline]
+    pub fn is_instant(self) -> bool {
+        self.duration.is_zero()
+    }
+
+    /// `true` when `t` lies inside `[start, end)`. An instant contains only
+    /// its own start point.
+    pub fn contains(self, t: TimePoint) -> bool {
+        if self.is_instant() {
+            t == self.start
+        } else {
+            self.start <= t && t < self.end()
+        }
+    }
+
+    /// `true` when `other` lies entirely within `self`.
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.start <= other.start && other.end() <= self.end()
+    }
+
+    /// `true` when the two intervals share a positive-length span (or an
+    /// instant interior to the other).
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.start < other.end() && other.start < self.end()
+            || (self.is_instant() && other.contains(self.start))
+            || (other.is_instant() && self.contains(other.start))
+    }
+
+    /// The intersection span, if any. Touching endpoints (*meets*) share no
+    /// span and yield `None`.
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        Some(Interval::from_bounds(start, end).expect("overlapping intervals are ordered"))
+    }
+
+    /// `true` when `self` ends exactly where `other` begins (Allen *meets*).
+    pub fn meets(self, other: Interval) -> bool {
+        self.end() == other.start && !self.is_instant() && !other.is_instant()
+    }
+
+    /// The gap between `self` and a later `other`, if the two are disjoint
+    /// with positive separation. This is how non-continuous streams (paper
+    /// §3.3) detect their gaps.
+    pub fn gap_to(self, other: Interval) -> Option<Interval> {
+        if other.start > self.end() {
+            Some(Interval::from_bounds(self.end(), other.start).expect("ordered"))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest interval covering both inputs.
+    pub fn span(self, other: Interval) -> Interval {
+        let start = self.start.min(other.start);
+        let end = self.end().max(other.end());
+        Interval::from_bounds(start, end).expect("span ordered")
+    }
+
+    /// Translates the interval by `delta` (the paper's *temporal translation*
+    /// derivation: uniformly incrementing start times).
+    pub fn translate(self, delta: TimeDelta) -> Interval {
+        Interval {
+            start: self.start + delta,
+            duration: self.duration,
+        }
+    }
+
+    /// Scales start and duration about the origin by a positive factor
+    /// (the paper's *temporal scaling* derivation).
+    pub fn scale(self, factor: Rational) -> Result<Interval, TimeError> {
+        if factor.signum() <= 0 {
+            return Err(TimeError::NegativeDuration);
+        }
+        Ok(Interval {
+            start: TimePoint::from_seconds(self.start.seconds() * factor),
+            duration: self.duration.scale(factor),
+        })
+    }
+
+    /// Classifies the relation of `self` to `other` in Allen's interval
+    /// algebra. See [`AllenRelation`].
+    pub fn allen_relation(self, other: Interval) -> AllenRelation {
+        AllenRelation::classify(self, other)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: i64, dur: i64) -> Interval {
+        Interval::new(TimePoint::from_secs(start), TimeDelta::from_secs(dur)).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_negative_duration() {
+        assert!(Interval::new(TimePoint::ZERO, TimeDelta::from_secs(-1)).is_err());
+        assert!(
+            Interval::from_bounds(TimePoint::from_secs(5), TimePoint::from_secs(3)).is_err()
+        );
+    }
+
+    #[test]
+    fn end_and_contains() {
+        let i = iv(2, 3);
+        assert_eq!(i.end(), TimePoint::from_secs(5));
+        assert!(i.contains(TimePoint::from_secs(2)));
+        assert!(i.contains(TimePoint::from_secs(4)));
+        assert!(!i.contains(TimePoint::from_secs(5))); // half-open
+        assert!(!i.contains(TimePoint::from_secs(1)));
+    }
+
+    #[test]
+    fn instant_contains_only_itself() {
+        let e = Interval::instant(TimePoint::from_secs(3));
+        assert!(e.is_instant());
+        assert!(e.contains(TimePoint::from_secs(3)));
+        assert!(!e.contains(TimePoint::from_secs(4)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = iv(0, 10);
+        let b = iv(5, 10);
+        assert!(a.overlaps(b));
+        assert_eq!(a.intersection(b), Some(iv(5, 5)));
+
+        let c = iv(10, 5);
+        assert!(!a.overlaps(c)); // meets, but no shared span
+        assert!(a.meets(c));
+        assert_eq!(a.intersection(c), None);
+
+        let d = iv(20, 5);
+        assert!(!a.overlaps(d));
+        assert_eq!(a.gap_to(d), Some(iv(10, 10)));
+        assert_eq!(a.gap_to(c), None);
+    }
+
+    #[test]
+    fn instant_overlap_inside_interval() {
+        let a = iv(0, 10);
+        let e = Interval::instant(TimePoint::from_secs(5));
+        assert!(a.overlaps(e));
+        assert!(e.overlaps(a));
+    }
+
+    #[test]
+    fn containment() {
+        let a = iv(0, 10);
+        assert!(a.contains_interval(iv(2, 3)));
+        assert!(a.contains_interval(iv(0, 10)));
+        assert!(!a.contains_interval(iv(5, 10)));
+    }
+
+    #[test]
+    fn span() {
+        assert_eq!(iv(0, 2).span(iv(8, 2)), iv(0, 10));
+        assert_eq!(iv(8, 2).span(iv(0, 2)), iv(0, 10));
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let a = iv(2, 4);
+        assert_eq!(a.translate(TimeDelta::from_secs(3)), iv(5, 4));
+        assert_eq!(a.translate(TimeDelta::from_secs(-2)), iv(0, 4));
+        assert_eq!(a.scale(Rational::new(1, 2)).unwrap(), iv(1, 2));
+        assert_eq!(a.scale(Rational::from(2)).unwrap(), iv(4, 8));
+        assert!(a.scale(Rational::ZERO).is_err());
+        assert!(a.scale(Rational::from(-1)).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(1, 2).to_string(), "[1s, 3s)");
+    }
+}

@@ -1,0 +1,287 @@
+//! Continuous time values: points and deltas in seconds.
+//!
+//! The paper distinguishes *discrete time values* (integers, domain of `D_f`)
+//! from *continuous time values* (seconds, range of `D_f`). [`TimePoint`] and
+//! [`TimeDelta`] are newtypes over [`Rational`] seconds that keep the two
+//! roles of "a position on the timeline" and "an extent of time" from being
+//! mixed up accidentally.
+
+use crate::Rational;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A position on the continuous timeline, in exact seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimePoint(Rational);
+
+/// A signed extent of continuous time, in exact seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(Rational);
+
+impl TimePoint {
+    /// The timeline origin (0 s).
+    pub const ZERO: TimePoint = TimePoint(Rational::ZERO);
+
+    /// Wraps exact seconds as a time point.
+    #[inline]
+    pub fn from_seconds(s: Rational) -> TimePoint {
+        TimePoint(s)
+    }
+
+    /// A time point at an integer number of seconds.
+    #[inline]
+    pub fn from_secs(s: i64) -> TimePoint {
+        TimePoint(Rational::from(s))
+    }
+
+    /// The underlying exact seconds value.
+    #[inline]
+    pub fn seconds(self) -> Rational {
+        self.0
+    }
+
+    /// Lossy seconds as `f64`, for presentation only.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0.to_f64()
+    }
+
+    /// Distance from the origin as a delta.
+    #[inline]
+    pub fn since_origin(self) -> TimeDelta {
+        TimeDelta(self.0)
+    }
+
+    /// The earlier of two points.
+    pub fn min(self, other: TimePoint) -> TimePoint {
+        TimePoint(self.0.min(other.0))
+    }
+
+    /// The later of two points.
+    pub fn max(self, other: TimePoint) -> TimePoint {
+        TimePoint(self.0.max(other.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero extent.
+    pub const ZERO: TimeDelta = TimeDelta(Rational::ZERO);
+
+    /// Wraps exact seconds as a delta.
+    #[inline]
+    pub fn from_seconds(s: Rational) -> TimeDelta {
+        TimeDelta(s)
+    }
+
+    /// A delta of an integer number of seconds.
+    #[inline]
+    pub fn from_secs(s: i64) -> TimeDelta {
+        TimeDelta(Rational::from(s))
+    }
+
+    /// A delta of an integer number of milliseconds.
+    #[inline]
+    pub fn from_millis(ms: i64) -> TimeDelta {
+        TimeDelta(Rational::new(ms, 1000))
+    }
+
+    /// The underlying exact seconds value.
+    #[inline]
+    pub fn seconds(self) -> Rational {
+        self.0
+    }
+
+    /// Lossy seconds as `f64`, for presentation only.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0.to_f64()
+    }
+
+    /// `true` when the extent is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0.signum() < 0
+    }
+
+    /// `true` when the extent is exactly zero (the paper's "event" duration).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Absolute extent.
+    #[inline]
+    pub fn abs(self) -> TimeDelta {
+        TimeDelta(self.0.abs())
+    }
+
+    /// Scales the extent by a rational factor (temporal scaling derivation).
+    #[inline]
+    pub fn scale(self, factor: Rational) -> TimeDelta {
+        TimeDelta(self.0 * factor)
+    }
+
+    /// The smaller of two deltas.
+    pub fn min(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.min(other.0))
+    }
+
+    /// The larger of two deltas.
+    pub fn max(self, other: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.max(other.0))
+    }
+}
+
+impl From<Rational> for TimePoint {
+    fn from(s: Rational) -> TimePoint {
+        TimePoint(s)
+    }
+}
+
+impl From<Rational> for TimeDelta {
+    fn from(s: Rational) -> TimeDelta {
+        TimeDelta(s)
+    }
+}
+
+impl Add<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+    fn add(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimePoint {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+    fn sub(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TimeDelta> for TimePoint {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for TimePoint {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimePoint) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for TimeDelta {
+    type Output = TimeDelta;
+    fn neg(self) -> TimeDelta {
+        TimeDelta(-self.0)
+    }
+}
+
+impl Mul<Rational> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: Rational) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_delta_arithmetic() {
+        let p = TimePoint::from_secs(10);
+        let d = TimeDelta::from_millis(500);
+        assert_eq!((p + d).seconds(), Rational::new(21, 2));
+        assert_eq!((p - d).seconds(), Rational::new(19, 2));
+        assert_eq!((p + d) - p, d);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = TimeDelta::from_secs(3);
+        let b = TimeDelta::from_millis(1500);
+        assert_eq!(a + b, TimeDelta::from_seconds(Rational::new(9, 2)));
+        assert_eq!(a - b, b);
+        assert_eq!(-b, TimeDelta::from_seconds(Rational::new(-3, 2)));
+        assert!((-b).is_negative());
+        assert_eq!((-b).abs(), b);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = TimeDelta::from_secs(10);
+        assert_eq!(d.scale(Rational::new(1, 2)), TimeDelta::from_secs(5));
+        assert_eq!(d * Rational::new(3, 2), TimeDelta::from_secs(15));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        let a = TimePoint::from_secs(1);
+        let b = TimePoint::from_secs(2);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(
+            TimeDelta::from_secs(1).max(TimeDelta::from_secs(2)),
+            TimeDelta::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn zero_duration_is_event() {
+        assert!(TimeDelta::ZERO.is_zero());
+        assert!(!TimeDelta::from_millis(1).is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimePoint::from_secs(3).to_string(), "3s");
+        assert_eq!(TimeDelta::from_millis(1500).to_string(), "3/2s");
+    }
+}

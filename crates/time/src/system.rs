@@ -1,0 +1,223 @@
+//! Discrete time systems (paper Definition 2).
+//!
+//! > *A discrete time system `D_f` is a mapping from integers to real numbers.
+//! > Members of the domain are called discrete time values, members of the
+//! > range are called continuous time values and measure time in seconds.
+//! > The mapping is of the form `D_f : i ↦ (1/f)·i`, where `f` is called the
+//! > frequency of the time system.*
+//!
+//! The paper's examples — `D_29.97` for North American video, `D_25` for
+//! European video, `D_24` for film and `D_44100` for CD audio — are provided
+//! as constants. Frequencies are rational so that `D_29.97` is represented
+//! exactly as 30000/1001.
+
+use crate::{Rational, TimeDelta, TimeError, TimePoint};
+use std::fmt;
+
+/// A discrete time system `D_f : i ↦ (1/f)·i` (Definition 2).
+///
+/// Discrete time values (*ticks*) are `i64`; continuous time values are exact
+/// [`TimePoint`]s in seconds.
+///
+/// ```
+/// use tbm_time::{TimeSystem, Rational};
+/// let cd = TimeSystem::CD_AUDIO;
+/// assert_eq!(cd.tick_to_seconds(44100), Rational::from(1).into());
+/// let ntsc = TimeSystem::NTSC_VIDEO;
+/// // 30000 NTSC frames last exactly 1001 seconds.
+/// assert_eq!(ntsc.tick_to_seconds(30000), Rational::from(1001).into());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeSystem {
+    freq: Rational,
+}
+
+impl TimeSystem {
+    /// Creates a time system with integer frequency `f` (must be positive).
+    pub fn from_hz(f: i64) -> TimeSystem {
+        TimeSystem::new(Rational::from(f)).expect("frequency must be positive")
+    }
+
+    /// Creates a time system with rational frequency (must be positive).
+    pub fn new(freq: Rational) -> Result<TimeSystem, TimeError> {
+        if freq.signum() <= 0 {
+            return Err(TimeError::NonPositiveFrequency);
+        }
+        Ok(TimeSystem { freq })
+    }
+
+    /// The frequency `f` of the system, in hertz.
+    #[inline]
+    pub fn frequency(self) -> Rational {
+        self.freq
+    }
+
+    /// The period `1/f` of the system, in seconds.
+    #[inline]
+    pub fn period(self) -> TimeDelta {
+        TimeDelta::from_seconds(self.freq.recip())
+    }
+
+    /// Applies `D_f`: maps a discrete time value to continuous seconds.
+    pub fn tick_to_seconds(self, tick: i64) -> TimePoint {
+        TimePoint::from_seconds(Rational::from(tick) / self.freq)
+    }
+
+    /// Maps a tick count to a duration in seconds.
+    pub fn ticks_to_delta(self, ticks: i64) -> TimeDelta {
+        TimeDelta::from_seconds(Rational::from(ticks) / self.freq)
+    }
+
+    /// Inverse mapping, flooring: the last tick at or before `t`.
+    pub fn seconds_to_tick_floor(self, t: TimePoint) -> i64 {
+        (t.seconds() * self.freq).floor()
+    }
+
+    /// Inverse mapping, ceiling: the first tick at or after `t`.
+    pub fn seconds_to_tick_ceil(self, t: TimePoint) -> i64 {
+        (t.seconds() * self.freq).ceil()
+    }
+
+    /// Inverse mapping, rounding to the nearest tick.
+    pub fn seconds_to_tick_round(self, t: TimePoint) -> i64 {
+        (t.seconds() * self.freq).round()
+    }
+
+    /// `true` when `t` falls exactly on a tick of this system.
+    pub fn is_on_grid(self, t: TimePoint) -> bool {
+        (t.seconds() * self.freq).is_integer()
+    }
+
+    /// Converts a tick count in this system to the equivalent (flooring) tick
+    /// count in `other`, going through exact continuous time.
+    pub fn convert_ticks_floor(self, ticks: i64, other: TimeSystem) -> i64 {
+        (Rational::from(ticks) * other.freq / self.freq).floor()
+    }
+
+    /// Converts a tick count in this system to the equivalent (rounding) tick
+    /// count in `other`.
+    pub fn convert_ticks_round(self, ticks: i64, other: TimeSystem) -> i64 {
+        (Rational::from(ticks) * other.freq / self.freq).round()
+    }
+}
+
+impl fmt::Display for TimeSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D_{}", self.freq)
+    }
+}
+
+macro_rules! system_consts {
+    ($($(#[$doc:meta])* $name:ident = ($num:expr, $den:expr);)*) => {
+        impl TimeSystem {
+            $(
+                $(#[$doc])*
+                pub const $name: TimeSystem = TimeSystem {
+                    freq: Rational::const_new($num, $den),
+                };
+            )*
+        }
+    };
+}
+
+system_consts! {
+    /// `D_24`: film, 24 frames per second.
+    FILM = (24, 1);
+    /// `D_25`: European (PAL/SECAM) video, 25 frames per second.
+    PAL = (25, 1);
+    /// `D_29.97`: North American (NTSC) video — exactly 30000/1001 fps.
+    NTSC_VIDEO = (30000, 1001);
+    /// `D_30`: early/monochrome NTSC and many animation timelines.
+    VIDEO_30 = (30, 1);
+    /// `D_44100`: CD audio sampling.
+    CD_AUDIO = (44100, 1);
+    /// `D_48000`: DAT / professional audio sampling.
+    DAT_AUDIO = (48000, 1);
+    /// `D_22050`: half-rate audio common on early multimedia PCs.
+    HALF_CD_AUDIO = (22050, 1);
+    /// `D_8000`: telephony audio.
+    PHONE_AUDIO = (8000, 1);
+    /// `D_480`: a common MIDI pulses-per-quarter resolution at 60 bpm.
+    MIDI_PPQ_480 = (480, 1);
+    /// `D_1000`: millisecond event timeline.
+    MILLIS = (1000, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_2_examples_exist() {
+        assert_eq!(TimeSystem::PAL.frequency(), Rational::from(25));
+        assert_eq!(TimeSystem::FILM.frequency(), Rational::from(24));
+        assert_eq!(TimeSystem::CD_AUDIO.frequency(), Rational::from(44100));
+        assert_eq!(
+            TimeSystem::NTSC_VIDEO.frequency(),
+            Rational::new(30000, 1001)
+        );
+    }
+
+    #[test]
+    fn mapping_is_i_over_f() {
+        let pal = TimeSystem::PAL;
+        assert_eq!(
+            pal.tick_to_seconds(50),
+            TimePoint::from_seconds(Rational::from(2))
+        );
+        assert_eq!(
+            pal.tick_to_seconds(-25),
+            TimePoint::from_seconds(Rational::from(-1))
+        );
+    }
+
+    #[test]
+    fn period_is_reciprocal() {
+        assert_eq!(
+            TimeSystem::CD_AUDIO.period().seconds(),
+            Rational::new(1, 44100)
+        );
+    }
+
+    #[test]
+    fn inverse_mapping_floor_ceil_round() {
+        let pal = TimeSystem::PAL;
+        let t = TimePoint::from_seconds(Rational::new(1, 10)); // 2.5 frames
+        assert_eq!(pal.seconds_to_tick_floor(t), 2);
+        assert_eq!(pal.seconds_to_tick_ceil(t), 3);
+        assert_eq!(pal.seconds_to_tick_round(t), 3);
+        assert!(!pal.is_on_grid(t));
+        assert!(pal.is_on_grid(TimePoint::from_seconds(Rational::new(2, 25))));
+    }
+
+    #[test]
+    fn tick_conversion_between_systems() {
+        // 25 PAL frames = 1 second = 44100 CD samples.
+        assert_eq!(
+            TimeSystem::PAL.convert_ticks_floor(25, TimeSystem::CD_AUDIO),
+            44100
+        );
+        // One PAL frame = 1764 CD samples exactly (the Fig. 2 interleave count).
+        assert_eq!(
+            TimeSystem::PAL.convert_ticks_floor(1, TimeSystem::CD_AUDIO),
+            1764
+        );
+        // NTSC->PAL: 30000 NTSC frames = 1001 s = 25025 PAL frames.
+        assert_eq!(
+            TimeSystem::NTSC_VIDEO.convert_ticks_round(30000, TimeSystem::PAL),
+            25025
+        );
+    }
+
+    #[test]
+    fn non_positive_frequency_rejected() {
+        assert!(TimeSystem::new(Rational::ZERO).is_err());
+        assert!(TimeSystem::new(Rational::from(-5)).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TimeSystem::PAL.to_string(), "D_25");
+        assert_eq!(TimeSystem::NTSC_VIDEO.to_string(), "D_30000/1001");
+    }
+}

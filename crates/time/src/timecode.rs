@@ -1,0 +1,186 @@
+//! Presentation-time formatting.
+//!
+//! Figure 4(b) of the paper labels its timeline `0:0`, `1:00`, `1:10`,
+//! `2:10` — minutes and seconds. [`Timecode`] renders exact time points in
+//! that style, in `H:MM:SS.mmm` form, and in SMPTE-like `HH:MM:SS:FF` form
+//! for a given frame rate.
+
+use crate::{Rational, TimePoint, TimeSystem};
+use std::fmt;
+
+/// A formatter wrapper around a [`TimePoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timecode {
+    at: TimePoint,
+}
+
+impl Timecode {
+    /// Wraps a time point for formatting.
+    pub fn new(at: TimePoint) -> Timecode {
+        Timecode { at }
+    }
+
+    /// The wrapped point.
+    pub fn time(self) -> TimePoint {
+        self.at
+    }
+
+    /// `M:SS` (or `H:MM:SS` when an hour or longer) — the style used by the
+    /// paper's Fig. 4 timeline. Sub-second parts are truncated.
+    pub fn minutes_seconds(self) -> String {
+        let total = self.at.seconds().floor().max(0);
+        let h = total / 3600;
+        let m = (total % 3600) / 60;
+        let s = total % 60;
+        if h > 0 {
+            format!("{h}:{m:02}:{s:02}")
+        } else {
+            format!("{m}:{s:02}")
+        }
+    }
+
+    /// `H:MM:SS.mmm` with milliseconds truncated toward zero.
+    pub fn hms_millis(self) -> String {
+        let secs = self.at.seconds();
+        let millis = (secs * Rational::from(1000)).floor().max(0);
+        let total = millis / 1000;
+        let ms = millis % 1000;
+        let h = total / 3600;
+        let m = (total % 3600) / 60;
+        let s = total % 60;
+        format!("{h}:{m:02}:{s:02}.{ms:03}")
+    }
+
+    /// SMPTE-like `HH:MM:SS:FF` for the given frame-based time system
+    /// (non-drop-frame; the frame count is truncated to the grid).
+    pub fn smpte(self, frames: TimeSystem) -> String {
+        let tick = frames.seconds_to_tick_floor(self.at).max(0);
+        let fps_ceil = frames.frequency().ceil();
+        let frames_per_sec = fps_ceil.max(1);
+        // Whole seconds and residual frame index within the second.
+        let secs = self.at.seconds().floor().max(0);
+        let sec_start_tick = frames.seconds_to_tick_ceil(TimePoint::from_seconds(
+            Rational::from(secs),
+        ));
+        let ff = (tick - sec_start_tick).clamp(0, frames_per_sec - 1);
+        let h = secs / 3600;
+        let m = (secs % 3600) / 60;
+        let s = secs % 60;
+        format!("{h:02}:{m:02}:{s:02}:{ff:02}")
+    }
+}
+
+impl Timecode {
+    /// SMPTE drop-frame timecode for NTSC (`D_29.97`): `HH:MM:SS;FF`.
+    ///
+    /// NTSC's 30000/1001 rate means 30 fps timecode drifts 3.6 s/hour
+    /// against the clock; drop-frame numbering skips frame numbers 0 and 1
+    /// at the start of every minute except each tenth minute, keeping
+    /// labels within a frame of wall time. (The exactness of
+    /// [`crate::Rational`] makes the frame count itself exact; drop-frame
+    /// only fixes the *labels*.)
+    pub fn smpte_drop_frame(self) -> String {
+        let ntsc = crate::TimeSystem::NTSC_VIDEO;
+        let frame = ntsc.seconds_to_tick_floor(self.at).max(0);
+        Timecode::drop_frame_label(frame)
+    }
+
+    /// The drop-frame label for NTSC frame number `frame`.
+    pub fn drop_frame_label(frame: i64) -> String {
+        const FRAMES_PER_10MIN: i64 = 17_982; // 10 min of 29.97
+        const FRAMES_PER_MIN: i64 = 1_798; // a dropped minute
+        const DROP: i64 = 2;
+        let frame = frame.max(0);
+        let tens = frame / FRAMES_PER_10MIN;
+        let rem = frame % FRAMES_PER_10MIN;
+        let mut d = frame + 18 * tens;
+        if rem > DROP {
+            d += DROP * ((rem - DROP) / FRAMES_PER_MIN);
+        }
+        let ff = d % 30;
+        let ss = (d / 30) % 60;
+        let mm = (d / 1_800) % 60;
+        let hh = d / 108_000;
+        format!("{hh:02}:{mm:02}:{ss:02};{ff:02}")
+    }
+}
+
+impl fmt::Display for Timecode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hms_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeDelta;
+
+    fn tp(secs: i64) -> TimePoint {
+        TimePoint::from_secs(secs)
+    }
+
+    #[test]
+    fn figure_4_timeline_labels() {
+        // The paper's Fig. 4(b) marks 0:0, 1:00, 1:10 and 2:10.
+        assert_eq!(Timecode::new(tp(0)).minutes_seconds(), "0:00");
+        assert_eq!(Timecode::new(tp(60)).minutes_seconds(), "1:00");
+        assert_eq!(Timecode::new(tp(70)).minutes_seconds(), "1:10");
+        assert_eq!(Timecode::new(tp(130)).minutes_seconds(), "2:10");
+    }
+
+    #[test]
+    fn hours_roll_over() {
+        assert_eq!(Timecode::new(tp(3661)).minutes_seconds(), "1:01:01");
+        assert_eq!(Timecode::new(tp(3661)).hms_millis(), "1:01:01.000");
+    }
+
+    #[test]
+    fn millis_truncate() {
+        let t = TimePoint::ZERO + TimeDelta::from_millis(1234);
+        assert_eq!(Timecode::new(t).hms_millis(), "0:00:01.234");
+        let third = TimePoint::from_seconds(Rational::new(1, 3));
+        assert_eq!(Timecode::new(third).hms_millis(), "0:00:00.333");
+    }
+
+    #[test]
+    fn smpte_pal() {
+        let pal = TimeSystem::PAL;
+        // Frame 37 at 25 fps = 1 s + 12 frames.
+        let t = pal.tick_to_seconds(37);
+        assert_eq!(Timecode::new(t).smpte(pal), "00:00:01:12");
+        assert_eq!(Timecode::new(tp(0)).smpte(pal), "00:00:00:00");
+        assert_eq!(Timecode::new(tp(3600)).smpte(pal), "01:00:00:00");
+    }
+
+    #[test]
+    fn drop_frame_canonical_vectors() {
+        // The classic SMPTE 12M vectors.
+        assert_eq!(Timecode::drop_frame_label(0), "00:00:00;00");
+        assert_eq!(Timecode::drop_frame_label(30), "00:00:01;00");
+        assert_eq!(Timecode::drop_frame_label(1_799), "00:00:59;29");
+        // Frames 0 and 1 of minute 1 are dropped: next label is ;02.
+        assert_eq!(Timecode::drop_frame_label(1_800), "00:01:00;02");
+        assert_eq!(Timecode::drop_frame_label(17_981), "00:09:59;29");
+        // Tenth minute keeps its 0/1 frames.
+        assert_eq!(Timecode::drop_frame_label(17_982), "00:10:00;00");
+        // One hour of NTSC: 107892 frames = exactly 01:00:00;00.
+        assert_eq!(Timecode::drop_frame_label(107_892), "01:00:00;00");
+    }
+
+    #[test]
+    fn drop_frame_tracks_wall_clock() {
+        // After exactly one wall-clock hour the drop-frame label reads
+        // 01:00:00 (within one frame), where non-drop would read 00:59:56.
+        let ntsc = TimeSystem::NTSC_VIDEO;
+        let one_hour = tp(3600);
+        let frame = ntsc.seconds_to_tick_floor(one_hour);
+        assert_eq!(frame, 107_892); // 3600 × 30000/1001, floored
+        assert_eq!(Timecode::new(one_hour).smpte_drop_frame(), "01:00:00;00");
+    }
+
+    #[test]
+    fn display_uses_hms() {
+        assert_eq!(Timecode::new(tp(5)).to_string(), "0:00:05.000");
+    }
+}

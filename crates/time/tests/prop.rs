@@ -1,0 +1,130 @@
+//! Property-based tests for exact time arithmetic.
+
+use proptest::prelude::*;
+use tbm_time::{AllenRelation, Interval, Rational, TimeDelta, TimePoint, TimeSystem};
+
+/// Small rationals that never overflow under a few composed operations.
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-10_000i64..10_000, 1i64..10_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn small_interval() -> impl Strategy<Value = Interval> {
+    (-1_000i64..1_000, 0i64..1_000).prop_map(|(s, d)| {
+        Interval::new(TimePoint::from_secs(s), TimeDelta::from_secs(d)).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_add_associates(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_mul_distributes(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_sub_inverts_add(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn rational_recip_roundtrip(a in small_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.recip().recip(), a);
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn rational_always_reduced(n in -100_000i64..100_000, d in 1i64..100_000) {
+        let r = Rational::new(n, d);
+        let g = gcd(r.numer().unsigned_abs(), r.denom().unsigned_abs());
+        prop_assert!(r.denom() > 0);
+        prop_assert!(g <= 1 || r.numer() == 0);
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rational::from(f) <= a);
+        prop_assert!(a <= Rational::from(c));
+        prop_assert!(c - f <= 1);
+    }
+
+    #[test]
+    fn ordering_agrees_with_f64(a in small_rational(), b in small_rational()) {
+        // f64 has enough precision for these small values to agree with exact order.
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    #[test]
+    fn tick_roundtrip_on_grid(f in 1i64..100_000, i in -1_000_000i64..1_000_000) {
+        let sys = TimeSystem::from_hz(f);
+        let t = sys.tick_to_seconds(i);
+        prop_assert!(sys.is_on_grid(t));
+        prop_assert_eq!(sys.seconds_to_tick_floor(t), i);
+        prop_assert_eq!(sys.seconds_to_tick_ceil(t), i);
+        prop_assert_eq!(sys.seconds_to_tick_round(t), i);
+    }
+
+    #[test]
+    fn tick_floor_monotone(f in 1i64..10_000, a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let sys = TimeSystem::from_hz(f);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let tl = sys.tick_to_seconds(lo);
+        let th = sys.tick_to_seconds(hi);
+        prop_assert!(sys.seconds_to_tick_floor(tl) <= sys.seconds_to_tick_floor(th));
+    }
+
+    #[test]
+    fn allen_classification_is_total_and_inverse_consistent(a in small_interval(), b in small_interval()) {
+        let r = AllenRelation::classify(a, b);
+        let ri = AllenRelation::classify(b, a);
+        prop_assert_eq!(r.inverse(), ri);
+        // Exactly one relation holds.
+        let held: Vec<_> = AllenRelation::ALL
+            .iter()
+            .filter(|cand| **cand == r)
+            .collect();
+        prop_assert_eq!(held.len(), 1);
+    }
+
+    #[test]
+    fn interval_translate_preserves_duration(iv in small_interval(), d in -1_000i64..1_000) {
+        let moved = iv.translate(TimeDelta::from_secs(d));
+        prop_assert_eq!(moved.duration(), iv.duration());
+        prop_assert_eq!(moved.start() - iv.start(), TimeDelta::from_secs(d));
+    }
+
+    #[test]
+    fn interval_intersection_symmetric(a in small_interval(), b in small_interval()) {
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+
+    #[test]
+    fn interval_span_contains_both(a in small_interval(), b in small_interval()) {
+        let s = a.span(b);
+        prop_assert!(s.contains_interval(a));
+        prop_assert!(s.contains_interval(b));
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}

@@ -1,0 +1,278 @@
+//! The paper's Figure 4 workflow, end to end.
+//!
+//! Reproduces §4.3's "Example of Composition":
+//!
+//! * `audio1` (music) and `audio2` (narration) are interleaved in one BLOB;
+//! * `video1` and `video2` come from a single capture and share a second BLOB;
+//! * a derived 10-second fade `videoF` dissolves `video1` into `video2`;
+//! * `videoF` is concatenated with cut versions of the originals into `video3`;
+//! * a multimedia object `m` temporally composes `audio1`, `audio2`, `video3`.
+//!
+//! ```text
+//! cargo run --example documentary
+//! ```
+
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::{self, audio_pcm_descriptor};
+use tbm::interp::{ElementEntry, Interpretation, StreamInterp};
+use tbm::media::gen::{AudioSignal, VideoPattern};
+use tbm::prelude::*;
+
+// Scaled-down geometry so the example runs in moments; the structure is
+// identical to the paper's full-scale numbers.
+const W: u32 = 96;
+const H: u32 = 64;
+const FPS: usize = 25;
+const SCENE_SECS: usize = 8; // per source scene
+const FADE_SECS: usize = 2; // the paper uses 10 s on longer scenes
+const RATE: usize = 44_100;
+
+fn main() {
+    let mut db = MediaDb::new();
+
+    // ------------------------------------------------------------------
+    // Raw material, BLOB 1: music + narration interleaved in one BLOB.
+    // "The two audio sequences contain music and narration and are
+    //  intended to be presented simultaneously. For this reason they are
+    //  interleaved in a single BLOB."
+    // ------------------------------------------------------------------
+    let total_audio_secs = 2 * SCENE_SECS - FADE_SECS;
+    let music = AudioSignal::Chirp {
+        from_hz: 180.0,
+        to_hz: 700.0,
+        sweep_frames: (total_audio_secs * RATE) as u64,
+        amplitude: 6000,
+    }
+    .generate(0, total_audio_secs * RATE, RATE as u32, 2);
+    let narration_secs = SCENE_SECS / 2;
+    let narration = AudioSignal::Sine {
+        hz: 220.0,
+        amplitude: 8000,
+    }
+    .generate(0, narration_secs * RATE, RATE as u32, 2);
+
+    let blob_a = {
+        use tbm::blob::BlobWriter;
+        let store = db.store_mut();
+        let blob = store.create().unwrap();
+        let mut w = BlobWriter::new(store, blob).unwrap();
+        // Chunk-interleave the two sequences (1/10th-second chunks).
+        let chunk = RATE / 10;
+        let mut interp = Interpretation::new(blob);
+        let mut entries_music = Vec::new();
+        let mut entries_narr = Vec::new();
+        let chunks = total_audio_secs * 10;
+        for i in 0..chunks {
+            let span = w
+                .write(&music.slice_frames(i * chunk, (i + 1) * chunk).to_bytes())
+                .unwrap();
+            entries_music.push(ElementEntry::simple((i * chunk) as i64, chunk as i64, span));
+            if i < narration_secs * 10 {
+                let span = w
+                    .write(&narration.slice_frames(i * chunk, (i + 1) * chunk).to_bytes())
+                    .unwrap();
+                entries_narr.push(ElementEntry::simple((i * chunk) as i64, chunk as i64, span));
+            }
+        }
+        let sys = TimeSystem::CD_AUDIO;
+        let mk = |secs: usize| {
+            audio_pcm_descriptor(
+                RATE as i64,
+                16,
+                2,
+                Some(QualityFactor::Audio(AudioQuality::Cd)),
+                Rational::from(secs as i64),
+            )
+        };
+        interp
+            .add_stream(
+                "audio1",
+                StreamInterp::new(mk(total_audio_secs), sys, entries_music).unwrap(),
+            )
+            .unwrap();
+        interp
+            .add_stream(
+                "audio2",
+                StreamInterp::new(mk(narration_secs), sys, entries_narr).unwrap(),
+            )
+            .unwrap();
+        interp
+    };
+    db.register_interpretation(blob_a).unwrap();
+
+    // ------------------------------------------------------------------
+    // Raw material, BLOB 2: two video scenes from one capture.
+    // "Suppose the two video sequences result from a single capture
+    //  operation … and so also reside in a single BLOB."
+    // ------------------------------------------------------------------
+    let scene1 = tbm::media::gen::render_frames(VideoPattern::MovingBar, 0, SCENE_SECS * FPS, W, H);
+    let scene2 =
+        tbm::media::gen::render_frames(VideoPattern::ShiftingGradient, 0, SCENE_SECS * FPS, W, H);
+    let blob_v = {
+        use tbm::blob::BlobWriter;
+        use tbm::codec::dct;
+        let store = db.store_mut();
+        let blob = store.create().unwrap();
+        let mut w = BlobWriter::new(store, blob).unwrap();
+        let mut interp = Interpretation::new(blob);
+        let make_stream = |name: &str, frames: &[tbm::media::Frame], w: &mut BlobWriter<_>| {
+            let mut entries = Vec::new();
+            for (i, f) in frames.iter().enumerate() {
+                let span = w.write(&dct::encode_frame(f, DctParams::default())).unwrap();
+                entries.push(ElementEntry::simple(i as i64, 1, span));
+            }
+            let desc = capture::video_descriptor(
+                W,
+                H,
+                Rational::from(FPS as i64),
+                Some(QualityFactor::Video(VideoQuality::Vhs)),
+                Rational::from(SCENE_SECS as i64),
+                "YUV 8:2:2, JPEG",
+                "homogeneous, constant frequency",
+            );
+            (
+                name.to_owned(),
+                StreamInterp::new(desc, TimeSystem::PAL, entries).unwrap(),
+            )
+        };
+        let (n1, s1) = make_stream("video1", &scene1, &mut w);
+        let (n2, s2) = make_stream("video2", &scene2, &mut w);
+        interp.add_stream(&n1, s1).unwrap();
+        interp.add_stream(&n2, s2).unwrap();
+        interp
+    };
+    db.register_interpretation(blob_v).unwrap();
+
+    println!(
+        "raw material registered: {} media objects over {} BLOBs ({} bytes)",
+        db.objects().len(),
+        db.store().blob_ids().len(),
+        db.store().total_bytes()
+    );
+
+    // ------------------------------------------------------------------
+    // Derivations: cut1, cut2, fade, concat (the four derivation objects
+    // of Fig. 4a).
+    // ------------------------------------------------------------------
+    let fade_frames = (FADE_SECS * FPS) as u32;
+    let scene_frames = (SCENE_SECS * FPS) as u32;
+
+    // videoF: the slow fade from video1 to video2.
+    db.create_derived(
+        "videoF",
+        Node::derive(
+            Op::Fade { frames: fade_frames },
+            vec![Node::source("video1"), Node::source("video2")],
+        ),
+    )
+    .unwrap();
+    // videoC1 / videoC2: "cut versions of the original sequences".
+    db.create_derived(
+        "videoC1",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 0, to: scene_frames - fade_frames }],
+            },
+            vec![Node::source("video1")],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "videoC2",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: fade_frames, to: scene_frames }],
+            },
+            vec![Node::source("video2")],
+        ),
+    )
+    .unwrap();
+    // video3 = concat(videoC1, videoF, videoC2).
+    let c1 = scene_frames - fade_frames;
+    let c2 = fade_frames;
+    db.create_derived(
+        "video3",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![
+                    EditCut { input: 0, from: 0, to: c1 },
+                    EditCut { input: 1, from: 0, to: c2 },
+                    EditCut { input: 2, from: 0, to: c1 },
+                ],
+            },
+            vec![
+                Node::source("videoC1"),
+                Node::source("videoF"),
+                Node::source("videoC2"),
+            ],
+        ),
+    )
+    .unwrap();
+    for name in ["videoF", "videoC1", "videoC2", "video3"] {
+        println!(
+            "derivation object `{name}`: {} bytes (expands to {} frames)",
+            db.derivation_storage_bytes(name).unwrap(),
+            match db.materialize(name).unwrap() {
+                MediaValue::Video(v) => v.len(),
+                _ => unreachable!(),
+            }
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Composition: the multimedia object m with components audio1,
+    // audio2, video3 (temporal relationships c1, c2, c3).
+    // ------------------------------------------------------------------
+    let total = TimeDelta::from_secs(total_audio_secs as i64);
+    let mut m = MultimediaObject::new("m");
+    m.add_component(
+        Component::new("audio1", ComponentKind::Audio, Node::source("audio1"), TimePoint::ZERO, total)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new(
+            "audio2",
+            ComponentKind::Audio,
+            Node::source("audio2"),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(narration_secs as i64),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("video3", ComponentKind::Video, Node::source("video3"), TimePoint::ZERO, total)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "video3").unwrap();
+    m.add_constraint("audio2", AllenRelation::Starts, "video3").unwrap();
+    m.validate().expect("sync constraints hold");
+
+    println!("\ntimeline of m (cf. paper Fig. 4b):");
+    print!("{}", m.timeline_diagram(48));
+
+    // ------------------------------------------------------------------
+    // Present one moment of m: composite video + mixed audio.
+    // ------------------------------------------------------------------
+    let mut expander = Expander::new();
+    for src in ["audio1", "audio2", "video3"] {
+        expander.add_source(src, db.materialize(src).unwrap());
+    }
+    let composer = Composer::new(&expander, W, H);
+    let mid = TimePoint::from_secs((total_audio_secs / 2) as i64);
+    let frame = composer.render_video_frame(&m, mid).unwrap();
+    let window = composer
+        .mix_audio_window(&m, mid, TimeDelta::from_millis(200))
+        .unwrap();
+    println!(
+        "\npresented t={}: frame {}x{}, 200 ms audio window peak {}",
+        Timecode::new(mid).minutes_seconds(),
+        frame.width(),
+        frame.height(),
+        window.peak()
+    );
+    db.add_multimedia(m).unwrap();
+    println!("multimedia objects in catalog: {}", db.multimedia_objects().len());
+}

@@ -1,0 +1,128 @@
+//! Music as symbolic media: MIDI-style scores, synthesis, and audio
+//! post-production — the paper's type-changing derivation chain.
+//!
+//! "Animation and music deal with symbolic representations from which audio
+//! or video sequences are derived. … A synthesizer then takes these
+//! sequences and derives audio sequences." (§6)
+//!
+//! ```text
+//! cargo run --example jukebox
+//! ```
+
+use tbm::core::SizedElement;
+use tbm::media::gen::{chord_progression, major_scale};
+use tbm::media::midi::notes_to_events;
+use tbm::prelude::*;
+
+fn main() {
+    let mut db = MediaDb::new();
+
+    // ------------------------------------------------------------------
+    // Two symbolic scores: a melody and a chord bed.
+    // ------------------------------------------------------------------
+    let melody = major_scale(0, 72, 1, 480, 400);
+    let chords = chord_progression(1, 48, 960);
+    db.register_value(
+        "melody",
+        MediaValue::Music(tbm::derive::MusicClip::new(melody.clone(), 480, 120)),
+    )
+    .unwrap();
+    db.register_value(
+        "chords",
+        MediaValue::Music(tbm::derive::MusicClip::new(chords.clone(), 480, 120)),
+    )
+    .unwrap();
+
+    // ------------------------------------------------------------------
+    // The music medium in Figure 1 terms: notes overlap (chords), so the
+    // stream is non-continuous; the MIDI event form is event-based.
+    // ------------------------------------------------------------------
+    let note_stream = TimedStream::from_tuples(
+        MediaType::music(),
+        TimeSystem::MIDI_PPQ_480,
+        {
+            let mut tuples: Vec<_> = chords
+                .iter()
+                .map(|&(_, s, d)| TimedTuple::new(SizedElement::new(3), s, d))
+                .collect();
+            tuples.sort_by_key(|t| t.start);
+            tuples
+        },
+    )
+    .unwrap();
+    println!("chord score as notes:  {}", classify(&note_stream));
+
+    let events = notes_to_events(&chords);
+    let event_stream = TimedStream::from_tuples(
+        MediaType::midi(),
+        TimeSystem::MIDI_PPQ_480,
+        events
+            .iter()
+            .map(|&(_, at)| TimedTuple::new(SizedElement::new(3), at, 0))
+            .collect(),
+    )
+    .unwrap();
+    println!("chord score as events: {}", classify(&event_stream));
+
+    // ------------------------------------------------------------------
+    // Type-changing derivations: synthesize both scores to audio, at two
+    // different tempi (the synthesis parameters of Table 1).
+    // ------------------------------------------------------------------
+    for (name, source, tempo) in [
+        ("melody_audio", "melody", 0u32),
+        ("chords_audio", "chords", 0),
+        ("chords_audio_fast", "chords", 240),
+    ] {
+        db.create_derived(
+            name,
+            Node::derive(
+                Op::MidiSynthesize {
+                    sample_rate: 44_100,
+                    tempo_bpm: tempo,
+                    gain_num: 180,
+                },
+                vec![Node::source(source)],
+            ),
+        )
+        .unwrap();
+        if let MediaValue::Audio(a) = db.materialize(name).unwrap() {
+            println!(
+                "{name}: {:.2} s of audio, peak {} (derivation object: {} bytes)",
+                a.seconds(),
+                a.buffer.peak(),
+                db.derivation_storage_bytes(name).unwrap()
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Post-production: normalize the melody, mix it over the chord bed —
+    // a derivation pipeline stored entirely as specs.
+    // ------------------------------------------------------------------
+    let mix = Node::derive(
+        Op::AudioMix,
+        vec![
+            Node::derive(
+                Op::AudioNormalize {
+                    target_peak: 14_000,
+                    range: None,
+                },
+                vec![Node::source("melody_audio")],
+            ),
+            Node::derive(Op::AudioGain { num: 1, den: 2 }, vec![Node::source("chords_audio")]),
+        ],
+    );
+    println!("\nmix pipeline spec: {} bytes", mix.spec_size());
+    db.create_derived("master", mix).unwrap();
+    if let MediaValue::Audio(master) = db.materialize("master").unwrap() {
+        println!(
+            "master: {:.2} s, peak {}, rms {:.0}",
+            master.seconds(),
+            master.buffer.peak(),
+            master.buffer.rms()
+        );
+    }
+
+    // Provenance: everything that depends on the chord score.
+    println!("\nobjects derived from `chords`: {:?}", db.derived_from("chords"));
+}

@@ -1,0 +1,171 @@
+//! Integration test: the paper's §4.1 "Example of Interpretation" (Fig. 2),
+//! at reduced scale but with the exact structural arithmetic.
+//!
+//! Paper numbers (full scale): 10-minute PAL video, 640×480, RGB24 source
+//! (≈22 MB/s), "YUV 8:2:2" + JPEG at ≈0.5 bit/pixel (≈0.5 MB/s, VHS
+//! quality); stereo CD audio at 172 kB/s; interleaved with "audio samples
+//! following the associated video frame (1764 sample pairs)".
+
+use tbm::codec::dct::DctParams;
+use tbm::codec::quality::video_params;
+use tbm::interp::capture;
+use tbm::media::gen::{AudioSignal, VideoPattern};
+use tbm::prelude::*;
+
+const SPF: usize = 1764;
+
+#[test]
+fn exact_structural_arithmetic_of_fig2() {
+    // 640×480 RGB24 at 25 fps: the paper's "about 22 Mbyte/sec".
+    let raw_frame = tbm::media::PixelFormat::Rgb24.byte_len(640, 480) as u64;
+    assert_eq!(raw_frame, 921_600);
+    let raw_rate = raw_frame * 25;
+    assert_eq!(raw_rate, 23_040_000); // 21.97 MiB/s ≈ "about 22"
+    assert!((raw_rate as f64 / (1024.0 * 1024.0) - 21.97).abs() < 0.01);
+
+    // Audio: 44100 Hz × 16 bit × 2 ch = 176400 B/s = 172.27 kiB/s.
+    let audio_rate = 44_100u64 * 2 * 2;
+    assert_eq!(audio_rate, 176_400);
+    assert!((audio_rate as f64 / 1024.0 - 172.27).abs() < 0.01);
+
+    // One PAL frame of CD audio = exactly 1764 sample pairs.
+    assert_eq!(
+        TimeSystem::PAL.convert_ticks_floor(1, TimeSystem::CD_AUDIO),
+        1764
+    );
+}
+
+#[test]
+fn interleaved_capture_reproduces_fig2_structure() {
+    // Reduced geometry for test speed; structure (interleave, tables,
+    // descriptors) is scale-independent.
+    let n = 25; // one second
+    let frames = tbm::media::gen::render_frames(VideoPattern::MovingBar, 0, n, 160, 120);
+    let audio = AudioSignal::Sine {
+        hz: 440.0,
+        amplitude: 9000,
+    }
+    .generate(0, n * SPF, 44_100, 2);
+    let mut store = MemBlobStore::new();
+    let cap = capture::capture_av_interleaved(
+        &mut store,
+        &frames,
+        &audio,
+        SPF,
+        TimeSystem::PAL,
+        video_params(VideoQuality::Vhs),
+        Some(QualityFactor::Video(VideoQuality::Vhs)),
+    )
+    .unwrap();
+
+    let v = cap.interpretation.stream("video1").unwrap();
+    let a = cap.interpretation.stream("audio1").unwrap();
+
+    // The paper's tables: video needs (elementNumber, elementSize,
+    // blobPlacement) because frames are variable-sized.
+    let sizes: Vec<u64> = v.entries().iter().map(|e| e.size).collect();
+    assert!(
+        sizes.iter().any(|&s| s != sizes[0]),
+        "encoded frames must vary in size"
+    );
+    // Audio is uniform: every chunk is 1764 × 4 bytes.
+    assert!(a.entries().iter().all(|e| e.size == (SPF * 4) as u64));
+
+    // Interleaving: video element i immediately precedes audio element i.
+    for i in 0..n {
+        let vs = v.entry(i).unwrap().placement.as_single().unwrap();
+        let as_ = a.entry(i).unwrap().placement.as_single().unwrap();
+        assert_eq!(as_.offset, vs.end());
+    }
+
+    // Every element decodes through the interpretation (the timed-stream
+    // abstraction hides the interleaving).
+    for i in [0usize, n / 2, n - 1] {
+        let bytes = v.read_element(&store, cap.blob, i).unwrap();
+        let f = tbm::codec::dct::decode_frame(&bytes).unwrap();
+        assert_eq!((f.width(), f.height()), (160, 120));
+        let abytes = a.read_element(&store, cap.blob, i).unwrap();
+        let chunk = tbm::media::AudioBuffer::from_bytes(2, &abytes).unwrap();
+        assert_eq!(chunk.frames(), SPF);
+    }
+
+    // Descriptors carry the paper's attributes.
+    let vd = v.descriptor();
+    assert_eq!(vd.get_text(keys::CATEGORY), Some("homogeneous, constant frequency"));
+    assert_eq!(vd.get_text(keys::QUALITY_FACTOR), Some("VHS quality"));
+    assert_eq!(vd.get_text(keys::ENCODING), Some("YUV 8:2:2, JPEG"));
+    assert_eq!(vd.get_rational(keys::FRAME_RATE), Some(Rational::from(25)));
+    let ad = a.descriptor();
+    assert_eq!(ad.get_text(keys::CATEGORY), Some("homogeneous, uniform"));
+    assert_eq!(ad.get_int(keys::SAMPLE_RATE), Some(44_100));
+    assert_eq!(ad.get_int(keys::CHANNELS), Some(2));
+    // Resource-allocation attributes present.
+    assert_eq!(ad.get_rational(keys::AVG_DATA_RATE), Some(Rational::from(176_400)));
+    assert!(vd.get_rational(keys::AVG_DATA_RATE).is_some());
+    assert!(vd.get_rational(keys::RATE_VARIATION).is_some());
+}
+
+#[test]
+fn vhs_quality_compresses_toward_half_bit_per_pixel() {
+    // At full 640×480, "about 0.5 bits per pixel". Synthetic content is not
+    // the authors' tape, so allow a broad band around the target.
+    let frame = VideoPattern::MovingBar.render(7, 640, 480);
+    let enc = tbm::codec::dct::encode_frame(&frame, video_params(VideoQuality::Vhs));
+    let bpp = tbm::codec::dct::bits_per_pixel(enc.len(), 640, 480);
+    assert!(
+        (0.05..=1.5).contains(&bpp),
+        "VHS-quality bpp {bpp:.3} far from the paper's ≈0.5"
+    );
+    // And the video rate lands well under 1 MB/s (vs 22 MB/s raw).
+    let rate = enc.len() as f64 * 25.0;
+    assert!(rate < 1_500_000.0, "video rate {rate:.0} B/s too high");
+}
+
+#[test]
+fn heterogeneous_table_shape_for_adpcm() {
+    // "If video1 were a heterogeneous and non-continuous video object, it
+    // would require a table of the form (elementNumber, startTime, duration,
+    // elementDescriptor, elementSize, blobPlacement)" — ADPCM exercises the
+    // elementDescriptor column.
+    let mut store = MemBlobStore::new();
+    let audio = AudioSignal::Chirp {
+        from_hz: 100.0,
+        to_hz: 2_000.0,
+        sweep_frames: 8192,
+        amplitude: 12_000,
+    }
+    .generate(0, 8192, 44_100, 1);
+    let (_, interp) = capture::capture_audio_adpcm(&mut store, &audio, 44_100, 1024).unwrap();
+    let s = interp.stream("audio1").unwrap();
+    for e in s.entries() {
+        assert!(e.descriptor.is_some(), "every element carries a descriptor");
+    }
+    let d0 = s.entry(0).unwrap().descriptor.as_ref().unwrap();
+    let d7 = s.entry(7).unwrap().descriptor.as_ref().unwrap();
+    assert_ne!(d0, d7, "parameters vary over the sequence");
+}
+
+#[test]
+fn padded_capture_is_cdi_style() {
+    let n = 10;
+    let frames = tbm::media::gen::render_frames(VideoPattern::MovingBar, 0, n, 96, 64);
+    let audio = AudioSignal::Silence.generate(0, n * SPF, 44_100, 2);
+    let mut store = MemBlobStore::new();
+    let cap = capture::capture_av_padded(
+        &mut store,
+        &frames,
+        &audio,
+        SPF,
+        TimeSystem::PAL,
+        DctParams::default(),
+        None,
+        2048,
+    )
+    .unwrap();
+    assert!(cap.padding_bytes > 0);
+    assert_eq!(cap.blob_len % 2048, 0);
+    assert_eq!(
+        cap.interpretation.mapped_bytes() + cap.padding_bytes,
+        cap.blob_len
+    );
+}

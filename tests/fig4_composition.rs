@@ -1,0 +1,200 @@
+//! Integration test: the paper's Fig. 4 instance — raw BLOBs through four
+//! derivation objects into a temporally composed multimedia object, with
+//! the Fig. 4(b) timeline.
+
+use tbm::derive::{AudioClip, VideoClip};
+use tbm::media::gen::{AudioSignal, VideoPattern};
+use tbm::prelude::*;
+
+const W: u32 = 64;
+const H: u32 = 48;
+const FPS: u32 = 25;
+
+/// Builds the two source scenes and two audio tracks as registered values
+/// (the BLOB plumbing is covered by `fig2_pipeline`; here we exercise the
+/// derivation/composition half at Fig. 4 proportions: 70 s scenes with a
+/// 10 s fade → a 130 s result, scaled 1:10 for speed).
+fn setup(db: &mut MediaDb) {
+    let scene_frames = 7 * FPS as usize; // 7 s ≙ paper's 70 s
+    let v1 = tbm::media::gen::render_frames(VideoPattern::MovingBar, 0, scene_frames, W, H);
+    let v2 =
+        tbm::media::gen::render_frames(VideoPattern::ShiftingGradient, 0, scene_frames, W, H);
+    db.register_value("video1", MediaValue::Video(VideoClip::new(v1, TimeSystem::PAL)))
+        .unwrap();
+    db.register_value("video2", MediaValue::Video(VideoClip::new(v2, TimeSystem::PAL)))
+        .unwrap();
+    let music = AudioSignal::Sine {
+        hz: 330.0,
+        amplitude: 7000,
+    }
+    .generate(0, 13 * 44_100, 44_100, 2);
+    let narration = AudioSignal::Sine {
+        hz: 200.0,
+        amplitude: 9000,
+    }
+    .generate(0, 6 * 44_100, 44_100, 2);
+    db.register_value("audio1", MediaValue::Audio(AudioClip::new(music, 44_100)))
+        .unwrap();
+    db.register_value("audio2", MediaValue::Audio(AudioClip::new(narration, 44_100)))
+        .unwrap();
+}
+
+fn build_video3(db: &mut MediaDb) {
+    let fade = FPS; // 1 s ≙ paper's 10 s
+    let scene = 7 * FPS;
+    db.create_derived(
+        "videoF",
+        Node::derive(
+            Op::Fade { frames: fade },
+            vec![Node::source("video1"), Node::source("video2")],
+        ),
+    )
+    .unwrap();
+    db.create_derived(
+        "video3",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![
+                    EditCut { input: 0, from: 0, to: scene - fade },
+                    EditCut { input: 1, from: 0, to: fade },
+                    EditCut { input: 2, from: fade, to: scene },
+                ],
+            },
+            vec![
+                Node::source("video1"),
+                Node::source("videoF"),
+                Node::source("video2"),
+            ],
+        ),
+    )
+    .unwrap();
+}
+
+#[test]
+fn video3_concatenates_cut_fade_cut() {
+    let mut db = MediaDb::new();
+    setup(&mut db);
+    build_video3(&mut db);
+    let MediaValue::Video(v3) = db.materialize("video3").unwrap() else {
+        panic!()
+    };
+    // 6 s + 1 s + 6 s = 13 s at 25 fps.
+    assert_eq!(v3.len(), 13 * FPS as usize);
+    // The seam frames equal the fade endpoints: frame 150 is the first fade
+    // frame (≈ video1's tail), frame 175 the first of video2's cut.
+    let MediaValue::Video(fade) = db.materialize("videoF").unwrap() else {
+        panic!()
+    };
+    assert_eq!(v3.frames[150], fade.frames[0]);
+    let MediaValue::Video(v2) = db.materialize("video2").unwrap() else {
+        panic!()
+    };
+    assert_eq!(v3.frames[175], v2.frames[25]);
+}
+
+#[test]
+fn fade_region_blends_both_scenes() {
+    let mut db = MediaDb::new();
+    setup(&mut db);
+    build_video3(&mut db);
+    let MediaValue::Video(fade) = db.materialize("videoF").unwrap() else {
+        panic!()
+    };
+    let MediaValue::Video(v1) = db.materialize("video1").unwrap() else {
+        panic!()
+    };
+    let MediaValue::Video(v2) = db.materialize("video2").unwrap() else {
+        panic!()
+    };
+    // Mid-fade frame differs from both sources but is between them.
+    let mid = &fade.frames[12];
+    let a = &v1.frames[v1.len() - 25 + 12];
+    let b = &v2.frames[12];
+    let d_a = a.mean_abs_diff(mid).unwrap();
+    let d_b = b.mean_abs_diff(mid).unwrap();
+    let d_ab = a.mean_abs_diff(b).unwrap();
+    assert!(d_a > 0.0 && d_b > 0.0);
+    assert!(d_a < d_ab && d_b < d_ab, "mid-fade lies between the scenes");
+}
+
+#[test]
+fn multimedia_object_m_matches_fig4b() {
+    let mut db = MediaDb::new();
+    setup(&mut db);
+    build_video3(&mut db);
+
+    // Fig. 4(b) (scaled 1:10): audio1 and video3 span 0:00–0:13; audio2
+    // spans 0:00–0:06.
+    let mut m = MultimediaObject::new("m");
+    let full = TimeDelta::from_secs(13);
+    m.add_component(
+        Component::new("audio1", ComponentKind::Audio, Node::source("audio1"), TimePoint::ZERO, full)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new(
+            "audio2",
+            ComponentKind::Audio,
+            Node::source("audio2"),
+            TimePoint::ZERO,
+            TimeDelta::from_secs(6),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new("video3", ComponentKind::Video, Node::source("video3"), TimePoint::ZERO, full)
+            .unwrap(),
+    )
+    .unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "video3").unwrap();
+    m.add_constraint("audio2", AllenRelation::Starts, "video3").unwrap();
+    m.validate().unwrap();
+    assert_eq!(m.duration(), full);
+
+    // Realize a frame and an audio window at t = 6.5 s: narration is over,
+    // music still playing, fade underway (6 s..7 s).
+    let expander = db.expander_for(&Node::source("video3")).unwrap();
+    let mut full_expander = Expander::new();
+    for src in ["audio1", "audio2", "video3"] {
+        full_expander.add_source(src, db.materialize(src).unwrap());
+    }
+    drop(expander);
+    let composer = Composer::new(&full_expander, W, H);
+    let t = TimePoint::from_seconds(Rational::new(13, 2));
+    let frame = composer.render_video_frame(&m, t).unwrap();
+    assert_eq!((frame.width(), frame.height()), (W, H));
+    let audio = composer
+        .mix_audio_window(&m, t, TimeDelta::from_millis(100))
+        .unwrap();
+    assert!(audio.peak() > 3000, "music audible");
+    // At t = 3 s both tracks sound: the mix peaks higher.
+    let audio_both = composer
+        .mix_audio_window(&m, TimePoint::from_secs(3), TimeDelta::from_millis(100))
+        .unwrap();
+    assert!(audio_both.peak() > audio.peak());
+
+    // The timeline diagram carries the Fig. 4(b) labels (scaled).
+    let d = m.timeline_diagram(52);
+    assert!(d.contains("0:00"));
+    assert!(d.contains("0:06"));
+    assert!(d.contains("0:13"));
+    db.add_multimedia(m).unwrap();
+}
+
+#[test]
+fn derivation_objects_are_tiny_next_to_material() {
+    let mut db = MediaDb::new();
+    setup(&mut db);
+    build_video3(&mut db);
+    let deriv_total: u64 = ["videoF", "video3"]
+        .iter()
+        .map(|n| db.derivation_storage_bytes(n).unwrap())
+        .sum();
+    let material: u64 = db.materialize("video3").unwrap().approx_bytes();
+    assert!(
+        material > deriv_total * 10_000,
+        "material {material} vs derivation objects {deriv_total}"
+    );
+}

@@ -1,0 +1,231 @@
+//! Integration test: the Fig. 5 layering — one asset driven through
+//! BLOB → interpretation → derivation → composition — plus playback of the
+//! result, and cross-layer invariants.
+
+use tbm::codec::dct::DctParams;
+use tbm::core::SizedElement;
+use tbm::interp::capture;
+use tbm::media::gen::{AudioSignal, VideoPattern};
+use tbm::player::{schedule_from_interp, sync_skew, CostModel, PlaybackSim};
+use tbm::prelude::*;
+
+const W: u32 = 96;
+const H: u32 = 64;
+const SPF: usize = 1764;
+
+fn captured_db(n: usize) -> MediaDb {
+    let mut db = MediaDb::new();
+    let frames = tbm::media::gen::render_frames(VideoPattern::MovingBar, 0, n, W, H);
+    let audio = AudioSignal::Sine {
+        hz: 440.0,
+        amplitude: 8000,
+    }
+    .generate(0, n * SPF, 44_100, 2);
+    let cap = capture::capture_av_interleaved(
+        db.store_mut(),
+        &frames,
+        &audio,
+        SPF,
+        TimeSystem::PAL,
+        DctParams::default(),
+        Some(QualityFactor::Video(VideoQuality::Vhs)),
+    )
+    .unwrap();
+    db.register_interpretation(cap.interpretation).unwrap();
+    db
+}
+
+#[test]
+fn fig5_layering_bottom_up() {
+    let mut db = captured_db(25);
+
+    // Layer 1 → 2: BLOB is uninterpreted bytes; interpretation exposes
+    // structured media objects.
+    let blob_bytes = db.store().total_bytes();
+    assert!(blob_bytes > 0);
+    assert_eq!(db.objects().len(), 2);
+    let (_, vstream) = db.stream_of("video1").unwrap();
+    assert_eq!(vstream.len(), 25);
+
+    // Layer 2 → 3: derivation produces new media objects without touching
+    // the BLOB.
+    db.create_derived(
+        "trailer",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 5, to: 20 }],
+            },
+            vec![Node::source("video1")],
+        ),
+    )
+    .unwrap();
+    assert_eq!(db.store().total_bytes(), blob_bytes);
+
+    // Layer 3 → 4: composition gathers media objects into a multimedia
+    // object.
+    let mut m = MultimediaObject::new("presentation");
+    m.add_component(
+        Component::new(
+            "trailer",
+            ComponentKind::Video,
+            Node::source("trailer"),
+            TimePoint::ZERO,
+            TimeDelta::from_seconds(Rational::new(15, 25)),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_component(
+        Component::new(
+            "audio1",
+            ComponentKind::Audio,
+            Node::source("audio1"),
+            TimePoint::ZERO,
+            TimeDelta::from_seconds(Rational::new(15, 25)),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "trailer").unwrap();
+    db.add_multimedia(m).unwrap();
+
+    // Top of the stack: the multimedia object realizes to pixels + samples.
+    let mut expander = Expander::new();
+    for s in ["trailer", "audio1"] {
+        expander.add_source(s, db.materialize(s).unwrap());
+    }
+    let composer = Composer::new(&expander, W, H);
+    let record = db.multimedia("presentation").unwrap();
+    let frame = composer
+        .render_video_frame(&record.object, TimePoint::from_seconds(Rational::new(1, 5)))
+        .unwrap();
+    assert_eq!((frame.width(), frame.height()), (W, H));
+    let audio = composer
+        .mix_audio_window(&record.object, TimePoint::ZERO, TimeDelta::from_millis(200))
+        .unwrap();
+    assert!(audio.peak() > 3000);
+}
+
+#[test]
+fn interpretation_agrees_with_model_classification() {
+    let db = captured_db(25);
+    let (_, vstream) = db.stream_of("video1").unwrap();
+    // Rebuild the timed stream from the interpretation table and classify:
+    // a compressed capture must be homogeneous + constant frequency but not
+    // uniform.
+    let tuples = vstream
+        .entries()
+        .iter()
+        .map(|e| TimedTuple::new(SizedElement::new(e.size), e.start, e.duration))
+        .collect();
+    let stream =
+        TimedStream::from_tuples(MediaType::video("cap"), TimeSystem::PAL, tuples).unwrap();
+    let report = classify(&stream);
+    assert!(report.satisfies(StreamCategory::Homogeneous));
+    assert!(report.satisfies(StreamCategory::ConstantFrequency));
+    assert!(!report.satisfies(StreamCategory::Uniform));
+    // The descriptor's category line matches the computed classification.
+    assert_eq!(
+        vstream.descriptor().get_text(keys::CATEGORY).unwrap(),
+        report.descriptor_line()
+    );
+    // The model's average data rate matches the descriptor's.
+    let model_rate = stream.average_data_rate().unwrap();
+    let desc_rate = vstream
+        .descriptor()
+        .get_rational(keys::AVG_DATA_RATE)
+        .unwrap();
+    assert_eq!(model_rate, desc_rate);
+}
+
+#[test]
+fn playback_of_captured_interpretation() {
+    let db = captured_db(50);
+    let (_, vstream) = db.stream_of("video1").unwrap();
+    let (_, astream) = db.stream_of("audio1").unwrap();
+    let vjobs = schedule_from_interp(vstream, None);
+    let ajobs = schedule_from_interp(astream, None);
+    let demand = tbm::player::demanded_rate(&vjobs, TimeSystem::PAL)
+        .unwrap()
+        .to_f64()
+        + 176_400.0;
+
+    // 2× the demanded rate: clean playback and zero sync skew.
+    let ample = CostModel::bandwidth_only((demand * 2.0) as u64);
+    assert!(PlaybackSim::new(ample).run(&vjobs).clean());
+    let sync = sync_skew(ample, &vjobs, &ajobs);
+    assert!(sync.clean);
+    assert_eq!(sync.max_skew, TimeDelta::ZERO);
+
+    // 60 % of the demanded rate: misses appear and streams drift. The
+    // single-stream sim is starved relative to the video stream's own
+    // demand; the sync sim relative to the combined demand.
+    let video_demand = tbm::player::demanded_rate(&vjobs, TimeSystem::PAL)
+        .unwrap()
+        .to_f64();
+    let starved_video = CostModel::bandwidth_only((video_demand * 0.6) as u64);
+    let stats = PlaybackSim::new(starved_video).run(&vjobs);
+    assert!(!stats.clean(), "{stats:?}");
+    let starved_both = CostModel::bandwidth_only((demand * 0.6) as u64);
+    let sync = sync_skew(starved_both, &vjobs, &ajobs);
+    assert!(!sync.clean, "{sync:?}");
+}
+
+#[test]
+fn derived_objects_play_without_materialization() {
+    // Lazy pull straight into presentation: the derived trailer's frames
+    // are computed on demand (the paper's real-time expansion).
+    let mut db = captured_db(25);
+    db.create_derived(
+        "trailer",
+        Node::derive(
+            Op::VideoEdit {
+                cuts: vec![EditCut { input: 0, from: 10, to: 20 }],
+            },
+            vec![Node::source("video1")],
+        ),
+    )
+    .unwrap();
+    let node = db.provenance("trailer").unwrap().unwrap().clone();
+    let expander = db.expander_for(&node).unwrap();
+    assert_eq!(expander.video_len(&node).unwrap(), 10);
+    for i in [0usize, 5, 9] {
+        let f = expander.pull_frame(&node, i).unwrap();
+        assert_eq!((f.width(), f.height()), (W, H));
+    }
+    // Real-time feasibility of the lazy pipeline at PAL rate.
+    let report =
+        tbm::derive::realtime::assess_video(&expander, &node, TimeSystem::PAL, 5).unwrap();
+    assert!(report.sampled > 0);
+}
+
+#[test]
+fn file_backed_database_round_trips() {
+    // The same pipeline over a durable store.
+    let dir = std::env::temp_dir().join(format!("tbm-fullstack-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = FileBlobStore::open(&dir).unwrap();
+        let mut db = MediaDb::with_store(store);
+        let frames = tbm::media::gen::render_frames(VideoPattern::Checkerboard(5), 0, 10, W, H);
+        let audio = AudioSignal::Silence.generate(0, 10 * SPF, 44_100, 2);
+        let cap = capture::capture_av_interleaved(
+            db.store_mut(),
+            &frames,
+            &audio,
+            SPF,
+            TimeSystem::PAL,
+            DctParams::default(),
+            None,
+        )
+        .unwrap();
+        db.register_interpretation(cap.interpretation).unwrap();
+        let bytes = db.element_bytes_at("video1", TimePoint::ZERO).unwrap();
+        assert!(tbm::codec::dct::decode_frame(&bytes).is_ok());
+    }
+    // Blobs persisted on disk.
+    let store = FileBlobStore::open(&dir).unwrap();
+    assert_eq!(store.blob_ids().len(), 1);
+    assert!(store.len(tbm::core::BlobId::new(0)).unwrap() > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
