@@ -51,7 +51,9 @@ fn bench_interframe(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("encode_12f", b_frames),
             &params,
-            |b, &params| b.iter(|| black_box(interframe::encode_sequence(&frames, params).unwrap())),
+            |b, &params| {
+                b.iter(|| black_box(interframe::encode_sequence(&frames, params).unwrap()))
+            },
         );
     }
     let params = GopParams::default();
@@ -71,7 +73,9 @@ fn bench_audio_codecs(c: &mut Criterion) {
     let mut g = c.benchmark_group("audio");
     g.sample_size(20);
     g.throughput(Throughput::Elements(44_100));
-    g.bench_function("pcm_encode_1s", |b| b.iter(|| black_box(pcm::encode(&tone))));
+    g.bench_function("pcm_encode_1s", |b| {
+        b.iter(|| black_box(pcm::encode(&tone)))
+    });
     g.bench_function("adpcm_encode_1s", |b| {
         b.iter(|| black_box(adpcm::encode_blocks(&tone, 1024)))
     });

@@ -39,24 +39,48 @@ fn setup() -> (Expander, MultimediaObject) {
     let mut m = MultimediaObject::new("bench");
     let dur = TimeDelta::from_secs(2);
     m.add_component(
-        Component::new("bg", ComponentKind::Video, Node::source("bg"), TimePoint::ZERO, dur)
-            .unwrap(),
+        Component::new(
+            "bg",
+            ComponentKind::Video,
+            Node::source("bg"),
+            TimePoint::ZERO,
+            dur,
+        )
+        .unwrap(),
     )
     .unwrap();
     m.add_component(
-        Component::new("pip", ComponentKind::Video, Node::source("pip"), TimePoint::ZERO, dur)
-            .unwrap()
-            .in_region(Region::new(8, 8, 106, 80).at_layer(1)),
+        Component::new(
+            "pip",
+            ComponentKind::Video,
+            Node::source("pip"),
+            TimePoint::ZERO,
+            dur,
+        )
+        .unwrap()
+        .in_region(Region::new(8, 8, 106, 80).at_layer(1)),
     )
     .unwrap();
     m.add_component(
-        Component::new("music", ComponentKind::Audio, Node::source("music"), TimePoint::ZERO, dur)
-            .unwrap(),
+        Component::new(
+            "music",
+            ComponentKind::Audio,
+            Node::source("music"),
+            TimePoint::ZERO,
+            dur,
+        )
+        .unwrap(),
     )
     .unwrap();
     m.add_component(
-        Component::new("voice", ComponentKind::Audio, Node::source("voice"), TimePoint::ZERO, dur)
-            .unwrap(),
+        Component::new(
+            "voice",
+            ComponentKind::Audio,
+            Node::source("voice"),
+            TimePoint::ZERO,
+            dur,
+        )
+        .unwrap(),
     )
     .unwrap();
     (e, m)

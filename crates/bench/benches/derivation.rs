@@ -48,7 +48,11 @@ fn bench_operators(c: &mut Criterion) {
             "video_edit_50f",
             Node::derive(
                 Op::VideoEdit {
-                    cuts: vec![EditCut { input: 0, from: 25, to: 75 }],
+                    cuts: vec![EditCut {
+                        input: 0,
+                        from: 25,
+                        to: 75,
+                    }],
                 },
                 vec![Node::source("v1")],
             ),
@@ -109,8 +113,16 @@ fn bench_lazy_vs_materialized(c: &mut Criterion) {
     let node = Node::derive(
         Op::VideoEdit {
             cuts: vec![
-                EditCut { input: 0, from: 0, to: 50 },
-                EditCut { input: 1, from: 50, to: 100 },
+                EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 50,
+                },
+                EditCut {
+                    input: 1,
+                    from: 50,
+                    to: 100,
+                },
             ],
         },
         vec![Node::source("v1"), Node::source("v2")],

@@ -27,8 +27,16 @@ fn bench_edit_styles(c: &mut Criterion) {
                 let node = Node::derive(
                     Op::VideoEdit {
                         cuts: vec![
-                            EditCut { input: 0, from: 0, to: (n / 3) as u32 },
-                            EditCut { input: 0, from: (2 * n / 3) as u32, to: n as u32 },
+                            EditCut {
+                                input: 0,
+                                from: 0,
+                                to: (n / 3) as u32,
+                            },
+                            EditCut {
+                                input: 0,
+                                from: (2 * n / 3) as u32,
+                                to: n as u32,
+                            },
                         ],
                     },
                     vec![Node::source("video1")],

@@ -19,7 +19,12 @@ fn variable_stream(n: usize) -> TimedStream<SizedElement> {
         MediaType::video("var"),
         TimeSystem::PAL,
         0,
-        (0..n).map(|i| (SizedElement::new(1000 + (i % 37) as u64 * 13), 1 + (i % 3) as i64)),
+        (0..n).map(|i| {
+            (
+                SizedElement::new(1000 + (i % 37) as u64 * 13),
+                1 + (i % 3) as i64,
+            )
+        }),
     )
     .unwrap()
 }

@@ -10,15 +10,19 @@
 //! * **E10 (timing, §2.2)** — playback simulation: bandwidth sweep with
 //!   deadline misses, A/V sync skew, and scalable degradation (base layer
 //!   only) rescuing playback under constrained bandwidth.
+//! * **§faults (robustness)** — the Fig. 2 movie played through seeded
+//!   fault storms (transient I/O errors, bit-flip corruption, truncated
+//!   reads, latency spikes): every fault detected by checksum or
+//!   retry-exhaustion, recovery accounted as recovered/degraded/dropped,
+//!   and the whole run reproducible from the seed.
 //!
 //! ```text
 //! cargo run --release -p tbm-bench --bin exp_claims
 //! ```
 
-
 #![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
 use tbm_bench::{captured_av, cd_tone, fmt_bytes, fmt_rate, video_frames};
-use tbm_blob::{BlobStore, MemBlobStore};
+use tbm_blob::{BlobStore, FaultPlan, FaultyBlobStore, MemBlobStore};
 use tbm_codec::dct::DctParams;
 use tbm_db::MediaDb;
 use tbm_derive::{EditCut, Expander, MediaValue, Node, Op, VideoClip};
@@ -30,6 +34,7 @@ fn main() {
     e6_storage_and_edit_latency();
     e8_structured_queries();
     e10_playback_and_scalability();
+    faults_and_degradation();
 }
 
 // ---------------------------------------------------------------------------
@@ -111,10 +116,7 @@ fn e6_storage_and_edit_latency() {
         let MediaValue::Video(src) = db.materialize("video1").unwrap() else {
             unreachable!()
         };
-        let cut = VideoClip::new(
-            src.frames[from as usize..to as usize].to_vec(),
-            src.system,
-        );
+        let cut = VideoClip::new(src.frames[from as usize..to as usize].to_vec(), src.system);
         let mut new_store = MemBlobStore::new();
         let blob = new_store.create().unwrap();
         for f in &cut.frames {
@@ -168,9 +170,9 @@ fn e8_structured_queries() {
     // Q2: the element at t = 7 s, via the interpretation index…
     let (_, vstream) = db.stream_of("video1").unwrap();
     let t1 = std::time::Instant::now();
-    let tick = vstream.system().seconds_to_tick_floor(
-        tbm_time::TimePoint::from_seconds(Rational::from(7)),
-    );
+    let tick = vstream
+        .system()
+        .seconds_to_tick_floor(tbm_time::TimePoint::from_seconds(Rational::from(7)));
     let idx = vstream.element_at(tick).unwrap();
     let bytes = vstream.read_element(db.store(), blob, idx).unwrap();
     let indexed = t1.elapsed();
@@ -304,7 +306,12 @@ fn e10_playback_and_scalability() {
                 format!("{} misses", s.misses)
             }
         };
-        println!("{:>12}{:>18}{:>18}", fmt_rate(bw as f64), verdict(&f), verdict(&b));
+        println!(
+            "{:>12}{:>18}{:>18}",
+            fmt_rate(bw as f64),
+            verdict(&f),
+            verdict(&b)
+        );
     }
 
     // Lazy expansion during playback (E7 tie-in): pull a derived fade at
@@ -331,8 +338,7 @@ fn e10_playback_and_scalability() {
         Op::Fade { frames: 25 },
         vec![Node::source("v1"), Node::source("v2")],
     );
-    let report =
-        tbm_derive::realtime::assess_video(&expander, &fade, TimeSystem::PAL, 25).unwrap();
+    let report = tbm_derive::realtime::assess_video(&expander, &fade, TimeSystem::PAL, 25).unwrap();
     println!(
         "\nderived fade at 320x240: {:.2} ms/frame vs 40 ms period — {}",
         report.per_element.as_secs_f64() * 1e3,
@@ -374,7 +380,10 @@ fn e10_playback_and_scalability() {
         "capture", "forward", "reverse", "penalty"
     );
     println!("{}", "-".repeat(64));
-    for (name, stream) in [("intraframe (JPEG-style)", intra_v), ("interframe (GOP)", gop_v)] {
+    for (name, stream) in [
+        ("intraframe (JPEG-style)", intra_v),
+        ("interframe (GOP)", gop_v),
+    ] {
         let fwd = cost(&schedule_from_interp(stream, None));
         let rev = cost(&schedule_reverse(stream, None));
         println!(
@@ -424,4 +433,129 @@ fn e10_playback_and_scalability() {
         );
     }
     let _ = cd_tone(1); // keep helper linked for parity across experiments
+}
+
+// ---------------------------------------------------------------------------
+// §faults
+// ---------------------------------------------------------------------------
+
+fn faults_and_degradation() {
+    use tbm_player::{DegradationPolicy, ResilientPlayer};
+
+    println!("\n§faults — fault storms over the Fig. 2 movie (robustness)\n");
+    let n = 250; // 10 s of PAL video + CD audio
+    let (store, cap) = captured_av(n, 160, 120);
+    let v = cap.interpretation.stream("video1").unwrap();
+    let demand = tbm_player::demanded_rate(&schedule_from_interp(v, None), TimeSystem::PAL)
+        .unwrap()
+        .to_f64();
+    let sim = PlaybackSim::new(CostModel::bandwidth_only((demand * 1.5) as u64)).with_startup(3);
+    let player = ResilientPlayer::new(sim);
+
+    // Storm: 2 % corruption (above the ≥1 % bar), transient errors,
+    // truncated reads, latency spikes — all from one seed.
+    let storm = |seed: u64| {
+        FaultPlan::new(seed)
+            .with_transient(0.05)
+            .with_corruption(0.02)
+            .with_truncation(0.01)
+            .with_latency(0.02, 800)
+    };
+
+    println!(
+        "{:>6}{:>8}{:>10}{:>10}{:>9}{:>9}{:>8}",
+        "seed", "faults", "recovered", "degraded", "dropped", "misses", "intact"
+    );
+    println!("{}", "-".repeat(60));
+    for seed in [7u64, 8, 9] {
+        let faulty = FaultyBlobStore::new(store.clone(), storm(seed));
+        let report = player.play(&faulty, cap.blob, v);
+        // Accounting identity: unrecoverable faults end up degraded or
+        // dropped; transient faults hidden by retries are the recoveries.
+        assert_eq!(
+            report.faults_detected,
+            report.stats.degraded + report.stats.dropped,
+            "every unrecoverable fault must be accounted for"
+        );
+        let detected = report.faults_detected + report.stats.recovered;
+        println!(
+            "{seed:>6}{:>8}{:>10}{:>10}{:>9}{:>9}{:>7.1}%",
+            detected,
+            report.stats.recovered,
+            report.stats.degraded,
+            report.stats.dropped,
+            report.stats.misses,
+            100.0 * (n - report.stats.degraded - report.stats.dropped) as f64 / n as f64,
+        );
+    }
+
+    // Reproducibility: the storm is a pure function of the seed.
+    let a = player.play(&FaultyBlobStore::new(store.clone(), storm(7)), cap.blob, v);
+    let b = player.play(&FaultyBlobStore::new(store.clone(), storm(7)), cap.blob, v);
+    let c = player.play(&FaultyBlobStore::new(store.clone(), storm(8)), cap.blob, v);
+    println!(
+        "\nsame seed -> identical stats: {}; different seed -> different storm: {}",
+        a.stats == b.stats && a.fates == b.fates,
+        a.stats != c.stats || a.fates != c.fates
+    );
+
+    // What one storm actually injected, by class.
+    let faulty = FaultyBlobStore::new(store.clone(), storm(7));
+    let report = player.play(&faulty, cap.blob, v);
+    let fs = faulty.stats();
+    println!(
+        "seed 7 injected: {} transient errors, {} corrupted reads, {} truncated reads, \
+         {} latency spikes over {} reads",
+        fs.transient_errors, fs.corrupted_reads, fs.truncated_reads, fs.latency_events, fs.reads
+    );
+    println!(
+        "seed 7 outcome:  {}/{} elements intact, {} recovered by retry, {} degraded, {} dropped",
+        report
+            .fates
+            .iter()
+            .filter(|f| matches!(f, tbm_player::ElementFate::Intact))
+            .count(),
+        n,
+        report.stats.recovered,
+        report.stats.degraded,
+        report.stats.dropped
+    );
+
+    // Degradation-policy ladder on a scalable capture: DropLayers turns
+    // what would be repeats/drops into reduced-fidelity presentation.
+    println!("\ndegradation policies under the same storm (scalable capture):");
+    let mut s = MemBlobStore::new();
+    let (blob2, interp2) = capture::capture_video_scalable(
+        &mut s,
+        &video_frames(125, 160, 120),
+        TimeSystem::PAL,
+        DctParams::default(),
+    )
+    .unwrap();
+    let sc = interp2.stream("video1").unwrap();
+    println!(
+        "{:<14}{:>10}{:>12}{:>9}{:>9}",
+        "policy", "recovered", "base-layer", "frozen", "dropped"
+    );
+    println!("{}", "-".repeat(54));
+    for (name, policy) in [
+        ("drop-layers", DegradationPolicy::DropLayers),
+        ("repeat-last", DegradationPolicy::RepeatLast),
+        ("skip", DegradationPolicy::Skip),
+    ] {
+        let faulty = FaultyBlobStore::new(s.clone(), storm(11).with_corruption(0.05));
+        let r = ResilientPlayer::new(sim)
+            .with_policy(policy)
+            .play(&faulty, blob2, sc);
+        let count =
+            |pred: fn(&tbm_player::ElementFate) -> bool| r.fates.iter().filter(|f| pred(f)).count();
+        println!(
+            "{name:<14}{:>10}{:>12}{:>9}{:>9}",
+            r.stats.recovered,
+            count(|f| matches!(f, tbm_player::ElementFate::BaseLayers { .. })),
+            count(|f| matches!(f, tbm_player::ElementFate::Repeated)),
+            r.stats.dropped,
+        );
+    }
+    println!();
 }

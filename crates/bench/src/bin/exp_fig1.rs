@@ -9,10 +9,11 @@
 //! cargo run -p tbm-bench --bin exp_fig1
 //! ```
 
-
 #![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
 use tbm_codec::adpcm;
-use tbm_core::{classify, MediaType, SizedElement, StreamCategory, StreamElement, TimedStream, TimedTuple};
+use tbm_core::{
+    classify, MediaType, SizedElement, StreamCategory, StreamElement, TimedStream, TimedTuple,
+};
 use tbm_media::gen::{chord_progression, AudioSignal, VideoPattern};
 use tbm_media::midi::notes_to_events;
 use tbm_time::TimeSystem;
@@ -140,7 +141,9 @@ fn main() {
     ));
 
     // ---- The matrix -------------------------------------------------------
-    let headers = ["homog", "heter", "cont", "n-cont", "event", "c-freq", "c-rate", "unif"];
+    let headers = [
+        "homog", "heter", "cont", "n-cont", "event", "c-freq", "c-rate", "unif",
+    ];
     print!("{:<34}", "stream");
     for h in headers {
         print!("{h:>8}");

@@ -15,7 +15,6 @@
 //! cargo run --release -p tbm-bench --bin exp_fig2
 //! ```
 
-
 #![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
 use tbm_bench::{cd_tone, fmt_bytes, fmt_rate, video_frames, SPF};
 use tbm_blob::MemBlobStore;
@@ -65,11 +64,21 @@ fn main() {
     // The interpretation tables (paper: "video1(elementNumber,
     // elementSize, blobPlacement)"; "audio1(elementNumber, blobPlacement)").
     // ------------------------------------------------------------------
-    println!("\nvideo1(elementNumber, elementSize, blobPlacement)  [first 5 of {}]", v.len());
+    println!(
+        "\nvideo1(elementNumber, elementSize, blobPlacement)  [first 5 of {}]",
+        v.len()
+    );
     for (i, e) in v.entries().iter().take(5).enumerate() {
-        println!("  ({i:>4}, {:>7}, {})", e.size, e.placement.as_single().unwrap());
+        println!(
+            "  ({i:>4}, {:>7}, {})",
+            e.size,
+            e.placement.as_single().unwrap()
+        );
     }
-    println!("audio1(elementNumber, blobPlacement)               [first 5 of {}]", a.len());
+    println!(
+        "audio1(elementNumber, blobPlacement)               [first 5 of {}]",
+        a.len()
+    );
     for (i, e) in a.entries().iter().take(5).enumerate() {
         println!("  ({i:>4}, {})", e.placement.as_single().unwrap());
     }
@@ -201,14 +210,21 @@ fn main() {
 
     // Scalable (two layers).
     let mut s4 = MemBlobStore::new();
-    let (_, sc_interp) =
-        capture::capture_video_scalable(&mut s4, &small, TimeSystem::PAL, dct::DctParams::default())
-            .unwrap();
+    let (_, sc_interp) = capture::capture_video_scalable(
+        &mut s4,
+        &small,
+        TimeSystem::PAL,
+        dct::DctParams::default(),
+    )
+    .unwrap();
     let sc = sc_interp.stream("video1").unwrap();
     let sc_base: u64 = sc.entries().iter().map(|e| e.placement.prefix_len(1)).sum();
     let sc_total = sc.total_bytes();
 
-    println!("{:<26}{:>14}{:>14}  note", "layout", "BLOB bytes", "overhead");
+    println!(
+        "{:<26}{:>14}{:>14}  note",
+        "layout", "BLOB bytes", "overhead"
+    );
     println!("{}", "-".repeat(78));
     println!(
         "{:<26}{:>14}{:>14}  audio follows frame",
@@ -247,7 +263,10 @@ fn main() {
     // ------------------------------------------------------------------
     // Index ablation: time → element lookup.
     // ------------------------------------------------------------------
-    println!("\nindex ablation: element-at-time lookup over {} entries", v.len());
+    println!(
+        "\nindex ablation: element-at-time lookup over {} entries",
+        v.len()
+    );
     let entries = v.entries();
     let probes: Vec<i64> = (0..10_000).map(|i| (i * 7) % n as i64).collect();
     let t0 = std::time::Instant::now();

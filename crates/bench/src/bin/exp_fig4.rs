@@ -9,7 +9,6 @@
 //! cargo run --release -p tbm-bench --bin exp_fig4
 //! ```
 
-
 #![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
 use tbm_bench::fmt_bytes;
 use tbm_compose::{Component, ComponentKind, MultimediaObject};
@@ -32,10 +31,16 @@ fn main() {
     let scene = SCENE_S * FPS as usize;
     let v1 = tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, scene, W, H);
     let v2 = tbm_media::gen::render_frames(VideoPattern::ShiftingGradient, 0, scene, W, H);
-    db.register_value("video1", MediaValue::Video(VideoClip::new(v1, TimeSystem::PAL)))
-        .unwrap();
-    db.register_value("video2", MediaValue::Video(VideoClip::new(v2, TimeSystem::PAL)))
-        .unwrap();
+    db.register_value(
+        "video1",
+        MediaValue::Video(VideoClip::new(v1, TimeSystem::PAL)),
+    )
+    .unwrap();
+    db.register_value(
+        "video2",
+        MediaValue::Video(VideoClip::new(v2, TimeSystem::PAL)),
+    )
+    .unwrap();
     let total_s = 2 * SCENE_S - FADE_S;
     let music = AudioSignal::Chirp {
         from_hz: 200.0,
@@ -69,7 +74,11 @@ fn main() {
         "videoC1",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 0, to: scene_f - fade }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 0,
+                    to: scene_f - fade,
+                }],
             },
             vec![Node::source("video1")],
         ),
@@ -79,7 +88,11 @@ fn main() {
         "videoC2",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: fade, to: scene_f }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: fade,
+                    to: scene_f,
+                }],
             },
             vec![Node::source("video2")],
         ),
@@ -90,9 +103,21 @@ fn main() {
         Node::derive(
             Op::VideoEdit {
                 cuts: vec![
-                    EditCut { input: 0, from: 0, to: scene_f - fade },
-                    EditCut { input: 1, from: 0, to: fade },
-                    EditCut { input: 2, from: 0, to: scene_f - fade },
+                    EditCut {
+                        input: 0,
+                        from: 0,
+                        to: scene_f - fade,
+                    },
+                    EditCut {
+                        input: 1,
+                        from: 0,
+                        to: fade,
+                    },
+                    EditCut {
+                        input: 2,
+                        from: 0,
+                        to: scene_f - fade,
+                    },
                 ],
             },
             vec![
@@ -108,8 +133,14 @@ fn main() {
     let full = TimeDelta::from_secs(total_s as i64);
     let mut m = MultimediaObject::new("m");
     m.add_component(
-        Component::new("audio1", ComponentKind::Audio, Node::source("audio1"), TimePoint::ZERO, full)
-            .unwrap(),
+        Component::new(
+            "audio1",
+            ComponentKind::Audio,
+            Node::source("audio1"),
+            TimePoint::ZERO,
+            full,
+        )
+        .unwrap(),
     )
     .unwrap();
     m.add_component(
@@ -124,12 +155,20 @@ fn main() {
     )
     .unwrap();
     m.add_component(
-        Component::new("video3", ComponentKind::Video, Node::source("video3"), TimePoint::ZERO, full)
-            .unwrap(),
+        Component::new(
+            "video3",
+            ComponentKind::Video,
+            Node::source("video3"),
+            TimePoint::ZERO,
+            full,
+        )
+        .unwrap(),
     )
     .unwrap();
-    m.add_constraint("audio1", AllenRelation::Equals, "video3").unwrap();
-    m.add_constraint("audio2", AllenRelation::Starts, "video3").unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "video3")
+        .unwrap();
+    m.add_constraint("audio2", AllenRelation::Starts, "video3")
+        .unwrap();
     m.validate().unwrap();
 
     // --------------------------------------------------------------
@@ -143,7 +182,9 @@ fn main() {
             }
             Origin::Derived { .. } => {
                 let node = db.provenance(&rec.name).unwrap().unwrap();
-                let Node::Derive { op, .. } = node else { unreachable!() };
+                let Node::Derive { op, .. } = node else {
+                    unreachable!()
+                };
                 println!(
                     "  {:<10}* <--{}-- {:?}",
                     rec.name,

@@ -8,7 +8,6 @@
 //! cargo run --release -p tbm-bench --bin exp_fig5
 //! ```
 
-
 #![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
 use tbm_bench::{captured_av, fmt_bytes, SPF};
 use tbm_blob::BlobStore;
@@ -31,7 +30,11 @@ fn main() {
         "videoT",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 0, to: (n as u32) - 25 }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 0,
+                    to: (n as u32) - 25,
+                }],
             },
             vec![Node::source("video1")],
         ),
@@ -53,16 +56,29 @@ fn main() {
     let dur = TimeDelta::from_seconds(Rational::new(n as i64 - 25, 25));
     let mut m = MultimediaObject::new("m");
     m.add_component(
-        Component::new("videoT", ComponentKind::Video, Node::source("videoT"), TimePoint::ZERO, dur)
-            .unwrap(),
+        Component::new(
+            "videoT",
+            ComponentKind::Video,
+            Node::source("videoT"),
+            TimePoint::ZERO,
+            dur,
+        )
+        .unwrap(),
     )
     .unwrap();
     m.add_component(
-        Component::new("audioT", ComponentKind::Audio, Node::source("audioT"), TimePoint::ZERO, dur)
-            .unwrap(),
+        Component::new(
+            "audioT",
+            ComponentKind::Audio,
+            Node::source("audioT"),
+            TimePoint::ZERO,
+            dur,
+        )
+        .unwrap(),
     )
     .unwrap();
-    m.add_constraint("audioT", AllenRelation::Equals, "videoT").unwrap();
+    m.add_constraint("audioT", AllenRelation::Equals, "videoT")
+        .unwrap();
     db.add_multimedia(m).unwrap();
 
     // ------------------------------------------------------------------
@@ -91,13 +107,14 @@ fn main() {
         .map(|d| db.materialize(d).unwrap().approx_bytes())
         .sum();
 
-    println!("{:<28}{:<34}{:>14}", "layer (Fig. 5)", "objects", "stored bytes");
+    println!(
+        "{:<28}{:<34}{:>14}",
+        "layer (Fig. 5)", "objects", "stored bytes"
+    );
     println!("{}", "-".repeat(76));
     println!(
         "{:<28}{:<34}{:>14}",
-        "multimedia object",
-        "m (2 components, 1 constraint)",
-        "≈0 (relations)"
+        "multimedia object", "m (2 components, 1 constraint)", "≈0 (relations)"
     );
     println!(
         "{:<28}{:<34}{:>14}",

@@ -11,7 +11,6 @@
 //! cargo run --release -p tbm-bench --bin exp_tab1
 //! ```
 
-
 #![allow(clippy::format_in_format_args)] // computed cells padded by the outer format
 use tbm_bench::fmt_bytes;
 use tbm_derive::realtime::{assess_audio, assess_video};
@@ -31,10 +30,7 @@ fn sources() -> Expander {
     let mut e = Expander::new();
     e.add_source(
         "image1",
-        MediaValue::Image({
-            
-            VideoPattern::ShiftingGradient.render(3, W, H)
-        }),
+        MediaValue::Image(VideoPattern::ShiftingGradient.render(3, W, H)),
     );
     e.add_source(
         "audio1",
@@ -110,8 +106,16 @@ fn main() {
             Node::derive(
                 Op::VideoEdit {
                     cuts: vec![
-                        EditCut { input: 0, from: 0, to: 30 },
-                        EditCut { input: 0, from: 45, to: 75 },
+                        EditCut {
+                            input: 0,
+                            from: 0,
+                            to: 30,
+                        },
+                        EditCut {
+                            input: 0,
+                            from: 45,
+                            to: 75,
+                        },
                     ],
                 },
                 vec![Node::source("video1")],
@@ -152,11 +156,17 @@ fn main() {
             "animation rendering",
         ),
         (
-            Node::derive(Op::Transcode { quant_percent: 300 }, vec![Node::source("video1")]),
+            Node::derive(
+                Op::Transcode { quant_percent: 300 },
+                vec![Node::source("video1")],
+            ),
             "transcoding",
         ),
         (
-            Node::derive(Op::AudioResample { to_rate: 22_050 }, vec![Node::source("audio1")]),
+            Node::derive(
+                Op::AudioResample { to_rate: 22_050 },
+                vec![Node::source("audio1")],
+            ),
             "audio resampling",
         ),
     ];
@@ -167,7 +177,9 @@ fn main() {
     );
     println!("{}", "-".repeat(110));
     for (node, label) in &rows {
-        let Node::Derive { op, .. } = node else { unreachable!() };
+        let Node::Derive { op, .. } = node else {
+            unreachable!()
+        };
         let t0 = std::time::Instant::now();
         let value = e.expand(node).expect(label);
         let dt = t0.elapsed();
@@ -193,7 +205,9 @@ fn main() {
     );
     println!("{}", "-".repeat(92));
     for (node, label) in &rows {
-        let Node::Derive { op, .. } = node else { unreachable!() };
+        let Node::Derive { op, .. } = node else {
+            unreachable!()
+        };
         let report = match op.result_type() {
             "video" => assess_video(&e, node, TimeSystem::PAL, 12).ok(),
             "audio" => assess_audio(&e, node, 44_100, 1764, 12).ok(),

@@ -2,10 +2,10 @@
 
 #![deny(missing_docs)]
 
+use tbm_blob::MemBlobStore;
 use tbm_codec::dct::DctParams;
 use tbm_core::{QualityFactor, VideoQuality};
 use tbm_interp::capture::{self, AvCapture};
-use tbm_blob::MemBlobStore;
 use tbm_media::gen::{AudioSignal, VideoPattern};
 use tbm_media::{AudioBuffer, Frame};
 use tbm_time::TimeSystem;

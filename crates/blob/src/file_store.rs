@@ -17,41 +17,103 @@ use tbm_core::BlobId;
 pub struct FileBlobStore {
     dir: PathBuf,
     lens: Vec<u64>,
+    open_report: OpenReport,
+}
+
+/// Why a file in the store directory was not adopted by [`FileBlobStore::open`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SkipReason {
+    /// A `*.blob` file whose stem is not a decimal id (e.g. `x.blob`).
+    NonNumericName,
+    /// A numeric `*.blob` file beyond a hole in the id sequence; adoption
+    /// stops at the first missing id, so this file's bytes are unreachable.
+    AfterHole {
+        /// The first missing id — the hole that stopped adoption.
+        missing_id: u64,
+    },
+}
+
+/// What [`FileBlobStore::open`] adopted and what it had to skip.
+///
+/// A hole in the id sequence (say `0.blob`, `1.blob`, `3.blob`) means some
+/// BLOB file was lost or the directory was tampered with; the store adopts
+/// the dense prefix (`0`, `1`) but — rather than silently truncating the id
+/// space — records every skipped file here so callers can alert, salvage, or
+/// refuse to proceed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Number of BLOBs adopted (ids `0..adopted`).
+    pub adopted: usize,
+    /// Files present in the directory but not adopted, with reasons.
+    pub skipped: Vec<(String, SkipReason)>,
+}
+
+impl OpenReport {
+    /// `true` if every `*.blob` file in the directory was adopted.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
 }
 
 impl FileBlobStore {
     /// Opens (or creates) a store rooted at `dir`. Existing `*.blob` files
-    /// with numeric names are adopted in id order.
+    /// with numeric names are adopted in id order; files that cannot be
+    /// adopted (non-numeric names, or ids beyond a hole in the sequence) are
+    /// listed in [`FileBlobStore::open_report`] rather than silently ignored.
     pub fn open(dir: impl AsRef<Path>) -> Result<FileBlobStore, BlobError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        let mut ids: Vec<(u64, u64)> = Vec::new(); // (id, len)
+        let mut ids: Vec<(u64, u64, String)> = Vec::new(); // (id, len, name)
+        let mut skipped: Vec<(String, SkipReason)> = Vec::new();
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+            let name = entry.file_name().to_string_lossy().into_owned();
             if let Some(stem) = name.strip_suffix(".blob") {
                 if let Ok(id) = stem.parse::<u64>() {
-                    ids.push((id, entry.metadata()?.len()));
+                    ids.push((id, entry.metadata()?.len(), name));
+                } else {
+                    skipped.push((name, SkipReason::NonNumericName));
                 }
             }
         }
-        ids.sort_unstable();
-        // Adopt a dense prefix; ignore holes (a hole would mean external
-        // tampering — treat subsequent files as foreign).
+        ids.sort_unstable_by_key(|(id, _, _)| *id);
+        // Adopt a dense prefix; a hole means external tampering or data loss,
+        // so everything past it is unreachable — but reported, not hidden.
         let mut lens = Vec::new();
-        for (expect, (id, len)) in ids.into_iter().enumerate() {
-            if id != expect as u64 {
-                break;
+        let mut hole: Option<u64> = None;
+        for (expect, (id, len, name)) in ids.into_iter().enumerate() {
+            match hole {
+                None if id == expect as u64 => lens.push(len),
+                None => {
+                    let missing_id = expect as u64;
+                    hole = Some(missing_id);
+                    skipped.push((name, SkipReason::AfterHole { missing_id }));
+                }
+                Some(missing_id) => {
+                    skipped.push((name, SkipReason::AfterHole { missing_id }));
+                }
             }
-            lens.push(len);
         }
-        Ok(FileBlobStore { dir, lens })
+        skipped.sort();
+        let open_report = OpenReport {
+            adopted: lens.len(),
+            skipped,
+        };
+        Ok(FileBlobStore {
+            dir,
+            lens,
+            open_report,
+        })
     }
 
     /// The directory backing this store.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// What [`FileBlobStore::open`] adopted and skipped.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.open_report
     }
 
     fn path(&self, blob: BlobId) -> PathBuf {
@@ -125,10 +187,7 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "tbm-blob-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("tbm-blob-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -162,6 +221,51 @@ mod tests {
         assert_eq!(s.len(BlobId::new(0)).unwrap(), 3);
         assert_eq!(s.len(BlobId::new(1)).unwrap(), 4);
         assert_eq!(s.read_all(BlobId::new(1)).unwrap(), b"bbbb");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_reports_holes_and_foreign_files() {
+        let dir = temp_dir("holes");
+        {
+            let mut s = FileBlobStore::open(&dir).unwrap();
+            for _ in 0..4 {
+                s.create().unwrap();
+            }
+            s.append(BlobId::new(3), b"tail").unwrap();
+        }
+        // Punch a hole at id 2 and drop in a foreign file.
+        std::fs::remove_file(dir.join("2.blob")).unwrap();
+        std::fs::write(dir.join("extra.blob"), b"??").unwrap();
+
+        let s = FileBlobStore::open(&dir).unwrap();
+        assert_eq!(s.blob_ids().len(), 2); // dense prefix 0, 1
+        let report = s.open_report();
+        assert!(!report.is_clean());
+        assert_eq!(report.adopted, 2);
+        assert_eq!(
+            report.skipped,
+            vec![
+                (
+                    "3.blob".to_string(),
+                    SkipReason::AfterHole { missing_id: 2 }
+                ),
+                ("extra.blob".to_string(), SkipReason::NonNumericName),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_open_has_empty_report() {
+        let dir = temp_dir("clean");
+        {
+            let mut s = FileBlobStore::open(&dir).unwrap();
+            s.create().unwrap();
+        }
+        let s = FileBlobStore::open(&dir).unwrap();
+        assert!(s.open_report().is_clean());
+        assert_eq!(s.open_report().adopted, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -28,13 +28,15 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod fault;
 mod file_store;
 mod mem_store;
 mod span;
 mod store;
 
 pub use error::BlobError;
-pub use file_store::FileBlobStore;
+pub use fault::{is_transient, FaultPlan, FaultStats, FaultyBlobStore, RetryPolicy, RetryReport};
+pub use file_store::{FileBlobStore, OpenReport, SkipReason};
 pub use mem_store::MemBlobStore;
 pub use span::ByteSpan;
 pub use store::{BlobStore, BlobWriter};

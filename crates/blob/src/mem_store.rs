@@ -9,7 +9,7 @@ use tbm_core::BlobId;
 const DEFAULT_EXTENT: usize = 64 * 1024;
 
 /// One BLOB as a sequence of fixed-capacity extents.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Fragmented {
     extents: Vec<Vec<u8>>,
     len: u64,
@@ -73,7 +73,7 @@ impl Fragmented {
 /// The fragmentation is invisible through the interface — exactly the
 /// paper's point that BLOB layout "is a performance issue and not directly
 /// relevant to data modeling".
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemBlobStore {
     blobs: Vec<Fragmented>,
     extent_size: usize,
@@ -214,10 +214,7 @@ mod tests {
     #[test]
     fn unknown_blob_rejected() {
         let s = MemBlobStore::new();
-        assert!(matches!(
-            s.len(BlobId::new(9)),
-            Err(BlobError::NotFound(_))
-        ));
+        assert!(matches!(s.len(BlobId::new(9)), Err(BlobError::NotFound(_))));
         assert!(!s.contains(BlobId::new(9)));
     }
 

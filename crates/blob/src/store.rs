@@ -26,6 +26,28 @@ pub trait BlobStore {
     /// Reads the bytes of `span` into `buf` (which must be `span.len` long).
     fn read_into(&self, blob: BlobId, span: ByteSpan, buf: &mut [u8]) -> Result<(), BlobError>;
 
+    /// Like [`BlobStore::read_into`], carrying the caller's retry attempt
+    /// number (0 = first try). Plain stores ignore it; fault-injecting
+    /// decorators use it to let transient faults clear across retries.
+    fn read_into_attempt(
+        &self,
+        blob: BlobId,
+        span: ByteSpan,
+        buf: &mut [u8],
+        attempt: u32,
+    ) -> Result<(), BlobError> {
+        let _ = attempt;
+        self.read_into(blob, span, buf)
+    }
+
+    /// Takes (and resets) any accumulated per-read cost hint, in
+    /// microseconds — extra service time (added latency, device stalls) the
+    /// store wants charged to the reads since the last drain. Plain stores
+    /// report 0.
+    fn drain_cost_hint_us(&self) -> u64 {
+        0
+    }
+
     /// The BLOB's current length in bytes.
     fn len(&self, blob: BlobId) -> Result<u64, BlobError>;
 
@@ -93,9 +115,20 @@ impl<'a, S: BlobStore + ?Sized> BlobWriter<'a, S> {
     ///
     /// Models the paper's CD-I-style padding: "storage units may be padded
     /// with unused data to match storage transfer rates to media data rates".
+    ///
+    /// Zeros are appended in bounded chunks so padding a multi-GB span never
+    /// allocates a buffer of that size.
     pub fn pad(&mut self, len: u64) -> Result<ByteSpan, BlobError> {
-        let zeros = vec![0u8; len as usize];
-        self.write(&zeros)
+        const CHUNK: u64 = 64 * 1024;
+        let start = self.written;
+        let zeros = vec![0u8; CHUNK.min(len) as usize];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = CHUNK.min(remaining) as usize;
+            self.write(&zeros[..n])?;
+            remaining -= n as u64;
+        }
+        Ok(ByteSpan::new(start, len))
     }
 
     /// Pads with zeros until the BLOB length is a multiple of `alignment`.
@@ -135,6 +168,25 @@ mod tests {
         store.append(blob, b"abc").unwrap();
         let w = BlobWriter::new(&mut store, blob).unwrap();
         assert_eq!(w.position(), 3);
+    }
+
+    #[test]
+    fn pad_spans_multiple_chunks() {
+        // Larger than the 64 KiB chunk size: the pad must still come back as
+        // one contiguous span with the full length.
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        let mut w = BlobWriter::new(&mut store, blob).unwrap();
+        w.write(b"hdr").unwrap();
+        let len = 64 * 1024 * 2 + 777;
+        let span = w.pad(len).unwrap();
+        assert_eq!(span, ByteSpan::new(3, len));
+        assert_eq!(w.position(), 3 + len);
+        // Zero-length pad is a valid empty span at the cursor.
+        assert_eq!(w.pad(0).unwrap(), ByteSpan::new(3 + len, 0));
+        assert_eq!(store.len(blob).unwrap(), 3 + len);
+        let tail = store.read(blob, ByteSpan::new(3 + len - 10, 10)).unwrap();
+        assert!(tail.iter().all(|&b| b == 0));
     }
 
     #[test]

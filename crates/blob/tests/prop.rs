@@ -70,7 +70,11 @@ fn file_store_agrees_with_mem_store() {
     let fb = file.create().unwrap();
     let mb = mem.create().unwrap();
     let chunks: Vec<Vec<u8>> = (0..20u8)
-        .map(|i| (0..(i as usize * 13 % 97)).map(|j| (i as usize * 31 + j) as u8).collect())
+        .map(|i| {
+            (0..(i as usize * 13 % 97))
+                .map(|j| (i as usize * 31 + j) as u8)
+                .collect()
+        })
         .collect();
     for c in &chunks {
         let s1 = file.append(fb, c).unwrap();

@@ -20,11 +20,10 @@ use tbm_media::AudioBuffer;
 /// The IMA step-size table.
 const STEP_TABLE: [i32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// Index adjustment per 4-bit code.
@@ -32,15 +31,13 @@ const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4
 
 /// Per-channel coder state: the "encoding parameters that vary over an audio
 /// sequence".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AdpcmState {
     /// Current predictor value.
     pub predictor: i16,
     /// Index into the step table.
     pub step_index: u8,
 }
-
 
 impl AdpcmState {
     fn encode_sample(&mut self, sample: i16) -> u8 {
@@ -270,7 +267,10 @@ pub fn decode_blocks(blocks: &[AdpcmBlock]) -> Result<AudioBuffer, CodecError> {
     let mut at = 0usize;
     for b in blocks {
         if b.channels != channels {
-            return Err(CodecError::malformed("adpcm", "channel count changed mid-stream"));
+            return Err(CodecError::malformed(
+                "adpcm",
+                "channel count changed mid-stream",
+            ));
         }
         for c in 0..channels as usize {
             // Each block is self-contained: decode from its own entry state.
@@ -364,7 +364,10 @@ mod tests {
         assert_ne!(blocks[0].states(), blocks[3].states());
         // So their element descriptors differ -> heterogeneous stream.
         assert_ne!(blocks[0].descriptor_token(), blocks[3].descriptor_token());
-        assert_ne!(blocks[0].element_descriptor(), blocks[3].element_descriptor());
+        assert_ne!(
+            blocks[0].element_descriptor(),
+            blocks[3].element_descriptor()
+        );
     }
 
     #[test]

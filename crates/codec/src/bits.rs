@@ -46,7 +46,7 @@ impl BitWriter {
     pub fn put_ue(&mut self, value: u64) {
         let x = value + 1;
         let bits = 64 - x.leading_zeros() as u8; // position of MSB, ≥ 1
-        // (bits-1) zeros, then the `bits` bits of x.
+                                                 // (bits-1) zeros, then the `bits` bits of x.
         for _ in 0..bits - 1 {
             self.put_bit(false);
         }
@@ -119,7 +119,10 @@ impl<'a> BitReader<'a> {
         while !self.get_bit()? {
             zeros += 1;
             if zeros > 63 {
-                return Err(CodecError::malformed("bitreader", "exp-golomb run too long"));
+                return Err(CodecError::malformed(
+                    "bitreader",
+                    "exp-golomb run too long",
+                ));
             }
         }
         let rest = self.get_bits(zeros)?;

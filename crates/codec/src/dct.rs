@@ -54,9 +54,9 @@ const CHROMA_QUANT: [u16; 64] = [
 
 /// Zig-zag scan order for an 8×8 block.
 const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// End-of-block sentinel for the AC run-length code (runs are ≤ 62).
@@ -182,7 +182,7 @@ pub fn encode_plane_i16(
                     block[y * 8 + x] = plane[sy * w + sx] as f64;
                 }
             }
-            fdct(&block, &mut coeffs, &cos);
+            fdct(&block, &mut coeffs, cos);
             // Quantize into zig-zag order.
             let mut q = [0i64; 64];
             for (zz, &pos) in ZIGZAG.iter().enumerate() {
@@ -247,7 +247,7 @@ pub fn decode_plane_i16(
             for (zz, &pos) in ZIGZAG.iter().enumerate() {
                 coeffs[pos] = (q[zz] * quant[pos] as i64) as f64;
             }
-            idct(&coeffs, &mut pixels, &cos);
+            idct(&coeffs, &mut pixels, cos);
             // Scatter (skip padding).
             for y in 0..8 {
                 for x in 0..8 {

@@ -160,7 +160,10 @@ fn add_clamped(base: &[i16], delta: &[i16]) -> Vec<i16> {
 
 fn average(a: &Planes, b: &Planes) -> Planes {
     let avg = |x: &[i16], y: &[i16]| -> Vec<i16> {
-        x.iter().zip(y).map(|(&a, &b)| ((a as i32 + b as i32) / 2) as i16).collect()
+        x.iter()
+            .zip(y)
+            .map(|(&a, &b)| ((a as i32 + b as i32) / 2) as i16)
+            .collect()
     };
     Planes {
         y: avg(&a.y, &b.y),
@@ -246,10 +249,7 @@ pub fn decode_order_indices(count: usize, params: GopParams) -> Vec<usize> {
 /// Encodes frames (display order) into an [`EncodedSequence`] (decode
 /// order). All frames must share one geometry.
 #[allow(clippy::needless_range_loop)] // display indices address the planes table
-pub fn encode_sequence(
-    frames: &[Frame],
-    params: GopParams,
-) -> Result<EncodedSequence, CodecError> {
+pub fn encode_sequence(frames: &[Frame], params: GopParams) -> Result<EncodedSequence, CodecError> {
     let first = match frames.first() {
         Some(f) => f,
         None => {
@@ -373,11 +373,9 @@ pub fn decode_sequence(seq: &EncodedSequence) -> Result<Vec<Frame>, CodecError> 
         let recon = match ef.kind {
             FrameKind::I => residual,
             FrameKind::P => {
-                let base = last_ref
-                    .as_ref()
-                    .ok_or(CodecError::MissingReference {
-                        wanted: ef.display_index,
-                    })?;
+                let base = last_ref.as_ref().ok_or(CodecError::MissingReference {
+                    wanted: ef.display_index,
+                })?;
                 Planes {
                     y: add_clamped(&base.y, &residual.y),
                     u: add_clamped(&base.u, &residual.u),
@@ -407,7 +405,10 @@ pub fn decode_sequence(seq: &EncodedSequence) -> Result<Vec<Frame>, CodecError> 
             last_ref = Some(recon.clone());
         }
         if ef.display_index >= count {
-            return Err(CodecError::malformed("interframe", "display index out of range"));
+            return Err(CodecError::malformed(
+                "interframe",
+                "display index out of range",
+            ));
         }
         display[ef.display_index] = Some(planes_to_frame(&recon, seq.width, seq.height));
     }
@@ -531,11 +532,7 @@ mod tests {
         let frames = clip(4);
         let seq = encode_sequence(&frames, default_params()).unwrap();
         let i = &seq.frames[0];
-        let b = seq
-            .frames
-            .iter()
-            .find(|f| f.kind == FrameKind::B)
-            .unwrap();
+        let b = seq.frames.iter().find(|f| f.kind == FrameKind::B).unwrap();
         assert_ne!(i.descriptor_token(), b.descriptor_token());
         assert_eq!(
             i.element_descriptor(),

@@ -82,8 +82,10 @@ mod tests {
             let err = reference
                 .mean_abs_diff(&dct::decode_frame(&enc).unwrap())
                 .unwrap();
-            assert!(enc.len() <= last_len || err <= last_err,
-                "{q:?} regressed on both size and error");
+            assert!(
+                enc.len() <= last_len || err <= last_err,
+                "{q:?} regressed on both size and error"
+            );
             last_len = enc.len();
             last_err = err;
         }

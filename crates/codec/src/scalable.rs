@@ -191,9 +191,24 @@ pub fn encode_layered(frame: &Frame, dct: DctParams) -> LayeredFrame {
     let base_recon = decode_planes(&base, &half, dct).expect("own bitstream decodes");
     let predicted = up_planes(&base_recon, &half, &full);
     let residual = Planes {
-        y: src.y.iter().zip(&predicted.y).map(|(&a, &b)| a - b).collect(),
-        u: src.u.iter().zip(&predicted.u).map(|(&a, &b)| a - b).collect(),
-        v: src.v.iter().zip(&predicted.v).map(|(&a, &b)| a - b).collect(),
+        y: src
+            .y
+            .iter()
+            .zip(&predicted.y)
+            .map(|(&a, &b)| a - b)
+            .collect(),
+        u: src
+            .u
+            .iter()
+            .zip(&predicted.u)
+            .map(|(&a, &b)| a - b)
+            .collect(),
+        v: src
+            .v
+            .iter()
+            .zip(&predicted.v)
+            .map(|(&a, &b)| a - b)
+            .collect(),
     };
     let enhancement = encode_planes(&residual, &full, dct);
     LayeredFrame {

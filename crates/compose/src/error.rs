@@ -67,7 +67,10 @@ impl fmt::Display for ComposeError {
                 name,
                 declared,
                 found,
-            } => write!(f, "component `{name}` declared {declared} but expands to {found}"),
+            } => write!(
+                f,
+                "component `{name}` declared {declared} but expands to {found}"
+            ),
             ComposeError::BadPlacement { detail } => write!(f, "bad placement: {detail}"),
         }
     }

@@ -134,12 +134,18 @@ mod tests {
     #[test]
     fn qualitative_relations() {
         let a = Region::new(0, 0, 10, 10);
-        assert_eq!(a.relation_to(&Region::new(20, 0, 5, 5)), SpatialRelation::LeftOf);
+        assert_eq!(
+            a.relation_to(&Region::new(20, 0, 5, 5)),
+            SpatialRelation::LeftOf
+        );
         assert_eq!(
             Region::new(20, 0, 5, 5).relation_to(&a),
             SpatialRelation::RightOf
         );
-        assert_eq!(a.relation_to(&Region::new(0, 20, 5, 5)), SpatialRelation::Above);
+        assert_eq!(
+            a.relation_to(&Region::new(0, 20, 5, 5)),
+            SpatialRelation::Above
+        );
         assert_eq!(
             Region::new(0, 20, 5, 5).relation_to(&a),
             SpatialRelation::Below

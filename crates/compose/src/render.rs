@@ -54,7 +54,11 @@ impl<'a> Composer<'a> {
         self.expander
     }
 
-    fn video_frame_of(&self, media: &Node, local: TimeDelta) -> Result<Option<Frame>, ComposeError> {
+    fn video_frame_of(
+        &self,
+        media: &Node,
+        local: TimeDelta,
+    ) -> Result<Option<Frame>, ComposeError> {
         let system: TimeSystem = self.expander.video_system(media)?;
         let len = self.expander.video_len(media)?;
         if len == 0 {

@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn accessors_match_variants() {
         assert_eq!(AttrValue::from(640).as_int(), Some(640));
-        assert_eq!(AttrValue::from(640).as_rational(), Some(Rational::from(640)));
+        assert_eq!(
+            AttrValue::from(640).as_rational(),
+            Some(Rational::from(640))
+        );
         assert_eq!(AttrValue::from("RGB").as_text(), Some("RGB"));
         assert_eq!(AttrValue::from(true).as_bool(), Some(true));
         assert_eq!(AttrValue::from("RGB").as_int(), None);

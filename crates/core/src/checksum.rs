@@ -1,0 +1,107 @@
+//! CRC32 (IEEE 802.3) checksums.
+//!
+//! The paper argues that interpretation data "is crucial and the task should
+//! not be left to applications" — a BLOB whose interpretation is lost is
+//! "meaningless data". The same holds for the bytes themselves: a silently
+//! flipped bit in a BLOB or in the catalog yields garbage frames with no
+//! diagnosis. Every integrity check in the workspace (per-element checksums
+//! in `tbm-interp`, the catalog footer in `tbm-db`) uses this one CRC32 so
+//! the values are comparable across layers.
+
+/// A streaming CRC32 (IEEE polynomial, reflected, as used by zip/png).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// Lookup table for the reflected IEEE polynomial `0xEDB88320`.
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+impl Crc32 {
+    /// A fresh checksum state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// The CRC32 of `bytes` in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"interpretation of time-based media";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 1024];
+        data[500] = 0x55;
+        let before = crc32(&data);
+        data[700] ^= 0x01;
+        assert_ne!(before, crc32(&data));
+    }
+}

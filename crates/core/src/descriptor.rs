@@ -114,7 +114,8 @@ impl MediaDescriptor {
 
     /// The descriptor's quality factor, if present and recognized.
     pub fn quality(&self) -> Option<QualityFactor> {
-        self.get_text(keys::QUALITY_FACTOR).and_then(QualityFactor::parse)
+        self.get_text(keys::QUALITY_FACTOR)
+            .and_then(QualityFactor::parse)
     }
 
     /// Sets the quality factor from the typed representation.
@@ -124,7 +125,8 @@ impl MediaDescriptor {
 
     /// The declared total duration, if present.
     pub fn duration(&self) -> Option<TimeDelta> {
-        self.get_rational(keys::DURATION).map(TimeDelta::from_seconds)
+        self.get_rational(keys::DURATION)
+            .map(TimeDelta::from_seconds)
     }
 
     /// Iterates attributes in key order.

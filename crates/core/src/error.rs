@@ -81,13 +81,19 @@ impl fmt::Display for ModelError {
                 write!(f, "descriptor attribute `{key}` must be of type {expected}")
             }
             ModelError::AttributeOutOfRange { key, constraint } => {
-                write!(f, "descriptor attribute `{key}` violates constraint: {constraint}")
+                write!(
+                    f,
+                    "descriptor attribute `{key}` violates constraint: {constraint}"
+                )
             }
             ModelError::CategoryViolation { required } => {
                 write!(f, "stream violates required category `{required}`")
             }
             ModelError::KindMismatch { expected, found } => {
-                write!(f, "descriptor kind `{found}` does not match media type kind `{expected}`")
+                write!(
+                    f,
+                    "descriptor kind `{found}` does not match media type kind `{expected}`"
+                )
             }
             ModelError::EmptyStream => write!(f, "operation requires a non-empty stream"),
         }

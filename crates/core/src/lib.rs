@@ -31,6 +31,7 @@
 
 mod attr;
 mod category;
+mod checksum;
 mod descriptor;
 mod element;
 mod error;
@@ -41,6 +42,7 @@ mod stream;
 
 pub use attr::AttrValue;
 pub use category::{classify, CategoryReport, StreamCategory};
+pub use checksum::{crc32, Crc32};
 pub use descriptor::{keys, ElementDescriptor, MediaDescriptor};
 pub use element::{SizedElement, StreamElement};
 pub use error::ModelError;

@@ -12,8 +12,7 @@
 //! requirement.
 
 use crate::{
-    keys, AttrValue, CategoryReport, ElementDescriptor, MediaDescriptor, ModelError,
-    StreamCategory,
+    keys, AttrValue, CategoryReport, ElementDescriptor, MediaDescriptor, ModelError, StreamCategory,
 };
 use std::fmt;
 use tbm_time::Rational;
@@ -290,10 +289,7 @@ impl MediaType {
 
     /// Validates an element descriptor's presence against the type: types
     /// without element descriptors expect empty ones.
-    pub fn validate_element_descriptor(
-        &self,
-        ed: &ElementDescriptor,
-    ) -> Result<(), ModelError> {
+    pub fn validate_element_descriptor(&self, ed: &ElementDescriptor) -> Result<(), ModelError> {
         if !self.has_element_descriptors && !ed.is_empty() {
             return Err(ModelError::AttributeOutOfRange {
                 key: "<element descriptor>".to_owned(),
@@ -327,14 +323,14 @@ impl MediaType {
     /// sequence, so elements carry descriptors.
     pub fn adpcm_audio() -> MediaType {
         MediaType::new("ADPCM audio", MediaKind::Audio)
-            .with_attr(AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int).in_range(
-                Rational::from(8000),
-                Rational::from(48000),
-            ))
-            .with_attr(AttrSpec::required(keys::CHANNELS, AttrType::Int).in_range(
-                Rational::from(1),
-                Rational::from(8),
-            ))
+            .with_attr(
+                AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int)
+                    .in_range(Rational::from(8000), Rational::from(48000)),
+            )
+            .with_attr(
+                AttrSpec::required(keys::CHANNELS, AttrType::Int)
+                    .in_range(Rational::from(1), Rational::from(8)),
+            )
             .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
             .with_attr(AttrSpec::optional(keys::QUALITY_FACTOR, AttrType::Text))
             .with_attr(AttrSpec::optional(keys::ENCODING, AttrType::Text))
@@ -345,10 +341,10 @@ impl MediaType {
     /// Generic PCM audio at a declared rate.
     pub fn pcm_audio() -> MediaType {
         MediaType::new("PCM audio", MediaKind::Audio)
-            .with_attr(AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int).in_range(
-                Rational::from(1),
-                Rational::from(384_000),
-            ))
+            .with_attr(
+                AttrSpec::required(keys::SAMPLE_RATE, AttrType::Int)
+                    .in_range(Rational::from(1), Rational::from(384_000)),
+            )
             .with_attr(AttrSpec::required(keys::SAMPLE_SIZE, AttrType::Int))
             .with_attr(AttrSpec::required(keys::CHANNELS, AttrType::Int))
             .with_attr(AttrSpec::optional(keys::DURATION, AttrType::Rational))
@@ -437,7 +433,9 @@ mod tests {
 
     #[test]
     fn cd_audio_accepts_spec_descriptor() {
-        assert!(MediaType::cd_audio().validate_descriptor(&cd_descriptor()).is_ok());
+        assert!(MediaType::cd_audio()
+            .validate_descriptor(&cd_descriptor())
+            .is_ok());
     }
 
     #[test]
@@ -488,10 +486,14 @@ mod tests {
     fn element_descriptor_policy() {
         let cd = MediaType::cd_audio();
         assert!(!cd.has_element_descriptors());
-        assert!(cd.validate_element_descriptor(&ElementDescriptor::empty()).is_ok());
+        assert!(cd
+            .validate_element_descriptor(&ElementDescriptor::empty())
+            .is_ok());
         let ed = ElementDescriptor::from_pairs([("step", 3i64)]);
         assert!(cd.validate_element_descriptor(&ed).is_err());
-        assert!(MediaType::adpcm_audio().validate_element_descriptor(&ed).is_ok());
+        assert!(MediaType::adpcm_audio()
+            .validate_element_descriptor(&ed)
+            .is_ok());
     }
 
     #[test]
@@ -507,7 +509,9 @@ mod tests {
     #[test]
     fn optional_attrs_may_be_absent() {
         // duration/quality omitted — still valid.
-        assert!(MediaType::cd_audio().validate_descriptor(&cd_descriptor()).is_ok());
+        assert!(MediaType::cd_audio()
+            .validate_descriptor(&cd_descriptor())
+            .is_ok());
     }
 
     #[test]

@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn paper_names() {
-        assert_eq!(QualityFactor::Video(VideoQuality::Vhs).name(), "VHS quality");
+        assert_eq!(
+            QualityFactor::Video(VideoQuality::Vhs).name(),
+            "VHS quality"
+        );
         assert_eq!(QualityFactor::Audio(AudioQuality::Cd).name(), "CD quality");
         assert_eq!(
             QualityFactor::Video(VideoQuality::Broadcast).name(),

@@ -215,7 +215,11 @@ impl<E: StreamElement> TimedStream<E> {
     /// The continuous-time interval covered by the stream.
     pub fn interval(&self) -> Option<Interval> {
         let (s, e) = self.tick_span()?;
-        Interval::from_bounds(self.system.tick_to_seconds(s), self.system.tick_to_seconds(e)).ok()
+        Interval::from_bounds(
+            self.system.tick_to_seconds(s),
+            self.system.tick_to_seconds(e),
+        )
+        .ok()
     }
 
     /// Total continuous duration of the span.
@@ -367,7 +371,10 @@ impl<E: StreamElement> TimedStream<E> {
             .tuples
             .iter()
             .filter(|t| t.duration > 0)
-            .map(|t| Rational::from(t.element.byte_size() as i64) / self.system.ticks_to_delta(t.duration).seconds())
+            .map(|t| {
+                Rational::from(t.element.byte_size() as i64)
+                    / self.system.ticks_to_delta(t.duration).seconds()
+            })
             .max()?;
         Some(peak / avg)
     }
@@ -518,7 +525,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ModelError::NegativeDuration { .. }));
         let mut s = uniform_stream(1, 4);
-        assert!(s.push(TimedTuple::new(SizedElement::new(4), 0, -2)).is_err());
+        assert!(s
+            .push(TimedTuple::new(SizedElement::new(4), 0, -2))
+            .is_err());
     }
 
     #[test]
@@ -616,8 +625,8 @@ mod tests {
         // An element straddling the boundary is excluded by `window` but
         // included by `covering`.
         let tuples = vec![TimedTuple::new(SizedElement::new(1), 0, 50)];
-        let long = TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples)
-            .unwrap();
+        let long =
+            TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, tuples).unwrap();
         assert!(long.window(10, 20).is_empty());
         assert_eq!(long.covering(10, 20).len(), 1);
     }

@@ -150,9 +150,7 @@ impl<S: BlobStore> MediaDb<S> {
     pub fn create_derived(&mut self, name: &str, node: Node) -> Result<MediaObjectId, DbError> {
         self.check_free(name)?;
         for src in node.sources() {
-            if !self.objects.iter().any(|o| o.name == src)
-                && !self.immediates.contains_key(src)
-            {
+            if !self.objects.iter().any(|o| o.name == src) && !self.immediates.contains_key(src) {
                 return Err(DbError::UnknownDerivationInput {
                     name: src.to_owned(),
                 });
@@ -175,7 +173,10 @@ impl<S: BlobStore> MediaDb<S> {
     }
 
     /// Registers a multimedia object (the result of composition).
-    pub fn add_multimedia(&mut self, object: MultimediaObject) -> Result<MultimediaObjectId, DbError> {
+    pub fn add_multimedia(
+        &mut self,
+        object: MultimediaObject,
+    ) -> Result<MultimediaObjectId, DbError> {
         object.validate()?;
         let id = MultimediaObjectId::new(self.multimedia.len() as u64);
         self.multimedia.push(MultimediaRecord { id, object });
@@ -278,6 +279,11 @@ impl<S: BlobStore> MediaDb<S> {
     /// A stored derivation record.
     pub fn derivation(&self, id: DerivationId) -> Option<&DerivationRecord> {
         self.derivations.get(id.raw() as usize)
+    }
+
+    /// All stored derivation records.
+    pub fn derivations(&self) -> &[DerivationRecord] {
+        &self.derivations
     }
 
     /// A multimedia object by name.

@@ -50,6 +50,14 @@ pub enum DbError {
         /// The object whose removal was requested.
         name: String,
     },
+    /// The persisted catalog failed validation: bad magic, damaged footer
+    /// checksum, a truncated or malformed record. The file is not silently
+    /// loaded; [`crate::MediaDb::salvage`] can recover the valid record
+    /// prefix.
+    CorruptCatalog {
+        /// What failed to validate.
+        detail: String,
+    },
     /// Underlying interpretation failure.
     Interp(InterpError),
     /// Underlying BLOB failure.
@@ -71,13 +79,19 @@ impl fmt::Display for DbError {
                 write!(f, "derivation references unregistered object `{name}`")
             }
             DbError::UnsupportedEncoding { name, encoding } => {
-                write!(f, "object `{name}` has unmaterializable encoding `{encoding}`")
+                write!(
+                    f,
+                    "object `{name}` has unmaterializable encoding `{encoding}`"
+                )
             }
             DbError::NothingAtTime { name } => {
                 write!(f, "no element of `{name}` at the requested time")
             }
             DbError::HasDependents { name, dependents } => {
-                write!(f, "cannot remove `{name}`: derived objects {dependents:?} reference it")
+                write!(
+                    f,
+                    "cannot remove `{name}`: derived objects {dependents:?} reference it"
+                )
             }
             DbError::NotDerived { name } => {
                 write!(
@@ -86,6 +100,7 @@ impl fmt::Display for DbError {
                      permanently associated with their BLOBs"
                 )
             }
+            DbError::CorruptCatalog { detail } => write!(f, "corrupt catalog: {detail}"),
             DbError::Interp(e) => write!(f, "interpretation: {e}"),
             DbError::Blob(e) => write!(f, "blob: {e}"),
             DbError::Derive(e) => write!(f, "derivation: {e}"),

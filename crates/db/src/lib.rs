@@ -33,5 +33,5 @@ mod record;
 
 pub use catalog::MediaDb;
 pub use error::DbError;
-pub use persist::CATALOG_FILE;
+pub use persist::{SalvageReport, SectionSalvage, CATALOG_FILE, CATALOG_TMP};
 pub use record::{DerivationRecord, MediaObjectRecord, MultimediaRecord, Origin};

@@ -70,11 +70,12 @@ impl<S: BlobStore> MediaDb<S> {
                 for i in 0..stream.len() {
                     all.extend(stream.read_element(self.store(), blob, i)?);
                 }
-                let buffer =
-                    AudioBuffer::from_bytes(channels, &all).ok_or(DbError::UnsupportedEncoding {
+                let buffer = AudioBuffer::from_bytes(channels, &all).ok_or(
+                    DbError::UnsupportedEncoding {
                         name: name.to_owned(),
                         encoding: encoding.clone(),
-                    })?;
+                    },
+                )?;
                 Ok(MediaValue::Audio(AudioClip::new(buffer, rate)))
             }
             "ADPCM" => {
@@ -82,9 +83,10 @@ impl<S: BlobStore> MediaDb<S> {
                 let mut blocks = Vec::with_capacity(stream.len());
                 for i in 0..stream.len() {
                     let bytes = stream.read_element(self.store(), blob, i)?;
-                    blocks.push(adpcm::AdpcmBlock::from_bytes(&bytes).map_err(|e| {
-                        DbError::Interp(tbm_interp::InterpError::Codec(e))
-                    })?);
+                    blocks.push(
+                        adpcm::AdpcmBlock::from_bytes(&bytes)
+                            .map_err(|e| DbError::Interp(tbm_interp::InterpError::Codec(e)))?,
+                    );
                 }
                 let buffer = adpcm::decode_blocks(&blocks)
                     .map_err(|e| DbError::Interp(tbm_interp::InterpError::Codec(e)))?;
@@ -99,16 +101,15 @@ impl<S: BlobStore> MediaDb<S> {
                     let entry = stream.entry(i)?;
                     if entry.placement.layer_count() == 1 {
                         let bytes = stream.read_element(self.store(), blob, i)?;
-                        frames.push(dct::decode_frame(&bytes).map_err(|e| {
-                            DbError::Interp(tbm_interp::InterpError::Codec(e))
-                        })?);
+                        frames.push(
+                            dct::decode_frame(&bytes)
+                                .map_err(|e| DbError::Interp(tbm_interp::InterpError::Codec(e)))?,
+                        );
                     } else {
                         let w = desc.get_int(keys::FRAME_WIDTH).unwrap_or(0) as u32;
                         let h = desc.get_int(keys::FRAME_HEIGHT).unwrap_or(0) as u32;
-                        let quant =
-                            desc.get_int(capture::QUANT_KEY).unwrap_or(100) as u16;
-                        let base =
-                            stream.read_element_layers(self.store(), blob, i, 1)?;
+                        let quant = desc.get_int(capture::QUANT_KEY).unwrap_or(100) as u16;
+                        let base = stream.read_element_layers(self.store(), blob, i, 1)?;
                         let full = stream.read_element(self.store(), blob, i)?;
                         let lf = tbm_codec::scalable::LayeredFrame {
                             width: w,
@@ -117,9 +118,10 @@ impl<S: BlobStore> MediaDb<S> {
                             base: base.clone(),
                             enhancement: full[base.len()..].to_vec(),
                         };
-                        frames.push(tbm_codec::scalable::decode_full(&lf).map_err(|e| {
-                            DbError::Interp(tbm_interp::InterpError::Codec(e))
-                        })?);
+                        frames.push(
+                            tbm_codec::scalable::decode_full(&lf)
+                                .map_err(|e| DbError::Interp(tbm_interp::InterpError::Codec(e)))?,
+                        );
                     }
                 }
                 Ok(MediaValue::Video(VideoClip::new(frames, stream.system())))

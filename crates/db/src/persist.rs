@@ -10,16 +10,25 @@
 //! Symbolic immediates (music, animation) persist too; bulk video/audio
 //! immediates are rejected — continuous media belong in BLOBs with
 //! interpretations, per the model.
+//!
+//! ## Durability and corruption
+//!
+//! Version 2 catalogs end in a 16-byte footer `[crc32][payload len][magic]`
+//! so damage anywhere in the file is *detected* rather than silently loaded;
+//! [`MediaDb::save`] is atomic (temp file + fsync + rename + directory
+//! fsync) so a crash leaves either the old or the new catalog, never a torn
+//! one; and [`MediaDb::salvage`] recovers the valid record prefix of a
+//! damaged catalog, reporting exactly what was lost.
 
 use crate::record::{DerivationRecord, MediaObjectRecord, MultimediaRecord, Origin};
 use crate::{DbError, MediaDb};
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use tbm_blob::{BlobStore, ByteSpan, FileBlobStore};
 use tbm_compose::{Component, ComponentKind, MultimediaObject, Region};
 use tbm_core::{
-    AttrValue, BlobId, DerivationId, ElementDescriptor, InterpretationId, MediaDescriptor,
+    crc32, AttrValue, BlobId, DerivationId, ElementDescriptor, InterpretationId, MediaDescriptor,
     MediaKind, MediaObjectId, MultimediaObjectId,
 };
 use tbm_derive::{AnimClip, MediaValue, MusicClip, Node};
@@ -29,16 +38,35 @@ use tbm_media::midi::Note;
 use tbm_time::{AllenRelation, Rational, TimeDelta, TimePoint, TimeSystem};
 
 const MAGIC: &[u8; 4] = b"TBMC";
-const VERSION: u8 = 1;
+/// Current catalog version. Version 2 added per-layer element checksums and
+/// the whole-file footer; version 1 files (no footer) are still readable.
+const VERSION: u8 = 2;
+/// Oldest version this decoder accepts.
+const MIN_VERSION: u8 = 1;
 
 /// The catalog file name inside a database directory.
 pub const CATALOG_FILE: &str = "catalog.tbm";
 
+/// The temporary file [`MediaDb::save`] writes before atomically renaming it
+/// over [`CATALOG_FILE`]. A leftover `catalog.tbm.tmp` means a crash
+/// interrupted a save; it is uncommitted state and is discarded on open.
+pub const CATALOG_TMP: &str = "catalog.tbm.tmp";
+
+/// Footer: `[crc32 of payload: u32 LE][payload len: u64 LE][b"TBMF"]`.
+const FOOTER_MAGIC: &[u8; 4] = b"TBMF";
+const FOOTER_LEN: usize = 16;
+
 fn corrupt(detail: &str) -> DbError {
-    DbError::Blob(tbm_blob::BlobError::Io(std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!("corrupt catalog: {detail}"),
-    )))
+    DbError::CorruptCatalog {
+        detail: detail.to_owned(),
+    }
+}
+
+/// Capacity hint for length-prefixed sections: trust small counts, clamp
+/// huge ones so a corrupt count cannot drive a giant allocation before the
+/// per-record bounds checks reject the data.
+fn cap(n: usize) -> usize {
+    n.min(4096)
 }
 
 // ---------------------------------------------------------------------------
@@ -91,6 +119,31 @@ impl Enc {
 struct Dec<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Catalog version being decoded; gates fields added after version 1.
+    version: u8,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec {
+            bytes,
+            pos: 0,
+            version: VERSION,
+        }
+    }
+
+    /// Consumes and validates the catalog header, recording the version.
+    fn header(&mut self) -> Result<(), DbError> {
+        if self.take(4)? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = self.u8()?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        self.version = version;
+        Ok(())
+    }
 }
 
 impl<'a> Dec<'a> {
@@ -236,6 +289,11 @@ fn enc_entry(e: &mut Enc, entry: &ElementEntry) {
         }
     }
     e.u8(entry.is_key as u8);
+    // Version 2: per-layer checksums (0 = none recorded).
+    e.u8(entry.checksums.len() as u8);
+    for &sum in &entry.checksums {
+        e.u32(sum);
+    }
 }
 
 fn dec_entry(d: &mut Dec) -> Result<ElementEntry, DbError> {
@@ -255,7 +313,7 @@ fn dec_entry(d: &mut Dec) -> Result<ElementEntry, DbError> {
         0 => None,
         1 => {
             let n = d.u32()? as usize;
-            let mut pairs = Vec::with_capacity(n);
+            let mut pairs = Vec::with_capacity(cap(n));
             for _ in 0..n {
                 let k = d.str()?;
                 let v = dec_attr(d)?;
@@ -266,18 +324,29 @@ fn dec_entry(d: &mut Dec) -> Result<ElementEntry, DbError> {
         t => return Err(corrupt(&format!("descriptor tag {t}"))),
     };
     let is_key = d.u8()? != 0;
+    let checksums = if d.version >= 2 {
+        let n_sums = d.u8()? as usize;
+        if n_sums != 0 && n_sums != n_layers {
+            return Err(corrupt("checksum count does not match layer count"));
+        }
+        let mut sums = Vec::with_capacity(n_sums);
+        for _ in 0..n_sums {
+            sums.push(d.u32()?);
+        }
+        sums
+    } else {
+        Vec::new()
+    };
     let placement = Placement::layered(spans).expect("n_layers >= 1");
-    let mut entry = ElementEntry {
+    Ok(ElementEntry {
         start,
         duration,
         size: placement.total_len(),
         placement,
         descriptor,
         is_key,
-    };
-    // `simple` constructor invariants are preserved by construction.
-    entry.size = entry.placement.total_len();
-    Ok(entry)
+        checksums,
+    })
 }
 
 fn enc_interpretation(e: &mut Enc, interp: &Interpretation) {
@@ -304,7 +373,7 @@ fn dec_interpretation(d: &mut Dec) -> Result<Interpretation, DbError> {
         let freq = d.rational()?;
         let system = TimeSystem::new(freq).map_err(|_| corrupt("bad frequency"))?;
         let n_entries = d.u32()? as usize;
-        let mut entries = Vec::with_capacity(n_entries);
+        let mut entries = Vec::with_capacity(cap(n_entries));
         for _ in 0..n_entries {
             entries.push(dec_entry(d)?);
         }
@@ -441,7 +510,7 @@ fn dec_immediate(d: &mut Dec) -> Result<MediaValue, DbError> {
             let ppq = d.u32()?;
             let tempo = d.u32()?;
             let n = d.u32()? as usize;
-            let mut notes = Vec::with_capacity(n);
+            let mut notes = Vec::with_capacity(cap(n));
             for _ in 0..n {
                 let channel = d.u8()?;
                 let key = d.u8()?;
@@ -459,7 +528,7 @@ fn dec_immediate(d: &mut Dec) -> Result<MediaValue, DbError> {
             let height = d.u32()?;
             let background = d.u32()?;
             let n = d.u32()? as usize;
-            let mut moves = Vec::with_capacity(n);
+            let mut moves = Vec::with_capacity(cap(n));
             for _ in 0..n {
                 let object_id = d.u32()?;
                 let fx = d.i64()? as i32;
@@ -471,7 +540,13 @@ fn dec_immediate(d: &mut Dec) -> Result<MediaValue, DbError> {
                 let start = d.i64()?;
                 let dur = d.i64()?;
                 moves.push((
-                    MoveSpec::new(object_id, Point::new(fx, fy), Point::new(tx, ty), size, color),
+                    MoveSpec::new(
+                        object_id,
+                        Point::new(fx, fy),
+                        Point::new(tx, ty),
+                        size,
+                        color,
+                    ),
                     start,
                     dur,
                 ));
@@ -535,102 +610,359 @@ impl<S: BlobStore> MediaDb<S> {
             e.str(name);
             enc_immediate(&mut e, &self.immediates[name])?;
         }
-        Ok(e.out)
+        Ok(append_footer(e.out))
     }
 
     /// Rebuilds a database from serialized catalog bytes and a BLOB store.
+    ///
+    /// Strict: the footer checksum must verify (version ≥ 2) and every
+    /// record must decode with no bytes left over. Damaged input yields
+    /// [`DbError::CorruptCatalog`], never a silently wrong catalog and never
+    /// a panic; use [`MediaDb::catalog_salvage_from_bytes`] to recover what
+    /// a damaged catalog still holds.
     pub fn catalog_from_bytes(store: S, bytes: &[u8]) -> Result<MediaDb<S>, DbError> {
-        let mut d = Dec { bytes, pos: 0 };
-        if d.take(4)? != MAGIC {
-            return Err(corrupt("bad magic"));
+        let payload = match verify_footer(bytes)? {
+            Some(payload) => payload,
+            // No footer at all: accept only version-1 files (written before
+            // the footer existed); anything else lost its footer to damage.
+            None if is_legacy_v1(bytes) => bytes,
+            None => return Err(corrupt("missing or damaged footer")),
+        };
+        let scan = decode_sections(payload);
+        if let Some(e) = scan.error {
+            return Err(e);
         }
-        if d.u8()? != VERSION {
-            return Err(corrupt("unsupported version"));
+        if scan.consumed != payload.len() {
+            return Err(corrupt("trailing bytes"));
         }
+        let p = scan.parts;
+        Ok(MediaDb::from_parts(
+            store,
+            p.interpretations,
+            p.objects,
+            p.derivations,
+            p.multimedia,
+            p.immediates,
+        ))
+    }
+
+    /// Recovers the valid record prefix of a (possibly damaged) catalog.
+    ///
+    /// Total function: any input — truncated, bit-flipped, or garbage —
+    /// yields a database holding every record that still decodes, plus a
+    /// [`SalvageReport`] accounting for what was lost. Objects whose
+    /// interpretation or derivation did not survive are dropped too
+    /// (counted as [`SalvageReport::dangling_objects`]) so the salvaged
+    /// database never holds dangling references.
+    pub fn catalog_salvage_from_bytes(store: S, bytes: &[u8]) -> (MediaDb<S>, SalvageReport) {
+        let (payload, footer_ok) = match verify_footer(bytes) {
+            Ok(Some(payload)) => (payload, true),
+            // Footer-less: fine for a version-1 file, damage otherwise.
+            Ok(None) => (bytes, is_legacy_v1(bytes)),
+            // Footer present but failing validation: its magic still marks
+            // the payload boundary.
+            Err(_) => (&bytes[..bytes.len() - FOOTER_LEN], false),
+        };
+        let scan = decode_sections(payload);
+        let mut report = scan.report;
+        report.footer_ok = footer_ok;
+        if let Some(e) = scan.error {
+            report.detail = Some(e.to_string());
+        } else if scan.consumed != payload.len() {
+            report.detail = Some(format!(
+                "{} trailing bytes ignored",
+                payload.len() - scan.consumed
+            ));
+        }
+        let mut p = scan.parts;
+        // Referential integrity: drop objects pointing at lost records.
+        let before = p.objects.len();
+        let (interps, derivations) = (&p.interpretations, &p.derivations);
+        p.objects.retain(|o| match &o.origin {
+            Origin::Interpreted {
+                interpretation,
+                stream,
+            } => interps
+                .get(interpretation.raw() as usize)
+                .is_some_and(|i| i.stream(stream).is_ok()),
+            Origin::Derived { derivation } => (derivation.raw() as usize) < derivations.len(),
+        });
+        report.dangling_objects = before - p.objects.len();
+        let db = MediaDb::from_parts(
+            store,
+            p.interpretations,
+            p.objects,
+            p.derivations,
+            p.multimedia,
+            p.immediates,
+        );
+        (db, report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Footer, section scan, salvage report
+// ---------------------------------------------------------------------------
+
+fn append_footer(mut payload: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&payload);
+    let len = payload.len() as u64;
+    payload.extend_from_slice(&crc.to_le_bytes());
+    payload.extend_from_slice(&len.to_le_bytes());
+    payload.extend_from_slice(FOOTER_MAGIC);
+    payload
+}
+
+/// Locates and verifies the whole-file footer. `Ok(Some(payload))` when a
+/// valid footer checks out, `Ok(None)` when no footer is present at all,
+/// `Err` when a footer is present but the length or checksum disagrees.
+fn verify_footer(bytes: &[u8]) -> Result<Option<&[u8]>, DbError> {
+    if bytes.len() < FOOTER_LEN || &bytes[bytes.len() - 4..] != FOOTER_MAGIC {
+        return Ok(None);
+    }
+    let foot = &bytes[bytes.len() - FOOTER_LEN..];
+    let crc = u32::from_le_bytes(foot[0..4].try_into().expect("len"));
+    let len = u64::from_le_bytes(foot[4..12].try_into().expect("len"));
+    let payload = &bytes[..bytes.len() - FOOTER_LEN];
+    if len != payload.len() as u64 {
+        return Err(corrupt("footer length mismatch"));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt("footer checksum mismatch"));
+    }
+    Ok(Some(payload))
+}
+
+/// `true` when `bytes` starts with a version-1 header — the only format
+/// allowed to lack a footer.
+fn is_legacy_v1(bytes: &[u8]) -> bool {
+    bytes.len() >= 5 && &bytes[..4] == MAGIC && bytes[4] == 1
+}
+
+/// Decoded catalog parts (possibly a prefix, when scanning stopped early).
+#[derive(Default)]
+struct Parts {
+    interpretations: Vec<Interpretation>,
+    objects: Vec<MediaObjectRecord>,
+    derivations: Vec<DerivationRecord>,
+    multimedia: Vec<MultimediaRecord>,
+    immediates: HashMap<String, MediaValue>,
+}
+
+struct Scan {
+    parts: Parts,
+    report: SalvageReport,
+    /// The typed error that stopped the scan, if any.
+    error: Option<DbError>,
+    /// Bytes consumed when the scan stopped.
+    consumed: usize,
+}
+
+fn dec_object(d: &mut Dec, i: usize) -> Result<MediaObjectRecord, DbError> {
+    let name = d.str()?;
+    let origin = match d.u8()? {
+        0 => Origin::Interpreted {
+            interpretation: InterpretationId::new(d.u64()?),
+            stream: d.str()?,
+        },
+        1 => Origin::Derived {
+            derivation: DerivationId::new(d.u64()?),
+        },
+        t => return Err(corrupt(&format!("origin tag {t}"))),
+    };
+    Ok(MediaObjectRecord {
+        id: MediaObjectId::new(i as u64),
+        name,
+        origin,
+    })
+}
+
+fn dec_derivation(d: &mut Dec, i: usize) -> Result<DerivationRecord, DbError> {
+    let bytes = d.blob()?;
+    let node = Node::from_bytes(&bytes)?;
+    Ok(DerivationRecord {
+        id: DerivationId::new(i as u64),
+        node,
+        bytes,
+    })
+}
+
+/// Decodes header and sections in order, stopping at the first record that
+/// fails. Shared by strict load (which then requires a complete, error-free
+/// scan) and salvage (which keeps the recovered prefix).
+fn decode_sections(payload: &[u8]) -> Scan {
+    let mut parts = Parts::default();
+    let mut report = SalvageReport::default();
+    let mut d = Dec::new(payload);
+
+    // Records are decoded one at a time and tallied on success, so the first
+    // failing record aborts the scan (via `?`) while every earlier record —
+    // including earlier records of the same section — stays recovered.
+    let error = (|| -> Result<(), DbError> {
+        d.header()?;
 
         let n = d.u32()? as usize;
-        let mut interpretations = Vec::with_capacity(n);
+        report.interpretations.expected = n;
         for _ in 0..n {
-            interpretations.push(dec_interpretation(&mut d)?);
+            parts.interpretations.push(dec_interpretation(&mut d)?);
+            report.interpretations.recovered += 1;
         }
 
         let n = d.u32()? as usize;
-        let mut objects = Vec::with_capacity(n);
+        report.objects.expected = n;
         for i in 0..n {
-            let name = d.str()?;
-            let origin = match d.u8()? {
-                0 => Origin::Interpreted {
-                    interpretation: InterpretationId::new(d.u64()?),
-                    stream: d.str()?,
-                },
-                1 => Origin::Derived {
-                    derivation: DerivationId::new(d.u64()?),
-                },
-                t => return Err(corrupt(&format!("origin tag {t}"))),
-            };
-            objects.push(MediaObjectRecord {
-                id: MediaObjectId::new(i as u64),
-                name,
-                origin,
-            });
+            parts.objects.push(dec_object(&mut d, i)?);
+            report.objects.recovered += 1;
         }
 
         let n = d.u32()? as usize;
-        let mut derivations = Vec::with_capacity(n);
+        report.derivations.expected = n;
         for i in 0..n {
-            let bytes = d.blob()?;
-            let node = Node::from_bytes(&bytes)?;
-            derivations.push(DerivationRecord {
-                id: DerivationId::new(i as u64),
-                node,
-                bytes,
-            });
+            parts.derivations.push(dec_derivation(&mut d, i)?);
+            report.derivations.recovered += 1;
         }
 
         let n = d.u32()? as usize;
-        let mut multimedia = Vec::with_capacity(n);
+        report.multimedia.expected = n;
         for i in 0..n {
-            multimedia.push(MultimediaRecord {
+            parts.multimedia.push(MultimediaRecord {
                 id: MultimediaObjectId::new(i as u64),
                 object: dec_multimedia(&mut d)?,
             });
+            report.multimedia.recovered += 1;
         }
 
         let n = d.u32()? as usize;
-        let mut immediates = HashMap::with_capacity(n);
+        report.immediates.expected = n;
         for _ in 0..n {
             let name = d.str()?;
-            immediates.insert(name, dec_immediate(&mut d)?);
+            parts.immediates.insert(name, dec_immediate(&mut d)?);
+            report.immediates.recovered += 1;
         }
+        Ok(())
+    })()
+    .err();
 
-        if d.pos != bytes.len() {
-            return Err(corrupt("trailing bytes"));
-        }
-        Ok(MediaDb::from_parts(
-            store,
-            interpretations,
-            objects,
-            derivations,
-            multimedia,
-            immediates,
-        ))
+    Scan {
+        parts,
+        report,
+        error,
+        consumed: d.pos,
     }
+}
+
+/// Recovered-vs-expected tally for one catalog section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionSalvage {
+    /// Records that decoded intact.
+    pub recovered: usize,
+    /// Records the (possibly damaged) count field claimed. Zero when the
+    /// scan never reached this section — losses beyond the failure point
+    /// are unknowable and reported via [`SalvageReport::detail`].
+    pub expected: usize,
+}
+
+impl SectionSalvage {
+    /// Records lost from this section.
+    pub fn lost(&self) -> usize {
+        self.expected.saturating_sub(self.recovered)
+    }
+}
+
+/// What [`MediaDb::salvage`] recovered and what it had to give up.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SalvageReport {
+    /// Whether the whole-file checksum footer verified (or was legitimately
+    /// absent, for version-1 files).
+    pub footer_ok: bool,
+    /// Interpretation records.
+    pub interpretations: SectionSalvage,
+    /// Media object records.
+    pub objects: SectionSalvage,
+    /// Derivation records.
+    pub derivations: SectionSalvage,
+    /// Multimedia object records.
+    pub multimedia: SectionSalvage,
+    /// Symbolic immediate values.
+    pub immediates: SectionSalvage,
+    /// Decoded objects dropped because their interpretation or derivation
+    /// did not survive (they would otherwise dangle).
+    pub dangling_objects: usize,
+    /// Why the scan stopped early (or a note about ignored trailing bytes);
+    /// `None` when every record decoded.
+    pub detail: Option<String>,
+}
+
+impl SalvageReport {
+    /// `true` when nothing was lost: footer verified, every section decoded
+    /// in full, no dangling objects.
+    pub fn is_clean(&self) -> bool {
+        self.footer_ok && self.detail.is_none() && self.dangling_objects == 0 && self.lost() == 0
+    }
+
+    /// Total records lost across all sections (dangling objects included).
+    pub fn lost(&self) -> usize {
+        self.interpretations.lost()
+            + self.objects.lost()
+            + self.derivations.lost()
+            + self.multimedia.lost()
+            + self.immediates.lost()
+            + self.dangling_objects
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable save / open / salvage on a database directory
+// ---------------------------------------------------------------------------
+
+fn io_err(e: std::io::Error) -> DbError {
+    DbError::Blob(tbm_blob::BlobError::Io(e))
+}
+
+/// Writes catalog bytes to the temp file and flushes them to disk. First
+/// half of the atomic save; the catalog is not yet visible to `open`.
+fn write_catalog_tmp(dir: &Path, bytes: &[u8]) -> Result<PathBuf, DbError> {
+    let tmp = dir.join(CATALOG_TMP);
+    let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+    f.write_all(bytes).map_err(io_err)?;
+    f.sync_all().map_err(io_err)?;
+    Ok(tmp)
+}
+
+/// Atomically publishes a fully-written temp file as the catalog, then
+/// flushes the directory entry so the rename itself is durable.
+fn commit_catalog_tmp(dir: &Path, tmp: &Path) -> Result<(), DbError> {
+    std::fs::rename(tmp, dir.join(CATALOG_FILE)).map_err(io_err)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        // Best effort: directories cannot be fsynced on every platform.
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 impl MediaDb<FileBlobStore> {
     /// Persists the catalog next to the BLOB files.
+    ///
+    /// Atomic: bytes are written and fsynced to [`CATALOG_TMP`], renamed
+    /// over [`CATALOG_FILE`], and the directory entry is flushed. A crash at
+    /// any point leaves either the previous catalog or the new one — never
+    /// a torn file.
     pub fn save(&self) -> Result<(), DbError> {
-        let path = self.store().dir().join(CATALOG_FILE);
         let bytes = self.catalog_to_bytes()?;
-        let mut f = std::fs::File::create(path).map_err(tbm_blob::BlobError::Io)?;
-        f.write_all(&bytes).map_err(tbm_blob::BlobError::Io)?;
-        Ok(())
+        let dir = self.store().dir().to_path_buf();
+        let tmp = write_catalog_tmp(&dir, &bytes)?;
+        commit_catalog_tmp(&dir, &tmp)
     }
 
     /// Opens a database directory: BLOBs plus the saved catalog (an empty
-    /// catalog if none was saved yet).
+    /// catalog if none was saved yet). A stale [`CATALOG_TMP`] left by an
+    /// interrupted save is uncommitted state and is removed.
     pub fn open(dir: impl AsRef<Path>) -> Result<MediaDb<FileBlobStore>, DbError> {
         let store = FileBlobStore::open(&dir)?;
+        let stale = store.dir().join(CATALOG_TMP);
+        if stale.exists() {
+            let _ = std::fs::remove_file(&stale);
+        }
         let path = store.dir().join(CATALOG_FILE);
         if !path.exists() {
             return Ok(MediaDb::with_store(store));
@@ -641,5 +973,205 @@ impl MediaDb<FileBlobStore> {
             .read_to_end(&mut bytes)
             .map_err(tbm_blob::BlobError::Io)?;
         MediaDb::catalog_from_bytes(store, &bytes)
+    }
+
+    /// Opens a database directory, salvaging whatever the catalog still
+    /// holds instead of failing on damage. Returns the recovered database
+    /// and a [`SalvageReport`] saying what was lost; a missing catalog
+    /// yields an empty, clean database.
+    pub fn salvage(
+        dir: impl AsRef<Path>,
+    ) -> Result<(MediaDb<FileBlobStore>, SalvageReport), DbError> {
+        let store = FileBlobStore::open(&dir)?;
+        let path = store.dir().join(CATALOG_FILE);
+        if !path.exists() {
+            let report = SalvageReport {
+                footer_ok: true,
+                ..SalvageReport::default()
+            };
+            return Ok((MediaDb::with_store(store), report));
+        }
+        let bytes = std::fs::read(&path).map_err(io_err)?;
+        Ok(MediaDb::catalog_salvage_from_bytes(store, &bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_derive::Op;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tbm-persist-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A small catalog exercising every section except interpretations:
+    /// one immediate, one derived object (with its derivation), one
+    /// multimedia object.
+    fn small_db(dir: &Path) -> MediaDb<FileBlobStore> {
+        let mut db = MediaDb::open(dir).unwrap();
+        db.register_value(
+            "score",
+            MediaValue::Music(MusicClip::new(
+                vec![(Note::new(0, 60, 100), 0, 480)],
+                480,
+                120,
+            )),
+        )
+        .unwrap();
+        db.create_derived(
+            "score_audio",
+            Node::derive(
+                Op::MidiSynthesize {
+                    sample_rate: 22_050,
+                    tempo_bpm: 0,
+                    gain_num: 256,
+                },
+                vec![Node::source("score")],
+            ),
+        )
+        .unwrap();
+        let mut m = MultimediaObject::new("m");
+        m.add_component(
+            Component::new(
+                "s",
+                ComponentKind::Audio,
+                Node::source("score_audio"),
+                TimePoint::ZERO,
+                TimeDelta::from_secs(1),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.add_multimedia(m).unwrap();
+        db
+    }
+
+    #[test]
+    fn atomic_save_crash_before_commit_keeps_old_catalog() {
+        let dir = temp_dir("crash");
+        let mut db = small_db(&dir);
+        db.save().unwrap();
+
+        // New state reaches the temp file, but the "crash" happens before
+        // the rename commits it.
+        db.register_value("late", MediaValue::Music(MusicClip::new(vec![], 480, 90)))
+            .unwrap();
+        let new_bytes = db.catalog_to_bytes().unwrap();
+        write_catalog_tmp(db.store().dir(), &new_bytes).unwrap();
+        assert!(dir.join(CATALOG_TMP).exists());
+
+        // Open sees the committed catalog only; the stale tmp is discarded.
+        let reopened = MediaDb::open(&dir).unwrap();
+        assert!(reopened.object("score_audio").is_ok());
+        assert!(reopened.immediates.contains_key("score"));
+        assert!(!reopened.immediates.contains_key("late"));
+        assert!(!dir.join(CATALOG_TMP).exists());
+
+        // A completed save commits the new state.
+        db.save().unwrap();
+        let reopened = MediaDb::open(&dir).unwrap();
+        assert!(reopened.immediates.contains_key("late"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footer_detects_bit_flips_everywhere() {
+        let dir = temp_dir("flip");
+        let db = small_db(&dir);
+        let good = db.catalog_to_bytes().unwrap();
+        for pos in (0..good.len()).step_by(7) {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            let store = FileBlobStore::open(&dir).unwrap();
+            let r = MediaDb::catalog_from_bytes(store, &bad);
+            assert!(
+                matches!(r, Err(DbError::CorruptCatalog { .. })),
+                "flip at {pos} not detected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_and_reports_losses() {
+        let dir = temp_dir("salvage");
+        let db = small_db(&dir);
+        let good = db.catalog_to_bytes().unwrap();
+
+        // Clean bytes salvage cleanly.
+        let store = FileBlobStore::open(&dir).unwrap();
+        let (whole, report) = MediaDb::catalog_salvage_from_bytes(store, &good);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(whole.objects().len(), 1);
+        assert_eq!(report.lost(), 0);
+
+        // Truncate inside the derivation section: the object referencing
+        // the lost derivation is dropped as dangling; nothing panics.
+        for cut in (5..good.len()).step_by(13) {
+            let store = FileBlobStore::open(&dir).unwrap();
+            let (saved, report) = MediaDb::catalog_salvage_from_bytes(store, &good[..cut]);
+            assert!(!report.is_clean(), "cut {cut}: {report:?}");
+            for o in saved.objects() {
+                match &o.origin {
+                    Origin::Derived { derivation } => {
+                        assert!(saved.derivation(*derivation).is_some());
+                    }
+                    Origin::Interpreted { .. } => panic!("no interpreted objects in this db"),
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_garbage_yields_empty_db_with_detail() {
+        let dir = temp_dir("garbage");
+        let store = FileBlobStore::open(&dir).unwrap();
+        let (db, report) = MediaDb::catalog_salvage_from_bytes(store, b"not a catalog at all");
+        assert!(db.objects().is_empty());
+        assert!(!report.footer_ok);
+        assert!(report.detail.is_some());
+        assert_eq!(report.lost(), 0); // nothing was even claimed
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_catalog_without_footer_loads() {
+        // An empty version-1 catalog: header + five zero section counts.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.push(1);
+        v1.extend_from_slice(&[0u8; 20]);
+        let dir = temp_dir("v1");
+        let store = FileBlobStore::open(&dir).unwrap();
+        let db = MediaDb::catalog_from_bytes(store, &v1).unwrap();
+        assert!(db.objects().is_empty());
+
+        // A version-2 header without a footer is damage, not legacy.
+        let mut v2 = v1.clone();
+        v2[4] = 2;
+        let store = FileBlobStore::open(&dir).unwrap();
+        assert!(matches!(
+            MediaDb::catalog_from_bytes(store, &v2),
+            Err(DbError::CorruptCatalog { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_footered_and_reopenable() {
+        let dir = temp_dir("footer");
+        let db = small_db(&dir);
+        db.save().unwrap();
+        let bytes = std::fs::read(dir.join(CATALOG_FILE)).unwrap();
+        assert_eq!(&bytes[bytes.len() - 4..], FOOTER_MAGIC);
+        assert!(verify_footer(&bytes).unwrap().is_some());
+        let db2 = MediaDb::open(&dir).unwrap();
+        assert_eq!(db2.objects().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -30,7 +30,12 @@ fn tone(frames: usize) -> AudioBuffer {
 
 /// Captures a small AV movie into the db, with descriptors enriched for the
 /// query tests, under stream names `video1`/`audio1` (renamed per call).
-fn capture_movie(db: &mut MediaDb, n: usize, quality: VideoQuality, lang: &str) -> (String, String) {
+fn capture_movie(
+    db: &mut MediaDb,
+    n: usize,
+    quality: VideoQuality,
+    lang: &str,
+) -> (String, String) {
     static mut COUNTER: u32 = 0;
     // Unique names via interpretation count.
     let idx = db.interpretations().len();
@@ -110,7 +115,9 @@ fn query_by_quality_and_duration() {
     assert_eq!(at_least_bc, vec![v_bc.as_str()]);
     // Audio quality: captures are CD quality.
     assert_eq!(db.audio_with_quality_at_least(AudioQuality::Cd).len(), 2);
-    assert!(db.audio_with_quality_at_least(AudioQuality::Studio).is_empty());
+    assert!(db
+        .audio_with_quality_at_least(AudioQuality::Studio)
+        .is_empty());
     // Duration: 6 PAL frames = 0.24 s; 3 frames = 0.12 s.
     let long = db.objects_with_duration_at_least(TimeDelta::from_seconds(Rational::new(20, 100)));
     assert!(long.contains(&v_bc.as_str()));
@@ -121,12 +128,21 @@ fn query_by_quality_and_duration() {
 fn query_by_kind_and_category() {
     let mut db = MediaDb::new();
     let (v, a) = capture_movie(&mut db, 3, VideoQuality::Vhs, "en");
-    assert_eq!(db.objects_of_kind(tbm_core::MediaKind::Video), vec![v.as_str()]);
-    assert_eq!(db.objects_of_kind(tbm_core::MediaKind::Audio), vec![a.as_str()]);
+    assert_eq!(
+        db.objects_of_kind(tbm_core::MediaKind::Video),
+        vec![v.as_str()]
+    );
+    assert_eq!(
+        db.objects_of_kind(tbm_core::MediaKind::Audio),
+        vec![a.as_str()]
+    );
     assert!(db.objects_of_kind(tbm_core::MediaKind::Music).is_empty());
     // Category queries hit the Figure 1 taxonomy via descriptors.
     assert_eq!(db.objects_in_category("uniform"), vec![a.as_str()]);
-    assert_eq!(db.objects_in_category("constant frequency"), vec![v.as_str()]);
+    assert_eq!(
+        db.objects_in_category("constant frequency"),
+        vec![v.as_str()]
+    );
     assert!(db.objects_in_category("event-based").is_empty());
     // Substring of a category name must not match ("continuous" is not
     // "non-continuous").
@@ -167,9 +183,7 @@ fn fidelity_retrieval_reads_base_layer() {
     .unwrap();
     let _ = blob;
     db.register_interpretation(interp).unwrap();
-    let full = db
-        .element_bytes_at("video1", TimePoint::ZERO)
-        .unwrap();
+    let full = db.element_bytes_at("video1", TimePoint::ZERO).unwrap();
     let base = db
         .element_bytes_at_fidelity("video1", TimePoint::ZERO, Some(1))
         .unwrap();
@@ -187,7 +201,11 @@ fn non_destructive_edit_and_provenance() {
     // Edit: keep frames [2, 6) — stored as a derivation object only.
     let edit = Node::derive(
         Op::VideoEdit {
-            cuts: vec![EditCut { input: 0, from: 2, to: 6 }],
+            cuts: vec![EditCut {
+                input: 0,
+                from: 2,
+                to: 6,
+            }],
         },
         vec![Node::source(&v)],
     );
@@ -202,7 +220,10 @@ fn non_destructive_edit_and_provenance() {
     // Derivation storage is tiny compared to the source stream.
     let deriv_bytes = db.derivation_storage_bytes("teaser").unwrap();
     let source_bytes = db.stored_bytes(&v).unwrap();
-    assert!(source_bytes > deriv_bytes * 20, "{source_bytes} vs {deriv_bytes}");
+    assert!(
+        source_bytes > deriv_bytes * 20,
+        "{source_bytes} vs {deriv_bytes}"
+    );
     // The edit materializes to 4 frames.
     match db.materialize("teaser").unwrap() {
         MediaValue::Video(clip) => assert_eq!(clip.len(), 4),
@@ -218,7 +239,11 @@ fn chained_derivations_and_transitive_provenance() {
         "cut",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 0, to: 8 }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 8,
+                }],
             },
             vec![Node::source(&v)],
         ),
@@ -247,7 +272,11 @@ fn removal_respects_provenance() {
         "cut",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 0, to: 4 }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 4,
+                }],
             },
             vec![Node::source(&v)],
         ),

@@ -80,7 +80,11 @@ fn populate(db: &mut MediaDb<tbm_blob::FileBlobStore>) {
         "teaser",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 2, to: 8 }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 2,
+                    to: 8,
+                }],
             },
             vec![Node::source("video1")],
         ),
@@ -124,7 +128,8 @@ fn populate(db: &mut MediaDb<tbm_blob::FileBlobStore>) {
         .unwrap(),
     )
     .unwrap();
-    m.add_constraint("audio1", AllenRelation::Equals, "teaser").unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "teaser")
+        .unwrap();
     db.add_multimedia(m).unwrap();
 }
 
@@ -158,10 +163,7 @@ fn full_round_trip() {
     // Heterogeneous element descriptors survive.
     let (_, adpcm) = db.stream_of("adpcm1").unwrap();
     assert!(adpcm.entries()[0].descriptor.is_some());
-    assert_ne!(
-        adpcm.entries()[0].descriptor,
-        adpcm.entries()[3].descriptor
-    );
+    assert_ne!(adpcm.entries()[0].descriptor, adpcm.entries()[3].descriptor);
 
     // Layered placements survive: fidelity read still smaller.
     let base = db

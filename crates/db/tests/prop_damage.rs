@@ -1,0 +1,142 @@
+//! Property tests: a damaged `catalog.tbm` must **never panic** — every
+//! truncation or bit-flip either loads cleanly, salvages a valid record
+//! prefix, or yields a typed [`DbError`]. The whole-file footer means a
+//! strict load must *detect* any damage rather than silently returning a
+//! wrong catalog.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tbm_blob::MemBlobStore;
+use tbm_codec::dct::DctParams;
+use tbm_core::{QualityFactor, VideoQuality};
+use tbm_db::{DbError, MediaDb};
+use tbm_derive::{MediaValue, MusicClip, Node, Op};
+use tbm_interp::capture;
+use tbm_media::gen::{major_scale, AudioSignal, VideoPattern};
+use tbm_time::TimeSystem;
+
+/// One good catalog, built once: an AV interpretation (element tables with
+/// checksums), an immediate, and a derived object — every section populated
+/// except multimedia.
+fn good_catalog() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut db = MediaDb::new();
+        let frames = tbm_media::gen::render_frames(VideoPattern::MovingBar, 0, 4, 32, 24);
+        let audio = AudioSignal::Sine {
+            hz: 440.0,
+            amplitude: 9000,
+        }
+        .generate(0, 4 * 1764, 44_100, 2);
+        let cap = capture::capture_av_interleaved(
+            db.store_mut(),
+            &frames,
+            &audio,
+            1764,
+            TimeSystem::PAL,
+            DctParams::default(),
+            Some(QualityFactor::Video(VideoQuality::Vhs)),
+        )
+        .unwrap();
+        db.register_interpretation(cap.interpretation).unwrap();
+        db.register_value(
+            "score",
+            MediaValue::Music(MusicClip::new(major_scale(0, 60, 1, 480, 400), 480, 120)),
+        )
+        .unwrap();
+        db.create_derived(
+            "clip",
+            Node::derive(Op::VideoReverse, vec![Node::source("video1")]),
+        )
+        .unwrap();
+        db.catalog_to_bytes().unwrap()
+    })
+}
+
+fn len() -> usize {
+    good_catalog().len()
+}
+
+/// Salvage invariants that must hold for *any* input bytes.
+fn check_salvage(bytes: &[u8]) {
+    let (db, report) = MediaDb::catalog_salvage_from_bytes(MemBlobStore::new(), bytes);
+    assert_eq!(db.interpretations().len(), report.interpretations.recovered);
+    assert_eq!(db.derivations().len(), report.derivations.recovered);
+    // No dangling references survive salvage.
+    for o in db.objects() {
+        match &o.origin {
+            tbm_db::Origin::Interpreted {
+                interpretation,
+                stream,
+            } => {
+                let interp = db
+                    .interpretation(*interpretation)
+                    .expect("no dangling interp");
+                assert!(interp.stream(stream).is_ok());
+            }
+            tbm_db::Origin::Derived { derivation } => {
+                assert!(db.derivation(*derivation).is_some());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..1_000_000) {
+        let good = good_catalog();
+        let cut = cut % (len() + 1);
+        let r = MediaDb::catalog_from_bytes(MemBlobStore::new(), &good[..cut]);
+        if cut == len() {
+            prop_assert!(r.is_ok());
+        } else {
+            // A proper prefix always lost the footer: strict load must
+            // refuse with a typed error, never panic, never succeed.
+            prop_assert!(matches!(r, Err(DbError::CorruptCatalog { .. })), "cut {cut}");
+        }
+        check_salvage(&good[..cut]);
+    }
+
+    #[test]
+    fn bit_flips_always_detected(pos in 0usize..1_000_000, bit in 0u8..8) {
+        let pos = pos % len();
+        let mut bad = good_catalog().to_vec();
+        bad[pos] ^= 1 << bit;
+        let r = MediaDb::catalog_from_bytes(MemBlobStore::new(), &bad);
+        prop_assert!(r.is_err(), "flip at {pos} bit {bit} silently accepted");
+        check_salvage(&bad);
+    }
+
+    #[test]
+    fn shotgun_damage_never_panics(
+        cut in 0usize..1_000_000,
+        flips in prop::collection::vec((0usize..1_000_000, 0u8..8), 0..8),
+    ) {
+        let good = good_catalog();
+        let cut = cut % (len() + 1);
+        let mut bytes = good[..cut].to_vec();
+        for (pos, bit) in flips {
+            if !bytes.is_empty() {
+                let p = pos % bytes.len();
+                bytes[p] ^= 1 << bit;
+            }
+        }
+        // Strict load: clean, or a typed error — never a panic.
+        let _ = MediaDb::catalog_from_bytes(MemBlobStore::new(), &bytes);
+        check_salvage(&bytes);
+    }
+
+    #[test]
+    fn salvage_of_clean_catalog_is_lossless(cases in 0u8..1) {
+        let _ = cases;
+        let (db, report) = MediaDb::catalog_salvage_from_bytes(
+            MemBlobStore::new(),
+            good_catalog(),
+        );
+        prop_assert!(report.is_clean(), "{report:?}");
+        prop_assert_eq!(report.lost(), 0);
+        prop_assert_eq!(db.objects().len(), 3); // video1 audio1 clip
+    }
+}

@@ -32,7 +32,11 @@ fn object_state_at(moves: &[(MoveSpec, i64, i64)], object: u32, tick: i64) -> Op
     if dur > 0 && tick < start + dur {
         // Mid-movement: interpolate.
         let p = m.position_at(tick - start, dur);
-        Some(MoveSpec { from: p, to: p, ..m })
+        Some(MoveSpec {
+            from: p,
+            to: p,
+            ..m
+        })
     } else {
         // At rest after the movement: hold the end position.
         Some(MoveSpec {
@@ -103,7 +107,10 @@ pub fn render(clip: &AnimClip, fps: u32) -> VideoClip {
     for i in 0..frame_count {
         // Output frame i shows the scene at animation tick:
         let t_secs = system.ticks_to_delta(i as i64).seconds();
-        let tick = first + clip.system.seconds_to_tick_floor(tbm_time::TimePoint::from_seconds(t_secs));
+        let tick = first
+            + clip
+                .system
+                .seconds_to_tick_floor(tbm_time::TimePoint::from_seconds(t_secs));
         frames.push(render_frame_at(clip, tick));
     }
     VideoClip::new(frames, system)

@@ -43,9 +43,11 @@ impl Expander {
 
     /// Looks up a source.
     pub fn source(&self, name: &str) -> Result<&MediaValue, DeriveError> {
-        self.sources.get(name).ok_or_else(|| DeriveError::UnknownSource {
-            name: name.to_owned(),
-        })
+        self.sources
+            .get(name)
+            .ok_or_else(|| DeriveError::UnknownSource {
+                name: name.to_owned(),
+            })
     }
 
     // ---------------------------------------------------------------------
@@ -106,15 +108,13 @@ impl Expander {
                         }
                         Ok(n)
                     }
-                    Op::ChromaKey { .. } => Ok(self
-                        .video_len(&inputs[0])?
-                        .min(self.video_len(&inputs[1])?)),
+                    Op::ChromaKey { .. } => {
+                        Ok(self.video_len(&inputs[0])?.min(self.video_len(&inputs[1])?))
+                    }
                     Op::RenderAnimation { fps } => {
                         // Frame count requires only the (cheap) symbolic clip.
                         match self.expand(&inputs[0])? {
-                            MediaValue::Animation(clip) => {
-                                Ok(animrender::frame_count(&clip, *fps))
-                            }
+                            MediaValue::Animation(clip) => Ok(animrender::frame_count(&clip, *fps)),
                             other => Err(type_mismatch(
                                 "animation rendering",
                                 "animation",
@@ -133,14 +133,10 @@ impl Expander {
     pub fn pull_frame(&self, node: &Node, idx: usize) -> Result<Frame, DeriveError> {
         match node {
             Node::Source(name) => match self.source(name)? {
-                MediaValue::Video(v) => v
-                    .frames
-                    .get(idx)
-                    .cloned()
-                    .ok_or(DeriveError::OutOfRange {
-                        index: idx,
-                        len: v.len(),
-                    }),
+                MediaValue::Video(v) => v.frames.get(idx).cloned().ok_or(DeriveError::OutOfRange {
+                    index: idx,
+                    len: v.len(),
+                }),
                 other => Err(type_mismatch("video source", "video", other.type_name())),
             },
             Node::Derive { op, inputs } => {
@@ -151,8 +147,10 @@ impl Expander {
                         for c in cuts {
                             let len = (c.to - c.from) as usize;
                             if remaining < len {
-                                return self
-                                    .pull_frame(&inputs[c.input as usize], c.from as usize + remaining);
+                                return self.pull_frame(
+                                    &inputs[c.input as usize],
+                                    c.from as usize + remaining,
+                                );
                             }
                             remaining -= len;
                         }
@@ -298,12 +296,10 @@ impl Expander {
                     Op::AudioConcat => {
                         Ok(self.audio_len(&inputs[0])? + self.audio_len(&inputs[1])?)
                     }
-                    Op::AudioGain { .. } | Op::AudioNormalize { .. } => {
-                        self.audio_len(&inputs[0])
+                    Op::AudioGain { .. } | Op::AudioNormalize { .. } => self.audio_len(&inputs[0]),
+                    Op::AudioMix => {
+                        Ok(self.audio_len(&inputs[0])?.max(self.audio_len(&inputs[1])?))
                     }
-                    Op::AudioMix => Ok(self
-                        .audio_len(&inputs[0])?
-                        .max(self.audio_len(&inputs[1])?)),
                     Op::MidiSynthesize { .. } => match self.expand(node)? {
                         MediaValue::Audio(a) => Ok(a.buffer.frames()),
                         _ => unreachable!("synthesis produces audio"),
@@ -344,9 +340,7 @@ impl Expander {
             Node::Derive { op, inputs } => {
                 check_arity(op, inputs.len())?;
                 match op {
-                    Op::AudioCut {
-                        from: cut_from, ..
-                    } => {
+                    Op::AudioCut { from: cut_from, .. } => {
                         let my_len = self.audio_len(node)?;
                         if from + len > my_len {
                             return Err(DeriveError::OutOfRange {
@@ -371,8 +365,7 @@ impl Expander {
                             self.pull_audio(&inputs[1], from - a_len, len)
                         } else {
                             let mut head = self.pull_audio(&inputs[0], from, a_len - from)?;
-                            let tail =
-                                self.pull_audio(&inputs[1], 0, from + len - a_len)?;
+                            let tail = self.pull_audio(&inputs[1], 0, from + len - a_len)?;
                             if !head.append(&tail) {
                                 return Err(DeriveError::Incompatible {
                                     op: op.name(),
@@ -432,21 +425,19 @@ impl Expander {
                     // Global ops: materialize then slice.
                     Op::AudioNormalize { .. }
                     | Op::MidiSynthesize { .. }
-                    | Op::AudioResample { .. } => {
-                        match self.expand(node)? {
-                            MediaValue::Audio(a) => {
-                                let total = a.buffer.frames();
-                                if from + len > total {
-                                    return Err(DeriveError::OutOfRange {
-                                        index: from + len,
-                                        len: total,
-                                    });
-                                }
-                                Ok(a.buffer.slice_frames(from, from + len))
+                    | Op::AudioResample { .. } => match self.expand(node)? {
+                        MediaValue::Audio(a) => {
+                            let total = a.buffer.frames();
+                            if from + len > total {
+                                return Err(DeriveError::OutOfRange {
+                                    index: from + len,
+                                    len: total,
+                                });
                             }
-                            other => Err(type_mismatch(op.name(), "audio", other.type_name())),
+                            Ok(a.buffer.slice_frames(from, from + len))
                         }
-                    }
+                        other => Err(type_mismatch(op.name(), "audio", other.type_name())),
+                    },
                     other => Err(type_mismatch(other.name(), "audio", other.result_type())),
                 }
             }
@@ -650,14 +641,11 @@ fn apply(op: &Op, mut inputs: Vec<MediaValue>) -> Result<MediaValue, DeriveError
                 .into_iter()
                 .map(|v| as_video(op, v))
                 .collect::<Result<_, _>>()?;
-            let system = clips
-                .first()
-                .map(|c| c.system)
-                .ok_or(DeriveError::Arity {
-                    op: op.name(),
-                    expected: 1,
-                    got: 0,
-                })?;
+            let system = clips.first().map(|c| c.system).ok_or(DeriveError::Arity {
+                op: op.name(),
+                expected: 1,
+                got: 0,
+            })?;
             if clips.iter().any(|c| c.system != system) {
                 return Err(DeriveError::Incompatible {
                     op: op.name(),
@@ -693,7 +681,11 @@ fn apply(op: &Op, mut inputs: Vec<MediaValue>) -> Result<MediaValue, DeriveError
                 }
                 Ok(MediaValue::Animation(a))
             }
-            other => Err(type_mismatch(op.name(), "music | animation", other.type_name())),
+            other => Err(type_mismatch(
+                op.name(),
+                "music | animation",
+                other.type_name(),
+            )),
         },
         Op::TimeScale { factor } => {
             if factor.signum() <= 0 {
@@ -720,7 +712,11 @@ fn apply(op: &Op, mut inputs: Vec<MediaValue>) -> Result<MediaValue, DeriveError
                     }
                     Ok(MediaValue::Animation(a))
                 }
-                other => Err(type_mismatch(op.name(), "music | animation", other.type_name())),
+                other => Err(type_mismatch(
+                    op.name(),
+                    "music | animation",
+                    other.type_name(),
+                )),
             }
         }
         Op::AudioCut { from, to } => {
@@ -728,10 +724,7 @@ fn apply(op: &Op, mut inputs: Vec<MediaValue>) -> Result<MediaValue, DeriveError
             if from > to || *to as usize > clip.buffer.frames() {
                 return Err(DeriveError::BadParams {
                     op: op.name(),
-                    detail: format!(
-                        "cut [{from}, {to}) of {}-frame input",
-                        clip.buffer.frames()
-                    ),
+                    detail: format!("cut [{from}, {to}) of {}-frame input", clip.buffer.frames()),
                 });
             }
             Ok(MediaValue::Audio(AudioClip::new(
@@ -789,7 +782,12 @@ fn apply(op: &Op, mut inputs: Vec<MediaValue>) -> Result<MediaValue, DeriveError
             let n = fg.len().min(bg.len());
             let mut out = Vec::with_capacity(n);
             for i in 0..n {
-                out.push(chroma_key(&fg.frames[i], &bg.frames[i], *key_rgb, *tolerance)?);
+                out.push(chroma_key(
+                    &fg.frames[i],
+                    &bg.frames[i],
+                    *key_rgb,
+                    *tolerance,
+                )?);
             }
             Ok(MediaValue::Video(VideoClip::new(out, fg.system)))
         }

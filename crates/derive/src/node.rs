@@ -119,9 +119,12 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn u8(&mut self) -> Result<u8, DeriveError> {
-        let b = *self.bytes.get(self.pos).ok_or_else(|| DeriveError::Malformed {
-            detail: "unexpected end".to_owned(),
-        })?;
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| DeriveError::Malformed {
+                detail: "unexpected end".to_owned(),
+            })?;
         self.pos += 1;
         Ok(b)
     }

@@ -170,7 +170,10 @@ mod tests {
         // Cloning a tiny frame takes far less than 40 ms.
         assert!(report.feasible, "{report:?}");
         assert!(report.headroom() > 1.0);
-        assert_eq!(report.decision(), "store derivation object (expand on demand)");
+        assert_eq!(
+            report.decision(),
+            "store derivation object (expand on demand)"
+        );
     }
 
     #[test]
@@ -184,7 +187,10 @@ mod tests {
         let absurd = TimeSystem::from_hz(10_000_000);
         let report = assess_video(&e, &node, absurd, 4).unwrap();
         assert!(!report.feasible, "{report:?}");
-        assert_eq!(report.decision(), "materialize: store expanded media object");
+        assert_eq!(
+            report.decision(),
+            "materialize: store expanded media object"
+        );
     }
 
     #[test]
@@ -203,8 +209,7 @@ mod tests {
             "empty",
             MediaValue::Video(VideoClip::new(vec![], TimeSystem::PAL)),
         );
-        let report =
-            assess_video(&e, &Node::source("empty"), TimeSystem::PAL, 8).unwrap();
+        let report = assess_video(&e, &Node::source("empty"), TimeSystem::PAL, 8).unwrap();
         assert_eq!(report.sampled, 0);
         assert!(report.feasible);
     }

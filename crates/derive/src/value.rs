@@ -192,12 +192,10 @@ impl MediaValue {
             MediaValue::Video(v) => v.frames.iter().map(|f| f.data().len() as u64).sum(),
             MediaValue::Audio(a) => (a.buffer.samples().len() * 2) as u64,
             MediaValue::Image(f) => f.data().len() as u64,
-            MediaValue::Plates(p) => {
-                [&p.c, &p.m, &p.y, &p.k]
-                    .iter()
-                    .map(|f| f.data().len() as u64)
-                    .sum()
-            }
+            MediaValue::Plates(p) => [&p.c, &p.m, &p.y, &p.k]
+                .iter()
+                .map(|f| f.data().len() as u64)
+                .sum(),
             MediaValue::Music(m) => (m.notes.len() * 19) as u64,
             MediaValue::Animation(a) => (a.moves.len() * 44) as u64,
         }

@@ -20,7 +20,14 @@ fn video(name_seed: u64, n: usize) -> MediaValue {
 
 fn solid_video(color: (u8, u8, u8), n: usize) -> MediaValue {
     let frames = (0..n)
-        .map(|_| Frame::filled(32, 24, PixelFormat::Rgb24, Rgb::new(color.0, color.1, color.2)))
+        .map(|_| {
+            Frame::filled(
+                32,
+                24,
+                PixelFormat::Rgb24,
+                Rgb::new(color.0, color.1, color.2),
+            )
+        })
         .collect();
     MediaValue::Video(VideoClip::new(frames, TimeSystem::PAL))
 }
@@ -61,7 +68,12 @@ fn expander() -> Expander {
     );
     e.add_source(
         "image1",
-        MediaValue::Image(Frame::filled(16, 16, PixelFormat::Rgb24, Rgb::new(40, 90, 160))),
+        MediaValue::Image(Frame::filled(
+            16,
+            16,
+            PixelFormat::Rgb24,
+            Rgb::new(40, 90, 160),
+        )),
     );
     e
 }
@@ -92,9 +104,21 @@ fn video_edit_selects_and_orders() {
     let node = Node::derive(
         Op::VideoEdit {
             cuts: vec![
-                EditCut { input: 0, from: 20, to: 25 },
-                EditCut { input: 0, from: 0, to: 5 },
-                EditCut { input: 0, from: 20, to: 25 },
+                EditCut {
+                    input: 0,
+                    from: 20,
+                    to: 25,
+                },
+                EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 5,
+                },
+                EditCut {
+                    input: 0,
+                    from: 20,
+                    to: 25,
+                },
             ],
         },
         vec![Node::source("video1")],
@@ -114,8 +138,16 @@ fn video_edit_multi_input() {
     let node = Node::derive(
         Op::VideoEdit {
             cuts: vec![
-                EditCut { input: 0, from: 0, to: 3 },
-                EditCut { input: 1, from: 5, to: 9 },
+                EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 3,
+                },
+                EditCut {
+                    input: 1,
+                    from: 5,
+                    to: 9,
+                },
             ],
         },
         vec![Node::source("video1"), Node::source("video2")],
@@ -131,14 +163,22 @@ fn video_edit_validates_ranges() {
     let e = expander();
     let node = Node::derive(
         Op::VideoEdit {
-            cuts: vec![EditCut { input: 0, from: 0, to: 99 }],
+            cuts: vec![EditCut {
+                input: 0,
+                from: 0,
+                to: 99,
+            }],
         },
         vec![Node::source("video1")],
     );
     assert!(e.expand(&node).is_err());
     let backwards = Node::derive(
         Op::VideoEdit {
-            cuts: vec![EditCut { input: 0, from: 9, to: 3 }],
+            cuts: vec![EditCut {
+                input: 0,
+                from: 9,
+                to: 3,
+            }],
         },
         vec![Node::source("video1")],
     );
@@ -333,7 +373,10 @@ fn chroma_key_replaces_key_color() {
 #[test]
 fn temporal_translate_shifts_music() {
     let e = expander();
-    let node = Node::derive(Op::TimeTranslate { ticks: 960 }, vec![Node::source("music1")]);
+    let node = Node::derive(
+        Op::TimeTranslate { ticks: 960 },
+        vec![Node::source("music1")],
+    );
     let out = e.expand(&node).unwrap();
     let MediaValue::Music(m) = out else { panic!() };
     assert_eq!(m.notes[0].1, 960);
@@ -360,7 +403,7 @@ fn temporal_scale_halves_durations() {
     };
     assert_eq!(m.notes[0].2, 200); // 400 / 2
     assert_eq!(m.notes[1].1, 240); // 480 / 2
-    // Invalid factors rejected.
+                                   // Invalid factors rejected.
     let bad = Node::derive(
         Op::TimeScale {
             factor: Rational::ZERO,
@@ -438,12 +481,15 @@ fn audio_cut_concat_mix_gain() {
 #[test]
 fn resample_halves_and_doubles() {
     let e = expander();
-    let down = Node::derive(Op::AudioResample { to_rate: 22_050 }, vec![Node::source("audio1")]);
+    let down = Node::derive(
+        Op::AudioResample { to_rate: 22_050 },
+        vec![Node::source("audio1")],
+    );
     let out = expand_audio(&e, &down);
     assert_eq!(out.sample_rate, 22_050);
     assert_eq!(out.buffer.frames(), 2205); // 4410 / 2
-    // The tone frequency is preserved: zero-crossing rate doubles per
-    // sample, i.e. stays constant per second.
+                                           // The tone frequency is preserved: zero-crossing rate doubles per
+                                           // sample, i.e. stays constant per second.
     let original = expand_audio(&e, &Node::source("audio1"));
     let zc = |b: &tbm_media::AudioBuffer| {
         b.samples()
@@ -455,28 +501,45 @@ fn resample_halves_and_doubles() {
     let hz_down = zc(&out.buffer) / 2.0 / (out.buffer.frames() as f64 / 22_050.0);
     assert!((hz_orig - hz_down).abs() < 15.0, "{hz_orig} vs {hz_down}");
 
-    let up = Node::derive(Op::AudioResample { to_rate: 88_200 }, vec![Node::source("audio1")]);
+    let up = Node::derive(
+        Op::AudioResample { to_rate: 88_200 },
+        vec![Node::source("audio1")],
+    );
     let out = expand_audio(&e, &up);
     assert_eq!(out.buffer.frames(), 8820);
     // Identity resample is exact.
-    let same = Node::derive(Op::AudioResample { to_rate: 44_100 }, vec![Node::source("audio1")]);
+    let same = Node::derive(
+        Op::AudioResample { to_rate: 44_100 },
+        vec![Node::source("audio1")],
+    );
     assert_eq!(expand_audio(&e, &same).buffer, original.buffer);
     // Zero rate rejected.
-    let zero = Node::derive(Op::AudioResample { to_rate: 0 }, vec![Node::source("audio1")]);
+    let zero = Node::derive(
+        Op::AudioResample { to_rate: 0 },
+        vec![Node::source("audio1")],
+    );
     assert!(e.expand(&zero).is_err());
 }
 
 #[test]
 fn resample_lazy_metadata_agrees() {
     let e = expander();
-    let node = Node::derive(Op::AudioResample { to_rate: 8_000 }, vec![Node::source("audio1")]);
+    let node = Node::derive(
+        Op::AudioResample { to_rate: 8_000 },
+        vec![Node::source("audio1")],
+    );
     assert_eq!(e.audio_rate(&node).unwrap(), 8_000);
     let full = expand_audio(&e, &node);
     assert_eq!(e.audio_len(&node).unwrap(), full.buffer.frames());
     let window = e.pull_audio(&node, 100, 200).unwrap();
-    assert_eq!(window.samples(), full.buffer.slice_frames(100, 300).samples());
+    assert_eq!(
+        window.samples(),
+        full.buffer.slice_frames(100, 300).samples()
+    );
     // Category: the rate attribute changes — a (mild) change of type.
-    let Node::Derive { op, .. } = &node else { panic!() };
+    let Node::Derive { op, .. } = &node else {
+        panic!()
+    };
     assert_eq!(op.category(), tbm_derive::DeriveCategory::ChangeOfType);
     assert_eq!(op.result_type(), "audio");
 }
@@ -526,13 +589,25 @@ fn lazy_video_pull_matches_expansion() {
     let edit = Node::derive(
         Op::VideoEdit {
             cuts: vec![
-                EditCut { input: 0, from: 0, to: 10 },
-                EditCut { input: 1, from: 0, to: 8 },
+                EditCut {
+                    input: 0,
+                    from: 0,
+                    to: 10,
+                },
+                EditCut {
+                    input: 1,
+                    from: 0,
+                    to: 8,
+                },
             ],
         },
         vec![Node::source("video1"), fade.clone()],
     );
-    for node in [fade, edit, Node::derive(Op::VideoReverse, vec![Node::source("video1")])] {
+    for node in [
+        fade,
+        edit,
+        Node::derive(Op::VideoReverse, vec![Node::source("video1")]),
+    ] {
         let full = expand_video(&e, &node);
         assert_eq!(e.video_len(&node).unwrap(), full.len());
         for i in [0, 1, full.len() / 2, full.len() - 1] {
@@ -550,7 +625,10 @@ fn lazy_video_pull_matches_expansion() {
 fn lazy_audio_pull_matches_expansion() {
     let e = expander();
     let cut = Node::derive(
-        Op::AudioCut { from: 100, to: 2100 },
+        Op::AudioCut {
+            from: 100,
+            to: 2100,
+        },
         vec![Node::source("audio1")],
     );
     let concat = Node::derive(Op::AudioConcat, vec![cut.clone(), cut.clone()]);
@@ -606,7 +684,11 @@ fn derivation_object_dwarfed_by_expansion() {
     let e = expander();
     let node = Node::derive(
         Op::VideoEdit {
-            cuts: vec![EditCut { input: 0, from: 0, to: 30 }],
+            cuts: vec![EditCut {
+                input: 0,
+                from: 0,
+                to: 30,
+            }],
         },
         vec![Node::source("video1")],
     );

@@ -2,9 +2,7 @@
 //! lazy expansion agrees with full expansion on random edit programs.
 
 use proptest::prelude::*;
-use tbm_derive::{
-    AudioClip, EditCut, Expander, MediaValue, Node, Op, VideoClip, WipeDirection,
-};
+use tbm_derive::{AudioClip, EditCut, Expander, MediaValue, Node, Op, VideoClip, WipeDirection};
 use tbm_media::gen::{AudioSignal, VideoPattern};
 use tbm_time::{Rational, TimeSystem};
 

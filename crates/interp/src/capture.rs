@@ -16,15 +16,15 @@
 //!
 //! Each returns the BLOB id plus the completed [`Interpretation`].
 
-use crate::{ElementEntry, Interpretation, InterpError, StreamInterp};
+use crate::{ElementEntry, InterpError, Interpretation, StreamInterp};
+use tbm_blob::ByteSpan;
 use tbm_blob::{BlobStore, BlobWriter};
 use tbm_codec::adpcm;
 use tbm_codec::dct::{self, DctParams};
 use tbm_codec::interframe::{self, EncodedSequence, EncodedVideoFrame, FrameKind, GopParams};
 use tbm_codec::scalable;
-use tbm_core::{keys, MediaDescriptor, MediaKind, QualityFactor, StreamElement};
-use tbm_blob::ByteSpan;
 use tbm_core::BlobId;
+use tbm_core::{crc32, keys, MediaDescriptor, MediaKind, QualityFactor, StreamElement};
 use tbm_media::{AudioBuffer, Frame};
 use tbm_time::{Rational, TimeSystem};
 
@@ -210,14 +210,23 @@ fn capture_av_inner<S: BlobStore + ?Sized>(
     for (i, frame) in frames.iter().enumerate() {
         let encoded = dct::encode_frame(frame, params);
         let vspan = writer.write(&encoded)?;
-        video_entries.push(ElementEntry::simple(i as i64, 1, vspan));
+        video_entries.push(
+            ElementEntry::simple(i as i64, 1, vspan)
+                .with_checksums(vec![crc32(&encoded)])
+                .expect("one checksum per layer"),
+        );
         let chunk = audio.slice_frames(i * samples_per_frame, (i + 1) * samples_per_frame);
-        let aspan = writer.write(&chunk.to_bytes())?;
-        audio_entries.push(ElementEntry::simple(
-            (i * samples_per_frame) as i64,
-            samples_per_frame as i64,
-            aspan,
-        ));
+        let abytes = chunk.to_bytes();
+        let aspan = writer.write(&abytes)?;
+        audio_entries.push(
+            ElementEntry::simple(
+                (i * samples_per_frame) as i64,
+                samples_per_frame as i64,
+                aspan,
+            )
+            .with_checksums(vec![crc32(&abytes)])
+            .expect("one checksum per layer"),
+        );
         if let Some(sector) = sector {
             padding += writer.align_to(sector)?.len;
         }
@@ -238,8 +247,7 @@ fn capture_av_inner<S: BlobStore + ?Sized>(
     );
     annotate_rates(&mut vdesc, &video_entries, video_system);
     let audio_system = TimeSystem::from_hz(
-        (video_system.frequency() * Rational::from(samples_per_frame as i64))
-            .round(),
+        (video_system.frequency() * Rational::from(samples_per_frame as i64)).round(),
     );
     let mut adesc = audio_pcm_descriptor(
         audio_system.frequency().round(),
@@ -282,10 +290,13 @@ pub fn capture_audio_adpcm<S: BlobStore + ?Sized>(
     let mut entries = Vec::with_capacity(blocks.len());
     let mut at = 0i64;
     for b in &blocks {
-        let span = writer.write(&b.to_bytes())?;
+        let bytes = b.to_bytes();
+        let span = writer.write(&bytes)?;
         entries.push(
             ElementEntry::simple(at, b.frames() as i64, span)
-                .with_descriptor(b.element_descriptor()),
+                .with_descriptor(b.element_descriptor())
+                .with_checksums(vec![crc32(&bytes)])
+                .expect("one checksum per layer"),
         );
         at += b.frames() as i64;
     }
@@ -318,24 +329,28 @@ pub fn capture_video_interframe<S: BlobStore + ?Sized>(
     let seq = interframe::encode_sequence(frames, params)?;
     let mut writer = BlobWriter::new(store, blob)?;
     // Write in decode order, remembering each display index's placement.
-    let mut placements: Vec<Option<(ByteSpan, FrameKind)>> = vec![None; frames.len()];
+    let mut placements: Vec<Option<(ByteSpan, FrameKind, u32)>> = vec![None; frames.len()];
     for ef in &seq.frames {
         let span = writer.write(&ef.data)?;
-        placements[ef.display_index] = Some((span, ef.kind));
+        placements[ef.display_index] = Some((span, ef.kind, crc32(&ef.data)));
     }
     // Element table in display (start-time) order.
     let mut entries = Vec::with_capacity(frames.len());
     for (display, p) in placements.into_iter().enumerate() {
-        let (span, kind) = p.ok_or_else(|| InterpError::InvalidEntries {
+        let (span, kind, sum) = p.ok_or_else(|| InterpError::InvalidEntries {
             detail: format!("encoder produced no frame for display index {display}"),
         })?;
         let mut e = ElementEntry::simple(display as i64, 1, span)
-            .with_descriptor(EncodedVideoFrame {
-                kind,
-                display_index: display,
-                data: Vec::new(),
-            }
-            .element_descriptor());
+            .with_checksums(vec![sum])
+            .expect("one checksum per layer")
+            .with_descriptor(
+                EncodedVideoFrame {
+                    kind,
+                    display_index: display,
+                    data: Vec::new(),
+                }
+                .element_descriptor(),
+            );
         e.is_key = kind == FrameKind::I;
         entries.push(e);
     }
@@ -432,7 +447,9 @@ pub fn capture_video_scalable<S: BlobStore + ?Sized>(
         let enh = writer.write(&lf.enhancement)?;
         let e = ElementEntry::simple(i as i64, 1, ByteSpan::new(base.offset, 0))
             .with_layers(vec![base, enh])
-            .expect("two layers");
+            .expect("two layers")
+            .with_checksums(vec![crc32(&lf.base), crc32(&lf.enhancement)])
+            .expect("one checksum per layer");
         entries.push(e);
     }
     let (w, h) = frames
@@ -596,8 +613,7 @@ mod tests {
     #[test]
     fn adpcm_capture_is_heterogeneous() {
         let mut store = MemBlobStore::new();
-        let (blob, interp) =
-            capture_audio_adpcm(&mut store, &tone(8192), 44100, 1024).unwrap();
+        let (blob, interp) = capture_audio_adpcm(&mut store, &tone(8192), 44100, 1024).unwrap();
         let s = interp.stream("audio1").unwrap();
         assert_eq!(s.len(), 8);
         // Element descriptors present and varying.
@@ -664,8 +680,7 @@ mod tests {
         let mut store = MemBlobStore::new();
         let fr = frames(3);
         let (blob, interp) =
-            capture_video_scalable(&mut store, &fr, TimeSystem::PAL, DctParams::default())
-                .unwrap();
+            capture_video_scalable(&mut store, &fr, TimeSystem::PAL, DctParams::default()).unwrap();
         let s = interp.stream("video1").unwrap();
         let e = s.entry(1).unwrap();
         assert_eq!(e.placement.layer_count(), 2);

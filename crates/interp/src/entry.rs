@@ -7,8 +7,8 @@
 //! [`ElementEntry`] is one such row; the element number is its position in
 //! the stream's entry vector.
 
-use tbm_blob::ByteSpan;
-use tbm_core::ElementDescriptor;
+use tbm_blob::{BlobError, BlobStore, ByteSpan};
+use tbm_core::{crc32, BlobId, ElementDescriptor};
 
 /// Where an element's encoded bytes live in the BLOB.
 ///
@@ -82,6 +82,11 @@ pub struct ElementEntry {
     /// Whether this element is a *key* ("sync sample"): decodable without
     /// reference to other elements. Drives the key-element index.
     pub is_key: bool,
+    /// CRC32 of each placement layer's bytes, base layer first. Empty means
+    /// no checksums were recorded (legacy tables); non-empty must have one
+    /// checksum per layer. Per-layer (rather than per-element) checksums let
+    /// a degraded base-only read still be verified.
+    pub checksums: Vec<u32>,
 }
 
 impl ElementEntry {
@@ -94,6 +99,7 @@ impl ElementEntry {
             placement: Placement::single(span),
             descriptor: None,
             is_key: true,
+            checksums: Vec::new(),
         }
     }
 
@@ -109,12 +115,44 @@ impl ElementEntry {
         self
     }
 
-    /// Replaces the placement with a layered one, updating the size.
+    /// Replaces the placement with a layered one, updating the size and
+    /// discarding any recorded checksums (they no longer match the layers).
     pub fn with_layers(mut self, spans: Vec<ByteSpan>) -> Option<ElementEntry> {
         let placement = Placement::layered(spans)?;
         self.size = placement.total_len();
         self.placement = placement;
+        self.checksums.clear();
         Some(self)
+    }
+
+    /// Records per-layer checksums; `None` unless there is exactly one
+    /// checksum per placement layer.
+    pub fn with_checksums(mut self, checksums: Vec<u32>) -> Option<ElementEntry> {
+        if checksums.len() != self.placement.layer_count() {
+            return None;
+        }
+        self.checksums = checksums;
+        Some(self)
+    }
+
+    /// Computes and records per-layer checksums from the element's current
+    /// bytes in `store` — for retrofitting tables captured without them.
+    pub fn with_checksums_from<S: BlobStore + ?Sized>(
+        mut self,
+        store: &S,
+        blob: BlobId,
+    ) -> Result<ElementEntry, BlobError> {
+        let mut sums = Vec::with_capacity(self.placement.layer_count());
+        for &span in self.placement.layers() {
+            sums.push(crc32(&store.read(blob, span)?));
+        }
+        self.checksums = sums;
+        Ok(self)
+    }
+
+    /// `true` when per-layer checksums are recorded.
+    pub fn has_checksums(&self) -> bool {
+        !self.checksums.is_empty()
     }
 
     /// Discrete end time.
@@ -148,6 +186,35 @@ mod tests {
         assert_eq!(e.placement.total_len(), 40);
         assert_eq!(e.placement.as_single(), None);
         assert!(Placement::layered(vec![]).is_none());
+    }
+
+    #[test]
+    fn checksums_match_layer_count() {
+        let e = ElementEntry::simple(0, 1, ByteSpan::new(0, 10));
+        assert!(!e.has_checksums());
+        assert!(e.clone().with_checksums(vec![1, 2]).is_none());
+        let e = e.with_checksums(vec![0xDEAD_BEEF]).unwrap();
+        assert!(e.has_checksums());
+        // Re-layering drops the now-stale checksums.
+        let e = e
+            .with_layers(vec![ByteSpan::new(0, 4), ByteSpan::new(4, 6)])
+            .unwrap();
+        assert!(!e.has_checksums());
+        assert!(e.with_checksums(vec![1, 2]).is_some());
+    }
+
+    #[test]
+    fn checksums_from_store() {
+        use tbm_blob::{BlobStore, MemBlobStore};
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        store.append(blob, b"BASEENH").unwrap();
+        let e = ElementEntry::simple(0, 1, ByteSpan::new(0, 7))
+            .with_layers(vec![ByteSpan::new(0, 4), ByteSpan::new(4, 3)])
+            .unwrap()
+            .with_checksums_from(&store, blob)
+            .unwrap();
+        assert_eq!(e.checksums, vec![crc32(b"BASE"), crc32(b"ENH")]);
     }
 
     #[test]

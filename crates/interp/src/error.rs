@@ -41,6 +41,17 @@ pub enum InterpError {
         /// Layers present.
         available: usize,
     },
+    /// An element's bytes do not match its recorded checksum.
+    CorruptElement {
+        /// The element number.
+        index: usize,
+        /// The corrupt placement layer (0 = base).
+        layer: usize,
+        /// Checksum recorded in the interpretation table.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
     /// Underlying BLOB store failure.
     Blob(BlobError),
     /// Underlying codec failure while materializing elements.
@@ -66,6 +77,15 @@ impl fmt::Display for InterpError {
             InterpError::NoSuchLayer { layer, available } => {
                 write!(f, "layer {layer} requested but element has {available}")
             }
+            InterpError::CorruptElement {
+                index,
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "element {index} layer {layer} corrupt: checksum {actual:#010x} != recorded {expected:#010x}"
+            ),
             InterpError::Blob(e) => write!(f, "blob error: {e}"),
             InterpError::Codec(e) => write!(f, "codec error: {e}"),
         }

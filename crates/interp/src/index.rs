@@ -41,9 +41,10 @@ impl TimeIndex {
         if let Some(first) = entries.first() {
             let d = first.duration;
             if d > 0 {
-                let uniform = entries.iter().enumerate().all(|(i, e)| {
-                    e.duration == d && e.start == first.start + (i as i64) * d
-                });
+                let uniform = entries
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| e.duration == d && e.start == first.start + (i as i64) * d);
                 if uniform {
                     return TimeIndex::Uniform {
                         start: first.start,
@@ -264,7 +265,11 @@ mod tests {
             let ci = ChunkedIndex::build(&entries, chunk).unwrap();
             assert_eq!(ci.len(), entries.len());
             for (i, e) in entries.iter().enumerate() {
-                assert_eq!(ci.placement(i), e.placement.as_single(), "chunk {chunk} elem {i}");
+                assert_eq!(
+                    ci.placement(i),
+                    e.placement.as_single(),
+                    "chunk {chunk} elem {i}"
+                );
             }
             assert_eq!(ci.placement(99), None);
         }

@@ -36,4 +36,4 @@ pub use entry::{ElementEntry, Placement};
 pub use error::InterpError;
 pub use index::{ChunkedIndex, TimeIndex};
 pub use interpretation::Interpretation;
-pub use stream::StreamInterp;
+pub use stream::{StreamInterp, VerifyReport};

@@ -29,9 +29,7 @@ impl Point {
     /// Linear interpolation between `self` and `to` at `num/den`.
     pub fn lerp(self, to: Point, num: i64, den: i64) -> Point {
         debug_assert!(den > 0);
-        let f = |a: i32, b: i32| -> i32 {
-            (a as i64 + (b as i64 - a as i64) * num / den) as i32
-        };
+        let f = |a: i32, b: i32| -> i32 { (a as i64 + (b as i64 - a as i64) * num / den) as i32 };
         Point::new(f(self.x, to.x), f(self.y, to.y))
     }
 }

@@ -82,11 +82,7 @@ impl AudioBuffer {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self
-            .samples
-            .iter()
-            .map(|&s| (s as f64) * (s as f64))
-            .sum();
+        let sum: f64 = self.samples.iter().map(|&s| (s as f64) * (s as f64)).sum();
         (sum / self.samples.len() as f64).sqrt()
     }
 

@@ -291,7 +291,11 @@ mod tests {
     #[test]
     fn unseparate_previews_reasonably() {
         let table = SeparationTable::coated_stock();
-        for p in [Rgb::new(255, 0, 0), Rgb::new(128, 128, 128), Rgb::new(0, 80, 160)] {
+        for p in [
+            Rgb::new(255, 0, 0),
+            Rgb::new(128, 128, 128),
+            Rgb::new(0, 80, 160),
+        ] {
             let q = unseparate(separate(p, &table));
             // Coarse: preview within 40 codes per channel.
             assert!((p.r as i32 - q.r as i32).abs() <= 40, "{p:?} -> {q:?}");

@@ -172,7 +172,9 @@ impl Frame {
         let i = self.pixel_index(x, y);
         let n = self.width as usize * self.height as usize;
         match self.format {
-            PixelFormat::Rgb24 => Rgb::new(self.data[3 * i], self.data[3 * i + 1], self.data[3 * i + 2]),
+            PixelFormat::Rgb24 => {
+                Rgb::new(self.data[3 * i], self.data[3 * i + 1], self.data[3 * i + 2])
+            }
             PixelFormat::Yuv444 => yuv_to_rgb(Yuv::new(
                 self.data[i],
                 self.data[n + i],
@@ -441,14 +443,19 @@ mod tests {
         assert_eq!(g.data().len(), PixelFormat::Yuv420.byte_len(4, 2));
         // Luma is untouched by subsampling.
         let left = g.get_rgb(0, 0);
-        assert!(left.r > 150 && left.b < 100, "left should stay reddish: {left:?}");
+        assert!(
+            left.r > 150 && left.b < 100,
+            "left should stay reddish: {left:?}"
+        );
     }
 
     #[test]
     fn uniform_color_survives_420_roundtrip() {
         let c = Rgb::new(90, 160, 40);
         let f = Frame::filled(16, 16, PixelFormat::Rgb24, c);
-        let g = f.to_format(PixelFormat::Yuv420).to_format(PixelFormat::Rgb24);
+        let g = f
+            .to_format(PixelFormat::Yuv420)
+            .to_format(PixelFormat::Rgb24);
         let got = g.get_rgb(8, 8);
         assert!((got.r as i32 - c.r as i32).abs() <= 4, "{got:?}");
         assert!((got.g as i32 - c.g as i32).abs() <= 4, "{got:?}");

@@ -25,7 +25,9 @@ impl Lcg {
     /// Seeds the generator.
     pub fn new(seed: u64) -> Lcg {
         Lcg {
-            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407),
+            state: seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
         }
     }
 
@@ -133,11 +135,7 @@ impl VideoPattern {
                 for y in 0..height {
                     for x in 0..width {
                         let v = rng.next_u32();
-                        f.set_rgb(
-                            x,
-                            y,
-                            Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8),
-                        );
+                        f.set_rgb(x, y, Rgb::new(v as u8, (v >> 8) as u8, (v >> 16) as u8));
                     }
                 }
             }
@@ -245,9 +243,8 @@ impl AudioSignal {
                     let hz = from_hz + (to_hz - from_hz) * frac;
                     // Phase integral of a linear sweep: f0·t + (f1−f0)·t²/(2T)
                     let t = k / sample_rate as f64;
-                    let phase = 2.0
-                        * std::f64::consts::PI
-                        * (from_hz * t + (hz - from_hz) * t / 2.0);
+                    let phase =
+                        2.0 * std::f64::consts::PI * (from_hz * t + (hz - from_hz) * t / 2.0);
                     let v = (amplitude as f64 * phase.sin()) as i16;
                     for c in 0..channels {
                         buf.set_sample(i, c, v);
@@ -409,7 +406,12 @@ mod tests {
                 .filter(|w| (w[0] < 0) != (w[1] < 0))
                 .count()
         };
-        assert!(zc(&late) > zc(&early) * 3, "{} vs {}", zc(&late), zc(&early));
+        assert!(
+            zc(&late) > zc(&early) * 3,
+            "{} vs {}",
+            zc(&late),
+            zc(&early)
+        );
     }
 
     #[test]

@@ -186,7 +186,10 @@ mod tests {
                 key: 60,
                 velocity: 100,
             },
-            MidiEvent::NoteOff { channel: 3, key: 60 },
+            MidiEvent::NoteOff {
+                channel: 3,
+                key: 60,
+            },
             MidiEvent::ProgramChange {
                 channel: 9,
                 program: 40,
@@ -201,7 +204,13 @@ mod tests {
     #[test]
     fn velocity_zero_noteon_is_noteoff() {
         let parsed = MidiEvent::from_bytes([0x90, 64, 0]);
-        assert_eq!(parsed, Some(MidiEvent::NoteOff { channel: 0, key: 64 }));
+        assert_eq!(
+            parsed,
+            Some(MidiEvent::NoteOff {
+                channel: 0,
+                key: 64
+            })
+        );
     }
 
     #[test]
@@ -217,7 +226,10 @@ mod tests {
             key: 60,
             velocity: 64,
         };
-        let off = MidiEvent::NoteOff { channel: 0, key: 60 };
+        let off = MidiEvent::NoteOff {
+            channel: 0,
+            key: 60,
+        };
         assert_ne!(on.descriptor_token(), off.descriptor_token());
         assert_eq!(
             on.element_descriptor(),

@@ -186,10 +186,7 @@ mod tests {
         let p = fig2_chain(1_000_000);
         // storage: 1 MB/s × 63 = 63 MB/s at presentation; decoder:
         // 2 MB/s × 63 = 126 MB/s; presentation: 30 MB/s. Min = 30 MB/s.
-        assert_eq!(
-            p.steady_state_rate(),
-            Some(Rational::from(30_000_000))
-        );
+        assert_eq!(p.steady_state_rate(), Some(Rational::from(30_000_000)));
         let (i, name, _) = p.bottleneck().unwrap();
         assert_eq!((i, name), (2, "presentation"));
     }
@@ -197,7 +194,7 @@ mod tests {
     #[test]
     fn starved_storage_becomes_the_bottleneck() {
         let p = fig2_chain(100_000); // 100 kB/s storage
-        // 100 kB/s × 63 = 6.3 MB/s at presentation.
+                                     // 100 kB/s × 63 = 6.3 MB/s at presentation.
         assert_eq!(p.steady_state_rate(), Some(Rational::from(6_300_000)));
         assert_eq!(p.bottleneck().unwrap().1, "storage");
         // Raw PAL 640×480 demands 640*480*3*25 = 23.04 MB/s: not sustained.

@@ -1,0 +1,441 @@
+//! Graceful degradation: playing a stream through a faulty store.
+//!
+//! The paper's real-time constraints are soft — "divergences … can be
+//! tolerated" — and real streaming systems exploit exactly that: when an
+//! element cannot be fetched intact and on time, *something* is presented
+//! anyway. [`ResilientPlayer`] closes the loop between the fault-injection
+//! layer (`tbm_blob::FaultyBlobStore`), the checksum layer
+//! (`StreamInterp::verify_element`-style per-layer CRCs) and the playback
+//! simulator:
+//!
+//! 1. each element is read through a [`RetryPolicy`] — transient I/O errors
+//!    are retried with backoff, which is charged to the pipeline as a
+//!    service-time penalty, never hidden;
+//! 2. the bytes are verified against the interpretation's per-layer
+//!    checksums — silent corruption is *detected* here, not downstream in a
+//!    codec panic;
+//! 3. a fault that survives retries walks the [`DegradationPolicy`] ladder:
+//!    drop scalable enhancement layers (§2.2 — "bandwidth can be saved …
+//!    by ignoring parts of the storage unit"), repeat the last good
+//!    element, or skip.
+//!
+//! Every element's fate is recorded in an [`ElementFate`] and aggregated
+//! into [`PlaybackStats`]' `recovered`/`degraded`/`dropped` counts, so a
+//! fault storm is fully accounted for, deterministically.
+
+use crate::{schedule_from_interp, ElementJob, PlaybackSim, PlaybackStats};
+use tbm_blob::{BlobStore, ByteSpan, RetryPolicy};
+use tbm_core::{crc32, BlobId};
+use tbm_interp::StreamInterp;
+use tbm_time::TimeDelta;
+
+/// What to present when an element cannot be fetched intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Present the last good element again (a freeze-frame). Falls back to
+    /// dropping when no good element has been presented yet.
+    RepeatLast,
+    /// Present nothing for this element (a skip).
+    Skip,
+    /// For layered elements, fall back to the verified base layers — the
+    /// scalable-stream degradation of §2.2. Unlayered elements (or a corrupt
+    /// base layer) fall back to [`DegradationPolicy::RepeatLast`].
+    DropLayers,
+}
+
+/// How one element fared during resilient playback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementFate {
+    /// Fetched and verified on the first attempt.
+    Intact,
+    /// Fetched intact after `attempts` tries (> 1).
+    Recovered {
+        /// Total read attempts, including the successful one.
+        attempts: u32,
+    },
+    /// Presented with only the first `layers` placement layers.
+    BaseLayers {
+        /// Verified layers presented.
+        layers: usize,
+    },
+    /// The previous good element was presented in its place.
+    Repeated,
+    /// Nothing was presented.
+    Dropped,
+}
+
+/// Outcome of [`ResilientPlayer::play`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientReport {
+    /// Pipeline timing statistics, with `recovered`/`degraded`/`dropped`
+    /// filled in from the fates.
+    pub stats: PlaybackStats,
+    /// Per-element fates, in schedule order.
+    pub fates: Vec<ElementFate>,
+    /// Faults detected (checksum mismatches + exhausted retries). Every
+    /// injected non-latency fault on a scheduled span shows up here or as a
+    /// retry inside a `Recovered` fate.
+    pub faults_detected: usize,
+}
+
+impl ResilientReport {
+    /// `true` when every element was presented intact on the first try.
+    pub fn unscathed(&self) -> bool {
+        self.fates.iter().all(|f| *f == ElementFate::Intact)
+    }
+}
+
+/// Plays a stream through a (possibly faulty) store with retries, checksum
+/// verification and graceful degradation.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientPlayer {
+    /// The timing simulator.
+    pub sim: PlaybackSim,
+    /// Retry policy for transient read errors.
+    pub retry: RetryPolicy,
+    /// What to do when retries and checksums cannot save an element.
+    pub policy: DegradationPolicy,
+}
+
+impl ResilientPlayer {
+    /// A player with the given simulator, 3 retries and the
+    /// [`DegradationPolicy::DropLayers`] ladder.
+    pub fn new(sim: PlaybackSim) -> ResilientPlayer {
+        ResilientPlayer {
+            sim,
+            retry: RetryPolicy::new(3),
+            policy: DegradationPolicy::DropLayers,
+        }
+    }
+
+    /// Builder: sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ResilientPlayer {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: sets the degradation policy.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> ResilientPlayer {
+        self.policy = policy;
+        self
+    }
+
+    /// Reads and verifies one placement layer, retrying transient errors.
+    /// Returns the attempts made and backoff spent, and whether the layer
+    /// came back intact.
+    fn fetch_layer<S: BlobStore + ?Sized>(
+        &self,
+        store: &S,
+        blob: BlobId,
+        span: ByteSpan,
+        checksum: Option<u32>,
+    ) -> LayerFetch {
+        let (result, report) = self.retry.run(|attempt| {
+            let mut buf = vec![0u8; span.len as usize];
+            store
+                .read_into_attempt(blob, span, &mut buf, attempt)
+                .map(|()| buf)
+        });
+        let intact = match result {
+            Ok(bytes) => match checksum {
+                Some(sum) => crc32(&bytes) == sum,
+                None => true, // no checksum recorded: trust the read
+            },
+            Err(_) => false,
+        };
+        LayerFetch {
+            intact,
+            attempts: report.attempts,
+            backoff_us: report.backoff_spent_us,
+        }
+    }
+
+    /// Plays `stream` out of `blob` in `store`, returning timing stats and
+    /// per-element fates. Deterministic for a deterministic store: the same
+    /// seeded fault plan yields the identical report.
+    pub fn play<S: BlobStore + ?Sized>(
+        &self,
+        store: &S,
+        blob: BlobId,
+        stream: &StreamInterp,
+    ) -> ResilientReport {
+        store.drain_cost_hint_us(); // start from a clean hint accumulator
+        let schedule = schedule_from_interp(stream, None);
+        let mut jobs: Vec<ElementJob> = Vec::with_capacity(schedule.len());
+        let mut penalties: Vec<TimeDelta> = Vec::with_capacity(schedule.len());
+        let mut fates: Vec<ElementFate> = Vec::with_capacity(schedule.len());
+        let mut faults_detected = 0usize;
+        let mut have_good = false;
+
+        for job in &schedule {
+            let entry = stream
+                .entries()
+                .get(job.index)
+                .expect("schedule indexes the stream");
+            let layers = entry.placement.layers();
+            let sums = &entry.checksums;
+
+            // Fetch every layer, stopping at the first bad one.
+            let mut bytes_fetched = 0u64;
+            let mut backoff_us = 0u64;
+            let mut attempts_max = 1u32;
+            let mut intact_layers = 0usize;
+            for (li, &span) in layers.iter().enumerate() {
+                let f = self.fetch_layer(store, blob, span, sums.get(li).copied());
+                bytes_fetched += span.len;
+                backoff_us += f.backoff_us;
+                attempts_max = attempts_max.max(f.attempts);
+                if !f.intact {
+                    faults_detected += 1;
+                    break;
+                }
+                intact_layers += 1;
+            }
+
+            let fate = if intact_layers == layers.len() {
+                if attempts_max > 1 {
+                    ElementFate::Recovered {
+                        attempts: attempts_max,
+                    }
+                } else {
+                    ElementFate::Intact
+                }
+            } else {
+                match self.policy {
+                    DegradationPolicy::DropLayers if intact_layers > 0 => ElementFate::BaseLayers {
+                        layers: intact_layers,
+                    },
+                    DegradationPolicy::DropLayers | DegradationPolicy::RepeatLast => {
+                        if have_good {
+                            ElementFate::Repeated
+                        } else {
+                            ElementFate::Dropped
+                        }
+                    }
+                    DegradationPolicy::Skip => ElementFate::Dropped,
+                }
+            };
+            if matches!(
+                fate,
+                ElementFate::Intact
+                    | ElementFate::Recovered { .. }
+                    | ElementFate::BaseLayers { .. }
+            ) {
+                have_good = true;
+            }
+
+            // Service cost: the bytes actually pulled off storage (including
+            // extra attempts' re-reads), plus backoff and any latency hints,
+            // as a penalty. A repeated element re-presents cached bytes.
+            let extra_reads = (attempts_max - 1) as u64 * bytes_fetched.min(job.bytes);
+            jobs.push(ElementJob {
+                bytes: bytes_fetched + extra_reads,
+                ..*job
+            });
+            let hint_us = store.drain_cost_hint_us();
+            penalties.push(TimeDelta::from_micros((backoff_us + hint_us) as i64));
+            fates.push(fate);
+        }
+
+        let mut stats = self.sim.run_with_penalties(&jobs, &penalties);
+        for fate in &fates {
+            match fate {
+                ElementFate::Intact => {}
+                ElementFate::Recovered { .. } => stats.recovered += 1,
+                ElementFate::BaseLayers { .. } | ElementFate::Repeated => stats.degraded += 1,
+                ElementFate::Dropped => stats.dropped += 1,
+            }
+        }
+        ResilientReport {
+            stats,
+            fates,
+            faults_detected,
+        }
+    }
+}
+
+struct LayerFetch {
+    intact: bool,
+    attempts: u32,
+    backoff_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+    use tbm_blob::{FaultPlan, FaultyBlobStore, MemBlobStore};
+    use tbm_core::{MediaDescriptor, MediaKind};
+    use tbm_interp::ElementEntry;
+    use tbm_time::TimeSystem;
+
+    /// A 60-element intraframe stream with checksums, 2 kB per element.
+    fn stream_and_store() -> (MemBlobStore, BlobId, StreamInterp) {
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        let mut entries = Vec::new();
+        for i in 0..60u32 {
+            let data = vec![(i % 251) as u8; 2048];
+            let span = store.append(blob, &data).unwrap();
+            entries.push(
+                ElementEntry::simple(i as i64, 1, span)
+                    .with_checksums(vec![crc32(&data)])
+                    .unwrap(),
+            );
+        }
+        let si = StreamInterp::new(
+            MediaDescriptor::new(MediaKind::Video),
+            TimeSystem::PAL,
+            entries,
+        )
+        .unwrap();
+        (store, blob, si)
+    }
+
+    fn player() -> ResilientPlayer {
+        ResilientPlayer::new(PlaybackSim::new(CostModel::bandwidth_only(10_000_000)))
+    }
+
+    #[test]
+    fn clean_store_plays_unscathed() {
+        let (store, blob, si) = stream_and_store();
+        let report = player().play(&store, blob, &si);
+        assert!(report.unscathed());
+        assert_eq!(report.faults_detected, 0);
+        assert_eq!(report.stats.elements, 60);
+        assert_eq!(
+            (
+                report.stats.recovered,
+                report.stats.degraded,
+                report.stats.dropped
+            ),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn transient_faults_recover_via_retries() {
+        let (store, blob, si) = stream_and_store();
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(21).with_transient(0.3));
+        let report = player().play(&faulty, blob, &si);
+        assert!(report.stats.recovered > 0, "{:?}", report.stats);
+        assert_eq!(report.stats.dropped, 0);
+        assert_eq!(report.stats.degraded, 0);
+        // Retries hide the fault from presentation but not from the counts.
+        assert!(faulty.stats().transient_errors > 0);
+    }
+
+    #[test]
+    fn corruption_detected_and_repeated() {
+        let (store, blob, si) = stream_and_store();
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(5).with_corruption(0.15));
+        let report = player()
+            .with_policy(DegradationPolicy::RepeatLast)
+            .play(&faulty, blob, &si);
+        let injected = faulty.stats().corrupted_reads as usize;
+        assert!(injected > 0);
+        // No transient faults configured, so every corrupt span was read
+        // exactly once and every corruption was caught by a checksum.
+        assert_eq!(report.faults_detected, injected);
+        assert_eq!(
+            report.stats.degraded + report.stats.dropped,
+            report.faults_detected
+        );
+        assert!(report
+            .fates
+            .iter()
+            .any(|f| matches!(f, ElementFate::Repeated)));
+    }
+
+    #[test]
+    fn skip_policy_drops() {
+        let (store, blob, si) = stream_and_store();
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(5).with_corruption(0.15));
+        let report = player()
+            .with_policy(DegradationPolicy::Skip)
+            .play(&faulty, blob, &si);
+        assert!(report.stats.dropped > 0);
+        assert_eq!(report.stats.dropped, report.faults_detected);
+    }
+
+    #[test]
+    fn layered_stream_degrades_to_base() {
+        // Two-layer elements; corrupt only some enhancement layers by using
+        // a low corruption rate — base layers that stay intact let
+        // DropLayers present a verified base.
+        let mut store = MemBlobStore::new();
+        let blob = store.create().unwrap();
+        let mut entries = Vec::new();
+        for i in 0..60u32 {
+            let base = vec![i as u8; 1024];
+            let enh = vec![0xEEu8; 1024];
+            let bspan = store.append(blob, &base).unwrap();
+            let espan = store.append(blob, &enh).unwrap();
+            entries.push(
+                ElementEntry::simple(i as i64, 1, bspan)
+                    .with_layers(vec![bspan, espan])
+                    .unwrap()
+                    .with_checksums(vec![crc32(&base), crc32(&enh)])
+                    .unwrap(),
+            );
+        }
+        let si = StreamInterp::new(
+            MediaDescriptor::new(MediaKind::Video),
+            TimeSystem::PAL,
+            entries,
+        )
+        .unwrap();
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(33).with_corruption(0.10));
+        let report = player().play(&faulty, blob, &si);
+        assert!(report.faults_detected > 0);
+        let base_only = report
+            .fates
+            .iter()
+            .filter(|f| matches!(f, ElementFate::BaseLayers { layers: 1 }))
+            .count();
+        assert!(base_only > 0, "{:?}", report.fates);
+        assert!(report.stats.degraded >= base_only);
+    }
+
+    #[test]
+    fn truncation_walks_the_ladder() {
+        let (store, blob, si) = stream_and_store();
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(77).with_truncation(0.1));
+        let report = player().play(&faulty, blob, &si);
+        // Unlayered elements with a truncated read: DropLayers falls back to
+        // repeat-last.
+        assert!(report.stats.degraded > 0, "{:?}", report.stats);
+        assert_eq!(
+            report.faults_detected,
+            faulty.stats().truncated_reads as usize
+        );
+    }
+
+    #[test]
+    fn latency_hints_slow_the_pipeline() {
+        let (store, blob, si) = stream_and_store();
+        // Tight bandwidth so added latency turns into lateness: 2 kB per
+        // 40 ms period needs 51.2 kB/s.
+        let tight = ResilientPlayer::new(PlaybackSim::new(CostModel::bandwidth_only(51_200)));
+        let clean = tight.play(&store, blob, &si);
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(3).with_latency(1.0, 30_000));
+        let slowed = tight.play(&faulty, blob, &si);
+        assert!(slowed.stats.misses > clean.stats.misses);
+        assert!(faulty.stats().latency_events > 0);
+    }
+
+    #[test]
+    fn same_seed_identical_report() {
+        let plan = FaultPlan::new(4242)
+            .with_transient(0.1)
+            .with_corruption(0.05)
+            .with_truncation(0.02)
+            .with_latency(0.1, 500);
+        let run = || {
+            let (store, blob, si) = stream_and_store();
+            let faulty = FaultyBlobStore::new(store, plan);
+            player().play(&faulty, blob, &si)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -24,12 +24,14 @@
 
 pub mod activity;
 mod cost;
+mod degrade;
 mod schedule;
 mod sim;
 mod sync;
 
 pub use activity::{Activity, Pipeline};
 pub use cost::CostModel;
+pub use degrade::{DegradationPolicy, ElementFate, ResilientPlayer, ResilientReport};
 pub use schedule::{
     demanded_rate, schedule_at_rate, schedule_from_interp, schedule_reverse, schedule_uniform,
     total_bytes, ElementJob,

@@ -33,7 +33,9 @@ pub fn schedule_from_interp(stream: &StreamInterp, layers: Option<usize>) -> Vec
         .enumerate()
         .map(|(index, e)| {
             let bytes = match layers {
-                Some(n) => e.placement.prefix_len(n.clamp(1, e.placement.layer_count())),
+                Some(n) => e
+                    .placement
+                    .prefix_len(n.clamp(1, e.placement.layer_count())),
                 None => e.size,
             };
             ElementJob {
@@ -92,7 +94,9 @@ pub fn schedule_reverse(stream: &StreamInterp, layers: Option<usize>) -> Vec<Ele
             .map(|i| {
                 let e = &stream.entries()[i];
                 match layers {
-                    Some(l) => e.placement.prefix_len(l.clamp(1, e.placement.layer_count())),
+                    Some(l) => e
+                        .placement
+                        .prefix_len(l.clamp(1, e.placement.layer_count())),
                     None => e.size,
                 }
             })
@@ -274,7 +278,10 @@ mod tests {
     fn uniform_schedule() {
         let jobs = schedule_uniform(25, 4000, TimeSystem::PAL);
         assert_eq!(jobs.len(), 25);
-        assert_eq!(jobs[24].deadline, TimePoint::from_seconds(Rational::new(24, 25)));
+        assert_eq!(
+            jobs[24].deadline,
+            TimePoint::from_seconds(Rational::new(24, 25))
+        );
         // Demanded rate: 25 × 4000 bytes over exactly 1 s.
         assert_eq!(
             demanded_rate(&jobs, TimeSystem::PAL),

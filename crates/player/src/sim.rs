@@ -37,6 +37,18 @@ impl PlaybackSim {
 
     /// Runs the simulation over a deadline-ordered schedule.
     pub fn run(&self, jobs: &[ElementJob]) -> PlaybackStats {
+        self.run_with_penalties(jobs, &[])
+    }
+
+    /// Runs the simulation with a per-element service-time penalty added on
+    /// top of the cost model — how fault recovery (retry backoff, injected
+    /// latency) is charged against the pipeline. `penalties` may be shorter
+    /// than `jobs`; missing entries cost nothing.
+    pub fn run_with_penalties(
+        &self,
+        jobs: &[ElementJob],
+        penalties: &[TimeDelta],
+    ) -> PlaybackStats {
         let mut stats = PlaybackStats::default();
         if jobs.is_empty() {
             return stats;
@@ -44,8 +56,11 @@ impl PlaybackSim {
         // Fetch pipeline: ready times.
         let mut ready = Vec::with_capacity(jobs.len());
         let mut t = TimePoint::ZERO;
-        for j in jobs {
+        for (i, j) in jobs.iter().enumerate() {
             t += self.cost.element_cost(j.bytes);
+            if let Some(p) = penalties.get(i) {
+                t += *p;
+            }
             ready.push(t);
         }
         // Presentation clock starts when the startup buffer is full.
@@ -68,9 +83,15 @@ impl PlaybackSim {
             let late_f = lateness.seconds().to_f64();
             sum_late_sq += late_f * late_f;
         }
-        stats.mean_lateness = TimeDelta::from_seconds(
-            sum_late / Rational::from(jobs.len() as i64),
-        );
+        // Two means, two denominators — documented on the fields: the same
+        // lateness sum averaged over *all* elements (how late is playback
+        // overall) and over *missed* elements only (how bad is a glitch).
+        stats.mean_lateness = TimeDelta::from_seconds(sum_late / Rational::from(jobs.len() as i64));
+        stats.mean_miss_lateness = if stats.misses == 0 {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::from_seconds(sum_late / Rational::from(stats.misses as i64))
+        };
         stats.jitter_rms_secs = (sum_late_sq / jobs.len() as f64).sqrt();
         stats
     }
@@ -85,13 +106,27 @@ pub struct PlaybackStats {
     pub misses: usize,
     /// Worst lateness observed.
     pub max_lateness: TimeDelta,
-    /// Mean lateness across all elements (on-time elements contribute 0).
+    /// Mean lateness over **all** elements — on-time elements contribute 0
+    /// to the sum but *do* count in the denominator. This answers "how late
+    /// is playback on average"; for "how bad is a typical glitch" see
+    /// [`PlaybackStats::mean_miss_lateness`].
     pub mean_lateness: TimeDelta,
+    /// Mean lateness over **missed** elements only (denominator =
+    /// [`PlaybackStats::misses`]); [`TimeDelta::ZERO`] when nothing missed.
+    /// Always ≥ [`PlaybackStats::mean_lateness`].
+    pub mean_miss_lateness: TimeDelta,
     /// RMS of lateness in seconds — the "jitter" the paper says the
     /// application smooths just before presentation.
     pub jitter_rms_secs: f64,
     /// Time from pressing play to the first presented element.
     pub startup_latency: TimeDelta,
+    /// Elements that needed retries but were presented intact.
+    pub recovered: usize,
+    /// Elements presented in degraded form (repeated predecessor or
+    /// base-layer-only after a fault).
+    pub degraded: usize,
+    /// Elements not presented at all (fault with no recovery path).
+    pub dropped: usize,
 }
 
 impl PlaybackStats {
@@ -167,9 +202,8 @@ mod tests {
     #[test]
     fn overhead_alone_can_break_playback() {
         // 41 ms per-element overhead exceeds the 40 ms PAL period.
-        let sim = PlaybackSim::new(
-            CostModel::bandwidth_only(1_000_000_000).with_overhead_us(41_000),
-        );
+        let sim =
+            PlaybackSim::new(CostModel::bandwidth_only(1_000_000_000).with_overhead_us(41_000));
         let stats = sim.run(&jobs());
         assert!(!stats.clean());
     }
@@ -180,6 +214,46 @@ mod tests {
         let stats = sim.run(&[]);
         assert_eq!(stats.elements, 0);
         assert!(stats.clean());
+    }
+
+    #[test]
+    fn mean_lateness_semantics_pinned() {
+        // 80 % bandwidth: every element after the buffered first one is
+        // late. Pin the two means to their definitions: same lateness sum,
+        // divided by all elements vs by misses only.
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(2_000_000));
+        let stats = sim.run(&jobs());
+        assert!(
+            stats.misses > 0 && stats.misses < stats.elements,
+            "{stats:?}"
+        );
+        let sum_over_all = stats.mean_lateness.seconds() * Rational::from(stats.elements as i64);
+        let sum_over_misses =
+            stats.mean_miss_lateness.seconds() * Rational::from(stats.misses as i64);
+        assert_eq!(sum_over_all, sum_over_misses);
+        assert!(stats.mean_miss_lateness > stats.mean_lateness);
+
+        // Clean playback: both means are exactly zero.
+        let clean = PlaybackSim::new(CostModel::bandwidth_only(10_000_000)).run(&jobs());
+        assert_eq!(clean.mean_lateness, TimeDelta::ZERO);
+        assert_eq!(clean.mean_miss_lateness, TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn penalties_delay_the_pipeline() {
+        // Exact bandwidth: each fetch takes exactly one period, so there is
+        // no slack to absorb a penalty.
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(2_500_000));
+        let jobs = jobs();
+        assert!(sim.run(&jobs).clean());
+        // A 100 ms penalty on element 50 ripples into misses downstream.
+        let mut penalties = vec![TimeDelta::ZERO; jobs.len()];
+        penalties[50] = TimeDelta::from_millis(100);
+        let stats = sim.run_with_penalties(&jobs, &penalties);
+        assert!(!stats.clean(), "{stats:?}");
+        assert!(stats.max_lateness >= TimeDelta::from_millis(60));
+        // Short penalty slices are allowed.
+        assert!(sim.run_with_penalties(&jobs, &[]).clean());
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn sync_skew(cost: CostModel, a: &[ElementJob], b: &[ElementJob]) -> SyncRep
     }
     let mut merged: Vec<Tagged> = a
         .iter()
-        .map(|&job| Tagged { job, stream_a: true })
+        .map(|&job| Tagged {
+            job,
+            stream_a: true,
+        })
         .chain(b.iter().map(|&job| Tagged {
             job,
             stream_a: false,
@@ -107,7 +110,11 @@ pub fn sync_skew(cost: CostModel, a: &[ElementJob], b: &[ElementJob]) -> SyncRep
     SyncReport {
         points,
         max_skew,
-        mean_skew_secs: if points == 0 { 0.0 } else { sum / points as f64 },
+        mean_skew_secs: if points == 0 {
+            0.0
+        } else {
+            sum / points as f64
+        },
         clean,
     }
 }

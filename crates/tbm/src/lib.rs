@@ -60,16 +60,21 @@ pub use tbm_time as time;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use tbm_blob::{BlobStore, ByteSpan, FileBlobStore, MemBlobStore};
+    pub use tbm_blob::{
+        is_transient, BlobStore, ByteSpan, FaultPlan, FaultStats, FaultyBlobStore, FileBlobStore,
+        MemBlobStore, OpenReport, RetryPolicy, RetryReport, SkipReason,
+    };
     pub use tbm_compose::{Component, ComponentKind, Composer, MultimediaObject, Region};
     pub use tbm_core::{
-        classify, keys, AudioQuality, MediaDescriptor, MediaKind, MediaType, QualityFactor,
-        StreamCategory, TimedStream, TimedTuple, VideoQuality,
+        classify, crc32, keys, AudioQuality, Crc32, MediaDescriptor, MediaKind, MediaType,
+        QualityFactor, StreamCategory, TimedStream, TimedTuple, VideoQuality,
     };
-    pub use tbm_db::MediaDb;
+    pub use tbm_db::{MediaDb, SalvageReport, SectionSalvage, CATALOG_TMP};
     pub use tbm_derive::{EditCut, Expander, MediaValue, Node, Op, WipeDirection};
-    pub use tbm_interp::{Interpretation, StreamInterp};
-    pub use tbm_player::{CostModel, PlaybackSim};
+    pub use tbm_interp::{Interpretation, StreamInterp, VerifyReport};
+    pub use tbm_player::{
+        CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
+    };
     pub use tbm_time::{
         AllenRelation, Interval, Rational, TimeDelta, TimePoint, TimeSystem, Timecode,
     };

@@ -162,19 +162,58 @@ mod tests {
 
     #[test]
     fn all_thirteen_classified() {
-        assert_eq!(AllenRelation::classify(iv(0, 2), iv(5, 2)), AllenRelation::Before);
-        assert_eq!(AllenRelation::classify(iv(0, 5), iv(5, 2)), AllenRelation::Meets);
-        assert_eq!(AllenRelation::classify(iv(0, 5), iv(3, 5)), AllenRelation::Overlaps);
-        assert_eq!(AllenRelation::classify(iv(0, 3), iv(0, 5)), AllenRelation::Starts);
-        assert_eq!(AllenRelation::classify(iv(2, 2), iv(0, 10)), AllenRelation::During);
-        assert_eq!(AllenRelation::classify(iv(3, 2), iv(0, 5)), AllenRelation::Finishes);
-        assert_eq!(AllenRelation::classify(iv(1, 4), iv(1, 4)), AllenRelation::Equals);
-        assert_eq!(AllenRelation::classify(iv(0, 5), iv(3, 2)), AllenRelation::FinishedBy);
-        assert_eq!(AllenRelation::classify(iv(0, 10), iv(2, 2)), AllenRelation::Contains);
-        assert_eq!(AllenRelation::classify(iv(0, 5), iv(0, 3)), AllenRelation::StartedBy);
-        assert_eq!(AllenRelation::classify(iv(3, 5), iv(0, 5)), AllenRelation::OverlappedBy);
-        assert_eq!(AllenRelation::classify(iv(5, 2), iv(0, 5)), AllenRelation::MetBy);
-        assert_eq!(AllenRelation::classify(iv(5, 2), iv(0, 2)), AllenRelation::After);
+        assert_eq!(
+            AllenRelation::classify(iv(0, 2), iv(5, 2)),
+            AllenRelation::Before
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(0, 5), iv(5, 2)),
+            AllenRelation::Meets
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(0, 5), iv(3, 5)),
+            AllenRelation::Overlaps
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(0, 3), iv(0, 5)),
+            AllenRelation::Starts
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(2, 2), iv(0, 10)),
+            AllenRelation::During
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(3, 2), iv(0, 5)),
+            AllenRelation::Finishes
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(1, 4), iv(1, 4)),
+            AllenRelation::Equals
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(0, 5), iv(3, 2)),
+            AllenRelation::FinishedBy
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(0, 10), iv(2, 2)),
+            AllenRelation::Contains
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(0, 5), iv(0, 3)),
+            AllenRelation::StartedBy
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(3, 5), iv(0, 5)),
+            AllenRelation::OverlappedBy
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(5, 2), iv(0, 5)),
+            AllenRelation::MetBy
+        );
+        assert_eq!(
+            AllenRelation::classify(iv(5, 2), iv(0, 2)),
+            AllenRelation::After
+        );
     }
 
     #[test]

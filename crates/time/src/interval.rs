@@ -168,9 +168,7 @@ mod tests {
     #[test]
     fn construction_rejects_negative_duration() {
         assert!(Interval::new(TimePoint::ZERO, TimeDelta::from_secs(-1)).is_err());
-        assert!(
-            Interval::from_bounds(TimePoint::from_secs(5), TimePoint::from_secs(3)).is_err()
-        );
+        assert!(Interval::from_bounds(TimePoint::from_secs(5), TimePoint::from_secs(3)).is_err());
     }
 
     #[test]

@@ -85,6 +85,12 @@ impl TimeDelta {
         TimeDelta(Rational::new(ms, 1000))
     }
 
+    /// A delta of an integer number of microseconds.
+    #[inline]
+    pub fn from_micros(us: i64) -> TimeDelta {
+        TimeDelta(Rational::new(us, 1_000_000))
+    }
+
     /// The underlying exact seconds value.
     #[inline]
     pub fn seconds(self) -> Rational {

@@ -162,16 +162,14 @@ impl Rational {
 
     /// Checked addition.
     pub fn checked_add(self, rhs: Rational) -> Result<Rational, TimeError> {
-        let num =
-            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128;
+        let num = self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128;
         let den = self.den as i128 * rhs.den as i128;
         Self::reduce(num, den).map_err(|_| TimeError::Overflow { op: "add" })
     }
 
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Rational) -> Result<Rational, TimeError> {
-        let num =
-            self.num as i128 * rhs.den as i128 - rhs.num as i128 * self.den as i128;
+        let num = self.num as i128 * rhs.den as i128 - rhs.num as i128 * self.den as i128;
         let den = self.den as i128 * rhs.den as i128;
         Self::reduce(num, den).map_err(|_| TimeError::Overflow { op: "sub" })
     }
@@ -320,7 +318,8 @@ impl Mul for Rational {
 impl Div for Rational {
     type Output = Rational;
     fn div(self, rhs: Rational) -> Rational {
-        self.checked_div(rhs).expect("rational div by zero/overflow")
+        self.checked_div(rhs)
+            .expect("rational div by zero/overflow")
     }
 }
 

@@ -59,9 +59,8 @@ impl Timecode {
         let frames_per_sec = fps_ceil.max(1);
         // Whole seconds and residual frame index within the second.
         let secs = self.at.seconds().floor().max(0);
-        let sec_start_tick = frames.seconds_to_tick_ceil(TimePoint::from_seconds(
-            Rational::from(secs),
-        ));
+        let sec_start_tick =
+            frames.seconds_to_tick_ceil(TimePoint::from_seconds(Rational::from(secs)));
         let ff = (tick - sec_start_tick).clamp(0, frames_per_sec - 1);
         let h = secs / 3600;
         let m = (secs % 3600) / 60;

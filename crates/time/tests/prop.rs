@@ -9,9 +9,8 @@ fn small_rational() -> impl Strategy<Value = Rational> {
 }
 
 fn small_interval() -> impl Strategy<Value = Interval> {
-    (-1_000i64..1_000, 0i64..1_000).prop_map(|(s, d)| {
-        Interval::new(TimePoint::from_secs(s), TimeDelta::from_secs(d)).unwrap()
-    })
+    (-1_000i64..1_000, 0i64..1_000)
+        .prop_map(|(s, d)| Interval::new(TimePoint::from_secs(s), TimeDelta::from_secs(d)).unwrap())
 }
 
 proptest! {

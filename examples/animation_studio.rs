@@ -44,7 +44,8 @@ fn main() {
         clip.tick_span().map(|(a, b)| b - a).unwrap_or(0),
         MediaValue::Animation(clip.clone()).approx_bytes()
     );
-    db.register_value("puck_anim", MediaValue::Animation(clip)).unwrap();
+    db.register_value("puck_anim", MediaValue::Animation(clip))
+        .unwrap();
 
     // A live-action background plate.
     let plate = tbm::media::gen::render_frames(VideoPattern::ShiftingGradient, 0, 125, W, H);
@@ -61,7 +62,10 @@ fn main() {
     // ------------------------------------------------------------------
     db.create_derived(
         "rendered",
-        Node::derive(Op::RenderAnimation { fps: 25 }, vec![Node::source("puck_anim")]),
+        Node::derive(
+            Op::RenderAnimation { fps: 25 },
+            vec![Node::source("puck_anim")],
+        ),
     )
     .unwrap();
     db.create_derived(

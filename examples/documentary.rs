@@ -69,7 +69,11 @@ fn main() {
             entries_music.push(ElementEntry::simple((i * chunk) as i64, chunk as i64, span));
             if i < narration_secs * 10 {
                 let span = w
-                    .write(&narration.slice_frames(i * chunk, (i + 1) * chunk).to_bytes())
+                    .write(
+                        &narration
+                            .slice_frames(i * chunk, (i + 1) * chunk)
+                            .to_bytes(),
+                    )
                     .unwrap();
                 entries_narr.push(ElementEntry::simple((i * chunk) as i64, chunk as i64, span));
             }
@@ -118,7 +122,9 @@ fn main() {
         let make_stream = |name: &str, frames: &[tbm::media::Frame], w: &mut BlobWriter<_>| {
             let mut entries = Vec::new();
             for (i, f) in frames.iter().enumerate() {
-                let span = w.write(&dct::encode_frame(f, DctParams::default())).unwrap();
+                let span = w
+                    .write(&dct::encode_frame(f, DctParams::default()))
+                    .unwrap();
                 entries.push(ElementEntry::simple(i as i64, 1, span));
             }
             let desc = capture::video_descriptor(
@@ -161,7 +167,9 @@ fn main() {
     db.create_derived(
         "videoF",
         Node::derive(
-            Op::Fade { frames: fade_frames },
+            Op::Fade {
+                frames: fade_frames,
+            },
             vec![Node::source("video1"), Node::source("video2")],
         ),
     )
@@ -171,7 +179,11 @@ fn main() {
         "videoC1",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 0, to: scene_frames - fade_frames }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 0,
+                    to: scene_frames - fade_frames,
+                }],
             },
             vec![Node::source("video1")],
         ),
@@ -181,7 +193,11 @@ fn main() {
         "videoC2",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: fade_frames, to: scene_frames }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: fade_frames,
+                    to: scene_frames,
+                }],
             },
             vec![Node::source("video2")],
         ),
@@ -195,9 +211,21 @@ fn main() {
         Node::derive(
             Op::VideoEdit {
                 cuts: vec![
-                    EditCut { input: 0, from: 0, to: c1 },
-                    EditCut { input: 1, from: 0, to: c2 },
-                    EditCut { input: 2, from: 0, to: c1 },
+                    EditCut {
+                        input: 0,
+                        from: 0,
+                        to: c1,
+                    },
+                    EditCut {
+                        input: 1,
+                        from: 0,
+                        to: c2,
+                    },
+                    EditCut {
+                        input: 2,
+                        from: 0,
+                        to: c1,
+                    },
                 ],
             },
             vec![
@@ -226,8 +254,14 @@ fn main() {
     let total = TimeDelta::from_secs(total_audio_secs as i64);
     let mut m = MultimediaObject::new("m");
     m.add_component(
-        Component::new("audio1", ComponentKind::Audio, Node::source("audio1"), TimePoint::ZERO, total)
-            .unwrap(),
+        Component::new(
+            "audio1",
+            ComponentKind::Audio,
+            Node::source("audio1"),
+            TimePoint::ZERO,
+            total,
+        )
+        .unwrap(),
     )
     .unwrap();
     m.add_component(
@@ -242,12 +276,20 @@ fn main() {
     )
     .unwrap();
     m.add_component(
-        Component::new("video3", ComponentKind::Video, Node::source("video3"), TimePoint::ZERO, total)
-            .unwrap(),
+        Component::new(
+            "video3",
+            ComponentKind::Video,
+            Node::source("video3"),
+            TimePoint::ZERO,
+            total,
+        )
+        .unwrap(),
     )
     .unwrap();
-    m.add_constraint("audio1", AllenRelation::Equals, "video3").unwrap();
-    m.add_constraint("audio2", AllenRelation::Starts, "video3").unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "video3")
+        .unwrap();
+    m.add_constraint("audio2", AllenRelation::Starts, "video3")
+        .unwrap();
     m.validate().expect("sync constraints hold");
 
     println!("\ntimeline of m (cf. paper Fig. 4b):");
@@ -274,5 +316,8 @@ fn main() {
         window.peak()
     );
     db.add_multimedia(m).unwrap();
-    println!("multimedia objects in catalog: {}", db.multimedia_objects().len());
+    println!(
+        "multimedia objects in catalog: {}",
+        db.multimedia_objects().len()
+    );
 }

@@ -37,18 +37,14 @@ fn main() {
     // The music medium in Figure 1 terms: notes overlap (chords), so the
     // stream is non-continuous; the MIDI event form is event-based.
     // ------------------------------------------------------------------
-    let note_stream = TimedStream::from_tuples(
-        MediaType::music(),
-        TimeSystem::MIDI_PPQ_480,
-        {
-            let mut tuples: Vec<_> = chords
-                .iter()
-                .map(|&(_, s, d)| TimedTuple::new(SizedElement::new(3), s, d))
-                .collect();
-            tuples.sort_by_key(|t| t.start);
-            tuples
-        },
-    )
+    let note_stream = TimedStream::from_tuples(MediaType::music(), TimeSystem::MIDI_PPQ_480, {
+        let mut tuples: Vec<_> = chords
+            .iter()
+            .map(|&(_, s, d)| TimedTuple::new(SizedElement::new(3), s, d))
+            .collect();
+        tuples.sort_by_key(|t| t.start);
+        tuples
+    })
     .unwrap();
     println!("chord score as notes:  {}", classify(&note_stream));
 
@@ -109,7 +105,10 @@ fn main() {
                 },
                 vec![Node::source("melody_audio")],
             ),
-            Node::derive(Op::AudioGain { num: 1, den: 2 }, vec![Node::source("chords_audio")]),
+            Node::derive(
+                Op::AudioGain { num: 1, den: 2 },
+                vec![Node::source("chords_audio")],
+            ),
         ],
     );
     println!("\nmix pipeline spec: {} bytes", mix.spec_size());
@@ -124,5 +123,8 @@ fn main() {
     }
 
     // Provenance: everything that depends on the chord score.
-    println!("\nobjects derived from `chords`: {:?}", db.derived_from("chords"));
+    println!(
+        "\nobjects derived from `chords`: {:?}",
+        db.derived_from("chords")
+    );
 }

@@ -88,7 +88,10 @@ fn main() {
     // Query 1: "select a specific sound track" — by language.
     // ------------------------------------------------------------------
     for lang in ["en", "de", "fr", "jp"] {
-        println!("tracks in `{lang}`: {:?}", db.audio_tracks_by_language(lang));
+        println!(
+            "tracks in `{lang}`: {:?}",
+            db.audio_tracks_by_language(lang)
+        );
     }
 
     // ------------------------------------------------------------------
@@ -104,9 +107,7 @@ fn main() {
     // scalable layout serves base-only or full reads of the same element.
     // ------------------------------------------------------------------
     let t = TimePoint::from_secs(1);
-    let base = db
-        .element_bytes_at_fidelity("video1", t, Some(1))
-        .unwrap();
+    let base = db.element_bytes_at_fidelity("video1", t, Some(1)).unwrap();
     let full = db.element_bytes_at("video1", t).unwrap();
     println!(
         "\nframe at t=1 s: {} bytes at preview fidelity, {} bytes at full fidelity \

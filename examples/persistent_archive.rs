@@ -26,8 +26,7 @@ fn main() {
     {
         let mut db = tbm::db::MediaDb::open(&dir).expect("open archive");
         let n = 50;
-        let frames =
-            tbm::media::gen::render_frames(VideoPattern::Checkerboard(7), 0, n, 160, 120);
+        let frames = tbm::media::gen::render_frames(VideoPattern::Checkerboard(7), 0, n, 160, 120);
         let audio = AudioSignal::Chirp {
             from_hz: 150.0,
             to_hz: 900.0,
@@ -45,12 +44,17 @@ fn main() {
             Some(QualityFactor::Video(VideoQuality::Vhs)),
         )
         .expect("capture");
-        db.register_interpretation(cap.interpretation).expect("register");
+        db.register_interpretation(cap.interpretation)
+            .expect("register");
         db.create_derived(
             "teaser",
             Node::derive(
                 Op::VideoEdit {
-                    cuts: vec![EditCut { input: 0, from: 10, to: 35 }],
+                    cuts: vec![EditCut {
+                        input: 0,
+                        from: 10,
+                        to: 35,
+                    }],
                 },
                 vec![Node::source("video1")],
             ),
@@ -97,17 +101,14 @@ fn main() {
         demand, raw_rate
     );
     let expansion = Rational::from(raw_rate as i64) / demand;
-    for (tier, bw) in [("CD-ROM 1x", 150 * 1024u64), ("CD-ROM 4x", 600 * 1024), ("early HDD", 2_000_000)] {
+    for (tier, bw) in [
+        ("CD-ROM 1x", 150 * 1024u64),
+        ("CD-ROM 4x", 600 * 1024),
+        ("early HDD", 2_000_000),
+    ] {
         let chain = Pipeline::new()
             .then(Activity::producer(tier, bw))
-            .then(
-                Activity::new(
-                    "decoder",
-                    Rational::from(4_000_000),
-                    expansion,
-                )
-                .expect("positive"),
-            )
+            .then(Activity::new("decoder", Rational::from(4_000_000), expansion).expect("positive"))
             .then(Activity::producer("presentation", 40_000_000));
         let ok = chain.sustains(Rational::from(raw_rate as i64));
         let (_, bottleneck, cap) = chain.bottleneck().unwrap();

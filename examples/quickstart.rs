@@ -41,7 +41,8 @@ fn main() {
         println!("\n{}", stream.descriptor());
         println!("  [{name}: {} elements]", stream.len());
     }
-    db.register_interpretation(cap.interpretation).expect("register");
+    db.register_interpretation(cap.interpretation)
+        .expect("register");
 
     // ------------------------------------------------------------------
     // 2. Classification (Fig. 1 categories) of a rebuilt timed stream.
@@ -61,7 +62,11 @@ fn main() {
     // ------------------------------------------------------------------
     let edit = Node::derive(
         Op::VideoEdit {
-            cuts: vec![EditCut { input: 0, from: 10, to: 40 }],
+            cuts: vec![EditCut {
+                input: 0,
+                from: 10,
+                to: 40,
+            }],
         },
         vec![Node::source("video1")],
     );

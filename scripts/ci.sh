@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the tbm workspace: build, tests, lints, formatting.
+# Run from the repository root; any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> CI green"

@@ -91,7 +91,10 @@ fn interleaved_capture_reproduces_fig2_structure() {
 
     // Descriptors carry the paper's attributes.
     let vd = v.descriptor();
-    assert_eq!(vd.get_text(keys::CATEGORY), Some("homogeneous, constant frequency"));
+    assert_eq!(
+        vd.get_text(keys::CATEGORY),
+        Some("homogeneous, constant frequency")
+    );
     assert_eq!(vd.get_text(keys::QUALITY_FACTOR), Some("VHS quality"));
     assert_eq!(vd.get_text(keys::ENCODING), Some("YUV 8:2:2, JPEG"));
     assert_eq!(vd.get_rational(keys::FRAME_RATE), Some(Rational::from(25)));
@@ -100,7 +103,10 @@ fn interleaved_capture_reproduces_fig2_structure() {
     assert_eq!(ad.get_int(keys::SAMPLE_RATE), Some(44_100));
     assert_eq!(ad.get_int(keys::CHANNELS), Some(2));
     // Resource-allocation attributes present.
-    assert_eq!(ad.get_rational(keys::AVG_DATA_RATE), Some(Rational::from(176_400)));
+    assert_eq!(
+        ad.get_rational(keys::AVG_DATA_RATE),
+        Some(Rational::from(176_400))
+    );
     assert!(vd.get_rational(keys::AVG_DATA_RATE).is_some());
     assert!(vd.get_rational(keys::RATE_VARIATION).is_some());
 }

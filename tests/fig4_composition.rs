@@ -17,12 +17,17 @@ const FPS: u32 = 25;
 fn setup(db: &mut MediaDb) {
     let scene_frames = 7 * FPS as usize; // 7 s ≙ paper's 70 s
     let v1 = tbm::media::gen::render_frames(VideoPattern::MovingBar, 0, scene_frames, W, H);
-    let v2 =
-        tbm::media::gen::render_frames(VideoPattern::ShiftingGradient, 0, scene_frames, W, H);
-    db.register_value("video1", MediaValue::Video(VideoClip::new(v1, TimeSystem::PAL)))
-        .unwrap();
-    db.register_value("video2", MediaValue::Video(VideoClip::new(v2, TimeSystem::PAL)))
-        .unwrap();
+    let v2 = tbm::media::gen::render_frames(VideoPattern::ShiftingGradient, 0, scene_frames, W, H);
+    db.register_value(
+        "video1",
+        MediaValue::Video(VideoClip::new(v1, TimeSystem::PAL)),
+    )
+    .unwrap();
+    db.register_value(
+        "video2",
+        MediaValue::Video(VideoClip::new(v2, TimeSystem::PAL)),
+    )
+    .unwrap();
     let music = AudioSignal::Sine {
         hz: 330.0,
         amplitude: 7000,
@@ -35,8 +40,11 @@ fn setup(db: &mut MediaDb) {
     .generate(0, 6 * 44_100, 44_100, 2);
     db.register_value("audio1", MediaValue::Audio(AudioClip::new(music, 44_100)))
         .unwrap();
-    db.register_value("audio2", MediaValue::Audio(AudioClip::new(narration, 44_100)))
-        .unwrap();
+    db.register_value(
+        "audio2",
+        MediaValue::Audio(AudioClip::new(narration, 44_100)),
+    )
+    .unwrap();
 }
 
 fn build_video3(db: &mut MediaDb) {
@@ -55,9 +63,21 @@ fn build_video3(db: &mut MediaDb) {
         Node::derive(
             Op::VideoEdit {
                 cuts: vec![
-                    EditCut { input: 0, from: 0, to: scene - fade },
-                    EditCut { input: 1, from: 0, to: fade },
-                    EditCut { input: 2, from: fade, to: scene },
+                    EditCut {
+                        input: 0,
+                        from: 0,
+                        to: scene - fade,
+                    },
+                    EditCut {
+                        input: 1,
+                        from: 0,
+                        to: fade,
+                    },
+                    EditCut {
+                        input: 2,
+                        from: fade,
+                        to: scene,
+                    },
                 ],
             },
             vec![
@@ -128,8 +148,14 @@ fn multimedia_object_m_matches_fig4b() {
     let mut m = MultimediaObject::new("m");
     let full = TimeDelta::from_secs(13);
     m.add_component(
-        Component::new("audio1", ComponentKind::Audio, Node::source("audio1"), TimePoint::ZERO, full)
-            .unwrap(),
+        Component::new(
+            "audio1",
+            ComponentKind::Audio,
+            Node::source("audio1"),
+            TimePoint::ZERO,
+            full,
+        )
+        .unwrap(),
     )
     .unwrap();
     m.add_component(
@@ -144,12 +170,20 @@ fn multimedia_object_m_matches_fig4b() {
     )
     .unwrap();
     m.add_component(
-        Component::new("video3", ComponentKind::Video, Node::source("video3"), TimePoint::ZERO, full)
-            .unwrap(),
+        Component::new(
+            "video3",
+            ComponentKind::Video,
+            Node::source("video3"),
+            TimePoint::ZERO,
+            full,
+        )
+        .unwrap(),
     )
     .unwrap();
-    m.add_constraint("audio1", AllenRelation::Equals, "video3").unwrap();
-    m.add_constraint("audio2", AllenRelation::Starts, "video3").unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "video3")
+        .unwrap();
+    m.add_constraint("audio2", AllenRelation::Starts, "video3")
+        .unwrap();
     m.validate().unwrap();
     assert_eq!(m.duration(), full);
 

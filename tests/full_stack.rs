@@ -53,7 +53,11 @@ fn fig5_layering_bottom_up() {
         "trailer",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 5, to: 20 }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 5,
+                    to: 20,
+                }],
             },
             vec![Node::source("video1")],
         ),
@@ -86,7 +90,8 @@ fn fig5_layering_bottom_up() {
         .unwrap(),
     )
     .unwrap();
-    m.add_constraint("audio1", AllenRelation::Equals, "trailer").unwrap();
+    m.add_constraint("audio1", AllenRelation::Equals, "trailer")
+        .unwrap();
     db.add_multimedia(m).unwrap();
 
     // Top of the stack: the multimedia object realizes to pixels + samples.
@@ -180,7 +185,11 @@ fn derived_objects_play_without_materialization() {
         "trailer",
         Node::derive(
             Op::VideoEdit {
-                cuts: vec![EditCut { input: 0, from: 10, to: 20 }],
+                cuts: vec![EditCut {
+                    input: 0,
+                    from: 10,
+                    to: 20,
+                }],
             },
             vec![Node::source("video1")],
         ),
@@ -194,8 +203,7 @@ fn derived_objects_play_without_materialization() {
         assert_eq!((f.width(), f.height()), (W, H));
     }
     // Real-time feasibility of the lazy pipeline at PAL rate.
-    let report =
-        tbm::derive::realtime::assess_video(&expander, &node, TimeSystem::PAL, 5).unwrap();
+    let report = tbm::derive::realtime::assess_video(&expander, &node, TimeSystem::PAL, 5).unwrap();
     assert!(report.sampled > 0);
 }
 
