@@ -1,0 +1,141 @@
+//! Serving-layer microbenchmarks: the segment cache's hit path vs miss
+//! path, and the end-to-end cost of a multi-session broadcast through the
+//! event loop with the cache on and off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tbm_blob::{ByteSpan, MemBlobStore};
+use tbm_codec::dct::DctParams;
+use tbm_core::BlobId;
+use tbm_db::MediaDb;
+use tbm_interp::capture::capture_video_scalable;
+use tbm_interp::Interpretation;
+use tbm_media::gen::VideoPattern;
+use tbm_serve::{Capacity, Request, Response, SegmentCache, Server};
+use tbm_time::{TimeDelta, TimePoint, TimeSystem};
+
+const SEGMENT: u64 = 4096;
+
+fn seeded_cache(spans: u64) -> (SegmentCache, BlobId) {
+    let mut cache = SegmentCache::new(spans * SEGMENT * 2);
+    let blob = BlobId::new(1);
+    for i in 0..spans {
+        cache.insert(
+            blob,
+            ByteSpan::new(i * SEGMENT, SEGMENT),
+            vec![i as u8; SEGMENT as usize],
+        );
+    }
+    (cache, blob)
+}
+
+fn bench_cache_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_cache");
+    let spans = 256u64;
+
+    // Hit path: lookup + LRU refresh of a resident span.
+    let (mut cache, blob) = seeded_cache(spans);
+    g.bench_function("hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let span = ByteSpan::new((i % spans) * SEGMENT, SEGMENT);
+            i += 1;
+            black_box(cache.get(blob, span).is_some())
+        })
+    });
+
+    // Miss path: lookup of an absent span (counter bump only).
+    let (mut cache, blob) = seeded_cache(spans);
+    g.bench_function("miss", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let span = ByteSpan::new((spans + (i % spans)) * SEGMENT, SEGMENT);
+            i += 1;
+            black_box(cache.get(blob, span).is_none())
+        })
+    });
+
+    // Miss + fill: the full storage fallback including insert and eviction
+    // once the budget saturates.
+    g.bench_function("miss_then_insert_evicting", |b| {
+        let (mut cache, blob) = seeded_cache(spans);
+        let mut i = 0u64;
+        b.iter(|| {
+            let span = ByteSpan::new((spans + i) * SEGMENT, SEGMENT);
+            i += 1;
+            if cache.get(blob, span).is_none() {
+                cache.insert(blob, span, vec![0u8; SEGMENT as usize]);
+            }
+            black_box(cache.bytes_cached())
+        })
+    });
+    g.finish();
+}
+
+fn hot_object() -> (MemBlobStore, Interpretation) {
+    let frames: Vec<_> = (0..24u64)
+        .map(|i| VideoPattern::MovingBar.render(i, 96, 64))
+        .collect();
+    let mut store = MemBlobStore::new();
+    let (_blob, interp) =
+        capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+    (store, interp)
+}
+
+fn broadcast(store: MemBlobStore, interp: Interpretation, sessions: usize, budget: u64) -> usize {
+    let mut db = MediaDb::with_store(store);
+    db.register_interpretation(interp).unwrap();
+    let mut server = Server::new(db, Capacity::new(100_000_000)).with_cache(if budget > 0 {
+        SegmentCache::new(budget)
+    } else {
+        SegmentCache::disabled()
+    });
+    for n in 0..sessions {
+        let at = TimePoint::ZERO + TimeDelta::from_millis(n as i64 * 40);
+        if let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(
+                at,
+                Request::Open {
+                    object: "video1".into(),
+                },
+            )
+            .unwrap()
+        {
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+    server.finish().elements_served
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    g.sample_size(10);
+    for &sessions in &[4usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("cache_on", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    let (store, interp) = hot_object();
+                    black_box(broadcast(store, interp, sessions, 32 << 20))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cache_off", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    let (store, interp) = hot_object();
+                    black_box(broadcast(store, interp, sessions, 0))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_paths, bench_broadcast);
+criterion_main!(benches);

@@ -64,6 +64,11 @@ id_type!(
     MultimediaObjectId,
     "mm:"
 );
+id_type!(
+    /// Identifies one client playback session at the serving layer.
+    SessionId,
+    "session:"
+);
 
 #[cfg(test)]
 mod tests {
@@ -80,6 +85,7 @@ mod tests {
         assert_eq!(DerivationId::new(4).to_string(), "deriv:4");
         assert_eq!(MultimediaObjectId::new(5).to_string(), "mm:5");
         assert_eq!(InterpretationId::new(6).to_string(), "interp:6");
+        assert_eq!(SessionId::new(8).to_string(), "session:8");
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub use checksum::{crc32, Crc32};
 pub use descriptor::{keys, ElementDescriptor, MediaDescriptor};
 pub use element::{SizedElement, StreamElement};
 pub use error::ModelError;
-pub use ids::{BlobId, DerivationId, InterpretationId, MediaObjectId, MultimediaObjectId};
+pub use ids::{
+    BlobId, DerivationId, InterpretationId, MediaObjectId, MultimediaObjectId, SessionId,
+};
 pub use mediatype::{AttrSpec, AttrType, MediaKind, MediaType};
 pub use quality::{AudioQuality, QualityFactor, VideoQuality};
 pub use stream::{StreamStats, TimedStream, TimedTuple};

@@ -30,6 +30,13 @@ impl PlaybackSim {
     }
 
     /// Builder: sets the startup buffer depth.
+    ///
+    /// A depth of `0` is clamped to `1`: the presentation clock can only
+    /// start once *something* is buffered, so a zero-element buffer is not a
+    /// meaningful configuration. The clamp keeps `with_startup(0)`
+    /// equivalent to `with_startup(1)` rather than panicking on the
+    /// `ready[startup_elements - 1]` lookup inside
+    /// [`PlaybackSim::run_with_penalties`].
     pub fn with_startup(mut self, elements: usize) -> PlaybackSim {
         self.startup_elements = elements.max(1);
         self
@@ -254,6 +261,19 @@ mod tests {
         assert!(stats.max_lateness >= TimeDelta::from_millis(60));
         // Short penalty slices are allowed.
         assert!(sim.run_with_penalties(&jobs, &[]).clean());
+    }
+
+    #[test]
+    fn zero_startup_clamps_to_one_element() {
+        // The documented clamp: a zero-depth buffer is not meaningful (the
+        // clock cannot start before anything is buffered), so 0 behaves
+        // exactly like 1 — and does not panic.
+        let cost = CostModel::bandwidth_only(2_400_000);
+        let zero = PlaybackSim::new(cost).with_startup(0);
+        assert_eq!(zero.startup_elements, 1);
+        let one = PlaybackSim::new(cost).with_startup(1);
+        assert_eq!(zero.run(&jobs()), one.run(&jobs()));
+        assert_eq!(zero.run(&[]), one.run(&[]));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Admission control: the server's capacity model and typed decisions.
+//!
+//! The paper defers real-time delivery to the implementation; the
+//! implementation's first defence is refusing work it cannot schedule. A
+//! [`Capacity`] aggregates the server's storage bandwidth and decode
+//! throughput; each `Open` request is checked against the demand the
+//! session's schedule would add ([`tbm_player::demanded_rate`]). Three
+//! outcomes, in preference order:
+//!
+//! 1. **admit** — the full-fidelity schedule fits the remaining headroom;
+//! 2. **admit degraded** — it does not, but the base-layer schedule of a
+//!    scalable stream does (§2.2: "bandwidth can be saved … by ignoring
+//!    parts of the storage unit");
+//! 3. **reject** — even the base layer would oversubscribe the server, or
+//!    the session limit is reached.
+//!
+//! [`AdmissionPolicy::AdmitAll`] disables the gate (every session admitted
+//! at full fidelity) while keeping the same physical capacity — the
+//! uncontrolled baseline the §serve experiment sweeps against.
+
+use std::fmt;
+use tbm_player::CostModel;
+use tbm_time::Rational;
+
+/// Whether the admission gate is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Enforce the capacity model: degrade or reject infeasible sessions.
+    Enforce,
+    /// Admit every session at full fidelity regardless of capacity — the
+    /// uncontrolled baseline. The physical service rate is unchanged, so
+    /// oversubscription shows up as deadline misses instead of rejections.
+    AdmitAll,
+}
+
+/// Aggregate delivery capacity of one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capacity {
+    /// Aggregate storage/transfer bandwidth in bytes per second.
+    pub storage_bandwidth: u64,
+    /// Aggregate decode throughput in bytes per second (0 = free decoding).
+    pub decode_rate: u64,
+    /// Fixed per-element dispatch overhead in microseconds.
+    pub overhead_us: u64,
+    /// Hard cap on concurrently open sessions.
+    pub max_sessions: usize,
+    /// Whether admission control is enforced.
+    pub policy: AdmissionPolicy,
+}
+
+impl Capacity {
+    /// A capacity with the given storage bandwidth, free decoding, no
+    /// overhead, an effectively unlimited session count and admission
+    /// enforced.
+    pub fn new(storage_bandwidth: u64) -> Capacity {
+        Capacity {
+            storage_bandwidth: storage_bandwidth.max(1),
+            decode_rate: 0,
+            overhead_us: 0,
+            max_sessions: usize::MAX,
+            policy: AdmissionPolicy::Enforce,
+        }
+    }
+
+    /// Builder: sets aggregate decode throughput.
+    pub fn with_decode_rate(mut self, bytes_per_sec: u64) -> Capacity {
+        self.decode_rate = bytes_per_sec;
+        self
+    }
+
+    /// Builder: sets fixed per-element overhead in microseconds.
+    pub fn with_overhead_us(mut self, us: u64) -> Capacity {
+        self.overhead_us = us;
+        self
+    }
+
+    /// Builder: caps concurrently open sessions.
+    pub fn with_max_sessions(mut self, max: usize) -> Capacity {
+        self.max_sessions = max;
+        self
+    }
+
+    /// Builder: disables the admission gate (the uncontrolled baseline).
+    pub fn admit_all(mut self) -> Capacity {
+        self.policy = AdmissionPolicy::AdmitAll;
+        self
+    }
+
+    /// The cost model the scheduler charges elements through — the same
+    /// numbers admission reasons about.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::bandwidth_only(self.storage_bandwidth)
+            .with_decode_rate(self.decode_rate)
+            .with_overhead_us(self.overhead_us)
+    }
+
+    /// Whether a schedule demanding `demand` bytes/s fits next to
+    /// `committed` bytes/s of already-admitted demand. Bytes fetched are
+    /// bytes decoded, so one demand figure is checked against both stages.
+    pub fn fits(&self, committed: Rational, demand: Rational) -> bool {
+        let total = committed + demand;
+        if total > Rational::from(self.storage_bandwidth as i64) {
+            return false;
+        }
+        self.decode_rate == 0 || total <= Rational::from(self.decode_rate as i64)
+    }
+
+    /// The tighter of the two stage limits, in bytes per second.
+    pub fn service_rate(&self) -> u64 {
+        if self.decode_rate == 0 {
+            self.storage_bandwidth
+        } else {
+            self.storage_bandwidth.min(self.decode_rate)
+        }
+    }
+}
+
+/// The typed outcome of an `Open` request's admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Admitted at full fidelity.
+    Admitted,
+    /// Admitted, but capped to the first `layers` placement layers of each
+    /// element (the scalable base-layer path).
+    Degraded {
+        /// Placement layers the session may fetch per element.
+        layers: usize,
+    },
+    /// Not admitted; no session was created.
+    Rejected {
+        /// Why the session was turned away.
+        reason: RejectReason,
+    },
+}
+
+impl AdmitDecision {
+    /// `true` for [`AdmitDecision::Admitted`] and
+    /// [`AdmitDecision::Degraded`].
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, AdmitDecision::Rejected { .. })
+    }
+}
+
+impl fmt::Display for AdmitDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitDecision::Admitted => write!(f, "admitted"),
+            AdmitDecision::Degraded { layers } => {
+                write!(f, "admitted degraded ({layers}-layer)")
+            }
+            AdmitDecision::Rejected { reason } => write!(f, "rejected ({reason})"),
+        }
+    }
+}
+
+/// Why an `Open` request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Even the feasible fallback schedule would oversubscribe the server.
+    Saturated {
+        /// Bytes/s the session's cheapest feasible schedule demands.
+        demanded_bps: u64,
+        /// Bytes/s of headroom left under the tighter stage limit.
+        available_bps: u64,
+    },
+    /// The concurrent-session cap is reached.
+    SessionLimit {
+        /// The configured cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Saturated {
+                demanded_bps,
+                available_bps,
+            } => write!(
+                f,
+                "saturated: demands {demanded_bps} B/s, {available_bps} B/s available"
+            ),
+            RejectReason::SessionLimit { max } => {
+                write!(f, "session limit {max} reached")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_checks_both_stages() {
+        let cap = Capacity::new(1_000_000).with_decode_rate(500_000);
+        let r = |n: i64| Rational::from(n);
+        assert!(cap.fits(r(0), r(400_000)));
+        assert!(
+            !cap.fits(r(0), r(600_000)),
+            "decode is the tighter stage here"
+        );
+        assert!(!cap.fits(r(400_000), r(200_000)));
+        assert_eq!(cap.service_rate(), 500_000);
+
+        let free_decode = Capacity::new(1_000_000);
+        assert!(free_decode.fits(r(0), r(900_000)));
+        assert!(!free_decode.fits(r(500_000), r(600_000)));
+        assert_eq!(free_decode.service_rate(), 1_000_000);
+    }
+
+    #[test]
+    fn cost_model_mirrors_capacity() {
+        let cap = Capacity::new(2_000_000)
+            .with_decode_rate(8_000_000)
+            .with_overhead_us(50);
+        let m = cap.cost_model();
+        assert_eq!(m.bandwidth, 2_000_000);
+        assert_eq!(m.decode_rate, 8_000_000);
+        assert_eq!(m.overhead_us, 50);
+    }
+
+    #[test]
+    fn decisions_display() {
+        assert_eq!(AdmitDecision::Admitted.to_string(), "admitted");
+        assert!(AdmitDecision::Admitted.is_admitted());
+        assert!(AdmitDecision::Degraded { layers: 1 }.is_admitted());
+        let rejected = AdmitDecision::Rejected {
+            reason: RejectReason::SessionLimit { max: 4 },
+        };
+        assert!(!rejected.is_admitted());
+        assert_eq!(rejected.to_string(), "rejected (session limit 4 reached)");
+    }
+
+    #[test]
+    fn zero_bandwidth_clamped() {
+        assert_eq!(Capacity::new(0).storage_bandwidth, 1);
+    }
+}

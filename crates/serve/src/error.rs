@@ -1,0 +1,89 @@
+//! Typed errors of the serving layer.
+
+use crate::SessionState;
+use std::fmt;
+use tbm_core::SessionId;
+use tbm_db::DbError;
+use tbm_time::TimePoint;
+
+/// Errors a [`crate::Server`] request can fail with.
+///
+/// Admission *refusals* are not errors — a rejected `Open` is a successful
+/// request whose answer is [`crate::AdmitDecision::Rejected`]. `ServeError`
+/// covers malformed or impossible requests only.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request referenced a session id the server does not know.
+    UnknownSession {
+        /// The unknown id.
+        session: SessionId,
+    },
+    /// Catalog lookup failed (no such object, or it has no stream
+    /// interpretation to serve).
+    Catalog(DbError),
+    /// The request was submitted at a simulated time earlier than one the
+    /// server has already processed — the event loop only moves forward.
+    NonMonotonicTime {
+        /// The offending request time.
+        at: TimePoint,
+        /// The server clock at submission.
+        clock: TimePoint,
+    },
+    /// The session is not in a state that allows this request (e.g. `Play`
+    /// on a closed session).
+    BadState {
+        /// The session in the wrong state.
+        session: SessionId,
+        /// Its current state.
+        state: SessionState,
+        /// The request that was refused.
+        request: &'static str,
+    },
+    /// A playback rate with a zero numerator or denominator.
+    BadRate {
+        /// Requested rate numerator.
+        num: u32,
+        /// Requested rate denominator.
+        den: u32,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession { session } => {
+                write!(f, "unknown session {session}")
+            }
+            ServeError::Catalog(e) => write!(f, "catalog lookup failed: {e}"),
+            ServeError::NonMonotonicTime { at, clock } => write!(
+                f,
+                "request at t={}s precedes the server clock t={}s",
+                at.seconds(),
+                clock.seconds()
+            ),
+            ServeError::BadState {
+                session,
+                state,
+                request,
+            } => write!(f, "{request} refused: {session} is {state}"),
+            ServeError::BadRate { num, den } => {
+                write!(f, "invalid playback rate {num}/{den}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Catalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for ServeError {
+    fn from(e: DbError) -> ServeError {
+        ServeError::Catalog(e)
+    }
+}

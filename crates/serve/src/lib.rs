@@ -1,0 +1,535 @@
+//! tbm-serve: a multi-session media delivery engine over the tbm catalog.
+//!
+//! The paper (Gibbs, Breiteneder, Tsichritzis, *Data Modeling of Time-Based
+//! Media*, SIGMOD 1994) models media as BLOBs + interpretations + timed
+//! streams, and explicitly leaves delivery — "media objects in time", in
+//! Feustel & Schmidt's phrasing — to the system underneath. This crate is
+//! that system in miniature: one [`Server`] owns a catalog
+//! ([`tbm_db::MediaDb`]) and drives many concurrent [`Session`]s through a
+//! deterministic, simulated-time event loop.
+//!
+//! Three mechanisms carry the load:
+//!
+//! * **Admission control** ([`Capacity`], [`AdmitDecision`]): each `Open` is
+//!   checked against aggregate storage bandwidth and decode throughput using
+//!   the schedule's demanded byte rate. Sessions are admitted at full
+//!   fidelity, admitted degraded (base layer of a scalable stream), or
+//!   rejected with a typed reason.
+//! * **A shared segment cache** ([`SegmentCache`]): an LRU, byte-budgeted
+//!   cache of placement spans. Many sessions on one hot object collapse to
+//!   one set of storage reads; only checksum-verified bytes are inserted, so
+//!   the cache also absorbs storage faults.
+//! * **EDF scheduling**: every playing session's element fetches share one
+//!   service channel, served earliest-deadline-first in exact rational time,
+//!   so runs are reproducible byte-for-byte.
+//!
+//! ```
+//! use tbm_serve::{Capacity, Request, Server};
+//! use tbm_time::TimePoint;
+//! # use tbm_codec::dct::DctParams;
+//! # use tbm_db::MediaDb;
+//! # use tbm_blob::MemBlobStore;
+//! # use tbm_interp::capture::capture_video_scalable;
+//! # use tbm_media::gen::VideoPattern;
+//! # use tbm_time::TimeSystem;
+//! # let mut store = MemBlobStore::new();
+//! # let frames: Vec<_> = (0..8).map(|i| VideoPattern::MovingBar.render(i, 32, 16)).collect();
+//! # let (_b, interp) =
+//! #     capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default())
+//! #         .unwrap();
+//! # let mut db = MediaDb::with_store(store);
+//! # db.register_interpretation(interp).unwrap();
+//!
+//! let mut server = Server::new(db, Capacity::new(50_000_000)).with_cache_budget(1 << 20);
+//! let t0 = TimePoint::ZERO;
+//! let opened = server.request(t0, Request::Open { object: "video1".into() })?;
+//! let session = match opened {
+//!     tbm_serve::Response::Opened { session: Some(id), .. } => id,
+//!     other => panic!("not admitted: {other:?}"),
+//! };
+//! server.request(t0, Request::Play { session })?;
+//! let stats = server.finish();
+//! assert_eq!(stats.finished_sessions, 1);
+//! assert!(stats.elements_served > 0);
+//! # Ok::<(), tbm_serve::ServeError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod capacity;
+mod error;
+mod metrics;
+mod server;
+mod session;
+
+pub use cache::{CacheStats, SegmentCache};
+pub use capacity::{AdmissionPolicy, AdmitDecision, Capacity, RejectReason};
+pub use error::ServeError;
+pub use metrics::ServerStats;
+pub use server::Server;
+pub use session::{Request, Response, Session, SessionState, SessionStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbm_blob::{FaultPlan, FaultyBlobStore, MemBlobStore};
+    use tbm_codec::dct::DctParams;
+    use tbm_core::SessionId;
+    use tbm_db::MediaDb;
+    use tbm_interp::capture::capture_video_scalable;
+    use tbm_media::gen::VideoPattern;
+    use tbm_media::Frame;
+    use tbm_time::{TimeDelta, TimePoint, TimeSystem};
+
+    fn frames(n: usize) -> Vec<Frame> {
+        (0..n as u64)
+            .map(|i| VideoPattern::MovingBar.render(i, 48, 32))
+            .collect()
+    }
+
+    /// A store holding one scalable capture, plus its interpretation.
+    fn scalable_capture(n: usize) -> (MemBlobStore, tbm_interp::Interpretation) {
+        let mut store = MemBlobStore::new();
+        let (_blob, interp) = capture_video_scalable(
+            &mut store,
+            &frames(n),
+            TimeSystem::PAL,
+            DctParams::default(),
+        )
+        .unwrap();
+        (store, interp)
+    }
+
+    fn scalable_db(n: usize) -> MediaDb {
+        let (store, interp) = scalable_capture(n);
+        let mut db = MediaDb::with_store(store);
+        db.register_interpretation(interp).unwrap();
+        db
+    }
+
+    fn open<S: tbm_blob::BlobStore>(
+        server: &mut Server<S>,
+        at: TimePoint,
+        object: &str,
+    ) -> (Option<SessionId>, AdmitDecision) {
+        match server
+            .request(
+                at,
+                Request::Open {
+                    object: object.to_owned(),
+                },
+            )
+            .unwrap()
+        {
+            Response::Opened { session, decision } => (session, decision),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    fn t(ms: i64) -> TimePoint {
+        TimePoint::ZERO + TimeDelta::from_millis(ms)
+    }
+
+    #[test]
+    fn single_session_plays_to_finish_on_time() {
+        let db = scalable_db(12);
+        let mut server = Server::new(db, Capacity::new(100_000_000));
+        let (id, decision) = open(&mut server, t(0), "video1");
+        assert_eq!(decision, AdmitDecision::Admitted);
+        let id = id.unwrap();
+        assert_eq!(server.session(id).unwrap().state(), SessionState::Opened);
+        server.request(t(0), Request::Play { session: id }).unwrap();
+        let stats = server.finish();
+        assert_eq!(stats.finished_sessions, 1);
+        assert_eq!(stats.elements_served, 12);
+        assert_eq!(
+            stats.deadline_misses, 0,
+            "ample bandwidth must not miss deadlines"
+        );
+        assert_eq!(stats.committed_bps, 0, "finished sessions release capacity");
+        assert_eq!(server.session(id).unwrap().remaining(), 0);
+    }
+
+    #[test]
+    fn second_session_on_same_object_hits_the_cache() {
+        let db = scalable_db(10);
+        let mut server = Server::new(db, Capacity::new(100_000_000)).with_cache_budget(64 << 20);
+        let (a, _) = open(&mut server, t(0), "video1");
+        server
+            .request(
+                t(0),
+                Request::Play {
+                    session: a.unwrap(),
+                },
+            )
+            .unwrap();
+        server.run_until(t(2_000));
+        let after_first = server.stats();
+        assert_eq!(after_first.cache.hits, 0, "first session is all misses");
+
+        let (b, _) = open(&mut server, t(2_000), "video1");
+        server
+            .request(
+                t(2_000),
+                Request::Play {
+                    session: b.unwrap(),
+                },
+            )
+            .unwrap();
+        let stats = server.finish();
+        assert_eq!(
+            stats.cache.hits,
+            stats.elements_served as u64, // 10 elements × 2 layers ÷ 2 sessions
+            "every layer of the second session is served from cache"
+        );
+        assert_eq!(
+            stats.storage_bytes_read, after_first.storage_bytes_read,
+            "the second session adds no storage reads"
+        );
+    }
+
+    #[test]
+    fn admission_degrades_then_rejects_as_capacity_fills() {
+        let db = scalable_db(10);
+        // Probe the full-fidelity demand, then size capacity to fit exactly
+        // one full session plus one base-layer session.
+        let (interp, stream) = db.stream_of("video1").unwrap();
+        let full_jobs = tbm_player::schedule_from_interp(stream, None);
+        let full = tbm_player::demanded_rate(&full_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+        let base_jobs = tbm_player::schedule_from_interp(stream, Some(1));
+        let base = tbm_player::demanded_rate(&base_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+        assert!(base < full);
+        let _ = interp;
+
+        let mut server = Server::new(db, Capacity::new(full + base + 1));
+        let (_, d1) = open(&mut server, t(0), "video1");
+        assert_eq!(d1, AdmitDecision::Admitted);
+        let (s2, d2) = open(&mut server, t(0), "video1");
+        assert_eq!(d2, AdmitDecision::Degraded { layers: 1 });
+        assert!(s2.is_some());
+        let (s3, d3) = open(&mut server, t(0), "video1");
+        assert!(matches!(d3, AdmitDecision::Rejected { .. }));
+        assert!(s3.is_none());
+
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.admitted_degraded, 1);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.committed_bps <= full + base + 1);
+    }
+
+    #[test]
+    fn admit_all_overload_misses_deadlines_where_enforce_stays_bounded() {
+        // Capacity fits roughly one full-rate session; open four at once.
+        let db = scalable_db(10);
+        let (_, stream) = db.stream_of("video1").unwrap();
+        let full_jobs = tbm_player::schedule_from_interp(stream, None);
+        let full = tbm_player::demanded_rate(&full_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+
+        let run = |policy_all: bool| {
+            let db = scalable_db(10);
+            let cap = Capacity::new(full + full / 8);
+            let cap = if policy_all { cap.admit_all() } else { cap };
+            let mut server = Server::new(db, cap);
+            for _ in 0..4 {
+                let (id, _) = open(&mut server, t(0), "video1");
+                if let Some(id) = id {
+                    server.request(t(0), Request::Play { session: id }).unwrap();
+                }
+            }
+            server.finish()
+        };
+
+        let uncontrolled = run(true);
+        let controlled = run(false);
+        assert_eq!(uncontrolled.sessions_admitted(), 4);
+        assert!(
+            uncontrolled.miss_rate() > 0.25,
+            "oversubscribed server must miss deadlines (got {})",
+            uncontrolled.miss_rate()
+        );
+        assert!(
+            controlled.rejected > 0,
+            "enforced admission must turn sessions away"
+        );
+        assert!(
+            controlled.miss_rate() < uncontrolled.miss_rate(),
+            "admission control must bound the miss rate ({} vs {})",
+            controlled.miss_rate(),
+            uncontrolled.miss_rate()
+        );
+    }
+
+    #[test]
+    fn pause_resume_and_close_release_capacity() {
+        let db = scalable_db(10);
+        let mut server = Server::new(db, Capacity::new(100_000_000));
+        let (id, _) = open(&mut server, t(0), "video1");
+        let id = id.unwrap();
+        server.request(t(0), Request::Play { session: id }).unwrap();
+        // Pause almost immediately: most elements should still be pending.
+        let paused = server
+            .request(t(1), Request::Pause { session: id })
+            .unwrap();
+        let remaining = match paused {
+            Response::Paused { remaining, .. } => remaining,
+            other => panic!("unexpected response: {other:?}"),
+        };
+        assert!(remaining > 0);
+        assert_eq!(server.session(id).unwrap().state(), SessionState::Paused);
+        // Nothing is served while paused.
+        server.run_until(t(10_000));
+        assert_eq!(server.session(id).unwrap().remaining(), remaining);
+        // Resume, then close mid-flight.
+        server
+            .request(t(10_000), Request::Play { session: id })
+            .unwrap();
+        let closed = server
+            .request(t(10_001), Request::Close { session: id })
+            .unwrap();
+        assert!(matches!(closed, Response::Closed { .. }));
+        let stats = server.finish();
+        assert_eq!(stats.closed_sessions, 1);
+        assert_eq!(stats.committed_bps, 0, "close releases committed demand");
+        assert!(
+            stats.elements_served < 10,
+            "closing mid-flight cancels queued elements"
+        );
+    }
+
+    #[test]
+    fn seek_and_rate_reshape_the_schedule() {
+        let db = scalable_db(10);
+        let mut server = Server::new(db, Capacity::new(100_000_000));
+        let (id, _) = open(&mut server, t(0), "video1");
+        let id = id.unwrap();
+        // Seek before playing: drop the first half (PAL: 40ms per frame).
+        let sought = server
+            .request(
+                t(0),
+                Request::Seek {
+                    session: id,
+                    to: t(200),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            sought,
+            Response::Sought {
+                session: id,
+                remaining: 5
+            }
+        );
+        // Double speed halves the wall-clock schedule and doubles demand.
+        let rate = server
+            .request(
+                t(0),
+                Request::SetRate {
+                    session: id,
+                    num: 2,
+                    den: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            rate,
+            Response::RateSet {
+                session: id,
+                accepted: true
+            }
+        );
+        server.request(t(0), Request::Play { session: id }).unwrap();
+        let stats = server.finish();
+        assert_eq!(stats.elements_served, 5);
+        assert_eq!(stats.finished_sessions, 1);
+    }
+
+    #[test]
+    fn rate_increase_beyond_capacity_is_refused() {
+        let db = scalable_db(10);
+        let (_, stream) = db.stream_of("video1").unwrap();
+        let full_jobs = tbm_player::schedule_from_interp(stream, None);
+        let full = tbm_player::demanded_rate(&full_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+        let mut server = Server::new(scalable_db(10), Capacity::new(full + 1));
+        let (id, _) = open(&mut server, t(0), "video1");
+        let id = id.unwrap();
+        let rate = server
+            .request(
+                t(0),
+                Request::SetRate {
+                    session: id,
+                    num: 2,
+                    den: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            rate,
+            Response::RateSet {
+                session: id,
+                accepted: false
+            }
+        );
+        assert_eq!(server.session(id).unwrap().rate(), (1, 1));
+        // Slowing down is always fine.
+        let rate = server
+            .request(
+                t(0),
+                Request::SetRate {
+                    session: id,
+                    num: 1,
+                    den: 2,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            rate,
+            Response::RateSet {
+                session: id,
+                accepted: true
+            }
+        );
+    }
+
+    #[test]
+    fn requests_must_be_monotonic_in_time() {
+        let db = scalable_db(4);
+        let mut server = Server::new(db, Capacity::new(100_000_000));
+        let (id, _) = open(&mut server, t(100), "video1");
+        let err = server
+            .request(
+                t(50),
+                Request::Play {
+                    session: id.unwrap(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::NonMonotonicTime { .. }));
+    }
+
+    #[test]
+    fn bad_session_state_and_id_are_typed_errors() {
+        let db = scalable_db(4);
+        let mut server = Server::new(db, Capacity::new(100_000_000));
+        let (id, _) = open(&mut server, t(0), "video1");
+        let id = id.unwrap();
+        let err = server
+            .request(t(0), Request::Pause { session: id })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadState { .. }));
+        let err = server
+            .request(
+                t(0),
+                Request::Play {
+                    session: SessionId::new(77),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSession { .. }));
+        let err = server
+            .request(
+                t(0),
+                Request::SetRate {
+                    session: id,
+                    num: 0,
+                    den: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRate { .. }));
+        let err = server
+            .request(
+                t(0),
+                Request::Open {
+                    object: "nope".into(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Catalog(_)));
+    }
+
+    #[test]
+    fn cache_absorbs_retry_storms_and_keeps_fault_accounting() {
+        // Faults are deterministic per span address: transient errors clear
+        // after N retries, corruption repeats forever. Session one pays the
+        // retries and caches every span it verifies; session two is served
+        // those spans from cache, so it never retries — only the permanently
+        // corrupt spans (which can never be verified or cached) fault again.
+        let (store, interp) = scalable_capture(12);
+        let plan = FaultPlan::new(0xFEED)
+            .with_transient(0.4)
+            .with_corruption(0.2);
+        let faulty = FaultyBlobStore::new(store, plan);
+        let mut db = MediaDb::with_store(faulty);
+        db.register_interpretation(interp).unwrap();
+        let cap = Capacity::new(100_000_000);
+
+        let mut server = Server::new(db, cap).with_cache_budget(64 << 20);
+        let (a, _) = open(&mut server, t(0), "video1");
+        let a = a.unwrap();
+        server.request(t(0), Request::Play { session: a }).unwrap();
+        server.run_until(t(5_000));
+        let (b, _) = open(&mut server, t(5_000), "video1");
+        let b = b.unwrap();
+        server
+            .request(t(5_000), Request::Play { session: b })
+            .unwrap();
+        let total = server.finish();
+
+        let first = server.session(a).unwrap().stats();
+        let second = server.session(b).unwrap().stats();
+        assert!(
+            first.recovered > 0,
+            "the seed must produce transient faults for session one"
+        );
+        assert!(
+            first.degraded + first.dropped > 0,
+            "the seed must produce permanent corruption"
+        );
+        assert_eq!(
+            second.recovered, 0,
+            "verified spans come from the cache; session two never retries"
+        );
+        assert_eq!(
+            second.degraded + second.dropped,
+            first.degraded + first.dropped,
+            "per-address corruption faults repeat identically per session"
+        );
+        assert!(second.cache_hits > 0);
+        assert_eq!(
+            total.faults_detected,
+            total.degraded_elements + total.dropped_elements,
+            "fault accounting invariant"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let db = scalable_db(10);
+            let mut server = Server::new(db, Capacity::new(4_000_000)).with_cache_budget(1 << 20);
+            let mut ids = Vec::new();
+            for i in 0..6 {
+                let (id, _) = open(&mut server, t(i * 100), "video1");
+                if let Some(id) = id {
+                    server
+                        .request(t(i * 100), Request::Play { session: id })
+                        .unwrap();
+                    ids.push(id);
+                }
+            }
+            server.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-server metrics: the `ServerStats` snapshot the bench harness sweeps.
+
+use crate::CacheStats;
+use tbm_time::TimeDelta;
+
+/// A point-in-time snapshot of one server's delivery statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Sessions currently holding capacity (opened, playing or paused).
+    pub active_sessions: usize,
+    /// Sessions that served their whole schedule.
+    pub finished_sessions: usize,
+    /// Sessions closed by request.
+    pub closed_sessions: usize,
+    /// Sessions admitted at full fidelity.
+    pub admitted: usize,
+    /// Sessions admitted on the degraded (base-layer) path.
+    pub admitted_degraded: usize,
+    /// Sessions rejected by admission control.
+    pub rejected: usize,
+    /// Elements served across all sessions.
+    pub elements_served: usize,
+    /// Elements served after their presentation deadline.
+    pub deadline_misses: usize,
+    /// Elements recovered intact by retries.
+    pub recovered: usize,
+    /// Elements presented degraded (base layers or repeated predecessor).
+    pub degraded_elements: usize,
+    /// Elements not presented at all.
+    pub dropped_elements: usize,
+    /// Unrecoverable per-element faults detected (checksum mismatch or
+    /// retry exhaustion). Always `degraded_elements + dropped_elements`.
+    pub faults_detected: usize,
+    /// Shared segment cache counters.
+    pub cache: CacheStats,
+    /// Bytes actually pulled off storage, including retry re-reads.
+    pub storage_bytes_read: u64,
+    /// Bytes/s of admitted demand currently committed (rounded down).
+    pub committed_bps: u64,
+    /// Median of per-session worst lateness, across sessions that served at
+    /// least one element.
+    pub p50_lateness: TimeDelta,
+    /// 99th percentile of per-session worst lateness.
+    pub p99_lateness: TimeDelta,
+    /// Worst lateness across all sessions.
+    pub max_lateness: TimeDelta,
+}
+
+impl ServerStats {
+    /// Fraction of served elements that missed their deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.elements_served == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.elements_served as f64
+        }
+    }
+
+    /// Sessions admitted in any form.
+    pub fn sessions_admitted(&self) -> usize {
+        self.admitted + self.admitted_degraded
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (`p` in 0..=100); zero delta
+/// for an empty slice.
+pub(crate) fn percentile(sorted: &[TimeDelta], p: u64) -> TimeDelta {
+    if sorted.is_empty() {
+        return TimeDelta::ZERO;
+    }
+    let n = sorted.len() as u64;
+    let rank = (p * n).div_ceil(100).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let d = |ms: i64| TimeDelta::from_millis(ms);
+        let v = vec![d(1), d(2), d(3), d(4), d(5), d(6), d(7), d(8), d(9), d(10)];
+        assert_eq!(percentile(&v, 50), d(5));
+        assert_eq!(percentile(&v, 99), d(10));
+        assert_eq!(percentile(&v, 100), d(10));
+        assert_eq!(percentile(&v, 0), d(1));
+        assert_eq!(percentile(&[], 50), TimeDelta::ZERO);
+        assert_eq!(percentile(&[d(7)], 99), d(7));
+    }
+}

@@ -1,0 +1,698 @@
+//! The delivery engine: a deterministic, simulated-time event loop driving
+//! many sessions through one shared service channel.
+//!
+//! One [`Server`] owns a catalog ([`MediaDb`]) over a [`BlobStore`], a
+//! [`SegmentCache`], and a [`Capacity`]. Requests arrive timestamped in
+//! simulated time ([`Server::request`]); element fetches are served in
+//! earliest-deadline-first order across *all* playing sessions through a
+//! single channel whose service rate is the capacity's cost model — the
+//! aggregate storage bandwidth and decode throughput admission reasons
+//! about. Everything is exact rational time, so a run is a pure function of
+//! its request trace (and a fault plan's seed, if the store injects one).
+//!
+//! Per element the server walks the same ladder as
+//! [`tbm_player::ResilientPlayer`]: cache lookup, then a retried read,
+//! then per-layer checksum verification, then the
+//! [`DegradationPolicy`] ladder (base layers → repeat → drop) for anything
+//! unrecoverable. Only verified bytes enter the cache, so one session's
+//! intact read shields every later session from a deterministic storage
+//! fault at the same span.
+
+use crate::metrics::percentile;
+use crate::session::ServePlan;
+use crate::{
+    AdmissionPolicy, AdmitDecision, Capacity, RejectReason, Request, Response, SegmentCache,
+    ServeError, ServerStats, Session, SessionState, SessionStats,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use tbm_blob::{BlobStore, MemBlobStore, RetryPolicy};
+use tbm_core::{crc32, SessionId};
+use tbm_db::MediaDb;
+use tbm_player::{demanded_rate, schedule_from_interp, DegradationPolicy, ElementFate};
+use tbm_time::{Rational, TimeDelta, TimePoint};
+
+/// One queued element fetch. Ordering is `(deadline, session, pos)` so the
+/// heap is a deterministic earliest-deadline-first queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QueuedJob {
+    deadline: TimePoint,
+    session: u64,
+    pos: usize,
+    epoch: u64,
+}
+
+/// A multi-session media delivery engine over a catalog and a BLOB store.
+///
+/// See the [module docs](self) for the scheduling model. Typical use:
+///
+/// 1. build a [`MediaDb`] and register the objects to serve;
+/// 2. wrap it in a server with a [`Capacity`] and (optionally) a cache;
+/// 3. submit [`Request`]s in non-decreasing simulated time;
+/// 4. call [`Server::finish`] to drain the event loop and read the
+///    [`ServerStats`] snapshot.
+#[derive(Debug)]
+pub struct Server<S: BlobStore = MemBlobStore> {
+    db: MediaDb<S>,
+    capacity: Capacity,
+    cache: SegmentCache,
+    retry: RetryPolicy,
+    policy: DegradationPolicy,
+    sessions: Vec<Session>,
+    heap: BinaryHeap<Reverse<QueuedJob>>,
+    clock: TimePoint,
+    busy_until: TimePoint,
+    committed: Rational,
+    admitted: usize,
+    admitted_degraded: usize,
+    rejected: usize,
+    elements_served: usize,
+    deadline_misses: usize,
+    recovered: usize,
+    degraded_elements: usize,
+    dropped_elements: usize,
+    faults_detected: usize,
+    storage_bytes_read: u64,
+}
+
+impl<S: BlobStore> Server<S> {
+    /// A server over `db` with the given capacity, no cache, 3 retries and
+    /// the [`DegradationPolicy::DropLayers`] ladder.
+    pub fn new(db: MediaDb<S>, capacity: Capacity) -> Server<S> {
+        Server {
+            db,
+            capacity,
+            cache: SegmentCache::disabled(),
+            retry: RetryPolicy::new(3),
+            policy: DegradationPolicy::DropLayers,
+            sessions: Vec::new(),
+            heap: BinaryHeap::new(),
+            clock: TimePoint::ZERO,
+            busy_until: TimePoint::ZERO,
+            committed: Rational::ZERO,
+            admitted: 0,
+            admitted_degraded: 0,
+            rejected: 0,
+            elements_served: 0,
+            deadline_misses: 0,
+            recovered: 0,
+            degraded_elements: 0,
+            dropped_elements: 0,
+            faults_detected: 0,
+            storage_bytes_read: 0,
+        }
+    }
+
+    /// Builder: attaches a shared segment cache.
+    pub fn with_cache(mut self, cache: SegmentCache) -> Server<S> {
+        self.cache = cache;
+        self
+    }
+
+    /// Builder: attaches a cache with the given byte budget.
+    pub fn with_cache_budget(self, budget_bytes: u64) -> Server<S> {
+        self.with_cache(SegmentCache::new(budget_bytes))
+    }
+
+    /// Builder: sets the per-read retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Server<S> {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: sets the per-element degradation policy.
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Server<S> {
+        self.policy = policy;
+        self
+    }
+
+    /// The catalog being served.
+    pub fn db(&self) -> &MediaDb<S> {
+        &self.db
+    }
+
+    /// Recovers the catalog, dropping the server state.
+    pub fn into_db(self) -> MediaDb<S> {
+        self.db
+    }
+
+    /// The capacity model.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The server clock: the latest simulated time processed.
+    pub fn clock(&self) -> TimePoint {
+        self.clock
+    }
+
+    /// All sessions ever admitted, in admission order (including finished
+    /// and closed ones).
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// A session by id.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(id.raw() as usize)
+    }
+
+    /// The shared segment cache's counters.
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Submits a request at simulated time `at` (non-decreasing across
+    /// calls). The event loop first serves every element due by `at`, then
+    /// applies the request and answers with a typed [`Response`].
+    pub fn request(&mut self, at: TimePoint, request: Request) -> Result<Response, ServeError> {
+        if at < self.clock {
+            return Err(ServeError::NonMonotonicTime {
+                at,
+                clock: self.clock,
+            });
+        }
+        self.run_until(at);
+        match request {
+            Request::Open { object } => self.open(&object),
+            Request::Play { session } => self.play(at, session),
+            Request::Pause { session } => self.pause(session),
+            Request::Seek { session, to } => self.seek(at, session, to),
+            Request::SetRate { session, num, den } => self.set_rate(at, session, num, den),
+            Request::Close { session } => self.close(session),
+        }
+    }
+
+    /// Serves every queued element whose deadline is at or before `to`,
+    /// advancing the clock to `to`.
+    pub fn run_until(&mut self, to: TimePoint) {
+        while let Some(Reverse(job)) = self.heap.peek().copied() {
+            if job.deadline > to {
+                break;
+            }
+            self.heap.pop();
+            self.serve_job(job);
+        }
+        self.clock = self.clock.max(to);
+    }
+
+    /// Drains the event loop completely — every queued element of every
+    /// playing session is served — and returns the final statistics.
+    /// Opened or paused sessions keep their capacity; close them first if
+    /// the run is over.
+    pub fn finish(&mut self) -> ServerStats {
+        while let Some(Reverse(job)) = self.heap.pop() {
+            self.serve_job(job);
+        }
+        self.clock = self.clock.max(self.busy_until);
+        self.stats()
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let mut active = 0usize;
+        let mut finished = 0usize;
+        let mut closed = 0usize;
+        let mut worst: Vec<TimeDelta> = Vec::new();
+        for s in &self.sessions {
+            match s.state {
+                SessionState::Finished => finished += 1,
+                SessionState::Closed => closed += 1,
+                _ => active += 1,
+            }
+            if s.stats.elements > 0 {
+                worst.push(s.stats.max_lateness);
+            }
+        }
+        worst.sort();
+        ServerStats {
+            active_sessions: active,
+            finished_sessions: finished,
+            closed_sessions: closed,
+            admitted: self.admitted,
+            admitted_degraded: self.admitted_degraded,
+            rejected: self.rejected,
+            elements_served: self.elements_served,
+            deadline_misses: self.deadline_misses,
+            recovered: self.recovered,
+            degraded_elements: self.degraded_elements,
+            dropped_elements: self.dropped_elements,
+            faults_detected: self.faults_detected,
+            cache: self.cache.stats(),
+            storage_bytes_read: self.storage_bytes_read,
+            committed_bps: self.committed.floor().max(0) as u64,
+            p50_lateness: percentile(&worst, 50),
+            p99_lateness: percentile(&worst, 99),
+            max_lateness: worst.last().copied().unwrap_or(TimeDelta::ZERO),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request handlers
+    // ------------------------------------------------------------------
+
+    /// Runs admission control and, when admitted, creates the session.
+    fn open(&mut self, object: &str) -> Result<Response, ServeError> {
+        let active = self.sessions.iter().filter(|s| s.is_active()).count();
+        let (interp, stream) = self.db.stream_of(object)?;
+        let blob = interp.blob();
+        let system = stream.system();
+        let full_jobs = schedule_from_interp(stream, None);
+        let full_demand = demanded_rate(&full_jobs, system).unwrap_or(Rational::ZERO);
+        let scalable = stream
+            .entries()
+            .iter()
+            .any(|e| e.placement.layer_count() > 1);
+
+        let (decision, layers) = match self.capacity.policy {
+            AdmissionPolicy::AdmitAll => (AdmitDecision::Admitted, None),
+            AdmissionPolicy::Enforce => {
+                if active >= self.capacity.max_sessions {
+                    (
+                        AdmitDecision::Rejected {
+                            reason: RejectReason::SessionLimit {
+                                max: self.capacity.max_sessions,
+                            },
+                        },
+                        None,
+                    )
+                } else if self.capacity.fits(self.committed, full_demand) {
+                    (AdmitDecision::Admitted, None)
+                } else {
+                    let base_jobs = schedule_from_interp(stream, Some(1));
+                    let base_demand = demanded_rate(&base_jobs, system).unwrap_or(Rational::ZERO);
+                    if scalable && self.capacity.fits(self.committed, base_demand) {
+                        (AdmitDecision::Degraded { layers: 1 }, Some(1))
+                    } else {
+                        let cheapest = if scalable { base_demand } else { full_demand };
+                        let headroom =
+                            Rational::from(self.capacity.service_rate() as i64) - self.committed;
+                        (
+                            AdmitDecision::Rejected {
+                                reason: RejectReason::Saturated {
+                                    demanded_bps: cheapest.floor().max(0) as u64,
+                                    available_bps: headroom.floor().max(0) as u64,
+                                },
+                            },
+                            None,
+                        )
+                    }
+                }
+            }
+        };
+
+        if !decision.is_admitted() {
+            self.rejected += 1;
+            return Ok(Response::Opened {
+                session: None,
+                decision,
+            });
+        }
+
+        let jobs = match layers {
+            None => full_jobs,
+            Some(l) => schedule_from_interp(stream, Some(l)),
+        };
+        let demand = demanded_rate(&jobs, system).unwrap_or(Rational::ZERO);
+        let plans: Vec<ServePlan> = jobs
+            .iter()
+            .map(|j| {
+                let entry = &stream.entries()[j.index];
+                let all = entry.placement.layers();
+                let take = layers.unwrap_or(all.len()).min(all.len()).max(1);
+                ServePlan {
+                    spans: all[..take].to_vec(),
+                    checksums: entry.checksums.iter().copied().take(take).collect(),
+                }
+            })
+            .collect();
+
+        let id = SessionId::new(self.sessions.len() as u64);
+        let pending: BTreeSet<usize> = (0..jobs.len()).collect();
+        match decision {
+            AdmitDecision::Degraded { .. } => self.admitted_degraded += 1,
+            _ => self.admitted += 1,
+        }
+        self.committed += demand;
+        self.sessions.push(Session {
+            id,
+            object: object.to_owned(),
+            blob,
+            state: SessionState::Opened,
+            decision,
+            system,
+            jobs,
+            plans,
+            pending,
+            epoch: 0,
+            rate: (1, 1),
+            play_time: TimePoint::ZERO,
+            anchor_rel: Rational::ZERO,
+            clock_base: None,
+            unit_demand: demand,
+            demand,
+            released: false,
+            have_good: false,
+            stats: SessionStats::default(),
+        });
+        Ok(Response::Opened {
+            session: Some(id),
+            decision,
+        })
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServeError> {
+        self.sessions
+            .get_mut(id.raw() as usize)
+            .ok_or(ServeError::UnknownSession { session: id })
+    }
+
+    /// Queues every pending element of `id` under its current anchor.
+    fn enqueue_pending(&mut self, id: SessionId) {
+        let s = &self.sessions[id.raw() as usize];
+        let jobs: Vec<QueuedJob> = s
+            .pending
+            .iter()
+            .map(|&pos| QueuedJob {
+                deadline: s.queued_deadline(pos),
+                session: s.id.raw(),
+                pos,
+                epoch: s.epoch,
+            })
+            .collect();
+        for j in jobs {
+            self.heap.push(Reverse(j));
+        }
+    }
+
+    fn play(&mut self, at: TimePoint, id: SessionId) -> Result<Response, ServeError> {
+        let s = self.session_mut(id)?;
+        if !matches!(s.state, SessionState::Opened | SessionState::Paused) {
+            return Err(ServeError::BadState {
+                session: id,
+                state: s.state,
+                request: "Play",
+            });
+        }
+        if s.pending.is_empty() {
+            s.state = SessionState::Finished;
+            let demand = s.demand;
+            let already = std::mem::replace(&mut s.released, true);
+            if !already {
+                self.committed -= demand;
+            }
+            return Ok(Response::Playing {
+                session: id,
+                queued: 0,
+            });
+        }
+        s.state = SessionState::Playing;
+        s.anchor(at);
+        let queued = s.pending.len();
+        self.enqueue_pending(id);
+        Ok(Response::Playing {
+            session: id,
+            queued,
+        })
+    }
+
+    fn pause(&mut self, id: SessionId) -> Result<Response, ServeError> {
+        let s = self.session_mut(id)?;
+        if s.state != SessionState::Playing {
+            return Err(ServeError::BadState {
+                session: id,
+                state: s.state,
+                request: "Pause",
+            });
+        }
+        s.state = SessionState::Paused;
+        s.epoch += 1; // queued jobs of the old epoch become stale
+        Ok(Response::Paused {
+            session: id,
+            remaining: s.pending.len(),
+        })
+    }
+
+    fn seek(
+        &mut self,
+        at: TimePoint,
+        id: SessionId,
+        to: TimePoint,
+    ) -> Result<Response, ServeError> {
+        let s = self.session_mut(id)?;
+        if !s.is_active() {
+            return Err(ServeError::BadState {
+                session: id,
+                state: s.state,
+                request: "Seek",
+            });
+        }
+        // Everything at or after `to` on the unit-rate stream timeline
+        // becomes pending again; a backwards seek re-presents elements.
+        s.pending = s
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.deadline >= to)
+            .map(|(pos, _)| pos)
+            .collect();
+        s.epoch += 1;
+        let remaining = s.pending.len();
+        if s.state == SessionState::Playing {
+            if remaining == 0 {
+                s.state = SessionState::Finished;
+                let demand = s.demand;
+                let already = std::mem::replace(&mut s.released, true);
+                if !already {
+                    self.committed -= demand;
+                }
+            } else {
+                s.anchor(at);
+                self.enqueue_pending(id);
+            }
+        }
+        Ok(Response::Sought {
+            session: id,
+            remaining,
+        })
+    }
+
+    fn set_rate(
+        &mut self,
+        at: TimePoint,
+        id: SessionId,
+        num: u32,
+        den: u32,
+    ) -> Result<Response, ServeError> {
+        if num == 0 || den == 0 {
+            return Err(ServeError::BadRate { num, den });
+        }
+        let committed = self.committed;
+        let capacity = self.capacity;
+        let s = self.session_mut(id)?;
+        if !s.is_active() {
+            return Err(ServeError::BadState {
+                session: id,
+                state: s.state,
+                request: "SetRate",
+            });
+        }
+        // Faster playback demands proportionally more bytes per second;
+        // re-run the admission check on the delta.
+        let new_demand = s.unit_demand * Rational::new(num as i64, den as i64);
+        if capacity.policy == AdmissionPolicy::Enforce
+            && !capacity.fits(committed - s.demand, new_demand)
+        {
+            return Ok(Response::RateSet {
+                session: id,
+                accepted: false,
+            });
+        }
+        let old = s.demand;
+        s.demand = new_demand;
+        s.rate = (num, den);
+        self.committed = committed - old + new_demand;
+        if self.sessions[id.raw() as usize].state == SessionState::Playing {
+            self.sessions[id.raw() as usize].anchor(at);
+            self.enqueue_pending(id);
+        }
+        Ok(Response::RateSet {
+            session: id,
+            accepted: true,
+        })
+    }
+
+    fn close(&mut self, id: SessionId) -> Result<Response, ServeError> {
+        let s = self.session_mut(id)?;
+        if s.state == SessionState::Closed {
+            return Err(ServeError::BadState {
+                session: id,
+                state: s.state,
+                request: "Close",
+            });
+        }
+        s.state = SessionState::Closed;
+        s.epoch += 1;
+        let stats = s.stats;
+        let demand = s.demand;
+        let already = std::mem::replace(&mut s.released, true);
+        if !already {
+            self.committed -= demand;
+        }
+        Ok(Response::Closed { session: id, stats })
+    }
+
+    // ------------------------------------------------------------------
+    // The service channel
+    // ------------------------------------------------------------------
+
+    /// Serves one queued element fetch: cache lookup, retried+verified
+    /// layer reads, the degradation ladder, and exact-rational timing
+    /// through the shared channel.
+    fn serve_job(&mut self, job: QueuedJob) {
+        let idx = job.session as usize;
+        {
+            let s = &self.sessions[idx];
+            if s.epoch != job.epoch || s.state != SessionState::Playing {
+                return; // stale: paused, re-anchored or closed since queueing
+            }
+        }
+        let store = self.db.store();
+        let s = &mut self.sessions[idx];
+        let plan = &s.plans[job.pos];
+        let blob = s.blob;
+
+        // Fetch every allowed layer, stopping at the first bad one.
+        let mut bytes_from_store = 0u64;
+        let mut bytes_decoded = 0u64;
+        let mut backoff_us = 0u64;
+        let mut attempts_max = 1u32;
+        let mut intact_layers = 0usize;
+        for (li, &span) in plan.spans.iter().enumerate() {
+            if self.cache.get(blob, span).is_some() {
+                s.stats.cache_hits += 1;
+                bytes_decoded += span.len;
+                intact_layers += 1;
+                continue;
+            }
+            s.stats.cache_misses += 1;
+            let (result, report) = self.retry.run(|attempt| {
+                let mut buf = vec![0u8; span.len as usize];
+                store
+                    .read_into_attempt(blob, span, &mut buf, attempt)
+                    .map(|()| buf)
+            });
+            bytes_from_store += span.len * report.attempts as u64;
+            bytes_decoded += span.len;
+            backoff_us += report.backoff_spent_us;
+            attempts_max = attempts_max.max(report.attempts);
+            let intact = match result {
+                Ok(bytes) => {
+                    let ok = match plan.checksums.get(li) {
+                        Some(&sum) => crc32(&bytes) == sum,
+                        None => true, // no checksum recorded: trust the read
+                    };
+                    if ok {
+                        self.cache.insert(blob, span, bytes);
+                    }
+                    ok
+                }
+                Err(_) => false,
+            };
+            if !intact {
+                self.faults_detected += 1;
+                break;
+            }
+            intact_layers += 1;
+        }
+        self.storage_bytes_read += bytes_from_store;
+
+        // The same ladder as ResilientPlayer, expressed per session.
+        let fate = if intact_layers == plan.spans.len() {
+            if attempts_max > 1 {
+                ElementFate::Recovered {
+                    attempts: attempts_max,
+                }
+            } else {
+                ElementFate::Intact
+            }
+        } else {
+            match self.policy {
+                DegradationPolicy::DropLayers if intact_layers > 0 => ElementFate::BaseLayers {
+                    layers: intact_layers,
+                },
+                DegradationPolicy::DropLayers | DegradationPolicy::RepeatLast => {
+                    if s.have_good {
+                        ElementFate::Repeated
+                    } else {
+                        ElementFate::Dropped
+                    }
+                }
+                DegradationPolicy::Skip => ElementFate::Dropped,
+            }
+        };
+        match fate {
+            ElementFate::Intact => s.have_good = true,
+            ElementFate::Recovered { .. } => {
+                s.have_good = true;
+                s.stats.recovered += 1;
+                self.recovered += 1;
+            }
+            ElementFate::BaseLayers { .. } => {
+                s.have_good = true;
+                s.stats.degraded += 1;
+                self.degraded_elements += 1;
+            }
+            ElementFate::Repeated => {
+                s.stats.degraded += 1;
+                self.degraded_elements += 1;
+            }
+            ElementFate::Dropped => {
+                s.stats.dropped += 1;
+                self.dropped_elements += 1;
+            }
+        }
+
+        // Timing through the shared channel: cache hits skip the storage
+        // transfer but still pay decode and dispatch; retries re-read.
+        let model = self.capacity.cost_model();
+        let mut cost = Rational::new(bytes_from_store as i64, model.bandwidth.max(1) as i64);
+        if model.decode_rate > 0 {
+            cost += Rational::new(bytes_decoded as i64, model.decode_rate as i64);
+        }
+        cost += Rational::new(model.overhead_us as i64, 1_000_000);
+        let penalty_us = backoff_us + store.drain_cost_hint_us();
+        let service = TimeDelta::from_seconds(cost) + TimeDelta::from_micros(penalty_us as i64);
+        let start = self.busy_until.max(s.play_time);
+        let ready = start + service;
+        self.busy_until = ready;
+
+        // The presentation clock starts when the first element after the
+        // anchor completes (a one-element startup buffer).
+        let deadline = match s.presentation_deadline(job.pos) {
+            Some(d) => d,
+            None => {
+                s.clock_base = Some(ready);
+                ready
+            }
+        };
+        let lateness = (ready - deadline).max(TimeDelta::ZERO);
+        s.stats.elements += 1;
+        self.elements_served += 1;
+        if lateness > TimeDelta::ZERO {
+            s.stats.misses += 1;
+            self.deadline_misses += 1;
+            s.stats.max_lateness = s.stats.max_lateness.max(lateness);
+        }
+
+        s.pending.remove(&job.pos);
+        if s.pending.is_empty() {
+            s.state = SessionState::Finished;
+            let demand = s.demand;
+            let already = std::mem::replace(&mut s.released, true);
+            if !already {
+                self.committed -= demand;
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Sessions: per-client playback state inside the server, and the typed
+//! request/response API that drives them.
+
+use crate::AdmitDecision;
+use std::collections::BTreeSet;
+use std::fmt;
+use tbm_blob::ByteSpan;
+use tbm_core::{BlobId, SessionId};
+use tbm_player::ElementJob;
+use tbm_time::{Rational, TimeDelta, TimePoint, TimeSystem};
+
+/// The lifecycle of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Admitted but not yet playing.
+    Opened,
+    /// Elements are being scheduled and served.
+    Playing,
+    /// Playback suspended; remaining elements resume on `Play`.
+    Paused,
+    /// Every scheduled element was served; capacity released.
+    Finished,
+    /// Closed by request; capacity released.
+    Closed,
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SessionState::Opened => "opened",
+            SessionState::Playing => "playing",
+            SessionState::Paused => "paused",
+            SessionState::Finished => "finished",
+            SessionState::Closed => "closed",
+        })
+    }
+}
+
+/// A request to the server, timestamped by the caller in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a session on a catalog object (runs admission control).
+    Open {
+        /// Name of the media object to serve.
+        object: String,
+    },
+    /// Start (or resume) playback.
+    Play {
+        /// The session to play.
+        session: SessionId,
+    },
+    /// Suspend playback; unserved elements are kept for resumption.
+    Pause {
+        /// The session to pause.
+        session: SessionId,
+    },
+    /// Reposition to the element active at `to` on the stream's own
+    /// (unit-rate) timeline. Seeking backwards re-presents elements.
+    Seek {
+        /// The session to reposition.
+        session: SessionId,
+        /// Target position on the stream timeline.
+        to: TimePoint,
+    },
+    /// Change the playback rate to `num/den` × normal speed for the
+    /// remaining elements (re-checked against capacity).
+    SetRate {
+        /// The session to re-rate.
+        session: SessionId,
+        /// Rate numerator (must be non-zero).
+        num: u32,
+        /// Rate denominator (must be non-zero).
+        den: u32,
+    },
+    /// Close the session and release its capacity.
+    Close {
+        /// The session to close.
+        session: SessionId,
+    },
+}
+
+/// The server's typed answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Outcome of `Open`: the admission decision, and the session id when
+    /// admitted.
+    Opened {
+        /// The new session (absent when rejected).
+        session: Option<SessionId>,
+        /// The admission decision.
+        decision: AdmitDecision,
+    },
+    /// Playback (re)started.
+    Playing {
+        /// The session now playing.
+        session: SessionId,
+        /// Elements queued for service.
+        queued: usize,
+    },
+    /// Playback suspended.
+    Paused {
+        /// The paused session.
+        session: SessionId,
+        /// Elements kept for resumption.
+        remaining: usize,
+    },
+    /// Position changed.
+    Sought {
+        /// The repositioned session.
+        session: SessionId,
+        /// Elements now pending from the new position.
+        remaining: usize,
+    },
+    /// Outcome of `SetRate`.
+    RateSet {
+        /// The session whose rate was requested to change.
+        session: SessionId,
+        /// `false` when the new rate would oversubscribe the server and
+        /// admission is enforced; the old rate stays.
+        accepted: bool,
+    },
+    /// Session closed; its final statistics.
+    Closed {
+        /// The closed session.
+        session: SessionId,
+        /// Its lifetime statistics.
+        stats: SessionStats,
+    },
+}
+
+/// Per-session delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Elements served (presented, possibly degraded).
+    pub elements: usize,
+    /// Elements served after their presentation deadline.
+    pub misses: usize,
+    /// Worst lateness observed.
+    pub max_lateness: TimeDelta,
+    /// Element-layer reads answered by the shared segment cache.
+    pub cache_hits: u64,
+    /// Element-layer reads that went to storage.
+    pub cache_misses: u64,
+    /// Elements recovered intact by retries.
+    pub recovered: usize,
+    /// Elements presented degraded (base layers or a repeated predecessor).
+    pub degraded: usize,
+    /// Elements not presented at all.
+    pub dropped: usize,
+}
+
+impl SessionStats {
+    /// Fraction of served elements that missed their deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.elements as f64
+        }
+    }
+}
+
+/// The fetch plan of one scheduled element: the placement spans the session
+/// is allowed to read (capped at its admitted fidelity) and their recorded
+/// checksums. Precomputed at admission so serving an element never needs
+/// the catalog.
+#[derive(Debug, Clone)]
+pub(crate) struct ServePlan {
+    pub spans: Vec<ByteSpan>,
+    pub checksums: Vec<u32>,
+}
+
+/// One client's playback session inside a [`crate::Server`].
+///
+/// Sessions are created by `Open` requests and only ever mutated by the
+/// server's event loop; callers observe them through the read accessors.
+#[derive(Debug)]
+pub struct Session {
+    pub(crate) id: SessionId,
+    pub(crate) object: String,
+    pub(crate) blob: BlobId,
+    pub(crate) state: SessionState,
+    pub(crate) decision: AdmitDecision,
+    pub(crate) system: TimeSystem,
+    /// Unit-rate schedule relative to the stream start (deadline order).
+    pub(crate) jobs: Vec<ElementJob>,
+    /// Fetch plans, parallel to `jobs`.
+    pub(crate) plans: Vec<ServePlan>,
+    /// Positions in `jobs` not yet served.
+    pub(crate) pending: BTreeSet<usize>,
+    /// Bumped on every Play/Pause/Seek/SetRate/Close so queued jobs from an
+    /// older schedule generation are ignored when popped.
+    pub(crate) epoch: u64,
+    /// Playback rate `num/den` × normal speed.
+    pub(crate) rate: (u32, u32),
+    /// Simulated time of the anchoring Play/Seek/SetRate.
+    pub(crate) play_time: TimePoint,
+    /// Scaled relative deadline (seconds) of the first pending element at
+    /// the anchor.
+    pub(crate) anchor_rel: Rational,
+    /// Completion time of the first element served after the anchor; the
+    /// presentation clock runs from here (a one-element startup buffer,
+    /// matching `PlaybackSim::with_startup(1)`).
+    pub(crate) clock_base: Option<TimePoint>,
+    /// Bytes/s this session commits against capacity at unit rate.
+    pub(crate) unit_demand: Rational,
+    /// Bytes/s currently committed (unit demand × rate).
+    pub(crate) demand: Rational,
+    /// Whether committed capacity has been released (Finished/Closed).
+    pub(crate) released: bool,
+    /// Whether any element was presented intact (for the repeat ladder).
+    pub(crate) have_good: bool,
+    pub(crate) stats: SessionStats,
+}
+
+impl Session {
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The catalog object being served.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The admission decision this session was created under.
+    pub fn decision(&self) -> AdmitDecision {
+        self.decision
+    }
+
+    /// The playback rate as `(num, den)` × normal speed.
+    pub fn rate(&self) -> (u32, u32) {
+        self.rate
+    }
+
+    /// The time system of the stream being served.
+    pub fn system(&self) -> TimeSystem {
+        self.system
+    }
+
+    /// Bytes/s this session commits against the server's capacity.
+    pub fn demand_bps(&self) -> Rational {
+        self.demand
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Elements not yet served.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` while the session holds committed capacity.
+    pub fn is_active(&self) -> bool {
+        matches!(
+            self.state,
+            SessionState::Opened | SessionState::Playing | SessionState::Paused
+        )
+    }
+
+    /// The relative deadline of `pos`, scaled by the playback rate, in
+    /// seconds.
+    pub(crate) fn scaled_rel(&self, pos: usize) -> Rational {
+        let (num, den) = self.rate;
+        self.jobs[pos].deadline.seconds() * Rational::new(den as i64, num as i64)
+    }
+
+    /// The absolute deadline `pos` was queued under.
+    pub(crate) fn queued_deadline(&self, pos: usize) -> TimePoint {
+        self.play_time + TimeDelta::from_seconds(self.scaled_rel(pos) - self.anchor_rel)
+    }
+
+    /// The presentation deadline of `pos` once the session clock is
+    /// established (first element after the anchor completes at lateness
+    /// zero).
+    pub(crate) fn presentation_deadline(&self, pos: usize) -> Option<TimePoint> {
+        let base = self.clock_base?;
+        Some(base + TimeDelta::from_seconds(self.scaled_rel(pos) - self.anchor_rel))
+    }
+
+    /// Re-anchors the schedule at `at` from the current first pending
+    /// element, restarting the presentation clock.
+    pub(crate) fn anchor(&mut self, at: TimePoint) {
+        self.play_time = at;
+        self.anchor_rel = self
+            .pending
+            .first()
+            .map(|&p| self.scaled_rel(p))
+            .unwrap_or(Rational::ZERO);
+        self.clock_base = None;
+        self.epoch += 1;
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`compose`] | `tbm-compose` | composition (Def. 7; Fig. 4) |
 //! | [`player`] | `tbm-player` | playback timing/jitter simulation (§2.2, §5) |
 //! | [`db`] | `tbm-db` | the multimedia database facade (§1.2 queries) |
+//! | [`serve`] | `tbm-serve` | multi-session delivery: admission control + shared segment cache |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use tbm_derive as derive;
 pub use tbm_interp as interp;
 pub use tbm_media as media;
 pub use tbm_player as player;
+pub use tbm_serve as serve;
 pub use tbm_time as time;
 
 /// The most commonly used items, for glob import.
@@ -74,6 +76,10 @@ pub mod prelude {
     pub use tbm_interp::{Interpretation, StreamInterp, VerifyReport};
     pub use tbm_player::{
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
+    };
+    pub use tbm_serve::{
+        AdmissionPolicy, AdmitDecision, CacheStats, Capacity, RejectReason, Request, Response,
+        SegmentCache, ServeError, Server, ServerStats, Session, SessionState, SessionStats,
     };
     pub use tbm_time::{
         AllenRelation, Interval, Rational, TimeDelta, TimePoint, TimeSystem, Timecode,

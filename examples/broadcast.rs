@@ -1,0 +1,117 @@
+//! One hot movie, many viewers: the serving layer under a broadcast-shaped
+//! load.
+//!
+//! The paper models media storage and interpretation; delivery is where the
+//! model meets "millions of users". This example captures one scalable
+//! movie, then opens a storm of staggered sessions against a server whose
+//! capacity fits only a few full-fidelity streams. Admission control admits,
+//! degrades (base layer only) or rejects each arrival, and the shared
+//! segment cache collapses the overlapping reads of everyone it admits.
+//!
+//! ```text
+//! cargo run --example broadcast
+//! ```
+
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::capture_video_scalable;
+use tbm::media::gen::render_frames;
+use tbm::media::gen::VideoPattern;
+use tbm::prelude::*;
+use tbm::serve::{Request, Response, Server};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Capture the hot object: a two-layer scalable PAL movie.
+    // ------------------------------------------------------------------
+    let mut db = MediaDb::new();
+    let frames = render_frames(VideoPattern::MovingBar, 0, 50, 96, 64);
+    let (_blob, interp) = capture_video_scalable(
+        db.store_mut(),
+        &frames,
+        TimeSystem::PAL,
+        DctParams::default(),
+    )
+    .unwrap();
+    db.register_interpretation(interp).unwrap();
+
+    // Probe the movie's full-fidelity demand so capacity is meaningful.
+    let (_, stream) = db.stream_of("video1").unwrap();
+    let full_jobs = tbm::player::schedule_from_interp(stream, None);
+    let full_bps = tbm::player::demanded_rate(&full_jobs, stream.system())
+        .unwrap()
+        .ceil() as u64;
+    println!(
+        "hot object: {} frames, full fidelity demands {} B/s",
+        frames.len(),
+        full_bps
+    );
+
+    // ------------------------------------------------------------------
+    // A server that fits ~2.5 full streams, with a 64 MiB segment cache.
+    // ------------------------------------------------------------------
+    let capacity = Capacity::new(full_bps * 5 / 2).with_overhead_us(100);
+    let mut server = Server::new(db, capacity).with_cache_budget(64 << 20);
+    println!(
+        "capacity: {} B/s storage bandwidth\n",
+        server.capacity().storage_bandwidth
+    );
+
+    // ------------------------------------------------------------------
+    // Twelve viewers arrive 150 ms apart, all wanting the same movie.
+    // ------------------------------------------------------------------
+    let mut viewers = Vec::new();
+    for n in 0..12 {
+        let at = TimePoint::ZERO + TimeDelta::from_millis(n * 150);
+        let response = server
+            .request(
+                at,
+                Request::Open {
+                    object: "video1".into(),
+                },
+            )
+            .unwrap();
+        let Response::Opened { session, decision } = response else {
+            unreachable!("Open always answers Opened");
+        };
+        println!("viewer {n:2} at {:>4} ms: {decision}", n * 150);
+        if let Some(id) = session {
+            server.request(at, Request::Play { session: id }).unwrap();
+            viewers.push(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Drain the event loop and report.
+    // ------------------------------------------------------------------
+    let stats = server.finish();
+    println!();
+    println!(
+        "admitted {} (of which {} degraded), rejected {}",
+        stats.sessions_admitted(),
+        stats.admitted_degraded,
+        stats.rejected
+    );
+    println!(
+        "served {} elements, {} deadline misses ({:.1} % miss rate)",
+        stats.elements_served,
+        stats.deadline_misses,
+        stats.miss_rate() * 100.0
+    );
+    println!(
+        "cache: {} hits / {} lookups ({:.1} % hit ratio), {} bytes served from cache",
+        stats.cache.hits,
+        stats.cache.lookups(),
+        stats.cache.hit_ratio() * 100.0,
+        stats.cache.bytes_served
+    );
+    println!(
+        "storage reads: {} bytes total for {} viewers of one movie",
+        stats.storage_bytes_read,
+        viewers.len()
+    );
+
+    assert!(
+        stats.cache.hit_ratio() > 0.5,
+        "overlapping sessions on one object should mostly hit the cache"
+    );
+}

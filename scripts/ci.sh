@@ -10,6 +10,13 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> examples smoke"
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "--> example: $name"
+    cargo run --release -q -p tbm --example "$name"
+done
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,206 @@
+//! End-to-end serving storm: a faulty store behind the shared segment
+//! cache, many sessions, admission control on — every cross-layer
+//! invariant of the serving stack checked in one run.
+
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::capture_video_scalable;
+use tbm::media::gen::{render_frames, VideoPattern};
+use tbm::prelude::*;
+use tbm::serve::{AdmitDecision, Request, Response, Server, ServerStats};
+use tbm::time::{TimeDelta, TimePoint, TimeSystem};
+
+const VIEWERS: i64 = 10;
+
+fn t(ms: i64) -> TimePoint {
+    TimePoint::ZERO + TimeDelta::from_millis(ms)
+}
+
+/// A catalog holding one scalable movie on a seeded faulty store.
+fn faulty_db(seed: u64) -> MediaDb<FaultyBlobStore<MemBlobStore>> {
+    let mut store = MemBlobStore::new();
+    let frames = render_frames(VideoPattern::MovingBar, 0, 30, 64, 48);
+    let (_blob, interp) =
+        capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+    let plan = FaultPlan::new(seed)
+        .with_transient(0.25)
+        .with_corruption(0.08)
+        .with_latency(0.1, 400);
+    let mut db = MediaDb::with_store(FaultyBlobStore::new(store, plan));
+    db.register_interpretation(interp).unwrap();
+    db
+}
+
+/// Demand of the movie in bytes/s at the given layer cap.
+fn demand(db: &MediaDb<FaultyBlobStore<MemBlobStore>>, layers: Option<usize>) -> u64 {
+    let (_, stream) = db.stream_of("video1").unwrap();
+    let jobs = tbm::player::schedule_from_interp(stream, layers);
+    tbm::player::demanded_rate(&jobs, stream.system())
+        .unwrap()
+        .ceil() as u64
+}
+
+/// Capacity fitting three full-fidelity sessions plus one base-layer one:
+/// a ten-viewer storm must see all three admission outcomes.
+fn storm_capacity(db: &MediaDb<FaultyBlobStore<MemBlobStore>>) -> Capacity {
+    Capacity::new(demand(db, None) * 3 + demand(db, Some(1)) + 1)
+}
+
+/// Opens `VIEWERS` staggered sessions and drains the server.
+fn storm(mut server: Server<FaultyBlobStore<MemBlobStore>>) -> (ServerStats, Vec<AdmitDecision>) {
+    let mut decisions = Vec::new();
+    let bandwidth = server.capacity().storage_bandwidth;
+    for n in 0..VIEWERS {
+        let at = t(n * 120);
+        let Response::Opened { session, decision } = server
+            .request(
+                at,
+                Request::Open {
+                    object: "video1".into(),
+                },
+            )
+            .unwrap()
+        else {
+            panic!("Open answers Opened");
+        };
+        decisions.push(decision);
+        // Committed demand never exceeds the admitted capacity, at every
+        // step of the storm.
+        assert!(
+            server.stats().committed_bps <= bandwidth,
+            "admission overcommitted: {} > {}",
+            server.stats().committed_bps,
+            bandwidth
+        );
+        if let Some(id) = session {
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+    (server.finish(), decisions)
+}
+
+#[test]
+fn storm_respects_capacity_and_stats_invariants() {
+    let db = faulty_db(0xC0FFEE);
+    let capacity = storm_capacity(&db);
+    let server = Server::new(db, capacity).with_cache_budget(32 << 20);
+    let (stats, decisions) = storm(server);
+
+    // Every open got exactly one decision, and all three kinds occurred.
+    assert_eq!(decisions.len(), VIEWERS as usize);
+    assert_eq!(
+        stats.admitted + stats.admitted_degraded + stats.rejected,
+        VIEWERS as usize
+    );
+    assert!(stats.admitted >= 3, "{decisions:?}");
+    assert!(
+        stats.admitted_degraded > 0,
+        "a scalable stream must be admitted degraded when full fidelity no longer fits: {decisions:?}"
+    );
+    assert!(stats.rejected > 0, "{decisions:?}");
+
+    // Degraded sessions were admitted base-layer-only.
+    for d in &decisions {
+        if let AdmitDecision::Degraded { layers } = d {
+            assert_eq!(*layers, 1);
+        }
+    }
+
+    // Everyone admitted ran to completion and released capacity.
+    assert_eq!(stats.finished_sessions, stats.sessions_admitted());
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(stats.committed_bps, 0);
+
+    // Fault accounting: every unrecoverable fault became exactly one
+    // degraded or dropped element.
+    assert_eq!(
+        stats.faults_detected,
+        stats.degraded_elements + stats.dropped_elements
+    );
+
+    // The cache worked: verified spans of the hot object were shared.
+    assert!(stats.cache.hits > 0);
+    assert_eq!(stats.cache.lookups(), stats.cache.hits + stats.cache.misses);
+}
+
+#[test]
+fn global_stats_are_the_sum_of_session_stats() {
+    let db = faulty_db(0xC0FFEE);
+    let capacity = storm_capacity(&db);
+    let mut server = Server::new(db, capacity).with_cache_budget(32 << 20);
+    for n in 0..VIEWERS {
+        let at = t(n * 120);
+        if let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(
+                at,
+                Request::Open {
+                    object: "video1".into(),
+                },
+            )
+            .unwrap()
+        {
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+    let stats = server.finish();
+
+    let mut elements = 0;
+    let mut misses = 0;
+    let mut hits = 0;
+    let mut cache_misses = 0;
+    let mut recovered = 0;
+    let mut degraded = 0;
+    let mut dropped = 0;
+    for s in server.sessions() {
+        let st = s.stats();
+        elements += st.elements;
+        misses += st.misses;
+        hits += st.cache_hits;
+        cache_misses += st.cache_misses;
+        recovered += st.recovered;
+        degraded += st.degraded;
+        dropped += st.dropped;
+    }
+    assert_eq!(stats.elements_served, elements);
+    assert_eq!(stats.deadline_misses, misses);
+    assert_eq!(stats.cache.hits, hits);
+    assert_eq!(stats.cache.misses, cache_misses);
+    assert_eq!(stats.recovered, recovered);
+    assert_eq!(stats.degraded_elements, degraded);
+    assert_eq!(stats.dropped_elements, dropped);
+}
+
+#[test]
+fn storms_are_deterministic() {
+    let run = || {
+        let db = faulty_db(0xBEEF);
+        let capacity = storm_capacity(&db);
+        storm(Server::new(db, capacity).with_cache_budget(32 << 20)).0
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cache_off_reads_strictly_more_storage() {
+    let run = |budget: u64| {
+        let db = faulty_db(0xC0FFEE);
+        let capacity = storm_capacity(&db);
+        let server = if budget > 0 {
+            Server::new(db, capacity).with_cache_budget(budget)
+        } else {
+            Server::new(db, capacity)
+        };
+        storm(server).0
+    };
+    let cached = run(32 << 20);
+    let uncached = run(0);
+    assert_eq!(uncached.cache.hits, 0);
+    assert!(cached.cache.hits > 0);
+    assert!(
+        cached.storage_bytes_read < uncached.storage_bytes_read,
+        "the shared cache must reduce aggregate storage reads ({} vs {})",
+        cached.storage_bytes_read,
+        uncached.storage_bytes_read
+    );
+}
