@@ -26,6 +26,7 @@
 use crate::{BlobError, BlobStore, ByteSpan};
 use std::cell::Cell;
 use tbm_core::BlobId;
+use tbm_obs::{Category, Tracer};
 
 /// A seeded, reproducible plan of read faults.
 ///
@@ -121,6 +122,7 @@ pub struct FaultyBlobStore<S: BlobStore> {
     truncated_reads: Cell<u64>,
     latency_events: Cell<u64>,
     cost_hint_us: Cell<u64>,
+    tracer: Tracer,
 }
 
 /// Distinct hash streams per fault class, so e.g. transience and corruption
@@ -151,7 +153,21 @@ impl<S: BlobStore> FaultyBlobStore<S> {
             truncated_reads: Cell::new(0),
             latency_events: Cell::new(0),
             cost_hint_us: Cell::new(0),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: every injected fault becomes an instant event in
+    /// the shared timeline, stamped with the tracer's current simulated
+    /// "now" (the driver advances it via [`Tracer::set_now`]).
+    pub fn with_tracer(mut self, tracer: Tracer) -> FaultyBlobStore<S> {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The wrapped store.
@@ -228,6 +244,15 @@ impl<S: BlobStore> FaultyBlobStore<S> {
             self.latency_events.set(self.latency_events.get() + 1);
             self.cost_hint_us
                 .set(self.cost_hint_us.get() + self.plan.latency_us);
+            self.tracer.event_now(
+                "fault.latency",
+                Category::Fault,
+                vec![
+                    ("blob", blob.raw().into()),
+                    ("offset", span.offset.into()),
+                    ("latency_us", self.plan.latency_us.into()),
+                ],
+            );
         }
 
         if self.is_truncated(blob, span) {
@@ -236,6 +261,16 @@ impl<S: BlobStore> FaultyBlobStore<S> {
             let partial = ByteSpan::new(span.offset, keep as u64);
             self.inner.read_into(blob, partial, &mut buf[..keep])?;
             self.truncated_reads.set(self.truncated_reads.get() + 1);
+            self.tracer.event_now(
+                "fault.truncation",
+                Category::Fault,
+                vec![
+                    ("blob", blob.raw().into()),
+                    ("offset", span.offset.into()),
+                    ("kept", keep.into()),
+                    ("wanted", span.len.into()),
+                ],
+            );
             return Err(BlobError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
                 format!(
@@ -247,6 +282,15 @@ impl<S: BlobStore> FaultyBlobStore<S> {
 
         if attempt < self.transient_failures(blob, span) {
             self.transient_errors.set(self.transient_errors.get() + 1);
+            self.tracer.event_now(
+                "fault.transient",
+                Category::Fault,
+                vec![
+                    ("blob", blob.raw().into()),
+                    ("offset", span.offset.into()),
+                    ("attempt", attempt.into()),
+                ],
+            );
             return Err(BlobError::Io(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
                 format!(
@@ -265,6 +309,16 @@ impl<S: BlobStore> FaultyBlobStore<S> {
             let bit = ((pos >> 32) % 8) as u32;
             buf[byte] ^= 1 << bit;
             self.corrupted_reads.set(self.corrupted_reads.get() + 1);
+            self.tracer.event_now(
+                "fault.corruption",
+                Category::Fault,
+                vec![
+                    ("blob", blob.raw().into()),
+                    ("offset", span.offset.into()),
+                    ("byte", byte.into()),
+                    ("bit", bit.into()),
+                ],
+            );
         }
         Ok(())
     }
@@ -539,6 +593,37 @@ mod tests {
         // 1000 + 2000 would exceed 2500 at the second retry.
         assert_eq!(report.attempts, 2);
         assert_eq!(report.backoff_spent_us, 1000);
+    }
+
+    #[test]
+    fn tracer_records_fault_events_at_simulated_now() {
+        use tbm_obs::micros_of;
+        let plan = FaultPlan::new(42)
+            .with_transient(0.2)
+            .with_corruption(0.1)
+            .with_truncation(0.05)
+            .with_latency(0.1, 500);
+        let tracer = Tracer::new();
+        let (store, blob, spans) = seeded_store(plan);
+        let store = store.with_tracer(tracer.clone());
+        assert!(store.tracer().is_enabled());
+        for (i, span) in spans.iter().enumerate() {
+            // The driver advances simulated time; faults stamp with it.
+            tracer.set_now(tbm_time::TimePoint::ZERO + tbm_time::TimeDelta::from_millis(i as i64));
+            let _ = store.read(blob, *span);
+        }
+        let snap = tracer.snapshot();
+        let stats = store.stats();
+        let count = |name: &str| snap.records.iter().filter(|r| r.name == name).count() as u64;
+        assert_eq!(count("fault.transient"), stats.transient_errors);
+        assert_eq!(count("fault.corruption"), stats.corrupted_reads);
+        assert_eq!(count("fault.truncation"), stats.truncated_reads);
+        assert_eq!(count("fault.latency"), stats.latency_events);
+        assert!(!snap.records.is_empty(), "this seed must inject something");
+        for rec in &snap.records {
+            assert_eq!(rec.cat, tbm_obs::Category::Fault);
+            assert!(micros_of(rec.start) >= 0);
+        }
     }
 
     #[test]

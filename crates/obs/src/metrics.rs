@@ -1,0 +1,311 @@
+//! A registry of named counters, gauges and fixed-bucket histograms.
+//!
+//! Everything is integer-valued and stored in `BTreeMap`s, so a rendered
+//! snapshot is deterministic: same run, same bytes. Histograms use *fixed*
+//! bucket boundaries declared by the observer — the classic
+//! monitoring-system trade: O(buckets) memory, exact counts per bucket,
+//! quantiles answered as the upper bound of the bucket holding the rank
+//! (the true maximum is tracked exactly alongside).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Hard cap on bucket slots per histogram (boundaries + one overflow
+/// bucket). Small and fixed so a [`Histogram`] is `Copy`.
+pub const MAX_BUCKETS: usize = 16;
+
+/// Bucket boundaries for latency-shaped values in microseconds: 50 µs to
+/// 2 s, roughly geometric. Used for lateness, service time and read time.
+pub const LATENCY_BUCKETS_US: [u64; 15] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000,
+];
+
+/// Bucket boundaries for byte-sized values: 1 KiB to 1 GiB, ×4 per step.
+/// Used for cache occupancy.
+pub const BYTES_BUCKETS: [u64; 11] = [
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+];
+
+/// A fixed-boundary histogram of `u64` observations.
+///
+/// `bounds` are inclusive upper limits of the first `bounds.len()` buckets;
+/// everything larger lands in the overflow bucket. Count, sum and exact
+/// maximum ride along, so means and worst cases need no approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: [u64; MAX_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (sorted ascending, at most
+    /// [`MAX_BUCKETS`]` - 1` boundaries).
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        assert!(bounds.len() < MAX_BUCKETS, "too many histogram buckets");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds not sorted");
+        Histogram {
+            bounds,
+            counts: [0; MAX_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the observations (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts: `bounds.len() + 1` entries, overflow last.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts[..self.bounds.len() + 1]
+    }
+
+    /// The nearest-rank `p`-th percentile (`p` in 0..=100), answered as the
+    /// inclusive upper bound of the bucket holding that rank. Observations
+    /// in the overflow bucket answer with the exact maximum. 0 when empty.
+    pub fn quantile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p * self.count).div_ceil(100).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.bucket_counts().iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    // The true values in this bucket are ≤ its bound and ≤
+                    // the global max.
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Names are static strings with dotted paths (`"serve.elements.served"`).
+/// Iteration and rendering are in name order, so a rendered registry is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to counter `name` (created at 0 on first use).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// The value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: i64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// The value of gauge `name` (0 when never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`, creating it over `bounds` on
+    /// first use. The bounds of an existing histogram are kept.
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [u64], value: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// The histogram named `name`, if any value was ever observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.get(name).copied()
+    }
+
+    /// The histogram named `name`, or an empty one over `bounds`.
+    pub fn histogram_or_empty(&self, name: &str, bounds: &'static [u64]) -> Histogram {
+        self.histogram(name)
+            .unwrap_or_else(|| Histogram::new(bounds))
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// A plain-text exposition of every metric, one per line, in name
+    /// order — deterministic for a deterministic run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} sum={} mean={} p50={} p99={} max={}",
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.quantile(50),
+                h.quantile(99),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(&LATENCY_BUCKETS_US);
+        assert_eq!(h.quantile(50), 0);
+        for us in [10u64, 60, 150, 150, 900, 40_000, 3_000_000] {
+            h.observe(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 3_000_000);
+        assert_eq!(h.sum(), 10 + 60 + 150 + 150 + 900 + 40_000 + 3_000_000);
+        // Rank 4 of 7 lands in the 200 µs bucket.
+        assert_eq!(h.quantile(50), 200);
+        // The top observation is in the overflow bucket: exact max.
+        assert_eq!(h.quantile(100), 3_000_000);
+        assert_eq!(h.quantile(0), 50);
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(counts[0], 1, "10 µs in the ≤50 bucket");
+        assert_eq!(counts[counts.len() - 1], 1, "3 s in the overflow bucket");
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = Histogram::new(&LATENCY_BUCKETS_US);
+        h.observe(75);
+        // Rank 1 is in the ≤100 bucket, but the max is 75.
+        assert_eq!(h.quantile(99), 75);
+        assert_eq!(h.mean(), 75);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.inc("serve.elements", 3);
+        m.inc("serve.elements", 2);
+        m.set_gauge("cache.bytes", 1024);
+        m.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 5_000);
+        assert_eq!(m.counter("serve.elements"), 5);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.gauge("cache.bytes"), 1024);
+        assert_eq!(m.gauge("absent"), 0);
+        assert_eq!(m.histogram("serve.lateness_us").unwrap().count(), 1);
+        assert!(m.histogram("absent").is_none());
+        assert_eq!(
+            m.histogram_or_empty("absent", &LATENCY_BUCKETS_US).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let mut m = MetricsRegistry::new();
+        m.inc("z.last", 1);
+        m.inc("a.first", 2);
+        m.set_gauge("m.middle", -7);
+        m.observe("h.lat", &LATENCY_BUCKETS_US, 99);
+        let r = m.render();
+        let a = r.find("a.first").unwrap();
+        let z = r.find("z.last").unwrap();
+        assert!(a < z);
+        assert!(r.contains("gauge m.middle -7"));
+        assert!(r.contains("histogram h.lat count=1"));
+        assert_eq!(m.clone().render(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds not sorted")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[5, 3]);
+    }
+}

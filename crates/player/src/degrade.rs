@@ -27,6 +27,7 @@ use crate::{schedule_from_interp, ElementJob, PlaybackSim, PlaybackStats};
 use tbm_blob::{BlobStore, ByteSpan, RetryPolicy};
 use tbm_core::{crc32, BlobId};
 use tbm_interp::StreamInterp;
+use tbm_obs::{Category, SpanId, Tracer};
 use tbm_time::TimeDelta;
 
 /// What to present when an element cannot be fetched intact.
@@ -159,6 +160,22 @@ impl ResilientPlayer {
         blob: BlobId,
         stream: &StreamInterp,
     ) -> ResilientReport {
+        self.play_traced(store, blob, stream, &Tracer::disabled())
+    }
+
+    /// [`ResilientPlayer::play`] with tracing: the pipeline's per-element
+    /// spans and deadline misses go to `tracer` (see
+    /// [`PlaybackSim::run_traced`]), and every degradation decision — a
+    /// fate other than intact — becomes an instant `degrade` event stamped
+    /// with the element's scheduled deadline. A disabled tracer makes this
+    /// identical to the untraced run.
+    pub fn play_traced<S: BlobStore + ?Sized>(
+        &self,
+        store: &S,
+        blob: BlobId,
+        stream: &StreamInterp,
+        tracer: &Tracer,
+    ) -> ResilientReport {
         store.drain_cost_hint_us(); // start from a clean hint accumulator
         let schedule = schedule_from_interp(stream, None);
         let mut jobs: Vec<ElementJob> = Vec::with_capacity(schedule.len());
@@ -223,6 +240,29 @@ impl ResilientPlayer {
             ) {
                 have_good = true;
             }
+            if fate != ElementFate::Intact {
+                let label = match fate {
+                    ElementFate::Intact => unreachable!(),
+                    ElementFate::Recovered { .. } => "recovered",
+                    ElementFate::BaseLayers { .. } => "base-layers",
+                    ElementFate::Repeated => "repeated",
+                    ElementFate::Dropped => "dropped",
+                };
+                tracer.event(
+                    "degrade",
+                    Category::Present,
+                    job.deadline,
+                    SpanId::NONE,
+                    None,
+                    vec![
+                        ("index", job.index.into()),
+                        ("fate", label.into()),
+                        ("attempts", attempts_max.into()),
+                        ("backoff_us", backoff_us.into()),
+                        ("intact_layers", intact_layers.into()),
+                    ],
+                );
+            }
 
             // Service cost: the bytes actually pulled off storage (including
             // extra attempts' re-reads), plus backoff and any latency hints,
@@ -237,7 +277,7 @@ impl ResilientPlayer {
             fates.push(fate);
         }
 
-        let mut stats = self.sim.run_with_penalties(&jobs, &penalties);
+        let mut stats = self.sim.run_traced(&jobs, &penalties, tracer, None);
         for fate in &fates {
             match fate {
                 ElementFate::Intact => {}
@@ -422,6 +462,46 @@ mod tests {
         let slowed = tight.play(&faulty, blob, &si);
         assert!(slowed.stats.misses > clean.stats.misses);
         assert!(faulty.stats().latency_events > 0);
+    }
+
+    #[test]
+    fn traced_play_records_degradation_decisions() {
+        let (store, blob, si) = stream_and_store();
+        let faulty = FaultyBlobStore::new(store, FaultPlan::new(5).with_corruption(0.15));
+        let tracer = Tracer::new();
+        let report = player()
+            .with_policy(DegradationPolicy::RepeatLast)
+            .play_traced(&faulty, blob, &si, &tracer);
+        assert_eq!(
+            report,
+            player()
+                .with_policy(DegradationPolicy::RepeatLast)
+                .play(&faulty, blob, &si),
+            "tracing must not change the outcome"
+        );
+        let snap = tracer.snapshot();
+        let degrades: Vec<_> = snap
+            .records
+            .iter()
+            .filter(|r| r.name == "degrade")
+            .collect();
+        assert_eq!(
+            degrades.len(),
+            report
+                .fates
+                .iter()
+                .filter(|f| **f != ElementFate::Intact)
+                .count()
+        );
+        assert!(degrades
+            .iter()
+            .any(|r| r.attr("fate").and_then(|v| v.as_str()) == Some("repeated")));
+        let spans = snap
+            .records
+            .iter()
+            .filter(|r| r.name == "player.element")
+            .count();
+        assert_eq!(spans, report.stats.elements);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The playback pipeline simulation.
 
 use crate::{CostModel, ElementJob};
+use tbm_obs::{micros, Category, SpanId, Tracer};
 use tbm_time::{Rational, TimeDelta, TimePoint};
 
 /// A deterministic single-pipeline playback simulator.
@@ -56,19 +57,52 @@ impl PlaybackSim {
         jobs: &[ElementJob],
         penalties: &[TimeDelta],
     ) -> PlaybackStats {
+        self.run_traced(jobs, penalties, &Tracer::disabled(), None)
+    }
+
+    /// [`PlaybackSim::run_with_penalties`] with tracing: each element gets a
+    /// `player.element` span covering its fetch/decode interval, and every
+    /// deadline miss an instant `present.miss` event, all on the simulated
+    /// clock. A disabled tracer makes this identical to the untraced run.
+    pub fn run_traced(
+        &self,
+        jobs: &[ElementJob],
+        penalties: &[TimeDelta],
+        tracer: &Tracer,
+        session: Option<u64>,
+    ) -> PlaybackStats {
         let mut stats = PlaybackStats::default();
+        // Guard before any division or `ready[..]` indexing: an empty
+        // schedule is a valid input (e.g. a stream with no entries) and must
+        // yield fully zeroed stats, not a divide-by-zero panic below.
         if jobs.is_empty() {
             return stats;
         }
         // Fetch pipeline: ready times.
         let mut ready = Vec::with_capacity(jobs.len());
+        let mut spans: Vec<SpanId> = Vec::with_capacity(jobs.len());
         let mut t = TimePoint::ZERO;
         for (i, j) in jobs.iter().enumerate() {
+            let fetch_start = t;
             t += self.cost.element_cost(j.bytes);
             if let Some(p) = penalties.get(i) {
                 t += *p;
             }
             ready.push(t);
+            let span = tracer.begin_span(
+                "player.element",
+                Category::Decode,
+                fetch_start,
+                SpanId::NONE,
+                session,
+            );
+            tracer.attr(span, "index", i);
+            tracer.attr(span, "bytes", j.bytes);
+            if let Some(p) = penalties.get(i) {
+                tracer.attr(span, "penalty_us", micros(p.seconds()));
+            }
+            tracer.end_span(span, t);
+            spans.push(span);
         }
         // Presentation clock starts when the startup buffer is full.
         let k = self.startup_elements.min(jobs.len()) - 1;
@@ -78,14 +112,26 @@ impl PlaybackSim {
 
         let mut sum_late = Rational::ZERO;
         let mut sum_late_sq = 0f64;
-        for (j, &r) in jobs.iter().zip(&ready) {
+        for (i, (j, &r)) in jobs.iter().zip(&ready).enumerate() {
             let scheduled = t_play + j.deadline.since_origin();
             let actual = scheduled.max(r);
             let lateness = actual - scheduled;
+            tracer.attr(spans[i], "lateness_us", micros(lateness.seconds()));
             if lateness > TimeDelta::ZERO {
                 stats.misses += 1;
                 stats.max_lateness = stats.max_lateness.max(lateness);
                 sum_late += lateness.seconds();
+                tracer.event(
+                    "present.miss",
+                    Category::Present,
+                    actual,
+                    spans[i],
+                    session,
+                    vec![
+                        ("index", i.into()),
+                        ("lateness_us", micros(lateness.seconds()).into()),
+                    ],
+                );
             }
             let late_f = lateness.seconds().to_f64();
             sum_late_sq += late_f * late_f;
@@ -221,6 +267,50 @@ mod tests {
         let stats = sim.run(&[]);
         assert_eq!(stats.elements, 0);
         assert!(stats.clean());
+    }
+
+    #[test]
+    fn empty_schedule_returns_zeroed_stats_not_division_by_zero() {
+        // Regression guard: `run_with_penalties` divides by `jobs.len()`
+        // computing `mean_lateness`, and indexes `ready[startup - 1]`. Both
+        // are reached only past the empty-schedule guard; this test pins the
+        // guard across every entry point and penalty shape.
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(1)).with_startup(8);
+        let zeroed = PlaybackStats::default();
+        assert_eq!(sim.run(&[]), zeroed);
+        assert_eq!(sim.run_with_penalties(&[], &[]), zeroed);
+        // Penalties longer than the (empty) schedule must not resurrect it.
+        let penalties = vec![TimeDelta::from_millis(100); 4];
+        assert_eq!(sim.run_with_penalties(&[], &penalties), zeroed);
+        assert_eq!(
+            sim.run_traced(&[], &penalties, &tbm_obs::Tracer::disabled(), None),
+            zeroed
+        );
+        assert_eq!(zeroed.mean_lateness, TimeDelta::ZERO);
+        assert_eq!(zeroed.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_spans() {
+        let sim = PlaybackSim::new(CostModel::bandwidth_only(2_000_000)); // 80 %
+        let jobs = jobs();
+        let tracer = tbm_obs::Tracer::new();
+        let traced = sim.run_traced(&jobs, &[], &tracer, Some(9));
+        assert_eq!(traced, sim.run(&jobs), "tracing must not change timing");
+        let snap = tracer.snapshot();
+        let spans = snap
+            .records
+            .iter()
+            .filter(|r| r.name == "player.element")
+            .count();
+        let misses = snap
+            .records
+            .iter()
+            .filter(|r| r.name == "present.miss")
+            .count();
+        assert_eq!(spans, jobs.len());
+        assert_eq!(misses, traced.misses);
+        assert!(snap.records.iter().all(|r| r.session == Some(9)));
     }
 
     #[test]

@@ -52,13 +52,19 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Fraction of lookups answered from the cache (0.0 when idle).
-    pub fn hit_ratio(&self) -> f64 {
+    /// Fraction of lookups answered from the cache (0.0 when idle). The
+    /// canonical name; used by the deadline-miss attribution report.
+    pub fn hit_rate(&self) -> f64 {
         if self.lookups() == 0 {
             0.0
         } else {
             self.hits as f64 / self.lookups() as f64
         }
+    }
+
+    /// Alias of [`CacheStats::hit_rate`], kept for existing callers.
+    pub fn hit_ratio(&self) -> f64 {
+        self.hit_rate()
     }
 }
 
@@ -226,6 +232,18 @@ mod tests {
         assert_eq!(s.bytes_cached, 4);
         assert_eq!(s.bytes_served, 4);
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.hit_rate(), s.hit_ratio());
+    }
+
+    #[test]
+    fn hit_rate_is_zero_when_idle() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let one_hit = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((one_hit.hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -532,4 +532,102 @@ mod tests {
         };
         assert_eq!(run(), run());
     }
+
+    #[test]
+    fn traced_run_matches_untraced_and_attributes_every_miss() {
+        use tbm_obs::{
+            Category, Tracer, ATTR_ELEMENT_INDEX, ATTR_LATENESS_US, ATTR_WAIT_US, ELEMENT_SPAN,
+        };
+
+        // A channel sized for ~one session, four admitted anyway, plus a
+        // fault plan: deadline misses and degradations are guaranteed, so
+        // the trace has something to say.
+        let probe = scalable_db(12);
+        let (_, stream) = probe.stream_of("video1").unwrap();
+        let full_jobs = tbm_player::schedule_from_interp(stream, None);
+        let full = tbm_player::demanded_rate(&full_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+
+        let run = |tracer: Option<Tracer>| {
+            let (store, interp) = scalable_capture(12);
+            let plan = FaultPlan::new(0xFEED)
+                .with_transient(0.4)
+                .with_corruption(0.2);
+            let mut faulty = FaultyBlobStore::new(store, plan);
+            if let Some(t) = &tracer {
+                faulty = faulty.with_tracer(t.clone());
+            }
+            let mut db = MediaDb::with_store(faulty);
+            db.register_interpretation(interp).unwrap();
+            let mut server = Server::new(db, Capacity::new(full + full / 8).admit_all())
+                .with_cache_budget(1 << 20);
+            if let Some(t) = &tracer {
+                server = server.with_tracer(t.clone());
+            }
+            for _ in 0..4 {
+                let (id, _) = open(&mut server, t(0), "video1");
+                if let Some(id) = id {
+                    server.request(t(0), Request::Play { session: id }).unwrap();
+                }
+            }
+            (server.finish(), server.attribution())
+        };
+
+        let tracer = Tracer::new();
+        let (traced, report) = run(Some(tracer.clone()));
+        let (untraced, _) = run(None);
+        assert_eq!(traced, untraced, "tracing must not perturb the run");
+
+        let snap = tracer.snapshot();
+        assert!(!snap.records.is_empty());
+        let elements: Vec<_> = snap
+            .records
+            .iter()
+            .filter(|r| r.name == ELEMENT_SPAN)
+            .collect();
+        assert_eq!(elements.len(), traced.elements_served);
+        for e in &elements {
+            assert_eq!(e.cat, Category::Serve);
+            assert!(e.session.is_some(), "element spans carry their session");
+            assert!(!e.parent.is_none(), "element spans hang off session roots");
+            assert!(e.attr(ATTR_ELEMENT_INDEX).is_some());
+            assert!(e.attr(ATTR_WAIT_US).is_some());
+            assert!(e.attr(ATTR_LATENESS_US).is_some());
+        }
+        // Injected storage faults share the same timeline.
+        assert!(snap.records.iter().any(|r| r.cat == Category::Fault));
+
+        // Every deadline miss gets exactly one cause.
+        assert!(traced.deadline_misses > 0, "undersized channel must miss");
+        assert_eq!(report.total(), traced.deadline_misses);
+        let by_cause: usize = report.by_cause().iter().map(|&(_, n)| n).sum();
+        assert_eq!(by_cause, report.total());
+    }
+
+    #[test]
+    fn trace_export_is_valid_json_and_stats_match_registry() {
+        use tbm_obs::{validate_json, Tracer};
+
+        let db = scalable_db(8);
+        let mut server = Server::new(db, Capacity::new(50_000_000))
+            .with_cache_budget(1 << 20)
+            .with_tracer(Tracer::new());
+        let (id, _) = open(&mut server, t(0), "video1");
+        let id = id.unwrap();
+        server.request(t(0), Request::Play { session: id }).unwrap();
+        let stats = server.finish();
+
+        let mut buf = Vec::new();
+        server.trace_to_writer(&mut buf).unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        validate_json(&json).expect("chrome trace must be well-formed JSON");
+
+        // The snapshot is materialised from the registry, not shadow state.
+        assert_eq!(
+            server.metrics().counter("serve.elements.served") as usize,
+            stats.elements_served
+        );
+        assert_eq!(stats.service.count() as usize, stats.elements_served);
+    }
 }

@@ -1,6 +1,13 @@
 //! Per-server metrics: the `ServerStats` snapshot the bench harness sweeps.
+//!
+//! Since the observability rework the snapshot is materialised from the
+//! server's [`tbm_obs::MetricsRegistry`]: the counters are registry
+//! counters and the latency figures are real fixed-bucket [`Histogram`]s
+//! rather than ad-hoc percentile fields, so a snapshot carries the whole
+//! distribution, not three points of it.
 
 use crate::CacheStats;
+use tbm_obs::Histogram;
 use tbm_time::TimeDelta;
 
 /// A point-in-time snapshot of one server's delivery statistics.
@@ -37,13 +44,12 @@ pub struct ServerStats {
     pub storage_bytes_read: u64,
     /// Bytes/s of admitted demand currently committed (rounded down).
     pub committed_bps: u64,
-    /// Median of per-session worst lateness, across sessions that served at
-    /// least one element.
-    pub p50_lateness: TimeDelta,
-    /// 99th percentile of per-session worst lateness.
-    pub p99_lateness: TimeDelta,
-    /// Worst lateness across all sessions.
-    pub max_lateness: TimeDelta,
+    /// Distribution of per-element lateness in microseconds, over elements
+    /// that missed their deadline.
+    pub lateness: Histogram,
+    /// Distribution of per-element service time through the shared channel,
+    /// in microseconds, over every served element.
+    pub service: Histogram,
 }
 
 impl ServerStats {
@@ -56,36 +62,90 @@ impl ServerStats {
         }
     }
 
+    /// Fraction of served elements that were not presented at all.
+    pub fn drop_rate(&self) -> f64 {
+        if self.elements_served == 0 {
+            0.0
+        } else {
+            self.dropped_elements as f64 / self.elements_served as f64
+        }
+    }
+
     /// Sessions admitted in any form.
     pub fn sessions_admitted(&self) -> usize {
         self.admitted + self.admitted_degraded
     }
-}
 
-/// Nearest-rank percentile of a sorted slice (`p` in 0..=100); zero delta
-/// for an empty slice.
-pub(crate) fn percentile(sorted: &[TimeDelta], p: u64) -> TimeDelta {
-    if sorted.is_empty() {
-        return TimeDelta::ZERO;
+    /// Median per-element lateness across deadline misses (bucket upper
+    /// bound; see [`Histogram::quantile`]).
+    pub fn p50_lateness(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.lateness.quantile(50) as i64)
     }
-    let n = sorted.len() as u64;
-    let rank = (p * n).div_ceil(100).clamp(1, n);
-    sorted[(rank - 1) as usize]
+
+    /// 99th-percentile per-element lateness across deadline misses.
+    pub fn p99_lateness(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.lateness.quantile(99) as i64)
+    }
+
+    /// Worst per-element lateness (exact, not bucketed).
+    pub fn max_lateness(&self) -> TimeDelta {
+        TimeDelta::from_micros(self.lateness.max() as i64)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tbm_obs::LATENCY_BUCKETS_US;
+
+    fn stats_with(elements: usize, misses: usize, dropped: usize) -> ServerStats {
+        let mut lateness = Histogram::new(&LATENCY_BUCKETS_US);
+        for i in 0..misses {
+            lateness.observe(1_000 * (i as u64 + 1));
+        }
+        ServerStats {
+            active_sessions: 0,
+            finished_sessions: 0,
+            closed_sessions: 0,
+            admitted: 0,
+            admitted_degraded: 0,
+            rejected: 0,
+            elements_served: elements,
+            deadline_misses: misses,
+            recovered: 0,
+            degraded_elements: 0,
+            dropped_elements: dropped,
+            faults_detected: dropped,
+            cache: CacheStats::default(),
+            storage_bytes_read: 0,
+            committed_bps: 0,
+            lateness,
+            service: Histogram::new(&LATENCY_BUCKETS_US),
+        }
+    }
 
     #[test]
-    fn percentile_nearest_rank() {
-        let d = |ms: i64| TimeDelta::from_millis(ms);
-        let v = vec![d(1), d(2), d(3), d(4), d(5), d(6), d(7), d(8), d(9), d(10)];
-        assert_eq!(percentile(&v, 50), d(5));
-        assert_eq!(percentile(&v, 99), d(10));
-        assert_eq!(percentile(&v, 100), d(10));
-        assert_eq!(percentile(&v, 0), d(1));
-        assert_eq!(percentile(&[], 50), TimeDelta::ZERO);
-        assert_eq!(percentile(&[d(7)], 99), d(7));
+    fn rates_guard_zero_denominators() {
+        let idle = stats_with(0, 0, 0);
+        assert_eq!(idle.miss_rate(), 0.0);
+        assert_eq!(idle.drop_rate(), 0.0);
+        assert_eq!(idle.p50_lateness(), TimeDelta::ZERO);
+        assert_eq!(idle.max_lateness(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn drop_rate_counts_dropped_over_served() {
+        let s = stats_with(40, 10, 4);
+        assert!((s.drop_rate() - 0.1).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lateness_percentiles_come_from_the_histogram() {
+        let s = stats_with(10, 4, 0); // misses at 1, 2, 3, 4 ms
+        assert_eq!(s.max_lateness(), TimeDelta::from_micros(4_000));
+        // Rank 2 of 4 lands in the ≤2000 µs bucket.
+        assert_eq!(s.p50_lateness(), TimeDelta::from_micros(2_000));
+        assert_eq!(s.p99_lateness(), TimeDelta::from_micros(4_000));
     }
 }

@@ -18,7 +18,6 @@
 //! intact read shields every later session from a deterministic storage
 //! fault at the same span.
 
-use crate::metrics::percentile;
 use crate::session::ServePlan;
 use crate::{
     AdmissionPolicy, AdmitDecision, Capacity, RejectReason, Request, Response, SegmentCache,
@@ -26,11 +25,35 @@ use crate::{
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
+use std::io;
 use tbm_blob::{BlobStore, MemBlobStore, RetryPolicy};
 use tbm_core::{crc32, SessionId};
 use tbm_db::MediaDb;
+use tbm_obs::{
+    attribute, chrome_trace_to_writer, micros, AttributionReport, Category, MetricsRegistry,
+    SpanId, TraceSnapshot, Tracer, ATTR_DECODE_US, ATTR_ELEMENT_INDEX, ATTR_INHERITED_US,
+    ATTR_LATENESS_US, ATTR_RETRY_US, ATTR_STORAGE_US, ATTR_WAIT_US, ELEMENT_SPAN,
+    LATENCY_BUCKETS_US,
+};
 use tbm_player::{demanded_rate, schedule_from_interp, DegradationPolicy, ElementFate};
 use tbm_time::{Rational, TimeDelta, TimePoint};
+
+// Registry metric names. Counters mirror the snapshot fields of
+// `ServerStats`; the histograms back its lateness/service distributions.
+const M_ADMITTED: &str = "serve.sessions.admitted";
+const M_ADMITTED_DEGRADED: &str = "serve.sessions.admitted_degraded";
+const M_REJECTED: &str = "serve.sessions.rejected";
+const M_ELEMENTS: &str = "serve.elements.served";
+const M_MISSES: &str = "serve.elements.misses";
+const M_RECOVERED: &str = "serve.elements.recovered";
+const M_DEGRADED: &str = "serve.elements.degraded";
+const M_DROPPED: &str = "serve.elements.dropped";
+const M_FAULTS: &str = "serve.faults.detected";
+const M_BYTES_READ: &str = "storage.bytes_read";
+const H_LATENESS: &str = "serve.lateness_us";
+const H_SERVICE: &str = "serve.service_us";
+const H_READ: &str = "storage.read_us";
+const G_CACHE_BYTES: &str = "cache.bytes";
 
 /// One queued element fetch. Ordering is `(deadline, session, pos)` so the
 /// heap is a deterministic earliest-deadline-first queue.
@@ -44,7 +67,7 @@ struct QueuedJob {
 
 /// A multi-session media delivery engine over a catalog and a BLOB store.
 ///
-/// See the [module docs](self) for the scheduling model. Typical use:
+/// See the crate docs for the scheduling model. Typical use:
 ///
 /// 1. build a [`MediaDb`] and register the objects to serve;
 /// 2. wrap it in a server with a [`Capacity`] and (optionally) a cache;
@@ -63,16 +86,8 @@ pub struct Server<S: BlobStore = MemBlobStore> {
     clock: TimePoint,
     busy_until: TimePoint,
     committed: Rational,
-    admitted: usize,
-    admitted_degraded: usize,
-    rejected: usize,
-    elements_served: usize,
-    deadline_misses: usize,
-    recovered: usize,
-    degraded_elements: usize,
-    dropped_elements: usize,
-    faults_detected: usize,
-    storage_bytes_read: u64,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
 }
 
 impl<S: BlobStore> Server<S> {
@@ -90,16 +105,8 @@ impl<S: BlobStore> Server<S> {
             clock: TimePoint::ZERO,
             busy_until: TimePoint::ZERO,
             committed: Rational::ZERO,
-            admitted: 0,
-            admitted_degraded: 0,
-            rejected: 0,
-            elements_served: 0,
-            deadline_misses: 0,
-            recovered: 0,
-            degraded_elements: 0,
-            dropped_elements: 0,
-            faults_detected: 0,
-            storage_bytes_read: 0,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -124,6 +131,44 @@ impl<S: BlobStore> Server<S> {
     pub fn with_degradation(mut self, policy: DegradationPolicy) -> Server<S> {
         self.policy = policy;
         self
+    }
+
+    /// Builder: attaches a tracer. Every session lifecycle step, admission
+    /// verdict, element service interval, cache lookup and deadline miss is
+    /// recorded on the simulated clock. Attach a *clone* of the same tracer
+    /// to a `FaultyBlobStore` wrapping this server's store and injected
+    /// faults land in the same timeline.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Server<S> {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer (disabled unless set via
+    /// [`Server::with_tracer`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry backing [`Server::stats`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// An owned snapshot of the trace collected so far.
+    pub fn trace(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
+    }
+
+    /// Writes the collected trace as Chrome `trace_event` JSON (loadable in
+    /// Perfetto or `chrome://tracing`).
+    pub fn trace_to_writer(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        chrome_trace_to_writer(&self.tracer.snapshot(), w)
+    }
+
+    /// Walks the collected trace and assigns exactly one cause to every
+    /// deadline miss. See [`tbm_obs::attribution`] for the rules.
+    pub fn attribution(&self) -> AttributionReport {
+        attribute(&self.tracer.snapshot().records)
     }
 
     /// The catalog being served.
@@ -208,42 +253,48 @@ impl<S: BlobStore> Server<S> {
         self.stats()
     }
 
-    /// A point-in-time statistics snapshot.
+    /// A point-in-time statistics snapshot, materialised from the metrics
+    /// registry.
     pub fn stats(&self) -> ServerStats {
         let mut active = 0usize;
         let mut finished = 0usize;
         let mut closed = 0usize;
-        let mut worst: Vec<TimeDelta> = Vec::new();
         for s in &self.sessions {
             match s.state {
                 SessionState::Finished => finished += 1,
                 SessionState::Closed => closed += 1,
                 _ => active += 1,
             }
-            if s.stats.elements > 0 {
-                worst.push(s.stats.max_lateness);
-            }
         }
-        worst.sort();
+        let m = &self.metrics;
+        let degraded_elements = m.counter(M_DEGRADED) as usize;
+        let dropped_elements = m.counter(M_DROPPED) as usize;
+        let faults_detected = m.counter(M_FAULTS) as usize;
+        // Every detected fault must come out of the degradation ladder as
+        // exactly one degraded or dropped element.
+        debug_assert_eq!(
+            faults_detected,
+            degraded_elements + dropped_elements,
+            "fault accounting invariant violated in snapshot"
+        );
         ServerStats {
             active_sessions: active,
             finished_sessions: finished,
             closed_sessions: closed,
-            admitted: self.admitted,
-            admitted_degraded: self.admitted_degraded,
-            rejected: self.rejected,
-            elements_served: self.elements_served,
-            deadline_misses: self.deadline_misses,
-            recovered: self.recovered,
-            degraded_elements: self.degraded_elements,
-            dropped_elements: self.dropped_elements,
-            faults_detected: self.faults_detected,
+            admitted: m.counter(M_ADMITTED) as usize,
+            admitted_degraded: m.counter(M_ADMITTED_DEGRADED) as usize,
+            rejected: m.counter(M_REJECTED) as usize,
+            elements_served: m.counter(M_ELEMENTS) as usize,
+            deadline_misses: m.counter(M_MISSES) as usize,
+            recovered: m.counter(M_RECOVERED) as usize,
+            degraded_elements,
+            dropped_elements,
+            faults_detected,
             cache: self.cache.stats(),
-            storage_bytes_read: self.storage_bytes_read,
+            storage_bytes_read: m.counter(M_BYTES_READ),
             committed_bps: self.committed.floor().max(0) as u64,
-            p50_lateness: percentile(&worst, 50),
-            p99_lateness: percentile(&worst, 99),
-            max_lateness: worst.last().copied().unwrap_or(TimeDelta::ZERO),
+            lateness: m.histogram_or_empty(H_LATENESS, &LATENCY_BUCKETS_US),
+            service: m.histogram_or_empty(H_SERVICE, &LATENCY_BUCKETS_US),
         }
     }
 
@@ -301,8 +352,24 @@ impl<S: BlobStore> Server<S> {
             }
         };
 
+        let verdict = match decision {
+            AdmitDecision::Admitted => "admitted",
+            AdmitDecision::Degraded { .. } => "degraded",
+            AdmitDecision::Rejected { .. } => "rejected",
+        };
         if !decision.is_admitted() {
-            self.rejected += 1;
+            self.metrics.inc(M_REJECTED, 1);
+            self.tracer.event(
+                "admission",
+                Category::Admission,
+                self.clock,
+                SpanId::NONE,
+                None,
+                vec![
+                    ("object", object.to_owned().into()),
+                    ("verdict", verdict.into()),
+                ],
+            );
             return Ok(Response::Opened {
                 session: None,
                 decision,
@@ -330,10 +397,29 @@ impl<S: BlobStore> Server<S> {
         let id = SessionId::new(self.sessions.len() as u64);
         let pending: BTreeSet<usize> = (0..jobs.len()).collect();
         match decision {
-            AdmitDecision::Degraded { .. } => self.admitted_degraded += 1,
-            _ => self.admitted += 1,
+            AdmitDecision::Degraded { .. } => self.metrics.inc(M_ADMITTED_DEGRADED, 1),
+            _ => self.metrics.inc(M_ADMITTED, 1),
         }
         self.committed += demand;
+        self.tracer.event(
+            "admission",
+            Category::Admission,
+            self.clock,
+            SpanId::NONE,
+            Some(id.raw()),
+            vec![
+                ("object", object.to_owned().into()),
+                ("verdict", verdict.into()),
+            ],
+        );
+        let span = self.tracer.begin_span(
+            "session",
+            Category::Session,
+            self.clock,
+            SpanId::NONE,
+            Some(id.raw()),
+        );
+        self.tracer.attr(span, "object", object.to_owned());
         self.sessions.push(Session {
             id,
             object: object.to_owned(),
@@ -354,6 +440,9 @@ impl<S: BlobStore> Server<S> {
             released: false,
             have_good: false,
             stats: SessionStats::default(),
+            span,
+            last_ready: TimePoint::ZERO,
+            last_lateness_us: 0,
         });
         Ok(Response::Opened {
             session: Some(id),
@@ -397,10 +486,20 @@ impl<S: BlobStore> Server<S> {
         if s.pending.is_empty() {
             s.state = SessionState::Finished;
             let demand = s.demand;
+            let span = s.span;
             let already = std::mem::replace(&mut s.released, true);
             if !already {
                 self.committed -= demand;
             }
+            self.tracer.event(
+                "session.play",
+                Category::Session,
+                at,
+                span,
+                Some(id.raw()),
+                vec![("queued", 0u64.into())],
+            );
+            self.tracer.end_span(span, at);
             return Ok(Response::Playing {
                 session: id,
                 queued: 0,
@@ -409,6 +508,15 @@ impl<S: BlobStore> Server<S> {
         s.state = SessionState::Playing;
         s.anchor(at);
         let queued = s.pending.len();
+        let span = s.span;
+        self.tracer.event(
+            "session.play",
+            Category::Session,
+            at,
+            span,
+            Some(id.raw()),
+            vec![("queued", queued.into())],
+        );
         self.enqueue_pending(id);
         Ok(Response::Playing {
             session: id,
@@ -427,9 +535,19 @@ impl<S: BlobStore> Server<S> {
         }
         s.state = SessionState::Paused;
         s.epoch += 1; // queued jobs of the old epoch become stale
+        let remaining = s.pending.len();
+        let span = s.span;
+        self.tracer.event(
+            "session.pause",
+            Category::Session,
+            self.clock,
+            span,
+            Some(id.raw()),
+            vec![("remaining", remaining.into())],
+        );
         Ok(Response::Paused {
             session: id,
-            remaining: s.pending.len(),
+            remaining,
         })
     }
 
@@ -458,16 +576,31 @@ impl<S: BlobStore> Server<S> {
             .collect();
         s.epoch += 1;
         let remaining = s.pending.len();
-        if s.state == SessionState::Playing {
+        let span = s.span;
+        let state = s.state;
+        self.tracer.event(
+            "session.seek",
+            Category::Session,
+            at,
+            span,
+            Some(id.raw()),
+            vec![
+                ("to_us", tbm_obs::micros_of(to).into()),
+                ("remaining", remaining.into()),
+            ],
+        );
+        if state == SessionState::Playing {
             if remaining == 0 {
+                let s = &mut self.sessions[id.raw() as usize];
                 s.state = SessionState::Finished;
                 let demand = s.demand;
                 let already = std::mem::replace(&mut s.released, true);
                 if !already {
                     self.committed -= demand;
                 }
+                self.tracer.end_span(span, at);
             } else {
-                s.anchor(at);
+                self.sessions[id.raw() as usize].anchor(at);
                 self.enqueue_pending(id);
             }
         }
@@ -511,7 +644,16 @@ impl<S: BlobStore> Server<S> {
         let old = s.demand;
         s.demand = new_demand;
         s.rate = (num, den);
+        let span = s.span;
         self.committed = committed - old + new_demand;
+        self.tracer.event(
+            "session.rate",
+            Category::Session,
+            at,
+            span,
+            Some(id.raw()),
+            vec![("num", num.into()), ("den", den.into())],
+        );
         if self.sessions[id.raw() as usize].state == SessionState::Playing {
             self.sessions[id.raw() as usize].anchor(at);
             self.enqueue_pending(id);
@@ -535,10 +677,20 @@ impl<S: BlobStore> Server<S> {
         s.epoch += 1;
         let stats = s.stats;
         let demand = s.demand;
+        let span = s.span;
         let already = std::mem::replace(&mut s.released, true);
         if !already {
             self.committed -= demand;
         }
+        self.tracer.event(
+            "session.close",
+            Category::Session,
+            self.clock,
+            span,
+            Some(id.raw()),
+            vec![("elements", stats.elements.into())],
+        );
+        self.tracer.end_span(span, self.clock);
         Ok(Response::Closed { session: id, stats })
     }
 
@@ -562,28 +714,63 @@ impl<S: BlobStore> Server<S> {
         let plan = &s.plans[job.pos];
         let blob = s.blob;
 
-        // Fetch every allowed layer, stopping at the first bad one.
-        let mut bytes_from_store = 0u64;
+        // The channel dispatches this element when it frees up (or at the
+        // anchor, whichever is later) — known before any read happens, so
+        // the element span and the injected-fault events of the reads below
+        // all land at the right simulated instant.
+        let start = self.busy_until.max(s.play_time);
+        self.tracer.set_now(start);
+        let span = self.tracer.begin_span(
+            ELEMENT_SPAN,
+            Category::Serve,
+            start,
+            s.span,
+            Some(job.session),
+        );
+        self.tracer.attr(span, ATTR_ELEMENT_INDEX, job.pos);
+
+        // Fetch every allowed layer, stopping at the first bad one. Bytes
+        // are split into first-attempt reads and retry re-reads so the
+        // element's service time can be attributed to storage vs. retries.
+        let mut bytes_first = 0u64;
+        let mut bytes_retry = 0u64;
         let mut bytes_decoded = 0u64;
         let mut backoff_us = 0u64;
         let mut attempts_max = 1u32;
         let mut intact_layers = 0usize;
-        for (li, &span) in plan.spans.iter().enumerate() {
-            if self.cache.get(blob, span).is_some() {
+        for (li, &layer_span) in plan.spans.iter().enumerate() {
+            if self.cache.get(blob, layer_span).is_some() {
                 s.stats.cache_hits += 1;
-                bytes_decoded += span.len;
+                bytes_decoded += layer_span.len;
                 intact_layers += 1;
+                self.tracer.event(
+                    "cache.hit",
+                    Category::Cache,
+                    start,
+                    span,
+                    Some(job.session),
+                    vec![("layer", li.into()), ("bytes", layer_span.len.into())],
+                );
                 continue;
             }
             s.stats.cache_misses += 1;
+            self.tracer.event(
+                "cache.miss",
+                Category::Cache,
+                start,
+                span,
+                Some(job.session),
+                vec![("layer", li.into()), ("bytes", layer_span.len.into())],
+            );
             let (result, report) = self.retry.run(|attempt| {
-                let mut buf = vec![0u8; span.len as usize];
+                let mut buf = vec![0u8; layer_span.len as usize];
                 store
-                    .read_into_attempt(blob, span, &mut buf, attempt)
+                    .read_into_attempt(blob, layer_span, &mut buf, attempt)
                     .map(|()| buf)
             });
-            bytes_from_store += span.len * report.attempts as u64;
-            bytes_decoded += span.len;
+            bytes_first += layer_span.len;
+            bytes_retry += layer_span.len * (report.attempts.saturating_sub(1)) as u64;
+            bytes_decoded += layer_span.len;
             backoff_us += report.backoff_spent_us;
             attempts_max = attempts_max.max(report.attempts);
             let intact = match result {
@@ -593,19 +780,20 @@ impl<S: BlobStore> Server<S> {
                         None => true, // no checksum recorded: trust the read
                     };
                     if ok {
-                        self.cache.insert(blob, span, bytes);
+                        self.cache.insert(blob, layer_span, bytes);
                     }
                     ok
                 }
                 Err(_) => false,
             };
             if !intact {
-                self.faults_detected += 1;
+                self.metrics.inc(M_FAULTS, 1);
                 break;
             }
             intact_layers += 1;
         }
-        self.storage_bytes_read += bytes_from_store;
+        let bytes_from_store = bytes_first + bytes_retry;
+        self.metrics.inc(M_BYTES_READ, bytes_from_store);
 
         // The same ladder as ResilientPlayer, expressed per session.
         let fate = if intact_layers == plan.spans.len() {
@@ -631,41 +819,64 @@ impl<S: BlobStore> Server<S> {
                 DegradationPolicy::Skip => ElementFate::Dropped,
             }
         };
+        let fate_label = match fate {
+            ElementFate::Intact => "intact",
+            ElementFate::Recovered { .. } => "recovered",
+            ElementFate::BaseLayers { .. } => "base-layers",
+            ElementFate::Repeated => "repeated",
+            ElementFate::Dropped => "dropped",
+        };
         match fate {
             ElementFate::Intact => s.have_good = true,
             ElementFate::Recovered { .. } => {
                 s.have_good = true;
                 s.stats.recovered += 1;
-                self.recovered += 1;
+                self.metrics.inc(M_RECOVERED, 1);
             }
             ElementFate::BaseLayers { .. } => {
                 s.have_good = true;
                 s.stats.degraded += 1;
-                self.degraded_elements += 1;
+                self.metrics.inc(M_DEGRADED, 1);
             }
             ElementFate::Repeated => {
                 s.stats.degraded += 1;
-                self.degraded_elements += 1;
+                self.metrics.inc(M_DEGRADED, 1);
             }
             ElementFate::Dropped => {
                 s.stats.dropped += 1;
-                self.dropped_elements += 1;
+                self.metrics.inc(M_DROPPED, 1);
             }
         }
 
         // Timing through the shared channel: cache hits skip the storage
-        // transfer but still pay decode and dispatch; retries re-read.
+        // transfer but still pay decode and dispatch; retries re-read. The
+        // total is decomposed into the components miss attribution ranks:
+        // first-attempt storage transfer (+ the store's latency hint),
+        // retry re-reads (+ backoff), and decode (+ dispatch overhead).
+        // Their sum is exactly the old single-`cost` formula, so timing is
+        // bit-identical to the untraced engine.
         let model = self.capacity.cost_model();
-        let mut cost = Rational::new(bytes_from_store as i64, model.bandwidth.max(1) as i64);
+        let bw = model.bandwidth.max(1) as i64;
+        let first_cost = Rational::new(bytes_first as i64, bw);
+        let retry_cost = Rational::new(bytes_retry as i64, bw);
+        let mut decode_cost = Rational::new(model.overhead_us as i64, 1_000_000);
         if model.decode_rate > 0 {
-            cost += Rational::new(bytes_decoded as i64, model.decode_rate as i64);
+            decode_cost += Rational::new(bytes_decoded as i64, model.decode_rate as i64);
         }
-        cost += Rational::new(model.overhead_us as i64, 1_000_000);
-        let penalty_us = backoff_us + store.drain_cost_hint_us();
-        let service = TimeDelta::from_seconds(cost) + TimeDelta::from_micros(penalty_us as i64);
-        let start = self.busy_until.max(s.play_time);
+        let hint_us = store.drain_cost_hint_us();
+        let penalty_us = backoff_us + hint_us;
+        let service = TimeDelta::from_seconds(first_cost + retry_cost + decode_cost)
+            + TimeDelta::from_micros(penalty_us as i64);
+        let storage_us = micros(first_cost) + hint_us as i64;
+        let retry_us = micros(retry_cost) + backoff_us as i64;
+        let decode_us = micros(decode_cost);
         let ready = start + service;
         self.busy_until = ready;
+
+        // How long the element sat behind *other* traffic before dispatch:
+        // channel wait beyond this session's own anchor/pipeline position.
+        let wait_base = s.play_time.max(s.last_ready);
+        let wait_us = micros((start - wait_base).max(TimeDelta::ZERO).seconds());
 
         // The presentation clock starts when the first element after the
         // anchor completes (a one-element startup buffer).
@@ -677,22 +888,53 @@ impl<S: BlobStore> Server<S> {
             }
         };
         let lateness = (ready - deadline).max(TimeDelta::ZERO);
+        let lateness_us = micros(lateness.seconds());
+        // Lateness carried over from the previous element's overrun: the
+        // part of this miss that is inherited backlog, not this element's
+        // own doing.
+        let inherited_us = s.last_lateness_us.min(lateness_us).max(0);
         s.stats.elements += 1;
-        self.elements_served += 1;
+        self.metrics.inc(M_ELEMENTS, 1);
+        self.metrics.observe(
+            H_SERVICE,
+            &LATENCY_BUCKETS_US,
+            micros(service.seconds()) as u64,
+        );
+        if bytes_from_store > 0 {
+            self.metrics
+                .observe(H_READ, &LATENCY_BUCKETS_US, (storage_us + retry_us) as u64);
+        }
         if lateness > TimeDelta::ZERO {
             s.stats.misses += 1;
-            self.deadline_misses += 1;
+            self.metrics.inc(M_MISSES, 1);
+            self.metrics
+                .observe(H_LATENESS, &LATENCY_BUCKETS_US, lateness_us as u64);
             s.stats.max_lateness = s.stats.max_lateness.max(lateness);
         }
+        s.last_ready = ready;
+        s.last_lateness_us = lateness_us;
+        self.metrics
+            .set_gauge(G_CACHE_BYTES, self.cache.stats().bytes_cached as i64);
+
+        self.tracer.attr(span, "fate", fate_label);
+        self.tracer.attr(span, ATTR_WAIT_US, wait_us);
+        self.tracer.attr(span, ATTR_STORAGE_US, storage_us);
+        self.tracer.attr(span, ATTR_RETRY_US, retry_us);
+        self.tracer.attr(span, ATTR_DECODE_US, decode_us);
+        self.tracer.attr(span, ATTR_INHERITED_US, inherited_us);
+        self.tracer.attr(span, ATTR_LATENESS_US, lateness_us);
+        self.tracer.end_span(span, ready);
 
         s.pending.remove(&job.pos);
         if s.pending.is_empty() {
             s.state = SessionState::Finished;
             let demand = s.demand;
+            let root = s.span;
             let already = std::mem::replace(&mut s.released, true);
             if !already {
                 self.committed -= demand;
             }
+            self.tracer.end_span(root, ready);
         }
     }
 }

@@ -6,6 +6,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use tbm_blob::ByteSpan;
 use tbm_core::{BlobId, SessionId};
+use tbm_obs::SpanId;
 use tbm_player::ElementJob;
 use tbm_time::{Rational, TimeDelta, TimePoint, TimeSystem};
 
@@ -211,6 +212,15 @@ pub struct Session {
     /// Whether any element was presented intact (for the repeat ladder).
     pub(crate) have_good: bool,
     pub(crate) stats: SessionStats,
+    /// The session's root trace span ([`SpanId::NONE`] when untraced).
+    pub(crate) span: SpanId,
+    /// Completion time of this session's previously served element — the
+    /// baseline for separating cross-session channel wait from the
+    /// session's own pipeline backlog in miss attribution.
+    pub(crate) last_ready: TimePoint,
+    /// Lateness (µs) of this session's previously served element; bounds
+    /// the `inherited_us` attribution component of the next element.
+    pub(crate) last_lateness_us: i64,
 }
 
 impl Session {

@@ -12,11 +12,12 @@
 //! | [`media`] | `tbm-media` | concrete media elements + synthetic capture |
 //! | [`codec`] | `tbm-codec` | the compression that creates the modeling issues of §2.2 |
 //! | [`interp`] | `tbm-interp` | interpretation (Def. 5; Fig. 2) |
-//! | [`derive`] | `tbm-derive` | derivation (Def. 6; Table 1, Fig. 3) |
+//! | [`mod@derive`] | `tbm-derive` | derivation (Def. 6; Table 1, Fig. 3) |
 //! | [`compose`] | `tbm-compose` | composition (Def. 7; Fig. 4) |
 //! | [`player`] | `tbm-player` | playback timing/jitter simulation (§2.2, §5) |
 //! | [`db`] | `tbm-db` | the multimedia database facade (§1.2 queries) |
 //! | [`serve`] | `tbm-serve` | multi-session delivery: admission control + shared segment cache |
+//! | [`obs`] | `tbm-obs` | observability: deterministic tracing, metrics, miss attribution |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use tbm_db as db;
 pub use tbm_derive as derive;
 pub use tbm_interp as interp;
 pub use tbm_media as media;
+pub use tbm_obs as obs;
 pub use tbm_player as player;
 pub use tbm_serve as serve;
 pub use tbm_time as time;
@@ -74,6 +76,10 @@ pub mod prelude {
     pub use tbm_db::{MediaDb, SalvageReport, SectionSalvage, CATALOG_TMP};
     pub use tbm_derive::{EditCut, Expander, MediaValue, Node, Op, WipeDirection};
     pub use tbm_interp::{Interpretation, StreamInterp, VerifyReport};
+    pub use tbm_obs::{
+        attribute, chrome_trace, text_timeline, AttributionReport, Histogram, MetricsRegistry,
+        MissCause, TraceSnapshot, Tracer,
+    };
     pub use tbm_player::{
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
     };

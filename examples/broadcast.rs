@@ -8,6 +8,11 @@
 //! degrades (base layer only) or rejects each arrival, and the shared
 //! segment cache collapses the overlapping reads of everyone it admits.
 //!
+//! The whole run is traced: afterwards the example writes a Chrome
+//! `trace_event` JSON to `target/broadcast_trace.json` (open it in
+//! <https://ui.perfetto.dev>) and prints a deadline-miss attribution
+//! summary.
+//!
 //! ```text
 //! cargo run --example broadcast
 //! ```
@@ -16,6 +21,7 @@ use tbm::codec::dct::DctParams;
 use tbm::interp::capture::capture_video_scalable;
 use tbm::media::gen::render_frames;
 use tbm::media::gen::VideoPattern;
+use tbm::obs::validate_json;
 use tbm::prelude::*;
 use tbm::serve::{Request, Response, Server};
 
@@ -50,7 +56,9 @@ fn main() {
     // A server that fits ~2.5 full streams, with a 64 MiB segment cache.
     // ------------------------------------------------------------------
     let capacity = Capacity::new(full_bps * 5 / 2).with_overhead_us(100);
-    let mut server = Server::new(db, capacity).with_cache_budget(64 << 20);
+    let mut server = Server::new(db, capacity)
+        .with_cache_budget(64 << 20)
+        .with_tracer(Tracer::new());
     println!(
         "capacity: {} B/s storage bandwidth\n",
         server.capacity().storage_bandwidth
@@ -98,10 +106,10 @@ fn main() {
         stats.miss_rate() * 100.0
     );
     println!(
-        "cache: {} hits / {} lookups ({:.1} % hit ratio), {} bytes served from cache",
+        "cache: {} hits / {} lookups ({:.1} % hit rate), {} bytes served from cache",
         stats.cache.hits,
         stats.cache.lookups(),
-        stats.cache.hit_ratio() * 100.0,
+        stats.cache.hit_rate() * 100.0,
         stats.cache.bytes_served
     );
     println!(
@@ -111,7 +119,34 @@ fn main() {
     );
 
     assert!(
-        stats.cache.hit_ratio() > 0.5,
+        stats.cache.hit_rate() > 0.5,
         "overlapping sessions on one object should mostly hit the cache"
     );
+
+    // ------------------------------------------------------------------
+    // Inspect the run: export the trace and attribute the misses.
+    // ------------------------------------------------------------------
+    let out = std::path::Path::new("target/broadcast_trace.json");
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).unwrap();
+    }
+    let mut file = std::fs::File::create(out).unwrap();
+    server.trace_to_writer(&mut file).unwrap();
+    let json = std::fs::read_to_string(out).unwrap();
+    validate_json(&json).expect("the exported trace must be well-formed JSON");
+    println!(
+        "\ntrace: {} events written to {} (open in https://ui.perfetto.dev)",
+        server.trace().records.len(),
+        out.display()
+    );
+
+    let report = server.attribution();
+    if report.total() == 0 {
+        println!("no deadline misses to attribute");
+    } else {
+        println!("deadline misses by cause:");
+        for (cause, n) in report.by_cause() {
+            println!("  {:>22}: {n}", cause.as_str());
+        }
+    }
 }

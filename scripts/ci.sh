@@ -17,6 +17,17 @@ for ex in examples/*.rs; do
     cargo run --release -q -p tbm --example "$name"
 done
 
+echo "==> trace-export smoke"
+# The broadcast example writes a Perfetto-loadable Chrome trace; the run
+# above must have produced a non-empty, JSON-shaped file.
+trace=target/broadcast_trace.json
+[ -s "$trace" ] || { echo "missing or empty $trace" >&2; exit 1; }
+head -c1 "$trace" | grep -q '\[' || { echo "$trace is not a JSON array" >&2; exit 1; }
+echo "--> $trace: $(wc -c < "$trace") bytes"
+
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,121 @@
+//! Golden observability tests: the Chrome trace export of a seeded run is
+//! byte-stable, span parent links are acyclic, and the deadline-miss
+//! attribution report covers every miss exactly once.
+
+use tbm::blob::{FaultPlan, FaultyBlobStore, MemBlobStore};
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::capture_video_scalable;
+use tbm::media::gen::{render_frames, VideoPattern};
+use tbm::obs::{chrome_trace, validate_json, SpanId, Tracer};
+use tbm::prelude::*;
+use tbm::serve::{Request, Response, Server};
+use tbm::time::{TimeDelta, TimePoint, TimeSystem};
+
+fn t(ms: i64) -> TimePoint {
+    TimePoint::ZERO + TimeDelta::from_millis(ms)
+}
+
+/// One fully traced storm: a seeded faulty store shares the tracer with
+/// the server, several sessions oversubscribe the channel, and the run is
+/// drained. Returns the tracer and the final stats.
+fn traced_storm(seed: u64) -> (Tracer, ServerStats) {
+    let mut store = MemBlobStore::new();
+    let frames = render_frames(VideoPattern::MovingBar, 0, 24, 48, 32);
+    let (_blob, interp) =
+        capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+
+    // Size the channel from the stream's demanded rate: roomy enough to
+    // admit, tight enough that four concurrent sessions miss deadlines.
+    let full = {
+        let mut probe = MediaDb::with_store(MemBlobStore::new());
+        probe.register_interpretation(interp.clone()).unwrap();
+        let (_, stream) = probe.stream_of("video1").unwrap();
+        let jobs = tbm::player::schedule_from_interp(stream, None);
+        tbm::player::demanded_rate(&jobs, stream.system())
+            .unwrap()
+            .ceil() as u64
+    };
+
+    let tracer = Tracer::new();
+    let plan = FaultPlan::new(seed)
+        .with_transient(0.3)
+        .with_corruption(0.1);
+    let faulty = FaultyBlobStore::new(store, plan).with_tracer(tracer.clone());
+    let mut db = MediaDb::with_store(faulty);
+    db.register_interpretation(interp).unwrap();
+
+    let mut server = Server::new(db, Capacity::new(full + full / 4).admit_all())
+        .with_cache_budget(8 << 20)
+        .with_tracer(tracer.clone());
+    for n in 0..4i64 {
+        let at = t(n * 80);
+        if let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(
+                at,
+                Request::Open {
+                    object: "video1".into(),
+                },
+            )
+            .unwrap()
+        {
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+    let stats = server.finish();
+    (tracer, stats)
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_same_seed_runs() {
+    let (a, stats_a) = traced_storm(0x5EED);
+    let (b, stats_b) = traced_storm(0x5EED);
+    assert_eq!(stats_a, stats_b, "the runs themselves must be identical");
+    let ja = chrome_trace(&a.snapshot());
+    let jb = chrome_trace(&b.snapshot());
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "same seed must export byte-identical traces");
+    validate_json(&ja).expect("the export must be well-formed JSON");
+}
+
+#[test]
+fn span_parent_links_are_acyclic_and_resolvable() {
+    let (tracer, _) = traced_storm(0xACED);
+    let snap = tracer.snapshot();
+    assert!(!snap.records.is_empty());
+    for rec in &snap.records {
+        if rec.parent == SpanId::NONE {
+            continue;
+        }
+        // Ids are issued sequentially, so a parent id strictly below the
+        // child id makes any cycle impossible; the parent must also be a
+        // record in the same snapshot (nothing dangles unless evicted).
+        assert!(
+            rec.parent.raw() < rec.id,
+            "parent {} of span {} is not older",
+            rec.parent.raw(),
+            rec.id
+        );
+        if snap.dropped == 0 {
+            assert!(
+                snap.records.iter().any(|r| r.id == rec.parent.raw()),
+                "parent {} of span {} missing from snapshot",
+                rec.parent.raw(),
+                rec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn attribution_assigns_every_miss_exactly_one_cause() {
+    let (tracer, stats) = traced_storm(0xACED);
+    assert!(stats.deadline_misses > 0, "the storm must miss deadlines");
+    let report = tbm::obs::attribute(&tracer.snapshot().records);
+    assert_eq!(report.total(), stats.deadline_misses);
+    let by_cause: usize = report.by_cause().iter().map(|&(_, n)| n).sum();
+    assert_eq!(by_cause, report.total(), "causes partition the misses");
+    let rendered = report.render();
+    assert!(rendered.contains("total misses"));
+}

@@ -181,6 +181,58 @@ fn storms_are_deterministic() {
     assert_eq!(run(), run());
 }
 
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Like [`faulty_db`] but with every fault probability variable.
+    fn db_with_plan(
+        seed: u64,
+        transient: f64,
+        corruption: f64,
+        latency_p: f64,
+    ) -> MediaDb<FaultyBlobStore<MemBlobStore>> {
+        let mut store = MemBlobStore::new();
+        let frames = render_frames(VideoPattern::MovingBar, 0, 20, 48, 32);
+        let (_blob, interp) =
+            capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default())
+                .unwrap();
+        let plan = FaultPlan::new(seed)
+            .with_transient(transient)
+            .with_corruption(corruption)
+            .with_latency(latency_p, 300);
+        let mut db = MediaDb::with_store(FaultyBlobStore::new(store, plan));
+        db.register_interpretation(interp).unwrap();
+        db
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Satellite invariant: however the fault plan is drawn, every
+        /// unrecoverable fault the server detects surfaces as exactly one
+        /// degraded or dropped element — never zero, never two.
+        #[test]
+        fn fault_accounting_invariant_holds_for_random_fault_plans(
+            seed in any::<u64>(),
+            transient in 0.0f64..0.6,
+            corruption in 0.0f64..0.35,
+            latency_p in 0.0f64..0.3,
+        ) {
+            let db = db_with_plan(seed, transient, corruption, latency_p);
+            let capacity = Capacity::new(demand(&db, None) * 3 + demand(&db, Some(1)) + 1);
+            let (stats, _) = storm(Server::new(db, capacity).with_cache_budget(16 << 20));
+            prop_assert_eq!(
+                stats.faults_detected,
+                stats.degraded_elements + stats.dropped_elements
+            );
+            // The snapshot histograms agree with the counters they back.
+            prop_assert_eq!(stats.service.count() as usize, stats.elements_served);
+            prop_assert_eq!(stats.lateness.count() as usize, stats.deadline_misses);
+        }
+    }
+}
+
 #[test]
 fn cache_off_reads_strictly_more_storage() {
     let run = |budget: u64| {
