@@ -24,6 +24,12 @@
 //!   retry storm, storage latency or decode overrun), the metrics registry
 //!   rendered, and the Chrome-trace export shown byte-identical across two
 //!   same-seed runs.
+//! * **§tiers (tiered storage)** — a scripted remote blackout served
+//!   through the mem/file/remote stack: the tiered store keeps the drop
+//!   rate at zero and p99 lateness bounded while a no-failover baseline
+//!   drops elements; deadline-pressed hedged reads self-heal a tripped
+//!   tier early and bound p99 where waiting out the breaker cooldown at
+//!   brownout latency does not; misses attributed incl. tier-failover.
 //!
 //! ```text
 //! cargo run --release -p tbm-bench --bin exp_claims
@@ -46,6 +52,7 @@ fn main() {
     faults_and_degradation();
     serve_delivery();
     obs_attribution();
+    tiers_failover();
 }
 
 // ---------------------------------------------------------------------------
@@ -811,6 +818,212 @@ fn obs_attribution() {
 
     println!("\nmetrics registry:");
     println!("{}", indent_block(&run_metrics_render(&tracer, &stats)));
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// §tiers
+// ---------------------------------------------------------------------------
+
+fn tiers_failover() {
+    use tbm_blob::{TierConfig, TieredBlobStore};
+    use tbm_obs::{MissCause, Tracer};
+    use tbm_serve::{Capacity, Request, Response, Server, ServerStats};
+    use tbm_time::{TimeDelta, TimePoint};
+
+    println!("§tiers — tiered storage: failover, circuit breakers, hedged reads\n");
+
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+    let frames = video_frames(50, 160, 120);
+
+    // Captures the movie through `store` (write-through populates every
+    // tier) and serves `sessions` staggered viewers, cache off so every
+    // read exercises the tier stack.
+    let run = |mut store: TieredBlobStore,
+               sessions: i64,
+               tracer: Option<Tracer>|
+     -> (ServerStats, Server<TieredBlobStore>) {
+        let (_b, interp) = capture::capture_video_scalable(
+            &mut store,
+            &frames,
+            TimeSystem::PAL,
+            DctParams::default(),
+        )
+        .unwrap();
+        let mut db = MediaDb::with_store(store);
+        db.register_interpretation(interp).unwrap();
+        let full_bps = {
+            let (_, stream) = db.stream_of("video1").unwrap();
+            tbm_player::demanded_rate(&schedule_from_interp(stream, None), TimeSystem::PAL)
+                .unwrap()
+                .ceil() as u64
+        };
+        let mut server = Server::new(db, Capacity::new(full_bps * (sessions as u64 + 1)));
+        if let Some(tr) = tracer {
+            server = server.with_tracer(tr);
+        }
+        for i in 0..sessions {
+            let at = t(i * 100);
+            if let Response::Opened {
+                session: Some(id), ..
+            } = server
+                .request(
+                    at,
+                    Request::Open {
+                        object: "video1".into(),
+                    },
+                )
+                .unwrap()
+            {
+                server.request(at, Request::Play { session: id }).unwrap();
+            }
+        }
+        let stats = server.finish();
+        (stats, server)
+    };
+
+    // Claim 1: a scripted remote blackout over [0, 800ms) — the window
+    // every dispatch of a three-viewer broadcast lands in. The tiered
+    // store fails over to the tiers that still hold the spans; a
+    // no-failover baseline (the same movie on the remote tier alone)
+    // can only drop what it cannot read.
+    let blackout = |tiered: bool| {
+        let store = if tiered {
+            TieredBlobStore::mem_file_remote(FaultPlan::new(1), 8 << 20).with_outage(
+                2,
+                t(0),
+                t(800),
+            )
+        } else {
+            TieredBlobStore::new()
+                .with_tier(
+                    TierConfig::new("remote", 2_000).with_breaker(3, 20_000),
+                    MemBlobStore::new(),
+                )
+                .with_outage(0, t(0), t(800))
+        };
+        run(store, 3, None)
+    };
+    println!("remote blackout [0, 800ms), 3 viewers (mem/file/remote vs remote-only):");
+    println!(
+        "{:<14}{:>8}{:>9}{:>8}{:>11}{:>11}",
+        "store", "served", "dropped", "misses", "p99 late", "failovers"
+    );
+    println!("{}", "-".repeat(61));
+    let (tiered_stats, tiered_server) = blackout(true);
+    let (base_stats, base_server) = blackout(false);
+    for (name, stats, server) in [
+        ("tiered", &tiered_stats, &tiered_server),
+        ("no-failover", &base_stats, &base_server),
+    ] {
+        println!(
+            "{name:<14}{:>8}{:>9}{:>8}{:>8.1} ms{:>11}",
+            stats.elements_served,
+            stats.dropped_elements,
+            stats.deadline_misses,
+            stats.p99_lateness().seconds().to_f64() * 1e3,
+            server.db().store().failover_reads(),
+        );
+    }
+    assert_eq!(
+        tiered_stats.dropped_elements, 0,
+        "claim: the tiered store must drop nothing during a remote blackout"
+    );
+    assert!(
+        base_stats.dropped_elements > 0,
+        "baseline: a no-failover store must drop elements it cannot read"
+    );
+
+    // Claim 2: hedged reads bound p99. The fast tier dies just long
+    // enough to trip its breaker (2 faults, 500ms cooldown); the only
+    // fallback browns out at +40ms a read. Waiting out the cooldown pays
+    // brownout latency for half a second; a deadline-pressed hedge
+    // probes the recovered fast tier early and self-heals instead.
+    let hedged_arm = |hedging: bool| {
+        let tracer = Tracer::new();
+        let store = TieredBlobStore::new()
+            .with_tier(
+                TierConfig::new("file", 150).with_breaker(2, 500_000),
+                MemBlobStore::new(),
+            )
+            .with_tier(TierConfig::new("remote", 2_000), MemBlobStore::new())
+            .with_hedging(hedging)
+            .with_outage(0, t(0), t(10))
+            .with_brownout(1, t(0), t(5_000), 40_000)
+            .with_tracer(tracer.clone());
+        run(store, 1, Some(tracer))
+    };
+    let (hedged, hedged_server) = hedged_arm(true);
+    let (waited, waited_server) = hedged_arm(false);
+    println!("\nfast-tier outage trips the breaker, fallback browns out (+40ms/read):");
+    println!(
+        "{:<14}{:>8}{:>11}{:>11}{:>14}",
+        "policy", "misses", "p99 late", "max late", "hedged reads"
+    );
+    println!("{}", "-".repeat(58));
+    for (name, stats, server) in [
+        ("hedge", &hedged, &hedged_server),
+        ("wait cooldown", &waited, &waited_server),
+    ] {
+        println!(
+            "{name:<14}{:>8}{:>8.1} ms{:>8.1} ms{:>14}",
+            stats.deadline_misses,
+            stats.p99_lateness().seconds().to_f64() * 1e3,
+            stats.lateness.max() as f64 / 1e3,
+            server.db().store().hedged_reads(),
+        );
+    }
+    assert!(
+        hedged_server.db().store().hedged_reads() > 0,
+        "deadline pressure must trigger hedged probes"
+    );
+    assert!(
+        hedged.p99_lateness() < waited.p99_lateness(),
+        "claim: hedged reads must bound p99 lateness vs waiting out the cooldown \
+         ({:?} vs {:?})",
+        hedged.p99_lateness(),
+        waited.p99_lateness()
+    );
+
+    // Attribution still partitions the misses, and the failover share is
+    // first-class: misses served over the failover path carry the
+    // tier-failover cause.
+    for (name, stats, server) in [
+        ("hedge", &hedged, &hedged_server),
+        ("wait", &waited, &waited_server),
+    ] {
+        let report = server.attribution();
+        assert_eq!(
+            report.total(),
+            stats.deadline_misses,
+            "claim ({name}): every deadline miss must appear in the attribution report"
+        );
+        let by_cause: usize = report.by_cause().iter().map(|&(_, n)| n).sum();
+        assert_eq!(
+            by_cause,
+            report.total(),
+            "claim ({name}): miss causes must partition the misses"
+        );
+    }
+    let waited_report = waited_server.attribution();
+    assert!(
+        waited_report
+            .by_cause()
+            .iter()
+            .any(|&(c, n)| c == MissCause::TierFailover && n > 0),
+        "claim: misses paid on the failover path must be attributed tier-failover"
+    );
+    println!("\nmiss attribution while waiting out the cooldown:");
+    println!("{}", indent_block(&waited_report.render()));
+
+    // Determinism: the whole failover drama is a pure function of the
+    // scripted windows and the seed.
+    let (tiered_again, _) = blackout(true);
+    assert_eq!(
+        tiered_stats, tiered_again,
+        "claim: same-seed tiered runs must be identical"
+    );
+    println!("\nsame-seed rerun of the blackout: identical stats — deterministic failover");
     println!();
 }
 

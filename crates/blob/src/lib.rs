@@ -21,6 +21,11 @@
 //! * [`FileBlobStore`] — file-backed (one file per BLOB) with buffered
 //!   appends, for durability tests and realistic I/O in benchmarks.
 //!
+//! Two decorators compose over them: [`FaultyBlobStore`] injects a seeded,
+//! reproducible storm of read faults, and [`TieredBlobStore`] stacks any
+//! stores fastest-first behind per-tier circuit breakers, deadline-aware
+//! hedging, verify-and-repair reads and promotion/demotion residency.
+//!
 //! Interpretation (`tbm-interp`) addresses BLOB content through
 //! [`ByteSpan`]s — `(offset, length)` placements of media elements.
 
@@ -33,10 +38,12 @@ mod file_store;
 mod mem_store;
 mod span;
 mod store;
+mod tiered;
 
 pub use error::BlobError;
 pub use fault::{is_transient, FaultPlan, FaultStats, FaultyBlobStore, RetryPolicy, RetryReport};
 pub use file_store::{FileBlobStore, OpenReport, SkipReason};
 pub use mem_store::MemBlobStore;
 pub use span::ByteSpan;
-pub use store::{BlobStore, BlobWriter};
+pub use store::{BlobStore, BlobWriter, ReadCtx};
+pub use tiered::{BreakerState, TierConfig, TierStats, TieredBlobStore};

@@ -2,6 +2,36 @@
 
 use crate::{BlobError, ByteSpan};
 use tbm_core::BlobId;
+use tbm_time::TimePoint;
+
+/// Caller-side context for a deadline-aware, verifying read.
+///
+/// Plain stores only look at `attempt`; tiered stores
+/// ([`crate::TieredBlobStore`]) use the deadline slack to decide whether a
+/// slow tier must be hedged against a faster one, and the expected checksum
+/// to verify-and-repair corrupted tiers in place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadCtx {
+    /// Retry attempt number (0 = first try).
+    pub attempt: u32,
+    /// Microseconds of slack left before the caller's playback deadline, if
+    /// the caller knows it. `None` means "no deadline pressure".
+    pub deadline_slack_us: Option<u64>,
+    /// Expected CRC-32 of the span's bytes, if recorded at capture. Lets a
+    /// multi-tier store detect per-tier corruption and repair it from a
+    /// sibling tier before the bytes ever reach the caller.
+    pub expected_crc: Option<u32>,
+}
+
+impl ReadCtx {
+    /// A context carrying only the retry attempt number.
+    pub fn attempt(attempt: u32) -> ReadCtx {
+        ReadCtx {
+            attempt,
+            ..ReadCtx::default()
+        }
+    }
+}
 
 /// Definition 4's interface: applications can *read* and *append*; byte-span
 /// insertion and deletion are intentionally absent (non-destructive editing
@@ -40,12 +70,57 @@ pub trait BlobStore {
         self.read_into(blob, span, buf)
     }
 
+    /// Like [`BlobStore::read_into_attempt`], carrying the full read
+    /// context. Plain stores see only the attempt number; tiered stores use
+    /// the deadline slack for hedging and the expected checksum for
+    /// verify-and-repair.
+    fn read_into_ctx(
+        &self,
+        blob: BlobId,
+        span: ByteSpan,
+        buf: &mut [u8],
+        ctx: &ReadCtx,
+    ) -> Result<(), BlobError> {
+        self.read_into_attempt(blob, span, buf, ctx.attempt)
+    }
+
     /// Takes (and resets) any accumulated per-read cost hint, in
     /// microseconds — extra service time (added latency, device stalls) the
     /// store wants charged to the reads since the last drain. Plain stores
     /// report 0.
     fn drain_cost_hint_us(&self) -> u64 {
         0
+    }
+
+    /// Takes (and resets) the *failover* portion of the cost hint, in
+    /// microseconds: time spent probing broken tiers, hedging against a
+    /// deadline, or falling back after a tier fault. Always a subset of
+    /// [`BlobStore::drain_cost_hint_us`] (drain the total first, then this).
+    /// Plain stores report 0.
+    fn drain_failover_hint_us(&self) -> u64 {
+        0
+    }
+
+    /// Takes (and resets) the count of reads since the last drain that
+    /// required a cross-tier repair (bytes failed verification on one tier
+    /// and were re-materialized from a sibling). Plain stores report 0.
+    fn drain_repairs(&self) -> u64 {
+        0
+    }
+
+    /// Advances the store's simulated clock. Tiered stores use it to run
+    /// circuit-breaker cooldowns in simulated time; plain stores ignore it.
+    fn set_sim_now(&self, now: TimePoint) {
+        let _ = now;
+    }
+
+    /// Current health of the storage path, as a percentage in `1..=100`.
+    ///
+    /// Admission control derates the storage bandwidth it is willing to
+    /// commit by this factor. Plain stores are always fully healthy; tiered
+    /// stores report the fraction of tiers whose circuit breaker is closed.
+    fn health_percent(&self) -> u8 {
+        100
     }
 
     /// The BLOB's current length in bytes.

@@ -11,6 +11,9 @@
 //!   **admission over-commit**.
 //! * [`ATTR_RETRY_US`] — time spent in retry backoff and re-reads after
 //!   injected storage faults: **retry-storm**.
+//! * [`ATTR_FAILOVER_US`] — time a tiered store spent probing broken
+//!   tiers, hedging a slow tier against a deadline, or falling back after
+//!   a tier fault: **tier-failover**.
 //! * [`ATTR_STORAGE_US`] — first-attempt transfer time plus storage
 //!   latency: **storage-latency**.
 //! * [`ATTR_DECODE_US`] — decode work and per-element dispatch overhead:
@@ -22,8 +25,9 @@
 //!
 //! [`attribute`] classifies every span with positive [`ATTR_LATENESS_US`]
 //! by its largest component, breaking ties in a fixed order
-//! (over-commit > retry-storm > storage-latency > decode-overrun), so
-//! each miss gets **exactly one** cause and the report is deterministic.
+//! (over-commit > tier-failover > retry-storm > storage-latency >
+//! decode-overrun), so each miss gets **exactly one** cause and the report
+//! is deterministic.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -38,6 +42,8 @@ pub const ATTR_LATENESS_US: &str = "lateness_us";
 pub const ATTR_WAIT_US: &str = "wait_us";
 /// Attribute: retry backoff + re-read transfer, in µs.
 pub const ATTR_RETRY_US: &str = "retry_us";
+/// Attribute: tier probing, hedging and failover fallback time, in µs.
+pub const ATTR_FAILOVER_US: &str = "failover_us";
 /// Attribute: first-attempt storage transfer + latency, in µs.
 pub const ATTR_STORAGE_US: &str = "storage_us";
 /// Attribute: decode + dispatch overhead, in µs.
@@ -53,6 +59,9 @@ pub enum MissCause {
     /// Admission let in more concurrent sessions than the channel carries;
     /// the element stalled behind other sessions' transfers.
     AdmissionOverCommit,
+    /// A storage tier failed or browned out; the read burned its slack
+    /// probing broken tiers, hedging, or falling back to a slower tier.
+    TierFailover,
     /// Storage faults triggered retries whose backoff and re-reads ate the
     /// deadline.
     RetryStorm,
@@ -64,8 +73,9 @@ pub enum MissCause {
 
 impl MissCause {
     /// Every cause, in tie-break priority order.
-    pub const ALL: [MissCause; 4] = [
+    pub const ALL: [MissCause; 5] = [
         MissCause::AdmissionOverCommit,
+        MissCause::TierFailover,
         MissCause::RetryStorm,
         MissCause::StorageLatency,
         MissCause::DecodeOverrun,
@@ -75,6 +85,7 @@ impl MissCause {
     pub fn as_str(self) -> &'static str {
         match self {
             MissCause::AdmissionOverCommit => "admission-over-commit",
+            MissCause::TierFailover => "tier-failover",
             MissCause::RetryStorm => "retry-storm",
             MissCause::StorageLatency => "storage-latency",
             MissCause::DecodeOverrun => "decode-overrun",
@@ -164,9 +175,9 @@ impl AttributionReport {
     }
 }
 
-/// Picks the largest of the four direct components, breaking ties in
+/// Picks the largest of the five direct components, breaking ties in
 /// [`MissCause::ALL`] priority order.
-fn dominant(components: &[(MissCause, i64); 4]) -> (MissCause, i64) {
+fn dominant(components: &[(MissCause, i64); 5]) -> (MissCause, i64) {
     let mut best = components[0];
     for &(cause, us) in &components[1..] {
         if us > best.1 {
@@ -196,6 +207,7 @@ pub fn attribute(records: &[TraceRecord]) -> AttributionReport {
         }
         let components = [
             (MissCause::AdmissionOverCommit, rec.attr_i64(ATTR_WAIT_US)),
+            (MissCause::TierFailover, rec.attr_i64(ATTR_FAILOVER_US)),
             (MissCause::RetryStorm, rec.attr_i64(ATTR_RETRY_US)),
             (MissCause::StorageLatency, rec.attr_i64(ATTR_STORAGE_US)),
             (MissCause::DecodeOverrun, rec.attr_i64(ATTR_DECODE_US)),
@@ -277,6 +289,39 @@ mod tests {
         assert_eq!(report.misses[0].cause, MissCause::RetryStorm);
         assert_eq!(report.misses[0].dominant_us, 700);
         assert_eq!(report.misses[1].cause, MissCause::StorageLatency);
+    }
+
+    #[test]
+    fn tier_failover_component_classifies_and_outranks_retry_on_ties() {
+        let tracer = Tracer::new();
+        element(
+            &tracer,
+            1,
+            0,
+            0,
+            &[
+                (ATTR_LATENESS_US, 500),
+                (ATTR_RETRY_US, 100),
+                (ATTR_FAILOVER_US, 400),
+                (ATTR_STORAGE_US, 50),
+            ],
+        );
+        // Tie between failover and retry: failover wins (more specific).
+        element(
+            &tracer,
+            2,
+            0,
+            1,
+            &[
+                (ATTR_LATENESS_US, 200),
+                (ATTR_RETRY_US, 150),
+                (ATTR_FAILOVER_US, 150),
+            ],
+        );
+        let report = attribute(&tracer.snapshot().records);
+        assert_eq!(report.misses[0].cause, MissCause::TierFailover);
+        assert_eq!(report.misses[0].dominant_us, 400);
+        assert_eq!(report.misses[1].cause, MissCause::TierFailover);
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub enum Category {
     Fault,
     /// Presentation outcomes (deadline hits and misses).
     Present,
+    /// Storage-tier transitions: breaker trips, hedged probes, failovers
+    /// and cross-tier repairs.
+    Tier,
 }
 
 impl Category {
@@ -77,6 +80,7 @@ impl Category {
             Category::Decode => "decode",
             Category::Fault => "fault",
             Category::Present => "present",
+            Category::Tier => "tier",
         }
     }
 }

@@ -24,7 +24,7 @@
 //! fault storm is fully accounted for, deterministically.
 
 use crate::{schedule_from_interp, ElementJob, PlaybackSim, PlaybackStats};
-use tbm_blob::{BlobStore, ByteSpan, RetryPolicy};
+use tbm_blob::{BlobStore, ByteSpan, ReadCtx, RetryPolicy};
 use tbm_core::{crc32, BlobId};
 use tbm_interp::StreamInterp;
 use tbm_obs::{Category, SpanId, Tracer};
@@ -77,6 +77,11 @@ pub struct ResilientReport {
     /// injected non-latency fault on a scheduled span shows up here or as a
     /// retry inside a `Recovered` fate.
     pub faults_detected: usize,
+    /// Elements whose reads triggered a cross-tier repair in the store
+    /// (a tier failed verification and was healed from a verifying tier).
+    /// Always zero over single-backend stores; repairs are invisible to the
+    /// fates — the bytes presented were verified.
+    pub repaired: usize,
 }
 
 impl ResilientReport {
@@ -133,8 +138,13 @@ impl ResilientPlayer {
     ) -> LayerFetch {
         let (result, report) = self.retry.run(|attempt| {
             let mut buf = vec![0u8; span.len as usize];
+            let ctx = ReadCtx {
+                attempt,
+                deadline_slack_us: None,
+                expected_crc: checksum,
+            };
             store
-                .read_into_attempt(blob, span, &mut buf, attempt)
+                .read_into_ctx(blob, span, &mut buf, &ctx)
                 .map(|()| buf)
         });
         let intact = match result {
@@ -177,11 +187,13 @@ impl ResilientPlayer {
         tracer: &Tracer,
     ) -> ResilientReport {
         store.drain_cost_hint_us(); // start from a clean hint accumulator
+        store.drain_repairs();
         let schedule = schedule_from_interp(stream, None);
         let mut jobs: Vec<ElementJob> = Vec::with_capacity(schedule.len());
         let mut penalties: Vec<TimeDelta> = Vec::with_capacity(schedule.len());
         let mut fates: Vec<ElementFate> = Vec::with_capacity(schedule.len());
         let mut faults_detected = 0usize;
+        let mut repaired = 0usize;
         let mut have_good = false;
 
         for job in &schedule {
@@ -273,6 +285,9 @@ impl ResilientPlayer {
                 ..*job
             });
             let hint_us = store.drain_cost_hint_us();
+            if store.drain_repairs() > 0 {
+                repaired += 1;
+            }
             penalties.push(TimeDelta::from_micros((backoff_us + hint_us) as i64));
             fates.push(fate);
         }
@@ -290,6 +305,7 @@ impl ResilientPlayer {
             stats,
             fates,
             faults_detected,
+            repaired,
         }
     }
 }

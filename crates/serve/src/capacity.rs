@@ -86,6 +86,20 @@ impl Capacity {
         self
     }
 
+    /// The capacity admission prices against when the store reports
+    /// `health_percent`% of its tiers healthy
+    /// ([`tbm_blob::BlobStore::health_percent`]): storage bandwidth is
+    /// derated proportionally,
+    /// never below 1 B/s. A fully healthy store (100) leaves the capacity
+    /// unchanged, so single-backend stores are unaffected.
+    pub fn derated(&self, health_percent: u8) -> Capacity {
+        let h = u64::from(health_percent.min(100));
+        Capacity {
+            storage_bandwidth: (self.storage_bandwidth.saturating_mul(h) / 100).max(1),
+            ..*self
+        }
+    }
+
     /// The cost model the scheduler charges elements through — the same
     /// numbers admission reasons about.
     pub fn cost_model(&self) -> CostModel {
@@ -235,5 +249,15 @@ mod tests {
     #[test]
     fn zero_bandwidth_clamped() {
         assert_eq!(Capacity::new(0).storage_bandwidth, 1);
+    }
+
+    #[test]
+    fn derating_scales_storage_bandwidth_only() {
+        let cap = Capacity::new(1_000_000).with_decode_rate(500_000);
+        let half = cap.derated(50);
+        assert_eq!(half.storage_bandwidth, 500_000);
+        assert_eq!(half.decode_rate, 500_000, "decode is not a tier resource");
+        assert_eq!(cap.derated(100), cap, "healthy stores are unaffected");
+        assert_eq!(Capacity::new(10).derated(0).storage_bandwidth, 1);
     }
 }

@@ -508,8 +508,59 @@ mod tests {
         assert!(second.cache_hits > 0);
         assert_eq!(
             total.faults_detected,
-            total.degraded_elements + total.dropped_elements,
+            total.degraded_elements + total.dropped_elements + total.repaired_elements,
             "fault accounting invariant"
+        );
+    }
+
+    #[test]
+    fn degraded_session_upgrades_to_full_fidelity_when_capacity_frees() {
+        let db = scalable_db(10);
+        let (_, stream) = db.stream_of("video1").unwrap();
+        let full_jobs = tbm_player::schedule_from_interp(stream, None);
+        let full = tbm_player::demanded_rate(&full_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+        let base_jobs = tbm_player::schedule_from_interp(stream, Some(1));
+        let base = tbm_player::demanded_rate(&base_jobs, stream.system())
+            .unwrap()
+            .ceil() as u64;
+
+        // Capacity fits one full session plus one base-layer session.
+        let mut server = Server::new(db, Capacity::new(full + base + 1));
+        let (a, d1) = open(&mut server, t(0), "video1");
+        assert_eq!(d1, AdmitDecision::Admitted);
+        let (b, d2) = open(&mut server, t(0), "video1");
+        assert_eq!(d2, AdmitDecision::Degraded { layers: 1 });
+        let (a, b) = (a.unwrap(), b.unwrap());
+        server.request(t(0), Request::Play { session: a }).unwrap();
+        // Session A finishes well before t=2s; the capacity it releases
+        // lifts B back to full fidelity while B is still waiting to play.
+        server.run_until(t(2_000));
+        assert_eq!(server.session(a).unwrap().state(), SessionState::Finished);
+        assert_eq!(
+            server.session(b).unwrap().decision(),
+            AdmitDecision::Admitted,
+            "degraded session must recover full fidelity once capacity frees"
+        );
+        assert_eq!(server.stats().upgraded_sessions, 1);
+        assert_eq!(
+            server.stats().admitted_degraded,
+            1,
+            "admission-time counters are history, not current state"
+        );
+
+        server
+            .request(t(2_000), Request::Play { session: b })
+            .unwrap();
+        let total = server.finish();
+        assert_eq!(total.finished_sessions, 2);
+        // B served the full two-layer plan: as many layer reads as A.
+        let sa = server.session(a).unwrap().stats();
+        let sb = server.session(b).unwrap().stats();
+        assert_eq!(
+            sb.cache_hits + sb.cache_misses,
+            sa.cache_hits + sa.cache_misses
         );
     }
 

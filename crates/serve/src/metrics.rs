@@ -35,9 +35,16 @@ pub struct ServerStats {
     pub degraded_elements: usize,
     /// Elements not presented at all.
     pub dropped_elements: usize,
-    /// Unrecoverable per-element faults detected (checksum mismatch or
-    /// retry exhaustion). Always `degraded_elements + dropped_elements`.
+    /// Elements presented intact after a cross-tier repair (a storage tier
+    /// failed checksum verification and was healed from a verifying tier).
+    pub repaired_elements: usize,
+    /// Per-element faults detected (checksum mismatch, retry exhaustion,
+    /// or a tier-level corruption resolved by repair). Always
+    /// `degraded_elements + dropped_elements + repaired_elements`.
     pub faults_detected: usize,
+    /// Degraded-admission sessions re-admitted at full fidelity after the
+    /// store healed or capacity freed.
+    pub upgraded_sessions: usize,
     /// Shared segment cache counters.
     pub cache: CacheStats,
     /// Bytes actually pulled off storage, including retry re-reads.
@@ -115,7 +122,9 @@ mod tests {
             recovered: 0,
             degraded_elements: 0,
             dropped_elements: dropped,
+            repaired_elements: 0,
             faults_detected: dropped,
+            upgraded_sessions: 0,
             cache: CacheStats::default(),
             storage_bytes_read: 0,
             committed_bps: 0,

@@ -26,14 +26,14 @@ use crate::{
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::io;
-use tbm_blob::{BlobStore, MemBlobStore, RetryPolicy};
+use tbm_blob::{BlobStore, MemBlobStore, ReadCtx, RetryPolicy};
 use tbm_core::{crc32, SessionId};
 use tbm_db::MediaDb;
 use tbm_obs::{
     attribute, chrome_trace_to_writer, micros, AttributionReport, Category, MetricsRegistry,
-    SpanId, TraceSnapshot, Tracer, ATTR_DECODE_US, ATTR_ELEMENT_INDEX, ATTR_INHERITED_US,
-    ATTR_LATENESS_US, ATTR_RETRY_US, ATTR_STORAGE_US, ATTR_WAIT_US, ELEMENT_SPAN,
-    LATENCY_BUCKETS_US,
+    SpanId, TraceSnapshot, Tracer, ATTR_DECODE_US, ATTR_ELEMENT_INDEX, ATTR_FAILOVER_US,
+    ATTR_INHERITED_US, ATTR_LATENESS_US, ATTR_RETRY_US, ATTR_STORAGE_US, ATTR_WAIT_US,
+    ELEMENT_SPAN, LATENCY_BUCKETS_US,
 };
 use tbm_player::{demanded_rate, schedule_from_interp, DegradationPolicy, ElementFate};
 use tbm_time::{Rational, TimeDelta, TimePoint};
@@ -48,6 +48,8 @@ const M_MISSES: &str = "serve.elements.misses";
 const M_RECOVERED: &str = "serve.elements.recovered";
 const M_DEGRADED: &str = "serve.elements.degraded";
 const M_DROPPED: &str = "serve.elements.dropped";
+const M_REPAIRED: &str = "serve.elements.repaired";
+const M_UPGRADED: &str = "serve.sessions.upgraded";
 const M_FAULTS: &str = "serve.faults.detected";
 const M_BYTES_READ: &str = "storage.bytes_read";
 const H_LATENESS: &str = "serve.lateness_us";
@@ -269,12 +271,14 @@ impl<S: BlobStore> Server<S> {
         let m = &self.metrics;
         let degraded_elements = m.counter(M_DEGRADED) as usize;
         let dropped_elements = m.counter(M_DROPPED) as usize;
+        let repaired_elements = m.counter(M_REPAIRED) as usize;
         let faults_detected = m.counter(M_FAULTS) as usize;
-        // Every detected fault must come out of the degradation ladder as
-        // exactly one degraded or dropped element.
+        // Every detected fault must be resolved exactly once: out of the
+        // degradation ladder as a degraded or dropped element, or healed by
+        // a cross-tier repair that left the element intact.
         debug_assert_eq!(
             faults_detected,
-            degraded_elements + dropped_elements,
+            degraded_elements + dropped_elements + repaired_elements,
             "fault accounting invariant violated in snapshot"
         );
         ServerStats {
@@ -289,7 +293,9 @@ impl<S: BlobStore> Server<S> {
             recovered: m.counter(M_RECOVERED) as usize,
             degraded_elements,
             dropped_elements,
+            repaired_elements,
             faults_detected,
+            upgraded_sessions: m.counter(M_UPGRADED) as usize,
             cache: self.cache.stats(),
             storage_bytes_read: m.counter(M_BYTES_READ),
             committed_bps: self.committed.floor().max(0) as u64,
@@ -315,6 +321,12 @@ impl<S: BlobStore> Server<S> {
             .iter()
             .any(|e| e.placement.layer_count() > 1);
 
+        // Admission prices storage demand against the capacity the store
+        // can actually deliver right now: an open tier breaker derates the
+        // bandwidth the gate hands out, steering new sessions onto the
+        // degraded path until the tier heals (they are upgraded back by
+        // `try_upgrade_sessions`).
+        let gate = self.capacity.derated(self.db.store().health_percent());
         let (decision, layers) = match self.capacity.policy {
             AdmissionPolicy::AdmitAll => (AdmitDecision::Admitted, None),
             AdmissionPolicy::Enforce => {
@@ -327,17 +339,16 @@ impl<S: BlobStore> Server<S> {
                         },
                         None,
                     )
-                } else if self.capacity.fits(self.committed, full_demand) {
+                } else if gate.fits(self.committed, full_demand) {
                     (AdmitDecision::Admitted, None)
                 } else {
                     let base_jobs = schedule_from_interp(stream, Some(1));
                     let base_demand = demanded_rate(&base_jobs, system).unwrap_or(Rational::ZERO);
-                    if scalable && self.capacity.fits(self.committed, base_demand) {
+                    if scalable && gate.fits(self.committed, base_demand) {
                         (AdmitDecision::Degraded { layers: 1 }, Some(1))
                     } else {
                         let cheapest = if scalable { base_demand } else { full_demand };
-                        let headroom =
-                            Rational::from(self.capacity.service_rate() as i64) - self.committed;
+                        let headroom = Rational::from(gate.service_rate() as i64) - self.committed;
                         (
                             AdmitDecision::Rejected {
                                 reason: RejectReason::Saturated {
@@ -435,6 +446,8 @@ impl<S: BlobStore> Server<S> {
             play_time: TimePoint::ZERO,
             anchor_rel: Rational::ZERO,
             clock_base: None,
+            layers_cap: layers,
+            full_unit_demand: full_demand,
             unit_demand: demand,
             demand,
             released: false,
@@ -500,6 +513,7 @@ impl<S: BlobStore> Server<S> {
                 vec![("queued", 0u64.into())],
             );
             self.tracer.end_span(span, at);
+            self.try_upgrade_sessions(at);
             return Ok(Response::Playing {
                 session: id,
                 queued: 0,
@@ -599,6 +613,7 @@ impl<S: BlobStore> Server<S> {
                     self.committed -= demand;
                 }
                 self.tracer.end_span(span, at);
+                self.try_upgrade_sessions(at);
             } else {
                 self.sessions[id.raw() as usize].anchor(at);
                 self.enqueue_pending(id);
@@ -691,7 +706,92 @@ impl<S: BlobStore> Server<S> {
             vec![("elements", stats.elements.into())],
         );
         self.tracer.end_span(span, self.clock);
+        self.try_upgrade_sessions(self.clock);
         Ok(Response::Closed { session: id, stats })
+    }
+
+    /// Re-admits degraded-fidelity sessions at full fidelity — the recovery
+    /// half of the degraded admission path. A session capped at admission
+    /// (`layers_cap`) is upgraded when the store is fully healthy again
+    /// (every tier breaker closed) *and* the full-fidelity demand fits the
+    /// committed headroom. Runs at every capacity-release point (finish,
+    /// close, empty play/seek) and after every served element, so a breaker
+    /// closing mid-run is picked up without a session event.
+    fn try_upgrade_sessions(&mut self, now: TimePoint) {
+        if self.capacity.policy == AdmissionPolicy::AdmitAll {
+            return; // AdmitAll never degrades, so there is nothing to lift
+        }
+        if !self
+            .sessions
+            .iter()
+            .any(|s| s.is_active() && s.layers_cap.is_some() && !s.pending.is_empty())
+        {
+            return;
+        }
+        if self.db.store().health_percent() < 100 {
+            return; // a tier is still open; keep sessions on the cheap path
+        }
+        for idx in 0..self.sessions.len() {
+            let (object, new_demand) = {
+                let s = &self.sessions[idx];
+                if !s.is_active() || s.layers_cap.is_none() || s.pending.is_empty() {
+                    continue;
+                }
+                let (num, den) = s.rate;
+                let new_demand = s.full_unit_demand * Rational::new(num as i64, den as i64);
+                if !self.capacity.fits(self.committed - s.demand, new_demand) {
+                    continue;
+                }
+                (s.object.clone(), new_demand)
+            };
+            let Ok((_, stream)) = self.db.stream_of(&object) else {
+                continue;
+            };
+            let jobs = schedule_from_interp(stream, None);
+            let plans: Vec<ServePlan> = jobs
+                .iter()
+                .map(|j| {
+                    let entry = &stream.entries()[j.index];
+                    ServePlan {
+                        spans: entry.placement.layers().to_vec(),
+                        checksums: entry.checksums.clone(),
+                    }
+                })
+                .collect();
+            let s = &mut self.sessions[idx];
+            if jobs.len() != s.jobs.len() {
+                continue; // catalog reshaped under the session; keep the cap
+            }
+            let old = s.demand;
+            s.jobs = jobs;
+            s.plans = plans;
+            s.layers_cap = None;
+            s.decision = AdmitDecision::Admitted;
+            s.unit_demand = s.full_unit_demand;
+            s.demand = new_demand;
+            let remaining = s.pending.len();
+            let id = s.id;
+            let span = s.span;
+            self.committed = self.committed - old + new_demand;
+            self.metrics.inc(M_UPGRADED, 1);
+            self.tracer.event(
+                "session.upgrade",
+                Category::Session,
+                now,
+                span,
+                Some(id.raw()),
+                vec![("remaining", remaining.into())],
+            );
+            if self.sessions[idx].state == SessionState::Playing {
+                // Re-anchor and requeue the remaining elements under the
+                // full-fidelity byte demands; queued jobs of the old epoch
+                // go stale, exactly as for Seek/SetRate.
+                self.sessions[idx].anchor(now);
+                self.enqueue_pending(id);
+            } else {
+                self.sessions[idx].epoch += 1;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -720,6 +820,14 @@ impl<S: BlobStore> Server<S> {
         // all land at the right simulated instant.
         let start = self.busy_until.max(s.play_time);
         self.tracer.set_now(start);
+        // A tiered store runs its breakers and outage scripts on the same
+        // simulated instant the element is dispatched at.
+        store.set_sim_now(start);
+        // Slack before this element is late — the store's hedging budget.
+        // None until the presentation clock is established.
+        let slack_us = s
+            .presentation_deadline(job.pos)
+            .map(|d| micros((d - start).max(TimeDelta::ZERO).seconds()) as u64);
         let span = self.tracer.begin_span(
             ELEMENT_SPAN,
             Category::Serve,
@@ -762,10 +870,16 @@ impl<S: BlobStore> Server<S> {
                 Some(job.session),
                 vec![("layer", li.into()), ("bytes", layer_span.len.into())],
             );
+            let expected_crc = plan.checksums.get(li).copied();
             let (result, report) = self.retry.run(|attempt| {
                 let mut buf = vec![0u8; layer_span.len as usize];
+                let ctx = ReadCtx {
+                    attempt,
+                    deadline_slack_us: slack_us,
+                    expected_crc,
+                };
                 store
-                    .read_into_attempt(blob, layer_span, &mut buf, attempt)
+                    .read_into_ctx(blob, layer_span, &mut buf, &ctx)
                     .map(|()| buf)
             });
             bytes_first += layer_span.len;
@@ -775,8 +889,8 @@ impl<S: BlobStore> Server<S> {
             attempts_max = attempts_max.max(report.attempts);
             let intact = match result {
                 Ok(bytes) => {
-                    let ok = match plan.checksums.get(li) {
-                        Some(&sum) => crc32(&bytes) == sum,
+                    let ok = match expected_crc {
+                        Some(sum) => crc32(&bytes) == sum,
                         None => true, // no checksum recorded: trust the read
                     };
                     if ok {
@@ -794,6 +908,12 @@ impl<S: BlobStore> Server<S> {
         }
         let bytes_from_store = bytes_first + bytes_retry;
         self.metrics.inc(M_BYTES_READ, bytes_from_store);
+        // Tier accounting: the slice of the store's latency hint spent on
+        // failed attempts and slow-tier failover serves, and whether a tier
+        // was healed from a verifying peer during these reads. Zero for
+        // single-backend stores.
+        let failover_us = store.drain_failover_hint_us();
+        let repairs = store.drain_repairs();
 
         // The same ladder as ResilientPlayer, expressed per session.
         let fate = if intact_layers == plan.spans.len() {
@@ -847,6 +967,15 @@ impl<S: BlobStore> Server<S> {
                 self.metrics.inc(M_DROPPED, 1);
             }
         }
+        // A cross-tier repair that still produced a fully intact element is
+        // a detected fault resolved by healing instead of degradation — the
+        // third leg of the fault-accounting partition. Elements that end
+        // degraded or dropped anyway keep their single ladder fault.
+        if repairs > 0 && intact_layers == plan.spans.len() {
+            s.stats.repaired += 1;
+            self.metrics.inc(M_REPAIRED, 1);
+            self.metrics.inc(M_FAULTS, 1);
+        }
 
         // Timing through the shared channel: cache hits skip the storage
         // transfer but still pay decode and dispatch; retries re-read. The
@@ -867,7 +996,10 @@ impl<S: BlobStore> Server<S> {
         let penalty_us = backoff_us + hint_us;
         let service = TimeDelta::from_seconds(first_cost + retry_cost + decode_cost)
             + TimeDelta::from_micros(penalty_us as i64);
-        let storage_us = micros(first_cost) + hint_us as i64;
+        // The failover share of the hint is split out so miss attribution
+        // can rank tier failover separately from plain storage latency; the
+        // sum (and hence the timing) is unchanged.
+        let storage_us = micros(first_cost) + hint_us.saturating_sub(failover_us) as i64;
         let retry_us = micros(retry_cost) + backoff_us as i64;
         let decode_us = micros(decode_cost);
         let ready = start + service;
@@ -901,8 +1033,11 @@ impl<S: BlobStore> Server<S> {
             micros(service.seconds()) as u64,
         );
         if bytes_from_store > 0 {
-            self.metrics
-                .observe(H_READ, &LATENCY_BUCKETS_US, (storage_us + retry_us) as u64);
+            self.metrics.observe(
+                H_READ,
+                &LATENCY_BUCKETS_US,
+                (storage_us + retry_us + failover_us as i64) as u64,
+            );
         }
         if lateness > TimeDelta::ZERO {
             s.stats.misses += 1;
@@ -920,6 +1055,7 @@ impl<S: BlobStore> Server<S> {
         self.tracer.attr(span, ATTR_WAIT_US, wait_us);
         self.tracer.attr(span, ATTR_STORAGE_US, storage_us);
         self.tracer.attr(span, ATTR_RETRY_US, retry_us);
+        self.tracer.attr(span, ATTR_FAILOVER_US, failover_us as i64);
         self.tracer.attr(span, ATTR_DECODE_US, decode_us);
         self.tracer.attr(span, ATTR_INHERITED_US, inherited_us);
         self.tracer.attr(span, ATTR_LATENESS_US, lateness_us);
@@ -936,5 +1072,9 @@ impl<S: BlobStore> Server<S> {
             }
             self.tracer.end_span(root, ready);
         }
+        // After every served element: a finished session just released
+        // capacity, and a tier breaker may have closed during the reads
+        // above — both can lift a degraded session back to full fidelity.
+        self.try_upgrade_sessions(ready);
     }
 }

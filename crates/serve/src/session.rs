@@ -148,6 +148,9 @@ pub struct SessionStats {
     pub degraded: usize,
     /// Elements not presented at all.
     pub dropped: usize,
+    /// Elements presented intact after a cross-tier repair: a tier failed
+    /// checksum verification mid-read and was healed from a verifying tier.
+    pub repaired: usize,
 }
 
 impl SessionStats {
@@ -203,6 +206,13 @@ pub struct Session {
     /// presentation clock runs from here (a one-element startup buffer,
     /// matching `PlaybackSim::with_startup(1)`).
     pub(crate) clock_base: Option<TimePoint>,
+    /// Fidelity cap from degraded admission: placement layers the session
+    /// may fetch per element (`None` = full fidelity). Cleared when the
+    /// session is upgraded back to the full-fidelity schedule.
+    pub(crate) layers_cap: Option<usize>,
+    /// Bytes/s the *full-fidelity* schedule would commit at unit rate —
+    /// what an upgrade from degraded admission must fit.
+    pub(crate) full_unit_demand: Rational,
     /// Bytes/s this session commits against capacity at unit rate.
     pub(crate) unit_demand: Rational,
     /// Bytes/s currently committed (unit demand × rate).

@@ -65,8 +65,9 @@ pub use tbm_time as time;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use tbm_blob::{
-        is_transient, BlobStore, ByteSpan, FaultPlan, FaultStats, FaultyBlobStore, FileBlobStore,
-        MemBlobStore, OpenReport, RetryPolicy, RetryReport, SkipReason,
+        is_transient, BlobStore, BreakerState, ByteSpan, FaultPlan, FaultStats, FaultyBlobStore,
+        FileBlobStore, MemBlobStore, OpenReport, ReadCtx, RetryPolicy, RetryReport, SkipReason,
+        TierConfig, TierStats, TieredBlobStore,
     };
     pub use tbm_compose::{Component, ComponentKind, Composer, MultimediaObject, Region};
     pub use tbm_core::{

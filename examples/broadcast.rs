@@ -13,8 +13,14 @@
 //! <https://ui.perfetto.dev>) and prints a deadline-miss attribution
 //! summary.
 //!
+//! Set `BROADCAST_TIER_BLACKOUT=1` to instead broadcast off a tiered
+//! store (fast primary over a slow replica) and black the primary out
+//! mid-run: reads fail over, the circuit breaker trips and later heals,
+//! and not one element is dropped.
+//!
 //! ```text
 //! cargo run --example broadcast
+//! BROADCAST_TIER_BLACKOUT=1 cargo run --example broadcast
 //! ```
 
 use tbm::codec::dct::DctParams;
@@ -26,6 +32,10 @@ use tbm::prelude::*;
 use tbm::serve::{Request, Response, Server};
 
 fn main() {
+    if std::env::var_os("BROADCAST_TIER_BLACKOUT").is_some() {
+        blackout_broadcast();
+        return;
+    }
     // ------------------------------------------------------------------
     // Capture the hot object: a two-layer scalable PAL movie.
     // ------------------------------------------------------------------
@@ -149,4 +159,90 @@ fn main() {
             println!("  {:>22}: {n}", cause.as_str());
         }
     }
+}
+
+/// The same broadcast on a tiered store whose fast primary blacks out
+/// mid-run: the replica tier carries the outage, the breaker trips and
+/// self-heals, and the drop rate stays zero.
+fn blackout_broadcast() {
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+    let mut store = TieredBlobStore::new()
+        .with_tier(
+            TierConfig::new("primary", 150).with_breaker(3, 50_000),
+            MemBlobStore::new(),
+        )
+        .with_tier(
+            TierConfig::new("replica", 2_000).with_breaker(3, 20_000),
+            MemBlobStore::new(),
+        );
+    let frames = render_frames(VideoPattern::MovingBar, 0, 50, 96, 64);
+    let (_blob, interp) =
+        capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+    // The primary goes dark over [150ms, 700ms) of simulated time —
+    // right across the middle of the broadcast.
+    let store = store.with_outage(0, t(150), t(700));
+    let mut db = MediaDb::with_store(store);
+    db.register_interpretation(interp).unwrap();
+
+    let (_, stream) = db.stream_of("video1").unwrap();
+    let full_jobs = tbm::player::schedule_from_interp(stream, None);
+    let full_bps = tbm::player::demanded_rate(&full_jobs, stream.system())
+        .unwrap()
+        .ceil() as u64;
+    // Roomy capacity and no cache: every read of every viewer exercises
+    // the tier stack, so the blackout is actually felt.
+    let mut server = Server::new(db, Capacity::new(full_bps * 8));
+    println!("broadcast over a tiered store; primary tier blacks out [150ms, 700ms)\n");
+    for n in 0..6 {
+        let at = t(n * 150);
+        if let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(
+                at,
+                Request::Open {
+                    object: "video1".into(),
+                },
+            )
+            .unwrap()
+        {
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+    let stats = server.finish();
+
+    let store = server.db().store();
+    println!(
+        "{:<10}{:>8}{:>9}{:>8}{:>14}{:>10}",
+        "tier", "serves", "faults", "opens", "hedged probes", "breaker"
+    );
+    println!("{}", "-".repeat(59));
+    for ts in store.tier_stats() {
+        println!(
+            "{:<10}{:>8}{:>9}{:>8}{:>14}{:>10}",
+            ts.name, ts.serves, ts.faults, ts.breaker_opens, ts.hedged_probes, ts.state
+        );
+    }
+    println!(
+        "\nserved {} elements across {} sessions: {} dropped, {} failover reads",
+        stats.elements_served,
+        stats.finished_sessions,
+        stats.dropped_elements,
+        store.failover_reads()
+    );
+
+    assert_eq!(
+        stats.dropped_elements, 0,
+        "the replica tier must carry the blackout without a single drop"
+    );
+    assert!(
+        store.failover_reads() > 0,
+        "the blackout must force reads over the failover path"
+    );
+    assert_eq!(
+        store.breaker_state(0),
+        Some(BreakerState::Closed),
+        "the primary's breaker must heal once the outage ends"
+    );
+    println!("breaker tripped and healed; zero drops — the broadcast survived the outage");
 }

@@ -25,6 +25,12 @@ trace=target/broadcast_trace.json
 head -c1 "$trace" | grep -q '\[' || { echo "$trace is not a JSON array" >&2; exit 1; }
 echo "--> $trace: $(wc -c < "$trace") bytes"
 
+echo "==> tier-failover smoke"
+# The broadcast example again, this time over a tiered store whose
+# primary tier blacks out mid-run: the example asserts zero drops,
+# failover reads, and a healed breaker.
+BROADCAST_TIER_BLACKOUT=1 cargo run --release -q -p tbm --example broadcast
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

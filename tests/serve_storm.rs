@@ -110,11 +110,11 @@ fn storm_respects_capacity_and_stats_invariants() {
     assert_eq!(stats.active_sessions, 0);
     assert_eq!(stats.committed_bps, 0);
 
-    // Fault accounting: every unrecoverable fault became exactly one
-    // degraded or dropped element.
+    // Fault accounting: every detected fault became exactly one degraded,
+    // dropped, or tier-repaired element.
     assert_eq!(
         stats.faults_detected,
-        stats.degraded_elements + stats.dropped_elements
+        stats.degraded_elements + stats.dropped_elements + stats.repaired_elements
     );
 
     // The cache worked: verified spans of the hot object were shared.
@@ -152,6 +152,7 @@ fn global_stats_are_the_sum_of_session_stats() {
     let mut recovered = 0;
     let mut degraded = 0;
     let mut dropped = 0;
+    let mut repaired = 0;
     for s in server.sessions() {
         let st = s.stats();
         elements += st.elements;
@@ -161,6 +162,7 @@ fn global_stats_are_the_sum_of_session_stats() {
         recovered += st.recovered;
         degraded += st.degraded;
         dropped += st.dropped;
+        repaired += st.repaired;
     }
     assert_eq!(stats.elements_served, elements);
     assert_eq!(stats.deadline_misses, misses);
@@ -169,6 +171,7 @@ fn global_stats_are_the_sum_of_session_stats() {
     assert_eq!(stats.recovered, recovered);
     assert_eq!(stats.degraded_elements, degraded);
     assert_eq!(stats.dropped_elements, dropped);
+    assert_eq!(stats.repaired_elements, repaired);
 }
 
 #[test]
@@ -224,7 +227,7 @@ mod prop {
             let (stats, _) = storm(Server::new(db, capacity).with_cache_budget(16 << 20));
             prop_assert_eq!(
                 stats.faults_detected,
-                stats.degraded_elements + stats.dropped_elements
+                stats.degraded_elements + stats.dropped_elements + stats.repaired_elements
             );
             // The snapshot histograms agree with the counters they back.
             prop_assert_eq!(stats.service.count() as usize, stats.elements_served);
