@@ -221,6 +221,19 @@ impl<S: BlobStore> MediaDb<S> {
         &self.objects
     }
 
+    /// Media object names in registration order — the shard-stable
+    /// iteration a sharded catalog concatenates per shard. Symbolic
+    /// immediates are not listed (they have no stream to serve).
+    pub fn object_names(&self) -> impl Iterator<Item = &str> {
+        self.objects.iter().map(|o| o.name.as_str())
+    }
+
+    /// Whether `name` is a registered media object (interpreted or
+    /// derived; symbolic immediates count too).
+    pub fn contains_object(&self, name: &str) -> bool {
+        self.objects.iter().any(|o| o.name == name) || self.immediates.contains_key(name)
+    }
+
     /// Looks up a media object record by name.
     pub fn object(&self, name: &str) -> Result<&MediaObjectRecord, DbError> {
         self.objects

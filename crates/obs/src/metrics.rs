@@ -109,6 +109,28 @@ impl Histogram {
         &self.counts[..self.bounds.len() + 1]
     }
 
+    /// Merges `other` into `self`: per-bucket counts, count and sum add,
+    /// the exact maximum is the larger of the two. Both histograms must
+    /// share the same bucket boundaries — merging distributions recorded
+    /// over different buckets has no exact answer.
+    ///
+    /// This is the cross-shard rollup primitive: every shard records
+    /// lateness/service over [`LATENCY_BUCKETS_US`], so a merged histogram
+    /// answers global p50/p99 with exactly the fidelity of a single-shard
+    /// run.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms over different bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// The nearest-rank `p`-th percentile (`p` in 0..=100), answered as the
     /// inclusive upper bound of the bucket holding that rank. Observations
     /// in the overflow bucket answer with the exact maximum. 0 when empty.
@@ -136,14 +158,16 @@ impl Histogram {
 
 /// A registry of named counters, gauges and histograms.
 ///
-/// Names are static strings with dotted paths (`"serve.elements.served"`).
+/// Names are strings with dotted paths (`"serve.elements.served"`) —
+/// usually static, but owned names are accepted so rollups can derive
+/// per-shard prefixes (`"shard0.serve.elements.served"`) at runtime.
 /// Iteration and rendering are in name order, so a rendered registry is
 /// deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, i64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -153,8 +177,8 @@ impl MetricsRegistry {
     }
 
     /// Adds `by` to counter `name` (created at 0 on first use).
-    pub fn inc(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+    pub fn inc(&mut self, name: impl Into<String>, by: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += by;
     }
 
     /// The value of counter `name` (0 when never incremented).
@@ -163,8 +187,8 @@ impl MetricsRegistry {
     }
 
     /// Sets gauge `name` to `value`.
-    pub fn set_gauge(&mut self, name: &'static str, value: i64) {
-        self.gauges.insert(name, value);
+    pub fn set_gauge(&mut self, name: impl Into<String>, value: i64) {
+        self.gauges.insert(name.into(), value);
     }
 
     /// The value of gauge `name` (0 when never set).
@@ -174,9 +198,9 @@ impl MetricsRegistry {
 
     /// Records `value` into histogram `name`, creating it over `bounds` on
     /// first use. The bounds of an existing histogram are kept.
-    pub fn observe(&mut self, name: &'static str, bounds: &'static [u64], value: u64) {
+    pub fn observe(&mut self, name: impl Into<String>, bounds: &'static [u64], value: u64) {
         self.histograms
-            .entry(name)
+            .entry(name.into())
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
     }
@@ -193,18 +217,42 @@ impl MetricsRegistry {
     }
 
     /// Counters in name order.
-    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Gauges in name order.
-    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
-        self.gauges.iter().map(|(k, v)| (*k, *v))
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
     /// Histograms in name order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
-        self.histograms.iter().map(|(k, v)| (*k, v))
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds every metric of `other` into this registry under
+    /// `prefix + name`: counters and gauges add, histograms
+    /// [`Histogram::merge`]. With an empty prefix this is a plain additive
+    /// rollup — the shard pattern is one call per shard with
+    /// `"shard{i}."` and one with `""` for the global aggregate.
+    ///
+    /// Gauges *add* rather than last-write-wins because a rollup of
+    /// point-in-time gauges (cache occupancy per shard) reads as the
+    /// fleet-wide total.
+    pub fn merge_prefixed(&mut self, other: &MetricsRegistry, prefix: &str) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{name}")).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(format!("{prefix}{name}")).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(format!("{prefix}{name}"))
+                .and_modify(|mine| mine.merge(h))
+                .or_insert(*h);
+        }
     }
 
     /// A plain-text exposition of every metric, one per line, in name
@@ -307,5 +355,60 @@ mod tests {
     #[should_panic(expected = "bounds not sorted")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::new(&[5, 3]);
+    }
+
+    #[test]
+    fn merge_is_exact_union_of_observations() {
+        let mut a = Histogram::new(&LATENCY_BUCKETS_US);
+        let mut b = Histogram::new(&LATENCY_BUCKETS_US);
+        let mut both = Histogram::new(&LATENCY_BUCKETS_US);
+        for us in [10u64, 150, 900] {
+            a.observe(us);
+            both.observe(us);
+        }
+        for us in [60u64, 150, 3_000_000] {
+            b.observe(us);
+            both.observe(us);
+        }
+        a.merge(&b);
+        assert_eq!(a, both, "merge must equal observing the union directly");
+        assert_eq!(a.quantile(99), both.quantile(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&LATENCY_BUCKETS_US);
+        a.merge(&Histogram::new(&BYTES_BUCKETS));
+    }
+
+    #[test]
+    fn merge_prefixed_rolls_up_shards() {
+        let mut shard0 = MetricsRegistry::new();
+        shard0.inc("serve.elements.served", 10);
+        shard0.set_gauge("cache.bytes", 100);
+        shard0.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 80);
+        let mut shard1 = MetricsRegistry::new();
+        shard1.inc("serve.elements.served", 5);
+        shard1.set_gauge("cache.bytes", 50);
+        shard1.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 400);
+
+        let mut rollup = MetricsRegistry::new();
+        rollup.merge_prefixed(&shard0, "shard0.");
+        rollup.merge_prefixed(&shard1, "shard1.");
+        rollup.merge_prefixed(&shard0, "");
+        rollup.merge_prefixed(&shard1, "");
+
+        assert_eq!(rollup.counter("shard0.serve.elements.served"), 10);
+        assert_eq!(rollup.counter("shard1.serve.elements.served"), 5);
+        assert_eq!(rollup.counter("serve.elements.served"), 15);
+        assert_eq!(rollup.gauge("cache.bytes"), 150, "gauges add in a rollup");
+        let h = rollup.histogram("serve.lateness_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 400);
+        assert_eq!(
+            rollup.histogram("shard0.serve.lateness_us").unwrap().max(),
+            80
+        );
     }
 }

@@ -66,6 +66,18 @@ impl CacheStats {
     pub fn hit_ratio(&self) -> f64 {
         self.hit_rate()
     }
+
+    /// Adds `other`'s counters into this one — the cross-shard rollup: N
+    /// per-shard caches report as one fleet-wide cache. `bytes_cached` adds
+    /// too (total resident bytes across all shards' budgets).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.insertions += other.insertions;
+        self.bytes_cached += other.bytes_cached;
+        self.bytes_served += other.bytes_served;
+    }
 }
 
 #[derive(Debug)]

@@ -23,6 +23,12 @@
 //!   service channel, served earliest-deadline-first in exact rational time,
 //!   so runs are reproducible byte-for-byte.
 //!
+//! Past one catalog's capacity, [`ShardedDb`] partitions the object
+//! namespace across N catalogs by a stable seeded hash of the object name,
+//! and [`ShardedServer`] fronts one full `Server` (own capacity budget, own
+//! cache, own channel) per shard, with cross-shard stats rollup and a
+//! `shard.skew` gauge — see the `shard` module docs.
+//!
 //! ```
 //! use tbm_serve::{Capacity, Request, Server};
 //! use tbm_time::TimePoint;
@@ -63,6 +69,7 @@ mod error;
 mod metrics;
 mod server;
 mod session;
+mod shard;
 
 pub use cache::{CacheStats, SegmentCache};
 pub use capacity::{AdmissionPolicy, AdmitDecision, Capacity, RejectReason};
@@ -70,6 +77,9 @@ pub use error::ServeError;
 pub use metrics::ServerStats;
 pub use server::Server;
 pub use session::{Request, Response, Session, SessionState, SessionStats};
+pub use shard::{
+    shard_of, ShardError, ShardedDb, ShardedServer, ShardedStats, SHARD_SESSION_STRIDE,
+};
 
 #[cfg(test)]
 mod tests {
@@ -680,5 +690,243 @@ mod tests {
             stats.elements_served
         );
         assert_eq!(stats.service.count() as usize, stats.elements_served);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded catalogs
+    // ------------------------------------------------------------------
+
+    /// Captures a scalable movie into `store` under `name`: the capture
+    /// helper names its stream "video1", so the stream is re-hung under
+    /// the caller's name on a fresh interpretation of the same BLOB.
+    fn named_capture(store: &mut MemBlobStore, name: &str, n: usize) -> tbm_interp::Interpretation {
+        let (blob, interp) =
+            capture_video_scalable(store, &frames(n), TimeSystem::PAL, DctParams::default())
+                .unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = tbm_interp::Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        renamed
+    }
+
+    /// `names` captured into the shards that own them, identically per
+    /// name regardless of the shard count.
+    fn sharded_catalog(names: &[&str], shards: usize, seed: u64, n_frames: usize) -> ShardedDb {
+        let mut db = ShardedDb::new(shards, seed);
+        for name in names {
+            let interp = named_capture(db.store_for_mut(name), name, n_frames);
+            let (shard, _) = db.register_interpretation(interp).unwrap();
+            assert_eq!(shard, db.shard_for(name), "owner chosen by routing hash");
+        }
+        db
+    }
+
+    #[test]
+    fn sharded_server_routes_every_session_to_its_owning_shard() {
+        let names = ["movie0", "movie1", "movie2", "movie3", "movie4", "movie5"];
+        let db = sharded_catalog(&names, 3, 42, 6);
+        let mut server = ShardedServer::new(db, Capacity::new(100_000_000));
+        for (i, name) in names.iter().enumerate() {
+            let at = t(i as i64 * 10);
+            let expect = server.shard_for(name);
+            let Response::Opened {
+                session: Some(id), ..
+            } = server
+                .request(
+                    at,
+                    Request::Open {
+                        object: (*name).to_owned(),
+                    },
+                )
+                .unwrap()
+            else {
+                panic!("ample capacity must admit {name}");
+            };
+            assert_eq!(server.shard_of_session(id), Some(expect));
+            assert_eq!(server.session(id).unwrap().object(), *name);
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+        let stats = server.finish();
+        assert_eq!(stats.global.finished_sessions, names.len());
+        assert_eq!(stats.global.elements_served, 6 * names.len());
+        // No cross-shard leakage: each shard's sessions serve only objects
+        // it owns, and the global view is exactly the per-shard sum.
+        for (i, shard) in server.shards().enumerate() {
+            for s in shard.sessions() {
+                assert_eq!(server.shard_for(s.object()), i);
+            }
+        }
+        let summed: usize = stats.per_shard.iter().map(|s| s.elements_served).sum();
+        assert_eq!(summed, stats.global.elements_served);
+    }
+
+    #[test]
+    fn sharded_front_end_enforces_one_clock_and_knows_its_ids() {
+        let db = sharded_catalog(&["movie0", "movie1"], 2, 7, 4);
+        let mut server = ShardedServer::new(db, Capacity::new(100_000_000));
+        let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(
+                t(100),
+                Request::Open {
+                    object: "movie0".to_owned(),
+                },
+            )
+            .unwrap()
+        else {
+            panic!("must admit");
+        };
+        // Time is fleet-global: an earlier request is refused even if the
+        // target shard's own clock has not advanced that far.
+        let err = server
+            .request(
+                t(50),
+                Request::Open {
+                    object: "movie1".to_owned(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::NonMonotonicTime { .. }));
+        // An id no shard could have issued is unknown at the front end.
+        let bogus = tbm_core::SessionId::new(99 * SHARD_SESSION_STRIDE);
+        let err = server
+            .request(t(100), Request::Play { session: bogus })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSession { .. }));
+        // A plausible-shard id that was never allocated is unknown too
+        // (caught inside the shard, not the router).
+        let unallocated = tbm_core::SessionId::new(SHARD_SESSION_STRIDE + 5);
+        let err = server
+            .request(
+                t(100),
+                Request::Play {
+                    session: unallocated,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownSession { .. }));
+        // The real session still works end to end through the router.
+        server
+            .request(t(100), Request::Play { session: id })
+            .unwrap();
+        let stats = server.finish();
+        assert_eq!(stats.global.finished_sessions, 1);
+    }
+
+    #[test]
+    fn per_object_timing_is_identical_at_one_and_many_shards() {
+        use std::collections::BTreeMap;
+
+        let names = ["movie0", "movie1", "movie2", "movie3", "movie4"];
+        // Sequential, non-overlapping sessions: each object's playback sees
+        // an idle channel in both arms, so sharding must not change a
+        // single element's timing.
+        let run = |shards: usize| -> (BTreeMap<String, SessionStats>, ServerStats) {
+            let db = sharded_catalog(&names, shards, 11, 8);
+            let mut server =
+                ShardedServer::new(db, Capacity::new(3_000_000)).with_cache_budget(32 << 20);
+            for (i, name) in names.iter().enumerate() {
+                let at = t(i as i64 * 3_000);
+                let Response::Opened {
+                    session: Some(id), ..
+                } = server
+                    .request(
+                        at,
+                        Request::Open {
+                            object: (*name).to_owned(),
+                        },
+                    )
+                    .unwrap()
+                else {
+                    panic!("sequential sessions must all admit");
+                };
+                server.request(at, Request::Play { session: id }).unwrap();
+            }
+            let stats = server.finish();
+            let per_object = server
+                .sessions()
+                .map(|s| (s.object().to_owned(), s.stats()))
+                .collect();
+            (per_object, stats.global)
+        };
+
+        let (objects_1, global_1) = run(1);
+        let (objects_4, global_4) = run(4);
+        assert_eq!(
+            objects_1, objects_4,
+            "per-object playback stats must not depend on the shard count"
+        );
+        assert_eq!(
+            global_1.service, global_4.service,
+            "the merged service-time distribution is bit-identical"
+        );
+        assert_eq!(global_1.lateness, global_4.lateness);
+        assert_eq!(global_1.elements_served, global_4.elements_served);
+    }
+
+    #[test]
+    fn sharded_metrics_roll_up_with_prefixes_and_skew() {
+        let names = ["movie0", "movie1", "movie2", "movie3"];
+        let db = sharded_catalog(&names, 2, 3, 5);
+        let mut server = ShardedServer::new(db, Capacity::new(100_000_000));
+        for (i, name) in names.iter().enumerate() {
+            let at = t(i as i64 * 10);
+            if let Response::Opened {
+                session: Some(id), ..
+            } = server
+                .request(
+                    at,
+                    Request::Open {
+                        object: (*name).to_owned(),
+                    },
+                )
+                .unwrap()
+            {
+                server.request(at, Request::Play { session: id }).unwrap();
+            }
+        }
+        let stats = server.finish();
+        let m = server.metrics();
+        let per_shard_sum: u64 = (0..server.shard_count())
+            .map(|i| m.counter(&format!("shard{i}.serve.elements.served")))
+            .sum();
+        assert_eq!(per_shard_sum, m.counter("serve.elements.served"));
+        assert_eq!(
+            m.counter("serve.elements.served") as usize,
+            stats.global.elements_served
+        );
+        assert_eq!(m.gauge("shard.skew"), stats.skew_percent());
+        assert!(m.gauge("shard.skew") >= 0);
+        // The merged lateness/service histograms in the registry match the
+        // rollup snapshot exactly.
+        assert_eq!(
+            m.histogram_or_empty("serve.service_us", &tbm_obs::LATENCY_BUCKETS_US),
+            stats.global.service
+        );
+    }
+
+    #[test]
+    fn straddling_interpretations_are_refused() {
+        let mut db = ShardedDb::new(4, 0);
+        // Find two names that hash to different shards, then put both
+        // streams on one interpretation.
+        let names: Vec<String> = (0..32).map(|i| format!("s{i}")).collect();
+        let a = &names[0];
+        let b = names
+            .iter()
+            .find(|n| db.shard_for(n) != db.shard_for(a))
+            .expect("32 names must cover more than one of 4 shards");
+        let store = db.store_for_mut(a);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames(3), TimeSystem::PAL, DctParams::default())
+                .unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut straddling = tbm_interp::Interpretation::new(blob);
+        straddling.add_stream(a, stream.clone()).unwrap();
+        straddling.add_stream(b, stream).unwrap();
+        let err = db.register_interpretation(straddling).unwrap_err();
+        assert!(matches!(err, ShardError::Straddles { .. }), "got {err}");
+        assert!(!db.contains_object(a), "nothing registered on refusal");
     }
 }

@@ -60,6 +60,32 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// An all-zero snapshot over the standard latency buckets — the
+    /// identity element of [`ServerStats::absorb`].
+    pub fn empty() -> ServerStats {
+        ServerStats {
+            active_sessions: 0,
+            finished_sessions: 0,
+            closed_sessions: 0,
+            admitted: 0,
+            admitted_degraded: 0,
+            rejected: 0,
+            elements_served: 0,
+            deadline_misses: 0,
+            recovered: 0,
+            degraded_elements: 0,
+            dropped_elements: 0,
+            repaired_elements: 0,
+            faults_detected: 0,
+            upgraded_sessions: 0,
+            cache: CacheStats::default(),
+            storage_bytes_read: 0,
+            committed_bps: 0,
+            lateness: Histogram::new(&tbm_obs::LATENCY_BUCKETS_US),
+            service: Histogram::new(&tbm_obs::LATENCY_BUCKETS_US),
+        }
+    }
+
     /// Fraction of served elements that missed their deadline.
     pub fn miss_rate(&self) -> f64 {
         if self.elements_served == 0 {
@@ -97,6 +123,35 @@ impl ServerStats {
     /// Worst per-element lateness (exact, not bucketed).
     pub fn max_lateness(&self) -> TimeDelta {
         TimeDelta::from_micros(self.lateness.max() as i64)
+    }
+
+    /// Adds `other` into this snapshot — the per-shard → global rollup of
+    /// a [`crate::ShardedServer`]. Counters and cache stats add; the
+    /// lateness/service histograms merge bucket-by-bucket
+    /// ([`Histogram::merge`]), so merged p50/p99 are exactly what one
+    /// server observing the union would report. The fault invariant
+    /// `faults == degraded + dropped + repaired` is preserved by addition:
+    /// if it holds per shard it holds globally.
+    pub fn absorb(&mut self, other: &ServerStats) {
+        self.active_sessions += other.active_sessions;
+        self.finished_sessions += other.finished_sessions;
+        self.closed_sessions += other.closed_sessions;
+        self.admitted += other.admitted;
+        self.admitted_degraded += other.admitted_degraded;
+        self.rejected += other.rejected;
+        self.elements_served += other.elements_served;
+        self.deadline_misses += other.deadline_misses;
+        self.recovered += other.recovered;
+        self.degraded_elements += other.degraded_elements;
+        self.dropped_elements += other.dropped_elements;
+        self.repaired_elements += other.repaired_elements;
+        self.faults_detected += other.faults_detected;
+        self.upgraded_sessions += other.upgraded_sessions;
+        self.cache.absorb(&other.cache);
+        self.storage_bytes_read += other.storage_bytes_read;
+        self.committed_bps += other.committed_bps;
+        self.lateness.merge(&other.lateness);
+        self.service.merge(&other.service);
     }
 }
 

@@ -84,6 +84,11 @@ pub struct Server<S: BlobStore = MemBlobStore> {
     retry: RetryPolicy,
     policy: DegradationPolicy,
     sessions: Vec<Session>,
+    /// First session id this server hands out; ids are `base..base+n`.
+    /// Non-zero only under a [`crate::ShardedServer`], which gives each
+    /// shard a disjoint id range so a session id alone names its shard
+    /// (and trace session ids never collide across shards).
+    session_base: u64,
     heap: BinaryHeap<Reverse<QueuedJob>>,
     clock: TimePoint,
     busy_until: TimePoint,
@@ -103,6 +108,7 @@ impl<S: BlobStore> Server<S> {
             retry: RetryPolicy::new(3),
             policy: DegradationPolicy::DropLayers,
             sessions: Vec::new(),
+            session_base: 0,
             heap: BinaryHeap::new(),
             clock: TimePoint::ZERO,
             busy_until: TimePoint::ZERO,
@@ -133,6 +139,25 @@ impl<S: BlobStore> Server<S> {
     pub fn with_degradation(mut self, policy: DegradationPolicy) -> Server<S> {
         self.policy = policy;
         self
+    }
+
+    /// Builder: offsets the session ids this server allocates to
+    /// `base..base+n`. A [`crate::ShardedServer`] gives shard `i` the base
+    /// `i << 32`, so every session id in the fleet is unique and encodes
+    /// its owning shard.
+    pub fn with_session_base(mut self, base: u64) -> Server<S> {
+        assert!(
+            self.sessions.is_empty(),
+            "session base must be set before any session is admitted"
+        );
+        self.session_base = base;
+        self
+    }
+
+    /// The first session id this server allocates (0 unless offset by
+    /// [`Server::with_session_base`]).
+    pub fn session_base(&self) -> u64 {
+        self.session_base
     }
 
     /// Builder: attaches a tracer. Every session lifecycle step, admission
@@ -201,7 +226,21 @@ impl<S: BlobStore> Server<S> {
 
     /// A session by id.
     pub fn session(&self, id: SessionId) -> Option<&Session> {
-        self.sessions.get(id.raw() as usize)
+        self.checked_slot(id).map(|i| &self.sessions[i])
+    }
+
+    /// The slot of a known-valid session id (ids are `base + slot`).
+    fn slot(&self, id: SessionId) -> usize {
+        (id.raw() - self.session_base) as usize
+    }
+
+    /// The slot of `id`, or `None` when the id was never allocated here
+    /// (wrong shard, or simply unknown).
+    fn checked_slot(&self, id: SessionId) -> Option<usize> {
+        id.raw()
+            .checked_sub(self.session_base)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.sessions.len())
     }
 
     /// The shared segment cache's counters.
@@ -405,7 +444,7 @@ impl<S: BlobStore> Server<S> {
             })
             .collect();
 
-        let id = SessionId::new(self.sessions.len() as u64);
+        let id = SessionId::new(self.session_base + self.sessions.len() as u64);
         let pending: BTreeSet<usize> = (0..jobs.len()).collect();
         match decision {
             AdmitDecision::Degraded { .. } => self.metrics.inc(M_ADMITTED_DEGRADED, 1),
@@ -464,14 +503,14 @@ impl<S: BlobStore> Server<S> {
     }
 
     fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, ServeError> {
-        self.sessions
-            .get_mut(id.raw() as usize)
+        self.checked_slot(id)
+            .map(|i| &mut self.sessions[i])
             .ok_or(ServeError::UnknownSession { session: id })
     }
 
     /// Queues every pending element of `id` under its current anchor.
     fn enqueue_pending(&mut self, id: SessionId) {
-        let s = &self.sessions[id.raw() as usize];
+        let s = &self.sessions[self.slot(id)];
         let jobs: Vec<QueuedJob> = s
             .pending
             .iter()
@@ -605,7 +644,8 @@ impl<S: BlobStore> Server<S> {
         );
         if state == SessionState::Playing {
             if remaining == 0 {
-                let s = &mut self.sessions[id.raw() as usize];
+                let slot = self.slot(id);
+                let s = &mut self.sessions[slot];
                 s.state = SessionState::Finished;
                 let demand = s.demand;
                 let already = std::mem::replace(&mut s.released, true);
@@ -615,7 +655,8 @@ impl<S: BlobStore> Server<S> {
                 self.tracer.end_span(span, at);
                 self.try_upgrade_sessions(at);
             } else {
-                self.sessions[id.raw() as usize].anchor(at);
+                let slot = self.slot(id);
+                self.sessions[slot].anchor(at);
                 self.enqueue_pending(id);
             }
         }
@@ -669,8 +710,9 @@ impl<S: BlobStore> Server<S> {
             Some(id.raw()),
             vec![("num", num.into()), ("den", den.into())],
         );
-        if self.sessions[id.raw() as usize].state == SessionState::Playing {
-            self.sessions[id.raw() as usize].anchor(at);
+        let slot = self.slot(id);
+        if self.sessions[slot].state == SessionState::Playing {
+            self.sessions[slot].anchor(at);
             self.enqueue_pending(id);
         }
         Ok(Response::RateSet {
@@ -802,7 +844,7 @@ impl<S: BlobStore> Server<S> {
     /// layer reads, the degradation ladder, and exact-rational timing
     /// through the shared channel.
     fn serve_job(&mut self, job: QueuedJob) {
-        let idx = job.session as usize;
+        let idx = (job.session - self.session_base) as usize;
         {
             let s = &self.sessions[idx];
             if s.epoch != job.epoch || s.state != SessionState::Playing {

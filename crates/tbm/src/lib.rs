@@ -16,7 +16,7 @@
 //! | [`compose`] | `tbm-compose` | composition (Def. 7; Fig. 4) |
 //! | [`player`] | `tbm-player` | playback timing/jitter simulation (§2.2, §5) |
 //! | [`db`] | `tbm-db` | the multimedia database facade (§1.2 queries) |
-//! | [`serve`] | `tbm-serve` | multi-session delivery: admission control + shared segment cache |
+//! | [`serve`] | `tbm-serve` | multi-session delivery: admission control, segment cache, sharded catalogs |
 //! | [`obs`] | `tbm-obs` | observability: deterministic tracing, metrics, miss attribution |
 //!
 //! ## Quickstart
@@ -71,8 +71,8 @@ pub mod prelude {
     };
     pub use tbm_compose::{Component, ComponentKind, Composer, MultimediaObject, Region};
     pub use tbm_core::{
-        classify, crc32, keys, AudioQuality, Crc32, MediaDescriptor, MediaKind, MediaType,
-        QualityFactor, StreamCategory, TimedStream, TimedTuple, VideoQuality,
+        classify, crc32, keys, AudioQuality, Crc32, InterpretationId, MediaDescriptor, MediaKind,
+        MediaType, QualityFactor, SessionId, StreamCategory, TimedStream, TimedTuple, VideoQuality,
     };
     pub use tbm_db::{MediaDb, SalvageReport, SectionSalvage, CATALOG_TMP};
     pub use tbm_derive::{EditCut, Expander, MediaValue, Node, Op, WipeDirection};
@@ -85,8 +85,9 @@ pub mod prelude {
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
     };
     pub use tbm_serve::{
-        AdmissionPolicy, AdmitDecision, CacheStats, Capacity, RejectReason, Request, Response,
-        SegmentCache, ServeError, Server, ServerStats, Session, SessionState, SessionStats,
+        shard_of, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, RejectReason, Request,
+        Response, SegmentCache, ServeError, Server, ServerStats, Session, SessionState,
+        SessionStats, ShardError, ShardedDb, ShardedServer, ShardedStats,
     };
     pub use tbm_time::{
         AllenRelation, Interval, Rational, TimeDelta, TimePoint, TimeSystem, Timecode,

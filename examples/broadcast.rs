@@ -18,9 +18,16 @@
 //! mid-run: reads fail over, the circuit breaker trips and later heals,
 //! and not one element is dropped.
 //!
+//! Set `BROADCAST_SHARDS=N` to instead broadcast a whole catalog of
+//! movies through the shard-aware front end: the namespace is partitioned
+//! across `N` shards by the stable name hash, every shard brings its own
+//! admission budget and cache, and the report shows the per-shard
+//! breakdown, the `shard.skew` gauge and the exact global rollup.
+//!
 //! ```text
 //! cargo run --example broadcast
 //! BROADCAST_TIER_BLACKOUT=1 cargo run --example broadcast
+//! BROADCAST_SHARDS=4 cargo run --example broadcast
 //! ```
 
 use tbm::codec::dct::DctParams;
@@ -34,6 +41,13 @@ use tbm::serve::{Request, Response, Server};
 fn main() {
     if std::env::var_os("BROADCAST_TIER_BLACKOUT").is_some() {
         blackout_broadcast();
+        return;
+    }
+    if let Some(n) = std::env::var("BROADCAST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        sharded_broadcast(n);
         return;
     }
     // ------------------------------------------------------------------
@@ -159,6 +173,144 @@ fn main() {
             println!("  {:>22}: {n}", cause.as_str());
         }
     }
+}
+
+/// A whole catalog behind the shard-aware front end: eight movies spread
+/// across `shards` shards by the stable name hash, sixteen viewers
+/// round-robining over them, every shard running its own admission budget
+/// and segment cache. Prints the per-shard breakdown and the exact global
+/// rollup, and checks the cross-shard invariants as it goes.
+fn sharded_broadcast(shards: usize) {
+    use tbm::interp::Interpretation;
+    use tbm::serve::SHARD_SESSION_STRIDE;
+
+    const SEED: u64 = 17;
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+    let names: Vec<String> = (0..8).map(|i| format!("movie{i}")).collect();
+
+    let mut db = ShardedDb::new(shards, SEED);
+    let frames = render_frames(VideoPattern::MovingBar, 0, 40, 96, 64);
+    for name in &names {
+        let store = db.store_for_mut(name);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+        // The capture helper names streams "video1"; re-hang the stream
+        // under the movie's routing name.
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        db.register_interpretation(renamed).unwrap();
+    }
+    println!(
+        "catalog of {} movies over {shards} shard(s), seed {SEED}:",
+        names.len()
+    );
+    for (shard, name) in db.object_names() {
+        print!("  {name}→{shard}");
+    }
+    println!("\n");
+
+    // Probe one movie's full-fidelity demand to size the per-shard budget.
+    let owner = db.shard_for("movie0");
+    let (_, stream) = db.shard(owner).stream_of("movie0").unwrap();
+    let full_bps = tbm::player::demanded_rate(
+        &tbm::player::schedule_from_interp(stream, None),
+        stream.system(),
+    )
+    .unwrap()
+    .ceil() as u64;
+
+    // Every shard brings its own ~2.5-stream budget and 32 MiB cache.
+    let per_shard = Capacity::new(full_bps * 5 / 2).with_overhead_us(100);
+    let mut server = ShardedServer::new(db, per_shard)
+        .with_cache_budget(32 << 20)
+        .with_tracer(Tracer::new());
+
+    let mut opened = Vec::new();
+    for i in 0..16usize {
+        let at = t(i as i64 * 120);
+        let name = names[i % names.len()].clone();
+        let Response::Opened { session, decision } = server
+            .request(
+                at,
+                Request::Open {
+                    object: name.clone(),
+                },
+            )
+            .unwrap()
+        else {
+            unreachable!("Open always answers Opened");
+        };
+        println!(
+            "viewer {i:2} at {:>4} ms wants {name} (shard {}): {decision}",
+            i * 120,
+            server.shard_for(&name)
+        );
+        if let Some(id) = session {
+            server.request(at, Request::Play { session: id }).unwrap();
+            // Routing check: the session id's stride names the hash shard.
+            assert_eq!(
+                (id.raw() / SHARD_SESSION_STRIDE) as usize,
+                server.shard_for(&name),
+                "session must be admitted by the shard its object hashes to"
+            );
+            opened.push(id);
+        }
+    }
+
+    let stats = server.finish();
+    println!(
+        "\n{:<8}{:>14}{:>10}{:>8}{:>11}",
+        "shard", "adm/deg/rej", "elements", "misses", "hit rate"
+    );
+    println!("{}", "-".repeat(51));
+    for (i, s) in stats.per_shard.iter().enumerate() {
+        println!(
+            "{i:<8}{:>14}{:>10}{:>8}{:>10.1}%",
+            format!("{}/{}/{}", s.admitted, s.admitted_degraded, s.rejected),
+            s.elements_served,
+            s.deadline_misses,
+            s.cache.hit_rate() * 100.0
+        );
+    }
+    let g = &stats.global;
+    println!("{}", "-".repeat(51));
+    println!(
+        "{:<8}{:>14}{:>10}{:>8}{:>10.1}%",
+        "global",
+        format!("{}/{}/{}", g.admitted, g.admitted_degraded, g.rejected),
+        g.elements_served,
+        g.deadline_misses,
+        g.cache.hit_rate() * 100.0
+    );
+    println!(
+        "\nshard.skew gauge: {}% (hottest shard vs per-shard mean)",
+        server.metrics().gauge("shard.skew")
+    );
+
+    // Cross-shard invariants: the global view is the exact shard sum, and
+    // the fault invariant survives the rollup.
+    let mut rebuilt = ServerStats::empty();
+    for s in &stats.per_shard {
+        rebuilt.absorb(s);
+    }
+    assert_eq!(rebuilt, stats.global, "global stats must be the shard sum");
+    for s in stats.per_shard.iter().chain(std::iter::once(g)) {
+        assert_eq!(
+            s.faults_detected,
+            s.degraded_elements + s.dropped_elements + s.repaired_elements
+        );
+    }
+    assert_eq!(
+        g.admitted + g.admitted_degraded + g.rejected,
+        16,
+        "every viewer got exactly one admission decision"
+    );
+    println!(
+        "fleet admitted {} of 16 viewers across {shards} shard(s); rollup exact, \
+         fault invariant holds per shard and globally",
+        g.sessions_admitted()
+    );
 }
 
 /// The same broadcast on a tiered store whose fast primary blacks out

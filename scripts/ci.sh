@@ -31,6 +31,12 @@ echo "==> tier-failover smoke"
 # failover reads, and a healed breaker.
 BROADCAST_TIER_BLACKOUT=1 cargo run --release -q -p tbm --example broadcast
 
+echo "==> sharded-catalog smoke"
+# And once more through the shard-aware front end: four shards, each with
+# its own budget and cache; the example asserts hash routing, an exact
+# per-shard -> global rollup, and the fault invariant at both levels.
+BROADCAST_SHARDS=4 cargo run --release -q -p tbm --example broadcast
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
