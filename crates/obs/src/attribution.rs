@@ -9,6 +9,10 @@
 //!   behind *other sessions'* work. Dominant wait means the admission
 //!   controller let in more concurrent load than the channel can carry:
 //!   **admission over-commit**.
+//! * [`ATTR_NODELOSS_US`] — time the element's channel was stalled by a
+//!   node-level outage: a crash-triggered shard migration's catalog
+//!   handoff, or unreachable-node backoff. Dominant node-loss means the
+//!   miss is the price of surviving a node failure: **node-loss**.
 //! * [`ATTR_RETRY_US`] — time spent in retry backoff and re-reads after
 //!   injected storage faults: **retry-storm**.
 //! * [`ATTR_FAILOVER_US`] — time a tiered store spent probing broken
@@ -25,9 +29,9 @@
 //!
 //! [`attribute`] classifies every span with positive [`ATTR_LATENESS_US`]
 //! by its largest component, breaking ties in a fixed order
-//! (over-commit > tier-failover > retry-storm > storage-latency >
-//! decode-overrun), so each miss gets **exactly one** cause and the report
-//! is deterministic.
+//! (over-commit > node-loss > tier-failover > retry-storm >
+//! storage-latency > decode-overrun), so each miss gets **exactly one**
+//! cause and the report is deterministic.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -40,6 +44,8 @@ pub const ELEMENT_SPAN: &str = "element";
 pub const ATTR_LATENESS_US: &str = "lateness_us";
 /// Attribute: cross-session channel wait, in µs.
 pub const ATTR_WAIT_US: &str = "wait_us";
+/// Attribute: node-outage stall (migration handoff, crash detection), µs.
+pub const ATTR_NODELOSS_US: &str = "nodeloss_us";
 /// Attribute: retry backoff + re-read transfer, in µs.
 pub const ATTR_RETRY_US: &str = "retry_us";
 /// Attribute: tier probing, hedging and failover fallback time, in µs.
@@ -59,6 +65,10 @@ pub enum MissCause {
     /// Admission let in more concurrent sessions than the channel carries;
     /// the element stalled behind other sessions' transfers.
     AdmissionOverCommit,
+    /// A node crashed, browned out or fell off the network; the element
+    /// stalled behind a shard migration's catalog handoff (or the backoff
+    /// that preceded it) rather than behind any of its own work.
+    NodeLoss,
     /// A storage tier failed or browned out; the read burned its slack
     /// probing broken tiers, hedging, or falling back to a slower tier.
     TierFailover,
@@ -73,8 +83,9 @@ pub enum MissCause {
 
 impl MissCause {
     /// Every cause, in tie-break priority order.
-    pub const ALL: [MissCause; 5] = [
+    pub const ALL: [MissCause; 6] = [
         MissCause::AdmissionOverCommit,
+        MissCause::NodeLoss,
         MissCause::TierFailover,
         MissCause::RetryStorm,
         MissCause::StorageLatency,
@@ -85,6 +96,7 @@ impl MissCause {
     pub fn as_str(self) -> &'static str {
         match self {
             MissCause::AdmissionOverCommit => "admission-over-commit",
+            MissCause::NodeLoss => "node-loss",
             MissCause::TierFailover => "tier-failover",
             MissCause::RetryStorm => "retry-storm",
             MissCause::StorageLatency => "storage-latency",
@@ -175,9 +187,9 @@ impl AttributionReport {
     }
 }
 
-/// Picks the largest of the five direct components, breaking ties in
+/// Picks the largest of the six direct components, breaking ties in
 /// [`MissCause::ALL`] priority order.
-fn dominant(components: &[(MissCause, i64); 5]) -> (MissCause, i64) {
+fn dominant(components: &[(MissCause, i64); 6]) -> (MissCause, i64) {
     let mut best = components[0];
     for &(cause, us) in &components[1..] {
         if us > best.1 {
@@ -207,6 +219,7 @@ pub fn attribute(records: &[TraceRecord]) -> AttributionReport {
         }
         let components = [
             (MissCause::AdmissionOverCommit, rec.attr_i64(ATTR_WAIT_US)),
+            (MissCause::NodeLoss, rec.attr_i64(ATTR_NODELOSS_US)),
             (MissCause::TierFailover, rec.attr_i64(ATTR_FAILOVER_US)),
             (MissCause::RetryStorm, rec.attr_i64(ATTR_RETRY_US)),
             (MissCause::StorageLatency, rec.attr_i64(ATTR_STORAGE_US)),
@@ -392,6 +405,54 @@ mod tests {
         assert!(report.misses[1].inherited);
         assert_eq!(report.misses[2].cause, MissCause::DecodeOverrun);
         assert!(!report.misses[2].inherited);
+    }
+
+    #[test]
+    fn node_loss_classifies_and_outranks_everything_but_overcommit() {
+        let tracer = Tracer::new();
+        // A migration-handoff stall dominates: node-loss.
+        element(
+            &tracer,
+            1,
+            0,
+            0,
+            &[
+                (ATTR_LATENESS_US, 2_000),
+                (ATTR_NODELOSS_US, 1_500),
+                (ATTR_STORAGE_US, 400),
+                (ATTR_RETRY_US, 100),
+            ],
+        );
+        // Ties: node-loss beats tier-failover and retry-storm, but a tied
+        // over-commit wait still wins (it sits first in the order).
+        element(
+            &tracer,
+            2,
+            0,
+            1,
+            &[
+                (ATTR_LATENESS_US, 300),
+                (ATTR_NODELOSS_US, 150),
+                (ATTR_FAILOVER_US, 150),
+                (ATTR_RETRY_US, 150),
+            ],
+        );
+        element(
+            &tracer,
+            3,
+            0,
+            2,
+            &[
+                (ATTR_LATENESS_US, 300),
+                (ATTR_WAIT_US, 150),
+                (ATTR_NODELOSS_US, 150),
+            ],
+        );
+        let report = attribute(&tracer.snapshot().records);
+        assert_eq!(report.misses[0].cause, MissCause::NodeLoss);
+        assert_eq!(report.misses[0].dominant_us, 1_500);
+        assert_eq!(report.misses[1].cause, MissCause::NodeLoss);
+        assert_eq!(report.misses[2].cause, MissCause::AdmissionOverCommit);
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod tracer;
 
 pub use attribution::{
     attribute, AttributionReport, MissAttribution, MissCause, ATTR_DECODE_US, ATTR_ELEMENT_INDEX,
-    ATTR_FAILOVER_US, ATTR_INHERITED_US, ATTR_LATENESS_US, ATTR_RETRY_US, ATTR_STORAGE_US,
-    ATTR_WAIT_US, ELEMENT_SPAN,
+    ATTR_FAILOVER_US, ATTR_INHERITED_US, ATTR_LATENESS_US, ATTR_NODELOSS_US, ATTR_RETRY_US,
+    ATTR_STORAGE_US, ATTR_WAIT_US, ELEMENT_SPAN,
 };
 pub use export::{chrome_trace, chrome_trace_to_writer, text_timeline, validate_json};
 pub use metrics::{Histogram, MetricsRegistry, BYTES_BUCKETS, LATENCY_BUCKETS_US, MAX_BUCKETS};

@@ -240,7 +240,18 @@ impl MetricsRegistry {
     /// Gauges *add* rather than last-write-wins because a rollup of
     /// point-in-time gauges (cache occupancy per shard) reads as the
     /// fleet-wide total.
+    ///
+    /// A **non-empty** prefix claims its namespace: every existing metric
+    /// under `prefix` is dropped before the merge, so re-rolling a rollup
+    /// after a topology change (a shard migrated away, a node count
+    /// shrank) cannot leave stale `shard{i}.*` gauges behind. The empty
+    /// prefix stays purely additive — it *is* the aggregate.
     pub fn merge_prefixed(&mut self, other: &MetricsRegistry, prefix: &str) {
+        if !prefix.is_empty() {
+            self.counters.retain(|name, _| !name.starts_with(prefix));
+            self.gauges.retain(|name, _| !name.starts_with(prefix));
+            self.histograms.retain(|name, _| !name.starts_with(prefix));
+        }
         for (name, v) in &other.counters {
             *self.counters.entry(format!("{prefix}{name}")).or_insert(0) += v;
         }
@@ -410,5 +421,114 @@ mod tests {
             rollup.histogram("shard0.serve.lateness_us").unwrap().max(),
             80
         );
+    }
+
+    #[test]
+    fn merge_prefixed_clears_stale_keys_when_shards_shrink() {
+        let mut shard0 = MetricsRegistry::new();
+        shard0.inc("serve.elements.served", 10);
+        shard0.set_gauge("cache.bytes", 100);
+        shard0.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 80);
+        let mut shard1 = MetricsRegistry::new();
+        shard1.inc("serve.elements.served", 5);
+        shard1.set_gauge("cache.bytes", 50);
+
+        // Round 1: two shards.
+        let mut rollup = MetricsRegistry::new();
+        rollup.merge_prefixed(&shard0, "shard0.");
+        rollup.merge_prefixed(&shard1, "shard1.");
+        assert_eq!(rollup.gauge("shard1.cache.bytes"), 50);
+
+        // Shard 1 migrated away; shard 0 re-rolls into the same registry.
+        // Its own namespace is replaced (not doubled), and a rollup that
+        // stops merging shard1 can evict the stale keys explicitly.
+        let mut smaller = MetricsRegistry::new();
+        smaller.inc("serve.elements.served", 12);
+        rollup.merge_prefixed(&smaller, "shard0.");
+        assert_eq!(
+            rollup.counter("shard0.serve.elements.served"),
+            12,
+            "a re-merge replaces the prefix namespace, never doubles it"
+        );
+        assert_eq!(
+            rollup.gauge("shard0.cache.bytes"),
+            0,
+            "gauges absent from the new snapshot are dropped"
+        );
+        assert!(
+            rollup.histogram("shard0.serve.lateness_us").is_none(),
+            "histograms absent from the new snapshot are dropped"
+        );
+        rollup.merge_prefixed(&MetricsRegistry::new(), "shard1.");
+        assert_eq!(
+            rollup.counter("shard1.serve.elements.served"),
+            0,
+            "an empty merge clears a vanished shard's namespace"
+        );
+        assert_eq!(rollup.gauge("shard1.cache.bytes"), 0);
+
+        // Prefix matching is exact: clearing "shard1." must not touch a
+        // hypothetical "shard10." namespace.
+        rollup.inc("shard10.serve.elements.served", 3);
+        rollup.merge_prefixed(&MetricsRegistry::new(), "shard1.");
+        assert_eq!(rollup.counter("shard10.serve.elements.served"), 3);
+
+        // The empty prefix stays additive — it is the global aggregate.
+        let mut agg = MetricsRegistry::new();
+        agg.merge_prefixed(&shard0, "");
+        agg.merge_prefixed(&shard1, "");
+        assert_eq!(agg.counter("serve.elements.served"), 15);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Merging any two histograms over the same bounds — including
+            /// empty and single-observation operands — equals observing
+            /// the union directly, in every exposed statistic.
+            #[test]
+            fn histogram_merge_equals_union(
+                xs in proptest::collection::vec(0u64..5_000_000, 0..12),
+                ys in proptest::collection::vec(0u64..5_000_000, 0..12),
+            ) {
+                let mut a = Histogram::new(&LATENCY_BUCKETS_US);
+                let mut b = Histogram::new(&LATENCY_BUCKETS_US);
+                let mut both = Histogram::new(&LATENCY_BUCKETS_US);
+                for &v in &xs {
+                    a.observe(v);
+                    both.observe(v);
+                }
+                for &v in &ys {
+                    b.observe(v);
+                    both.observe(v);
+                }
+                a.merge(&b);
+                prop_assert_eq!(a, both);
+                for p in [0u64, 50, 99, 100] {
+                    prop_assert_eq!(a.quantile(p), both.quantile(p));
+                }
+            }
+
+            /// An empty histogram is the identity of merge, on both sides.
+            #[test]
+            fn empty_histogram_is_merge_identity(
+                xs in proptest::collection::vec(0u64..5_000_000, 0..12),
+            ) {
+                let mut h = Histogram::new(&LATENCY_BUCKETS_US);
+                for &v in &xs {
+                    h.observe(v);
+                }
+                let mut left = Histogram::new(&LATENCY_BUCKETS_US);
+                left.merge(&h);
+                prop_assert_eq!(left, h);
+                let mut right = h;
+                right.merge(&Histogram::new(&LATENCY_BUCKETS_US));
+                prop_assert_eq!(right, h);
+            }
+        }
     }
 }

@@ -66,6 +66,9 @@ pub enum Category {
     /// Storage-tier transitions: breaker trips, hedged probes, failovers
     /// and cross-tier repairs.
     Tier,
+    /// Fleet-level events: node crashes and restarts, transport losses,
+    /// placement changes and shard migrations.
+    Fleet,
 }
 
 impl Category {
@@ -81,6 +84,7 @@ impl Category {
             Category::Fault => "fault",
             Category::Present => "present",
             Category::Tier => "tier",
+            Category::Fleet => "fleet",
         }
     }
 }

@@ -1,0 +1,1536 @@
+//! A simulated multi-node fleet: shard placement, live migration, lossy
+//! transport and node fault injection over the sharded serving engine.
+//!
+//! [`crate::ShardedServer`] rehearses the multi-machine layout in one
+//! process but keeps three fictions: requests reach shards for free, nodes
+//! never die, and placement never changes. [`Fleet`] drops all three:
+//!
+//! * **Nodes and placement.** A [`Fleet`] hosts its shards on simulated
+//!   [`Node`]s behind a [`PlacementService`] that owns the shard→node map.
+//!   Every shard keeps its own [`Server`] (and so its sessions, cache and
+//!   stats) for its whole life — *placement* is what moves, which is
+//!   exactly how the catalog-handoff guarantee is kept: a `Play` issued
+//!   before a migration completes after it, on the same engine state, with
+//!   exact stats rollup preserved.
+//! * **Transport.** Every request crosses the hosting node's [`Link`]:
+//!   it pays bandwidth + propagation + seeded jitter, and can be lost to a
+//!   seeded coin or a scripted partition window. Lost sends are retried on
+//!   the fleet's [`RetryPolicy`] schedule (same backoff shape the storage
+//!   layer uses); requests that exhaust it fail with
+//!   [`FleetError::Unreachable`].
+//! * **Node faults.** A [`NodeFaultPlan`] scripts crashes,
+//!   restarts-with-salvage and brownout windows. Unscripted unreachability
+//!   (loss storms, partitions) trips a per-node circuit breaker — the same
+//!   closed → open → half-open shape `TieredBlobStore` runs per tier —
+//!   and a deterministic ping probes half-open nodes back to life.
+//!
+//! **Live migration.** Three triggers move a shard: its node crashed (the
+//! shards re-place onto survivors), its node's breaker tripped (same), or
+//! the node-level skew gauge crossed the rebalance threshold under load.
+//! A migration charges a *catalog handoff*: object metadata plus the
+//! shard's BLOB payload transfer over the target's link (metadata only
+//! when the target holds a salvaged copy from an earlier stay). The
+//! shard's channel is stalled until the handoff completes, and the stall
+//! is attributed to the `node-loss` miss cause — so surviving a node
+//! failure is visible in the attribution partition instead of polluting
+//! admission over-commit. When a crashed node restarts, its home shards
+//! migrate back (salvage makes that cheap) and capacity-degraded sessions
+//! are upgraded back to full fidelity.
+//!
+//! With migration disabled ([`Fleet::with_migration`]`(false)`) a crashed
+//! node takes its shards' open sessions down with it
+//! ([`Server::shed_pending`]) — the no-migration baseline the §fleet
+//! experiment holds the migrating fleet against.
+//!
+//! Determinism carries over wholesale: links draw jitter and loss from
+//! counted splitmix64 streams, fault plans are scripted on the simulated
+//! clock, and scheduling stays exact-rational — same seed, byte-identical
+//! stats, metrics and traces.
+
+use crate::{
+    shard_of, Capacity, Request, Response, ServeError, Server, ServerStats, Session, ShardedDb,
+    ShardedStats, SHARD_SESSION_STRIDE,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use tbm_blob::{BlobStore, MemBlobStore, RetryPolicy};
+use tbm_core::SessionId;
+use tbm_obs::{
+    attribute, chrome_trace_to_writer, AttributionReport, Category, MetricsRegistry, SpanId,
+    TraceSnapshot, Tracer,
+};
+use tbm_player::DegradationPolicy;
+use tbm_time::{TimeDelta, TimePoint};
+
+// Fleet-level registry names. `fleet.*` counters ride next to the serve
+// rollup in [`Fleet::metrics`]; the gauges are recomputed per snapshot.
+const M_MIGRATIONS: &str = "fleet.migrations";
+const M_HANDOFF_BYTES: &str = "fleet.handoff.bytes";
+const M_SENT: &str = "fleet.transport.sent";
+const M_LOST: &str = "fleet.transport.lost";
+const M_RETRIED: &str = "fleet.transport.retried";
+const M_CRASHES: &str = "fleet.node.crashes";
+const M_RESTARTS: &str = "fleet.node.restarts";
+const M_TRIPS: &str = "fleet.node.breaker_trips";
+const M_SHED: &str = "fleet.elements.shed";
+const G_NODES: &str = "fleet.nodes";
+const G_NODES_UP: &str = "fleet.nodes.up";
+const G_FLEET_SKEW: &str = "fleet.skew";
+const G_SHARD_SKEW: &str = "shard.skew";
+
+/// Assumed catalog-metadata bytes per object in a migration handoff.
+const METADATA_BYTES_PER_OBJECT: u64 = 512;
+/// Request-plane message size charged against a link per delivery attempt.
+const REQUEST_BYTES: u64 = 256;
+
+/// The same finalizer `tbm-blob`'s fault injector uses, copied rather than
+/// shared: link jitter must not perturb (or be perturbed by) storage fault
+/// draws, so the two keep separate streams of the same generator.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A simulated network link onto one node: bandwidth, propagation delay,
+/// seeded jitter, a seeded loss coin and scripted partition windows.
+///
+/// Delay and loss are pure functions of `(seed, draw counter)` — a link
+/// replays byte-identically — and every delivery draws exactly once, so
+/// the stream stays aligned across runs.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Payload bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// One-way propagation delay in microseconds.
+    pub propagation_us: u64,
+    /// Upper bound on seeded per-delivery jitter, in microseconds.
+    pub jitter_us: u64,
+    /// Per-delivery loss probability in `[0, 1)`.
+    pub loss: f64,
+    /// Scripted `[from, to)` windows in which every delivery is lost.
+    partitions: Vec<(TimePoint, TimePoint)>,
+    seed: u64,
+    draws: u64,
+}
+
+impl Link {
+    /// A link with the given payload bandwidth, 200 µs propagation, no
+    /// jitter, no loss and no partitions.
+    pub fn new(bandwidth: u64) -> Link {
+        Link {
+            bandwidth: bandwidth.max(1),
+            propagation_us: 200,
+            jitter_us: 0,
+            loss: 0.0,
+            partitions: Vec::new(),
+            seed: 0,
+            draws: 0,
+        }
+    }
+
+    /// Builder: sets the one-way propagation delay.
+    pub fn with_propagation_us(mut self, us: u64) -> Link {
+        self.propagation_us = us;
+        self
+    }
+
+    /// Builder: bounds the seeded per-delivery jitter.
+    pub fn with_jitter_us(mut self, us: u64) -> Link {
+        self.jitter_us = us;
+        self
+    }
+
+    /// Builder: sets the per-delivery loss probability (clamped to
+    /// `[0, 1)`).
+    pub fn with_loss(mut self, p: f64) -> Link {
+        self.loss = p.clamp(0.0, 0.999_999);
+        self
+    }
+
+    /// Builder: seeds the jitter/loss draws (the fleet additionally mixes
+    /// the node index in, so identical links on different nodes diverge).
+    pub fn with_seed(mut self, seed: u64) -> Link {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: scripts a partition window — every delivery in
+    /// `[from, to)` is lost, deterministically.
+    pub fn with_partition(mut self, from: TimePoint, to: TimePoint) -> Link {
+        self.partitions.push((from, to));
+        self
+    }
+
+    /// Whether a scripted partition covers `at`.
+    pub fn partitioned_at(&self, at: TimePoint) -> bool {
+        self.partitions.iter().any(|&(f, t)| at >= f && at < t)
+    }
+
+    /// One uniform draw in `[0, 1)` from the counted stream.
+    fn draw_unit(&mut self) -> f64 {
+        let h = splitmix64(self.seed ^ self.draws.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        self.draws += 1;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Attempts one delivery of `bytes` at `at`: `None` when the message
+    /// is lost (partition window or loss coin), otherwise the one-way
+    /// delay — propagation + transfer + seeded jitter. Every call draws
+    /// once for loss and once for jitter, keeping the stream aligned
+    /// whatever the outcome.
+    pub fn delivery(&mut self, at: TimePoint, bytes: u64) -> Option<TimeDelta> {
+        let lost = self.draw_unit() < self.loss;
+        let jitter = if self.jitter_us > 0 {
+            (self.draw_unit() * self.jitter_us as f64) as u64
+        } else {
+            self.draws += 1;
+            0
+        };
+        if lost || self.partitioned_at(at) {
+            return None;
+        }
+        let transfer_us = bytes.saturating_mul(1_000_000) / self.bandwidth;
+        Some(TimeDelta::from_micros(
+            (self.propagation_us + transfer_us + jitter) as i64,
+        ))
+    }
+}
+
+/// A scripted node fault plan: crashes (with optional restart) and
+/// brownout windows, all on the simulated clock.
+#[derive(Debug, Clone, Default)]
+pub struct NodeFaultPlan {
+    crashes: Vec<(TimePoint, Option<TimePoint>)>,
+    brownouts: Vec<(TimePoint, TimePoint, u8)>,
+}
+
+impl NodeFaultPlan {
+    /// An empty plan (the node never faults).
+    pub fn new() -> NodeFaultPlan {
+        NodeFaultPlan::default()
+    }
+
+    /// Scripts a crash at `at` with no restart.
+    pub fn with_crash(mut self, at: TimePoint) -> NodeFaultPlan {
+        self.crashes.push((at, None));
+        self
+    }
+
+    /// Scripts a crash at `at` and a restart-with-salvage at `restart`:
+    /// the node comes back holding its pre-crash shard bytes, so shards
+    /// migrating home pay a metadata-only handoff.
+    pub fn with_crash_restart(mut self, at: TimePoint, restart: TimePoint) -> NodeFaultPlan {
+        assert!(restart > at, "a node must crash before it restarts");
+        self.crashes.push((at, Some(restart)));
+        self
+    }
+
+    /// Scripts a brownout: from `from` until `to` the node runs at
+    /// `health_percent`% — its shards' admission and service bandwidth are
+    /// derated ([`Capacity::derated`]) for the window.
+    pub fn with_brownout(
+        mut self,
+        from: TimePoint,
+        to: TimePoint,
+        health_percent: u8,
+    ) -> NodeFaultPlan {
+        assert!(to > from, "a brownout window must have positive width");
+        self.brownouts.push((from, to, health_percent.min(100)));
+        self
+    }
+}
+
+/// Node circuit-breaker state — the [`tbm_blob::TieredBlobStore`] breaker
+/// shape lifted to the node level. Closed while deliveries succeed; opens
+/// after `threshold` consecutive losses (shards fail over); half-open
+/// after the cooldown, when one successful ping closes it again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until: TimePoint },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeBreaker {
+    state: BreakerState,
+    consecutive: u32,
+    threshold: u32,
+    cooldown: TimeDelta,
+    trips: u64,
+}
+
+impl NodeBreaker {
+    fn new(threshold: u32, cooldown: TimeDelta) -> NodeBreaker {
+        NodeBreaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            threshold: threshold.max(1),
+            cooldown,
+            trips: 0,
+        }
+    }
+
+    /// Whether a probe may go through at `now` (flips open → half-open
+    /// once the cooldown expires).
+    fn allows_probe(&mut self, now: TimePoint) -> bool {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+        !matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Records a successful delivery; `true` when this heals an open or
+    /// half-open breaker.
+    fn on_success(&mut self) -> bool {
+        self.consecutive = 0;
+        let healed = self.state != BreakerState::Closed;
+        self.state = BreakerState::Closed;
+        healed
+    }
+
+    /// Records a lost delivery; `true` when this trips the breaker.
+    fn on_failure(&mut self, now: TimePoint) -> bool {
+        self.consecutive += 1;
+        let should_trip =
+            self.consecutive >= self.threshold && !matches!(self.state, BreakerState::Open { .. });
+        if should_trip {
+            self.state = BreakerState::Open {
+                until: now + self.cooldown,
+            };
+            self.trips += 1;
+        }
+        should_trip
+    }
+
+    fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+    }
+}
+
+/// One simulated node: a name, a [`Link`], a [`NodeFaultPlan`], a breaker
+/// and liveness/health state. The shards a node hosts are owned by the
+/// [`PlacementService`], not the node — placement is the only thing a
+/// migration changes.
+#[derive(Debug)]
+pub struct Node {
+    name: String,
+    link: Link,
+    plan: NodeFaultPlan,
+    breaker: NodeBreaker,
+    up: bool,
+    health: u8,
+    crashes: u64,
+    restarts: u64,
+    /// Shards whose bytes this node still holds from an earlier stay —
+    /// the salvage that makes a migration *back* metadata-only.
+    salvaged: BTreeSet<usize>,
+}
+
+impl Node {
+    /// The node's display name (`node{i}` unless renamed by a link).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Current health in percent (100 outside brownout windows).
+    pub fn health_percent(&self) -> u8 {
+        self.health
+    }
+
+    /// The node's network link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Scripted crashes applied so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Scripted restarts applied so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Circuit-breaker trips (unscripted unreachability) so far.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker.trips
+    }
+}
+
+/// The shard→node map, owner of every placement decision.
+///
+/// Objects map to shards by [`shard_of`] (stable and seeded — the golden
+/// vectors pin it); shards map to nodes by this table. The *home* of a
+/// shard is its initial round-robin node; a restarted node's home shards
+/// migrate back to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementService {
+    seed: u64,
+    shard_to_node: Vec<usize>,
+    home: Vec<usize>,
+    epoch: u64,
+}
+
+impl PlacementService {
+    fn new(shards: usize, nodes: usize, seed: u64) -> PlacementService {
+        let table: Vec<usize> = (0..shards).map(|s| s % nodes).collect();
+        PlacementService {
+            seed,
+            home: table.clone(),
+            shard_to_node: table,
+            epoch: 0,
+        }
+    }
+
+    /// The routing seed (same seed the object hash uses).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shards in the table.
+    pub fn shard_count(&self) -> usize {
+        self.shard_to_node.len()
+    }
+
+    /// The node currently hosting `shard`.
+    pub fn node_of_shard(&self, shard: usize) -> usize {
+        self.shard_to_node[shard]
+    }
+
+    /// The shard owning `object` (pure [`shard_of`] hash).
+    pub fn shard_of_object(&self, object: &str) -> usize {
+        shard_of(object, self.seed, self.shard_to_node.len())
+    }
+
+    /// The node `object` currently routes to.
+    pub fn node_of_object(&self, object: &str) -> usize {
+        self.node_of_shard(self.shard_of_object(object))
+    }
+
+    /// `shard`'s initial (round-robin) node — where it migrates back to
+    /// after its home restarts.
+    pub fn home_of(&self, shard: usize) -> usize {
+        self.home[shard]
+    }
+
+    /// Shards hosted by `node`, ascending.
+    pub fn hosted(&self, node: usize) -> Vec<usize> {
+        self.shard_to_node
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n == node)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Bumped on every reassignment — cheap staleness check for cached
+    /// routes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn assign(&mut self, shard: usize, node: usize) {
+        self.shard_to_node[shard] = node;
+        self.epoch += 1;
+    }
+
+    /// A plain-text placement table (shard, home, current node), one row
+    /// per shard — deterministic, for operator output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>6} {:>6} {:>8}", "shard", "home", "node");
+        for (s, &n) in self.shard_to_node.iter().enumerate() {
+            let _ = writeln!(out, "{:>6} {:>6} {:>8}", s, self.home[s], n);
+        }
+        out
+    }
+}
+
+/// Why a fleet request failed.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The routed shard's server rejected the request.
+    Serve(ServeError),
+    /// Every transport attempt to the hosting node was lost (node down,
+    /// partition window, or loss storm past the retry budget).
+    Unreachable {
+        /// The node the final attempt targeted.
+        node: usize,
+        /// The shard the request routed to.
+        shard: usize,
+        /// Delivery attempts made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Serve(e) => write!(f, "fleet request failed at the shard: {e}"),
+            FleetError::Unreachable {
+                node,
+                shard,
+                attempts,
+            } => write!(
+                f,
+                "node {node} (hosting shard {shard}) unreachable after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> FleetError {
+        FleetError::Serve(e)
+    }
+}
+
+/// Per-node statistics in a [`FleetStats`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// The node's name.
+    pub name: String,
+    /// Whether the node ended the run up.
+    pub up: bool,
+    /// Shards hosted at snapshot time, ascending.
+    pub hosted: Vec<usize>,
+    /// Scripted crashes applied.
+    pub crashes: u64,
+    /// Scripted restarts applied.
+    pub restarts: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Elements served by the shards hosted at snapshot time.
+    pub elements_served: usize,
+}
+
+/// A fleet-wide statistics snapshot: the cross-shard rollup plus per-node
+/// and transport/migration accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Per-shard snapshots and their exact merge (placement-independent:
+    /// a shard's stats follow it across nodes).
+    pub shards: ShardedStats,
+    /// One entry per node, in node order.
+    pub per_node: Vec<NodeStats>,
+    /// Shard migrations performed (failover, restore and rebalance).
+    pub migrations: u64,
+    /// Catalog-handoff bytes charged across all migrations.
+    pub handoff_bytes: u64,
+    /// Transport deliveries attempted (including pings).
+    pub transport_sent: u64,
+    /// Transport deliveries lost.
+    pub transport_lost: u64,
+    /// Requests that needed more than one delivery attempt.
+    pub transport_retried: u64,
+    /// Elements abandoned on crashed nodes (no-migration baseline only).
+    pub elements_shed: u64,
+}
+
+impl FleetStats {
+    /// Node-level load skew in percent over *up* nodes: how far the
+    /// hottest node's served-element count sits above the per-node mean —
+    /// the `fleet.skew` gauge and the rebalance trigger.
+    pub fn skew_percent(&self) -> i64 {
+        skew_percent(
+            self.per_node
+                .iter()
+                .filter(|n| n.up)
+                .map(|n| n.elements_served),
+        )
+    }
+}
+
+/// Skew of a load distribution in percent: `(max − mean) / mean × 100`,
+/// rounded; 0 when empty or idle.
+fn skew_percent(loads: impl Iterator<Item = usize>) -> i64 {
+    let loads: Vec<usize> = loads.collect();
+    let total: usize = loads.iter().sum();
+    if total == 0 || loads.is_empty() {
+        return 0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    let max = loads.iter().copied().max().unwrap_or(0);
+    (((max as f64 - mean) / mean) * 100.0).round() as i64
+}
+
+/// Scripted node lifecycle events, derived from the fault plans and
+/// processed in `(time, node, kind)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum NodeEventKind {
+    Crash,
+    Restart,
+    BrownoutStart(u8),
+    BrownoutEnd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct NodeEvent {
+    at: TimePoint,
+    node: usize,
+    kind: NodeEventKind,
+}
+
+/// A simulated multi-node fleet over a [`ShardedDb`]: one [`Server`] per
+/// shard, hosted on [`Node`]s behind a [`PlacementService`], reached over
+/// lossy [`Link`]s, with scripted [`NodeFaultPlan`]s and live shard
+/// migration. See the module-level docs for the model.
+#[derive(Debug)]
+pub struct Fleet<S: BlobStore = MemBlobStore> {
+    shards: Vec<Server<S>>,
+    nodes: Vec<Node>,
+    placement: PlacementService,
+    node_capacity: Capacity,
+    transport_retry: RetryPolicy,
+    rebalance_skew: Option<i64>,
+    rebalance_cooldown: TimeDelta,
+    last_rebalance: Option<TimePoint>,
+    migration: bool,
+    /// Crash-detection delay charged on top of a failover handoff, µs.
+    detection_us: u64,
+    clock: TimePoint,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+    events: Vec<NodeEvent>,
+    next_event: usize,
+}
+
+impl<S: BlobStore> Fleet<S> {
+    /// A fleet of `nodes` nodes over `db`, shards placed round-robin
+    /// (`shard i → node i % nodes`). `node_capacity` is one *node's*
+    /// budget, split evenly across the shards it currently hosts — host
+    /// more, serve each slower — so failover onto survivors is paid for,
+    /// not free.
+    ///
+    /// Defaults: 125 MB/s links seeded from the routing seed, 4 delivery
+    /// attempts, breaker trip after 2 consecutive losses with a 200 ms
+    /// cooldown, rebalance at 150% skew with a 500 ms cooldown, migration
+    /// on, 50 ms crash detection.
+    pub fn new(db: ShardedDb<S>, nodes: usize, node_capacity: Capacity) -> Fleet<S> {
+        assert!(nodes > 0, "a fleet needs at least one node");
+        let seed = db.seed();
+        let shards: Vec<Server<S>> = db
+            .into_shards()
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard_db)| {
+                Server::new(shard_db, node_capacity)
+                    .with_session_base(i as u64 * SHARD_SESSION_STRIDE)
+            })
+            .collect();
+        let placement = PlacementService::new(shards.len(), nodes, seed);
+        let nodes: Vec<Node> = (0..nodes)
+            .map(|i| Node {
+                name: format!("node{i}"),
+                link: Link::new(125_000_000).with_seed(splitmix64(seed ^ (i as u64 + 1))),
+                plan: NodeFaultPlan::default(),
+                breaker: NodeBreaker::new(2, TimeDelta::from_millis(200)),
+                up: true,
+                health: 100,
+                crashes: 0,
+                restarts: 0,
+                salvaged: BTreeSet::new(),
+            })
+            .collect();
+        let mut fleet = Fleet {
+            shards,
+            nodes,
+            placement,
+            node_capacity,
+            transport_retry: RetryPolicy::new(3),
+            rebalance_skew: Some(150),
+            rebalance_cooldown: TimeDelta::from_millis(500),
+            last_rebalance: None,
+            migration: true,
+            detection_us: 50_000,
+            clock: TimePoint::ZERO,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
+            events: Vec::new(),
+            next_event: 0,
+        };
+        for node in 0..fleet.nodes.len() {
+            fleet.recapacity(node);
+        }
+        fleet
+    }
+
+    /// Builder: gives every shard its own segment cache of `budget_bytes`.
+    pub fn with_cache_budget(mut self, budget_bytes: u64) -> Fleet<S> {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_cache_budget(budget_bytes))
+            .collect();
+        self
+    }
+
+    /// Builder: sets every shard's per-read *storage* retry policy
+    /// (distinct from the transport retry policy).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Fleet<S> {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_retry(retry))
+            .collect();
+        self
+    }
+
+    /// Builder: sets every shard's degradation policy.
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Fleet<S> {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_degradation(policy))
+            .collect();
+        self
+    }
+
+    /// Builder: attaches one tracer to every shard and to the fleet's own
+    /// node/migration events (clones share the ring — one timeline).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Fleet<S> {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_tracer(tracer.clone()))
+            .collect();
+        self.tracer = tracer;
+        self
+    }
+
+    /// Builder: replaces node `i`'s link.
+    pub fn with_link(mut self, node: usize, link: Link) -> Fleet<S> {
+        self.nodes[node].link = link;
+        self
+    }
+
+    /// Builder: scripts node `i`'s fault plan (crashes, restarts,
+    /// brownouts).
+    pub fn with_fault_plan(mut self, node: usize, plan: NodeFaultPlan) -> Fleet<S> {
+        for &(at, restart) in &plan.crashes {
+            self.events.push(NodeEvent {
+                at,
+                node,
+                kind: NodeEventKind::Crash,
+            });
+            if let Some(r) = restart {
+                self.events.push(NodeEvent {
+                    at: r,
+                    node,
+                    kind: NodeEventKind::Restart,
+                });
+            }
+        }
+        for &(from, to, health) in &plan.brownouts {
+            self.events.push(NodeEvent {
+                at: from,
+                node,
+                kind: NodeEventKind::BrownoutStart(health),
+            });
+            self.events.push(NodeEvent {
+                at: to,
+                node,
+                kind: NodeEventKind::BrownoutEnd,
+            });
+        }
+        self.events.sort();
+        self.nodes[node].plan = plan;
+        self
+    }
+
+    /// Builder: sets the transport retry policy lost deliveries are
+    /// retried under (the storage [`RetryPolicy`] shape: bounded attempts,
+    /// doubling backoff, a backoff budget, optional seeded jitter).
+    pub fn with_transport_retry(mut self, retry: RetryPolicy) -> Fleet<S> {
+        self.transport_retry = retry;
+        self
+    }
+
+    /// Builder: tunes every node's circuit breaker — trip after
+    /// `threshold` consecutive losses, half-open probe after
+    /// `cooldown_us`.
+    pub fn with_node_breaker(mut self, threshold: u32, cooldown_us: u64) -> Fleet<S> {
+        for n in &mut self.nodes {
+            n.breaker = NodeBreaker::new(threshold, TimeDelta::from_micros(cooldown_us as i64));
+        }
+        self
+    }
+
+    /// Builder: sets the rebalance trigger — migrate the hottest shard
+    /// off the hottest node when node skew exceeds `percent` (`None`
+    /// disables skew rebalancing).
+    pub fn with_rebalance_skew(mut self, percent: Option<i64>) -> Fleet<S> {
+        self.rebalance_skew = percent;
+        self
+    }
+
+    /// Builder: enables or disables shard migration entirely. Disabled,
+    /// a crashed node takes its shards' open sessions down with it
+    /// ([`Server::shed_pending`]) — the no-migration baseline.
+    pub fn with_migration(mut self, migrate: bool) -> Fleet<S> {
+        self.migration = migrate;
+        self
+    }
+
+    /// Builder: sets the crash-detection delay charged on top of a
+    /// failover migration's handoff.
+    pub fn with_detection_us(mut self, us: u64) -> Fleet<S> {
+        self.detection_us = us;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Read accessors
+    // ------------------------------------------------------------------
+
+    /// The routing seed.
+    pub fn seed(&self) -> u64 {
+        self.placement.seed
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A node.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// The nodes in order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// A shard's server (sessions, stats, metrics).
+    pub fn shard(&self, i: usize) -> &Server<S> {
+        &self.shards[i]
+    }
+
+    /// The placement table.
+    pub fn placement(&self) -> &PlacementService {
+        &self.placement
+    }
+
+    /// The fleet clock: the latest simulated time processed.
+    pub fn clock(&self) -> TimePoint {
+        self.clock
+    }
+
+    /// Every shard's sessions, in shard order then admission order.
+    pub fn sessions(&self) -> impl Iterator<Item = &Session> {
+        self.shards.iter().flat_map(|s| s.sessions().iter())
+    }
+
+    /// A session by (globally unique) id.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        let shard = (id.raw() / SHARD_SESSION_STRIDE) as usize;
+        self.shards.get(shard).and_then(|s| s.session(id))
+    }
+
+    /// Shard migrations performed so far.
+    pub fn migrations(&self) -> u64 {
+        self.metrics.counter(M_MIGRATIONS)
+    }
+
+    /// An owned snapshot of the shared trace.
+    pub fn trace(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
+    }
+
+    /// Writes the shared trace as Chrome `trace_event` JSON.
+    pub fn trace_to_writer(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        chrome_trace_to_writer(&self.tracer.snapshot(), w)
+    }
+
+    /// Deadline-miss attribution over the shared trace — including the
+    /// `node-loss` cause migration stalls are charged to.
+    pub fn attribution(&self) -> AttributionReport {
+        attribute(&self.tracer.snapshot().records)
+    }
+
+    // ------------------------------------------------------------------
+    // The request plane
+    // ------------------------------------------------------------------
+
+    /// Submits a request at simulated time `at` (non-decreasing across
+    /// calls). The request crosses the hosting node's link — paying
+    /// transport delay, and retried on loss — then runs on the owning
+    /// shard's server at its (possibly handoff-clamped) arrival time.
+    /// `Open` routes by name hash, session requests by id arithmetic:
+    /// both route through the *current* placement, so a request retried
+    /// across a failover lands on the shard's new node.
+    pub fn request(&mut self, at: TimePoint, request: Request) -> Result<Response, FleetError> {
+        if at < self.clock {
+            return Err(ServeError::NonMonotonicTime {
+                at,
+                clock: self.clock,
+            }
+            .into());
+        }
+        self.advance(at);
+        self.probe_nodes(at);
+        if self.migration {
+            self.maybe_rebalance(at);
+        }
+        let shard = match &request {
+            Request::Open { object } => self.placement.shard_of_object(object),
+            Request::Play { session }
+            | Request::Pause { session }
+            | Request::Seek { session, .. }
+            | Request::SetRate { session, .. }
+            | Request::Close { session } => {
+                let shard = (session.raw() / SHARD_SESSION_STRIDE) as usize;
+                if shard >= self.shards.len() {
+                    return Err(ServeError::UnknownSession { session: *session }.into());
+                }
+                shard
+            }
+        };
+
+        // Transport: deliver over the hosting node's link, retrying on the
+        // fleet's RetryPolicy schedule. Placement is re-read per attempt,
+        // so a breaker-tripped failover mid-loop reroutes the retry.
+        let policy = self.transport_retry;
+        let mut attempt = 0u32;
+        let mut backoff_us = policy.base_backoff_us;
+        let mut spent_us = 0u64;
+        loop {
+            let send_at = at + TimeDelta::from_micros(spent_us as i64);
+            let node = self.placement.node_of_shard(shard);
+            self.metrics.inc(M_SENT, 1);
+            let delivered = if !self.nodes[node].up {
+                None
+            } else {
+                self.nodes[node].link.delivery(send_at, REQUEST_BYTES)
+            };
+            match delivered {
+                Some(delay) => {
+                    if self.nodes[node].breaker.on_success() {
+                        self.node_recovered(node, send_at);
+                    }
+                    if attempt > 0 {
+                        self.metrics.inc(M_RETRIED, 1);
+                    }
+                    // Transport is ordered per shard: a message cannot
+                    // arrive before already-processed traffic, and a
+                    // handoff in progress queues it until the move
+                    // completes — which is how a Play issued before a
+                    // migration completes after it.
+                    let arrive = (send_at + delay)
+                        .max(self.shards[shard].clock())
+                        .max(self.shards[shard].stall_until());
+                    let response = self.shards[shard].request(arrive, request)?;
+                    self.clock = self.clock.max(at);
+                    return Ok(response);
+                }
+                None => {
+                    self.metrics.inc(M_LOST, 1);
+                    self.tracer.event(
+                        "transport.lost",
+                        Category::Fleet,
+                        send_at,
+                        SpanId::NONE,
+                        None,
+                        vec![("node", node.into()), ("shard", shard.into())],
+                    );
+                    if self.nodes[node].breaker.on_failure(send_at) {
+                        self.metrics.inc(M_TRIPS, 1);
+                        self.tracer.event(
+                            "node.breaker_trip",
+                            Category::Fleet,
+                            send_at,
+                            SpanId::NONE,
+                            None,
+                            vec![("node", node.into())],
+                        );
+                        if self.migration {
+                            self.evacuate(node, send_at, "breaker");
+                        }
+                    }
+                    if attempt >= policy.max_retries
+                        || spent_us.saturating_add(backoff_us) > policy.backoff_budget_us
+                    {
+                        self.clock = self.clock.max(at);
+                        return Err(FleetError::Unreachable {
+                            node: self.placement.node_of_shard(shard),
+                            shard,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    spent_us += jittered_backoff(&policy, backoff_us, attempt);
+                    backoff_us = backoff_us.saturating_mul(2).max(1);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs the fleet forward to `to`: scripted node events are applied in
+    /// order, with every shard's event loop drained up to each event time
+    /// first.
+    pub fn run_until(&mut self, to: TimePoint) {
+        self.advance(to);
+    }
+
+    /// Drains every remaining scripted event and every shard's event loop,
+    /// and returns the final fleet statistics. With migration disabled,
+    /// shards still stranded on downed nodes shed their open sessions
+    /// here if their crash event already fired.
+    pub fn finish(&mut self) -> FleetStats {
+        if let Some(last) = self.events.last().map(|e| e.at) {
+            self.advance(self.clock.max(last));
+        }
+        let per_shard: Vec<ServerStats> = self.shards.iter_mut().map(|s| s.finish()).collect();
+        for s in &self.shards {
+            self.clock = self.clock.max(s.clock());
+        }
+        self.stats_from(per_shard)
+    }
+
+    /// A point-in-time fleet snapshot.
+    pub fn stats(&self) -> FleetStats {
+        self.stats_from(self.shards.iter().map(|s| s.stats()).collect())
+    }
+
+    fn stats_from(&self, per_shard: Vec<ServerStats>) -> FleetStats {
+        let shards = ShardedStats::from_shards(per_shard);
+        let per_node = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let hosted = self.placement.hosted(i);
+                let elements_served = hosted
+                    .iter()
+                    .map(|&s| shards.per_shard[s].elements_served)
+                    .sum();
+                NodeStats {
+                    name: n.name.clone(),
+                    up: n.up,
+                    hosted,
+                    crashes: n.crashes,
+                    restarts: n.restarts,
+                    breaker_trips: n.breaker.trips,
+                    elements_served,
+                }
+            })
+            .collect();
+        FleetStats {
+            shards,
+            per_node,
+            migrations: self.metrics.counter(M_MIGRATIONS),
+            handoff_bytes: self.metrics.counter(M_HANDOFF_BYTES),
+            transport_sent: self.metrics.counter(M_SENT),
+            transport_lost: self.metrics.counter(M_LOST),
+            transport_retried: self.metrics.counter(M_RETRIED),
+            elements_shed: self.metrics.counter(M_SHED),
+        }
+    }
+
+    /// The fleet metrics rollup: every shard's registry under `shard{i}.`,
+    /// every node's hosted-shard merge under `node{i}.`, the unprefixed
+    /// global aggregate, the `fleet.*` transport/migration counters, and
+    /// the `fleet.nodes`, `fleet.nodes.up`, `fleet.skew` and `shard.skew`
+    /// gauges.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut rollup = MetricsRegistry::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            rollup.merge_prefixed(shard.metrics(), &format!("shard{i}."));
+            rollup.merge_prefixed(shard.metrics(), "");
+        }
+        for i in 0..self.nodes.len() {
+            let mut node_view = MetricsRegistry::new();
+            for s in self.placement.hosted(i) {
+                node_view.merge_prefixed(self.shards[s].metrics(), "");
+            }
+            rollup.merge_prefixed(&node_view, &format!("node{i}."));
+        }
+        rollup.merge_prefixed(&self.metrics, "");
+        let stats = self.stats();
+        rollup.set_gauge(G_NODES, self.nodes.len() as i64);
+        rollup.set_gauge(
+            G_NODES_UP,
+            self.nodes.iter().filter(|n| n.up).count() as i64,
+        );
+        rollup.set_gauge(G_FLEET_SKEW, stats.skew_percent());
+        rollup.set_gauge(G_SHARD_SKEW, stats.shards.skew_percent());
+        rollup
+    }
+
+    // ------------------------------------------------------------------
+    // Node lifecycle and migration
+    // ------------------------------------------------------------------
+
+    /// Applies every scripted event due by `to`, draining shard event
+    /// loops to each event instant first, then advances the clock.
+    fn advance(&mut self, to: TimePoint) {
+        while self.next_event < self.events.len() && self.events[self.next_event].at <= to {
+            let ev = self.events[self.next_event];
+            self.next_event += 1;
+            let at = ev.at.max(self.clock);
+            for s in &mut self.shards {
+                s.run_until(at);
+            }
+            self.apply_event(ev, at);
+            self.clock = self.clock.max(at);
+        }
+        for s in &mut self.shards {
+            s.run_until(to);
+        }
+        self.clock = self.clock.max(to);
+    }
+
+    fn apply_event(&mut self, ev: NodeEvent, at: TimePoint) {
+        match ev.kind {
+            NodeEventKind::Crash => {
+                if !self.nodes[ev.node].up {
+                    return;
+                }
+                self.nodes[ev.node].up = false;
+                self.nodes[ev.node].crashes += 1;
+                self.metrics.inc(M_CRASHES, 1);
+                let hosted = self.placement.hosted(ev.node);
+                self.tracer.event(
+                    "node.crash",
+                    Category::Fleet,
+                    at,
+                    SpanId::NONE,
+                    None,
+                    vec![("node", ev.node.into()), ("hosted", hosted.len().into())],
+                );
+                if self.migration && self.nodes.iter().any(|n| n.up) {
+                    self.evacuate(ev.node, at, "crash");
+                } else {
+                    // Nobody to fail over to (or migration disabled): the
+                    // node's shards lose their open sessions.
+                    let mut shed = 0usize;
+                    for s in hosted {
+                        shed += self.shards[s].shed_pending(at);
+                    }
+                    self.metrics.inc(M_SHED, shed as u64);
+                }
+            }
+            NodeEventKind::Restart => {
+                if self.nodes[ev.node].up {
+                    return;
+                }
+                self.nodes[ev.node].up = true;
+                self.nodes[ev.node].health = 100;
+                self.nodes[ev.node].breaker.reset();
+                self.nodes[ev.node].restarts += 1;
+                self.metrics.inc(M_RESTARTS, 1);
+                self.tracer.event(
+                    "node.restart",
+                    Category::Fleet,
+                    at,
+                    SpanId::NONE,
+                    None,
+                    vec![("node", ev.node.into())],
+                );
+                if self.migration {
+                    self.restore_home(ev.node, at);
+                }
+                self.recapacity(ev.node);
+            }
+            NodeEventKind::BrownoutStart(health) => {
+                if !self.nodes[ev.node].up {
+                    return;
+                }
+                self.nodes[ev.node].health = health;
+                self.tracer.event(
+                    "node.brownout",
+                    Category::Fleet,
+                    at,
+                    SpanId::NONE,
+                    None,
+                    vec![
+                        ("node", ev.node.into()),
+                        ("health", u32::from(health).into()),
+                    ],
+                );
+                self.recapacity(ev.node);
+            }
+            NodeEventKind::BrownoutEnd => {
+                if !self.nodes[ev.node].up || self.nodes[ev.node].health == 100 {
+                    return;
+                }
+                self.nodes[ev.node].health = 100;
+                self.tracer.event(
+                    "node.brownout_end",
+                    Category::Fleet,
+                    at,
+                    SpanId::NONE,
+                    None,
+                    vec![("node", ev.node.into())],
+                );
+                // Restored capacity lifts brownout-degraded admissions
+                // back to full fidelity (set_capacity pokes the upgrade
+                // path).
+                self.recapacity(ev.node);
+            }
+        }
+    }
+
+    /// Pings every node whose breaker cooldown has expired — the
+    /// half-open probe, driven by the request plane so a failed-over node
+    /// (which sees no data traffic) can still heal.
+    fn probe_nodes(&mut self, at: TimePoint) {
+        for node in 0..self.nodes.len() {
+            if !self.nodes[node].up {
+                continue;
+            }
+            let tripped = matches!(
+                self.nodes[node].breaker.state,
+                BreakerState::Open { .. } | BreakerState::HalfOpen
+            );
+            if !tripped || !self.nodes[node].breaker.allows_probe(at) {
+                continue;
+            }
+            self.metrics.inc(M_SENT, 1);
+            match self.nodes[node].link.delivery(at, REQUEST_BYTES) {
+                Some(_) => {
+                    if self.nodes[node].breaker.on_success() {
+                        self.node_recovered(node, at);
+                    }
+                }
+                None => {
+                    self.metrics.inc(M_LOST, 1);
+                    self.nodes[node].breaker.on_failure(at);
+                }
+            }
+        }
+    }
+
+    /// A node healed (breaker closed after a trip): bring its home shards
+    /// back, exactly like a restart's restore.
+    fn node_recovered(&mut self, node: usize, at: TimePoint) {
+        self.tracer.event(
+            "node.recovered",
+            Category::Fleet,
+            at,
+            SpanId::NONE,
+            None,
+            vec![("node", node.into())],
+        );
+        if self.migration {
+            self.restore_home(node, at);
+        }
+    }
+
+    /// Migrates every shard hosted by `node` onto the up node hosting the
+    /// fewest shards (ties to the lowest index).
+    fn evacuate(&mut self, node: usize, at: TimePoint, reason: &'static str) {
+        for shard in self.placement.hosted(node) {
+            let Some(target) = self.least_loaded_up_node(node) else {
+                let shed = self.shards[shard].shed_pending(at);
+                self.metrics.inc(M_SHED, shed as u64);
+                continue;
+            };
+            self.migrate(shard, target, at, reason);
+        }
+    }
+
+    /// Migrates every shard whose *home* is `node` back onto it (salvage
+    /// makes the handoff metadata-only when the bytes survived).
+    fn restore_home(&mut self, node: usize, at: TimePoint) {
+        for shard in 0..self.placement.shard_count() {
+            if self.placement.home_of(shard) == node && self.placement.node_of_shard(shard) != node
+            {
+                self.migrate(shard, node, at, "restore");
+            }
+        }
+    }
+
+    /// The up node (excluding `not`) hosting the fewest shards.
+    fn least_loaded_up_node(&self, not: usize) -> Option<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| n != not && self.nodes[n].up)
+            .min_by_key(|&n| (self.placement.hosted(n).len(), n))
+    }
+
+    /// Moves `shard` to `to`, charging the catalog handoff: metadata for
+    /// every object plus the shard's BLOB payload over the target's link
+    /// (payload waived when the target salvaged the shard's bytes from an
+    /// earlier stay). The shard's channel stalls until the handoff
+    /// completes — in-flight sessions resume afterwards, their stall
+    /// attributed to `node-loss`.
+    fn migrate(&mut self, shard: usize, to: usize, at: TimePoint, reason: &'static str) {
+        let from = self.placement.node_of_shard(shard);
+        if from == to {
+            return;
+        }
+        let objects = self.shards[shard].db().object_names().count() as u64;
+        let meta_bytes = objects * METADATA_BYTES_PER_OBJECT;
+        let payload_bytes = if self.nodes[to].salvaged.contains(&shard) {
+            0
+        } else {
+            let store = self.shards[shard].db().store();
+            store
+                .blob_ids()
+                .into_iter()
+                .map(|b| store.len(b).unwrap_or(0))
+                .sum()
+        };
+        let bytes = meta_bytes + payload_bytes;
+        let link = &self.nodes[to].link;
+        let mut handoff_us = link.propagation_us + bytes.saturating_mul(1_000_000) / link.bandwidth;
+        if !self.nodes[from].up {
+            handoff_us += self.detection_us;
+        }
+        let handoff_end = at + TimeDelta::from_micros(handoff_us as i64);
+        self.shards[shard].set_stall_until(handoff_end);
+        // The source keeps (or kept) the bytes: a later migration back is
+        // metadata-only. The target's copy is now authoritative.
+        self.nodes[from].salvaged.insert(shard);
+        self.nodes[to].salvaged.remove(&shard);
+        self.placement.assign(shard, to);
+        self.recapacity(from);
+        self.recapacity(to);
+        self.metrics.inc(M_MIGRATIONS, 1);
+        self.metrics.inc(M_HANDOFF_BYTES, bytes);
+        self.tracer.event(
+            "shard.migrate",
+            Category::Fleet,
+            at,
+            SpanId::NONE,
+            None,
+            vec![
+                ("shard", shard.into()),
+                ("from", from.into()),
+                ("to", to.into()),
+                ("bytes", bytes.into()),
+                ("handoff_us", handoff_us.into()),
+                ("reason", reason.into()),
+            ],
+        );
+    }
+
+    /// Re-splits `node`'s capacity across the shards it now hosts,
+    /// derated by its brownout health.
+    fn recapacity(&mut self, node: usize) {
+        let hosted = self.placement.hosted(node);
+        if hosted.is_empty() {
+            return;
+        }
+        let n = hosted.len() as u64;
+        let base = self.node_capacity.derated(self.nodes[node].health);
+        let split = Capacity {
+            storage_bandwidth: (base.storage_bandwidth / n).max(1),
+            decode_rate: if base.decode_rate == 0 {
+                0
+            } else {
+                (base.decode_rate / n).max(1)
+            },
+            overhead_us: base.overhead_us,
+            max_sessions: if base.max_sessions == usize::MAX {
+                usize::MAX
+            } else {
+                (base.max_sessions / n as usize).max(1)
+            },
+            policy: base.policy,
+        };
+        for s in hosted {
+            self.shards[s].set_capacity(split);
+        }
+    }
+
+    /// Migrates the hottest shard off the hottest node when node-level
+    /// skew exceeds the configured threshold (cooldown-limited so one hot
+    /// minute doesn't thrash placement).
+    fn maybe_rebalance(&mut self, at: TimePoint) {
+        let Some(threshold) = self.rebalance_skew else {
+            return;
+        };
+        if let Some(last) = self.last_rebalance {
+            if at - last < self.rebalance_cooldown {
+                return;
+            }
+        }
+        let served = |shard: &Server<S>| shard.metrics().counter("serve.elements.served") as usize;
+        let node_load = |fleet: &Fleet<S>, n: usize| -> usize {
+            fleet
+                .placement
+                .hosted(n)
+                .iter()
+                .map(|&s| served(&fleet.shards[s]))
+                .sum()
+        };
+        let up: Vec<usize> = (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].up)
+            .collect();
+        if up.len() < 2 {
+            return;
+        }
+        let skew = skew_percent(up.iter().map(|&n| node_load(self, n)));
+        if skew <= threshold {
+            return;
+        }
+        // Hottest node with at least two shards gives its hottest shard
+        // to the least-loaded up node (ties break low, deterministically).
+        let Some(&hot) = up
+            .iter()
+            .filter(|&&n| self.placement.hosted(n).len() >= 2)
+            .max_by_key(|&&n| (node_load(self, n), usize::MAX - n))
+        else {
+            return;
+        };
+        let Some(&cold) = up
+            .iter()
+            .filter(|&&n| n != hot)
+            .min_by_key(|&&n| (node_load(self, n), n))
+        else {
+            return;
+        };
+        if node_load(self, hot) == 0 || hot == cold {
+            return;
+        }
+        let Some(shard) = self
+            .placement
+            .hosted(hot)
+            .into_iter()
+            .max_by_key(|&s| (served(&self.shards[s]), usize::MAX - s))
+        else {
+            return;
+        };
+        self.last_rebalance = Some(at);
+        self.tracer.event(
+            "fleet.rebalance",
+            Category::Fleet,
+            at,
+            SpanId::NONE,
+            None,
+            vec![
+                ("skew", skew.into()),
+                ("hot", hot.into()),
+                ("cold", cold.into()),
+            ],
+        );
+        self.migrate(shard, cold, at, "rebalance");
+    }
+}
+
+/// The backoff actually charged for retry `attempt` under `policy`:
+/// nominal without jitter, seed-deterministic in `[nominal/2, nominal]`
+/// with it — the [`RetryPolicy::jittered`] rule, restated here because the
+/// transport loop steps simulated time itself instead of running inside
+/// [`RetryPolicy::run`].
+fn jittered_backoff(policy: &RetryPolicy, nominal: u64, attempt: u32) -> u64 {
+    match policy.jitter_seed {
+        None => nominal,
+        Some(seed) => {
+            let half = nominal / 2;
+            let spread = nominal - half;
+            if spread == 0 {
+                return nominal;
+            }
+            let h = splitmix64(splitmix64(seed) ^ u64::from(attempt + 1));
+            half + h % (spread + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> TimePoint {
+        TimePoint::ZERO + TimeDelta::from_millis(ms)
+    }
+
+    #[test]
+    fn link_delivery_is_seeded_and_replayable() {
+        let run = || {
+            let mut link = Link::new(1_000_000)
+                .with_jitter_us(500)
+                .with_loss(0.3)
+                .with_seed(42);
+            (0..32)
+                .map(|i| link.delivery(t(i), 1_000))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same delivery outcomes");
+        assert!(a.iter().any(|d| d.is_none()), "30% loss must lose some");
+        assert!(a.iter().any(|d| d.is_some()), "30% loss must pass some");
+        for d in a.iter().flatten() {
+            // 200 µs propagation + 1000 µs transfer + up to 500 µs jitter.
+            assert!(*d >= TimeDelta::from_micros(1_200));
+            assert!(*d <= TimeDelta::from_micros(1_700));
+        }
+    }
+
+    #[test]
+    fn link_partitions_lose_everything_in_window() {
+        let mut link = Link::new(1_000_000).with_partition(t(10), t(20));
+        assert!(link.delivery(t(5), 100).is_some());
+        assert!(link.delivery(t(10), 100).is_none());
+        assert!(link.delivery(t(19), 100).is_none());
+        assert!(link.delivery(t(20), 100).is_some());
+    }
+
+    #[test]
+    fn breaker_trips_and_heals_like_the_tier_breaker() {
+        let mut b = NodeBreaker::new(2, TimeDelta::from_millis(100));
+        assert!(!b.on_failure(t(0)), "one failure is below threshold");
+        assert!(b.on_failure(t(1)), "second consecutive failure trips");
+        assert_eq!(b.trips, 1);
+        assert!(!b.allows_probe(t(50)), "open until cooldown expires");
+        assert!(b.allows_probe(t(101)), "half-open after cooldown");
+        assert!(b.on_success(), "probe success heals");
+        assert_eq!(b.state, BreakerState::Closed);
+        assert!(!b.on_success(), "already closed");
+    }
+
+    #[test]
+    fn placement_starts_round_robin_and_reassigns() {
+        let mut p = PlacementService::new(4, 2, 7);
+        assert_eq!(p.node_of_shard(0), 0);
+        assert_eq!(p.node_of_shard(1), 1);
+        assert_eq!(p.node_of_shard(2), 0);
+        assert_eq!(p.hosted(0), vec![0, 2]);
+        let e0 = p.epoch();
+        p.assign(2, 1);
+        assert_eq!(p.node_of_shard(2), 1);
+        assert_eq!(p.home_of(2), 0, "home never changes");
+        assert!(p.epoch() > e0);
+        assert!(p.render().contains("shard"));
+    }
+
+    #[test]
+    fn skew_percent_matches_sharded_stats_shape() {
+        assert_eq!(skew_percent([10usize, 10].into_iter()), 0);
+        assert_eq!(skew_percent([40usize, 0, 0, 0].into_iter()), 300);
+        assert_eq!(skew_percent(std::iter::empty()), 0);
+    }
+}

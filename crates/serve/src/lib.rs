@@ -66,6 +66,7 @@
 mod cache;
 mod capacity;
 mod error;
+mod fleet;
 mod metrics;
 mod server;
 mod session;
@@ -74,6 +75,9 @@ mod shard;
 pub use cache::{CacheStats, SegmentCache};
 pub use capacity::{AdmissionPolicy, AdmitDecision, Capacity, RejectReason};
 pub use error::ServeError;
+pub use fleet::{
+    Fleet, FleetError, FleetStats, Link, Node, NodeFaultPlan, NodeStats, PlacementService,
+};
 pub use metrics::ServerStats;
 pub use server::Server;
 pub use session::{Request, Response, Session, SessionState, SessionStats};

@@ -212,4 +212,86 @@ mod tests {
         assert_eq!(s.p50_lateness(), TimeDelta::from_micros(2_000));
         assert_eq!(s.p99_lateness(), TimeDelta::from_micros(4_000));
     }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary snapshot with the fault invariant holding by
+        /// construction, lateness populated from `misses` observations and
+        /// service from `services` — the shapes `absorb` must preserve.
+        fn arb_stats() -> impl Strategy<Value = ServerStats> {
+            (
+                proptest::collection::vec(0usize..50, 8),
+                proptest::collection::vec(1u64..5_000_000, 0..8),
+                proptest::collection::vec(1u64..5_000_000, 0..8),
+            )
+                .prop_map(|(counts, misses, services)| {
+                    let mut s = stats_with(counts[0] + misses.len(), 0, counts[1]);
+                    s.deadline_misses = misses.len();
+                    s.lateness = Histogram::new(&LATENCY_BUCKETS_US);
+                    for &m in &misses {
+                        s.lateness.observe(m);
+                    }
+                    for &v in &services {
+                        s.service.observe(v);
+                    }
+                    s.active_sessions = counts[2];
+                    s.finished_sessions = counts[3];
+                    s.admitted = counts[4];
+                    s.degraded_elements = counts[5];
+                    s.repaired_elements = counts[6];
+                    s.faults_detected = counts[1] + counts[5] + counts[6];
+                    s.storage_bytes_read = counts[7] as u64 * 1_000;
+                    s
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `empty()` really is the identity of `absorb`, on both sides —
+            /// including for snapshots whose histograms hold zero or one
+            /// observation (the empty/single-bucket operands the rollup
+            /// sees from idle and one-session shards).
+            #[test]
+            fn empty_is_absorb_identity(s in arb_stats()) {
+                let mut left = ServerStats::empty();
+                left.absorb(&s);
+                prop_assert_eq!(left, s);
+
+                let mut right = s;
+                right.absorb(&ServerStats::empty());
+                prop_assert_eq!(right, s);
+            }
+
+            /// Absorbing in either order gives the same rollup — shard
+            /// enumeration order must not matter — and addition preserves
+            /// the fault invariant.
+            #[test]
+            fn absorb_is_commutative_and_keeps_the_fault_invariant(
+                a in arb_stats(),
+                b in arb_stats(),
+                c in arb_stats(),
+            ) {
+                let mut ab = a;
+                ab.absorb(&b);
+                let mut ba = b;
+                ba.absorb(&a);
+                prop_assert_eq!(ab, ba);
+
+                let mut abc = ab;
+                abc.absorb(&c);
+                prop_assert_eq!(
+                    abc.faults_detected,
+                    abc.degraded_elements + abc.dropped_elements + abc.repaired_elements
+                );
+                prop_assert_eq!(
+                    abc.elements_served,
+                    a.elements_served + b.elements_served + c.elements_served
+                );
+                prop_assert_eq!(abc.lateness.count(), abc.deadline_misses as u64);
+            }
+        }
+    }
 }

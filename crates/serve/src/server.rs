@@ -32,8 +32,8 @@ use tbm_db::MediaDb;
 use tbm_obs::{
     attribute, chrome_trace_to_writer, micros, AttributionReport, Category, MetricsRegistry,
     SpanId, TraceSnapshot, Tracer, ATTR_DECODE_US, ATTR_ELEMENT_INDEX, ATTR_FAILOVER_US,
-    ATTR_INHERITED_US, ATTR_LATENESS_US, ATTR_RETRY_US, ATTR_STORAGE_US, ATTR_WAIT_US,
-    ELEMENT_SPAN, LATENCY_BUCKETS_US,
+    ATTR_INHERITED_US, ATTR_LATENESS_US, ATTR_NODELOSS_US, ATTR_RETRY_US, ATTR_STORAGE_US,
+    ATTR_WAIT_US, ELEMENT_SPAN, LATENCY_BUCKETS_US,
 };
 use tbm_player::{demanded_rate, schedule_from_interp, DegradationPolicy, ElementFate};
 use tbm_time::{Rational, TimeDelta, TimePoint};
@@ -92,6 +92,11 @@ pub struct Server<S: BlobStore = MemBlobStore> {
     heap: BinaryHeap<Reverse<QueuedJob>>,
     clock: TimePoint,
     busy_until: TimePoint,
+    /// Node-outage stall: no element dispatches before this instant. Set by
+    /// a fleet during a shard migration's catalog handoff (or while the
+    /// hosting node is down); the extra delay is attributed to `node-loss`
+    /// rather than channel wait. [`TimePoint::ZERO`] when never stalled.
+    stall_until: TimePoint,
     committed: Rational,
     metrics: MetricsRegistry,
     tracer: Tracer,
@@ -112,6 +117,7 @@ impl<S: BlobStore> Server<S> {
             heap: BinaryHeap::new(),
             clock: TimePoint::ZERO,
             busy_until: TimePoint::ZERO,
+            stall_until: TimePoint::ZERO,
             committed: Rational::ZERO,
             metrics: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
@@ -211,6 +217,33 @@ impl<S: BlobStore> Server<S> {
     /// The capacity model.
     pub fn capacity(&self) -> Capacity {
         self.capacity
+    }
+
+    /// Replaces the capacity model mid-run — the fleet lever for a node
+    /// whose hosted-shard count (or brownout-derated budget) just changed.
+    /// Already-admitted sessions keep playing against the new cost model;
+    /// new arrivals are admitted against the new budget; and a *larger*
+    /// budget immediately lifts degraded-admission sessions back to full
+    /// fidelity where it fits ([`Server::finish`] semantics are unchanged).
+    pub fn set_capacity(&mut self, capacity: Capacity) {
+        self.capacity = capacity;
+        self.try_upgrade_sessions(self.clock);
+    }
+
+    /// Stalls the service channel until `until` (monotone: an earlier call
+    /// with a later instant wins). A fleet sets this across a shard
+    /// migration's catalog handoff and while the hosting node is down, so
+    /// elements queued before the move complete after it — paying the
+    /// outage as an explicitly attributed `node-loss` component instead of
+    /// disappearing or masquerading as channel wait.
+    pub fn set_stall_until(&mut self, until: TimePoint) {
+        self.stall_until = self.stall_until.max(until);
+    }
+
+    /// The current node-outage stall horizon ([`TimePoint::ZERO`] when the
+    /// channel was never stalled).
+    pub fn stall_until(&self) -> TimePoint {
+        self.stall_until
     }
 
     /// The server clock: the latest simulated time processed.
@@ -752,6 +785,60 @@ impl<S: BlobStore> Server<S> {
         Ok(Response::Closed { session: id, stats })
     }
 
+    /// Abandons every unserved element of every active session at `at` —
+    /// what a node loss looks like when nobody migrates the shard away.
+    /// Each abandoned element is accounted as a dropped element backed by a
+    /// detected fault (so `faults == degraded + dropped + repaired` and
+    /// `service.count == elements_served` keep holding, with zero recorded
+    /// service), the sessions close, and their capacity is released.
+    /// Returns the number of elements shed.
+    ///
+    /// The fleet's **no-migration baseline** calls this for shards whose
+    /// node died; the migrating fleet never does — the gap between the two
+    /// is exactly the serves migration saves.
+    pub fn shed_pending(&mut self, at: TimePoint) -> usize {
+        let mut shed_total = 0usize;
+        for idx in 0..self.sessions.len() {
+            let s = &mut self.sessions[idx];
+            if !s.is_active() || s.pending.is_empty() {
+                continue;
+            }
+            let shed = s.pending.len();
+            s.pending.clear();
+            s.epoch += 1; // queued jobs of the old schedule go stale
+            s.state = SessionState::Closed;
+            s.stats.elements += shed;
+            s.stats.dropped += shed;
+            let demand = s.demand;
+            let span = s.span;
+            let id = s.id;
+            let already = std::mem::replace(&mut s.released, true);
+            if !already {
+                self.committed -= demand;
+            }
+            self.metrics.inc(M_ELEMENTS, shed as u64);
+            self.metrics.inc(M_DROPPED, shed as u64);
+            self.metrics.inc(M_FAULTS, shed as u64);
+            for _ in 0..shed {
+                self.metrics.observe(H_SERVICE, &LATENCY_BUCKETS_US, 0);
+            }
+            self.tracer.event(
+                "session.shed",
+                Category::Session,
+                at,
+                span,
+                Some(id.raw()),
+                vec![("shed", shed.into())],
+            );
+            self.tracer.end_span(span, at);
+            shed_total += shed;
+        }
+        if shed_total > 0 {
+            self.try_upgrade_sessions(at);
+        }
+        shed_total
+    }
+
     /// Re-admits degraded-fidelity sessions at full fidelity — the recovery
     /// half of the degraded admission path. A session capped at admission
     /// (`layers_cap`) is upgraded when the store is fully healthy again
@@ -859,8 +946,11 @@ impl<S: BlobStore> Server<S> {
         // The channel dispatches this element when it frees up (or at the
         // anchor, whichever is later) — known before any read happens, so
         // the element span and the injected-fault events of the reads below
-        // all land at the right simulated instant.
-        let start = self.busy_until.max(s.play_time);
+        // all land at the right simulated instant. A node-outage stall
+        // (migration handoff) can only push dispatch later; the difference
+        // is attributed to `node-loss` below, never to channel wait.
+        let natural_start = self.busy_until.max(s.play_time);
+        let start = natural_start.max(self.stall_until);
         self.tracer.set_now(start);
         // A tiered store runs its breakers and outage scripts on the same
         // simulated instant the element is dispatched at.
@@ -1049,8 +1139,13 @@ impl<S: BlobStore> Server<S> {
 
         // How long the element sat behind *other* traffic before dispatch:
         // channel wait beyond this session's own anchor/pipeline position.
+        // The node-outage stall is split out so a handoff-delayed element
+        // reads as `node-loss`, not admission over-commit; the two sum to
+        // the old single wait, so timing is bit-identical when never
+        // stalled.
         let wait_base = s.play_time.max(s.last_ready);
-        let wait_us = micros((start - wait_base).max(TimeDelta::ZERO).seconds());
+        let wait_us = micros((natural_start - wait_base).max(TimeDelta::ZERO).seconds());
+        let nodeloss_us = micros((start - natural_start).seconds());
 
         // The presentation clock starts when the first element after the
         // anchor completes (a one-element startup buffer).
@@ -1095,6 +1190,7 @@ impl<S: BlobStore> Server<S> {
 
         self.tracer.attr(span, "fate", fate_label);
         self.tracer.attr(span, ATTR_WAIT_US, wait_us);
+        self.tracer.attr(span, ATTR_NODELOSS_US, nodeloss_us);
         self.tracer.attr(span, ATTR_STORAGE_US, storage_us);
         self.tracer.attr(span, ATTR_RETRY_US, retry_us);
         self.tracer.attr(span, ATTR_FAILOVER_US, failover_us as i64);

@@ -540,6 +540,35 @@ mod tests {
     }
 
     #[test]
+    fn shard_of_matches_golden_vectors() {
+        // The routing hash is a wire/disk contract shared with the fleet's
+        // placement service: these literals pin the exact seeded-FNV-1a
+        // variant. If this test fails, the hash changed — which silently
+        // re-homes every object in every deployed catalog. Don't "fix" the
+        // vectors; fix the hash.
+        for (name, seed, shards, want) in [
+            ("video1", 0u64, 4usize, 3usize),
+            ("video1", 0, 16, 7),
+            ("movie0", 7, 4, 2),
+            ("movie1", 7, 4, 1),
+            ("movie2", 7, 4, 0),
+            ("movie3", 7, 4, 3),
+            ("video1", 42, 4, 1),
+            ("audio-news", 42, 4, 1),
+            ("", 0, 4, 1),
+            ("", 42, 8, 7),
+            ("clip/2024/01", 1, 8, 3),
+            ("clip/2024/01", 2, 8, 0),
+        ] {
+            assert_eq!(
+                shard_of(name, seed, shards),
+                want,
+                "shard_of({name:?}, {seed}, {shards}) drifted from its golden vector"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         shard_of("x", 0, 0);

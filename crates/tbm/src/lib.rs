@@ -85,7 +85,8 @@ pub mod prelude {
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
     };
     pub use tbm_serve::{
-        shard_of, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, RejectReason, Request,
+        shard_of, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, Fleet, FleetError,
+        FleetStats, Link, NodeFaultPlan, NodeStats, PlacementService, RejectReason, Request,
         Response, SegmentCache, ServeError, Server, ServerStats, Session, SessionState,
         SessionStats, ShardError, ShardedDb, ShardedServer, ShardedStats,
     };

@@ -24,10 +24,17 @@
 //! admission budget and cache, and the report shows the per-shard
 //! breakdown, the `shard.skew` gauge and the exact global rollup.
 //!
+//! Set `BROADCAST_FLEET=N` to instead host the sharded catalog on a
+//! simulated `N`-node fleet and kill a node mid-broadcast: shards fail
+//! over with a catalog handoff, in-flight sessions ride through the
+//! migration, the handoff stall shows up under the `node-loss` miss
+//! cause, and the node's restart brings its shards home.
+//!
 //! ```text
 //! cargo run --example broadcast
 //! BROADCAST_TIER_BLACKOUT=1 cargo run --example broadcast
 //! BROADCAST_SHARDS=4 cargo run --example broadcast
+//! BROADCAST_FLEET=4 cargo run --example broadcast
 //! ```
 
 use tbm::codec::dct::DctParams;
@@ -48,6 +55,13 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
     {
         sharded_broadcast(n);
+        return;
+    }
+    if let Some(n) = std::env::var("BROADCAST_FLEET")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        fleet_broadcast(n);
         return;
     }
     // ------------------------------------------------------------------
@@ -310,6 +324,129 @@ fn sharded_broadcast(shards: usize) {
         "fleet admitted {} of 16 viewers across {shards} shard(s); rollup exact, \
          fault invariant holds per shard and globally",
         g.sessions_admitted()
+    );
+}
+
+/// The sharded catalog hosted on a simulated `nodes`-node fleet, with a
+/// scripted node kill (and salvage restart) in the middle of the
+/// broadcast: live migration hands the dead node's shards to survivors,
+/// every in-flight session rides through, and the placement table ends
+/// the run back in its home state.
+fn fleet_broadcast(nodes: usize) {
+    use tbm::interp::Interpretation;
+    use tbm::serve::NodeFaultPlan;
+
+    const SEED: u64 = 29;
+    let nodes = nodes.max(2); // a 1-node fleet has nowhere to fail over
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+    let names: Vec<String> = (0..8).map(|i| format!("movie{i}")).collect();
+    let shards = nodes * 2; // two shards per node: kills move real load
+
+    let mut db = ShardedDb::new(shards, SEED);
+    let frames = render_frames(VideoPattern::MovingBar, 0, 30, 96, 64);
+    for name in &names {
+        let store = db.store_for_mut(name);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+        // The capture helper names streams "video1"; re-hang the stream
+        // under the movie's routing name.
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        db.register_interpretation(renamed).unwrap();
+    }
+
+    // Node 1 is killed at 900 ms — mid-broadcast — and restarts with its
+    // salvaged bytes at 4 s, after the storm has drained.
+    let mut fleet = Fleet::new(db, nodes, Capacity::new(200_000_000).admit_all())
+        .with_cache_budget(32 << 20)
+        .with_tracer(Tracer::new())
+        .with_fault_plan(1, NodeFaultPlan::new().with_crash_restart(t(900), t(4_000)));
+    println!(
+        "catalog of {} movies over {shards} shards on {nodes} nodes; node 1 dies at 900 ms:\n",
+        names.len()
+    );
+    println!("initial placement:\n{}", fleet.placement().render());
+
+    for i in 0..16usize {
+        let at = t(i as i64 * 120);
+        let name = names[i % names.len()].clone();
+        let Response::Opened { session, decision } = fleet
+            .request(
+                at,
+                Request::Open {
+                    object: name.clone(),
+                },
+            )
+            .expect("live migration keeps every object reachable")
+        else {
+            unreachable!("Open always answers Opened");
+        };
+        let node = fleet.placement().node_of_object(&name);
+        println!(
+            "viewer {i:2} at {:>4} ms wants {name} (node {node}): {decision}",
+            i * 120
+        );
+        if let Some(id) = session {
+            fleet.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+
+    let stats = fleet.finish();
+    println!(
+        "\n{:<8}{:>6}{:>8}{:>10}{:>9}{:>10}{:>8}",
+        "node", "up", "hosted", "elements", "crashes", "restarts", "trips"
+    );
+    println!("{}", "-".repeat(59));
+    for n in &stats.per_node {
+        println!(
+            "{:<8}{:>6}{:>8}{:>10}{:>9}{:>10}{:>8}",
+            n.name,
+            if n.up { "yes" } else { "no" },
+            n.hosted.len(),
+            n.elements_served,
+            n.crashes,
+            n.restarts,
+            n.breaker_trips
+        );
+    }
+    println!(
+        "\n{} migrations moved {} handoff bytes; {} sent / {} lost on the wire",
+        stats.migrations, stats.handoff_bytes, stats.transport_sent, stats.transport_lost
+    );
+    println!(
+        "served {} elements, {} dropped, {} shed; {} deadline misses",
+        stats.shards.global.elements_served,
+        stats.shards.global.dropped_elements,
+        stats.elements_shed,
+        stats.shards.global.deadline_misses
+    );
+
+    let report = fleet.attribution();
+    if report.total() > 0 {
+        println!("deadline misses by cause:");
+        for (cause, n) in report.by_cause() {
+            println!("  {:>22}: {n}", cause.as_str());
+        }
+    }
+
+    assert_eq!(
+        stats.shards.global.dropped_elements, 0,
+        "the kill must not cost a single verified serve"
+    );
+    assert!(stats.migrations > 0, "the kill must actually move shards");
+    assert!(stats.per_node[1].up, "node 1 must be back up at the end");
+    let placement = fleet.placement();
+    for s in 0..placement.shard_count() {
+        assert_eq!(
+            placement.node_of_shard(s),
+            placement.home_of(s),
+            "the restart must bring every shard home"
+        );
+    }
+    println!(
+        "\nnode 1 died, its shards failed over, and the salvage restart brought them \
+         home — zero drops"
     );
 }
 

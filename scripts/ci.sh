@@ -37,6 +37,13 @@ echo "==> sharded-catalog smoke"
 # per-shard -> global rollup, and the fault invariant at both levels.
 BROADCAST_SHARDS=4 cargo run --release -q -p tbm --example broadcast
 
+echo "==> fleet node-kill smoke"
+# And finally on a simulated four-node fleet with a scripted node kill
+# mid-broadcast: the example asserts zero dropped serves across the
+# failover, real migrations, and the salvage restart restoring the home
+# placement.
+BROADCAST_FLEET=4 cargo run --release -q -p tbm --example broadcast
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
