@@ -1,5 +1,6 @@
 //! E8 support — the database query surface: catalog queries and time-based
-//! element retrieval vs raw-BLOB scanning.
+//! element retrieval vs raw-BLOB scanning — plus the telemetry plane:
+//! model compression of per-tick series and model-native aggregation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -7,7 +8,8 @@ use tbm_bench::{captured_av, SPF};
 use tbm_blob::{BlobStore, ByteSpan};
 use tbm_core::VideoQuality;
 use tbm_db::MediaDb;
-use tbm_time::{Rational, TimePoint};
+use tbm_query::{Aggregate, ErrorBound, Metric, Selector, SeriesKey, SeriesSink, TelemetryStore};
+use tbm_time::{Rational, TimeDelta, TimePoint};
 
 fn db_with_movie(n: usize) -> (MediaDb, u64) {
     let (store, cap) = captured_av(n, 160, 120);
@@ -69,5 +71,80 @@ fn bench_time_retrieval(c: &mut Criterion) {
     let _ = SPF;
 }
 
-criterion_group!(benches, bench_catalog_queries, bench_time_retrieval);
+/// A telemetry-shaped series: plateaus, a ramp, a noise burst, a long
+/// near-idle tail — deterministic, no RNG needed.
+fn telemetry_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| match i % 1_000 {
+            0..=199 => 250.0,
+            200..=399 => 250.0 + 3.0 * (i % 1_000 - 200) as f64,
+            400..=449 => 100.0 + ((i * 7_919) % 900) as f64,
+            _ => 40.0,
+        })
+        .collect()
+}
+
+fn bench_telemetry_plane(c: &mut Criterion) {
+    let series = telemetry_series(10_000);
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(20);
+    g.bench_function("compress_10k_ticks_1pct", |b| {
+        b.iter(|| {
+            let mut sink = SeriesSink::new(ErrorBound::percent(1.0));
+            for &v in &series {
+                sink.append(v);
+            }
+            sink.flush();
+            black_box(sink.drain())
+        })
+    });
+
+    let store = {
+        let mut sink = SeriesSink::new(ErrorBound::percent(1.0));
+        for &v in &series {
+            sink.append(v);
+        }
+        sink.flush();
+        let mut store = TelemetryStore::new(TimePoint::ZERO, TimeDelta::from_millis(50));
+        let key = SeriesKey {
+            node: 0,
+            shard: None,
+            metric: Metric::LatenessUs,
+            degraded: false,
+        };
+        for seg in sink.drain() {
+            store.ingest(key, seg);
+        }
+        store
+    };
+    // Aggregation on segment models vs re-materialising every sample.
+    g.bench_function("model_native_p99", |b| {
+        b.iter(|| black_box(store.aggregate(&Selector::all(), Aggregate::Quantile(99))))
+    });
+    g.bench_function("rematerialize_p99", |b| {
+        let key = SeriesKey {
+            node: 0,
+            shard: None,
+            metric: Metric::LatenessUs,
+            degraded: false,
+        };
+        b.iter(|| {
+            let mut values: Vec<f64> = store
+                .segments(&key)
+                .iter()
+                .flat_map(|s| s.values())
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            black_box(values[(values.len() * 99).div_ceil(100) - 1])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_catalog_queries,
+    bench_time_retrieval,
+    bench_telemetry_plane
+);
 criterion_main!(benches);

@@ -43,6 +43,13 @@
 //!   sheds in-flight elements; the handoff stall is attributed to the
 //!   node-loss miss cause; and the whole kill-restart-restore cycle
 //!   replays byte-identically from the seed.
+//! * **§query (telemetry plane)** — the fleet broadcast sampled every
+//!   50 ms into model-compressed series at a 1% error bound: ≥10× smaller
+//!   than the raw per-tick series, model-native aggregates within the
+//!   bound of the exact aggregates (measured against a same-seed lossless
+//!   run), and the brownout question — p99 lateness for degraded sessions
+//!   on the browned-out node during the brownout window — answered in one
+//!   typed query whose rendered table replays byte-identically.
 //!
 //! ```text
 //! cargo run --release -p tbm-bench --bin exp_claims
@@ -68,6 +75,7 @@ fn main() {
     tiers_failover();
     shards_scaling();
     fleet_resilience();
+    query_telemetry();
 }
 
 // ---------------------------------------------------------------------------
@@ -1357,6 +1365,182 @@ fn fleet_resilience() {
         "claim: same-seed fleet storms must be identical"
     );
     println!("zero drops across the kill; same-seed rerun identical\n");
+}
+
+// ---------------------------------------------------------------------------
+// §query
+// ---------------------------------------------------------------------------
+
+/// The telemetry plane's three claims, measured on the fleet broadcast:
+/// model compression beats raw per-tick storage ≥10× at a 1% bound,
+/// model-native aggregates stay within the bound of the exact answers
+/// (a same-seed lossless run *is* the raw series — its raw-fallback and
+/// zero-error fits are bit-exact), and the brownout question is one typed
+/// query whose rendered answer replays byte-identically.
+fn query_telemetry() {
+    use tbm_interp::Interpretation;
+    use tbm_query::{
+        Aggregate, ErrorBound, FleetTelemetry, Metric, Predicate, Query, QueryCtx, Selector,
+        Source, TelemetryStore,
+    };
+    use tbm_serve::{Capacity, Fleet, NodeFaultPlan, Request, Response, ShardedDb};
+    use tbm_time::{TimeDelta, TimePoint};
+
+    println!("§query — model-compressed telemetry + typed queries over the fleet\n");
+
+    let names: Vec<String> = (0..8).map(|i| format!("movie{i}")).collect();
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+    let seed = 23u64;
+    let brownout = (t(500), t(2_500));
+
+    // One broadcast, parameterised only by the telemetry error bound; with
+    // loss-free default links the bound cannot perturb the fleet, so every
+    // run sees the same raw series.
+    let storm = |bound: ErrorBound| -> (TelemetryStore, String) {
+        let mut db = ShardedDb::new(6, seed);
+        for name in &names {
+            let store = db.store_for_mut(name);
+            let (blob, interp) = capture::capture_video_scalable(
+                store,
+                &video_frames(40, 96, 64),
+                TimeSystem::PAL,
+                DctParams::default(),
+            )
+            .unwrap();
+            let stream = interp.stream("video1").unwrap().clone();
+            let mut renamed = Interpretation::new(blob);
+            renamed.add_stream(name, stream).unwrap();
+            db.register_interpretation(renamed).unwrap();
+        }
+        let owner = db.shard_for("movie0");
+        let (_, stream) = db.shard(owner).stream_of("movie0").unwrap();
+        let full_bps =
+            tbm_player::demanded_rate(&schedule_from_interp(stream, None), stream.system())
+                .unwrap()
+                .ceil() as u64;
+
+        let mut fleet = Fleet::new(db, 3, Capacity::new(full_bps * 2).with_overhead_us(100))
+            .with_cache_budget(16 << 20)
+            .with_fault_plan(
+                1,
+                NodeFaultPlan::new().with_brownout(brownout.0, brownout.1, 35),
+            );
+        let mut telemetry = FleetTelemetry::new(bound, TimeDelta::from_millis(50));
+        let mut next = 0usize;
+        // 240 sampled ticks = 12 s: the storm lands in the first 2 s, the
+        // long drained tail is what real telemetry looks like most of the
+        // time — near-constant.
+        for k in 0..=240i64 {
+            let at = t(50 * k);
+            telemetry.tick(&mut fleet, at);
+            while next < 16 && (next as i64) * 120 < 50 * (k + 1) {
+                let name = names[next % names.len()].clone();
+                let open_at = t(next as i64 * 120).max(at);
+                if let Ok(Response::Opened {
+                    session: Some(id), ..
+                }) = fleet.request(open_at, Request::Open { object: name })
+                {
+                    let _ = fleet.request(open_at, Request::Play { session: id });
+                }
+                next += 1;
+            }
+        }
+        telemetry.finish(&mut fleet, t(12_050));
+        fleet.finish();
+
+        // The brownout question, in one typed query: p99 lateness for
+        // degraded sessions on node 1, during the brownout window.
+        let ctx = QueryCtx::from_fleet(&fleet)
+            .with_telemetry(telemetry.store().expect("the plane ticked"));
+        let answer = Query::scan(Source::Metrics)
+            .filter(Predicate::MetricIs(Metric::LatenessUs))
+            .filter(Predicate::Degraded(true))
+            .filter(Predicate::OnNode(1))
+            .filter(Predicate::During(brownout.0, brownout.1))
+            .aggregate(Aggregate::Quantile(99))
+            .run(&ctx)
+            .expect("typed and backed")
+            .render();
+        (telemetry.store().expect("the plane ticked").clone(), answer)
+    };
+
+    let (lossy, answer) = storm(ErrorBound::percent(1.0));
+    let (exact, _) = storm(ErrorBound::LOSSLESS);
+
+    println!(
+        "{:>10}{:>10}{:>12}{:>14}{:>14}{:>10}",
+        "bound", "series", "segments", "compressed", "raw", "ratio"
+    );
+    println!("{}", "-".repeat(70));
+    for (label, s) in [("1%", &lossy), ("lossless", &exact)] {
+        println!(
+            "{label:>10}{:>10}{:>12}{:>14}{:>14}{:>9.1}x",
+            s.series_count(),
+            s.segment_count(),
+            fmt_bytes(s.compressed_bytes()),
+            fmt_bytes(s.raw_bytes()),
+            s.compression_ratio(),
+        );
+    }
+    assert!(
+        lossy.compression_ratio() >= 10.0,
+        "claim: model compression must be ≥10x vs the raw per-tick series at 1% \
+         (got {:.1}x)",
+        lossy.compression_ratio()
+    );
+    assert_eq!(
+        lossy.point_count(),
+        exact.point_count(),
+        "both runs sample the identical tick schedule"
+    );
+
+    // Model-native aggregates vs the exact answers, fleet-wide and per
+    // metric: every one within the 1% bound (the lossless store is the raw
+    // series, so its aggregates are exact).
+    let mut checked = 0usize;
+    for metric in Metric::ALL {
+        for agg in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+            Aggregate::Quantile(50),
+            Aggregate::Quantile(99),
+        ] {
+            let sel = Selector::metric(metric);
+            let (Some(m), Some(e)) = (lossy.aggregate(&sel, agg), exact.aggregate(&sel, agg))
+            else {
+                continue;
+            };
+            assert!(
+                (m.value - e.value).abs() <= 0.01 * e.value.abs() + 1e-9,
+                "claim: model-native {agg} of {metric} must be within 1% of exact \
+                 ({} vs {})",
+                m.value,
+                e.value
+            );
+            checked += 1;
+        }
+    }
+    println!(
+        "\n{checked} model-native aggregates (min/max/mean/p50/p99 × metric) all within \
+         the 1% bound of the exact lossless answers"
+    );
+
+    println!("\nthe brownout question, answered from segment models:");
+    println!("{}", indent_block(&answer));
+
+    // Determinism: the whole pipeline — sampling, compression, shipping,
+    // the typed query and its rendering — replays byte-identically.
+    let (_, answer2) = storm(ErrorBound::percent(1.0));
+    assert_eq!(
+        answer, answer2,
+        "claim: same-seed runs must render byte-identical query answers"
+    );
+    assert!(
+        answer.lines().count() >= 4,
+        "claim: the brownout query must produce an answer row"
+    );
+    println!("\nsame-seed rerun renders the byte-identical answer\n");
 }
 
 /// Re-renders the registry of a finished run for display. The tracer does

@@ -13,6 +13,44 @@ use tbm_derive::{MediaValue, Node};
 use tbm_interp::{Interpretation, StreamInterp};
 use tbm_time::{TimeDelta, TimePoint};
 
+/// One catalog object projected onto typed columns, for the query plane's
+/// `scan(Objects)` source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectColumns {
+    /// The object's registered name.
+    pub name: String,
+    /// Media kind from the descriptor; `None` for derived objects.
+    pub kind: Option<tbm_core::MediaKind>,
+    /// Whether the object is the output of a derivation.
+    pub derived: bool,
+    /// The `encoding` descriptor attribute, when declared.
+    pub codec: Option<String>,
+    /// Elements in the backing stream (0 for derived objects).
+    pub elements: u64,
+    /// Encoded bytes of the backing stream (0 for derived objects).
+    pub bytes: u64,
+    /// Declared duration, when the descriptor carries one.
+    pub duration: Option<TimeDelta>,
+}
+
+/// One stream interpretation projected onto typed columns, for the query
+/// plane's `scan(Streams)` source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamColumns {
+    /// The owning object's name.
+    pub object: String,
+    /// The stream descriptor's media kind.
+    pub kind: tbm_core::MediaKind,
+    /// The `encoding` descriptor attribute, when declared.
+    pub codec: Option<String>,
+    /// Number of elements.
+    pub elements: u64,
+    /// Total encoded bytes.
+    pub bytes: u64,
+    /// First and last tick covered, `None` for empty streams.
+    pub tick_span: Option<(i64, i64)>,
+}
+
 /// The multimedia database: a BLOB store plus the catalogs of
 /// interpretations, media objects, derivation objects and multimedia
 /// objects.
@@ -377,6 +415,55 @@ impl<S: BlobStore> MediaDb<S> {
                     .unwrap_or(false)
             })
             .map(|o| o.name.as_str())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Typed column access (the query plane's scan sources)
+    // ------------------------------------------------------------------
+
+    /// Every catalog object projected onto typed columns — the row set a
+    /// `scan(Objects)` query filters. Derived objects appear with no kind,
+    /// codec or stream geometry (they have no descriptor of their own).
+    pub fn object_columns(&self) -> Vec<ObjectColumns> {
+        self.objects
+            .iter()
+            .map(|o| {
+                let derived = matches!(o.origin, Origin::Derived { .. });
+                let desc = self.descriptor(&o.name);
+                let stream = self.stream_of(&o.name).ok();
+                ObjectColumns {
+                    name: o.name.clone(),
+                    kind: desc.map(MediaDescriptor::kind),
+                    derived,
+                    codec: desc
+                        .and_then(|d| d.get_text(keys::ENCODING))
+                        .map(str::to_owned),
+                    elements: stream.map_or(0, |(_, s)| s.len() as u64),
+                    bytes: stream.map_or(0, |(_, s)| s.total_bytes()),
+                    duration: desc.and_then(MediaDescriptor::duration),
+                }
+            })
+            .collect()
+    }
+
+    /// Every non-derived object's stream interpretation projected onto
+    /// typed columns — the row set a `scan(Streams)` query filters.
+    pub fn stream_columns(&self) -> Vec<StreamColumns> {
+        self.objects
+            .iter()
+            .filter_map(|o| {
+                let (_, stream) = self.stream_of(&o.name).ok()?;
+                let desc = stream.descriptor();
+                Some(StreamColumns {
+                    object: o.name.clone(),
+                    kind: desc.kind(),
+                    codec: desc.get_text(keys::ENCODING).map(str::to_owned),
+                    elements: stream.len() as u64,
+                    bytes: stream.total_bytes(),
+                    tick_span: stream.tick_span(),
+                })
+            })
             .collect()
     }
 

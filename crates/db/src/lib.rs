@@ -31,7 +31,7 @@ mod materialize;
 mod persist;
 mod record;
 
-pub use catalog::MediaDb;
+pub use catalog::{MediaDb, ObjectColumns, StreamColumns};
 pub use error::DbError;
 pub use persist::{SalvageReport, SectionSalvage, CATALOG_FILE, CATALOG_TMP};
 pub use record::{DerivationRecord, MediaObjectRecord, MultimediaRecord, Origin};

@@ -290,6 +290,31 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Every metric flattened to named numeric samples, in name order — the
+    /// extraction hook a telemetry plane compresses from. Counters and
+    /// gauges emit one sample each; every histogram emits
+    /// `name.count/.mean/.p50/.p99/.max`, so a per-tick delta of two
+    /// flattenings captures the same shape the textual
+    /// [`render`](MetricsRegistry::render) shows.
+    pub fn flat_samples(&self) -> Vec<(String, f64)> {
+        let mut out =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + 5 * self.histograms.len());
+        for (name, v) in &self.counters {
+            out.push((name.clone(), *v as f64));
+        }
+        for (name, v) in &self.gauges {
+            out.push((name.clone(), *v as f64));
+        }
+        for (name, h) in &self.histograms {
+            out.push((format!("{name}.count"), h.count() as f64));
+            out.push((format!("{name}.mean"), h.mean() as f64));
+            out.push((format!("{name}.p50"), h.quantile(50) as f64));
+            out.push((format!("{name}.p99"), h.quantile(99) as f64));
+            out.push((format!("{name}.max"), h.max() as f64));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -478,6 +503,85 @@ mod tests {
         agg.merge_prefixed(&shard0, "");
         agg.merge_prefixed(&shard1, "");
         assert_eq!(agg.counter("serve.elements.served"), 15);
+    }
+
+    /// Pins `quantile` edge behavior — p=0, p=100, empty, single bucket —
+    /// so downstream consumers (the telemetry plane compresses p50/p99
+    /// samples per tick) can rely on exact semantics.
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // Empty: every percentile answers 0, including the edges.
+        let empty = Histogram::new(&LATENCY_BUCKETS_US);
+        assert_eq!(empty.quantile(0), 0);
+        assert_eq!(empty.quantile(50), 0);
+        assert_eq!(empty.quantile(100), 0);
+
+        // p=0 clamps to rank 1 — the bucket of the smallest observation,
+        // answered as that bucket's bound capped by the exact max.
+        let mut h = Histogram::new(&LATENCY_BUCKETS_US);
+        for us in [80u64, 300, 40_000] {
+            h.observe(us);
+        }
+        assert_eq!(h.quantile(0), 100, "rank 1 lands in the (50, 100] bucket");
+
+        // p=100 answers from the last occupied bucket, capped by the max…
+        assert_eq!(h.quantile(100), 40_000, "50_000 bound min'd with max");
+        // …and exactly the max when it overflows every bound.
+        let mut over = Histogram::new(&LATENCY_BUCKETS_US);
+        over.observe(9_000_000);
+        assert_eq!(over.quantile(100), 9_000_000);
+        assert_eq!(over.quantile(1), 9_000_000);
+
+        // Single occupied bucket: one observation answers every percentile
+        // with the exact value (bound min'd with max), never the bound.
+        let mut one = Histogram::new(&LATENCY_BUCKETS_US);
+        one.observe(60);
+        for p in [0u64, 1, 50, 99, 100] {
+            assert_eq!(one.quantile(p), 60, "p={p}");
+        }
+    }
+
+    /// Golden render: the exact exposition text, byte for byte, so
+    /// exp_claims diffs that embed rendered registries stay stable.
+    #[test]
+    fn render_golden() {
+        let mut m = MetricsRegistry::new();
+        m.inc("serve.misses", 2);
+        m.inc("cache.evictions", 7);
+        m.set_gauge("cache.bytes", -3);
+        m.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 150);
+        m.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 900);
+        assert_eq!(
+            m.render(),
+            "counter cache.evictions 7\n\
+             counter serve.misses 2\n\
+             gauge cache.bytes -3\n\
+             histogram serve.lateness_us count=2 sum=1050 mean=525 p50=200 p99=900 max=900\n"
+        );
+    }
+
+    #[test]
+    fn flat_samples_mirror_render_in_name_order() {
+        let mut m = MetricsRegistry::new();
+        m.inc("serve.misses", 2);
+        m.set_gauge("cache.bytes", 42);
+        m.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 150);
+        m.observe("serve.lateness_us", &LATENCY_BUCKETS_US, 900);
+        let samples = m.flat_samples();
+        let expect = [
+            ("serve.misses", 2.0),
+            ("cache.bytes", 42.0),
+            ("serve.lateness_us.count", 2.0),
+            ("serve.lateness_us.mean", 525.0),
+            ("serve.lateness_us.p50", 200.0),
+            ("serve.lateness_us.p99", 900.0),
+            ("serve.lateness_us.max", 900.0),
+        ];
+        assert_eq!(samples.len(), expect.len());
+        for ((name, v), (want_name, want_v)) in samples.iter().zip(expect) {
+            assert_eq!(name, want_name);
+            assert_eq!(*v, want_v);
+        }
     }
 
     mod prop {

@@ -1,0 +1,67 @@
+//! # tbm-query — the telemetry plane and typed query surface
+//!
+//! A production fleet's telemetry volume dwarfs its media metadata. This
+//! crate applies the paper's core move — typed temporal data with
+//! operations defined *on the type* — to the system's own observability
+//! exhaust, in three layers:
+//!
+//! 1. **Ingest/compress** ([`SeriesSink`], [`FleetTelemetry`]): per-tick
+//!    observations (session lateness by fidelity, storage throughput,
+//!    cache hit rate, node load) sampled from the live servers on the
+//!    simulated clock, compressed into [`Segment`]s by PMC-Mean constant
+//!    and Swing linear filters under a user-chosen [`ErrorBound`], with a
+//!    lossless raw fallback. Finished segments ship over each node's
+//!    `Link` — charged, lossy, retried — into one [`TelemetryStore`].
+//! 2. **Model-native aggregates** ([`TelemetryStore::aggregate`]):
+//!    count/min/max/mean/quantile evaluated directly on the segment
+//!    models, never on re-materialised samples, with exact error
+//!    accounting in every [`AggResult`].
+//! 3. **Typed queries** ([`Query`]): `scan(Sessions | Objects | Streams |
+//!    Misses | Metrics) → filter(typed predicates) → aggregate`, run
+//!    against catalog/session/miss snapshots ([`QueryCtx`]) and the
+//!    telemetry store, rendered as a deterministic [`Table`].
+//!
+//! ## Ask the fleet a question
+//!
+//! ```
+//! use tbm_query::{
+//!     Aggregate, ErrorBound, FleetTelemetry, Metric, Predicate, Query, QueryCtx, Source,
+//! };
+//! use tbm_serve::{Capacity, Fleet, ShardedDb};
+//! use tbm_time::{TimeDelta, TimePoint};
+//!
+//! let catalog = ShardedDb::new(4, 7);
+//! let mut fleet = Fleet::new(catalog, 2, Capacity::new(100_000_000));
+//! let mut telemetry = FleetTelemetry::new(ErrorBound::percent(1.0), TimeDelta::from_millis(50));
+//! for k in 0..20 {
+//!     telemetry.tick(&mut fleet, TimePoint::ZERO + TimeDelta::from_millis(50 * k));
+//! }
+//! telemetry.finish(&mut fleet, TimePoint::ZERO + TimeDelta::from_secs(1));
+//! let store = telemetry.store().expect("ticked");
+//! let ctx = QueryCtx::from_fleet(&fleet).with_telemetry(store);
+//! let answer = Query::scan(Source::Metrics)
+//!     .filter(Predicate::MetricIs(Metric::LatenessUs))
+//!     .filter(Predicate::Degraded(true))
+//!     .aggregate(Aggregate::Quantile(99))
+//!     .run(&ctx)
+//!     .expect("typed and backed");
+//! println!("{}", answer.render());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod query;
+mod sampler;
+mod sink;
+mod store;
+
+pub use model::{ErrorBound, Segment, SegmentModel, RAW_SAMPLE_BYTES, SEGMENT_HEADER_BYTES};
+pub use query::{
+    MissRow, ObjectRow, Predicate, Query, QueryCtx, QueryError, SessionRow, Source, StreamRow,
+    Table,
+};
+pub use sampler::FleetTelemetry;
+pub use sink::{SeriesSink, MAX_SEGMENT_TICKS, MIN_MODEL_TICKS};
+pub use store::{AggResult, Aggregate, Metric, Selector, SeriesKey, TelemetryStore};

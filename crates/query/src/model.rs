@@ -1,0 +1,314 @@
+//! Error-bounded segment models for telemetry series.
+//!
+//! A telemetry series is a run of `f64` samples taken at a fixed tick
+//! interval. Instead of storing every sample, the plane stores *segments*:
+//! short runs described by a model that reproduces every sample inside a
+//! user-chosen relative error bound (the MiniModelarDB scheme). Three model
+//! kinds cover the practical shapes:
+//!
+//! * [`SegmentModel::Constant`] — the PMC-Mean filter: one value stands in
+//!   for the whole run (8 bytes of payload, any length).
+//! * [`SegmentModel::Linear`] — the Swing filter: a start value and a
+//!   per-tick slope (16 bytes of payload, any length).
+//! * [`SegmentModel::Raw`] — the lossless fallback when neither model fits:
+//!   the samples verbatim (8 bytes per sample, error zero).
+//!
+//! Fitting is *verified*: a model is only accepted after every covered
+//! sample has been re-checked against the bound with the exact arithmetic
+//! the readers use, so "a segment exists" implies "reconstruction is within
+//! bound" by construction — the property the proptests pin.
+
+/// A relative error bound in percent, `0.0` (lossless) to `< 100.0`.
+///
+/// A reconstructed value `approx` is acceptable for a true sample `v` when
+/// `|approx - v| <= bound/100 · |v|`. Note the bound is relative to the
+/// *sample*: a sample of exactly `0.0` admits only `0.0` back, so idle
+/// stretches compress losslessly no matter the bound.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ErrorBound(f64);
+
+impl ErrorBound {
+    /// A lossless (0%) bound: only [`SegmentModel::Raw`] and exact constant
+    /// runs will be emitted.
+    pub const LOSSLESS: ErrorBound = ErrorBound(0.0);
+
+    /// A bound of `pct` percent.
+    ///
+    /// # Panics
+    /// When `pct` is negative, not finite, or `>= 100`.
+    pub fn percent(pct: f64) -> ErrorBound {
+        assert!(
+            pct.is_finite() && (0.0..100.0).contains(&pct),
+            "error bound must be a finite percentage in [0, 100): {pct}"
+        );
+        ErrorBound(pct)
+    }
+
+    /// The bound as a percentage.
+    pub fn as_percent(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether `approx` is an acceptable reconstruction of the true sample
+    /// `actual` under this bound.
+    pub fn allows(&self, actual: f64, approx: f64) -> bool {
+        (approx - actual).abs() <= self.0 / 100.0 * actual.abs()
+    }
+}
+
+/// The model inside a [`Segment`]: how the covered samples are reproduced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentModel {
+    /// Every covered tick reconstructs to `value` (PMC-Mean).
+    Constant {
+        /// The stand-in value (the mid-range of the covered samples).
+        value: f64,
+    },
+    /// Tick `i` of the run reconstructs to `first + slope · i` (Swing).
+    Linear {
+        /// Reconstruction at the first covered tick.
+        first: f64,
+        /// Per-tick increment.
+        slope: f64,
+    },
+    /// The covered samples verbatim; reconstruction is exact.
+    Raw {
+        /// One sample per covered tick.
+        values: Vec<f64>,
+    },
+}
+
+impl SegmentModel {
+    /// A short tag for rendering (`const` / `linear` / `raw`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SegmentModel::Constant { .. } => "const",
+            SegmentModel::Linear { .. } => "linear",
+            SegmentModel::Raw { .. } => "raw",
+        }
+    }
+}
+
+/// Fixed per-segment framing cost in bytes: start tick (4), sample count
+/// (2), model tag (1), reserved (1). Payload comes on top, per model.
+pub const SEGMENT_HEADER_BYTES: u64 = 8;
+
+/// Bytes one raw (uncompressed) sample occupies — the baseline the
+/// compression ratio is measured against.
+pub const RAW_SAMPLE_BYTES: u64 = 8;
+
+/// One compressed run of a telemetry series: `count` ticks starting at
+/// `start_tick`, reproduced by `model` within `error_pct` percent of every
+/// original sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Index of the first covered tick in the series' tick numbering.
+    pub start_tick: u32,
+    /// Number of covered ticks (always ≥ 1).
+    pub count: u32,
+    /// The relative bound (percent) the model was verified against; `0.0`
+    /// for raw segments.
+    pub error_pct: f64,
+    /// The reconstruction model.
+    pub model: SegmentModel,
+}
+
+impl Segment {
+    /// The reconstructed value at offset `i` into the run (`0 <= i < count`).
+    ///
+    /// # Panics
+    /// When `i >= count`.
+    pub fn value_at(&self, i: u32) -> f64 {
+        assert!(i < self.count, "offset {i} out of segment ({})", self.count);
+        match &self.model {
+            SegmentModel::Constant { value } => *value,
+            SegmentModel::Linear { first, slope } => first + slope * f64::from(i),
+            SegmentModel::Raw { values } => values[i as usize],
+        }
+    }
+
+    /// All reconstructed values of the run, in tick order.
+    pub fn values(&self) -> Vec<f64> {
+        (0..self.count).map(|i| self.value_at(i)).collect()
+    }
+
+    /// The encoded size of this segment in bytes (header + payload).
+    pub fn encoded_bytes(&self) -> u64 {
+        SEGMENT_HEADER_BYTES
+            + match &self.model {
+                SegmentModel::Constant { .. } => 8,
+                SegmentModel::Linear { .. } => 16,
+                SegmentModel::Raw { values } => RAW_SAMPLE_BYTES * values.len() as u64,
+            }
+    }
+
+    /// First tick index *after* the run.
+    pub fn end_tick(&self) -> u32 {
+        self.start_tick + self.count
+    }
+
+    /// Model-native minimum over offsets `[lo, hi]` (inclusive, relative to
+    /// the segment start) — no decompression for constant/linear models.
+    pub fn min_over(&self, lo: u32, hi: u32) -> f64 {
+        match &self.model {
+            SegmentModel::Constant { value } => *value,
+            SegmentModel::Linear { .. } => self.value_at(lo).min(self.value_at(hi)),
+            SegmentModel::Raw { values } => values[lo as usize..=hi as usize]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Model-native maximum over offsets `[lo, hi]` (inclusive).
+    pub fn max_over(&self, lo: u32, hi: u32) -> f64 {
+        match &self.model {
+            SegmentModel::Constant { value } => *value,
+            SegmentModel::Linear { .. } => self.value_at(lo).max(self.value_at(hi)),
+            SegmentModel::Raw { values } => values[lo as usize..=hi as usize]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Model-native sum over offsets `[lo, hi]` (inclusive): a product for
+    /// constant models, the arithmetic-series closed form for linear ones.
+    pub fn sum_over(&self, lo: u32, hi: u32) -> f64 {
+        let n = f64::from(hi - lo + 1);
+        match &self.model {
+            SegmentModel::Constant { value } => value * n,
+            SegmentModel::Linear { .. } => (self.value_at(lo) + self.value_at(hi)) * n / 2.0,
+            SegmentModel::Raw { values } => values[lo as usize..=hi as usize].iter().sum(),
+        }
+    }
+}
+
+/// Verified PMC-Mean fit: the mid-range of `values` as the stand-in,
+/// accepted only if every value is within `bound` of it.
+pub(crate) fn fit_constant(values: &[f64], bound: &ErrorBound) -> Option<f64> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let candidate = min + (max - min) / 2.0;
+    values
+        .iter()
+        .all(|&v| bound.allows(v, candidate))
+        .then_some(candidate)
+}
+
+/// Verified Swing fit anchored at the first value: intersects the per-point
+/// admissible slope ranges, takes the mid slope, and accepts only if every
+/// value re-checks within `bound` under the exact reconstruction formula.
+pub(crate) fn fit_linear(values: &[f64], bound: &ErrorBound) -> Option<(f64, f64)> {
+    if values.len() < 2 {
+        return None;
+    }
+    let first = values[0];
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        let dt = i as f64;
+        let tol = bound.as_percent() / 100.0 * v.abs();
+        lo = lo.max((v - tol - first) / dt);
+        hi = hi.min((v + tol - first) / dt);
+        if lo > hi {
+            return None;
+        }
+    }
+    let slope = lo + (hi - lo) / 2.0;
+    if !slope.is_finite() {
+        return None;
+    }
+    values
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| bound.allows(v, first + slope * i as f64))
+        .then_some((first, slope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_allows_relative_window() {
+        let b = ErrorBound::percent(1.0);
+        assert!(b.allows(100.0, 100.9));
+        assert!(b.allows(100.0, 99.1));
+        assert!(!b.allows(100.0, 101.5));
+        // A zero sample admits only zero back.
+        assert!(b.allows(0.0, 0.0));
+        assert!(!b.allows(0.0, 0.001));
+    }
+
+    #[test]
+    fn lossless_bound_is_exact() {
+        let b = ErrorBound::LOSSLESS;
+        assert!(b.allows(5.0, 5.0));
+        assert!(!b.allows(5.0, 5.0000001));
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound")]
+    fn negative_bound_rejected() {
+        ErrorBound::percent(-1.0);
+    }
+
+    #[test]
+    fn constant_fit_midrange() {
+        let b = ErrorBound::percent(2.0);
+        let v = fit_constant(&[100.0, 101.0, 99.5], &b).expect("fits");
+        assert!((v - 100.25).abs() < 1e-12);
+        assert!(fit_constant(&[100.0, 110.0], &b).is_none());
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let b = ErrorBound::percent(0.5);
+        let series: Vec<f64> = (0..10).map(|i| 50.0 + 3.0 * i as f64).collect();
+        let (first, slope) = fit_linear(&series, &b).expect("a line fits itself");
+        assert_eq!(first, 50.0);
+        assert!((slope - 3.0).abs() < 1e-9);
+        // A step function does not fit one line at 0.5%.
+        assert!(fit_linear(&[10.0, 10.0, 10.0, 40.0, 40.0], &b).is_none());
+    }
+
+    #[test]
+    fn segment_native_aggregates_match_values() {
+        let seg = Segment {
+            start_tick: 7,
+            count: 5,
+            error_pct: 1.0,
+            model: SegmentModel::Linear {
+                first: 10.0,
+                slope: 2.0,
+            },
+        };
+        assert_eq!(seg.values(), vec![10.0, 12.0, 14.0, 16.0, 18.0]);
+        assert_eq!(seg.min_over(1, 3), 12.0);
+        assert_eq!(seg.max_over(1, 3), 16.0);
+        assert_eq!(seg.sum_over(0, 4), 70.0);
+        assert_eq!(seg.encoded_bytes(), SEGMENT_HEADER_BYTES + 16);
+        assert_eq!(seg.end_tick(), 12);
+    }
+
+    #[test]
+    fn raw_segment_is_lossless() {
+        let seg = Segment {
+            start_tick: 0,
+            count: 3,
+            error_pct: 0.0,
+            model: SegmentModel::Raw {
+                values: vec![1.0, -2.0, 3.0],
+            },
+        };
+        assert_eq!(seg.sum_over(0, 2), 2.0);
+        assert_eq!(seg.min_over(0, 2), -2.0);
+        assert_eq!(seg.max_over(0, 2), 3.0);
+        assert_eq!(seg.encoded_bytes(), SEGMENT_HEADER_BYTES + 24);
+    }
+}

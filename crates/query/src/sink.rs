@@ -1,0 +1,298 @@
+//! The streaming compressor: per-tick samples in, verified segments out.
+//!
+//! A [`SeriesSink`] consumes one telemetry series sample-by-sample and
+//! greedily extends the current run while a constant (PMC-Mean) or linear
+//! (Swing) model still reproduces *every* buffered sample within the bound.
+//! When a sample breaks both models the run is closed:
+//!
+//! * runs of at least [`MIN_MODEL_TICKS`] emit as a model segment;
+//! * shorter runs are not worth a model's framing overhead and join a
+//!   pending *raw run*, emitted verbatim (and losslessly) as one
+//!   [`SegmentModel::Raw`] segment once a model run closes after it or the
+//!   raw run itself reaches [`MAX_SEGMENT_TICKS`].
+//!
+//! The sink never reorders: drained segments tile the tick axis exactly —
+//! contiguous, non-overlapping, in tick order — which the store asserts on
+//! ingest.
+
+use crate::model::{fit_constant, fit_linear, ErrorBound, Segment, SegmentModel};
+
+/// Longest run a single segment may cover, bounding both fitting cost
+/// (refits scan the buffered run) and the work a model-native quantile does
+/// per linear segment.
+pub const MAX_SEGMENT_TICKS: usize = 128;
+
+/// Shortest run worth a model segment. A 2-tick "line" costs 24 bytes
+/// encoded versus 16 raw — below this length the samples ride the raw run
+/// instead.
+pub const MIN_MODEL_TICKS: usize = 4;
+
+/// The best model currently covering the whole buffered run.
+#[derive(Debug, Clone, Copy)]
+enum Fit {
+    Constant { value: f64 },
+    Linear { first: f64, slope: f64 },
+}
+
+/// A streaming model-compressor for one telemetry series.
+///
+/// Feed samples with [`append`](SeriesSink::append) (one per tick, in tick
+/// order), close the tail with [`flush`](SeriesSink::flush), and collect
+/// finished segments with [`drain`](SeriesSink::drain) at any point — e.g.
+/// each sampling tick, to ship them over a node's link.
+#[derive(Debug)]
+pub struct SeriesSink {
+    bound: ErrorBound,
+    /// Tick index the next appended sample will occupy.
+    next_tick: u32,
+    /// The open model run (always entirely covered by `fit` when non-empty).
+    buf: Vec<f64>,
+    buf_start: u32,
+    fit: Option<Fit>,
+    /// Samples awaiting a raw segment, immediately preceding `buf`.
+    raw: Vec<f64>,
+    raw_start: u32,
+    /// Finished segments not yet drained.
+    done: Vec<Segment>,
+}
+
+impl SeriesSink {
+    /// A sink compressing under `bound`.
+    pub fn new(bound: ErrorBound) -> SeriesSink {
+        SeriesSink {
+            bound,
+            next_tick: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+            fit: None,
+            raw: Vec::new(),
+            raw_start: 0,
+            done: Vec::new(),
+        }
+    }
+
+    /// The configured error bound.
+    pub fn bound(&self) -> ErrorBound {
+        self.bound
+    }
+
+    /// Total samples appended so far (== the next sample's tick index).
+    pub fn ticks(&self) -> u32 {
+        self.next_tick
+    }
+
+    /// Appends the sample for the next tick.
+    pub fn append(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        if self.buf.is_empty() {
+            self.buf_start = self.next_tick;
+        }
+        self.buf.push(v);
+        self.next_tick += 1;
+
+        if let Some(fit) = self.refit() {
+            self.fit = Some(fit);
+            if self.buf.len() >= MAX_SEGMENT_TICKS {
+                self.close_model_run();
+            }
+            return;
+        }
+
+        // `v` broke both models. The run *without* it (buf[..len-1]) was
+        // still covered by `self.fit`, so close that run and restart from
+        // `v` alone.
+        let broke = self.buf.pop().expect("just pushed");
+        self.close_model_run();
+        self.buf_start = self.next_tick - 1;
+        self.buf.push(broke);
+        self.fit = None;
+    }
+
+    /// Closes the open run (model or raw) so every appended sample is
+    /// represented by a finished segment. Call once sampling stops; the
+    /// sink stays usable for further ticks afterwards.
+    pub fn flush(&mut self) {
+        self.close_model_run();
+        self.flush_raw();
+    }
+
+    /// Removes and returns every finished segment, in tick order.
+    pub fn drain(&mut self) -> Vec<Segment> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Finished segments waiting to be drained.
+    pub fn pending(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Best verified model over the whole buffer, constant preferred (it
+    /// encodes smaller).
+    fn refit(&self) -> Option<Fit> {
+        if let Some(value) = fit_constant(&self.buf, &self.bound) {
+            return Some(Fit::Constant { value });
+        }
+        fit_linear(&self.buf, &self.bound).map(|(first, slope)| Fit::Linear { first, slope })
+    }
+
+    fn close_model_run(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.buf.len() >= MIN_MODEL_TICKS {
+            let model = match self.fit.expect("non-empty run always has a fit") {
+                Fit::Constant { value } => SegmentModel::Constant { value },
+                Fit::Linear { first, slope } => SegmentModel::Linear { first, slope },
+            };
+            // The raw run precedes this run on the tick axis: emit it first.
+            self.flush_raw();
+            self.done.push(Segment {
+                start_tick: self.buf_start,
+                count: self.buf.len() as u32,
+                error_pct: self.bound.as_percent(),
+                model,
+            });
+            self.buf.clear();
+        } else {
+            // Too short to amortise a model header — move onto the raw run.
+            if self.raw.is_empty() {
+                self.raw_start = self.buf_start;
+            }
+            self.raw.append(&mut self.buf);
+            while self.raw.len() >= MAX_SEGMENT_TICKS {
+                let rest = self.raw.split_off(MAX_SEGMENT_TICKS);
+                let head = std::mem::replace(&mut self.raw, rest);
+                let start = self.raw_start;
+                self.raw_start = start + head.len() as u32;
+                self.emit_raw(start, head);
+            }
+        }
+        self.fit = None;
+    }
+
+    fn flush_raw(&mut self) {
+        if self.raw.is_empty() {
+            return;
+        }
+        let values = std::mem::take(&mut self.raw);
+        let start = self.raw_start;
+        self.emit_raw(start, values);
+    }
+
+    fn emit_raw(&mut self, start_tick: u32, values: Vec<f64>) {
+        self.done.push(Segment {
+            start_tick,
+            count: values.len() as u32,
+            error_pct: 0.0,
+            model: SegmentModel::Raw { values },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Compresses a whole series and returns the segments tiling it.
+    fn compress(series: &[f64], bound_pct: f64) -> Vec<Segment> {
+        let mut sink = SeriesSink::new(ErrorBound::percent(bound_pct));
+        for &v in series {
+            sink.append(v);
+        }
+        sink.flush();
+        sink.drain()
+    }
+
+    fn reconstruct(segments: &[Segment]) -> Vec<f64> {
+        segments.iter().flat_map(|s| s.values()).collect()
+    }
+
+    #[test]
+    fn constant_run_collapses_to_one_segment() {
+        let series = vec![42.0; 100];
+        let segs = compress(&series, 1.0);
+        assert_eq!(segs.len(), 1);
+        assert!(matches!(segs[0].model, SegmentModel::Constant { value } if value == 42.0));
+        assert_eq!(segs[0].count, 100);
+        // 100 ticks at 8 bytes raw vs one 16-byte segment: 50×.
+        assert_eq!(segs[0].encoded_bytes(), 16);
+    }
+
+    #[test]
+    fn ramp_collapses_to_linear_segment() {
+        let series: Vec<f64> = (0..80).map(|i| 1000.0 + 7.5 * i as f64).collect();
+        let segs = compress(&series, 1.0);
+        assert_eq!(segs.len(), 1);
+        assert!(matches!(segs[0].model, SegmentModel::Linear { .. }));
+        for (i, (&orig, rec)) in series.iter().zip(reconstruct(&segs)).enumerate() {
+            assert!(
+                (rec - orig).abs() <= 0.01 * orig.abs(),
+                "tick {i}: {rec} vs {orig}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_falls_back_to_raw_losslessly() {
+        // Alternating extremes: no 4-tick run fits either model at 1%.
+        let series: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 1000.0 })
+            .collect();
+        let segs = compress(&series, 1.0);
+        assert!(segs
+            .iter()
+            .all(|s| matches!(s.model, SegmentModel::Raw { .. })));
+        assert_eq!(reconstruct(&segs), series);
+    }
+
+    #[test]
+    fn segments_tile_the_tick_axis() {
+        let series: Vec<f64> = (0..500)
+            .map(|i| match i {
+                0..=99 => 5.0,
+                100..=199 => 5.0 + (i - 99) as f64,
+                200 => 9999.0,
+                _ => 3.0,
+            })
+            .collect();
+        let segs = compress(&series, 1.0);
+        let mut next = 0u32;
+        for s in &segs {
+            assert_eq!(s.start_tick, next, "gap or overlap at tick {next}");
+            next = s.end_tick();
+        }
+        assert_eq!(next as usize, series.len());
+    }
+
+    #[test]
+    fn long_runs_split_at_max_segment_ticks() {
+        let series = vec![1.0; MAX_SEGMENT_TICKS * 2 + 10];
+        let segs = compress(&series, 1.0);
+        assert!(segs.iter().all(|s| (s.count as usize) <= MAX_SEGMENT_TICKS));
+        assert_eq!(
+            segs.iter().map(|s| s.count as usize).sum::<usize>(),
+            series.len()
+        );
+    }
+
+    #[test]
+    fn drain_mid_stream_keeps_tail_open() {
+        let mut sink = SeriesSink::new(ErrorBound::percent(1.0));
+        for _ in 0..MAX_SEGMENT_TICKS + 3 {
+            sink.append(7.0);
+        }
+        let first = sink.drain();
+        assert_eq!(first.len(), 1); // the full 128-tick segment
+        assert!(sink.drain().is_empty());
+        sink.flush();
+        let rest = sink.drain();
+        assert_eq!(rest.iter().map(|s| s.count).sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn lossless_bound_only_emits_exact_segments() {
+        let series = vec![1.0, 1.0, 1.0, 1.0, 2.0, 3.0, 4.0, 5.0, 1.5, 9.0];
+        let segs = compress(&series, 0.0);
+        assert_eq!(reconstruct(&segs), series);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the telemetry plane's compression contract.
+//!
+//! Two guarantees hold for *any* series and *any* configured error bound:
+//!
+//! 1. Compress → reconstruct stays within the bound, sample by sample
+//!    (raw fallback segments are bit-exact).
+//! 2. Model-native aggregates (evaluated on segment models, never on
+//!    re-materialised samples) match the aggregates of the raw series
+//!    within the same relative bound — count is exact.
+//!
+//! Series are generated as concatenations of the shapes real telemetry
+//! exhibits: flat plateaus, linear ramps, noise bursts and zero runs —
+//! so both the PMC-Mean and Swing filters and the raw fallback are all
+//! exercised, at lossless and lossy bounds.
+
+use proptest::prelude::*;
+use tbm_query::{Aggregate, ErrorBound, Metric, Selector, SeriesKey, SeriesSink, TelemetryStore};
+use tbm_time::{TimeDelta, TimePoint};
+
+/// One piece of a composite series.
+fn piece() -> BoxedStrategy<Vec<f64>> {
+    prop_oneof![
+        // Flat plateau: PMC-Mean territory.
+        (0.0f64..10_000.0, 1usize..40).prop_map(|(v, n)| vec![v; n]),
+        // Linear ramp: Swing territory (clamped at zero to stay
+        // telemetry-shaped, i.e. non-negative).
+        (0.0f64..10_000.0, -80.0f64..80.0, 1usize..40).prop_map(|(v0, slope, n)| {
+            (0..n).map(|i| (v0 + slope * i as f64).max(0.0)).collect()
+        }),
+        // Noise burst: raw-fallback territory.
+        proptest::collection::vec(0.0f64..10_000.0, 1..20),
+        // Zero run: the v=0 edge of the relative bound.
+        (1usize..20).prop_map(|n| vec![0.0; n]),
+    ]
+    .boxed()
+}
+
+/// A composite series: 1–6 pieces, concatenated.
+fn series() -> BoxedStrategy<Vec<f64>> {
+    proptest::collection::vec(piece(), 1..6)
+        .prop_map(|pieces| pieces.into_iter().flatten().collect())
+        .boxed()
+}
+
+/// The error bounds under test: lossless plus representative lossy tiers.
+fn bound_pct() -> BoxedStrategy<f64> {
+    prop_oneof![Just(0.0), Just(0.1), Just(1.0), Just(5.0), Just(10.0),].boxed()
+}
+
+/// Compresses `values` through a fresh sink and returns every segment.
+fn compress(values: &[f64], pct: f64) -> Vec<tbm_query::Segment> {
+    let mut sink = SeriesSink::new(ErrorBound::percent(pct));
+    for &v in values {
+        sink.append(v);
+    }
+    sink.flush();
+    sink.drain()
+}
+
+/// Nearest-rank percentile of a raw slice, mirroring the store's rank
+/// arithmetic (`rank = max(1, ceil(p·N/100))`).
+fn raw_quantile(sorted: &[f64], p: u64) -> f64 {
+    let total = sorted.len() as u64;
+    let rank = (p * total).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every reconstructed sample is within the configured relative bound
+    /// of its raw counterpart, and the segments tile the tick axis.
+    #[test]
+    fn reconstruction_stays_within_bound(xs in series(), pct in bound_pct()) {
+        let bound = ErrorBound::percent(pct);
+        let segments = compress(&xs, pct);
+
+        let mut tick = 0u32;
+        let mut rebuilt = Vec::with_capacity(xs.len());
+        for seg in &segments {
+            prop_assert_eq!(seg.start_tick, tick, "segments must tile");
+            prop_assert!(
+                seg.error_pct <= pct,
+                "segment claims a looser bound than configured"
+            );
+            rebuilt.extend(seg.values());
+            tick = seg.end_tick();
+        }
+        prop_assert_eq!(rebuilt.len(), xs.len(), "every tick covered once");
+        for (i, (&raw, &approx)) in xs.iter().zip(rebuilt.iter()).enumerate() {
+            prop_assert!(
+                bound.allows(raw, approx),
+                "tick {}: raw {} vs approx {} breaks the {}% bound",
+                i, raw, approx, pct
+            );
+        }
+    }
+
+    /// A lossless bound reproduces the series bit-exactly.
+    #[test]
+    fn lossless_bound_is_bit_exact(xs in series()) {
+        let segments = compress(&xs, 0.0);
+        let rebuilt: Vec<f64> = segments.iter().flat_map(|s| s.values()).collect();
+        prop_assert_eq!(rebuilt, xs);
+    }
+
+    /// Model-native aggregates equal the raw-series aggregates within the
+    /// configured relative bound; count is exact.
+    #[test]
+    fn model_aggregates_match_raw_within_bound(xs in series(), pct in bound_pct()) {
+        let mut store = TelemetryStore::new(TimePoint::ZERO, TimeDelta::from_millis(50));
+        let key = SeriesKey {
+            node: 0,
+            shard: None,
+            metric: Metric::LatenessUs,
+            degraded: false,
+        };
+        for seg in compress(&xs, pct) {
+            store.ingest(key, seg);
+        }
+
+        let sel = Selector::all();
+        let n = xs.len() as u64;
+
+        let count = store.aggregate(&sel, Aggregate::Count).expect("non-empty");
+        prop_assert_eq!(count.value, n as f64, "count is exact");
+        prop_assert_eq!(count.points, n);
+
+        // Relative-bound tolerance: |model - raw| ≤ pct/100·|raw| + ε.
+        // Valid for min/max/mean/quantile because every sample is
+        // non-negative and per-sample error is relative.
+        let tol = |raw: f64| pct / 100.0 * raw.abs() + 1e-9;
+
+        let raw_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let raw_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let raw_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        for (agg, raw) in [
+            (Aggregate::Min, raw_min),
+            (Aggregate::Max, raw_max),
+            (Aggregate::Mean, raw_mean),
+            (Aggregate::Quantile(50), raw_quantile(&sorted, 50)),
+            (Aggregate::Quantile(99), raw_quantile(&sorted, 99)),
+            (Aggregate::Quantile(0), raw_quantile(&sorted, 0)),
+            (Aggregate::Quantile(100), raw_quantile(&sorted, 100)),
+        ] {
+            let got = store.aggregate(&sel, agg).expect("non-empty");
+            prop_assert!(
+                (got.value - raw).abs() <= tol(raw),
+                "{}: model {} vs raw {} outside {}%",
+                agg, got.value, raw, pct
+            );
+            prop_assert!(
+                got.error_pct <= pct,
+                "{}: reported error {}% exceeds configured {}%",
+                agg, got.error_pct, pct
+            );
+        }
+    }
+
+    /// Windowed aggregates agree with the raw slice of the same window.
+    #[test]
+    fn windowed_aggregates_match_raw_slice(
+        xs in proptest::collection::vec(0.0f64..10_000.0, 8..64),
+        pct in bound_pct(),
+        cut in 0usize..8,
+    ) {
+        let interval = TimeDelta::from_millis(50);
+        let mut store = TelemetryStore::new(TimePoint::ZERO, interval);
+        let key = SeriesKey {
+            node: 0,
+            shard: None,
+            metric: Metric::ThroughputBps,
+            degraded: false,
+        };
+        for seg in compress(&xs, pct) {
+            store.ingest(key, seg);
+        }
+
+        // Window [cut, len - 1 - cut] in ticks, clamped to stay non-empty.
+        let cut = cut.min((xs.len() - 1) / 2);
+        let lo = cut;
+        let hi = xs.len() - 1 - cut;
+        let sel = Selector::all().between(store.tick_time(lo as u32), store.tick_time(hi as u32));
+        let slice = &xs[lo..=hi];
+
+        let count = store.aggregate(&sel, Aggregate::Count).expect("non-empty");
+        prop_assert_eq!(count.value, slice.len() as f64);
+
+        let raw_max = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let got = store.aggregate(&sel, Aggregate::Max).expect("non-empty");
+        prop_assert!(
+            (got.value - raw_max).abs() <= pct / 100.0 * raw_max.abs() + 1e-9,
+            "windowed max: model {} vs raw {}",
+            got.value, raw_max
+        );
+    }
+}

@@ -69,6 +69,7 @@ const M_MIGRATIONS: &str = "fleet.migrations";
 const M_HANDOFF_BYTES: &str = "fleet.handoff.bytes";
 const M_SENT: &str = "fleet.transport.sent";
 const M_LOST: &str = "fleet.transport.lost";
+const M_XFER_BYTES: &str = "fleet.transport.oob_bytes";
 const M_RETRIED: &str = "fleet.transport.retried";
 const M_CRASHES: &str = "fleet.node.crashes";
 const M_RESTARTS: &str = "fleet.node.restarts";
@@ -1001,6 +1002,29 @@ impl<S: BlobStore> Fleet<S> {
     /// first.
     pub fn run_until(&mut self, to: TimePoint) {
         self.advance(to);
+    }
+
+    /// Charges an out-of-band payload of `bytes` (e.g. a batch of finished
+    /// telemetry segments) over `node`'s link at `at`, exactly like request
+    /// traffic: it counts against the transport sent/lost totals and draws
+    /// loss + jitter from the link's seeded stream. Returns the delivery
+    /// delay, or `None` when the payload was lost (node down, partitioned,
+    /// or a loss draw) — the caller decides whether to retry later.
+    ///
+    /// # Panics
+    /// When `node` is out of range.
+    pub fn charge_transfer(&mut self, node: usize, at: TimePoint, bytes: u64) -> Option<TimeDelta> {
+        self.metrics.inc(M_SENT, 1);
+        self.metrics.inc(M_XFER_BYTES, bytes);
+        let delivered = if self.nodes[node].up {
+            self.nodes[node].link.delivery(at, bytes)
+        } else {
+            None
+        };
+        if delivered.is_none() {
+            self.metrics.inc(M_LOST, 1);
+        }
+        delivered
     }
 
     /// Drains every remaining scripted event and every shard's event loop,

@@ -53,6 +53,8 @@ const M_UPGRADED: &str = "serve.sessions.upgraded";
 const M_FAULTS: &str = "serve.faults.detected";
 const M_BYTES_READ: &str = "storage.bytes_read";
 const H_LATENESS: &str = "serve.lateness_us";
+const H_LATENESS_FULL: &str = "serve.lateness_us.full";
+const H_LATENESS_DEGRADED: &str = "serve.lateness_us.degraded";
 const H_SERVICE: &str = "serve.service_us";
 const H_READ: &str = "storage.read_us";
 const G_CACHE_BYTES: &str = "cache.bytes";
@@ -1181,6 +1183,17 @@ impl<S: BlobStore> Server<S> {
             self.metrics.inc(M_MISSES, 1);
             self.metrics
                 .observe(H_LATENESS, &LATENCY_BUCKETS_US, lateness_us as u64);
+            // The fidelity split feeds the telemetry plane: degraded
+            // sessions' lateness is a different population (base-layer-only
+            // admissions under pressure), and queries like "p99 lateness
+            // for degraded sessions" need the two recorded apart.
+            let by_fidelity = if matches!(s.decision, AdmitDecision::Degraded { .. }) {
+                H_LATENESS_DEGRADED
+            } else {
+                H_LATENESS_FULL
+            };
+            self.metrics
+                .observe(by_fidelity, &LATENCY_BUCKETS_US, lateness_us as u64);
             s.stats.max_lateness = s.stats.max_lateness.max(lateness);
         }
         s.last_ready = ready;

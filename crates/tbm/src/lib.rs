@@ -18,6 +18,7 @@
 //! | [`db`] | `tbm-db` | the multimedia database facade (§1.2 queries) |
 //! | [`serve`] | `tbm-serve` | multi-session delivery: admission control, segment cache, sharded catalogs |
 //! | [`obs`] | `tbm-obs` | observability: deterministic tracing, metrics, miss attribution |
+//! | [`query`] | `tbm-query` | model-compressed telemetry plane + typed queries over catalogs, sessions and metrics |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +60,7 @@ pub use tbm_interp as interp;
 pub use tbm_media as media;
 pub use tbm_obs as obs;
 pub use tbm_player as player;
+pub use tbm_query as query;
 pub use tbm_serve as serve;
 pub use tbm_time as time;
 
@@ -83,6 +85,10 @@ pub mod prelude {
     };
     pub use tbm_player::{
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
+    };
+    pub use tbm_query::{
+        Aggregate, ErrorBound, FleetTelemetry, Metric, Predicate, Query, QueryCtx, QueryError,
+        Selector, SeriesKey, Source, Table, TelemetryStore,
     };
     pub use tbm_serve::{
         shard_of, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, Fleet, FleetError,

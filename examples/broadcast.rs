@@ -30,11 +30,18 @@
 //! migration, the handoff stall shows up under the `node-loss` miss
 //! cause, and the node's restart brings its shards home.
 //!
+//! Set `BROADCAST_QUERY=1` to run the fleet broadcast with the telemetry
+//! plane sampling every server on the simulated clock, then print a
+//! post-run query report: typed `scan → filter → aggregate` questions
+//! answered from the model-compressed telemetry store and the session
+//! ledger (see `cargo run --example query` for the full tour).
+//!
 //! ```text
 //! cargo run --example broadcast
 //! BROADCAST_TIER_BLACKOUT=1 cargo run --example broadcast
 //! BROADCAST_SHARDS=4 cargo run --example broadcast
 //! BROADCAST_FLEET=4 cargo run --example broadcast
+//! BROADCAST_QUERY=1 cargo run --example broadcast
 //! ```
 
 use tbm::codec::dct::DctParams;
@@ -48,6 +55,10 @@ use tbm::serve::{Request, Response, Server};
 fn main() {
     if std::env::var_os("BROADCAST_TIER_BLACKOUT").is_some() {
         blackout_broadcast();
+        return;
+    }
+    if std::env::var_os("BROADCAST_QUERY").is_some() {
+        query_broadcast();
         return;
     }
     if let Some(n) = std::env::var("BROADCAST_SHARDS")
@@ -448,6 +459,95 @@ fn fleet_broadcast(nodes: usize) {
         "\nnode 1 died, its shards failed over, and the salvage restart brought them \
          home — zero drops"
     );
+}
+
+/// The fleet broadcast with the telemetry plane riding along: every 50 ms
+/// of simulated time each server is sampled, the series are compressed
+/// into segment models at a 1% error bound, and the post-run report is a
+/// set of typed queries answered from the compressed store — no raw
+/// per-tick series is ever kept.
+fn query_broadcast() {
+    use tbm::interp::Interpretation;
+
+    const SEED: u64 = 29;
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+    let names: Vec<String> = (0..8).map(|i| format!("movie{i}")).collect();
+
+    let mut db = ShardedDb::new(6, SEED);
+    let frames = render_frames(VideoPattern::MovingBar, 0, 30, 96, 64);
+    for name in &names {
+        let store = db.store_for_mut(name);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        db.register_interpretation(renamed).unwrap();
+    }
+
+    let owner = db.shard_for("movie0");
+    let (_, stream) = db.shard(owner).stream_of("movie0").unwrap();
+    let full_bps = tbm::player::demanded_rate(
+        &tbm::player::schedule_from_interp(stream, None),
+        stream.system(),
+    )
+    .unwrap()
+    .ceil() as u64;
+
+    let mut fleet = Fleet::new(db, 3, Capacity::new(full_bps * 2).with_overhead_us(100))
+        .with_cache_budget(32 << 20)
+        .with_tracer(Tracer::new());
+    let mut telemetry = FleetTelemetry::new(ErrorBound::percent(1.0), TimeDelta::from_millis(50));
+    println!("fleet broadcast with the telemetry plane sampling every 50 ms\n");
+
+    let mut next_viewer = 0usize;
+    for k in 0..=100i64 {
+        let at = t(50 * k);
+        telemetry.tick(&mut fleet, at);
+        while next_viewer < 16 && (next_viewer as i64) * 120 < 50 * (k + 1) {
+            let name = names[next_viewer % names.len()].clone();
+            let open_at = t(next_viewer as i64 * 120).max(at);
+            if let Response::Opened {
+                session: Some(id), ..
+            } = fleet
+                .request(open_at, Request::Open { object: name })
+                .unwrap()
+            {
+                fleet
+                    .request(open_at, Request::Play { session: id })
+                    .unwrap();
+            }
+            next_viewer += 1;
+        }
+    }
+    telemetry.finish(&mut fleet, t(5_050));
+    fleet.finish();
+
+    let store = telemetry.store().expect("the plane ticked");
+    println!(
+        "telemetry: {} series / {} segments over {} points, {:.1}x compression at 1% error\n",
+        store.series_count(),
+        store.segment_count(),
+        store.point_count(),
+        store.compression_ratio()
+    );
+
+    let ctx = QueryCtx::from_fleet(&fleet).with_telemetry(store);
+    for q in [
+        Query::scan(Source::Sessions).filter(Predicate::Degraded(true)),
+        Query::scan(Source::Misses).aggregate(Aggregate::Count),
+        Query::scan(Source::Metrics)
+            .filter(Predicate::MetricIs(Metric::CacheHitPct))
+            .aggregate(Aggregate::Mean),
+        Query::scan(Source::Metrics)
+            .filter(Predicate::MetricIs(Metric::LatenessUs))
+            .aggregate(Aggregate::Quantile(99)),
+    ] {
+        println!("{}", q.run(&ctx).expect("typed and backed").render());
+    }
+
+    assert!(store.series_count() > 0, "the plane must have sampled");
+    println!("post-run report answered from segment models only");
 }
 
 /// The same broadcast on a tiered store whose fast primary blacks out

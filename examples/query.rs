@@ -1,0 +1,176 @@
+//! Ask the fleet a question: the telemetry plane + typed query surface.
+//!
+//! A catalog of movies is sharded across a simulated fleet; one node
+//! browns out mid-broadcast. While viewers stream, a telemetry plane
+//! samples every server on the simulated clock — session lateness split
+//! by fidelity, storage throughput, cache hit rate, node load — and
+//! compresses each series into constant/linear segment models under a 1%
+//! error bound. Finished segments ship over the fleet's own (charged,
+//! lossy) links into one store.
+//!
+//! Afterwards, the operator's questions are *typed queries* over three
+//! worlds at once — the catalogs, the session ledger, the miss
+//! attribution and the compressed telemetry:
+//!
+//! ```text
+//! scan(source) → filter(typed predicates) → aggregate
+//! ```
+//!
+//! ending with the brownout question: *what was p99 lateness for degraded
+//! sessions on the browned-out node, during the brownout window?* —
+//! answered straight off the segment models, never re-materialising the
+//! raw samples.
+//!
+//! ```text
+//! cargo run --example query
+//! ```
+
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::capture_video_scalable;
+use tbm::interp::Interpretation;
+use tbm::media::gen::{render_frames, VideoPattern};
+use tbm::prelude::*;
+use tbm::serve::Request;
+
+fn main() {
+    const SEED: u64 = 23;
+    const NODES: usize = 3;
+    const SHARDS: usize = 6;
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+
+    // ------------------------------------------------------------------
+    // A catalog of eight movies over six shards on three nodes.
+    // ------------------------------------------------------------------
+    let names: Vec<String> = (0..8).map(|i| format!("movie{i}")).collect();
+    let mut db = ShardedDb::new(SHARDS, SEED);
+    let frames = render_frames(VideoPattern::MovingBar, 0, 40, 96, 64);
+    for name in &names {
+        let store = db.store_for_mut(name);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        db.register_interpretation(renamed).unwrap();
+    }
+
+    // Size per-node capacity off one movie's full-fidelity demand so the
+    // storm forces real admission decisions (some viewers get the base
+    // layer only — those are the "degraded" sessions the queries target).
+    let owner = db.shard_for("movie0");
+    let (_, stream) = db.shard(owner).stream_of("movie0").unwrap();
+    let full_bps = tbm::player::demanded_rate(
+        &tbm::player::schedule_from_interp(stream, None),
+        stream.system(),
+    )
+    .unwrap()
+    .ceil() as u64;
+
+    // Node 1 browns out to 35% health across the middle of the broadcast.
+    let brownout = (t(500), t(2_500));
+    let mut fleet = Fleet::new(db, NODES, Capacity::new(full_bps * 2).with_overhead_us(100))
+        .with_cache_budget(32 << 20)
+        .with_tracer(Tracer::new())
+        .with_fault_plan(
+            1,
+            NodeFaultPlan::new().with_brownout(brownout.0, brownout.1, 35),
+        );
+    println!(
+        "catalog of {} movies over {SHARDS} shards on {NODES} nodes; node 1 browns out \
+         [500ms, 2500ms) at 35% health\n",
+        names.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Broadcast + sample: viewers arrive every 120 ms; the telemetry
+    // plane ticks every 50 ms of simulated time, compressing at 1% error.
+    // ------------------------------------------------------------------
+    let interval = TimeDelta::from_millis(50);
+    let mut telemetry = FleetTelemetry::new(ErrorBound::percent(1.0), interval);
+    let mut next_viewer = 0usize;
+    for k in 0..=120i64 {
+        let at = t(50 * k);
+        telemetry.tick(&mut fleet, at);
+        // Arrivals scheduled inside [at, at + 50ms) open now; the fleet
+        // processes them as it runs to the next sample tick.
+        while next_viewer < 16 && (next_viewer as i64) * 120 < 50 * (k + 1) {
+            let name = names[next_viewer % names.len()].clone();
+            let open_at = t(next_viewer as i64 * 120).max(at);
+            if let Response::Opened {
+                session: Some(id), ..
+            } = fleet
+                .request(open_at, Request::Open { object: name })
+                .unwrap()
+            {
+                fleet
+                    .request(open_at, Request::Play { session: id })
+                    .unwrap();
+            }
+            next_viewer += 1;
+        }
+    }
+    telemetry.finish(&mut fleet, t(6_050));
+    let fleet_stats = fleet.finish();
+
+    let store = telemetry.store().expect("the plane ticked");
+    println!(
+        "telemetry: {} series, {} segments over {} points; {} B compressed vs {} B raw \
+         ({:.1}x), {} segment batches lost in flight and salvaged",
+        store.series_count(),
+        store.segment_count(),
+        store.point_count(),
+        store.compressed_bytes(),
+        store.raw_bytes(),
+        store.compression_ratio(),
+        telemetry.lost_shipments(),
+    );
+    println!(
+        "broadcast: {} admitted ({} degraded), {} elements served, {} deadline misses\n",
+        fleet_stats.shards.global.sessions_admitted(),
+        fleet_stats.shards.global.admitted_degraded,
+        fleet_stats.shards.global.elements_served,
+        fleet_stats.shards.global.deadline_misses,
+    );
+
+    // ------------------------------------------------------------------
+    // Ask questions. One context spans catalogs + sessions + misses +
+    // compressed telemetry; every query is scan → filter → aggregate.
+    // ------------------------------------------------------------------
+    let ctx = QueryCtx::from_fleet(&fleet).with_telemetry(store);
+
+    let queries = [
+        Query::scan(Source::Objects).filter(Predicate::KindIs(MediaKind::Video)),
+        Query::scan(Source::Sessions).filter(Predicate::Degraded(true)),
+        Query::scan(Source::Misses).aggregate(Aggregate::Count),
+        Query::scan(Source::Metrics)
+            .filter(Predicate::MetricIs(Metric::NodeLoadPct))
+            .filter(Predicate::OnNode(1))
+            .aggregate(Aggregate::Max),
+    ];
+    for q in &queries {
+        println!("{}", q.run(&ctx).expect("typed and backed").render());
+    }
+
+    // The brownout question, in one typed query: p99 lateness for
+    // degraded sessions on node 1, during the brownout window — answered
+    // from the segment models with its error bound attached.
+    let q = Query::scan(Source::Metrics)
+        .filter(Predicate::MetricIs(Metric::LatenessUs))
+        .filter(Predicate::Degraded(true))
+        .filter(Predicate::OnNode(1))
+        .filter(Predicate::During(brownout.0, brownout.1))
+        .aggregate(Aggregate::Quantile(99));
+    let answer = q.run(&ctx).expect("typed and backed");
+    println!("{}", answer.render());
+
+    assert!(store.series_count() > 0, "the plane must have sampled");
+    assert!(
+        store.compression_ratio() > 1.0,
+        "model compression must beat raw per-tick storage"
+    );
+    assert!(
+        !answer.is_empty(),
+        "the brownout question must produce an answer row"
+    );
+    println!("the fleet answered from models — no raw series was ever re-materialised");
+}

@@ -44,6 +44,21 @@ echo "==> fleet node-kill smoke"
 # placement.
 BROADCAST_FLEET=4 cargo run --release -q -p tbm --example broadcast
 
+echo "==> telemetry query smoke"
+# The query example runs the fleet broadcast with the telemetry plane and
+# asks typed questions of the compressed store; its own asserts cover
+# compression and the brownout answer. On top, the rendered report must
+# contain a non-empty query table (a header rule followed by data rows).
+out="$(cargo run --release -q -p tbm --example query)"
+echo "$out" | grep -q '^scan(metrics)' || { echo "query example printed no metrics table" >&2; exit 1; }
+echo "$out" | grep -q -- '-----' || { echo "query example printed no table rule" >&2; exit 1; }
+echo "$out" | grep -A2 -- '-----' | grep -vq '(no rows)' || { echo "query tables are empty" >&2; exit 1; }
+
+echo "==> broadcast query-report smoke"
+# The broadcast example once more, with the telemetry plane riding along
+# and a post-run typed query report.
+BROADCAST_QUERY=1 cargo run --release -q -p tbm --example broadcast
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
