@@ -8,7 +8,10 @@ use tbm_bench::{captured_av, SPF};
 use tbm_blob::{BlobStore, ByteSpan};
 use tbm_core::VideoQuality;
 use tbm_db::MediaDb;
-use tbm_query::{Aggregate, ErrorBound, Metric, Selector, SeriesKey, SeriesSink, TelemetryStore};
+use tbm_query::{
+    Aggregate, ErrorBound, HealthMonitor, Metric, Selector, SeriesKey, SeriesSink, SloRule,
+    TelemetryStore,
+};
 use tbm_time::{Rational, TimeDelta, TimePoint};
 
 fn db_with_movie(n: usize) -> (MediaDb, u64) {
@@ -141,10 +144,90 @@ fn bench_telemetry_plane(c: &mut Criterion) {
     g.finish();
 }
 
+/// The health plane's per-tick cost: a zero-rule monitor must be near-free
+/// (the fast path neither windows nor retains history), while the full
+/// four-rule built-in set pays only small per-tick window aggregation over
+/// a fleet-shaped sample batch (3 nodes × 6 shards × 4 metrics + node
+/// gauges).
+fn bench_health_plane(c: &mut Criterion) {
+    let samples: Vec<(SeriesKey, f64)> = {
+        let mut v = Vec::new();
+        for node in 0..3u16 {
+            for shard in 0..6u16 {
+                for metric in [
+                    Metric::LatenessUs,
+                    Metric::CacheHitPct,
+                    Metric::DropRatePct,
+                    Metric::UnverifiedServes,
+                ] {
+                    v.push((
+                        SeriesKey {
+                            node,
+                            shard: Some(shard),
+                            metric,
+                            degraded: false,
+                        },
+                        ((node * 7 + shard) % 11) as f64 * 13.0,
+                    ));
+                }
+            }
+            v.push((
+                SeriesKey {
+                    node,
+                    shard: None,
+                    metric: Metric::NodeLoadPct,
+                    degraded: false,
+                },
+                20.0 + node as f64,
+            ));
+        }
+        v
+    };
+    let tick = |monitor: &mut HealthMonitor, t: i64| {
+        let at = TimePoint::ZERO + TimeDelta::from_millis(50 * t);
+        black_box(monitor.observe_tick(at, &samples))
+    };
+
+    let mut g = c.benchmark_group("health");
+    g.sample_size(30);
+    g.bench_function("observe_tick_zero_rules", |b| {
+        let mut monitor = HealthMonitor::new(TimeDelta::from_millis(50));
+        let mut t = 0i64;
+        b.iter(|| {
+            t += 1;
+            tick(&mut monitor, t)
+        })
+    });
+    g.bench_function("observe_tick_four_rules", |b| {
+        let armed = || {
+            HealthMonitor::new(TimeDelta::from_millis(50))
+                .rule(SloRule::p99_full_lateness_below(2_000.0))
+                .rule(SloRule::drop_rate_below(1.0))
+                .rule(SloRule::no_unverified_serves())
+                .rule(SloRule::load_skew_below(60.0))
+        };
+        let mut monitor = armed();
+        let mut t = 0i64;
+        b.iter(|| {
+            // An armed monitor retains history for its incident reports;
+            // restart it every 10k ticks so the bench's memory stays flat
+            // while the per-tick windowing cost is what's measured.
+            if t == 10_000 {
+                monitor = armed();
+                t = 0;
+            }
+            t += 1;
+            tick(&mut monitor, t)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_catalog_queries,
     bench_time_retrieval,
-    bench_telemetry_plane
+    bench_telemetry_plane,
+    bench_health_plane
 );
 criterion_main!(benches);

@@ -69,6 +69,9 @@ pub enum Category {
     /// Fleet-level events: node crashes and restarts, transport losses,
     /// placement changes and shard migrations.
     Fleet,
+    /// Health-plane records: SLO alert opens/closes (one span per
+    /// incident) and burn-rate threshold crossings.
+    Health,
 }
 
 impl Category {
@@ -85,6 +88,7 @@ impl Category {
             Category::Present => "present",
             Category::Tier => "tier",
             Category::Fleet => "fleet",
+            Category::Health => "health",
         }
     }
 }

@@ -51,12 +51,17 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod health;
 mod model;
 mod query;
 mod sampler;
 mod sink;
 mod store;
 
+pub use health::{
+    AlertKind, AlertTransition, BurnPoint, HealthMonitor, Incident, IncidentReport, SloObjective,
+    SloRule, BURN_CAP,
+};
 pub use model::{ErrorBound, Segment, SegmentModel, RAW_SAMPLE_BYTES, SEGMENT_HEADER_BYTES};
 pub use query::{
     MissRow, ObjectRow, Predicate, Query, QueryCtx, QueryError, SessionRow, Source, StreamRow,
@@ -64,4 +69,6 @@ pub use query::{
 };
 pub use sampler::FleetTelemetry;
 pub use sink::{SeriesSink, MAX_SEGMENT_TICKS, MIN_MODEL_TICKS};
-pub use store::{AggResult, Aggregate, Metric, Selector, SeriesKey, TelemetryStore};
+pub use store::{
+    AggResult, Aggregate, GroupBy, GroupKey, Metric, Selector, SeriesKey, TelemetryStore,
+};

@@ -16,6 +16,7 @@
 //! Results are a [`Table`]; [`Table::render`] produces a deterministic
 //! aligned-text rendering suitable for golden comparisons.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use tbm_blob::BlobStore;
@@ -25,7 +26,7 @@ use tbm_obs::{attribute, MissCause};
 use tbm_serve::{AdmitDecision, Fleet, SessionState, SHARD_SESSION_STRIDE};
 use tbm_time::{Rational, TimePoint};
 
-use crate::store::{Aggregate, Metric, Selector, TelemetryStore};
+use crate::store::{Aggregate, GroupBy, GroupKey, Metric, Selector, TelemetryStore};
 
 /// Which typed row set a query scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,16 @@ pub enum QueryError {
     },
     /// A `Metrics` query ran against a context with no telemetry store.
     NoTelemetry,
+    /// The grouping column does not exist on the scanned source.
+    GroupNotTyped {
+        /// The source being scanned.
+        source: Source,
+        /// The offending grouping, rendered.
+        group: String,
+    },
+    /// `group_by` without an aggregate — grouped listings are not a thing;
+    /// group rows are aggregate rows.
+    GroupWithoutAggregate,
 }
 
 impl fmt::Display for QueryError {
@@ -118,6 +129,12 @@ impl fmt::Display for QueryError {
             }
             QueryError::NoTelemetry => {
                 write!(f, "scan(metrics) needs a TelemetryStore on the QueryCtx")
+            }
+            QueryError::GroupNotTyped { source, group } => {
+                write!(f, "group({group}) is not typed for scan({source})")
+            }
+            QueryError::GroupWithoutAggregate => {
+                write!(f, "group_by needs an aggregate to evaluate per group")
             }
         }
     }
@@ -296,11 +313,13 @@ fn micros(s: Rational) -> i64 {
 // The query itself
 // ----------------------------------------------------------------------
 
-/// A typed query: `scan(source) → filter(...) → aggregate(...)`.
+/// A typed query: `scan(source) → filter(...) → group_by(...) →
+/// aggregate(...)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     source: Source,
     filters: Vec<Predicate>,
+    group: Option<GroupBy>,
     aggregate: Option<Aggregate>,
 }
 
@@ -310,6 +329,7 @@ impl Query {
         Query {
             source,
             filters: Vec::new(),
+            group: None,
             aggregate: None,
         }
     }
@@ -320,6 +340,14 @@ impl Query {
         self
     }
 
+    /// Evaluates the aggregate once per distinct value of `group` — one
+    /// row per group instead of one scalar. Requires
+    /// [`aggregate`](Query::aggregate).
+    pub fn group_by(mut self, group: GroupBy) -> Query {
+        self.group = Some(group);
+        self
+    }
+
     /// Reduces the rows to one aggregate value instead of listing them.
     pub fn aggregate(mut self, aggregate: Aggregate) -> Query {
         self.aggregate = Some(aggregate);
@@ -327,12 +355,15 @@ impl Query {
     }
 
     /// The query plan on one line, e.g.
-    /// `scan(metrics) → filter(node=2 ∧ degraded) → p99`.
+    /// `scan(metrics) → filter(node=2 ∧ degraded) → group(shard) → p99`.
     pub fn describe(&self) -> String {
         let mut out = format!("scan({})", self.source);
         if !self.filters.is_empty() {
             let preds: Vec<String> = self.filters.iter().map(|p| p.to_string()).collect();
             out.push_str(&format!(" → filter({})", preds.join(" ∧ ")));
+        }
+        if let Some(group) = self.group {
+            out.push_str(&format!(" → group({group})"));
         }
         if let Some(agg) = self.aggregate {
             out.push_str(&format!(" → {agg}"));
@@ -351,6 +382,19 @@ impl Query {
                     .iter()
                     .filter(|r| self.matches_object(r))
                     .collect();
+                if self.group.is_some() {
+                    return self.grouped_table(
+                        rows.iter()
+                            .map(|r| {
+                                (
+                                    self.group_key(r.node, r.shard, None, None),
+                                    r.columns.bytes as f64,
+                                )
+                            })
+                            .collect(),
+                        "bytes",
+                    );
+                }
                 self.rows_or_aggregate(
                     rows.iter().map(|r| r.columns.bytes as f64).collect(),
                     "bytes",
@@ -384,6 +428,19 @@ impl Query {
                     .iter()
                     .filter(|r| self.matches_stream(r))
                     .collect();
+                if self.group.is_some() {
+                    return self.grouped_table(
+                        rows.iter()
+                            .map(|r| {
+                                (
+                                    self.group_key(r.node, r.shard, None, None),
+                                    r.columns.bytes as f64,
+                                )
+                            })
+                            .collect(),
+                        "bytes",
+                    );
+                }
                 self.rows_or_aggregate(
                     rows.iter().map(|r| r.columns.bytes as f64).collect(),
                     "bytes",
@@ -419,6 +476,19 @@ impl Query {
                     .iter()
                     .filter(|r| self.matches_session(r))
                     .collect();
+                if self.group.is_some() {
+                    return self.grouped_table(
+                        rows.iter()
+                            .map(|r| {
+                                (
+                                    self.group_key(r.node, r.shard, Some(r.degraded), None),
+                                    r.max_lateness_us as f64,
+                                )
+                            })
+                            .collect(),
+                        "max_lateness_us",
+                    );
+                }
                 self.rows_or_aggregate(
                     rows.iter().map(|r| r.max_lateness_us as f64).collect(),
                     "max_lateness_us",
@@ -457,6 +527,19 @@ impl Query {
             Source::Misses => {
                 let rows: Vec<&MissRow> =
                     ctx.misses.iter().filter(|r| self.matches_miss(r)).collect();
+                if self.group.is_some() {
+                    return self.grouped_table(
+                        rows.iter()
+                            .map(|r| {
+                                (
+                                    self.group_key(r.node, r.shard, None, Some(r.cause)),
+                                    r.lateness_us as f64,
+                                )
+                            })
+                            .collect(),
+                        "lateness_us",
+                    );
+                }
                 self.rows_or_aggregate(
                     rows.iter().map(|r| r.lateness_us as f64).collect(),
                     "lateness_us",
@@ -493,6 +576,22 @@ impl Query {
 
     /// Every predicate must be typed for the scanned source.
     fn check_types(&self) -> Result<(), QueryError> {
+        if let Some(group) = self.group {
+            if self.aggregate.is_none() {
+                return Err(QueryError::GroupWithoutAggregate);
+            }
+            let ok = match group {
+                GroupBy::Node | GroupBy::Shard => true,
+                GroupBy::Degraded => matches!(self.source, Source::Sessions | Source::Metrics),
+                GroupBy::Cause => self.source == Source::Misses,
+            };
+            if !ok {
+                return Err(QueryError::GroupNotTyped {
+                    source: self.source,
+                    group: group.to_string(),
+                });
+            }
+        }
         for p in &self.filters {
             let ok = match p {
                 Predicate::OnShard(_) | Predicate::OnNode(_) => true,
@@ -582,6 +681,36 @@ impl Query {
                 _ => unreachable!("check_types rejected untyped predicates"),
             }
         }
+        if let Some(group) = self.group {
+            let agg = self.aggregate.expect("check_types requires an aggregate");
+            let rows = store
+                .aggregate_grouped(&sel, agg, group)
+                .into_iter()
+                .map(|(k, res)| {
+                    vec![
+                        k.to_string(),
+                        agg.to_string(),
+                        fmt_value(res.value),
+                        format!("±{}%", fmt_value(res.error_pct)),
+                        res.points.to_string(),
+                        res.segments.to_string(),
+                    ]
+                })
+                .collect();
+            let gcol = group.to_string();
+            return Ok(Table {
+                title: self.describe(),
+                columns: str_vec(&[
+                    gcol.as_str(),
+                    "aggregate",
+                    "value",
+                    "error",
+                    "points",
+                    "segments",
+                ]),
+                rows,
+            });
+        }
         if let Some(agg) = self.aggregate {
             let mut row = vec![self.source.to_string(), agg.to_string()];
             match store.aggregate(&sel, agg) {
@@ -631,6 +760,57 @@ impl Query {
             title: self.describe(),
             columns: str_vec(&["series", "segments", "points", "bytes"]),
             rows,
+        })
+    }
+
+    /// The grouped-row key for this query's `group_by` column. `degraded`
+    /// and `cause` are only consulted for sources `check_types` admits
+    /// them on.
+    fn group_key(
+        &self,
+        node: u16,
+        shard: u16,
+        degraded: Option<bool>,
+        cause: Option<MissCause>,
+    ) -> GroupKey {
+        match self.group.expect("grouped execution path") {
+            GroupBy::Node => GroupKey::Node(node),
+            GroupBy::Shard => GroupKey::Shard(shard),
+            GroupBy::Degraded => GroupKey::Degraded(degraded.expect("check_types typed the group")),
+            GroupBy::Cause => GroupKey::Cause(cause.expect("check_types typed the group")),
+        }
+    }
+
+    /// Buckets `(group, value)` pairs and aggregates each bucket — the
+    /// grouped tail shared by every row source.
+    fn grouped_table(
+        &self,
+        pairs: Vec<(GroupKey, f64)>,
+        column: &str,
+    ) -> Result<Table, QueryError> {
+        let agg = self.aggregate.expect("check_types requires an aggregate");
+        let group = self.group.expect("grouped execution path");
+        let mut buckets: BTreeMap<GroupKey, Vec<f64>> = BTreeMap::new();
+        for (k, v) in pairs {
+            buckets.entry(k).or_default().push(v);
+        }
+        let gcol = group.to_string();
+        Ok(Table {
+            title: self.describe(),
+            columns: str_vec(&[gcol.as_str(), "column", "aggregate", "value", "rows"]),
+            rows: buckets
+                .into_iter()
+                .map(|(k, mut vals)| {
+                    let value = aggregate_values(&mut vals, agg);
+                    vec![
+                        k.to_string(),
+                        column.to_string(),
+                        agg.to_string(),
+                        value.map_or_else(|| "-".to_string(), fmt_value),
+                        vals.len().to_string(),
+                    ]
+                })
+                .collect(),
         })
     }
 
@@ -936,6 +1116,87 @@ mod tests {
             q.describe(),
             "scan(metrics) → filter(node=2 ∧ degraded) → p99"
         );
+    }
+
+    #[test]
+    fn grouped_misses_count_by_cause_is_one_query() {
+        let mut ctx = QueryCtx::new();
+        for (i, cause) in [
+            (1i64, MissCause::NodeLoss),
+            (2, MissCause::RetryStorm),
+            (3, MissCause::NodeLoss),
+            (4, MissCause::NodeLoss),
+        ] {
+            ctx.misses.push(MissRow {
+                session: 5,
+                shard: (i % 2) as u16,
+                node: 0,
+                element: i,
+                at: TimePoint::from_secs(i),
+                lateness_us: 100 * i,
+                cause,
+            });
+        }
+        let table = Query::scan(Source::Misses)
+            .group_by(GroupBy::Cause)
+            .aggregate(Aggregate::Count)
+            .run(&ctx)
+            .expect("typed");
+        assert_eq!(table.len(), 2);
+        // MissCause::ALL order: node-loss before retry-storm.
+        assert_eq!(table.rows[0][0], "node-loss");
+        assert_eq!(table.rows[0][3], "3");
+        assert_eq!(table.rows[1][0], "retry-storm");
+        assert_eq!(table.rows[1][3], "1");
+        assert!(table.title.contains("group(cause)"));
+        // Grouping by shard works on the same source.
+        let table = Query::scan(Source::Misses)
+            .group_by(GroupBy::Shard)
+            .aggregate(Aggregate::Max)
+            .run(&ctx)
+            .expect("typed");
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.rows[1][0], "shard1");
+        assert_eq!(table.rows[1][3], "300");
+    }
+
+    #[test]
+    fn grouped_metrics_answer_from_models_per_group() {
+        let store = mini_store();
+        let ctx = QueryCtx::new().with_telemetry(&store);
+        let table = Query::scan(Source::Metrics)
+            .filter(Predicate::MetricIs(Metric::LatenessUs))
+            .group_by(GroupBy::Node)
+            .aggregate(Aggregate::Mean)
+            .run(&ctx)
+            .expect("typed and backed");
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.rows[0][0], "node2");
+        assert_eq!(table.rows[0][2], "100");
+        assert_eq!(table.columns[0], "node");
+    }
+
+    #[test]
+    fn group_typing_is_enforced() {
+        let ctx = QueryCtx::new();
+        let err = Query::scan(Source::Objects)
+            .group_by(GroupBy::Cause)
+            .aggregate(Aggregate::Count)
+            .run(&ctx)
+            .expect_err("cause is not an object column");
+        assert!(matches!(err, QueryError::GroupNotTyped { .. }));
+        assert!(err.to_string().contains("group(cause)"));
+        let err = Query::scan(Source::Misses)
+            .group_by(GroupBy::Degraded)
+            .aggregate(Aggregate::Count)
+            .run(&ctx)
+            .expect_err("fidelity is not a miss column");
+        assert!(matches!(err, QueryError::GroupNotTyped { .. }));
+        let err = Query::scan(Source::Sessions)
+            .group_by(GroupBy::Node)
+            .run(&ctx)
+            .expect_err("group without aggregate");
+        assert_eq!(err, QueryError::GroupWithoutAggregate);
     }
 
     #[test]

@@ -20,16 +20,24 @@
 //! same-seed run ships the same segments and the store's contents are
 //! byte-identical.
 //!
+//! A [`HealthMonitor`] can ride the tick via
+//! [`with_health`](FleetTelemetry::with_health): each tick's samples are
+//! fed to the monitor *before* compression, its alert transitions become
+//! [`Category::Health`] spans and `health.*` counters on the fleet, and
+//! every closed alert is expanded into an [`IncidentReport`] on the spot.
+//!
 //! [`Link`]: tbm_serve::Link
 
 use std::collections::BTreeMap;
 
 use tbm_blob::BlobStore;
-use tbm_obs::{Histogram, LATENCY_BUCKETS_US};
+use tbm_obs::{AttrValue, Category, Histogram, SpanId, LATENCY_BUCKETS_US};
 use tbm_serve::Fleet;
 use tbm_time::{TimeDelta, TimePoint};
 
+use crate::health::{AlertKind, HealthMonitor, IncidentReport};
 use crate::model::{ErrorBound, Segment};
+use crate::query::QueryCtx;
 use crate::sink::SeriesSink;
 use crate::store::{Metric, SeriesKey, TelemetryStore};
 
@@ -44,6 +52,19 @@ struct ShardSnap {
     bytes_read: u64,
     cache_hits: u64,
     cache_lookups: u64,
+    served: u64,
+    dropped: u64,
+    unverified: u64,
+}
+
+/// A [`HealthMonitor`] riding the sampler's tick, with the open-alert
+/// spans it holds in the tracer and the reports its closed alerts
+/// expanded into.
+#[derive(Debug)]
+struct HealthRider {
+    monitor: HealthMonitor,
+    spans: BTreeMap<String, SpanId>,
+    reports: Vec<IncidentReport>,
 }
 
 /// The fleet-side half of the telemetry plane: per-series compressors plus
@@ -63,6 +84,7 @@ pub struct FleetTelemetry {
     shipped_bytes: u64,
     lost_shipments: u64,
     salvaged_segments: u64,
+    health: Option<HealthRider>,
 }
 
 impl FleetTelemetry {
@@ -88,7 +110,41 @@ impl FleetTelemetry {
             shipped_bytes: 0,
             lost_shipments: 0,
             salvaged_segments: 0,
+            health: None,
         }
+    }
+
+    /// Builder: attaches a [`HealthMonitor`] that evaluates its SLO rules
+    /// against every tick's samples as they are taken. Alert transitions
+    /// become [`Category::Health`] spans and `health.*` counters on the
+    /// fleet; closed alerts are expanded into [`IncidentReport`]s
+    /// retrievable via [`incident_reports`](FleetTelemetry::incident_reports).
+    ///
+    /// # Panics
+    /// When the monitor's tick interval differs from the sampler's.
+    pub fn with_health(mut self, monitor: HealthMonitor) -> FleetTelemetry {
+        assert_eq!(
+            monitor.interval(),
+            self.interval,
+            "health monitor must share the sampler's tick interval"
+        );
+        self.health = Some(HealthRider {
+            monitor,
+            spans: BTreeMap::new(),
+            reports: Vec::new(),
+        });
+        self
+    }
+
+    /// The riding health monitor, when one was attached.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// Incident reports expanded so far (one per closed alert, in close
+    /// order; empty without a health monitor).
+    pub fn incident_reports(&self) -> &[IncidentReport] {
+        self.health.as_ref().map_or(&[], |h| h.reports.as_slice())
     }
 
     /// The configured error bound.
@@ -155,6 +211,9 @@ impl FleetTelemetry {
         // Per-node load accumulators, filled while walking the shards.
         let mut committed = vec![0u64; node_count];
         let mut capacity = vec![0u64; node_count];
+        // This tick's samples, collected before compression so the health
+        // monitor (when riding) sees exactly what the sinks ingest.
+        let mut samples: Vec<(SeriesKey, f64)> = Vec::new();
 
         for shard in 0..shard_count {
             let server = fleet.shard(shard);
@@ -181,6 +240,12 @@ impl FleetTelemetry {
                 bytes_read: metrics.counter("storage.bytes_read"),
                 cache_hits: stats.cache.hits,
                 cache_lookups: stats.cache.lookups(),
+                served: stats.elements_served as u64,
+                dropped: stats.dropped_elements as u64,
+                // The tiered store promises never to serve unverified
+                // bytes; this counter existing at zero is the promise the
+                // health plane's watchdog rule holds it to.
+                unverified: metrics.counter("storage.unverified_serves"),
             };
             let prev = std::mem::replace(&mut self.prev[shard], snap);
 
@@ -201,7 +266,7 @@ impl FleetTelemetry {
                     metric,
                     degraded: degraded_split,
                 };
-                sink_for(&mut self.sinks, self.bound, key).append(value);
+                samples.push((key, value));
             };
             push(
                 Metric::LatenessUs,
@@ -239,6 +304,22 @@ impl FleetTelemetry {
                     100.0 * d_hits as f64 / d_lookups as f64
                 },
             );
+            let d_served = snap.served.saturating_sub(prev.served);
+            let d_dropped = snap.dropped.saturating_sub(prev.dropped);
+            push(
+                Metric::DropRatePct,
+                false,
+                if d_served + d_dropped == 0 {
+                    0.0
+                } else {
+                    100.0 * d_dropped as f64 / (d_served + d_dropped) as f64
+                },
+            );
+            push(
+                Metric::UnverifiedServes,
+                false,
+                snap.unverified.saturating_sub(prev.unverified) as f64,
+            );
         }
 
         for node in 0..node_count {
@@ -253,10 +334,71 @@ impl FleetTelemetry {
             } else {
                 100.0 * committed[node] as f64 / capacity[node] as f64
             };
-            sink_for(&mut self.sinks, self.bound, key).append(load);
+            samples.push((key, load));
+        }
+        for (key, value) in &samples {
+            sink_for(&mut self.sinks, self.bound, *key).append(*value);
         }
         self.ticks += 1;
         self.ship(fleet, at, false);
+        self.observe_health(fleet, at, &samples);
+    }
+
+    /// Feeds one tick's samples to the riding health monitor and turns its
+    /// alert transitions into first-class observability: a
+    /// [`Category::Health`] span per incident (opened on alert open,
+    /// closed on clear), `health.alerts.*` counters on the fleet, and a
+    /// fully expanded [`IncidentReport`] for every alert this tick closed.
+    fn observe_health<S: BlobStore>(
+        &mut self,
+        fleet: &mut Fleet<S>,
+        at: TimePoint,
+        samples: &[(SeriesKey, f64)],
+    ) {
+        let Some(health) = &mut self.health else {
+            return;
+        };
+        let prior_incidents = health.monitor.incidents().len();
+        let transitions = health.monitor.observe_tick(at, samples);
+        if transitions.is_empty() {
+            return;
+        }
+        let tracer = fleet.tracer().clone();
+        let milli = |burn: f64| AttrValue::U64((burn * 1000.0).round() as u64);
+        for tr in &transitions {
+            match tr.kind {
+                AlertKind::Opened => {
+                    let span = tracer.begin_span("alert", Category::Health, at, SpanId::NONE, None);
+                    tracer.attr(span, "rule", AttrValue::Text(tr.rule.clone()));
+                    tracer.attr(span, "open_tick", AttrValue::U64(u64::from(tr.tick)));
+                    tracer.attr(span, "fast_burn_milli", milli(tr.fast_burn));
+                    tracer.attr(span, "slow_burn_milli", milli(tr.slow_burn));
+                    health.spans.insert(tr.rule.clone(), span);
+                    fleet.inc_metric("health.alerts.opened", 1);
+                    fleet.inc_metric(format!("health.alerts.opened.{}", tr.rule), 1);
+                }
+                AlertKind::Closed => {
+                    if let Some(span) = health.spans.remove(&tr.rule) {
+                        tracer.end_span(span, at);
+                    }
+                    fleet.inc_metric("health.alerts.closed", 1);
+                }
+            }
+        }
+        // Expand every alert this tick closed against the monitor's own
+        // lossless view of the run (so the report never depends on which
+        // compressed segments have shipped) plus a fleet snapshot for the
+        // miss-attribution rows.
+        let closed = health.monitor.incidents()[prior_incidents..].to_vec();
+        if !closed.is_empty() {
+            let telemetry = health.monitor.store_view();
+            let ctx = QueryCtx::from_fleet(fleet).with_telemetry(&telemetry);
+            for incident in closed {
+                health
+                    .reports
+                    .push(IncidentReport::expand(incident, &telemetry, &ctx));
+            }
+        }
     }
 
     /// Flushes every open run and makes a final shipping pass at `at`.

@@ -21,6 +21,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use tbm_obs::MissCause;
 use tbm_time::{Rational, TimeDelta, TimePoint};
 
 use crate::model::{Segment, SegmentModel, RAW_SAMPLE_BYTES};
@@ -37,15 +38,24 @@ pub enum Metric {
     CacheHitPct,
     /// Committed session bandwidth over node capacity, percent.
     NodeLoadPct,
+    /// Elements dropped over elements scheduled in the tick, percent
+    /// (0 when nothing was scheduled).
+    DropRatePct,
+    /// Bytes served without checksum verification during the tick. The
+    /// tiered store promises this is always zero; the series exists so
+    /// the health plane can hold it to that promise.
+    UnverifiedServes,
 }
 
 impl Metric {
     /// All metrics, in key order.
-    pub const ALL: [Metric; 4] = [
+    pub const ALL: [Metric; 6] = [
         Metric::LatenessUs,
         Metric::ThroughputBps,
         Metric::CacheHitPct,
         Metric::NodeLoadPct,
+        Metric::DropRatePct,
+        Metric::UnverifiedServes,
     ];
 
     /// Stable display name.
@@ -55,6 +65,8 @@ impl Metric {
             Metric::ThroughputBps => "throughput_bps",
             Metric::CacheHitPct => "cache_hit_pct",
             Metric::NodeLoadPct => "node_load_pct",
+            Metric::DropRatePct => "drop_rate_pct",
+            Metric::UnverifiedServes => "unverified_serves",
         }
     }
 }
@@ -190,6 +202,61 @@ impl fmt::Display for Aggregate {
     }
 }
 
+/// Which [`SeriesKey`] field (or miss column) a grouped aggregate keys
+/// its rows on.
+///
+/// `Node`, `Shard` and `Degraded` group telemetry series; `Cause` only
+/// exists on the `Misses` row source (the query layer's type check keeps
+/// it off the store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GroupBy {
+    /// One row per node.
+    Node,
+    /// One row per shard (node-level series, which have no shard, are
+    /// excluded).
+    Shard,
+    /// One row per fidelity split.
+    Degraded,
+    /// One row per attributed miss cause (`Misses` source only).
+    Cause,
+}
+
+impl fmt::Display for GroupBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GroupBy::Node => "node",
+            GroupBy::Shard => "shard",
+            GroupBy::Degraded => "fidelity",
+            GroupBy::Cause => "cause",
+        })
+    }
+}
+
+/// The key of one row in a grouped aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// Rows grouped per node.
+    Node(u16),
+    /// Rows grouped per shard.
+    Shard(u16),
+    /// Rows grouped per fidelity split.
+    Degraded(bool),
+    /// Rows grouped per miss cause.
+    Cause(MissCause),
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupKey::Node(n) => write!(f, "node{n}"),
+            GroupKey::Shard(s) => write!(f, "shard{s}"),
+            GroupKey::Degraded(true) => write!(f, "degraded"),
+            GroupKey::Degraded(false) => write!(f, "full"),
+            GroupKey::Cause(c) => write!(f, "{c}"),
+        }
+    }
+}
+
 /// An aggregate's answer plus its exact error accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AggResult {
@@ -320,60 +387,82 @@ impl TelemetryStore {
     /// Evaluates `agg` over every tick selected by `sel`, directly on the
     /// stored models. Returns `None` when no tick matches.
     pub fn aggregate(&self, sel: &Selector, agg: Aggregate) -> Option<AggResult> {
-        let mut points = 0u64;
-        let mut segments = 0usize;
-        let mut error_pct = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        let mut sum = 0.0f64;
-        // (value, weight) pairs for the quantile; weight-compressed for
-        // constant segments, enumerated for linear/raw ones.
-        let mut weighted: Vec<(f64, u64)> = Vec::new();
-        let want_quantile = matches!(agg, Aggregate::Quantile(_));
-
+        let mut acc = AggAcc::new(agg);
         for (key, series) in &self.series {
             if !sel.matches(key) {
                 continue;
             }
             for seg in &series.segments {
-                let Some((lo, hi)) = self.window_offsets(seg, sel) else {
-                    continue;
-                };
-                let n = u64::from(hi - lo + 1);
-                points += n;
-                segments += 1;
-                error_pct = error_pct.max(seg.error_pct);
-                min = min.min(seg.min_over(lo, hi));
-                max = max.max(seg.max_over(lo, hi));
-                sum += seg.sum_over(lo, hi);
-                if want_quantile {
-                    match &seg.model {
-                        SegmentModel::Constant { value } => weighted.push((*value, n)),
-                        _ => weighted.extend((lo..=hi).map(|i| (seg.value_at(i), 1))),
-                    }
+                if let Some((lo, hi)) = self.window_offsets(seg, sel) {
+                    acc.add_segment(seg, lo, hi);
                 }
             }
         }
+        acc.finish(agg)
+    }
 
-        if points == 0 {
-            return None;
-        }
-        let value = match agg {
-            Aggregate::Count => {
-                error_pct = 0.0;
-                points as f64
+    /// Evaluates `agg` once per distinct value of `group` among the series
+    /// `sel` matches — one [`AggResult`] row per group, in key order.
+    ///
+    /// Each matching segment is visited exactly once and contributes to
+    /// exactly one group's accumulator; in particular, when the selector
+    /// already pins the grouped field to one value (e.g. `on_node(2)`
+    /// grouped by node) the result is a single row identical to the
+    /// ungrouped [`aggregate`](TelemetryStore::aggregate) — not the same
+    /// work repeated per candidate group.
+    ///
+    /// Grouping by [`GroupBy::Shard`] excludes node-level series (no shard
+    /// in their key); [`GroupBy::Cause`] is not a series field and yields
+    /// no rows (the query layer's type check routes it to the `Misses`
+    /// source instead).
+    pub fn aggregate_grouped(
+        &self,
+        sel: &Selector,
+        agg: Aggregate,
+        group: GroupBy,
+    ) -> Vec<(GroupKey, AggResult)> {
+        let mut groups: BTreeMap<GroupKey, AggAcc> = BTreeMap::new();
+        for (key, series) in &self.series {
+            if !sel.matches(key) {
+                continue;
             }
-            Aggregate::Min => min,
-            Aggregate::Max => max,
-            Aggregate::Mean => sum / points as f64,
-            Aggregate::Quantile(p) => weighted_quantile(&mut weighted, p, points),
+            let gk = match group {
+                GroupBy::Node => GroupKey::Node(key.node),
+                GroupBy::Shard => match key.shard {
+                    Some(s) => GroupKey::Shard(s),
+                    None => continue,
+                },
+                GroupBy::Degraded => GroupKey::Degraded(key.degraded),
+                GroupBy::Cause => continue,
+            };
+            let acc = groups.entry(gk).or_insert_with(|| AggAcc::new(agg));
+            for seg in &series.segments {
+                if let Some((lo, hi)) = self.window_offsets(seg, sel) {
+                    acc.add_segment(seg, lo, hi);
+                }
+            }
+        }
+        groups
+            .into_iter()
+            .filter_map(|(gk, acc)| acc.finish(agg).map(|res| (gk, res)))
+            .collect()
+    }
+
+    /// Reconstructs one series' per-tick values from its models, in tick
+    /// order starting at the series' first stored tick. Lossless for raw
+    /// segments; within each segment's `error_pct` otherwise. Empty when
+    /// the key is unknown.
+    pub fn reconstruct(&self, key: &SeriesKey) -> Vec<f64> {
+        let Some(series) = self.series.get(key) else {
+            return Vec::new();
         };
-        Some(AggResult {
-            value,
-            error_pct,
-            points,
-            segments,
-        })
+        let mut out = Vec::with_capacity(series.points as usize);
+        for seg in &series.segments {
+            for i in 0..seg.count {
+                out.push(seg.value_at(i));
+            }
+        }
+        out
     }
 
     /// The inclusive offset range of `seg` that falls inside `sel`'s time
@@ -397,6 +486,78 @@ impl TelemetryStore {
             (lo - i64::from(seg.start_tick)) as u32,
             (hi - i64::from(seg.start_tick)) as u32,
         ))
+    }
+}
+
+/// One aggregate in progress: the running extrema/sum plus the weighted
+/// value set a quantile needs, fed one segment window at a time. Shared by
+/// the plain and grouped aggregate paths so both make exactly one pass.
+#[derive(Debug)]
+struct AggAcc {
+    points: u64,
+    segments: usize,
+    error_pct: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+    /// (value, weight) pairs for the quantile; weight-compressed for
+    /// constant segments, enumerated for linear/raw ones.
+    weighted: Vec<(f64, u64)>,
+    want_quantile: bool,
+}
+
+impl AggAcc {
+    fn new(agg: Aggregate) -> AggAcc {
+        AggAcc {
+            points: 0,
+            segments: 0,
+            error_pct: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            weighted: Vec::new(),
+            want_quantile: matches!(agg, Aggregate::Quantile(_)),
+        }
+    }
+
+    fn add_segment(&mut self, seg: &Segment, lo: u32, hi: u32) {
+        let n = u64::from(hi - lo + 1);
+        self.points += n;
+        self.segments += 1;
+        self.error_pct = self.error_pct.max(seg.error_pct);
+        self.min = self.min.min(seg.min_over(lo, hi));
+        self.max = self.max.max(seg.max_over(lo, hi));
+        self.sum += seg.sum_over(lo, hi);
+        if self.want_quantile {
+            match &seg.model {
+                SegmentModel::Constant { value } => self.weighted.push((*value, n)),
+                _ => self
+                    .weighted
+                    .extend((lo..=hi).map(|i| (seg.value_at(i), 1))),
+            }
+        }
+    }
+
+    fn finish(mut self, agg: Aggregate) -> Option<AggResult> {
+        if self.points == 0 {
+            return None;
+        }
+        let value = match agg {
+            Aggregate::Count => {
+                self.error_pct = 0.0;
+                self.points as f64
+            }
+            Aggregate::Min => self.min,
+            Aggregate::Max => self.max,
+            Aggregate::Mean => self.sum / self.points as f64,
+            Aggregate::Quantile(p) => weighted_quantile(&mut self.weighted, p, self.points),
+        };
+        Some(AggResult {
+            value,
+            error_pct: self.error_pct,
+            points: self.points,
+            segments: self.segments,
+        })
     }
 }
 
@@ -488,6 +649,173 @@ mod tests {
             store.aggregate(&sel, Aggregate::Max).expect("window").value,
             7.0
         );
+    }
+
+    #[test]
+    fn between_bounds_are_inclusive_at_both_ends() {
+        let mut store = TelemetryStore::new(TimePoint::ZERO, ms(100));
+        let k = key(0, Some(0), Metric::LatenessUs);
+        let series: Vec<f64> = (0..10).map(f64::from).collect();
+        store_series(&mut store, k, &series, 0.0);
+        // A window landing exactly on ticks 2 and 5 keeps both boundary
+        // ticks: `between` is `[from, to]` inclusive.
+        let sel = Selector::metric(Metric::LatenessUs)
+            .between(TimePoint::ZERO + ms(200), TimePoint::ZERO + ms(500));
+        let got = store
+            .aggregate(&sel, Aggregate::Count)
+            .expect("window hits");
+        assert_eq!(got.points, 4, "ticks 2,3,4,5");
+        assert_eq!(
+            store.aggregate(&sel, Aggregate::Min).expect("window").value,
+            2.0
+        );
+        assert_eq!(
+            store.aggregate(&sel, Aggregate::Max).expect("window").value,
+            5.0
+        );
+        // Nudging either bound off-schedule by 1 ms excludes only the
+        // boundary tick it crosses.
+        let inner = Selector::metric(Metric::LatenessUs)
+            .between(TimePoint::ZERO + ms(201), TimePoint::ZERO + ms(499));
+        assert_eq!(
+            store
+                .aggregate(&inner, Aggregate::Count)
+                .expect("hits")
+                .points,
+            2,
+            "ticks 3,4"
+        );
+        // A degenerate window on a single tick instant keeps that tick.
+        let point = Selector::metric(Metric::LatenessUs)
+            .between(TimePoint::ZERO + ms(700), TimePoint::ZERO + ms(700));
+        let got = store.aggregate(&point, Aggregate::Mean).expect("hits");
+        assert_eq!(got.points, 1);
+        assert_eq!(got.value, 7.0);
+    }
+
+    #[test]
+    fn grouped_aggregate_rows_per_node() {
+        let mut store = TelemetryStore::new(TimePoint::ZERO, ms(50));
+        store_series(
+            &mut store,
+            key(0, Some(0), Metric::LatenessUs),
+            &[10.0; 8],
+            0.0,
+        );
+        store_series(
+            &mut store,
+            key(0, Some(1), Metric::LatenessUs),
+            &[30.0; 8],
+            0.0,
+        );
+        store_series(
+            &mut store,
+            key(2, Some(2), Metric::LatenessUs),
+            &[90.0; 8],
+            0.0,
+        );
+        let sel = Selector::metric(Metric::LatenessUs);
+        let rows = store.aggregate_grouped(&sel, Aggregate::Mean, GroupBy::Node);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            (
+                GroupKey::Node(0),
+                AggResult {
+                    value: 20.0,
+                    error_pct: 0.0,
+                    points: 16,
+                    segments: 2
+                }
+            )
+        );
+        assert_eq!(rows[1].0, GroupKey::Node(2));
+        assert_eq!(rows[1].1.value, 90.0);
+        // Grouping by shard gives three rows, in shard order.
+        let by_shard = store.aggregate_grouped(&sel, Aggregate::Max, GroupBy::Shard);
+        assert_eq!(
+            by_shard
+                .iter()
+                .map(|(k, r)| (*k, r.value))
+                .collect::<Vec<_>>(),
+            vec![
+                (GroupKey::Shard(0), 10.0),
+                (GroupKey::Shard(1), 30.0),
+                (GroupKey::Shard(2), 90.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn grouping_a_pinned_field_returns_a_single_row() {
+        let mut store = TelemetryStore::new(TimePoint::ZERO, ms(50));
+        store_series(
+            &mut store,
+            key(0, Some(0), Metric::LatenessUs),
+            &[10.0; 8],
+            0.0,
+        );
+        store_series(
+            &mut store,
+            key(1, Some(1), Metric::LatenessUs),
+            &[30.0; 8],
+            0.0,
+        );
+        // The selector already pins node=1; grouping by node must not fan
+        // the aggregate back out — one row, identical to the plain
+        // aggregate (same points and segments consulted: no duplicated
+        // work).
+        let sel = Selector::metric(Metric::LatenessUs).on_node(1);
+        let rows = store.aggregate_grouped(&sel, Aggregate::Mean, GroupBy::Node);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, GroupKey::Node(1));
+        let plain = store.aggregate(&sel, Aggregate::Mean).expect("matches");
+        assert_eq!(rows[0].1, plain);
+        // Same with a pinned fidelity split.
+        let split = store.aggregate_grouped(
+            &Selector::metric(Metric::LatenessUs).degraded(false),
+            Aggregate::Count,
+            GroupBy::Degraded,
+        );
+        assert_eq!(split.len(), 1);
+        assert_eq!(split[0].0, GroupKey::Degraded(false));
+    }
+
+    #[test]
+    fn node_level_series_are_excluded_from_shard_grouping() {
+        let mut store = TelemetryStore::new(TimePoint::ZERO, ms(50));
+        store_series(
+            &mut store,
+            key(0, None, Metric::NodeLoadPct),
+            &[50.0; 8],
+            0.0,
+        );
+        store_series(
+            &mut store,
+            key(0, Some(3), Metric::LatenessUs),
+            &[10.0; 8],
+            0.0,
+        );
+        let rows = store.aggregate_grouped(&Selector::all(), Aggregate::Count, GroupBy::Shard);
+        assert_eq!(rows.len(), 1, "only the shard-scoped series groups");
+        assert_eq!(rows[0].0, GroupKey::Shard(3));
+        // Grouped by node, both series land on node 0.
+        let rows = store.aggregate_grouped(&Selector::all(), Aggregate::Count, GroupBy::Node);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.points, 16);
+    }
+
+    #[test]
+    fn reconstruct_replays_models_in_tick_order() {
+        let mut store = TelemetryStore::new(TimePoint::ZERO, ms(50));
+        let k = key(0, Some(0), Metric::ThroughputBps);
+        let series: Vec<f64> = (0..200).map(|i| f64::from(i % 7) * 100.0).collect();
+        store_series(&mut store, k, &series, 0.0);
+        // Lossless bound: reconstruction is the original series.
+        assert_eq!(store.reconstruct(&k), series);
+        assert!(store
+            .reconstruct(&key(9, None, Metric::NodeLoadPct))
+            .is_empty());
     }
 
     #[test]

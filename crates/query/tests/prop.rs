@@ -14,7 +14,10 @@
 //! exercised, at lossless and lossy bounds.
 
 use proptest::prelude::*;
-use tbm_query::{Aggregate, ErrorBound, Metric, Selector, SeriesKey, SeriesSink, TelemetryStore};
+use tbm_query::{
+    Aggregate, ErrorBound, HealthMonitor, IncidentReport, Metric, QueryCtx, Selector, SeriesKey,
+    SeriesSink, SloRule, TelemetryStore,
+};
 use tbm_time::{TimeDelta, TimePoint};
 
 /// One piece of a composite series.
@@ -196,5 +199,100 @@ proptest! {
             "windowed max: model {} vs raw {}",
             got.value, raw_max
         );
+    }
+
+    /// Streaming (per-tick) and batch (replay over a lossless shipped
+    /// store) health evaluation open and close the same alerts at the
+    /// same ticks, with bit-identical burns — for any series shapes and
+    /// any rule windows/hysteresis. Lossless reconstruction gives back
+    /// the exact samples, so both paths feed identical values through
+    /// identical code.
+    #[test]
+    fn streaming_and_batch_health_evaluation_agree(
+        cols in proptest::collection::vec(series(), 2..4),
+        threshold in 200.0f64..6_000.0,
+        fast in 2u32..6,
+        slow_extra in 0u32..12,
+        clear in 2u32..6,
+    ) {
+        let len = cols.iter().map(Vec::len).min().unwrap();
+        let interval = TimeDelta::from_millis(50);
+        let rule = SloRule::p99_full_lateness_below(threshold)
+            .windows(fast, fast + slow_extra)
+            .clear_after(clear);
+        let keys: Vec<SeriesKey> = (0..cols.len() as u16)
+            .map(|i| SeriesKey {
+                node: i,
+                shard: Some(i),
+                metric: Metric::LatenessUs,
+                degraded: false,
+            })
+            .collect();
+
+        // Streaming: one observe_tick per tick, all series sampled.
+        let mut streaming = HealthMonitor::new(interval).rule(rule.clone());
+        let mut live = Vec::new();
+        for t in 0..len {
+            let at = TimePoint::ZERO + TimeDelta::from_millis(50 * t as i64);
+            let samples: Vec<(SeriesKey, f64)> =
+                keys.iter().zip(&cols).map(|(k, vs)| (*k, vs[t])).collect();
+            live.extend(streaming.observe_tick(at, &samples));
+        }
+
+        // Batch: compress losslessly, ingest, replay the store.
+        let mut store = TelemetryStore::new(TimePoint::ZERO, interval);
+        for (k, vs) in keys.iter().zip(&cols) {
+            for seg in compress(&vs[..len], 0.0) {
+                store.ingest(*k, seg);
+            }
+        }
+        let (batch, transitions) = HealthMonitor::replay(&store, vec![rule]);
+
+        prop_assert_eq!(&live, &transitions, "transitions must match tick for tick");
+        prop_assert_eq!(streaming.incidents(), batch.incidents());
+        prop_assert_eq!(streaming.open_alerts(), batch.open_alerts());
+    }
+
+    /// Feeding the same input twice renders byte-identical incident
+    /// reports — evaluation and rendering are pure functions of the
+    /// samples.
+    #[test]
+    fn same_input_reruns_render_identical_reports(
+        cols in proptest::collection::vec(series(), 1..3),
+        threshold in 100.0f64..2_000.0,
+    ) {
+        let len = cols.iter().map(Vec::len).min().unwrap();
+        let run = || {
+            let interval = TimeDelta::from_millis(50);
+            let mut monitor = HealthMonitor::new(interval)
+                .rule(SloRule::p99_full_lateness_below(threshold).windows(2, 8).clear_after(2));
+            for t in 0..len {
+                let at = TimePoint::ZERO + TimeDelta::from_millis(50 * t as i64);
+                let samples: Vec<(SeriesKey, f64)> = cols
+                    .iter()
+                    .enumerate()
+                    .map(|(i, vs)| {
+                        (
+                            SeriesKey {
+                                node: i as u16,
+                                shard: Some(i as u16),
+                                metric: Metric::LatenessUs,
+                                degraded: false,
+                            },
+                            vs[t],
+                        )
+                    })
+                    .collect();
+                monitor.observe_tick(at, &samples);
+            }
+            let store = monitor.store_view();
+            let ctx = QueryCtx::new();
+            let mut out = String::new();
+            for inc in monitor.incidents() {
+                out.push_str(&IncidentReport::expand(inc.clone(), &store, &ctx).render());
+            }
+            out
+        };
+        prop_assert_eq!(run(), run(), "same input, same bytes");
     }
 }

@@ -864,6 +864,21 @@ impl<S: BlobStore> Fleet<S> {
         self.metrics.counter(M_MIGRATIONS)
     }
 
+    /// The shared tracer handle — the same ring every shard writes into.
+    /// Riders on the fleet tick (the telemetry sampler, the health plane)
+    /// use it to put their own records on the fleet timeline.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Bumps a counter in the fleet's own registry (the one
+    /// [`Fleet::metrics`] merges unprefixed, next to the `fleet.*`
+    /// transport counters). Lets tick riders account their events in the
+    /// same rollup operators already read.
+    pub fn inc_metric(&mut self, name: impl Into<String>, by: u64) {
+        self.metrics.inc(name, by);
+    }
+
     /// An owned snapshot of the shared trace.
     pub fn trace(&self) -> TraceSnapshot {
         self.tracer.snapshot()

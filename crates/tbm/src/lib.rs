@@ -87,8 +87,10 @@ pub mod prelude {
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
     };
     pub use tbm_query::{
-        Aggregate, ErrorBound, FleetTelemetry, Metric, Predicate, Query, QueryCtx, QueryError,
-        Selector, SeriesKey, Source, Table, TelemetryStore,
+        Aggregate, AlertKind, AlertTransition, BurnPoint, ErrorBound, FleetTelemetry, GroupBy,
+        GroupKey, HealthMonitor, Incident, IncidentReport, Metric, Predicate, Query, QueryCtx,
+        QueryError, Selector, SeriesKey, SloObjective, SloRule, Source, Table, TelemetryStore,
+        BURN_CAP,
     };
     pub use tbm_serve::{
         shard_of, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, Fleet, FleetError,

@@ -59,6 +59,19 @@ echo "==> broadcast query-report smoke"
 # and a post-run typed query report.
 BROADCAST_QUERY=1 cargo run --release -q -p tbm --example broadcast
 
+echo "==> health-plane smoke"
+# The health plane rides the fleet broadcast through a scripted brownout.
+# The example's own asserts pin "exactly load-skew, exactly once, closed
+# by hysteresis"; on top, the printed report must name the expected alert
+# and must not have opened any other rule.
+out="$(BROADCAST_HEALTH=1 cargo run --release -q -p tbm --example broadcast)"
+echo "$out" | grep -q '^incident: load-skew' || { echo "health smoke: no load-skew incident report" >&2; exit 1; }
+echo "$out" | grep -Eq '^load-skew +1$' || { echo "health smoke: load-skew did not open exactly once" >&2; exit 1; }
+for quiet in lateness-p99-full drop-rate unverified-serves; do
+    echo "$out" | grep -Eq "^$quiet +0\$" || { echo "health smoke: $quiet fired (or its count is missing)" >&2; exit 1; }
+done
+echo "$out" | grep -q 'breakdown by node:' || { echo "health smoke: report missing the node breakdown" >&2; exit 1; }
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

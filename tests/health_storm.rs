@@ -1,0 +1,329 @@
+//! Health storm: the SLO/burn-rate plane riding fleet storms end to end.
+//! Pins the tentpole guarantees: a node kill fires exactly the alert the
+//! runbook predicts (fast-window lateness) and nothing else, a brownout
+//! fires exactly its predicted alert (slow-window load skew), a clean
+//! same-capacity run fires none, alerts open once per fault (hysteresis —
+//! no flapping), alert spans land in the trace under `Category::Health`
+//! with `health.*` counters in the fleet rollup, closed alerts expand
+//! into incident reports whose breakdowns are one grouped query each,
+//! streaming and batch evaluation agree over a lossless store, and
+//! same-seed reruns render byte-identical reports.
+
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::capture_video_scalable;
+use tbm::interp::Interpretation;
+use tbm::media::gen::{render_frames, VideoPattern};
+use tbm::obs::{Category, RecordKind};
+use tbm::prelude::*;
+use tbm::query::{AlertKind, HealthMonitor, SloRule};
+use tbm::serve::Request;
+use tbm::time::{TimeDelta, TimePoint, TimeSystem};
+
+const SEED: u64 = 23;
+const NODES: usize = 3;
+const SHARDS: usize = 6;
+const INTERVAL_MS: i64 = 50;
+const TICKS: i64 = 240;
+
+/// The fault window: node 1 is killed (or browned out) at 4 s — tick 80 —
+/// and restored at 8 s, while sessions opened in the first 2 s are still
+/// streaming their 10 s movies.
+const FAULT_FROM_MS: i64 = 4_000;
+const FAULT_TO_MS: i64 = 8_000;
+const FAULT_TICK: u32 = (FAULT_FROM_MS / INTERVAL_MS) as u32;
+
+fn t(ms: i64) -> TimePoint {
+    TimePoint::ZERO + TimeDelta::from_millis(ms)
+}
+
+/// One movie name per shard (probed through [`shard_of`]), so the
+/// round-robin session storm loads every shard — and therefore every
+/// node — identically. The health plane's skew rule then reads true
+/// imbalance (a fault), not hash-placement noise.
+fn balanced_names() -> Vec<String> {
+    let mut by_shard: Vec<Option<String>> = vec![None; SHARDS];
+    let mut found = 0;
+    let mut i = 0u32;
+    while found < SHARDS {
+        let name = format!("movie{i}");
+        let shard = shard_of(&name, SEED, SHARDS);
+        if by_shard[shard].is_none() {
+            by_shard[shard] = Some(name);
+            found += 1;
+        }
+        i += 1;
+    }
+    by_shard.into_iter().map(Option::unwrap).collect()
+}
+
+fn catalog(names: &[String]) -> ShardedDb {
+    let mut db = ShardedDb::new(SHARDS, SEED);
+    // 250 PAL frames = 10 s of playback, so sessions opened in the first
+    // 2 s are still live through the 4–8 s fault window.
+    let frames = render_frames(VideoPattern::MovingBar, 0, 250, 48, 32);
+    for name in names {
+        let store = db.store_for_mut(name);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        db.register_interpretation(renamed).unwrap();
+    }
+    db
+}
+
+/// The storm's rule set: every built-in armed at the thresholds the
+/// runbook documents. A healthy run clears all four.
+fn rules() -> Vec<SloRule> {
+    vec![
+        SloRule::p99_full_lateness_below(2_000.0),
+        SloRule::drop_rate_below(1.0),
+        SloRule::no_unverified_serves(),
+        SloRule::load_skew_below(60.0),
+    ]
+}
+
+/// One 12 s broadcast — 12 sessions staggered 150 ms apart over an
+/// amply-provisioned fleet, so steady state is quiet and the scripted
+/// `fault` on node 1 is the only signal — with the health plane riding
+/// every telemetry tick.
+fn storm(fault: Option<NodeFaultPlan>, bound: ErrorBound) -> (Fleet, FleetTelemetry) {
+    let names = balanced_names();
+    let db = catalog(&names);
+    let owner = db.shard_for(&names[0]);
+    let (_, stream) = db.shard(owner).stream_of(&names[0]).unwrap();
+    let full_bps = tbm::player::demanded_rate(
+        &tbm::player::schedule_from_interp(stream, None),
+        stream.system(),
+    )
+    .unwrap()
+    .ceil() as u64;
+
+    // 20 streams of per-node capacity against 4 steady sessions per node:
+    // ~20% steady load, so a 25%-health brownout pushes the browned node
+    // to ~80% — a clear skew signal with enough service headroom left
+    // that lateness stays quiet (the brownout alert is skew, not p99).
+    // Skew self-healing is off: this storm is about *detecting* imbalance,
+    // so the health plane must see the fault, not the fleet's own
+    // rebalancer racing it (the runbook's fix knob is that rebalancer).
+    let mut fleet = Fleet::new(db, NODES, Capacity::new(full_bps * 20).admit_all())
+        .with_cache_budget(16 << 20)
+        .with_rebalance_skew(None)
+        .with_tracer(Tracer::with_capacity(1 << 16));
+    if let Some(plan) = fault {
+        fleet = fleet.with_fault_plan(1, plan);
+    }
+    let mut monitor = HealthMonitor::new(TimeDelta::from_millis(INTERVAL_MS));
+    for rule in rules() {
+        monitor = monitor.rule(rule);
+    }
+    let mut telemetry =
+        FleetTelemetry::new(bound, TimeDelta::from_millis(INTERVAL_MS)).with_health(monitor);
+    let mut next = 0usize;
+    for k in 0..=TICKS {
+        let at = t(INTERVAL_MS * k);
+        telemetry.tick(&mut fleet, at);
+        while next < 12 && (next as i64) * 150 < INTERVAL_MS * (k + 1) {
+            let name = names[next % names.len()].clone();
+            let open_at = t(next as i64 * 150).max(at);
+            if let Ok(Response::Opened {
+                session: Some(id), ..
+            }) = fleet.request(open_at, Request::Open { object: name })
+            {
+                let _ = fleet.request(open_at, Request::Play { session: id });
+            }
+            next += 1;
+        }
+    }
+    telemetry.finish(&mut fleet, t(INTERVAL_MS * (TICKS + 1)));
+    fleet.finish();
+    (fleet, telemetry)
+}
+
+fn kill_plan() -> NodeFaultPlan {
+    NodeFaultPlan::new().with_crash_restart(t(FAULT_FROM_MS), t(FAULT_TO_MS))
+}
+
+fn brownout_plan() -> NodeFaultPlan {
+    NodeFaultPlan::new().with_brownout(t(FAULT_FROM_MS), t(FAULT_TO_MS), 25)
+}
+
+/// `(rule name, opens)` for every armed rule, in rule order.
+fn opens_by_rule(telemetry: &FleetTelemetry) -> Vec<(String, u64)> {
+    let monitor = telemetry.health().expect("health plane attached");
+    monitor
+        .rules()
+        .iter()
+        .map(|r| (r.name.clone(), monitor.opens(&r.name)))
+        .collect()
+}
+
+#[test]
+fn clean_run_fires_no_alerts() {
+    let (fleet, telemetry) = storm(None, ErrorBound::percent(1.0));
+    for (rule, opens) in opens_by_rule(&telemetry) {
+        assert_eq!(opens, 0, "clean run must not open {rule}");
+    }
+    let monitor = telemetry.health().unwrap();
+    assert!(monitor.incidents().is_empty());
+    assert!(monitor.open_alerts().is_empty());
+    assert!(telemetry.incident_reports().is_empty());
+    assert_eq!(fleet.metrics().counter("health.alerts.opened"), 0);
+    assert!(
+        !fleet
+            .trace()
+            .records
+            .iter()
+            .any(|r| r.cat == Category::Health),
+        "a quiet fleet writes no health records"
+    );
+}
+
+#[test]
+fn node_kill_fires_exactly_the_fast_lateness_alert() {
+    let (fleet, telemetry) = storm(Some(kill_plan()), ErrorBound::percent(1.0));
+
+    // Exactly the predicted alert, exactly once — no flapping, no
+    // bycatch on the other three rules.
+    for (rule, opens) in opens_by_rule(&telemetry) {
+        let expected = u64::from(rule == "lateness-p99-full");
+        assert_eq!(opens, expected, "{rule}: opens");
+    }
+    let monitor = telemetry.health().unwrap();
+    assert!(monitor.open_alerts().is_empty(), "hysteresis must close it");
+    assert_eq!(monitor.incidents().len(), 1);
+
+    let inc = &monitor.incidents()[0];
+    assert_eq!(inc.rule, "lateness-p99-full");
+    assert!(
+        (FAULT_TICK..FAULT_TICK + 10).contains(&inc.opened_tick),
+        "the alert must open within 10 ticks of the kill (opened t{})",
+        inc.opened_tick
+    );
+    // The *fast* window caught it: the opening burn already clears the
+    // 2x fast trigger (a slow-window-only open would sit below it).
+    let opening = inc.trajectory.first().unwrap();
+    assert!(
+        opening.fast >= 2.0,
+        "node kill is a fast-window catch (fast {:.2}x at open)",
+        opening.fast
+    );
+    assert!(inc.closed_tick > inc.opened_tick);
+    assert_eq!(
+        inc.trajectory.len() as u32,
+        inc.closed_tick - inc.opened_tick + 1
+    );
+
+    // The transitions are first-class observability: one Health span in
+    // the trace, opened at the alert's open tick and closed at its close,
+    // and counted in the fleet's metrics rollup.
+    let trace = fleet.trace();
+    let health: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| r.cat == Category::Health)
+        .collect();
+    assert_eq!(health.len(), 1, "one alert span: {health:?}");
+    let span = health[0];
+    assert_eq!(span.name, "alert");
+    assert_eq!(span.kind, RecordKind::Span);
+    assert_eq!(
+        span.attr("rule").and_then(|v| v.as_str()),
+        Some("lateness-p99-full")
+    );
+    assert_eq!(span.attr_i64("open_tick"), i64::from(inc.opened_tick));
+    assert!(span.end.is_some(), "the span must close with the alert");
+    let metrics = fleet.metrics();
+    assert_eq!(metrics.counter("health.alerts.opened"), 1);
+    assert_eq!(metrics.counter("health.alerts.closed"), 1);
+    assert_eq!(metrics.counter("health.alerts.opened.lateness-p99-full"), 1);
+
+    // The closed alert expanded into a report with the grouped
+    // breakdowns; the dominant miss cause during the window is the kill.
+    let reports = telemetry.incident_reports();
+    assert_eq!(reports.len(), 1);
+    let text = reports[0].render();
+    assert!(text.starts_with("incident: lateness-p99-full\n"), "{text}");
+    assert!(text.contains("burn trajectory"), "{text}");
+    assert!(text.contains("breakdown by node:"), "{text}");
+    assert!(text.contains("breakdown by shard:"), "{text}");
+    assert!(
+        text.contains("node-loss"),
+        "the report must attribute the kill:\n{text}"
+    );
+}
+
+#[test]
+fn brownout_fires_exactly_the_slow_skew_alert() {
+    let (fleet, telemetry) = storm(Some(brownout_plan()), ErrorBound::percent(1.0));
+
+    for (rule, opens) in opens_by_rule(&telemetry) {
+        let expected = u64::from(rule == "load-skew");
+        assert_eq!(opens, expected, "{rule}: opens");
+    }
+    let monitor = telemetry.health().unwrap();
+    assert!(monitor.open_alerts().is_empty(), "hysteresis must close it");
+    assert_eq!(monitor.incidents().len(), 1);
+
+    let inc = &monitor.incidents()[0];
+    assert_eq!(inc.rule, "load-skew");
+    assert!(
+        inc.opened_tick >= FAULT_TICK,
+        "skew opens only after the brownout derates node 1 (opened t{})",
+        inc.opened_tick
+    );
+    // The *slow* window caught it: the sustained ~80%-vs-20% imbalance
+    // burns ~1.7x — below the 2x fast trigger, above the 1x slow one.
+    let opening = inc.trajectory.first().unwrap();
+    assert!(
+        opening.fast < 2.0 && opening.slow >= 1.0,
+        "brownout is a slow-window catch (fast {:.2}x, slow {:.2}x at open)",
+        opening.fast,
+        opening.slow
+    );
+
+    assert_eq!(fleet.metrics().counter("health.alerts.opened.load-skew"), 1);
+    let reports = telemetry.incident_reports();
+    assert_eq!(reports.len(), 1);
+    let text = reports[0].render();
+    assert!(text.starts_with("incident: load-skew\n"), "{text}");
+    assert!(text.contains("breakdown by node:"), "{text}");
+}
+
+#[test]
+fn streaming_and_batch_replay_agree_over_a_lossless_store() {
+    // Over a lossless store, reconstructing the shipped segments gives
+    // back the exact per-tick samples, so replaying them through a fresh
+    // monitor must open and close the same alerts at the same ticks.
+    let (_, telemetry) = storm(Some(kill_plan()), ErrorBound::LOSSLESS);
+    let streaming = telemetry.health().unwrap();
+    assert_eq!(streaming.incidents().len(), 1, "the kill must alert");
+
+    let store = telemetry.store().expect("ticked");
+    let (batch, transitions) = HealthMonitor::replay(store, rules());
+    assert_eq!(streaming.incidents(), batch.incidents());
+    for rule in batch.rules() {
+        assert_eq!(streaming.opens(&rule.name), batch.opens(&rule.name));
+    }
+    assert_eq!(transitions.len(), 2, "one open, one close: {transitions:?}");
+    assert_eq!(transitions[0].kind, AlertKind::Opened);
+    assert_eq!(transitions[1].kind, AlertKind::Closed);
+}
+
+#[test]
+fn same_seed_reruns_render_byte_identical_reports() {
+    let render = |fault: fn() -> NodeFaultPlan| {
+        let (_, telemetry) = storm(Some(fault()), ErrorBound::percent(1.0));
+        let mut out = String::new();
+        for report in telemetry.incident_reports() {
+            out.push_str(&report.render());
+            out.push('\n');
+        }
+        out
+    };
+    let a = render(kill_plan);
+    let b = render(kill_plan);
+    assert!(a.len() > 200, "the report must have substance:\n{a}");
+    assert_eq!(a, b, "same seed, same bytes");
+}
