@@ -72,6 +72,10 @@ pub enum Category {
     /// Health-plane records: SLO alert opens/closes (one span per
     /// incident) and burn-rate threshold crossings.
     Health,
+    /// Remediation-plane records: one span per attempted playbook action,
+    /// carrying rule/action attrs at apply and the verification verdict at
+    /// close.
+    Remediation,
 }
 
 impl Category {
@@ -89,6 +93,7 @@ impl Category {
             Category::Tier => "tier",
             Category::Fleet => "fleet",
             Category::Health => "health",
+            Category::Remediation => "remediation",
         }
     }
 }

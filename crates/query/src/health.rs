@@ -397,6 +397,10 @@ struct RuleState {
     calm: u32,
     trajectory: Vec<BurnPoint>,
     opens: u64,
+    /// Burns from the most recent evaluated tick — what the remediation
+    /// plane's verification pass re-reads.
+    last_fast: f64,
+    last_slow: f64,
 }
 
 /// One series' raw per-tick history inside the monitor.
@@ -495,6 +499,30 @@ impl HealthMonitor {
         &self.incidents
     }
 
+    /// Whether `rule`'s alert is open right now.
+    pub fn is_open(&self, rule: &str) -> bool {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .any(|(r, st)| r.name == rule && st.active)
+    }
+
+    /// The `(fast, slow)` burns `rule` computed at its most recent
+    /// evaluated tick — `None` before the fast window has filled (or for
+    /// an unknown rule). The remediation plane's verification pass reads
+    /// this instead of recomputing windows.
+    pub fn burns(&self, rule: &str) -> Option<(f64, f64)> {
+        let (r, st) = self
+            .rules
+            .iter()
+            .zip(&self.states)
+            .find(|(r, _)| r.name == rule)?;
+        if self.ticks < r.fast_ticks {
+            return None;
+        }
+        Some((st.last_fast, st.last_slow))
+    }
+
     /// Observes one tick of samples (at most one sample per series) at
     /// simulated instant `at`, evaluates every rule, and returns the alert
     /// transitions this tick caused, in rule order.
@@ -537,6 +565,8 @@ impl HealthMonitor {
             let slow = self.burn(rule, t, rule.slow_ticks);
             let rule = &self.rules[i];
             let st = &mut self.states[i];
+            st.last_fast = fast;
+            st.last_slow = slow;
             if !st.active {
                 if fast >= rule.fast_trigger || slow >= rule.slow_trigger {
                     st.active = true;
@@ -824,6 +854,11 @@ pub struct IncidentReport {
     pub by_node: Option<Table>,
     /// The rule's aggregate per shard over the incident window.
     pub by_shard: Option<Table>,
+    /// Remediation actions attempted while the alert was open, in apply
+    /// order (rendered lines from the remediator's action log) — the
+    /// "what the system did" third of the story. Empty without a
+    /// remediator.
+    pub actions: Vec<String>,
 }
 
 impl IncidentReport {
@@ -834,7 +869,14 @@ impl IncidentReport {
             causes: None,
             by_node: None,
             by_shard: None,
+            actions: Vec::new(),
         }
+    }
+
+    /// Builder: stamps the remediation timeline into the report.
+    pub fn with_actions(mut self, actions: Vec<String>) -> IncidentReport {
+        self.actions = actions;
+        self
     }
 
     /// Expands `incident` against the monitor's raw telemetry
@@ -876,6 +918,7 @@ impl IncidentReport {
             by_shard: windowed(GroupBy::Shard),
             causes,
             incident,
+            actions: Vec::new(),
         }
     }
 
@@ -921,6 +964,12 @@ impl IncidentReport {
             out.push_str(&format!("    … {} ticks elided …\n", n - head - tail));
             for b in &inc.trajectory[n - tail..] {
                 out.push_str(&trajectory_row(b));
+            }
+        }
+        if !self.actions.is_empty() {
+            out.push_str("  remediation timeline:\n");
+            for a in &self.actions {
+                out.push_str(&format!("    {a}\n"));
             }
         }
         if let Some(causes) = &self.causes {

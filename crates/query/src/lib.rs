@@ -54,6 +54,7 @@
 mod health;
 mod model;
 mod query;
+mod remediate;
 mod sampler;
 mod sink;
 mod store;
@@ -66,6 +67,9 @@ pub use model::{ErrorBound, Segment, SegmentModel, RAW_SAMPLE_BYTES, SEGMENT_HEA
 pub use query::{
     MissRow, ObjectRow, Predicate, Query, QueryCtx, QueryError, SessionRow, Source, StreamRow,
     Table,
+};
+pub use remediate::{
+    Action, ActionRecord, Outcome, Playbook, PlaybookEntry, Remediator, SuppressReason, Verdict,
 };
 pub use sampler::FleetTelemetry;
 pub use sink::{SeriesSink, MAX_SEGMENT_TICKS, MIN_MODEL_TICKS};

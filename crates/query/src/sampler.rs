@@ -38,6 +38,7 @@ use tbm_time::{TimeDelta, TimePoint};
 use crate::health::{AlertKind, HealthMonitor, IncidentReport};
 use crate::model::{ErrorBound, Segment};
 use crate::query::QueryCtx;
+use crate::remediate::Remediator;
 use crate::sink::SeriesSink;
 use crate::store::{Metric, SeriesKey, TelemetryStore};
 
@@ -85,6 +86,7 @@ pub struct FleetTelemetry {
     lost_shipments: u64,
     salvaged_segments: u64,
     health: Option<HealthRider>,
+    remediator: Option<Remediator>,
 }
 
 impl FleetTelemetry {
@@ -111,6 +113,7 @@ impl FleetTelemetry {
             lost_shipments: 0,
             salvaged_segments: 0,
             health: None,
+            remediator: None,
         }
     }
 
@@ -136,9 +139,33 @@ impl FleetTelemetry {
         self
     }
 
+    /// Builder: attaches a [`Remediator`] that turns the riding health
+    /// monitor's alerts into guarded fleet actions each tick, after the
+    /// monitor has judged the tick's samples. Closed incidents get the
+    /// remediator's action lines stamped into their report timeline.
+    ///
+    /// # Panics
+    /// When no health monitor is attached ([`with_health`] first — the
+    /// remediator acts on its alerts).
+    ///
+    /// [`with_health`]: FleetTelemetry::with_health
+    pub fn with_remediator(mut self, remediator: Remediator) -> FleetTelemetry {
+        assert!(
+            self.health.is_some(),
+            "a remediator needs a health monitor to subscribe to"
+        );
+        self.remediator = Some(remediator);
+        self
+    }
+
     /// The riding health monitor, when one was attached.
     pub fn health(&self) -> Option<&HealthMonitor> {
         self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// The riding remediator, when one was attached.
+    pub fn remediator(&self) -> Option<&Remediator> {
+        self.remediator.as_ref()
     }
 
     /// Incident reports expanded so far (one per closed alert, in close
@@ -360,7 +387,7 @@ impl FleetTelemetry {
         };
         let prior_incidents = health.monitor.incidents().len();
         let transitions = health.monitor.observe_tick(at, samples);
-        if transitions.is_empty() {
+        if transitions.is_empty() && self.remediator.is_none() {
             return;
         }
         let tracer = fleet.tracer().clone();
@@ -385,6 +412,15 @@ impl FleetTelemetry {
                 }
             }
         }
+        // The remediation pass runs after the monitor has judged the tick
+        // (so it sees this tick's open/close state and burns) and before
+        // report expansion (so an incident that closes this tick carries
+        // every action attempted while it was open, final verdicts
+        // included — a close resolves its in-flight action as improved).
+        if let Some(rem) = &mut self.remediator {
+            let tick = health.monitor.ticks() - 1;
+            rem.on_tick(fleet, &health.monitor, &transitions, tick, at);
+        }
         // Expand every alert this tick closed against the monitor's own
         // lossless view of the run (so the report never depends on which
         // compressed segments have shipped) plus a fleet snapshot for the
@@ -394,9 +430,12 @@ impl FleetTelemetry {
             let telemetry = health.monitor.store_view();
             let ctx = QueryCtx::from_fleet(fleet).with_telemetry(&telemetry);
             for incident in closed {
+                let actions = self.remediator.as_ref().map_or_else(Vec::new, |rem| {
+                    rem.actions_for(&incident.rule, incident.opened_tick, incident.closed_tick)
+                });
                 health
                     .reports
-                    .push(IncidentReport::expand(incident, &telemetry, &ctx));
+                    .push(IncidentReport::expand(incident, &telemetry, &ctx).with_actions(actions));
             }
         }
     }

@@ -296,3 +296,154 @@ proptest! {
         prop_assert_eq!(run(), run(), "same input, same bytes");
     }
 }
+
+/// Property tests for the remediation plane's safety contract: token
+/// budgets are hard (a dry bucket suppresses, never applies), and the
+/// whole plane is deterministic (same inputs, byte-identical action log,
+/// metrics and reports).
+mod remediation {
+    use super::*;
+    use tbm_query::{Action, Outcome, Playbook, Remediator, SuppressReason, Verdict};
+    use tbm_serve::{Capacity, Fleet, ShardedDb};
+
+    fn drop_key() -> SeriesKey {
+        SeriesKey {
+            node: 0,
+            shard: Some(0),
+            metric: Metric::DropRatePct,
+            degraded: false,
+        }
+    }
+
+    fn load_key(node: u16) -> SeriesKey {
+        SeriesKey {
+            node,
+            shard: None,
+            metric: Metric::NodeLoadPct,
+            degraded: false,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// A dry token bucket suppresses — it never applies. The drawn
+        /// drop-rate series worsens every tick, so every applied derate
+        /// is rolled back at verification (tokens are *not* refunded:
+        /// a failed action still spent its budget); once the bucket is
+        /// dry every further attempt must be `suppressed (budget)`, and
+        /// the rollbacks must have restored the fleet's admission derate.
+        #[test]
+        fn dry_budgets_suppress_and_never_apply(
+            budget in 1u32..5,
+            base in 10.0f64..100.0,
+            step in 1.0f64..25.0,
+        ) {
+            let mut fleet = Fleet::new(ShardedDb::new(3, 7), 2, Capacity::new(1_000_000));
+            let mut monitor = HealthMonitor::new(TimeDelta::from_millis(50)).rule(
+                SloRule::drop_rate_below(1.0)
+                    .windows(1, 1)
+                    .triggers(1.0, 1.0)
+                    .clear_after(1),
+            );
+            let mut rem = Remediator::new(
+                Playbook::new()
+                    .on("drop-rate", Action::DerateAdmission { percent: 70 })
+                    .budget(budget)
+                    .refill(0) // never refills: the bucket only drains
+                    .cooldown(1)
+                    .verify(1),
+            )
+            .freeze_after(100, 10); // out of the way: this is the budget's test
+            let ticks = budget + 6;
+            for tick in 0..ticks {
+                let at = TimePoint::ZERO + TimeDelta::from_millis(50 * i64::from(tick));
+                let samples = vec![(drop_key(), base + step * f64::from(tick))];
+                let transitions = monitor.observe_tick(at, &samples);
+                rem.on_tick(&mut fleet, &monitor, &transitions, tick, at);
+            }
+
+            let applied: Vec<_> = rem
+                .records()
+                .iter()
+                .filter(|r| r.outcome == Outcome::Applied)
+                .collect();
+            prop_assert_eq!(applied.len() as u32, budget, "log:\n{}", rem.render_log());
+            prop_assert!(
+                applied.iter().all(|r| r.tick < budget),
+                "applies stop when the bucket dries:\n{}",
+                rem.render_log()
+            );
+            prop_assert!(
+                applied.iter().all(|r| r.verdict == Some(Verdict::RolledBack)),
+                "a monotonically worsening burn rolls every apply back:\n{}",
+                rem.render_log()
+            );
+            let suppressed = rem
+                .records()
+                .iter()
+                .filter(|r| r.outcome == Outcome::Suppressed(SuppressReason::Budget))
+                .count();
+            prop_assert!(suppressed >= 1, "log:\n{}", rem.render_log());
+            prop_assert_eq!(fleet.metrics().counter("remediation.actions.applied"), u64::from(budget));
+            prop_assert_eq!(fleet.metrics().counter("remediation.actions.rolled_back"), u64::from(budget));
+            prop_assert_eq!(fleet.metrics().counter("remediation.actions.suppressed"), suppressed as u64);
+            prop_assert_eq!(fleet.admission_derate(), 100, "rollbacks restore the derate");
+            prop_assert!(!rem.frozen());
+        }
+
+        /// Same inputs, byte-identical outputs: the action log, the
+        /// fleet's metrics rollup and every incident report — whatever
+        /// mix of applies, holds, rollbacks, freezes and guard no-ops
+        /// the drawn burn trajectories provoke.
+        #[test]
+        fn remediation_is_deterministic(
+            hot in proptest::collection::vec(0.0f64..2_000.0, 12..30),
+            drops in proptest::collection::vec(0.0f64..50.0, 12..30),
+            budget in 1u32..4,
+            cooldown in 1u32..4,
+            verify in 1u32..3,
+        ) {
+            let run = || {
+                let mut fleet = Fleet::new(ShardedDb::new(3, 7), 2, Capacity::new(1_000_000));
+                let mut monitor = HealthMonitor::new(TimeDelta::from_millis(50))
+                    .rule(SloRule::load_skew_below(60.0).windows(2, 4).triggers(2.0, 1.0).clear_after(2))
+                    .rule(SloRule::drop_rate_below(1.0).windows(2, 4).triggers(2.0, 1.0).clear_after(2));
+                let mut rem = Remediator::new(
+                    Playbook::new()
+                        .on("load-skew", Action::RebalanceShards { min_skew_pct: 10 })
+                        .budget(budget).cooldown(cooldown).verify(verify)
+                        .on("drop-rate", Action::DerateAdmission { percent: 70 })
+                        .budget(budget).cooldown(cooldown).verify(verify)
+                        .on("drop-rate", Action::GrowCache { bytes: 1 << 20 })
+                        .budget(budget).cooldown(cooldown).verify(verify),
+                )
+                .freeze_after(2, 50);
+                let ticks = hot.len().min(drops.len());
+                for tick in 0..ticks {
+                    let at = TimePoint::ZERO + TimeDelta::from_millis(50 * tick as i64);
+                    let samples = vec![
+                        (load_key(0), hot[tick]),
+                        (load_key(1), 10.0),
+                        (drop_key(), drops[tick]),
+                    ];
+                    let transitions = monitor.observe_tick(at, &samples);
+                    rem.on_tick(&mut fleet, &monitor, &transitions, tick as u32, at);
+                }
+                let mut reports = String::new();
+                for inc in monitor.incidents() {
+                    let actions = rem.actions_for(&inc.rule, inc.opened_tick, inc.closed_tick);
+                    reports.push_str(
+                        &IncidentReport::bare(inc.clone()).with_actions(actions).render(),
+                    );
+                }
+                (rem.render_log(), fleet.metrics().render(), reports)
+            };
+            let (log_a, metrics_a, reports_a) = run();
+            let (log_b, metrics_b, reports_b) = run();
+            prop_assert_eq!(log_a, log_b, "same inputs, same action-log bytes");
+            prop_assert_eq!(metrics_a, metrics_b, "same inputs, same metric bytes");
+            prop_assert_eq!(reports_a, reports_b, "same inputs, same report bytes");
+        }
+    }
+}

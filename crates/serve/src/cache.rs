@@ -216,6 +216,26 @@ impl SegmentCache {
         }
     }
 
+    /// Replaces the byte budget mid-run, returning the previous one. A
+    /// shrink evicts least-recently-used segments until the new budget
+    /// holds (counted as evictions); a grow takes effect immediately. The
+    /// remediation plane's `GrowCache` action — and its rollback — land
+    /// here.
+    pub fn set_budget(&mut self, budget_bytes: u64) -> u64 {
+        let prev = self.budget;
+        self.budget = budget_bytes;
+        while self.bytes > self.budget {
+            let (_, victim) = self
+                .lru
+                .pop_first()
+                .expect("over budget implies a resident entry");
+            let evicted = self.entries.remove(&victim).expect("lru and entries agree");
+            self.bytes -= evicted.data.len() as u64;
+            self.evictions += 1;
+        }
+        prev
+    }
+
     /// Drops every resident segment (counters are retained).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -314,6 +334,23 @@ mod tests {
         c.insert(b, span(0, 4), vec![9; 4]);
         assert_eq!(c.bytes_cached(), 4);
         assert_eq!(c.get(b, span(0, 4)).unwrap(), &[9; 4]);
+    }
+
+    #[test]
+    fn set_budget_shrink_evicts_lru_and_grow_is_immediate() {
+        let mut c = SegmentCache::new(12);
+        let b = BlobId::new(1);
+        c.insert(b, span(0, 4), vec![0; 4]);
+        c.insert(b, span(4, 4), vec![1; 4]);
+        c.insert(b, span(8, 4), vec![2; 4]);
+        assert!(c.get(b, span(0, 4)).is_some(), "refresh recency of first");
+        assert_eq!(c.set_budget(8), 12);
+        assert!(c.contains(b, span(0, 4)), "recently used survives");
+        assert!(!c.contains(b, span(4, 4)), "LRU victim of the shrink");
+        assert!(c.bytes_cached() <= 8);
+        assert_eq!(c.set_budget(64), 8, "returns the shrunk budget");
+        c.insert(b, span(16, 16), vec![3; 16]);
+        assert!(c.contains(b, span(16, 16)), "grow takes effect at once");
     }
 
     #[test]

@@ -566,9 +566,31 @@ impl FleetStats {
     }
 }
 
+/// One placement change: `shard` moved from node `from` to node `to`.
+/// The typed receipt every fleet action entry point hands back, and the
+/// rollback handle the remediation plane replays in reverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMove {
+    /// The shard that moved.
+    pub shard: usize,
+    /// The node it left.
+    pub from: usize,
+    /// The node now hosting it.
+    pub to: usize,
+}
+
+impl fmt::Display for ShardMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{} node{}→node{}", self.shard, self.from, self.to)
+    }
+}
+
 /// Skew of a load distribution in percent: `(max − mean) / mean × 100`,
-/// rounded; 0 when empty or idle.
-fn skew_percent(loads: impl Iterator<Item = usize>) -> i64 {
+/// rounded; 0 when empty or idle. This is THE fleet skew definition — the
+/// `fleet.skew` and `shard.skew` gauges, the rebalance trigger and the
+/// health plane's `SkewBelow` objective all compute it (the golden
+/// agreement test pins the alert to this function).
+pub fn skew_percent(loads: impl Iterator<Item = usize>) -> i64 {
     let loads: Vec<usize> = loads.collect();
     let total: usize = loads.iter().sum();
     if total == 0 || loads.is_empty() {
@@ -610,6 +632,10 @@ pub struct Fleet<S: BlobStore = MemBlobStore> {
     rebalance_skew: Option<i64>,
     rebalance_cooldown: TimeDelta,
     last_rebalance: Option<TimePoint>,
+    /// Fleet-wide admission derate in percent (100 = none): every node's
+    /// capacity is additionally derated by this factor — the remediation
+    /// plane's `DerateAdmission` lever.
+    admission_derate: u8,
     migration: bool,
     /// Crash-detection delay charged on top of a failover handoff, µs.
     detection_us: u64,
@@ -666,6 +692,7 @@ impl<S: BlobStore> Fleet<S> {
             rebalance_skew: Some(150),
             rebalance_cooldown: TimeDelta::from_millis(500),
             last_rebalance: None,
+            admission_derate: 100,
             migration: true,
             detection_us: 50_000,
             clock: TimePoint::ZERO,
@@ -1383,7 +1410,10 @@ impl<S: BlobStore> Fleet<S> {
             return;
         }
         let n = hosted.len() as u64;
-        let base = self.node_capacity.derated(self.nodes[node].health);
+        let base = self
+            .node_capacity
+            .derated(self.nodes[node].health)
+            .derated(self.admission_derate);
         let split = Capacity {
             storage_bandwidth: (base.storage_bandwidth / n).max(1),
             decode_rate: if base.decode_rate == 0 {
@@ -1406,7 +1436,8 @@ impl<S: BlobStore> Fleet<S> {
 
     /// Migrates the hottest shard off the hottest node when node-level
     /// skew exceeds the configured threshold (cooldown-limited so one hot
-    /// minute doesn't thrash placement).
+    /// minute doesn't thrash placement). The request-plane face of
+    /// [`Fleet::rebalance_on_skew`].
     fn maybe_rebalance(&mut self, at: TimePoint) {
         let Some(threshold) = self.rebalance_skew else {
             return;
@@ -1416,53 +1447,78 @@ impl<S: BlobStore> Fleet<S> {
                 return;
             }
         }
-        let served = |shard: &Server<S>| shard.metrics().counter("serve.elements.served") as usize;
-        let node_load = |fleet: &Fleet<S>, n: usize| -> usize {
-            fleet
-                .placement
-                .hosted(n)
-                .iter()
-                .map(|&s| served(&fleet.shards[s]))
-                .sum()
-        };
+        if self.rebalance_on_skew(at, threshold).is_some() {
+            self.last_rebalance = Some(at);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guarded fleet actions (the remediation plane's entry points)
+    // ------------------------------------------------------------------
+
+    /// Node load in integer percent — committed session demand over the
+    /// node's current (derated, split) capacity, summed across its hosted
+    /// shards. The same signal the telemetry plane samples as
+    /// `NodeLoadPct`, so the rebalancer and the `load-skew` alert can
+    /// never tell the operator two different stories.
+    fn node_load_pct(&self, node: usize) -> usize {
+        let hosted = self.placement.hosted(node);
+        let committed: u64 = hosted
+            .iter()
+            .map(|&s| self.shards[s].stats().committed_bps)
+            .sum();
+        let capacity: u64 = hosted
+            .iter()
+            .map(|&s| self.shards[s].capacity().storage_bandwidth)
+            .sum();
+        committed
+            .saturating_mul(100)
+            .checked_div(capacity)
+            .unwrap_or(0) as usize
+    }
+
+    /// Migrates the hottest shard off the hottest node when the
+    /// cross-node load skew ([`skew_percent`] over per-node
+    /// committed/capacity load — the `NodeLoadPct` signal the `load-skew`
+    /// alert judges) exceeds `threshold_pct`. Returns the move performed,
+    /// or `None` when a guard held it back.
+    ///
+    /// Guarded no-op (placement untouched, nothing charged) when:
+    /// * fewer than two nodes are up — a single-node fleet has nowhere to
+    ///   move load;
+    /// * skew is at or below `threshold_pct` — an already-balanced fleet
+    ///   must not have its placement churned;
+    /// * the hottest node hosts only one shard — moving it would just
+    ///   relocate the hot spot, not spread it.
+    pub fn rebalance_on_skew(&mut self, at: TimePoint, threshold_pct: i64) -> Option<ShardMove> {
         let up: Vec<usize> = (0..self.nodes.len())
             .filter(|&n| self.nodes[n].up)
             .collect();
         if up.len() < 2 {
-            return;
+            return None;
         }
-        let skew = skew_percent(up.iter().map(|&n| node_load(self, n)));
-        if skew <= threshold {
-            return;
+        let skew = skew_percent(up.iter().map(|&n| self.node_load_pct(n)));
+        if skew <= threshold_pct {
+            return None;
         }
-        // Hottest node with at least two shards gives its hottest shard
-        // to the least-loaded up node (ties break low, deterministically).
-        let Some(&hot) = up
+        // The genuinely hottest node (ties break low, deterministically) —
+        // never a stand-in picked for hosting enough shards, which is how
+        // the old rebalancer could move a shard *onto* the hot spot.
+        let &hot = up
             .iter()
-            .filter(|&&n| self.placement.hosted(n).len() >= 2)
-            .max_by_key(|&&n| (node_load(self, n), usize::MAX - n))
-        else {
-            return;
-        };
-        let Some(&cold) = up
+            .max_by_key(|&&n| (self.node_load_pct(n), usize::MAX - n))?;
+        if self.placement.hosted(hot).len() < 2 || self.node_load_pct(hot) == 0 {
+            return None;
+        }
+        let &cold = up
             .iter()
             .filter(|&&n| n != hot)
-            .min_by_key(|&&n| (node_load(self, n), n))
-        else {
-            return;
-        };
-        if node_load(self, hot) == 0 || hot == cold {
-            return;
-        }
-        let Some(shard) = self
+            .min_by_key(|&&n| (self.node_load_pct(n), n))?;
+        let shard = self
             .placement
             .hosted(hot)
             .into_iter()
-            .max_by_key(|&s| (served(&self.shards[s]), usize::MAX - s))
-        else {
-            return;
-        };
-        self.last_rebalance = Some(at);
+            .max_by_key(|&s| (self.shards[s].stats().committed_bps, usize::MAX - s))?;
         self.tracer.event(
             "fleet.rebalance",
             Category::Fleet,
@@ -1476,6 +1532,123 @@ impl<S: BlobStore> Fleet<S> {
             ],
         );
         self.migrate(shard, cold, at, "rebalance");
+        Some(ShardMove {
+            shard,
+            from: hot,
+            to: cold,
+        })
+    }
+
+    /// Moves `shard` onto node `to`, charging the usual catalog handoff —
+    /// the rollback half of a placement action. `None` (untouched) when
+    /// the shard is already there or the target is down.
+    ///
+    /// # Panics
+    /// When `shard` or `to` is out of range.
+    pub fn move_shard(
+        &mut self,
+        shard: usize,
+        to: usize,
+        at: TimePoint,
+        reason: &'static str,
+    ) -> Option<ShardMove> {
+        assert!(shard < self.shards.len(), "shard out of range");
+        assert!(to < self.nodes.len(), "node out of range");
+        let from = self.placement.node_of_shard(shard);
+        if from == to || !self.nodes[to].up {
+            return None;
+        }
+        self.migrate(shard, to, at, reason);
+        Some(ShardMove { shard, from, to })
+    }
+
+    /// Probes every breaker-tripped node, then migrates the shards of
+    /// every node that is down (or still breaker-open) onto the
+    /// least-loaded up nodes. A guarded no-op returning no moves on a
+    /// healthy fleet — the kill path normally evacuates at crash time, so
+    /// this only acts when a crash found no survivors (and one is back) or
+    /// migration raced a fault. Returns the moves performed.
+    pub fn evacuate_unhealthy(&mut self, at: TimePoint) -> Vec<ShardMove> {
+        self.probe_nodes(at);
+        let mut moves = Vec::new();
+        for node in 0..self.nodes.len() {
+            let unhealthy = !self.nodes[node].up
+                || matches!(self.nodes[node].breaker.state, BreakerState::Open { .. });
+            if !unhealthy {
+                continue;
+            }
+            for shard in self.placement.hosted(node) {
+                if let Some(target) = self.least_loaded_up_node(node) {
+                    self.migrate(shard, target, at, "evacuate");
+                    moves.push(ShardMove {
+                        shard,
+                        from: node,
+                        to: target,
+                    });
+                }
+            }
+        }
+        moves
+    }
+
+    /// Sets the fleet-wide admission derate (percent of node capacity
+    /// handed to admission and service; 100 = none, clamped to `1..=100`)
+    /// and re-splits every node's capacity. Returns the previous derate —
+    /// the rollback handle. A no-op when the derate is unchanged.
+    pub fn set_admission_derate(&mut self, percent: u8) -> u8 {
+        let percent = percent.clamp(1, 100);
+        let prev = self.admission_derate;
+        if percent == prev {
+            return prev;
+        }
+        self.admission_derate = percent;
+        self.tracer.event(
+            "fleet.derate",
+            Category::Fleet,
+            self.clock,
+            SpanId::NONE,
+            None,
+            vec![
+                ("percent", u32::from(percent).into()),
+                ("prev", u32::from(prev).into()),
+            ],
+        );
+        for node in 0..self.nodes.len() {
+            self.recapacity(node);
+        }
+        prev
+    }
+
+    /// The current fleet-wide admission derate (100 = none).
+    pub fn admission_derate(&self) -> u8 {
+        self.admission_derate
+    }
+
+    /// Forces every shard's active full-fidelity sessions onto their base
+    /// layer ([`Server::force_degrade`]) — sticky until
+    /// [`Fleet::release_degrade_all`]. Returns sessions degraded.
+    pub fn force_degrade_all(&mut self, at: TimePoint) -> usize {
+        self.shards.iter_mut().map(|s| s.force_degrade(at)).sum()
+    }
+
+    /// Lifts a fleet-wide forced degradation
+    /// ([`Server::release_degrade`]). Returns sessions restored.
+    pub fn release_degrade_all(&mut self, at: TimePoint) -> usize {
+        self.shards.iter_mut().map(|s| s.release_degrade(at)).sum()
+    }
+
+    /// Replaces every shard's segment-cache budget, returning the first
+    /// shard's previous budget — the rollback handle (budgets are uniform
+    /// when set through the fleet builder or this method).
+    pub fn set_cache_budget_all(&mut self, budget_bytes: u64) -> u64 {
+        let mut prev = 0u64;
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            let p = s.set_cache_budget(budget_bytes);
+            if i == 0 {
+                prev = p;
+            }
+        }
+        prev
     }
 }
 

@@ -76,7 +76,8 @@ pub use cache::{CacheStats, SegmentCache};
 pub use capacity::{AdmissionPolicy, AdmitDecision, Capacity, RejectReason};
 pub use error::ServeError;
 pub use fleet::{
-    Fleet, FleetError, FleetStats, Link, Node, NodeFaultPlan, NodeStats, PlacementService,
+    skew_percent, Fleet, FleetError, FleetStats, Link, Node, NodeFaultPlan, NodeStats,
+    PlacementService, ShardMove,
 };
 pub use metrics::ServerStats;
 pub use server::Server;

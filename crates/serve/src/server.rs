@@ -50,6 +50,7 @@ const M_DEGRADED: &str = "serve.elements.degraded";
 const M_DROPPED: &str = "serve.elements.dropped";
 const M_REPAIRED: &str = "serve.elements.repaired";
 const M_UPGRADED: &str = "serve.sessions.upgraded";
+const M_FORCED: &str = "serve.sessions.force_degraded";
 const M_FAULTS: &str = "serve.faults.detected";
 const M_BYTES_READ: &str = "storage.bytes_read";
 const H_LATENESS: &str = "serve.lateness_us";
@@ -100,6 +101,13 @@ pub struct Server<S: BlobStore = MemBlobStore> {
     /// rather than channel wait. [`TimePoint::ZERO`] when never stalled.
     stall_until: TimePoint,
     committed: Rational,
+    /// While set, [`Server::force_degrade`] is in effect: the automatic
+    /// upgrade path leaves capped sessions alone (otherwise the very next
+    /// served element would lift a remediation-forced cap right back).
+    upgrade_hold: bool,
+    /// Raw ids of sessions capped by [`Server::force_degrade`] —
+    /// exactly the set [`Server::release_degrade`] restores.
+    forced: BTreeSet<u64>,
     metrics: MetricsRegistry,
     tracer: Tracer,
 }
@@ -121,6 +129,8 @@ impl<S: BlobStore> Server<S> {
             busy_until: TimePoint::ZERO,
             stall_until: TimePoint::ZERO,
             committed: Rational::ZERO,
+            upgrade_hold: false,
+            forced: BTreeSet::new(),
             metrics: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
         }
@@ -849,6 +859,9 @@ impl<S: BlobStore> Server<S> {
     /// close, empty play/seek) and after every served element, so a breaker
     /// closing mid-run is picked up without a session event.
     fn try_upgrade_sessions(&mut self, now: TimePoint) {
+        if self.upgrade_hold {
+            return; // a forced degradation is in effect; nothing lifts it
+        }
         if self.capacity.policy == AdmissionPolicy::AdmitAll {
             return; // AdmitAll never degrades, so there is nothing to lift
         }
@@ -923,6 +936,174 @@ impl<S: BlobStore> Server<S> {
                 self.sessions[idx].epoch += 1;
             }
         }
+    }
+
+    /// Forces every active full-fidelity session with work left onto its
+    /// base layer — the remediation plane's degradation lever, the paper's
+    /// Def. 6 rule ("materialize a cheaper variant when too slow") applied
+    /// fleet-wide. Each forced session is re-planned at one layer, its
+    /// demand re-priced, and its remaining elements re-anchored at `at`;
+    /// non-scalable streams are left alone. Sets a sticky hold so the
+    /// automatic upgrade path cannot lift the cap (it otherwise runs after
+    /// every served element); [`Server::release_degrade`] clears the hold
+    /// and restores exactly the sessions forced here. Returns the number
+    /// of sessions degraded.
+    pub fn force_degrade(&mut self, at: TimePoint) -> usize {
+        self.upgrade_hold = true;
+        let at = at.max(self.clock);
+        let mut count = 0usize;
+        for idx in 0..self.sessions.len() {
+            let object = {
+                let s = &self.sessions[idx];
+                if !s.is_active() || s.layers_cap.is_some() || s.pending.is_empty() {
+                    continue;
+                }
+                s.object.clone()
+            };
+            let Ok((_, stream)) = self.db.stream_of(&object) else {
+                continue;
+            };
+            if !stream
+                .entries()
+                .iter()
+                .any(|e| e.placement.layer_count() > 1)
+            {
+                continue; // nothing to shed on a single-layer stream
+            }
+            let system = stream.system();
+            let jobs = schedule_from_interp(stream, Some(1));
+            let base_unit = demanded_rate(&jobs, system).unwrap_or(Rational::ZERO);
+            let plans: Vec<ServePlan> = jobs
+                .iter()
+                .map(|j| {
+                    let entry = &stream.entries()[j.index];
+                    let all = entry.placement.layers();
+                    ServePlan {
+                        spans: all.iter().take(1).cloned().collect(),
+                        checksums: entry.checksums.iter().copied().take(1).collect(),
+                    }
+                })
+                .collect();
+            let s = &mut self.sessions[idx];
+            if jobs.len() != s.jobs.len() {
+                continue; // catalog reshaped under the session; leave it
+            }
+            let (num, den) = s.rate;
+            let new_demand = base_unit * Rational::new(num as i64, den as i64);
+            let old = s.demand;
+            s.jobs = jobs;
+            s.plans = plans;
+            s.layers_cap = Some(1);
+            s.decision = AdmitDecision::Degraded { layers: 1 };
+            s.unit_demand = base_unit;
+            s.demand = new_demand;
+            let remaining = s.pending.len();
+            let id = s.id;
+            let span = s.span;
+            self.committed = self.committed - old + new_demand;
+            self.forced.insert(id.raw());
+            self.metrics.inc(M_FORCED, 1);
+            self.tracer.event(
+                "session.force_degrade",
+                Category::Session,
+                at,
+                span,
+                Some(id.raw()),
+                vec![("remaining", remaining.into())],
+            );
+            if self.sessions[idx].state == SessionState::Playing {
+                self.sessions[idx].anchor(at);
+                self.enqueue_pending(id);
+            } else {
+                self.sessions[idx].epoch += 1;
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Lifts a [`Server::force_degrade`]: clears the upgrade hold and
+    /// restores every still-active forced session to its full-fidelity
+    /// plan and demand (the rollback restores the pre-action state even if
+    /// capacity shrank meanwhile — `committed` only gates *new*
+    /// admissions). Organically degraded sessions then get their usual
+    /// upgrade shot. Returns the number of sessions restored.
+    pub fn release_degrade(&mut self, at: TimePoint) -> usize {
+        self.upgrade_hold = false;
+        let at = at.max(self.clock);
+        let forced: Vec<u64> = std::mem::take(&mut self.forced).into_iter().collect();
+        let mut count = 0usize;
+        for raw in forced {
+            let Some(idx) = self.checked_slot(SessionId::new(raw)) else {
+                continue;
+            };
+            let object = {
+                let s = &self.sessions[idx];
+                if !s.is_active() || s.layers_cap.is_none() || s.pending.is_empty() {
+                    continue;
+                }
+                s.object.clone()
+            };
+            let Ok((_, stream)) = self.db.stream_of(&object) else {
+                continue;
+            };
+            let jobs = schedule_from_interp(stream, None);
+            let plans: Vec<ServePlan> = jobs
+                .iter()
+                .map(|j| {
+                    let entry = &stream.entries()[j.index];
+                    ServePlan {
+                        spans: entry.placement.layers().to_vec(),
+                        checksums: entry.checksums.clone(),
+                    }
+                })
+                .collect();
+            let s = &mut self.sessions[idx];
+            if jobs.len() != s.jobs.len() {
+                continue;
+            }
+            let (num, den) = s.rate;
+            let new_demand = s.full_unit_demand * Rational::new(num as i64, den as i64);
+            let old = s.demand;
+            s.jobs = jobs;
+            s.plans = plans;
+            s.layers_cap = None;
+            s.decision = AdmitDecision::Admitted;
+            s.unit_demand = s.full_unit_demand;
+            s.demand = new_demand;
+            let remaining = s.pending.len();
+            let id = s.id;
+            let span = s.span;
+            self.committed = self.committed - old + new_demand;
+            self.metrics.inc(M_UPGRADED, 1);
+            self.tracer.event(
+                "session.upgrade",
+                Category::Session,
+                at,
+                span,
+                Some(id.raw()),
+                vec![("remaining", remaining.into())],
+            );
+            if self.sessions[idx].state == SessionState::Playing {
+                self.sessions[idx].anchor(at);
+                self.enqueue_pending(id);
+            } else {
+                self.sessions[idx].epoch += 1;
+            }
+            count += 1;
+        }
+        self.try_upgrade_sessions(at);
+        count
+    }
+
+    /// Replaces the segment cache's byte budget mid-run, returning the
+    /// previous one ([`SegmentCache::set_budget`] semantics: a shrink
+    /// evicts LRU segments immediately).
+    pub fn set_cache_budget(&mut self, budget_bytes: u64) -> u64 {
+        let prev = self.cache.set_budget(budget_bytes);
+        self.metrics
+            .set_gauge(G_CACHE_BYTES, self.cache.bytes_cached() as i64);
+        prev
     }
 
     // ------------------------------------------------------------------

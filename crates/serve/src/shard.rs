@@ -284,20 +284,11 @@ impl ShardedStats {
     /// Load skew across shards, in percent: how far the hottest shard's
     /// served-element count sits above the per-shard mean. 0 when idle or
     /// perfectly balanced; 300 when one of four shards serves everything.
-    /// This is the `shard.skew` gauge — the rebalance alarm.
+    /// This is the `shard.skew` gauge — the rebalance alarm — and it is
+    /// [`crate::skew_percent`], the one fleet skew definition the gauges,
+    /// the rebalancer and the health plane's `SkewBelow` objective share.
     pub fn skew_percent(&self) -> i64 {
-        let total: usize = self.per_shard.iter().map(|s| s.elements_served).sum();
-        if total == 0 || self.per_shard.is_empty() {
-            return 0;
-        }
-        let mean = total as f64 / self.per_shard.len() as f64;
-        let max = self
-            .per_shard
-            .iter()
-            .map(|s| s.elements_served)
-            .max()
-            .unwrap_or(0);
-        (((max as f64 - mean) / mean) * 100.0).round() as i64
+        crate::skew_percent(self.per_shard.iter().map(|s| s.elements_served))
     }
 }
 

@@ -87,16 +87,16 @@ pub mod prelude {
         CostModel, DegradationPolicy, ElementFate, PlaybackSim, ResilientPlayer, ResilientReport,
     };
     pub use tbm_query::{
-        Aggregate, AlertKind, AlertTransition, BurnPoint, ErrorBound, FleetTelemetry, GroupBy,
-        GroupKey, HealthMonitor, Incident, IncidentReport, Metric, Predicate, Query, QueryCtx,
-        QueryError, Selector, SeriesKey, SloObjective, SloRule, Source, Table, TelemetryStore,
-        BURN_CAP,
+        Action, Aggregate, AlertKind, AlertTransition, BurnPoint, ErrorBound, FleetTelemetry,
+        GroupBy, GroupKey, HealthMonitor, Incident, IncidentReport, Metric, Playbook, Predicate,
+        Query, QueryCtx, QueryError, Remediator, Selector, SeriesKey, SloObjective, SloRule,
+        Source, Table, TelemetryStore, BURN_CAP,
     };
     pub use tbm_serve::{
-        shard_of, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, Fleet, FleetError,
-        FleetStats, Link, NodeFaultPlan, NodeStats, PlacementService, RejectReason, Request,
-        Response, SegmentCache, ServeError, Server, ServerStats, Session, SessionState,
-        SessionStats, ShardError, ShardedDb, ShardedServer, ShardedStats,
+        shard_of, skew_percent, AdmissionPolicy, AdmitDecision, CacheStats, Capacity, Fleet,
+        FleetError, FleetStats, Link, NodeFaultPlan, NodeStats, PlacementService, RejectReason,
+        Request, Response, SegmentCache, ServeError, Server, ServerStats, Session, SessionState,
+        SessionStats, ShardError, ShardMove, ShardedDb, ShardedServer, ShardedStats,
     };
     pub use tbm_time::{
         AllenRelation, Interval, Rational, TimeDelta, TimePoint, TimeSystem, Timecode,

@@ -43,6 +43,14 @@
 //! hysteresis once the node recovers, and the closed alert prints its
 //! deterministic incident report with per-node/per-shard breakdowns.
 //!
+//! Set `BROADCAST_REMEDIATE=1` to close the loop: the same brownout, but
+//! with the remediation plane subscribed to the health plane's alert
+//! transitions. The `load-skew` alert opens, the playbook's guarded
+//! rebalance moves one shard off the browned node, verification confirms
+//! the burn fell, and the alert closes — zero operator input. The run
+//! prints the deterministic action log and the incident report with its
+//! remediation timeline.
+//!
 //! ```text
 //! cargo run --example broadcast
 //! BROADCAST_TIER_BLACKOUT=1 cargo run --example broadcast
@@ -50,6 +58,7 @@
 //! BROADCAST_FLEET=4 cargo run --example broadcast
 //! BROADCAST_QUERY=1 cargo run --example broadcast
 //! BROADCAST_HEALTH=1 cargo run --example broadcast
+//! BROADCAST_REMEDIATE=1 cargo run --example broadcast
 //! ```
 
 use tbm::codec::dct::DctParams;
@@ -71,6 +80,10 @@ fn main() {
     }
     if std::env::var_os("BROADCAST_HEALTH").is_some() {
         health_broadcast();
+        return;
+    }
+    if std::env::var_os("BROADCAST_REMEDIATE").is_some() {
+        remediate_broadcast();
         return;
     }
     if let Some(n) = std::env::var("BROADCAST_SHARDS")
@@ -694,6 +707,147 @@ fn health_broadcast() {
     );
     assert_eq!(telemetry.incident_reports().len(), 1);
     println!("the brownout fired exactly the load-skew alert; report rendered above");
+}
+
+/// The brownout broadcast again, but with the loop closed: the
+/// remediation plane subscribes to the health plane's alert transitions
+/// and drives the playbook's guarded, reversible fleet actions. The
+/// `load-skew` alert opens, a rebalance moves one shard off the browned
+/// node, verification holds it, and the alert closes itself.
+fn remediate_broadcast() {
+    use tbm::interp::Interpretation;
+    use tbm::query::{HealthMonitor, SloRule};
+
+    const SEED: u64 = 23;
+    const SHARDS: usize = 6;
+    const NODES: usize = 3;
+    const INTERVAL_MS: i64 = 50;
+    let t = |ms: i64| TimePoint::ZERO + TimeDelta::from_millis(ms);
+
+    // Same stage as BROADCAST_HEALTH=1: one movie per shard, balanced
+    // round-robin viewers, node 1 browned out to 25% over [4s, 8s).
+    let mut by_shard: Vec<Option<String>> = vec![None; SHARDS];
+    let mut i = 0u32;
+    while by_shard.iter().any(Option::is_none) {
+        let name = format!("movie{i}");
+        let shard = shard_of(&name, SEED, SHARDS);
+        by_shard[shard].get_or_insert(name);
+        i += 1;
+    }
+    let names: Vec<String> = by_shard.into_iter().map(Option::unwrap).collect();
+
+    let mut db = ShardedDb::new(SHARDS, SEED);
+    let frames = render_frames(VideoPattern::MovingBar, 0, 250, 48, 32);
+    for name in &names {
+        let store = db.store_for_mut(name);
+        let (blob, interp) =
+            capture_video_scalable(store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        db.register_interpretation(renamed).unwrap();
+    }
+
+    let owner = db.shard_for(&names[0]);
+    let (_, stream) = db.shard(owner).stream_of(&names[0]).unwrap();
+    let full_bps = tbm::player::demanded_rate(
+        &tbm::player::schedule_from_interp(stream, None),
+        stream.system(),
+    )
+    .unwrap()
+    .ceil() as u64;
+
+    // The request-plane auto-rebalancer stays off: the remediation plane
+    // is the only actor allowed to move shards in this run.
+    let mut fleet = Fleet::new(db, NODES, Capacity::new(full_bps * 20).admit_all())
+        .with_cache_budget(16 << 20)
+        .with_rebalance_skew(None)
+        .with_tracer(Tracer::with_capacity(1 << 16))
+        .with_fault_plan(
+            1,
+            NodeFaultPlan::new().with_brownout(t(4_000), t(8_000), 25),
+        );
+
+    let monitor = HealthMonitor::new(TimeDelta::from_millis(INTERVAL_MS))
+        .rule(SloRule::p99_full_lateness_below(2_000.0))
+        .rule(SloRule::drop_rate_below(1.0))
+        .rule(SloRule::no_unverified_serves())
+        .rule(SloRule::load_skew_below(60.0));
+    let remediator = Remediator::new(Playbook::default_rules());
+    println!("health plane armed; remediation playbook:");
+    for e in remediator.playbook().entries() {
+        println!(
+            "  on {:<20} {} (budget {}, refill {}t, cooldown {}t, verify {}t)",
+            e.rule, e.action, e.budget, e.refill_ticks, e.cooldown_ticks, e.verify_ticks
+        );
+    }
+    println!("\nnode 1 browns out to 25% health over [4s, 8s) — no operator on call\n");
+
+    let mut telemetry = FleetTelemetry::new(
+        ErrorBound::percent(1.0),
+        TimeDelta::from_millis(INTERVAL_MS),
+    )
+    .with_health(monitor)
+    .with_remediator(remediator);
+
+    let mut next = 0usize;
+    for k in 0..=240i64 {
+        let at = t(INTERVAL_MS * k);
+        telemetry.tick(&mut fleet, at);
+        while next < 12 && (next as i64) * 150 < INTERVAL_MS * (k + 1) {
+            let name = names[next % names.len()].clone();
+            let open_at = t(next as i64 * 150).max(at);
+            if let Ok(Response::Opened {
+                session: Some(id), ..
+            }) = fleet.request(open_at, Request::Open { object: name })
+            {
+                let _ = fleet.request(open_at, Request::Play { session: id });
+            }
+            next += 1;
+        }
+    }
+    telemetry.finish(&mut fleet, t(INTERVAL_MS * 241));
+    fleet.finish();
+
+    let monitor = telemetry.health().expect("health plane attached");
+    let rem = telemetry.remediator().expect("remediator attached");
+    println!("{:<22}{:>8}", "rule", "opens");
+    println!("{}", "-".repeat(30));
+    for rule in monitor.rules() {
+        println!("{:<22}{:>8}", rule.name, monitor.opens(&rule.name));
+    }
+    println!("\nremediation action log:");
+    print!("{}", rem.render_log());
+    let metrics = fleet.metrics();
+    println!(
+        "\nremediation counters: {} applied / {} rolled back / {} suppressed",
+        metrics.counter("remediation.actions.applied"),
+        metrics.counter("remediation.actions.rolled_back"),
+        metrics.counter("remediation.actions.suppressed")
+    );
+
+    for report in telemetry.incident_reports() {
+        println!("\n{}", report.render());
+    }
+
+    // The closed loop's contract: the skew alert opened exactly once, a
+    // guarded rebalance was applied (and never rolled back), and every
+    // alert is closed by the end — with nobody at the keyboard.
+    assert_eq!(monitor.opens("load-skew"), 1, "the brownout must alert");
+    assert!(
+        rem.records()
+            .iter()
+            .any(|r| r.rule == "load-skew" && r.outcome == tbm::query::Outcome::Applied),
+        "the playbook must apply a rebalance"
+    );
+    assert_eq!(metrics.counter("remediation.actions.rolled_back"), 0);
+    assert!(!rem.frozen(), "a clean remediation must not freeze");
+    assert!(
+        monitor.open_alerts().is_empty(),
+        "every alert must close on its own: {:?}",
+        monitor.open_alerts()
+    );
+    println!("load-skew opened, the playbook rebalanced, the alert closed: zero operator input");
 }
 
 /// The same broadcast on a tiered store whose fast primary blacks out

@@ -72,6 +72,18 @@ for quiet in lateness-p99-full drop-rate unverified-serves; do
 done
 echo "$out" | grep -q 'breakdown by node:' || { echo "health smoke: report missing the node breakdown" >&2; exit 1; }
 
+echo "==> remediation smoke"
+# The loop closed: the same brownout with the remediation plane attached.
+# The example's own asserts pin "alert opened, rebalance applied, alert
+# closed, nothing rolled back, no freeze"; on top, the printed action log
+# must show the skew alert opening, an applied rebalance, and the alert
+# closing — with zero operator input.
+out="$(BROADCAST_REMEDIATE=1 cargo run --release -q -p tbm --example broadcast)"
+echo "$out" | grep -Eq '^load-skew +1$' || { echo "remediation smoke: load-skew did not open exactly once" >&2; exit 1; }
+echo "$out" | grep -Eq '\[load-skew\] rebalance-shards.* applied' || { echo "remediation smoke: no applied rebalance in the action log" >&2; exit 1; }
+echo "$out" | grep -q 'remediation timeline:' || { echo "remediation smoke: report missing the remediation timeline" >&2; exit 1; }
+echo "$out" | grep -q 'zero operator input' || { echo "remediation smoke: the alert did not close on its own" >&2; exit 1; }
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
