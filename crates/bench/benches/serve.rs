@@ -1,6 +1,9 @@
 //! Serving-layer microbenchmarks: the segment cache's hit path vs miss
-//! path, and the end-to-end cost of a multi-session broadcast through the
-//! event loop with the cache on and off.
+//! path, the end-to-end cost of a multi-session broadcast through the
+//! event loop with the cache on and off, and the sharded storm's
+//! staged-then-drained throughput at 1/2/4 workers (the
+//! `exp_throughput` binary runs the same shape at scale and publishes
+//! `BENCH_serve.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -10,8 +13,10 @@ use tbm_core::BlobId;
 use tbm_db::MediaDb;
 use tbm_interp::capture::capture_video_scalable;
 use tbm_interp::Interpretation;
-use tbm_media::gen::VideoPattern;
-use tbm_serve::{Capacity, Request, Response, SegmentCache, Server};
+use tbm_media::gen::{render_frames, VideoPattern};
+use tbm_serve::{
+    shard_of, Capacity, Request, Response, SegmentCache, Server, ShardedDb, ShardedServer,
+};
 use tbm_time::{TimeDelta, TimePoint, TimeSystem};
 
 const SEGMENT: u64 = 4096;
@@ -137,5 +142,77 @@ fn bench_broadcast(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache_paths, bench_broadcast);
+/// A small sharded catalog: one scalable movie per name, captured into the
+/// shard its name hashes to.
+fn sharded_catalog(names: &[String], shards: usize, seed: u64) -> ShardedDb<MemBlobStore> {
+    let mut stores: Vec<MemBlobStore> = (0..shards).map(|_| MemBlobStore::new()).collect();
+    let frames = render_frames(VideoPattern::MovingBar, 0, 12, 48, 32);
+    let mut interps = Vec::new();
+    for name in names {
+        let owner = shard_of(name, seed, shards);
+        let (blob, interp) = capture_video_scalable(
+            &mut stores[owner],
+            &frames,
+            TimeSystem::PAL,
+            DctParams::default(),
+        )
+        .unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        interps.push(renamed);
+    }
+    let mut db = ShardedDb::with_stores(stores, seed);
+    for interp in interps {
+        db.register_interpretation(interp).unwrap();
+    }
+    db
+}
+
+/// The throughput shape of `exp_throughput`: stage every session at one
+/// worker, then drain the whole backlog at `workers` — the wall-clock of
+/// the drain is what the worker knob moves; the served elements are
+/// byte-identical at any count.
+fn staged_storm(names: &[String], shards: usize, sessions: usize, workers: usize) -> usize {
+    let db = sharded_catalog(names, shards, 0x7EE0);
+    let mut server = ShardedServer::new(db, Capacity::new(1 << 40));
+    for i in 0..sessions {
+        let object = names[i % names.len()].clone();
+        if let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(TimePoint::ZERO, Request::Open { object })
+            .unwrap()
+        {
+            server
+                .request(TimePoint::ZERO, Request::Play { session: id })
+                .unwrap();
+        }
+    }
+    server.set_workers(workers);
+    server.finish().global.elements_served
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    let shards = 4usize;
+    let sessions = 96usize;
+    let names: Vec<String> = (0..shards * 2).map(|i| format!("movie{i}")).collect();
+    for &workers in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("staged_storm", workers),
+            &workers,
+            |b, &workers| b.iter(|| black_box(staged_storm(&names, shards, sessions, workers))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_paths,
+    bench_broadcast,
+    bench_throughput
+);
 criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! §throughput — the multi-core serving suite: sessions/sec and events/sec
+//! for a broadcast storm through the sharded event loop at 1, 2 and 4
+//! workers, with the determinism contract checked on every run (same seed
+//! ⇒ byte-identical stats and metrics at any worker count).
+//!
+//! Shape of the run: every session is opened and played at `t = 0` while
+//! the fleet is at one worker (admission is a routing-table walk, not
+//! parallel work), then the worker count is raised and the entire backlog
+//! is drained in one parallel drive — the broadcast storm proper. The
+//! wall-clock of that drain is what the worker knob moves; everything the
+//! run *computes* is identical at any count.
+//!
+//! Knobs (environment):
+//!
+//! * `TBM_THROUGHPUT_SESSIONS` — concurrent sessions (default 4096; the
+//!   event loop holds one heap entry per session, so 100 000+ fits in one
+//!   process — see ARCHITECTURE §10 for a worked walkthrough).
+//! * `TBM_THROUGHPUT_SHARDS` — catalog shards (default 8).
+//! * `TBM_THROUGHPUT_WORKERS` — comma-separated worker counts
+//!   (default `1,2,4`).
+//! * `TBM_BENCH_OUT` — trajectory file (default `BENCH_serve.json`;
+//!   points append across runs).
+//!
+//! ```text
+//! cargo run --release -p tbm-bench --bin exp_throughput
+//! ```
+
+use std::time::Instant;
+use tbm_blob::MemBlobStore;
+use tbm_codec::dct::DctParams;
+use tbm_interp::capture::capture_video_scalable;
+use tbm_interp::Interpretation;
+use tbm_media::gen::{render_frames, VideoPattern};
+use tbm_serve::{shard_of, Capacity, Request, Response, ShardedDb, ShardedServer, ShardedStats};
+use tbm_time::{TimePoint, TimeSystem};
+
+const SEED: u64 = 0x7EE0;
+const FRAMES: usize = 24;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One scalable movie per object name, captured into the store of the
+/// shard its name hashes to (the same placement the router uses).
+fn sharded_db(names: &[String], shards: usize) -> ShardedDb<MemBlobStore> {
+    let mut stores: Vec<MemBlobStore> = (0..shards).map(|_| MemBlobStore::new()).collect();
+    let frames = render_frames(VideoPattern::MovingBar, 0, FRAMES, 64, 48);
+    let mut interps = Vec::new();
+    for name in names {
+        let owner = shard_of(name, SEED, shards);
+        let (blob, interp) = capture_video_scalable(
+            &mut stores[owner],
+            &frames,
+            TimeSystem::PAL,
+            DctParams::default(),
+        )
+        .unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        interps.push(renamed);
+    }
+    let mut db = ShardedDb::with_stores(stores, SEED);
+    for interp in interps {
+        db.register_interpretation(interp).unwrap();
+    }
+    db
+}
+
+struct RunResult {
+    stats: ShardedStats,
+    metrics: String,
+    open_secs: f64,
+    drain_secs: f64,
+    steals: u64,
+}
+
+/// Stages `sessions` sessions at one worker, then drains the storm at
+/// `workers`. The staged phase is identical across runs; only the drain's
+/// wall-clock responds to the worker knob.
+fn run(names: &[String], shards: usize, sessions: usize, workers: usize) -> RunResult {
+    let db = sharded_db(names, shards);
+    let mut server = ShardedServer::new(db, Capacity::new(1 << 40));
+
+    let t0 = Instant::now();
+    for i in 0..sessions {
+        let object = names[i % names.len()].clone();
+        let Response::Opened {
+            session: Some(id), ..
+        } = server
+            .request(TimePoint::ZERO, Request::Open { object })
+            .unwrap()
+        else {
+            panic!("storm session rejected; raise the capacity");
+        };
+        server
+            .request(TimePoint::ZERO, Request::Play { session: id })
+            .unwrap();
+    }
+    let open_secs = t0.elapsed().as_secs_f64();
+
+    server.set_workers(workers);
+    let t1 = Instant::now();
+    let stats = server.finish();
+    let drain_secs = t1.elapsed().as_secs_f64();
+
+    RunResult {
+        stats,
+        metrics: server.metrics().render(),
+        open_secs,
+        drain_secs,
+        steals: server.worker_stats().iter().map(|w| w.steals).sum(),
+    }
+}
+
+fn main() {
+    let sessions = env_usize("TBM_THROUGHPUT_SESSIONS", 4096);
+    let shards = env_usize("TBM_THROUGHPUT_SHARDS", 8);
+    let workers: Vec<usize> = std::env::var("TBM_THROUGHPUT_WORKERS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .collect();
+    let out = std::env::var("TBM_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let names: Vec<String> = (0..shards * 2).map(|i| format!("movie{i}")).collect();
+
+    println!(
+        "§throughput — broadcast storm: {sessions} sessions over {shards} shards, \
+         {FRAMES} elements each\n"
+    );
+    println!(
+        "{:>8}{:>12}{:>12}{:>16}{:>16}{:>10}",
+        "workers", "open ms", "drain ms", "sessions/s", "events/s", "steals"
+    );
+    println!("{}", "-".repeat(74));
+
+    let mut baseline: Option<RunResult> = None;
+    let mut points = Vec::new();
+    for &w in &workers {
+        let r = run(&names, shards, sessions, w);
+        let events = r.stats.global.elements_served as f64;
+        let sessions_per_sec = sessions as f64 / (r.open_secs + r.drain_secs);
+        let events_per_sec = events / r.drain_secs;
+        println!(
+            "{:>8}{:>12.1}{:>12.1}{:>16.0}{:>16.0}{:>10}",
+            w,
+            r.open_secs * 1e3,
+            r.drain_secs * 1e3,
+            sessions_per_sec,
+            events_per_sec,
+            r.steals
+        );
+        // The determinism contract: byte-identical stats and rendered
+        // metrics at every worker count.
+        if let Some(base) = &baseline {
+            assert_eq!(base.stats, r.stats, "stats diverged at {w} workers");
+            assert_eq!(base.metrics, r.metrics, "metrics diverged at {w} workers");
+        }
+        points.push((
+            w,
+            r.open_secs,
+            r.drain_secs,
+            sessions_per_sec,
+            events_per_sec,
+        ));
+        if baseline.is_none() {
+            baseline = Some(r);
+        }
+    }
+
+    let base = baseline.expect("at least one worker count");
+    assert_eq!(
+        base.stats.global.elements_served,
+        sessions * FRAMES,
+        "every element of every session must be served"
+    );
+
+    let best = points
+        .iter()
+        .filter(|p| p.0 > 1)
+        .map(|p| base.drain_secs / p.2)
+        .fold(1.0f64, f64::max);
+    println!(
+        "\ndrain speedup vs 1 worker: {best:.2}x (best multi-worker run); \
+         stats byte-identical at every count"
+    );
+
+    write_point(&out, sessions, shards, &points);
+    println!("trajectory point appended to {out}");
+}
+
+/// Appends one trajectory point to the JSON file (creating it on first
+/// run). The file keeps the exact suffix written here, so the splice is a
+/// plain string operation — no JSON parser needed.
+fn write_point(path: &str, sessions: usize, shards: usize, points: &[(usize, f64, f64, f64, f64)]) {
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let runs: Vec<String> = points
+        .iter()
+        .map(|(w, open, drain, sps, eps)| {
+            format!(
+                "{{\"workers\": {w}, \"open_ms\": {:.1}, \"drain_ms\": {:.1}, \
+                 \"sessions_per_sec\": {:.0}, \"events_per_sec\": {:.0}}}",
+                open * 1e3,
+                drain * 1e3,
+                sps,
+                eps
+            )
+        })
+        .collect();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let point = format!(
+        "    {{\n      \"unix_time\": {stamp},\n      \"sessions\": {sessions},\n      \
+         \"shards\": {shards},\n      \"host_cpus\": {cpus},\n      \
+         \"deterministic\": true,\n      \"runs\": [{}]\n    }}",
+        runs.join(", ")
+    );
+    const SUFFIX: &str = "\n  ]\n}\n";
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => match existing.strip_suffix(SUFFIX) {
+            Some(head) => format!("{head},\n{point}{SUFFIX}"),
+            None => fresh(&point),
+        },
+        Err(_) => fresh(&point),
+    };
+    std::fs::write(path, body).expect("write trajectory file");
+}
+
+fn fresh(point: &str) -> String {
+    format!("{{\n  \"benchmark\": \"serve_throughput\",\n  \"points\": [\n{point}\n  ]\n}}\n")
+}

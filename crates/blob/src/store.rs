@@ -36,7 +36,13 @@ impl ReadCtx {
 /// Definition 4's interface: applications can *read* and *append*; byte-span
 /// insertion and deletion are intentionally absent (non-destructive editing
 /// happens at the derivation layer).
-pub trait BlobStore {
+///
+/// `Send` is a supertrait: the parallel shard pool moves whole servers —
+/// catalog, store and all — across worker threads between deterministic
+/// tick barriers, so every store must be movable. No store is required to
+/// be `Sync`; each shard's store is only ever touched by the one worker
+/// currently running that shard.
+pub trait BlobStore: Send {
     /// Creates a new, empty BLOB and returns its id.
     fn create(&mut self) -> Result<BlobId, BlobError>;
 

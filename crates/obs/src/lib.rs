@@ -37,6 +37,6 @@ pub use attribution::{
 pub use export::{chrome_trace, chrome_trace_to_writer, text_timeline, validate_json};
 pub use metrics::{Histogram, MetricsRegistry, BYTES_BUCKETS, LATENCY_BUCKETS_US, MAX_BUCKETS};
 pub use tracer::{
-    micros, micros_of, AttrValue, Category, RecordKind, SpanId, TraceRecord, TraceSnapshot, Tracer,
-    DEFAULT_TRACE_CAPACITY,
+    merge_snapshots, micros, micros_of, AttrValue, Category, RecordKind, SpanId, TraceRecord,
+    TraceSnapshot, Tracer, DEFAULT_TRACE_CAPACITY,
 };

@@ -15,11 +15,17 @@
 //! the ring is full the *oldest* records are evicted and counted in
 //! [`TraceSnapshot::dropped`] — a long run keeps its most recent window,
 //! and the drop count keeps the loss honest.
+//!
+//! The ring lives behind an `Arc<Mutex<_>>`, so a tracer handle can cross
+//! threads: the parallel shard pool hands each worker servers that carry
+//! their own tracers. Determinism is preserved by giving each shard its
+//! *own* ring with a disjoint id range ([`Tracer::with_capacity_and_base`])
+//! and merging snapshots in shard order ([`merge_snapshots`]) — never by
+//! letting two threads interleave writes into one ring.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tbm_time::{Rational, TimePoint};
 
 /// Identifies one record in a trace. Ids are assigned sequentially, so a
@@ -76,6 +82,9 @@ pub enum Category {
     /// carrying rule/action attrs at apply and the verification verdict at
     /// close.
     Remediation,
+    /// Scheduler records: same-deadline batch spans and work-steal events
+    /// from the multi-core event loop.
+    Sched,
 }
 
 impl Category {
@@ -94,6 +103,7 @@ impl Category {
             Category::Fleet => "fleet",
             Category::Health => "health",
             Category::Remediation => "remediation",
+            Category::Sched => "sched",
         }
     }
 }
@@ -275,7 +285,7 @@ impl Ring {
 /// the model.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    inner: Option<Rc<RefCell<Ring>>>,
+    inner: Option<Arc<Mutex<Ring>>>,
 }
 
 /// Default ring capacity: enough for every record of the workloads in this
@@ -290,10 +300,20 @@ impl Tracer {
 
     /// An enabled tracer retaining at most `capacity` records.
     pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer::with_capacity_and_base(capacity, 0)
+    }
+
+    /// An enabled tracer whose record ids start at `id_base` instead of 0.
+    ///
+    /// Per-shard tracers use disjoint id bases (shard `i` gets
+    /// `i * stride`) so that snapshots merged in shard order keep the
+    /// "parent id < child id" invariant and stay byte-identical no matter
+    /// how many worker threads ran the shards.
+    pub fn with_capacity_and_base(capacity: usize, id_base: u64) -> Tracer {
         Tracer {
-            inner: Some(Rc::new(RefCell::new(Ring {
+            inner: Some(Arc::new(Mutex::new(Ring {
                 cap: capacity.max(1),
-                next_id: 0,
+                next_id: id_base,
                 dropped: 0,
                 now: TimePoint::ZERO,
                 records: VecDeque::new(),
@@ -317,7 +337,7 @@ impl Tracer {
     /// The driver (server or player) sets this as its own clock advances.
     pub fn set_now(&self, at: TimePoint) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().now = at;
+            inner.lock().unwrap().now = at;
         }
     }
 
@@ -325,7 +345,7 @@ impl Tracer {
     pub fn now(&self) -> TimePoint {
         self.inner
             .as_ref()
-            .map(|i| i.borrow().now)
+            .map(|i| i.lock().unwrap().now)
             .unwrap_or(TimePoint::ZERO)
     }
 
@@ -342,7 +362,7 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return SpanId::NONE;
         };
-        let mut ring = inner.borrow_mut();
+        let mut ring = inner.lock().unwrap();
         let id = ring.next_id;
         ring.next_id += 1;
         ring.push(TraceRecord {
@@ -368,7 +388,7 @@ impl Tracer {
         if span.is_none() {
             return;
         }
-        let mut ring = inner.borrow_mut();
+        let mut ring = inner.lock().unwrap();
         if let Some(idx) = ring.index_of(span.0) {
             ring.records[idx].end = Some(at);
         }
@@ -382,7 +402,7 @@ impl Tracer {
         if span.is_none() {
             return;
         }
-        let mut ring = inner.borrow_mut();
+        let mut ring = inner.lock().unwrap();
         if let Some(idx) = ring.index_of(span.0) {
             ring.records[idx].attrs.push((key, value.into()));
         }
@@ -401,7 +421,7 @@ impl Tracer {
         let Some(inner) = &self.inner else {
             return SpanId::NONE;
         };
-        let mut ring = inner.borrow_mut();
+        let mut ring = inner.lock().unwrap();
         let id = ring.next_id;
         ring.next_id += 1;
         ring.push(TraceRecord {
@@ -434,7 +454,7 @@ impl Tracer {
     pub fn len(&self) -> usize {
         self.inner
             .as_ref()
-            .map(|i| i.borrow().records.len())
+            .map(|i| i.lock().unwrap().records.len())
             .unwrap_or(0)
     }
 
@@ -447,7 +467,7 @@ impl Tracer {
     pub fn snapshot(&self) -> TraceSnapshot {
         match &self.inner {
             Some(inner) => {
-                let ring = inner.borrow();
+                let ring = inner.lock().unwrap();
                 TraceSnapshot {
                     records: ring.records.iter().cloned().collect(),
                     dropped: ring.dropped,
@@ -463,11 +483,29 @@ impl Tracer {
     /// Clears the ring and resets the drop count (ids keep counting up).
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
-            let mut ring = inner.borrow_mut();
+            let mut ring = inner.lock().unwrap();
             ring.records.clear();
             ring.dropped = 0;
         }
     }
+}
+
+/// Concatenates per-shard snapshots, in the order given, into one timeline.
+///
+/// Each input ring must have been built with a disjoint id base
+/// ([`Tracer::with_capacity_and_base`]); the caller passes the parts in
+/// shard order, so the merged record list is a pure function of the run —
+/// independent of which worker thread ran which shard. Drop counts add up.
+pub fn merge_snapshots(parts: impl IntoIterator<Item = TraceSnapshot>) -> TraceSnapshot {
+    let mut merged = TraceSnapshot {
+        records: Vec::new(),
+        dropped: 0,
+    };
+    for part in parts {
+        merged.records.extend(part.records);
+        merged.dropped += part.dropped;
+    }
+    merged
 }
 
 /// Exact whole microseconds of a simulated time value (floor), the unit of

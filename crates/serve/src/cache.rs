@@ -96,6 +96,7 @@ pub struct SegmentCache {
     budget: u64,
     bytes: u64,
     seq: u64,
+    generation: u64,
     entries: HashMap<Key, CacheEntry>,
     /// Recency order: sequence number → key; the smallest sequence is the
     /// least recently used segment.
@@ -114,6 +115,7 @@ impl SegmentCache {
             budget: budget_bytes,
             bytes: 0,
             seq: 0,
+            generation: 0,
             entries: HashMap::new(),
             lru: BTreeMap::new(),
             hits: 0,
@@ -161,6 +163,15 @@ impl SegmentCache {
         self.entries.contains_key(&key(blob, span))
     }
 
+    /// A counter that advances whenever the *set of resident spans* may
+    /// have changed (insert, eviction, budget shrink, clear). Cache-aware
+    /// admission uses it to decide when a session's residency-discounted
+    /// storage charge is stale and must be repriced — unchanged generation
+    /// means unchanged residency, so repricing can be skipped entirely.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Looks up a span, counting a hit (and refreshing its recency) or a
     /// miss. Returns the cached bytes on a hit.
     pub fn get(&mut self, blob: BlobId, span: ByteSpan) -> Option<&[u8]> {
@@ -193,6 +204,10 @@ impl SegmentCache {
         if let Some(old) = self.entries.remove(&k) {
             self.lru.remove(&old.seq);
             self.bytes -= old.data.len() as u64;
+        } else {
+            // A genuinely new span changes the resident set; a refresh of
+            // an already-resident one does not.
+            self.generation += 1;
         }
         self.bytes += data.len() as u64;
         self.seq += 1;
@@ -213,6 +228,7 @@ impl SegmentCache {
             let evicted = self.entries.remove(&victim).expect("lru and entries agree");
             self.bytes -= evicted.data.len() as u64;
             self.evictions += 1;
+            self.generation += 1;
         }
     }
 
@@ -232,12 +248,16 @@ impl SegmentCache {
             let evicted = self.entries.remove(&victim).expect("lru and entries agree");
             self.bytes -= evicted.data.len() as u64;
             self.evictions += 1;
+            self.generation += 1;
         }
         prev
     }
 
     /// Drops every resident segment (counters are retained).
     pub fn clear(&mut self) {
+        if !self.entries.is_empty() {
+            self.generation += 1;
+        }
         self.entries.clear();
         self.lru.clear();
         self.bytes = 0;
@@ -351,6 +371,25 @@ mod tests {
         assert_eq!(c.set_budget(64), 8, "returns the shrunk budget");
         c.insert(b, span(16, 16), vec![3; 16]);
         assert!(c.contains(b, span(16, 16)), "grow takes effect at once");
+    }
+
+    #[test]
+    fn generation_tracks_resident_set_changes() {
+        let mut c = SegmentCache::new(8);
+        let b = BlobId::new(1);
+        assert_eq!(c.generation(), 0);
+        c.insert(b, span(0, 4), vec![0; 4]);
+        assert_eq!(c.generation(), 1, "new span advances");
+        c.insert(b, span(0, 4), vec![9; 4]);
+        assert_eq!(c.generation(), 1, "refresh does not");
+        assert!(c.get(b, span(0, 4)).is_some());
+        assert_eq!(c.generation(), 1, "hits do not");
+        c.insert(b, span(4, 8), vec![1; 8]);
+        assert_eq!(c.generation(), 3, "insert plus the eviction it forced");
+        c.clear();
+        assert_eq!(c.generation(), 4, "clear of a non-empty cache advances");
+        c.clear();
+        assert_eq!(c.generation(), 4, "clear of an empty cache does not");
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub struct Capacity {
     pub max_sessions: usize,
     /// Whether admission control is enforced.
     pub policy: AdmissionPolicy,
+    /// Whether admission prices storage demand against *expected* storage
+    /// load given current [`crate::SegmentCache`] residency. Off (the
+    /// default), storage and decode stages are both charged the schedule's
+    /// full demand. On, the storage stage is charged the demand discounted
+    /// by the fraction of the session's planned bytes already resident in
+    /// the cache — a hot object costs (almost) no storage bandwidth — while
+    /// the decode stage still pays in full, because cache hits skip the
+    /// fetch but not the decode.
+    pub cache_aware: bool,
 }
 
 impl Capacity {
@@ -59,6 +68,7 @@ impl Capacity {
             overhead_us: 0,
             max_sessions: usize::MAX,
             policy: AdmissionPolicy::Enforce,
+            cache_aware: false,
         }
     }
 
@@ -83,6 +93,15 @@ impl Capacity {
     /// Builder: disables the admission gate (the uncontrolled baseline).
     pub fn admit_all(mut self) -> Capacity {
         self.policy = AdmissionPolicy::AdmitAll;
+        self
+    }
+
+    /// Builder: prices storage demand against expected cache residency
+    /// (see [`Capacity::cache_aware`]). Admitted sessions are repriced as
+    /// residency shifts, so a session admitted cheaply against a hot cache
+    /// is re-charged when its segments are evicted.
+    pub fn with_cache_aware_admission(mut self) -> Capacity {
+        self.cache_aware = true;
         self
     }
 
@@ -117,6 +136,26 @@ impl Capacity {
             return false;
         }
         self.decode_rate == 0 || total <= Rational::from(self.decode_rate as i64)
+    }
+
+    /// The cache-aware stage check: the storage stage is charged
+    /// `storage_demand` (the residency-discounted figure) on top of
+    /// `committed_storage`, while the decode stage is charged the full
+    /// `decode_demand` on top of `committed_decode`. When the two committed
+    /// totals and the two demands coincide — the cache-unaware case — this
+    /// reduces exactly to [`Capacity::fits`].
+    pub fn fits_staged(
+        &self,
+        committed_storage: Rational,
+        committed_decode: Rational,
+        storage_demand: Rational,
+        decode_demand: Rational,
+    ) -> bool {
+        if committed_storage + storage_demand > Rational::from(self.storage_bandwidth as i64) {
+            return false;
+        }
+        self.decode_rate == 0
+            || committed_decode + decode_demand <= Rational::from(self.decode_rate as i64)
     }
 
     /// The tighter of the two stage limits, in bytes per second.
@@ -221,6 +260,37 @@ mod tests {
         assert!(free_decode.fits(r(0), r(900_000)));
         assert!(!free_decode.fits(r(500_000), r(600_000)));
         assert_eq!(free_decode.service_rate(), 1_000_000);
+    }
+
+    #[test]
+    fn fits_staged_reduces_to_fits_and_splits_stages() {
+        let cap = Capacity::new(1_000_000).with_decode_rate(800_000);
+        let r = |n: i64| Rational::from(n);
+        // Equal demands on both stages: identical to the one-figure check.
+        for (c, d) in [(0, 400_000), (0, 900_000), (500_000, 400_000)] {
+            assert_eq!(
+                cap.fits_staged(r(c), r(c), r(d), r(d)),
+                cap.fits(r(c), r(d))
+            );
+        }
+        // A fully resident session: storage stage charged 0, decode in full.
+        assert!(cap.fits_staged(r(950_000), r(0), r(0), r(700_000)));
+        // Decode still gates even when storage is free.
+        assert!(!cap.fits_staged(r(950_000), r(200_000), r(0), r(700_000)));
+        // Free decoding: only the storage stage exists.
+        let free = Capacity::new(1_000_000);
+        assert!(free.fits_staged(r(0), r(999_999_999), r(1_000_000), r(1)));
+    }
+
+    #[test]
+    fn cache_aware_flag_defaults_off() {
+        let cap = Capacity::new(1_000_000);
+        assert!(!cap.cache_aware);
+        assert!(cap.with_cache_aware_admission().cache_aware);
+        assert!(
+            cap.with_cache_aware_admission().derated(50).cache_aware,
+            "derating keeps the flag"
+        );
     }
 
     #[test]

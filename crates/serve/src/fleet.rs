@@ -1428,6 +1428,7 @@ impl<S: BlobStore> Fleet<S> {
                 (base.max_sessions / n as usize).max(1)
             },
             policy: base.policy,
+            cache_aware: base.cache_aware,
         };
         for s in hosted {
             self.shards[s].set_capacity(split);

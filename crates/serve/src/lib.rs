@@ -68,6 +68,7 @@ mod capacity;
 mod error;
 mod fleet;
 mod metrics;
+mod pool;
 mod server;
 mod session;
 mod shard;
@@ -80,10 +81,12 @@ pub use fleet::{
     PlacementService, ShardMove,
 };
 pub use metrics::ServerStats;
+pub use pool::WorkerStats;
 pub use server::Server;
 pub use session::{Request, Response, Session, SessionState, SessionStats};
 pub use shard::{
     shard_of, ShardError, ShardedDb, ShardedServer, ShardedStats, SHARD_SESSION_STRIDE,
+    SHARD_TRACE_ID_STRIDE,
 };
 
 #[cfg(test)]

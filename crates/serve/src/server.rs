@@ -24,10 +24,10 @@ use crate::{
     ServeError, ServerStats, Session, SessionState, SessionStats,
 };
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::io;
 use tbm_blob::{BlobStore, MemBlobStore, ReadCtx, RetryPolicy};
-use tbm_core::{crc32, SessionId};
+use tbm_core::{crc32, BlobId, SessionId};
 use tbm_db::MediaDb;
 use tbm_obs::{
     attribute, chrome_trace_to_writer, micros, AttributionReport, Category, MetricsRegistry,
@@ -53,6 +53,7 @@ const M_UPGRADED: &str = "serve.sessions.upgraded";
 const M_FORCED: &str = "serve.sessions.force_degraded";
 const M_FAULTS: &str = "serve.faults.detected";
 const M_BYTES_READ: &str = "storage.bytes_read";
+const M_BATCHES: &str = "serve.batches";
 const H_LATENESS: &str = "serve.lateness_us";
 const H_LATENESS_FULL: &str = "serve.lateness_us.full";
 const H_LATENESS_DEGRADED: &str = "serve.lateness_us.degraded";
@@ -62,12 +63,81 @@ const G_CACHE_BYTES: &str = "cache.bytes";
 
 /// One queued element fetch. Ordering is `(deadline, session, pos)` so the
 /// heap is a deterministic earliest-deadline-first queue.
+///
+/// The heap holds at most one *live* entry per session — the session's next
+/// due element; serving it queues the successor. Schedules are in deadline
+/// order (per-session deadlines are monotone in `pos`), so popping session
+/// heads in `(deadline, session, pos)` order yields exactly the global
+/// serve order an enqueue-everything heap would, with the heap at
+/// O(sessions) instead of O(elements) — the difference between 100k
+/// concurrent sessions fitting in one process or not.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct QueuedJob {
     deadline: TimePoint,
     session: u64,
     pos: usize,
     epoch: u64,
+}
+
+/// The cache-aware storage multiplier for one session: the fraction of the
+/// bytes its remaining plan will fetch that are *not* resident in the
+/// segment cache (1 = nothing resident, 0 = everything). Residency is
+/// probed with [`SegmentCache::contains`], which touches neither recency
+/// nor the hit/miss counters, so pricing a session never perturbs the
+/// cache state other sessions see.
+fn residency_discount(
+    cache: &SegmentCache,
+    blob: BlobId,
+    plans: &[ServePlan],
+    pending: &BTreeSet<usize>,
+) -> Rational {
+    if !cache.is_enabled() {
+        return Rational::ONE;
+    }
+    let (mut total, mut resident) = (0u64, 0u64);
+    for &pos in pending {
+        for span in &plans[pos].spans {
+            total += span.len;
+            if cache.contains(blob, *span) {
+                resident += span.len;
+            }
+        }
+    }
+    if total == 0 {
+        Rational::ONE
+    } else {
+        Rational::new((total - resident) as i64, total as i64)
+    }
+}
+
+/// Like [`residency_discount`], but priced at admission time straight from
+/// the stream's interpretation entries (capped at `layers` placement
+/// layers per element) — before any session plan exists.
+fn admission_discount(
+    cache: &SegmentCache,
+    blob: BlobId,
+    entries: &[tbm_interp::ElementEntry],
+    layers: Option<usize>,
+) -> Rational {
+    if !cache.is_enabled() {
+        return Rational::ONE;
+    }
+    let (mut total, mut resident) = (0u64, 0u64);
+    for e in entries {
+        let all = e.placement.layers();
+        let take = layers.unwrap_or(all.len()).min(all.len()).max(1);
+        for span in &all[..take] {
+            total += span.len;
+            if cache.contains(blob, *span) {
+                resident += span.len;
+            }
+        }
+    }
+    if total == 0 {
+        Rational::ONE
+    } else {
+        Rational::new((total - resident) as i64, total as i64)
+    }
 }
 
 /// A multi-session media delivery engine over a catalog and a BLOB store.
@@ -100,7 +170,18 @@ pub struct Server<S: BlobStore = MemBlobStore> {
     /// hosting node is down); the extra delay is attributed to `node-loss`
     /// rather than channel wait. [`TimePoint::ZERO`] when never stalled.
     stall_until: TimePoint,
+    /// Storage-stage admitted demand: the sum of every active session's
+    /// `charged` figure (residency-discounted under cache-aware admission,
+    /// equal to full demand otherwise).
     committed: Rational,
+    /// Decode-stage admitted demand: the sum of every active session's
+    /// *full* demand. Cache hits skip the fetch but not the decode, so
+    /// this total is never residency-discounted. Identical to `committed`
+    /// when cache-aware admission is off.
+    committed_decode: Rational,
+    /// [`SegmentCache::generation`] at the last repricing pass; an
+    /// unchanged generation lets the pass be skipped entirely.
+    repriced_gen: u64,
     /// While set, [`Server::force_degrade`] is in effect: the automatic
     /// upgrade path leaves capped sessions alone (otherwise the very next
     /// served element would lift a remediation-forced cap right back).
@@ -110,6 +191,13 @@ pub struct Server<S: BlobStore = MemBlobStore> {
     forced: BTreeSet<u64>,
     metrics: MetricsRegistry,
     tracer: Tracer,
+    /// Scratch for the same-deadline batch the loop is currently serving;
+    /// kept on the server so its allocation is reused across batches.
+    batch: VecDeque<QueuedJob>,
+    /// When set (and a tracer is attached), every same-deadline batch is
+    /// recorded as a [`Category::Sched`] span. Off by default so existing
+    /// traces stay byte-identical.
+    batch_spans: bool,
 }
 
 impl<S: BlobStore> Server<S> {
@@ -129,11 +217,26 @@ impl<S: BlobStore> Server<S> {
             busy_until: TimePoint::ZERO,
             stall_until: TimePoint::ZERO,
             committed: Rational::ZERO,
+            committed_decode: Rational::ZERO,
+            repriced_gen: 0,
             upgrade_hold: false,
             forced: BTreeSet::new(),
             metrics: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
+            batch: VecDeque::new(),
+            batch_spans: false,
         }
+    }
+
+    /// Builder: records every same-deadline batch the event loop serves as
+    /// a `"batch"` span in the [`Category::Sched`] category (span start =
+    /// the shared deadline, end = the instant the channel frees up, `jobs`
+    /// attr = elements served in the batch). Off by default: batch spans
+    /// are scheduler diagnostics, and leaving them out keeps traces
+    /// byte-identical with runs recorded before batching existed.
+    pub fn with_batch_spans(mut self) -> Server<S> {
+        self.batch_spans = true;
+        self
     }
 
     /// Builder: attaches a shared segment cache.
@@ -317,13 +420,7 @@ impl<S: BlobStore> Server<S> {
     /// Serves every queued element whose deadline is at or before `to`,
     /// advancing the clock to `to`.
     pub fn run_until(&mut self, to: TimePoint) {
-        while let Some(Reverse(job)) = self.heap.peek().copied() {
-            if job.deadline > to {
-                break;
-            }
-            self.heap.pop();
-            self.serve_job(job);
-        }
+        self.drain(Some(to));
         self.clock = self.clock.max(to);
     }
 
@@ -332,11 +429,123 @@ impl<S: BlobStore> Server<S> {
     /// Opened or paused sessions keep their capacity; close them first if
     /// the run is over.
     pub fn finish(&mut self) -> ServerStats {
-        while let Some(Reverse(job)) = self.heap.pop() {
-            self.serve_job(job);
-        }
-        self.clock = self.clock.max(self.busy_until);
+        self.drain_all();
         self.stats()
+    }
+
+    /// Full drain without the stats materialisation — what the parallel
+    /// shard pool calls per shard, collecting stats afterwards in shard
+    /// order.
+    pub(crate) fn drain_all(&mut self) {
+        self.drain(None);
+        self.clock = self.clock.max(self.busy_until);
+    }
+
+    /// Whether any queued element is due at or before `to` — the sharded
+    /// front end's cheap "is a parallel drive worth spawning" probe.
+    pub(crate) fn has_due(&self, to: TimePoint) -> bool {
+        self.heap.peek().is_some_and(|&Reverse(j)| j.deadline <= to)
+    }
+
+    /// Whether any element is queued at all (the finish-drain probe).
+    pub(crate) fn has_queued(&self) -> bool {
+        !self.heap.is_empty()
+    }
+
+    /// The event loop: serves due elements in `(deadline, session, pos)`
+    /// order, batching runs that share a deadline.
+    ///
+    /// A batch is the run of heap entries at the earliest due deadline,
+    /// popped together and served back to back. Two rules keep the serve
+    /// order *exactly* what popping one entry at a time would produce:
+    ///
+    /// 1. **Chain rule** — after serving a session's element, its successor
+    ///    joins the *front* of the batch when it lands on the same deadline
+    ///    (every remaining batch entry belongs to a later session id), and
+    ///    goes to the heap otherwise (per-session deadlines are monotone,
+    ///    so it can never undercut the batch).
+    /// 2. **Preemption guard** — serving an element can re-anchor *other*
+    ///    sessions (the upgrade path), pushing fresh heap entries at
+    ///    arbitrary deadlines. Before each serve the batch head is compared
+    ///    with the heap top; if the heap now holds an earlier job, the
+    ///    remaining batch is pushed back and the loop restarts from the
+    ///    true minimum.
+    fn drain(&mut self, limit: Option<TimePoint>) {
+        'outer: while let Some(&Reverse(top)) = self.heap.peek() {
+            if limit.is_some_and(|to| top.deadline > to) {
+                break;
+            }
+            let d = top.deadline;
+            while let Some(&Reverse(j)) = self.heap.peek() {
+                if j.deadline != d {
+                    break;
+                }
+                self.heap.pop();
+                self.batch.push_back(j);
+            }
+            let batch_span = if self.batch_spans {
+                self.tracer
+                    .begin_span("batch", Category::Sched, d, SpanId::NONE, None)
+            } else {
+                SpanId::NONE
+            };
+            let mut served_in_batch = 0u64;
+            while let Some(job) = self.batch.pop_front() {
+                if let Some(&Reverse(t)) = self.heap.peek() {
+                    if t < job {
+                        // A mid-serve push outranks the batch: fall back to
+                        // the heap so the global order is preserved.
+                        self.heap.push(Reverse(job));
+                        while let Some(rest) = self.batch.pop_front() {
+                            self.heap.push(Reverse(rest));
+                        }
+                        self.finish_batch(batch_span, served_in_batch, d);
+                        continue 'outer;
+                    }
+                }
+                if self.serve_job(job) {
+                    served_in_batch += 1;
+                    if let Some(next) = self.successor_of(job) {
+                        if next.deadline == d {
+                            self.batch.push_front(next);
+                        } else {
+                            self.heap.push(Reverse(next));
+                        }
+                    }
+                }
+            }
+            self.finish_batch(batch_span, served_in_batch, d);
+        }
+    }
+
+    /// Closes a batch: counts it and (when enabled) closes its sched span.
+    fn finish_batch(&mut self, span: SpanId, served: u64, deadline: TimePoint) {
+        if served > 0 {
+            self.metrics.inc(M_BATCHES, 1);
+        }
+        if !span.is_none() {
+            self.tracer.attr(span, "jobs", served);
+            self.tracer.end_span(span, self.busy_until.max(deadline));
+        }
+    }
+
+    /// The next due element of the session `job` belonged to, if the serve
+    /// left it playing on the same schedule generation.
+    fn successor_of(&self, job: QueuedJob) -> Option<QueuedJob> {
+        let idx = (job.session - self.session_base) as usize;
+        let s = &self.sessions[idx];
+        if s.epoch != job.epoch || s.state != SessionState::Playing {
+            // Finished, paused, closed, or re-anchored (upgrade/force): any
+            // live continuation was queued with a fresh epoch already.
+            return None;
+        }
+        let &pos = s.pending.first()?;
+        Some(QueuedJob {
+            deadline: s.queued_deadline(pos),
+            session: job.session,
+            pos,
+            epoch: s.epoch,
+        })
     }
 
     /// A point-in-time statistics snapshot, materialised from the metrics
@@ -411,6 +620,15 @@ impl<S: BlobStore> Server<S> {
         // degraded path until the tier heals (they are upgraded back by
         // `try_upgrade_sessions`).
         let gate = self.capacity.derated(self.db.store().health_percent());
+        // Cache-aware admission prices the *storage* stage at the demand
+        // discounted by current residency (`Rational::ONE` off-flag or with
+        // the cache disabled); the decode stage always pays in full, since
+        // a cache hit skips the fetch but not the decode.
+        let full_discount = if gate.cache_aware {
+            admission_discount(&self.cache, blob, stream.entries(), None)
+        } else {
+            Rational::ONE
+        };
         let (decision, layers) = match self.capacity.policy {
             AdmissionPolicy::AdmitAll => (AdmitDecision::Admitted, None),
             AdmissionPolicy::Enforce => {
@@ -423,12 +641,29 @@ impl<S: BlobStore> Server<S> {
                         },
                         None,
                     )
-                } else if gate.fits(self.committed, full_demand) {
+                } else if gate.fits_staged(
+                    self.committed,
+                    self.committed_decode,
+                    full_demand * full_discount,
+                    full_demand,
+                ) {
                     (AdmitDecision::Admitted, None)
                 } else {
                     let base_jobs = schedule_from_interp(stream, Some(1));
                     let base_demand = demanded_rate(&base_jobs, system).unwrap_or(Rational::ZERO);
-                    if scalable && gate.fits(self.committed, base_demand) {
+                    let base_discount = if gate.cache_aware {
+                        admission_discount(&self.cache, blob, stream.entries(), Some(1))
+                    } else {
+                        Rational::ONE
+                    };
+                    if scalable
+                        && gate.fits_staged(
+                            self.committed,
+                            self.committed_decode,
+                            base_demand * base_discount,
+                            base_demand,
+                        )
+                    {
                         (AdmitDecision::Degraded { layers: 1 }, Some(1))
                     } else {
                         let cheapest = if scalable { base_demand } else { full_demand };
@@ -476,6 +711,15 @@ impl<S: BlobStore> Server<S> {
             Some(l) => schedule_from_interp(stream, Some(l)),
         };
         let demand = demanded_rate(&jobs, system).unwrap_or(Rational::ZERO);
+        let charged = if gate.cache_aware {
+            demand
+                * match layers {
+                    None => full_discount,
+                    Some(_) => admission_discount(&self.cache, blob, stream.entries(), layers),
+                }
+        } else {
+            demand
+        };
         let plans: Vec<ServePlan> = jobs
             .iter()
             .map(|j| {
@@ -495,17 +739,23 @@ impl<S: BlobStore> Server<S> {
             AdmitDecision::Degraded { .. } => self.metrics.inc(M_ADMITTED_DEGRADED, 1),
             _ => self.metrics.inc(M_ADMITTED, 1),
         }
-        self.committed += demand;
+        self.committed += charged;
+        self.committed_decode += demand;
+        let mut attrs = vec![
+            ("object", object.to_owned().into()),
+            ("verdict", verdict.into()),
+        ];
+        if gate.cache_aware {
+            // Only under the flag, so off-flag traces stay byte-identical.
+            attrs.push(("charged_bps", (charged.floor().max(0) as u64).into()));
+        }
         self.tracer.event(
             "admission",
             Category::Admission,
             self.clock,
             SpanId::NONE,
             Some(id.raw()),
-            vec![
-                ("object", object.to_owned().into()),
-                ("verdict", verdict.into()),
-            ],
+            attrs,
         );
         let span = self.tracer.begin_span(
             "session",
@@ -534,6 +784,7 @@ impl<S: BlobStore> Server<S> {
             full_unit_demand: full_demand,
             unit_demand: demand,
             demand,
+            charged,
             released: false,
             have_good: false,
             stats: SessionStats::default(),
@@ -553,21 +804,18 @@ impl<S: BlobStore> Server<S> {
             .ok_or(ServeError::UnknownSession { session: id })
     }
 
-    /// Queues every pending element of `id` under its current anchor.
-    fn enqueue_pending(&mut self, id: SessionId) {
+    /// Queues the earliest pending element of `id` under its current
+    /// anchor — the session's single live heap entry; the event loop queues
+    /// each successor as it serves (see [`QueuedJob`]).
+    fn enqueue_next(&mut self, id: SessionId) {
         let s = &self.sessions[self.slot(id)];
-        let jobs: Vec<QueuedJob> = s
-            .pending
-            .iter()
-            .map(|&pos| QueuedJob {
+        if let Some(&pos) = s.pending.first() {
+            self.heap.push(Reverse(QueuedJob {
                 deadline: s.queued_deadline(pos),
                 session: s.id.raw(),
                 pos,
                 epoch: s.epoch,
-            })
-            .collect();
-        for j in jobs {
-            self.heap.push(Reverse(j));
+            }));
         }
     }
 
@@ -583,10 +831,12 @@ impl<S: BlobStore> Server<S> {
         if s.pending.is_empty() {
             s.state = SessionState::Finished;
             let demand = s.demand;
+            let charged = s.charged;
             let span = s.span;
             let already = std::mem::replace(&mut s.released, true);
             if !already {
-                self.committed -= demand;
+                self.committed -= charged;
+                self.committed_decode -= demand;
             }
             self.tracer.event(
                 "session.play",
@@ -615,7 +865,7 @@ impl<S: BlobStore> Server<S> {
             Some(id.raw()),
             vec![("queued", queued.into())],
         );
-        self.enqueue_pending(id);
+        self.enqueue_next(id);
         Ok(Response::Playing {
             session: id,
             queued,
@@ -693,16 +943,18 @@ impl<S: BlobStore> Server<S> {
                 let s = &mut self.sessions[slot];
                 s.state = SessionState::Finished;
                 let demand = s.demand;
+                let charged = s.charged;
                 let already = std::mem::replace(&mut s.released, true);
                 if !already {
-                    self.committed -= demand;
+                    self.committed -= charged;
+                    self.committed_decode -= demand;
                 }
                 self.tracer.end_span(span, at);
                 self.try_upgrade_sessions(at);
             } else {
                 let slot = self.slot(id);
                 self.sessions[slot].anchor(at);
-                self.enqueue_pending(id);
+                self.enqueue_next(id);
             }
         }
         Ok(Response::Sought {
@@ -722,31 +974,51 @@ impl<S: BlobStore> Server<S> {
             return Err(ServeError::BadRate { num, den });
         }
         let committed = self.committed;
+        let committed_decode = self.committed_decode;
         let capacity = self.capacity;
-        let s = self.session_mut(id)?;
-        if !s.is_active() {
-            return Err(ServeError::BadState {
-                session: id,
-                state: s.state,
-                request: "SetRate",
-            });
+        {
+            let s = self.session_mut(id)?;
+            if !s.is_active() {
+                return Err(ServeError::BadState {
+                    session: id,
+                    state: s.state,
+                    request: "SetRate",
+                });
+            }
         }
+        let slot = self.slot(id);
+        let s = &self.sessions[slot];
         // Faster playback demands proportionally more bytes per second;
-        // re-run the admission check on the delta.
+        // re-run the admission check on the delta (residency-discounted on
+        // the storage stage under cache-aware admission).
         let new_demand = s.unit_demand * Rational::new(num as i64, den as i64);
+        let new_charged = if capacity.cache_aware {
+            new_demand * residency_discount(&self.cache, s.blob, &s.plans, &s.pending)
+        } else {
+            new_demand
+        };
         if capacity.policy == AdmissionPolicy::Enforce
-            && !capacity.fits(committed - s.demand, new_demand)
+            && !capacity.fits_staged(
+                committed - s.charged,
+                committed_decode - s.demand,
+                new_charged,
+                new_demand,
+            )
         {
             return Ok(Response::RateSet {
                 session: id,
                 accepted: false,
             });
         }
+        let s = &mut self.sessions[slot];
         let old = s.demand;
+        let old_charged = s.charged;
         s.demand = new_demand;
+        s.charged = new_charged;
         s.rate = (num, den);
         let span = s.span;
-        self.committed = committed - old + new_demand;
+        self.committed = committed - old_charged + new_charged;
+        self.committed_decode = committed_decode - old + new_demand;
         self.tracer.event(
             "session.rate",
             Category::Session,
@@ -758,7 +1030,7 @@ impl<S: BlobStore> Server<S> {
         let slot = self.slot(id);
         if self.sessions[slot].state == SessionState::Playing {
             self.sessions[slot].anchor(at);
-            self.enqueue_pending(id);
+            self.enqueue_next(id);
         }
         Ok(Response::RateSet {
             session: id,
@@ -779,10 +1051,12 @@ impl<S: BlobStore> Server<S> {
         s.epoch += 1;
         let stats = s.stats;
         let demand = s.demand;
+        let charged = s.charged;
         let span = s.span;
         let already = std::mem::replace(&mut s.released, true);
         if !already {
-            self.committed -= demand;
+            self.committed -= charged;
+            self.committed_decode -= demand;
         }
         self.tracer.event(
             "session.close",
@@ -822,11 +1096,13 @@ impl<S: BlobStore> Server<S> {
             s.stats.elements += shed;
             s.stats.dropped += shed;
             let demand = s.demand;
+            let charged = s.charged;
             let span = s.span;
             let id = s.id;
             let already = std::mem::replace(&mut s.released, true);
             if !already {
-                self.committed -= demand;
+                self.committed -= charged;
+                self.committed_decode -= demand;
             }
             self.metrics.inc(M_ELEMENTS, shed as u64);
             self.metrics.inc(M_DROPPED, shed as u64);
@@ -858,7 +1134,46 @@ impl<S: BlobStore> Server<S> {
     /// committed headroom. Runs at every capacity-release point (finish,
     /// close, empty play/seek) and after every served element, so a breaker
     /// closing mid-run is picked up without a session event.
+    /// Re-derives every active session's storage charge from current cache
+    /// residency — the "re-evaluate admitted sessions as residency shifts"
+    /// half of cache-aware admission. A session admitted cheaply against a
+    /// hot cache is re-charged when its segments are evicted, and one
+    /// admitted cold sheds charge as its spans become resident. Skipped in
+    /// one integer compare unless the cache's resident set actually changed
+    /// since the last pass ([`SegmentCache::generation`]).
+    fn reprice_sessions(&mut self) {
+        // No is_enabled() gate: disabling the cache mid-run (budget 0)
+        // evicts everything, and the sessions priced against residency
+        // must be re-charged full demand — residency_discount reads a
+        // disabled cache as zero-resident. A never-enabled cache stays at
+        // generation 0 and returns below.
+        let generation = self.cache.generation();
+        if generation == self.repriced_gen {
+            return;
+        }
+        self.repriced_gen = generation;
+        for idx in 0..self.sessions.len() {
+            let s = &self.sessions[idx];
+            if !s.is_active() || s.released {
+                continue;
+            }
+            let new_charged =
+                s.demand * residency_discount(&self.cache, s.blob, &s.plans, &s.pending);
+            let old_charged = s.charged;
+            if new_charged != old_charged {
+                self.sessions[idx].charged = new_charged;
+                self.committed = self.committed - old_charged + new_charged;
+            }
+        }
+    }
+
     fn try_upgrade_sessions(&mut self, now: TimePoint) {
+        // If cache residency shifted since the last pass, reprice every
+        // active session's storage charge first, so the upgrade checks
+        // below — and the next admissions — see current headroom.
+        if self.capacity.cache_aware && self.capacity.policy == AdmissionPolicy::Enforce {
+            self.reprice_sessions();
+        }
         if self.upgrade_hold {
             return; // a forced degradation is in effect; nothing lifts it
         }
@@ -883,7 +1198,16 @@ impl<S: BlobStore> Server<S> {
                 }
                 let (num, den) = s.rate;
                 let new_demand = s.full_unit_demand * Rational::new(num as i64, den as i64);
-                if !self.capacity.fits(self.committed - s.demand, new_demand) {
+                // Upgrades gate at the full, undiscounted demand even under
+                // cache-aware admission (conservative: the layers an upgrade
+                // adds are exactly the ones least likely to be resident);
+                // the charge actually booked below is discounted.
+                if !self.capacity.fits_staged(
+                    self.committed - s.charged,
+                    self.committed_decode - s.demand,
+                    new_demand,
+                    new_demand,
+                ) {
                     continue;
                 }
                 (s.object.clone(), new_demand)
@@ -906,17 +1230,25 @@ impl<S: BlobStore> Server<S> {
             if jobs.len() != s.jobs.len() {
                 continue; // catalog reshaped under the session; keep the cap
             }
+            let new_charged = if self.capacity.cache_aware {
+                new_demand * residency_discount(&self.cache, s.blob, &plans, &s.pending)
+            } else {
+                new_demand
+            };
             let old = s.demand;
+            let old_charged = s.charged;
             s.jobs = jobs;
             s.plans = plans;
             s.layers_cap = None;
             s.decision = AdmitDecision::Admitted;
             s.unit_demand = s.full_unit_demand;
             s.demand = new_demand;
+            s.charged = new_charged;
             let remaining = s.pending.len();
             let id = s.id;
             let span = s.span;
-            self.committed = self.committed - old + new_demand;
+            self.committed = self.committed - old_charged + new_charged;
+            self.committed_decode = self.committed_decode - old + new_demand;
             self.metrics.inc(M_UPGRADED, 1);
             self.tracer.event(
                 "session.upgrade",
@@ -931,7 +1263,7 @@ impl<S: BlobStore> Server<S> {
                 // full-fidelity byte demands; queued jobs of the old epoch
                 // go stale, exactly as for Seek/SetRate.
                 self.sessions[idx].anchor(now);
-                self.enqueue_pending(id);
+                self.enqueue_next(id);
             } else {
                 self.sessions[idx].epoch += 1;
             }
@@ -990,17 +1322,25 @@ impl<S: BlobStore> Server<S> {
             }
             let (num, den) = s.rate;
             let new_demand = base_unit * Rational::new(num as i64, den as i64);
+            let new_charged = if self.capacity.cache_aware {
+                new_demand * residency_discount(&self.cache, s.blob, &plans, &s.pending)
+            } else {
+                new_demand
+            };
             let old = s.demand;
+            let old_charged = s.charged;
             s.jobs = jobs;
             s.plans = plans;
             s.layers_cap = Some(1);
             s.decision = AdmitDecision::Degraded { layers: 1 };
             s.unit_demand = base_unit;
             s.demand = new_demand;
+            s.charged = new_charged;
             let remaining = s.pending.len();
             let id = s.id;
             let span = s.span;
-            self.committed = self.committed - old + new_demand;
+            self.committed = self.committed - old_charged + new_charged;
+            self.committed_decode = self.committed_decode - old + new_demand;
             self.forced.insert(id.raw());
             self.metrics.inc(M_FORCED, 1);
             self.tracer.event(
@@ -1013,7 +1353,7 @@ impl<S: BlobStore> Server<S> {
             );
             if self.sessions[idx].state == SessionState::Playing {
                 self.sessions[idx].anchor(at);
-                self.enqueue_pending(id);
+                self.enqueue_next(id);
             } else {
                 self.sessions[idx].epoch += 1;
             }
@@ -1064,17 +1404,25 @@ impl<S: BlobStore> Server<S> {
             }
             let (num, den) = s.rate;
             let new_demand = s.full_unit_demand * Rational::new(num as i64, den as i64);
+            let new_charged = if self.capacity.cache_aware {
+                new_demand * residency_discount(&self.cache, s.blob, &plans, &s.pending)
+            } else {
+                new_demand
+            };
             let old = s.demand;
+            let old_charged = s.charged;
             s.jobs = jobs;
             s.plans = plans;
             s.layers_cap = None;
             s.decision = AdmitDecision::Admitted;
             s.unit_demand = s.full_unit_demand;
             s.demand = new_demand;
+            s.charged = new_charged;
             let remaining = s.pending.len();
             let id = s.id;
             let span = s.span;
-            self.committed = self.committed - old + new_demand;
+            self.committed = self.committed - old_charged + new_charged;
+            self.committed_decode = self.committed_decode - old + new_demand;
             self.metrics.inc(M_UPGRADED, 1);
             self.tracer.event(
                 "session.upgrade",
@@ -1086,7 +1434,7 @@ impl<S: BlobStore> Server<S> {
             );
             if self.sessions[idx].state == SessionState::Playing {
                 self.sessions[idx].anchor(at);
-                self.enqueue_pending(id);
+                self.enqueue_next(id);
             } else {
                 self.sessions[idx].epoch += 1;
             }
@@ -1103,6 +1451,12 @@ impl<S: BlobStore> Server<S> {
         let prev = self.cache.set_budget(budget_bytes);
         self.metrics
             .set_gauge(G_CACHE_BYTES, self.cache.bytes_cached() as i64);
+        // A shrink can evict spans that admitted sessions were priced
+        // against; re-charge them right away so the very next admission
+        // sees honest headroom.
+        if self.capacity.cache_aware && self.capacity.policy == AdmissionPolicy::Enforce {
+            self.reprice_sessions();
+        }
         prev
     }
 
@@ -1112,13 +1466,15 @@ impl<S: BlobStore> Server<S> {
 
     /// Serves one queued element fetch: cache lookup, retried+verified
     /// layer reads, the degradation ladder, and exact-rational timing
-    /// through the shared channel.
-    fn serve_job(&mut self, job: QueuedJob) {
+    /// through the shared channel. Returns `false` for a stale entry
+    /// (nothing served), `true` after a real serve — the event loop queues
+    /// the session's successor only in the latter case.
+    fn serve_job(&mut self, job: QueuedJob) -> bool {
         let idx = (job.session - self.session_base) as usize;
         {
             let s = &self.sessions[idx];
             if s.epoch != job.epoch || s.state != SessionState::Playing {
-                return; // stale: paused, re-anchored or closed since queueing
+                return false; // stale: paused, re-anchored or closed since queueing
             }
         }
         let store = self.db.store();
@@ -1397,10 +1753,12 @@ impl<S: BlobStore> Server<S> {
         if s.pending.is_empty() {
             s.state = SessionState::Finished;
             let demand = s.demand;
+            let charged = s.charged;
             let root = s.span;
             let already = std::mem::replace(&mut s.released, true);
             if !already {
-                self.committed -= demand;
+                self.committed -= charged;
+                self.committed_decode -= demand;
             }
             self.tracer.end_span(root, ready);
         }
@@ -1408,5 +1766,6 @@ impl<S: BlobStore> Server<S> {
         // capacity, and a tier breaker may have closed during the reads
         // above — both can lift a degraded session back to full fidelity.
         self.try_upgrade_sessions(ready);
+        true
     }
 }

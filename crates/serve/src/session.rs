@@ -217,6 +217,12 @@ pub struct Session {
     pub(crate) unit_demand: Rational,
     /// Bytes/s currently committed (unit demand × rate).
     pub(crate) demand: Rational,
+    /// Bytes/s currently charged against the *storage* stage. Equal to
+    /// `demand` unless cache-aware admission is on, in which case it is
+    /// `demand` discounted by the fraction of the session's planned bytes
+    /// resident in the segment cache — and it is repriced as residency
+    /// shifts (see `Server::reprice_sessions`).
+    pub(crate) charged: Rational,
     /// Whether committed capacity has been released (Finished/Closed).
     pub(crate) released: bool,
     /// Whether any element was presented intact (for the repeat ladder).
@@ -267,6 +273,13 @@ impl Session {
     /// Bytes/s this session commits against the server's capacity.
     pub fn demand_bps(&self) -> Rational {
         self.demand
+    }
+
+    /// Bytes/s currently charged against the storage stage —
+    /// [`Session::demand_bps`] discounted by segment-cache residency when
+    /// cache-aware admission is on, identical to it otherwise.
+    pub fn charged_bps(&self) -> Rational {
+        self.charged
     }
 
     /// Statistics so far.

@@ -32,21 +32,31 @@
 //! hottest shard sits above the per-shard mean element load) for
 //! rebalance-on-skew alerting.
 
-use crate::{Capacity, Request, Response, ServeError, Server, ServerStats, Session};
+use crate::pool::{run_rounds, RoundGoal};
+use crate::{Capacity, Request, Response, ServeError, Server, ServerStats, Session, WorkerStats};
 use std::fmt;
 use std::io;
 use tbm_blob::{BlobStore, MemBlobStore, RetryPolicy};
 use tbm_core::{InterpretationId, SessionId};
 use tbm_db::{DbError, MediaDb};
 use tbm_interp::Interpretation;
-use tbm_obs::{attribute, chrome_trace_to_writer, AttributionReport, MetricsRegistry, Tracer};
+use tbm_obs::{
+    attribute, chrome_trace_to_writer, merge_snapshots, AttributionReport, MetricsRegistry,
+    TraceSnapshot, Tracer,
+};
 use tbm_player::DegradationPolicy;
-use tbm_time::TimePoint;
+use tbm_time::{TimeDelta, TimePoint};
 
 /// Session-id stride between shards: shard `i` allocates ids from
 /// `i * SHARD_SESSION_STRIDE`, so any session id names its owning shard by
 /// division and ids never collide fleet-wide (traces included).
 pub const SHARD_SESSION_STRIDE: u64 = 1 << 32;
+
+/// Trace-record-id stride between shards under
+/// [`ShardedServer::with_shard_tracers`]: shard `i`'s ring allocates ids
+/// from `i * SHARD_TRACE_ID_STRIDE`, so per-shard snapshots concatenated in
+/// shard order keep ids unique and parent links intact.
+pub const SHARD_TRACE_ID_STRIDE: u64 = 1 << 40;
 
 /// The `shard.skew` gauge emitted by [`ShardedServer::metrics`].
 const G_SHARD_SKEW: &str = "shard.skew";
@@ -309,6 +319,18 @@ pub struct ShardedServer<S: BlobStore = MemBlobStore> {
     seed: u64,
     clock: TimePoint,
     tracer: Tracer,
+    /// Worker threads for parallel drives (1 = always sequential).
+    workers: usize,
+    /// Barrier spacing for parallel drives: when set, a `run_until` is
+    /// split into fixed simulated-time rounds of this length; when unset,
+    /// each drive is one round.
+    tick: Option<TimeDelta>,
+    /// Per-shard tracers ([`ShardedServer::with_shard_tracers`]), in shard
+    /// order; empty when tracing is off or shared.
+    shard_tracers: Vec<Tracer>,
+    /// Per-worker counters accumulated across parallel drives — host
+    /// scheduling diagnostics, outside the determinism contract.
+    pool_stats: Vec<WorkerStats>,
 }
 
 impl<S: BlobStore> ShardedServer<S> {
@@ -330,7 +352,45 @@ impl<S: BlobStore> ShardedServer<S> {
             seed,
             clock: TimePoint::ZERO,
             tracer: Tracer::disabled(),
+            workers: 1,
+            tick: None,
+            shard_tracers: Vec::new(),
+            pool_stats: Vec::new(),
         }
+    }
+
+    /// Builder: drives parallel runs on `workers` OS threads (clamped to
+    /// the shard count; 1 keeps every drive sequential). Same seed, same
+    /// requests ⇒ byte-identical stats, metrics and traces at *any* worker
+    /// count — see the `pool` module docs for why. Parallel drives
+    /// require per-shard tracing ([`ShardedServer::with_shard_tracers`]);
+    /// with a shared-ring tracer attached ([`ShardedServer::with_tracer`])
+    /// drives fall back to sequential so the shared timeline stays
+    /// deterministic.
+    pub fn with_workers(mut self, workers: usize) -> ShardedServer<S> {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the worker count mid-run, returning the previous one.
+    /// Takes effect at the next drive; because every drive's outcome is a
+    /// pure function of simulated time, changing the count between drives
+    /// never changes what gets served — only how fast. Operators (and the
+    /// throughput suite) use this to stage a large session wave cheaply at
+    /// one worker, then parallel-drain it.
+    pub fn set_workers(&mut self, workers: usize) -> usize {
+        std::mem::replace(&mut self.workers, workers.max(1))
+    }
+
+    /// Builder: splits parallel drives into fixed simulated-time rounds of
+    /// `tick`, committing all shards at each barrier before any shard
+    /// enters the next round. Bounds how far shards drift apart inside one
+    /// drive; purely a scheduling knob — served elements and their timing
+    /// are identical at any tick.
+    pub fn with_tick(mut self, tick: TimeDelta) -> ShardedServer<S> {
+        assert!(tick > TimeDelta::ZERO, "barrier tick must be positive");
+        self.tick = Some(tick);
+        self
     }
 
     /// Builder: gives every shard its own segment cache of `budget_bytes`.
@@ -365,6 +425,11 @@ impl<S: BlobStore> ShardedServer<S> {
 
     /// Builder: attaches one tracer to every shard (clones share the ring,
     /// so all shards land in one timeline; session ids disambiguate).
+    ///
+    /// A shared ring cannot take concurrent writers without the interleave
+    /// order depending on host scheduling, so this mode pins drives to the
+    /// sequential path even under [`ShardedServer::with_workers`]. For
+    /// traced *parallel* runs use [`ShardedServer::with_shard_tracers`].
     pub fn with_tracer(mut self, tracer: Tracer) -> ShardedServer<S> {
         self.shards = self
             .shards
@@ -372,6 +437,28 @@ impl<S: BlobStore> ShardedServer<S> {
             .map(|s| s.with_tracer(tracer.clone()))
             .collect();
         self.tracer = tracer;
+        self
+    }
+
+    /// Builder: gives every shard its *own* tracer ring (each retaining at
+    /// most `capacity` records) with a disjoint record-id range
+    /// ([`SHARD_TRACE_ID_STRIDE`]), mirroring the session-id stride.
+    /// [`ShardedServer::trace`] concatenates the rings in shard order, so
+    /// the merged timeline is byte-identical at any worker count — this is
+    /// the tracing mode parallel drives require.
+    /// [`tbm_obs::DEFAULT_TRACE_CAPACITY`] is the usual `capacity`.
+    pub fn with_shard_tracers(mut self, capacity: usize) -> ShardedServer<S> {
+        let tracers: Vec<Tracer> = (0..self.shards.len())
+            .map(|i| Tracer::with_capacity_and_base(capacity, i as u64 * SHARD_TRACE_ID_STRIDE))
+            .collect();
+        self.shards = self
+            .shards
+            .into_iter()
+            .zip(tracers.iter())
+            .map(|(s, t)| s.with_tracer(t.clone()))
+            .collect();
+        self.tracer = Tracer::disabled();
+        self.shard_tracers = tracers;
         self
     }
 
@@ -448,23 +535,93 @@ impl<S: BlobStore> ShardedServer<S> {
     }
 
     /// Serves every shard's queued elements due by `to`, advancing the
-    /// fleet clock. Shards are drained in shard order; they share no
-    /// state, so the order never changes any shard's outcome.
+    /// fleet clock. Shards share no state, so neither the drive order nor
+    /// the worker count changes any shard's outcome; with more than one
+    /// worker (and work actually due) the shards are driven by the
+    /// the `pool` module between deterministic tick barriers.
     pub fn run_until(&mut self, to: TimePoint) {
-        for shard in &mut self.shards {
-            shard.run_until(to);
+        if self.pool_engaged() && self.shards.iter().any(|s| s.has_due(to)) {
+            let goals = self.round_goals(to, false);
+            let drive = run_rounds(&mut self.shards, &goals, self.workers);
+            self.absorb_pool_stats(&drive);
+        } else {
+            for shard in &mut self.shards {
+                shard.run_until(to);
+            }
         }
         self.clock = self.clock.max(to);
     }
 
     /// Drains every shard's event loop completely and returns the final
-    /// cross-shard statistics.
+    /// cross-shard statistics. The drain parallelises exactly like
+    /// [`ShardedServer::run_until`]; stats are then collected in shard
+    /// order, so the snapshot is byte-identical at any worker count.
     pub fn finish(&mut self) -> ShardedStats {
+        if self.pool_engaged() && self.shards.iter().any(|s| s.has_queued()) {
+            let goals = self.round_goals(self.clock, true);
+            let drive = run_rounds(&mut self.shards, &goals, self.workers);
+            self.absorb_pool_stats(&drive);
+        }
         let per_shard: Vec<ServerStats> = self.shards.iter_mut().map(|s| s.finish()).collect();
         for shard in &self.shards {
             self.clock = self.clock.max(shard.clock());
         }
         ShardedStats::from_shards(per_shard)
+    }
+
+    /// Whether a drive with due work would use the worker pool: more than
+    /// one worker, more than one shard, and no shared-ring tracer (which
+    /// pins drives to the sequential path — see
+    /// [`ShardedServer::with_tracer`]).
+    fn pool_engaged(&self) -> bool {
+        self.workers > 1 && self.shards.len() > 1 && !self.tracer.is_enabled()
+    }
+
+    /// The barrier schedule of one parallel drive: fixed ticks from the
+    /// fleet clock through `to` (when a tick is configured), then the
+    /// drive goal itself.
+    fn round_goals(&self, to: TimePoint, drain: bool) -> Vec<RoundGoal> {
+        let mut goals = Vec::new();
+        if let Some(tick) = self.tick {
+            let mut at = self.clock + tick;
+            while at < to {
+                goals.push(RoundGoal::RunUntil(at));
+                at += tick;
+            }
+        }
+        if !drain || to > self.clock {
+            goals.push(RoundGoal::RunUntil(to));
+        }
+        if drain {
+            goals.push(RoundGoal::Drain);
+        }
+        goals
+    }
+
+    /// Folds one drive's per-worker counters into the running totals.
+    fn absorb_pool_stats(&mut self, drive: &[WorkerStats]) {
+        if self.pool_stats.len() < drive.len() {
+            self.pool_stats.resize(drive.len(), WorkerStats::default());
+        }
+        for (total, d) in self.pool_stats.iter_mut().zip(drive) {
+            total.absorb(d);
+        }
+    }
+
+    /// Per-worker counters accumulated across every parallel drive so far,
+    /// indexed by worker. Empty while no drive has engaged the pool.
+    /// Host-scheduling diagnostics: *not* part of the deterministic
+    /// surface (steal counts vary run to run; served elements do not), and
+    /// therefore not merged into [`ShardedServer::metrics`].
+    pub fn worker_stats(&self) -> &[WorkerStats] {
+        &self.pool_stats
+    }
+
+    /// The per-shard tracers created by
+    /// [`ShardedServer::with_shard_tracers`], in shard order (empty in
+    /// shared-tracer or untraced mode).
+    pub fn shard_tracers(&self) -> &[Tracer] {
+        &self.shard_tracers
     }
 
     /// A point-in-time cross-shard snapshot (per-shard + merged global).
@@ -485,22 +642,29 @@ impl<S: BlobStore> ShardedServer<S> {
         rollup
     }
 
-    /// An owned snapshot of the shared trace (empty unless a tracer was
-    /// attached via [`ShardedServer::with_tracer`]).
-    pub fn trace(&self) -> tbm_obs::TraceSnapshot {
-        self.tracer.snapshot()
+    /// An owned snapshot of the fleet trace: the shared ring under
+    /// [`ShardedServer::with_tracer`], or the per-shard rings concatenated
+    /// in shard order under [`ShardedServer::with_shard_tracers`] (byte-
+    /// identical at any worker count). Empty when untraced.
+    pub fn trace(&self) -> TraceSnapshot {
+        if self.shard_tracers.is_empty() {
+            self.tracer.snapshot()
+        } else {
+            merge_snapshots(self.shard_tracers.iter().map(|t| t.snapshot()))
+        }
     }
 
-    /// Writes the shared trace as Chrome `trace_event` JSON.
+    /// Writes the fleet trace ([`ShardedServer::trace`]) as Chrome
+    /// `trace_event` JSON.
     pub fn trace_to_writer(&self, w: &mut dyn io::Write) -> io::Result<()> {
-        chrome_trace_to_writer(&self.tracer.snapshot(), w)
+        chrome_trace_to_writer(&self.trace(), w)
     }
 
-    /// Deadline-miss attribution over the shared trace, fleet-wide.
+    /// Deadline-miss attribution over the fleet trace, fleet-wide.
     /// Session ids are globally unique, so per-session backlog chaining
     /// never mixes sessions from different shards.
     pub fn attribution(&self) -> AttributionReport {
-        attribute(&self.tracer.snapshot().records)
+        attribute(&self.trace().records)
     }
 }
 

@@ -1,0 +1,381 @@
+//! Scaling storm: the parallel shard pool's determinism contract and
+//! cache-aware admission, end to end.
+//!
+//! * Same seed, same requests ⇒ byte-identical stats, rendered metrics and
+//!   exported traces at ANY worker count (1, 2, 4, 8, with and without a
+//!   barrier tick) — the contract DESIGN §16 spells out.
+//! * Cache-aware admission: an object resident in the segment cache admits
+//!   sessions its cold twin would bounce, the decode stage still gates at
+//!   full demand, and evictions re-charge admitted sessions.
+
+use tbm::codec::dct::DctParams;
+use tbm::interp::capture::capture_video_scalable;
+use tbm::interp::Interpretation;
+use tbm::media::gen::{render_frames, VideoPattern};
+use tbm::obs::DEFAULT_TRACE_CAPACITY;
+use tbm::prelude::*;
+use tbm::serve::{AdmitDecision, Request, Response, Server, ShardedStats};
+use tbm::time::{TimeDelta, TimePoint, TimeSystem};
+
+fn t(ms: i64) -> TimePoint {
+    TimePoint::ZERO + TimeDelta::from_millis(ms)
+}
+
+// ---------------------------------------------------------------------------
+// Determinism at any worker count
+// ---------------------------------------------------------------------------
+
+/// A sharded catalog of scalable movies over one seeded faulty store per
+/// shard (fault injection per shard, like per-machine storage).
+fn sharded_faulty_db(
+    names: &[String],
+    shards: usize,
+    seed: u64,
+) -> ShardedDb<FaultyBlobStore<MemBlobStore>> {
+    let mut stores: Vec<MemBlobStore> = (0..shards).map(|_| MemBlobStore::new()).collect();
+    let frames = render_frames(VideoPattern::MovingBar, 0, 20, 48, 32);
+    let mut interps = Vec::new();
+    for name in names {
+        let owner = shard_of(name, seed, shards);
+        let (blob, interp) = capture_video_scalable(
+            &mut stores[owner],
+            &frames,
+            TimeSystem::PAL,
+            DctParams::default(),
+        )
+        .unwrap();
+        let stream = interp.stream("video1").unwrap().clone();
+        let mut renamed = Interpretation::new(blob);
+        renamed.add_stream(name, stream).unwrap();
+        interps.push(renamed);
+    }
+    let faulty = stores
+        .into_iter()
+        .enumerate()
+        .map(|(i, store)| {
+            let plan = FaultPlan::new(seed ^ (i as u64 + 1))
+                .with_transient(0.2)
+                .with_corruption(0.05)
+                .with_latency(0.1, 300);
+            FaultyBlobStore::new(store, plan)
+        })
+        .collect();
+    let mut db = ShardedDb::with_stores(faulty, seed);
+    for interp in interps {
+        db.register_interpretation(interp).unwrap();
+    }
+    db
+}
+
+/// Everything the determinism contract covers, captured from one storm.
+#[derive(PartialEq)]
+struct Surface {
+    stats: ShardedStats,
+    metrics: String,
+    chrome_trace: Vec<u8>,
+    records: usize,
+}
+
+/// A 12-session staggered storm over 4 faulty shards, per-shard tracers
+/// on, driven at `workers` workers (with an optional barrier tick).
+fn traced_storm(workers: usize, tick_ms: Option<i64>) -> Surface {
+    let seed = 0xBEEF;
+    let shards = 4;
+    let names: Vec<String> = (0..6).map(|i| format!("movie{i}")).collect();
+    let db = sharded_faulty_db(&names, shards, seed);
+    let mut server = ShardedServer::new(db, Capacity::new(100_000_000))
+        .with_cache_budget(16 << 20)
+        .with_shard_tracers(DEFAULT_TRACE_CAPACITY)
+        .with_workers(workers);
+    if let Some(ms) = tick_ms {
+        server = server.with_tick(TimeDelta::from_millis(ms));
+    }
+    for i in 0..12usize {
+        let at = t(i as i64 * 150);
+        let object = names[i % names.len()].clone();
+        let Response::Opened { session, .. } =
+            server.request(at, Request::Open { object }).unwrap()
+        else {
+            panic!("Open answers Opened");
+        };
+        if let Some(id) = session {
+            server.request(at, Request::Play { session: id }).unwrap();
+        }
+    }
+    let stats = server.finish();
+    let mut chrome_trace = Vec::new();
+    server.trace_to_writer(&mut chrome_trace).unwrap();
+    Surface {
+        stats,
+        metrics: server.metrics().render(),
+        records: server.trace().records.len(),
+        chrome_trace,
+    }
+}
+
+#[test]
+fn storm_is_byte_identical_at_any_worker_count() {
+    let base = traced_storm(1, None);
+    assert!(base.stats.global.elements_served > 0);
+    assert!(base.records > 0, "per-shard tracers must have recorded");
+    for workers in [2usize, 4, 8] {
+        let run = traced_storm(workers, None);
+        assert!(
+            base == run,
+            "stats/metrics/trace diverged at {workers} workers"
+        );
+    }
+    // The barrier tick is purely a scheduling knob: same bytes out.
+    for (workers, tick) in [(1usize, 100i64), (4, 100), (4, 37)] {
+        let run = traced_storm(workers, Some(tick));
+        assert!(
+            base == run,
+            "stats/metrics/trace diverged at {workers} workers, {tick} ms tick"
+        );
+    }
+}
+
+#[test]
+fn staged_drain_matches_sequential() {
+    // The throughput suite's shape: stage every session at one worker,
+    // raise the count mid-run, drain. Served elements must not notice.
+    let storm = |workers: usize| {
+        let seed = 0x7EE0;
+        let shards = 4;
+        let names: Vec<String> = (0..8).map(|i| format!("movie{i}")).collect();
+        let db = sharded_faulty_db(&names, shards, seed);
+        let mut server = ShardedServer::new(db, Capacity::new(1 << 40));
+        for i in 0..24usize {
+            let object = names[i % names.len()].clone();
+            if let Response::Opened {
+                session: Some(id), ..
+            } = server
+                .request(TimePoint::ZERO, Request::Open { object })
+                .unwrap()
+            {
+                server
+                    .request(TimePoint::ZERO, Request::Play { session: id })
+                    .unwrap();
+            }
+        }
+        assert_eq!(server.set_workers(workers), 1, "staged at one worker");
+        (server.finish(), server.metrics().render())
+    };
+    let (stats_1, metrics_1) = storm(1);
+    for workers in [2usize, 4] {
+        let (stats_n, metrics_n) = storm(workers);
+        assert_eq!(stats_1, stats_n, "stats diverged at {workers} workers");
+        assert_eq!(
+            metrics_1, metrics_n,
+            "metrics diverged at {workers} workers"
+        );
+    }
+    assert_eq!(stats_1.global.elements_served, 24 * 20);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-aware admission
+// ---------------------------------------------------------------------------
+
+/// One scalable movie in a clean in-memory catalog.
+fn movie_db() -> MediaDb<MemBlobStore> {
+    let mut store = MemBlobStore::new();
+    let frames = render_frames(VideoPattern::MovingBar, 0, 30, 64, 48);
+    let (_blob, interp) =
+        capture_video_scalable(&mut store, &frames, TimeSystem::PAL, DctParams::default()).unwrap();
+    let mut db = MediaDb::with_store(store);
+    db.register_interpretation(interp).unwrap();
+    db
+}
+
+/// Full-fidelity demand of the movie in bytes/s.
+fn full_demand(db: &MediaDb<MemBlobStore>) -> u64 {
+    let (_, stream) = db.stream_of("video1").unwrap();
+    let jobs = tbm::player::schedule_from_interp(stream, None);
+    tbm::player::demanded_rate(&jobs, stream.system())
+        .unwrap()
+        .ceil() as u64
+}
+
+/// Plays one session through the whole movie, leaving every verified span
+/// of the object resident in the server's cache.
+fn warm_cache(server: &mut Server<MemBlobStore>) {
+    let Response::Opened {
+        session: Some(id),
+        decision,
+    } = server
+        .request(
+            t(0),
+            Request::Open {
+                object: "video1".into(),
+            },
+        )
+        .unwrap()
+    else {
+        panic!("warmup session must be admitted");
+    };
+    assert_eq!(decision, AdmitDecision::Admitted);
+    server.request(t(0), Request::Play { session: id }).unwrap();
+    server.finish();
+}
+
+fn open(server: &mut Server<MemBlobStore>, at: TimePoint) -> (Option<SessionId>, AdmitDecision) {
+    let Response::Opened { session, decision } = server
+        .request(
+            at,
+            Request::Open {
+                object: "video1".into(),
+            },
+        )
+        .unwrap()
+    else {
+        panic!("Open answers Opened");
+    };
+    (session, decision)
+}
+
+#[test]
+fn hot_object_admits_where_cold_object_bounces() {
+    let d = full_demand(&movie_db()) as i64;
+    let two_sessions = Capacity::new(2 * d as u64 + 1);
+
+    // Cold control: no cache residency to discount against. The warmed-up
+    // session has finished (capacity released), so two more fit and the
+    // fourth open bounces off the full-fidelity path.
+    let mut cold = Server::new(movie_db(), two_sessions.with_cache_aware_admission());
+    warm_cache(&mut cold);
+    cold.set_cache_budget(0); // drop residency, keep everything else equal
+    let decisions: Vec<AdmitDecision> = (0..3).map(|_| open(&mut cold, t(100_000)).1).collect();
+    assert_eq!(decisions[0], AdmitDecision::Admitted);
+    assert_eq!(decisions[1], AdmitDecision::Admitted);
+    assert!(
+        !matches!(decisions[2], AdmitDecision::Admitted),
+        "third cold session must not fit at full fidelity: {decisions:?}"
+    );
+
+    // Hot: the same storm against a warmed cache. Every planned span is
+    // resident, the storage stage is charged zero, and all three admit at
+    // full fidelity.
+    let mut hot = Server::new(movie_db(), two_sessions.with_cache_aware_admission())
+        .with_cache_budget(64 << 20);
+    warm_cache(&mut hot);
+    for i in 0..3 {
+        let (_, decision) = open(&mut hot, t(100_000));
+        assert_eq!(
+            decision,
+            AdmitDecision::Admitted,
+            "hot session {i} must admit at full fidelity"
+        );
+    }
+    assert_eq!(
+        hot.stats().committed_bps,
+        0,
+        "fully resident sessions charge the storage stage nothing"
+    );
+}
+
+#[test]
+fn decode_stage_still_gates_fully_resident_sessions() {
+    // Cache hits skip the fetch but not the decode: with the decode stage
+    // sized for two sessions, the third bounces even though its storage
+    // charge is zero.
+    let d = full_demand(&movie_db());
+    let capacity = Capacity::new(2 * d + 1)
+        .with_decode_rate(2 * d + 1)
+        .with_cache_aware_admission();
+    let mut server = Server::new(movie_db(), capacity).with_cache_budget(64 << 20);
+    warm_cache(&mut server);
+    let decisions: Vec<AdmitDecision> = (0..3).map(|_| open(&mut server, t(100_000)).1).collect();
+    assert_eq!(decisions[0], AdmitDecision::Admitted);
+    assert_eq!(decisions[1], AdmitDecision::Admitted);
+    assert!(
+        !matches!(decisions[2], AdmitDecision::Admitted),
+        "decode stage must reject the third session: {decisions:?}"
+    );
+}
+
+#[test]
+fn eviction_reprices_admitted_sessions() {
+    let d = full_demand(&movie_db());
+    let capacity = Capacity::new(3 * d / 2 + 1).with_cache_aware_admission();
+
+    // Hot twin: a second session admitted against residency stays cheap,
+    // so a third still fits.
+    let mut stays_hot = Server::new(movie_db(), capacity).with_cache_budget(64 << 20);
+    warm_cache(&mut stays_hot);
+    let (_, b) = open(&mut stays_hot, t(100_000));
+    assert_eq!(b, AdmitDecision::Admitted);
+    assert_eq!(stays_hot.stats().committed_bps, 0, "hot session charges 0");
+    let (_, c) = open(&mut stays_hot, t(100_000));
+    assert_eq!(c, AdmitDecision::Admitted);
+
+    // Evicted twin: identical up to the second admission, then the cache
+    // is dropped. The admitted session is re-charged its full demand on
+    // the spot, and the third open now bounces.
+    let mut evicted = Server::new(movie_db(), capacity).with_cache_budget(64 << 20);
+    warm_cache(&mut evicted);
+    let (_, b) = open(&mut evicted, t(100_000));
+    assert_eq!(b, AdmitDecision::Admitted);
+    assert_eq!(evicted.stats().committed_bps, 0);
+    evicted.set_cache_budget(0);
+    assert!(
+        evicted.stats().committed_bps >= d.saturating_sub(1),
+        "eviction must re-charge the resident session its full demand, got {}",
+        evicted.stats().committed_bps
+    );
+    let (_, c) = open(&mut evicted, t(100_000));
+    assert!(
+        !matches!(c, AdmitDecision::Admitted),
+        "repriced headroom must bounce the full-fidelity open: {c:?}"
+    );
+}
+
+#[test]
+fn cache_aware_flag_off_is_inert() {
+    // The flag defaults off, and the warmed-up storm then prices exactly
+    // like the cold one: residency is never consulted.
+    let d = full_demand(&movie_db());
+    let mut server = Server::new(movie_db(), Capacity::new(2 * d + 1)).with_cache_budget(64 << 20);
+    warm_cache(&mut server);
+    let decisions: Vec<AdmitDecision> = (0..3).map(|_| open(&mut server, t(100_000)).1).collect();
+    assert_eq!(decisions[0], AdmitDecision::Admitted);
+    assert_eq!(decisions[1], AdmitDecision::Admitted);
+    assert!(
+        !matches!(decisions[2], AdmitDecision::Admitted),
+        "off-flag admission must ignore the warm cache: {decisions:?}"
+    );
+}
+
+#[test]
+fn batched_loop_counts_batches_and_spans_them_on_request() {
+    // Sessions anchored at the same instant share element deadlines, so
+    // the loop serves them in same-deadline batches; the counter is part
+    // of the deterministic surface, the spans are opt-in.
+    let mut server = Server::new(movie_db(), Capacity::new(1 << 40))
+        .with_batch_spans()
+        .with_tracer(tbm::obs::Tracer::new());
+    for _ in 0..4 {
+        let (id, decision) = open(&mut server, t(0));
+        assert_eq!(decision, AdmitDecision::Admitted);
+        server
+            .request(
+                t(0),
+                Request::Play {
+                    session: id.unwrap(),
+                },
+            )
+            .unwrap();
+    }
+    server.finish();
+    assert!(
+        server.metrics().counter("serve.batches") > 0,
+        "same-deadline serves must be counted as batches"
+    );
+    let batches = server
+        .trace()
+        .records
+        .iter()
+        .filter(|r| r.name == "batch")
+        .count();
+    assert!(batches > 0, "with_batch_spans must record sched spans");
+}
